@@ -1,0 +1,258 @@
+// backbuster - command-line front end for the Background Buster library.
+//
+//   backbuster simulate --out call.bbv [options]
+//       Synthesizes a video call, applies a virtual background with the
+//       simulated calling software, and writes the *attacked* stream (what
+//       an adversary records). Ground-truth artifacts are written next to
+//       it for later evaluation.
+//
+//   backbuster attack --in call.bbv [options]
+//       Runs the reconstruction framework on any .bbv stream like a real
+//       adversary: derives the VB from the footage (or matches a stock
+//       image) and segments the caller classically - no ground truth used.
+//       Writes the reconstruction + coverage and prints statistics. When
+//       --truth <image.ppm> is given, verified RBRR is reported too.
+//
+//   backbuster info --in call.bbv
+//       Prints stream properties.
+//
+// Run any command with --help for its options.
+#include <cstdio>
+#include <string>
+
+#include "cli/args.h"
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "imaging/io.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/dynamic_background.h"
+#include "video/serialize.h"
+
+using namespace bb;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::printf(
+      "usage: backbuster <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  simulate   synthesize an attacked call  (--help for options)\n"
+      "  attack     reconstruct the hidden background from a .bbv stream\n"
+      "  info       print .bbv stream properties\n");
+  return 2;
+}
+
+std::optional<synth::ActionKind> ActionByName(const std::string& name) {
+  for (synth::ActionKind a : synth::kAllActions) {
+    if (name == ToString(a)) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<vbg::StockImage> StockByName(const std::string& name) {
+  for (vbg::StockImage s : {vbg::StockImage::kBeach, vbg::StockImage::kOffice,
+                            vbg::StockImage::kSpace,
+                            vbg::StockImage::kGradient,
+                            vbg::StockImage::kForest}) {
+    if (name == ToString(s)) return s;
+  }
+  return std::nullopt;
+}
+
+int RejectUnknown(const cli::Args& args) {
+  for (const auto& key : args.UnconsumedKeys()) {
+    std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+  }
+  return args.UnconsumedKeys().empty() ? 0 : 2;
+}
+
+// ---- simulate -------------------------------------------------------------
+
+int Simulate(const cli::Args& args) {
+  if (args.Has("help")) {
+    std::printf(
+        "backbuster simulate --out call.bbv\n"
+        "  --action NAME      one of still, lean_forward, lean_backward,\n"
+        "                     arm_wave, rotate, clap, stretch, type, drink,\n"
+        "                     exit_enter (default arm_wave)\n"
+        "  --speed CLASS      slow | average | fast (default average)\n"
+        "  --participant N    0..4 (default 0)\n"
+        "  --scene-seed N     room layout seed (default 1)\n"
+        "  --lighting MODE    on | off (default on)\n"
+        "  --vb NAME          beach|office|space|gradient|forest (beach)\n"
+        "  --profile NAME     zoom | skype (default zoom)\n"
+        "  --dynamic          apply the dynamic-VB mitigation\n"
+        "  --duration S       seconds (default 12)\n"
+        "  --fps F            frames/second (default 12)\n"
+        "  --width W --height H   resolution (default 192x144)\n"
+        "  --truth-out BASE   also write the true background image "
+        "(default: <out>.truth)\n");
+    return 0;
+  }
+  const auto out = args.Get("out");
+  if (!out) return Fail("simulate requires --out <file.bbv>");
+
+  datasets::E1Case c;
+  const std::string action_name = args.Get("action", "arm_wave");
+  const auto action = ActionByName(action_name);
+  if (!action) return Fail("unknown --action " + action_name);
+  c.action = *action;
+  const std::string speed = args.Get("speed", "average");
+  c.speed = speed == "slow"      ? synth::SpeedClass::kSlow
+            : speed == "fast"    ? synth::SpeedClass::kFast
+            : synth::SpeedClass::kAverage;
+  c.participant = static_cast<int>(args.GetInt("participant", 0));
+  c.scene_seed = static_cast<std::uint64_t>(args.GetInt("scene-seed", 1));
+  c.lighting = args.Get("lighting", "on") == "off" ? synth::Lighting::kOff
+                                                   : synth::Lighting::kOn;
+  c.duration_s = args.GetDouble("duration", 12.0);
+
+  datasets::SimScale scale;
+  scale.width = static_cast<int>(args.GetInt("width", 192));
+  scale.height = static_cast<int>(args.GetInt("height", 144));
+  scale.fps = args.GetDouble("fps", 12.0);
+
+  const std::string vb_name = args.Get("vb", "beach");
+  const auto vb_kind = StockByName(vb_name);
+  if (!vb_kind) return Fail("unknown --vb " + vb_name);
+
+  vbg::CompositeOptions copts;
+  const std::string profile = args.Get("profile", "zoom");
+  if (profile == "skype") {
+    copts.profile = vbg::SkypeProfile();
+  } else if (profile != "zoom") {
+    return Fail("unknown --profile " + profile);
+  }
+  if (args.Has("dynamic")) {
+    copts.adapter = vbg::MakeDynamicVbAdapter({}, c.scene_seed ^ 0xD1ull);
+  }
+  const std::string truth_base = args.Get("truth-out", *out + ".truth");
+  if (const int rc = RejectUnknown(args)) return rc;
+
+  const synth::RawRecording raw = datasets::RecordE1(c, scale);
+  const vbg::StaticImageSource vb(
+      vbg::MakeStockImage(*vb_kind, scale.width, scale.height));
+  const vbg::CompositedCall call =
+      vbg::ApplyVirtualBackground(raw, vb, copts);
+
+  if (!video::WriteBbv(call.video, *out)) {
+    return Fail("cannot write " + *out);
+  }
+  // Ground truth as PPM (the attack command can read it back).
+  if (!imaging::WritePpm(raw.true_background, truth_base + ".ppm")) {
+    return Fail("cannot write " + truth_base + ".ppm");
+  }
+  std::printf("wrote %s (%d frames, %dx%d @ %.0f fps, %s/%s%s)\n",
+              out->c_str(), call.video.frame_count(), scale.width,
+              scale.height, scale.fps, profile.c_str(), vb_name.c_str(),
+              args.Has("dynamic") ? ", dynamic VB" : "");
+  std::printf("wrote %s.ppm (true background)\n", truth_base.c_str());
+  return 0;
+}
+
+// ---- attack ----------------------------------------------------------------
+
+int Attack(const cli::Args& args) {
+  if (args.Has("help")) {
+    std::printf(
+        "backbuster attack --in call.bbv\n"
+        "  --vb NAME         match a stock image (beach|office|...) instead\n"
+        "                    of deriving the VB from the footage\n"
+        "  --phi R           blending-blur radius (default %.1f)\n"
+        "  --truth FILE      score against this image (.ppm or .png)\n"
+        "  --out BASE        output image base name (default: <in>.recon)\n",
+        core::kDefaultPhi);
+    return 0;
+  }
+  const auto in = args.Get("in");
+  if (!in) return Fail("attack requires --in <file.bbv>");
+  const std::string out_base = args.Get("out", *in + ".recon");
+  const auto vb_name = args.Get("vb");
+  const double phi = args.GetDouble("phi", core::kDefaultPhi);
+  const auto truth_path = args.Get("truth");
+  if (const int rc = RejectUnknown(args)) return rc;
+
+  const auto call = video::ReadBbv(*in);
+  if (!call) return Fail("cannot read " + *in);
+  std::printf("loaded %s: %d frames %dx%d @ %.1f fps\n", in->c_str(),
+              call->frame_count(), call->width(), call->height(),
+              call->fps());
+
+  // Build the VB reference the way a real adversary would.
+  core::VbReference ref = core::VbReference::DeriveImage(*call);
+  if (vb_name) {
+    const auto kind = StockByName(*vb_name);
+    if (!kind) return Fail("unknown --vb " + *vb_name);
+    ref = core::VbReference::KnownImage(
+        vbg::MakeStockImage(*kind, call->width(), call->height()));
+    std::printf("using known stock VB '%s'\n", vb_name->c_str());
+  } else {
+    std::printf("derived VB from footage (%.1f%% of the frame)\n",
+                100.0 * ref.ValidFraction());
+  }
+
+  segmentation::ClassicalSegmenter segmenter;
+  core::ReconstructionOptions opts;
+  opts.phi = phi;
+  core::Reconstructor reconstructor(ref, segmenter, opts);
+  const core::ReconstructionResult rec = reconstructor.Run(*call);
+
+  std::printf("recovered %.1f%% of the frame\n",
+              100.0 * rec.CoverageFraction());
+  if (truth_path) {
+    const auto truth = imaging::ReadImageAuto(*truth_path);
+    if (!truth) return Fail("cannot read truth image " + *truth_path);
+    if (truth->width() != call->width() ||
+        truth->height() != call->height()) {
+      return Fail("truth image resolution does not match the stream");
+    }
+    const auto rbrr = core::Rbrr(rec, *truth);
+    std::printf("verified RBRR %.1f%% (precision %.1f%%)\n",
+                100.0 * rbrr.verified, 100.0 * rbrr.precision);
+  }
+  if (auto path = imaging::WriteImageAuto(rec.background, out_base)) {
+    std::printf("wrote %s\n", path->c_str());
+  }
+  if (auto path = imaging::WriteImageAuto(
+          imaging::MaskToImage(rec.coverage), out_base + ".coverage")) {
+    std::printf("wrote %s\n", path->c_str());
+  }
+  return 0;
+}
+
+// ---- info -------------------------------------------------------------------
+
+int Info(const cli::Args& args) {
+  const auto in = args.Get("in");
+  if (!in) return Fail("info requires --in <file.bbv>");
+  if (const int rc = RejectUnknown(args)) return rc;
+  const auto call = video::ReadBbv(*in);
+  if (!call) return Fail("cannot read " + *in);
+  std::printf("%s: %d frames, %dx%d @ %.2f fps, %.1f s\n", in->c_str(),
+              call->frame_count(), call->width(), call->height(),
+              call->fps(), call->duration());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli::Args args = cli::Args::Parse(argc, argv);
+  for (const auto& err : args.errors()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+  }
+  if (!args.errors().empty()) return 2;
+
+  if (args.command() == "simulate") return Simulate(args);
+  if (args.command() == "attack") return Attack(args);
+  if (args.command() == "info") return Info(args);
+  return Usage();
+}

@@ -1,0 +1,61 @@
+// Figure 7: background recovery (RBRR) under various actions, per
+// participant.
+//
+// Paper anchors: entering/exiting the room leaks most (~38.6% RBRR),
+// typing least (~4.4%).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bb;
+
+int main() {
+  const auto cfg = bench::BenchConfig::FromEnv();
+  cfg.Print("bench_fig07_actions (Fig. 7: RBRR by action x participant)");
+
+  const auto all_cases = datasets::E1Matrix(cfg.scale);
+  bench::PrintRule();
+  std::printf("%-14s", "action");
+  for (int p = 0; p < cfg.participants; ++p) std::printf("      p%d", p);
+  std::printf("    mean\n");
+
+  double exit_mean = 0.0, type_mean = 0.0;
+  std::vector<std::pair<std::string, double>> by_action;
+  for (synth::ActionKind action : synth::kAllActions) {
+    std::vector<double> per_participant;
+    for (int p = 0; p < cfg.participants; ++p) {
+      // Find the baseline E1 case for this (participant, action).
+      for (const auto& c : all_cases) {
+        if (c.participant == p && c.action == action &&
+            c.label == "baseline") {
+          const auto raw = datasets::RecordE1(c, cfg.scale);
+          per_participant.push_back(
+              bench::RunAttack(raw).rbrr.verified);
+          break;
+        }
+      }
+    }
+    const double mean = bench::Mean(per_participant);
+    std::printf("%-14s", ToString(action));
+    for (double v : per_participant) std::printf(" %6.1f%%", 100.0 * v);
+    std::printf(" %6.1f%%\n", 100.0 * mean);
+    by_action.emplace_back(ToString(action), mean);
+    if (action == synth::ActionKind::kExitEnter) exit_mean = mean;
+    if (action == synth::ActionKind::kType) type_mean = mean;
+  }
+
+  bench::PrintRule();
+  std::printf("paper anchors: exit/enter ~38.6%%, typing ~4.4%% (Fig. 7)\n");
+  std::printf("measured     : exit/enter %.1f%%, typing %.1f%%\n",
+              100.0 * exit_mean, 100.0 * type_mean);
+  bool exit_is_max = true;
+  for (const auto& [name, v] : by_action) {
+    if (name != "exit_enter" && name != "stretch" && v > exit_mean) {
+      exit_is_max = false;
+    }
+  }
+  std::printf(
+      "shape check: exit/enter leads, typing trails -> %s\n",
+      (exit_is_max && type_mean < exit_mean / 2.5) ? "OK" : "MISMATCH");
+  return 0;
+}

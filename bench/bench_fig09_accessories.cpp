@@ -1,0 +1,62 @@
+// Figure 9: effect of accessories (hat / headphones / both / none).
+//
+// Paper: "we did not find any significant difference between the
+// participants' choice of different accessories worn during the call".
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bb;
+
+int main() {
+  const auto cfg = bench::BenchConfig::FromEnv();
+  cfg.Print("bench_fig09_accessories (Fig. 9: accessories)");
+
+  const synth::Accessory combos[] = {
+      synth::Accessory::kNone, synth::Accessory::kHat,
+      synth::Accessory::kHeadphones, synth::Accessory::kHatAndHeadphones};
+  const synth::ActionKind actions[] = {synth::ActionKind::kArmWave,
+                                       synth::ActionKind::kDrink};
+
+  bench::PrintRule();
+  std::printf("%-12s %16s %16s %8s\n", "accessory", "arm_wave RBRR",
+              "drink RBRR", "mean");
+
+  std::vector<double> combo_means;
+  for (synth::Accessory acc : combos) {
+    std::vector<double> per_action_means;
+    std::printf("%-12s", ToString(acc));
+    for (synth::ActionKind action : actions) {
+      std::vector<double> rbrrs;
+      for (int p = 0; p < cfg.participants; ++p) {
+        datasets::E1Case c;
+        c.participant = p;
+        c.action = action;
+        c.accessory = acc;
+        c.scene_seed = cfg.seed + static_cast<std::uint64_t>(p) * 29;
+        c.duration_s = 12.0 * cfg.scale.duration_factor;
+        const auto raw = datasets::RecordE1(c, cfg.scale);
+        rbrrs.push_back(bench::RunAttack(raw).rbrr.verified);
+      }
+      per_action_means.push_back(bench::Mean(rbrrs));
+      std::printf(" %15.1f%%", 100.0 * per_action_means.back());
+    }
+    const double mean = bench::Mean(per_action_means);
+    combo_means.push_back(mean);
+    std::printf(" %7.1f%%\n", 100.0 * mean);
+  }
+
+  double lo = combo_means[0], hi = combo_means[0];
+  for (double v : combo_means) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bench::PrintRule();
+  std::printf("spread across accessory combos: %.1f%% (max-min)\n",
+              100.0 * (hi - lo));
+  std::printf("paper: no significant difference across accessories\n");
+  std::printf("shape check: spread small relative to the signal -> %s\n",
+              (hi - lo) < 0.5 * hi ? "OK" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 12a: background recovery in the E2 and E3 experiments.
+//
+// Paper: passive callers (E2) 9.8% RBRR, active callers (E2) 30%,
+// in-the-wild videos (E3) 23.9% - active > wild > passive, with E3 slightly
+// below active E2 thanks to better lighting/cameras.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bb;
+
+int main() {
+  const auto cfg = bench::BenchConfig::FromEnv();
+  cfg.Print("bench_fig12a_rbrr_e2e3 (Fig. 12a: RBRR passive/active/wild)");
+
+  std::vector<double> passive, active, wild;
+  for (const auto& c : datasets::E2Matrix(cfg.scale)) {
+    if (c.participant >= cfg.participants) continue;
+    // In reduced mode keep 2 passive calls per participant.
+    if (!bench::FullRun() && c.mode == datasets::E2Mode::kPassive &&
+        (c.scene_seed % 2) == 0) {
+      continue;
+    }
+    const auto raw = datasets::RecordE2(c, cfg.scale);
+    const double rbrr =
+        bench::RunAttack(raw, vbg::StockImage::kOffice).rbrr.verified;
+    (c.mode == datasets::E2Mode::kPassive ? passive : active)
+        .push_back(rbrr);
+  }
+  for (const auto& c : datasets::E3Matrix(cfg.e3_videos, cfg.scale)) {
+    const auto raw = datasets::RecordE3(c, cfg.scale);
+    wild.push_back(
+        bench::RunAttack(raw, vbg::StockImage::kOffice).rbrr.verified);
+  }
+
+  bench::PrintRule();
+  std::printf("%-12s %8s %8s %10s\n", "setting", "videos", "RBRR", "paper");
+  std::printf("%-12s %8zu %7.1f%% %10s\n", "passive(E2)", passive.size(),
+              100.0 * bench::Mean(passive), "9.8%");
+  std::printf("%-12s %8zu %7.1f%% %10s\n", "active(E2)", active.size(),
+              100.0 * bench::Mean(active), "30.0%");
+  std::printf("%-12s %8zu %7.1f%% %10s\n", "wild(E3)", wild.size(),
+              100.0 * bench::Mean(wild), "23.9%");
+
+  const double mp = bench::Mean(passive), ma = bench::Mean(active),
+               mw = bench::Mean(wild);
+  bench::PrintRule();
+  std::printf("shape check: active > wild > passive -> %s\n",
+              (ma > mw && mw > mp) ? "OK" : "MISMATCH");
+  return 0;
+}

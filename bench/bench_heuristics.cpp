@@ -1,0 +1,128 @@
+// §IX-B: the other mitigation heuristics.
+//
+// Paper proposals beyond the dynamic VB:
+//   1. A never-seen-before random VB image per call: the adversary loses
+//      the known-image advantage and must fall back to derivation.
+//   2. Sharing fewer frames with the adversary (frame dropping): shrinks
+//      the reconstruction at the cost of call quality.
+//   3. Sending animated fake frames after the first one (First Order
+//      Motion deepfake): the real frames never leave the machine, so the
+//      real background can never leak. Simulated by replaying the first
+//      composited frame with small synthetic head motion.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "imaging/draw.h"
+#include "imaging/transform.h"
+
+using namespace bb;
+
+int main() {
+  const auto cfg = bench::BenchConfig::FromEnv();
+  cfg.Print("bench_heuristics (sec. IX-B: other mitigation heuristics)");
+
+  datasets::E2Case c;
+  c.participant = 0;
+  c.mode = datasets::E2Mode::kActive;
+  c.scene_seed = cfg.seed + 77;
+  c.duration_s = 40.0 * cfg.scale.duration_factor;
+  const auto raw = datasets::RecordE2(c, cfg.scale);
+
+  bench::PrintRule();
+  std::printf("%-28s %9s %10s %11s\n", "heuristic", "claimed", "verified",
+              "precision");
+
+  auto report = [](const char* name, const core::RbrrResult& rbrr) {
+    std::printf("%-28s %8.1f%% %9.1f%% %10.1f%%\n", name,
+                100.0 * rbrr.claimed, 100.0 * rbrr.verified,
+                100.0 * rbrr.precision);
+  };
+
+  // Baseline: stock VB, known to the adversary.
+  const auto baseline = bench::RunAttack(raw, vbg::StockImage::kBeach);
+  report("stock VB, known (baseline)", baseline.rbrr);
+
+  // 1. Random never-seen VB: the adversary must derive it.
+  double random_vb_verified = 0.0;
+  {
+    synth::Rng rng(cfg.seed + 3);
+    synth::RandomSceneOptions scene_opts;
+    scene_opts.width = cfg.scale.width;
+    scene_opts.height = cfg.scale.height;
+    const vbg::StaticImageSource vb(
+        synth::RenderScene(synth::RandomScene(rng, scene_opts)).background);
+    const auto call = vbg::ApplyVirtualBackground(raw, vb);
+    const auto ref = core::VbReference::DeriveImage(call.video);
+    segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+    core::Reconstructor rc(ref, seg);
+    const auto rec = rc.Run(call.video);
+    const auto rbrr = core::Rbrr(rec, raw.true_background);
+    random_vb_verified = rbrr.verified;
+    std::printf("%-28s %8.1f%% %9.1f%% %10.1f%%  (VB derived, %.0f%% of it "
+                "recovered)\n",
+                "random VB per call", 100.0 * rbrr.claimed,
+                100.0 * rbrr.verified, 100.0 * rbrr.precision,
+                100.0 * ref.ValidFraction());
+  }
+
+  // 2. Frame dropping: 1-in-4 frames shared.
+  double dropped_verified = 0.0;
+  {
+    const vbg::StaticImageSource vb(vbg::MakeStockImage(
+        vbg::StockImage::kBeach, cfg.scale.width, cfg.scale.height));
+    const auto call = vbg::ApplyVirtualBackground(raw, vb);
+    const auto sub = call.video.Subsampled(4);
+    std::vector<imaging::Bitmap> masks;
+    for (std::size_t i = 0; i < raw.caller_masks.size(); i += 4) {
+      masks.push_back(raw.caller_masks[i]);
+    }
+    const auto ref = core::VbReference::KnownImage(vb.image());
+    segmentation::NoisyOracleSegmenter seg(masks, {}, 7);
+    core::Reconstructor rc(ref, seg);
+    const auto rbrr = core::Rbrr(rc.Run(sub), raw.true_background);
+    dropped_verified = rbrr.verified;
+    report("frame dropping (1 in 4)", rbrr);
+  }
+
+  // 3. Fake frames: only the first composited frame is real; the rest are
+  //    animated copies of it (First Order Motion analog: the head region
+  //    of frame 0 re-rendered with tiny synthetic motion).
+  double fake_verified = 0.0;
+  {
+    const vbg::StaticImageSource vb(vbg::MakeStockImage(
+        vbg::StockImage::kBeach, cfg.scale.width, cfg.scale.height));
+    const auto call = vbg::ApplyVirtualBackground(raw, vb);
+    video::VideoStream faked(call.video.fps());
+    std::vector<imaging::Bitmap> masks;
+    const auto& first = call.video.frame(0);
+    for (int i = 0; i < call.video.frame_count(); ++i) {
+      // The deepfake animates the caller slightly; background pixels of
+      // frame 0 are all the adversary ever sees.
+      imaging::Image fake = first;
+      const int bob = (i % 4 < 2) ? 0 : 1;
+      const imaging::Image shifted = imaging::Shift(first, 0, bob);
+      imaging::CopyMasked(fake, shifted, raw.caller_masks[0]);
+      faked.Append(std::move(fake));
+      masks.push_back(raw.caller_masks[0]);
+    }
+    const auto ref = core::VbReference::KnownImage(vb.image());
+    segmentation::NoisyOracleSegmenter seg(masks, {}, 7);
+    core::Reconstructor rc(ref, seg);
+    const auto rbrr = core::Rbrr(rc.Run(faked), raw.true_background);
+    fake_verified = rbrr.verified;
+    report("fake frames (deepfake)", rbrr);
+  }
+
+  bench::PrintRule();
+  std::printf("paper: each heuristic trades call fidelity for background "
+              "privacy (sec. IX-B)\n");
+  std::printf("shape check: random VB weakens the attack -> %s\n",
+              random_vb_verified < baseline.rbrr.verified ? "OK"
+                                                          : "MISMATCH");
+  std::printf("shape check: frame dropping weakens the attack -> %s\n",
+              dropped_verified < baseline.rbrr.verified ? "OK" : "MISMATCH");
+  std::printf("shape check: fake frames nearly eliminate recovery -> %s\n",
+              fake_verified < 0.35 * baseline.rbrr.verified ? "OK"
+                                                            : "MISMATCH");
+  return 0;
+}

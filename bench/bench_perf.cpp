@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the framework's hot kernels.
+//
+// Not a paper table - engineering data: per-frame cost of the compositor
+// and of each reconstruction stage at the default 192x144 simulation
+// resolution.
+#include <benchmark/benchmark.h>
+
+#include "core/blur_masking.h"
+#include "core/vb_masking.h"
+#include "detect/template_match.h"
+#include "imaging/color.h"
+#include "imaging/transform.h"
+#include "imaging/morphology.h"
+#include "synth/recorder.h"
+#include "vbg/compositor.h"
+#include "vbg/matting.h"
+
+namespace {
+
+using namespace bb;
+
+constexpr int kW = 192, kH = 144;
+
+synth::RawRecording SharedRecording() {
+  synth::RecordingSpec spec;
+  spec.scene.width = kW;
+  spec.scene.height = kH;
+  spec.action.kind = synth::ActionKind::kArmWave;
+  spec.fps = 12.0;
+  spec.duration_s = 2.0;
+  spec.seed = 99;
+  return synth::RecordCall(spec);
+}
+
+void BM_RgbToHsvFrame(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto& frame = raw.video.frame(0);
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (const auto& p : frame.pixels()) acc += imaging::RgbToHsv(p).h;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.pixel_count()));
+}
+BENCHMARK(BM_RgbToHsvFrame);
+
+void BM_DistanceTransform(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto& mask = raw.caller_masks[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imaging::SquaredDistanceToSet(mask));
+  }
+}
+BENCHMARK(BM_DistanceTransform);
+
+void BM_DilateDisc(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto& mask = raw.caller_masks[4];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        imaging::DilateDisc(mask, static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_DilateDisc)->Arg(4)->Arg(20);
+
+void BM_MattingEstimate(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  vbg::MattingEngine engine(vbg::MattingParams{}, 7);
+  int i = 0;
+  for (auto _ : state) {
+    const auto idx = static_cast<std::size_t>(i % raw.video.frame_count());
+    benchmark::DoNotOptimize(engine.Estimate(raw.caller_masks[idx],
+                                             raw.blur_masks[idx],
+                                             raw.video.frame(i % raw.video.frame_count())));
+    ++i;
+  }
+}
+BENCHMARK(BM_MattingEstimate);
+
+void BM_BlendFrame(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto vb = vbg::MakeStockImage(vbg::StockImage::kBeach, kW, kH);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vbg::BlendFrame(raw.video.frame(0), vb, raw.caller_masks[0], 4.0));
+  }
+}
+BENCHMARK(BM_BlendFrame);
+
+void BM_ComputeVbm(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto vb = vbg::MakeStockImage(vbg::StockImage::kBeach, kW, kH);
+  const imaging::Bitmap valid(kW, kH, imaging::kMaskSet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeVbm(raw.video.frame(0), vb, valid, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * kW * kH);
+}
+BENCHMARK(BM_ComputeVbm);
+
+void BM_MatchTemplate(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const imaging::Bitmap coverage(kW, kH, imaging::kMaskSet);
+  const imaging::Image templ =
+      imaging::Crop(raw.true_background, {20, 20, 32, 32});
+  detect::TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detect::MatchTemplate(raw.true_background, coverage, templ, opts));
+  }
+}
+BENCHMARK(BM_MatchTemplate);
+
+void BM_FullCompositeFrame(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const vbg::StaticImageSource vb(
+      vbg::MakeStockImage(vbg::StockImage::kBeach, kW, kH));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vbg::ApplyVirtualBackground(raw, vb));
+  }
+  state.SetItemsProcessed(state.iterations() * raw.video.frame_count());
+}
+BENCHMARK(BM_FullCompositeFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Defense demo: the dynamic virtual background mitigation (paper sec. IX-A)
+// and the frame-dropping heuristic (sec. IX-B), applied to the same call.
+//
+// Shows the defender's view: how each mitigation degrades what the
+// Background Buster framework can extract.
+#include <cstdio>
+
+#include "core/attacks/location.h"
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "imaging/io.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/dynamic_background.h"
+
+using namespace bb;
+
+namespace {
+
+struct Result {
+  core::RbrrResult rbrr;
+  int location_rank;
+};
+
+Result Evaluate(const synth::RawRecording& raw,
+                const vbg::CompositeOptions& copts, int subsample,
+                const std::vector<imaging::Image>& dict,
+                const char* dump_name) {
+  const vbg::StaticImageSource vb(vbg::MakeStockImage(
+      vbg::StockImage::kBeach, raw.video.width(), raw.video.height()));
+  const auto call = vbg::ApplyVirtualBackground(raw, vb, copts);
+
+  video::VideoStream attacked = call.video.Subsampled(subsample);
+  std::vector<imaging::Bitmap> masks;
+  for (std::size_t i = 0; i < raw.caller_masks.size();
+       i += static_cast<std::size_t>(std::max(1, subsample))) {
+    masks.push_back(raw.caller_masks[i]);
+  }
+
+  const core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  segmentation::NoisyOracleSegmenter seg(masks, {}, 7);
+  core::Reconstructor rc(ref, seg);
+  const auto rec = rc.Run(attacked);
+  if (dump_name) imaging::WriteImageAuto(rec.background, dump_name);
+
+  Result r;
+  r.rbrr = core::Rbrr(rec, raw.true_background);
+  r.location_rank = core::RankOf(
+      core::RankLocations(rec.background, rec.coverage, dict), 0);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  datasets::E2Case c;
+  c.participant = 3;
+  c.mode = datasets::E2Mode::kActive;
+  c.scene_seed = 999;
+  c.duration_s = 30.0;
+  const synth::RawRecording raw = datasets::RecordE2(c);
+  const auto dict = datasets::BuildBackgroundDictionary(
+      {raw.true_background}, 40, 2024, {});
+
+  std::printf("%-26s %9s %9s %10s %10s\n", "configuration", "claimed",
+              "verified", "precision", "loc.rank");
+  auto report = [&](const char* name, const Result& r) {
+    std::printf("%-26s %8.1f%% %8.1f%% %9.1f%% %7d/40\n", name,
+                100.0 * r.rbrr.claimed, 100.0 * r.rbrr.verified,
+                100.0 * r.rbrr.precision, r.location_rank);
+  };
+
+  report("no mitigation",
+         Evaluate(raw, {}, 1, dict, "mitigation_none"));
+
+  vbg::CompositeOptions dynamic_vb;
+  dynamic_vb.adapter = vbg::MakeDynamicVbAdapter({}, 31337);
+  report("dynamic virtual bg",
+         Evaluate(raw, dynamic_vb, 1, dict, "mitigation_dynamic"));
+
+  report("frame dropping (1 in 4)",
+         Evaluate(raw, {}, 4, dict, nullptr));
+
+  vbg::CompositeOptions both = dynamic_vb;
+  report("both", Evaluate(raw, both, 4, dict, nullptr));
+
+  std::printf(
+      "\nreading: the dynamic VB *raises* claimed recovery - the attacker\n"
+      "collects polluted pixels - while verified recovery and the location\n"
+      "attack collapse (paper Fig. 15). Frame dropping shrinks everything\n"
+      "proportionally at the cost of call quality (sec. IX-B).\n");
+  return 0;
+}

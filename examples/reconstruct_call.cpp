@@ -1,0 +1,82 @@
+// Full-pipeline walkthrough: every stage of the Background Buster attack on
+// one synthetic call, with images of each stage written to disk.
+//
+//   raw call           -> what the victim's camera sees
+//   attacked stream    -> what the adversary records (VB applied)
+//   frame decomposition-> VBM / BBM / VCM / LB masks of one frame (Fig. 3)
+//   reconstruction     -> accumulated leaked background vs ground truth
+//
+// Unlike quickstart.cpp, this demo uses NO oracle anywhere: the VB is
+// derived from the call footage (unknown-VB scenario, paper sec. V-B) and
+// the caller is segmented with the classical segmenter.
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "imaging/io.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+
+using namespace bb;
+
+namespace {
+
+void Save(const imaging::Image& img, const char* name) {
+  if (auto path = imaging::WriteImageAuto(img, name)) {
+    std::printf("  wrote %s\n", path->c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. The victim: participant 2 presents (arm waving) in a random room.
+  datasets::E1Case c;
+  c.participant = 2;
+  c.action = synth::ActionKind::kArmWave;
+  c.scene_seed = 4242;
+  c.duration_s = 15.0;
+  const synth::RawRecording raw = datasets::RecordE1(c);
+  std::printf("raw call: %d frames, %zu background objects\n",
+              raw.video.frame_count(), raw.scene.objects.size());
+  Save(raw.true_background, "stage0_true_background");
+  Save(raw.video.frame(10), "stage1_raw_frame");
+
+  // 2. The software: simulated Zoom with a stock space background.
+  const vbg::StaticImageSource vb(vbg::MakeStockImage(
+      vbg::StockImage::kSpace, raw.video.width(), raw.video.height()));
+  const vbg::CompositedCall call = vbg::ApplyVirtualBackground(raw, vb);
+  Save(call.video.frame(10), "stage2_attacked_frame");
+
+  // 3. The adversary, with no prior knowledge:
+  //    (a) derive the virtual background from pixel constancy,
+  const core::VbReference ref = core::VbReference::DeriveImage(call.video);
+  std::printf("derived VB covers %.1f%% of the frame\n",
+              100.0 * ref.ValidFraction());
+  //    (b) segment the caller classically (no ground truth!),
+  segmentation::ClassicalSegmenter segmenter;
+  //    (c) run the reconstruction framework.
+  core::ReconstructionOptions opts;
+  opts.keep_frame_masks = true;
+  core::Reconstructor reconstructor(ref, segmenter, opts);
+  const core::ReconstructionResult rec = reconstructor.Run(call.video);
+
+  // 4. Inspect one frame's decomposition (paper Fig. 3).
+  const auto& d = rec.frame_masks[10];
+  Save(imaging::MaskToImage(d.vbm), "stage3_vbm");
+  Save(imaging::MaskToImage(d.bbm), "stage3_bbm");
+  Save(imaging::MaskToImage(d.vcm), "stage3_vcm");
+  Save(imaging::MaskToImage(d.lb), "stage3_lb");
+
+  // 5. The reconstructed background.
+  Save(rec.background, "stage4_reconstruction");
+  Save(imaging::MaskToImage(rec.coverage), "stage4_coverage");
+
+  const core::RbrrResult rbrr = core::Rbrr(rec, raw.true_background);
+  std::printf("oracle-free attack results:\n");
+  std::printf("  claimed coverage : %5.1f%%\n", 100.0 * rbrr.claimed);
+  std::printf("  verified RBRR    : %5.1f%%\n", 100.0 * rbrr.verified);
+  std::printf("  precision        : %5.1f%%\n", 100.0 * rbrr.precision);
+  return 0;
+}

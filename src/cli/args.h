@@ -1,0 +1,49 @@
+// Minimal command-line argument parsing for the backbuster CLI.
+//
+// Grammar: <command> [--flag] [--key value] ... Flags may be given as
+// --key=value or --key value; unknown keys are collected so the caller can
+// reject them with a helpful message.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bb::cli {
+
+class Args {
+ public:
+  // Parses argv[1..); argv[1] is the command unless it starts with "--".
+  static Args Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  // String value; `fallback` when absent.
+  std::string Get(const std::string& key, const std::string& fallback) const;
+
+  // Typed accessors: nullopt when absent, parse errors are recorded.
+  std::optional<std::string> Get(const std::string& key) const;
+  std::optional<long> GetInt(const std::string& key) const;
+  std::optional<double> GetDouble(const std::string& key) const;
+  long GetInt(const std::string& key, long fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+
+  // Keys the caller never consumed; call after all Get()s to reject typos.
+  // (Every Get/Has marks its key as consumed.)
+  std::vector<std::string> UnconsumedKeys() const;
+
+  // Parse-phase problems (e.g. "--key" at end expecting a value is fine -
+  // it becomes a boolean flag - but "---x" is malformed).
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace bb::cli

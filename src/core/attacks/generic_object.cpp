@@ -1,0 +1,69 @@
+#include "core/attacks/generic_object.h"
+
+namespace bb::core {
+
+std::vector<detect::Detection> InferObjects(
+    const ReconstructionResult& reconstruction,
+    const detect::GenericDetectorOptions& opts) {
+  return detect::DetectObjects(reconstruction.background,
+                               reconstruction.coverage, opts);
+}
+
+std::optional<detect::ObjectClass> ExpectedClass(synth::ObjectKind kind) {
+  using synth::ObjectKind;
+  using detect::ObjectClass;
+  switch (kind) {
+    case ObjectKind::kPoster: return ObjectClass::kPoster;
+    case ObjectKind::kPainting: return ObjectClass::kPoster;
+    case ObjectKind::kBookshelf: return ObjectClass::kBookshelf;
+    case ObjectKind::kStickyNote: return ObjectClass::kStickyNote;
+    case ObjectKind::kMonitor: return ObjectClass::kMonitor;
+    case ObjectKind::kTv: return ObjectClass::kTv;
+    case ObjectKind::kClock: return ObjectClass::kClock;
+    case ObjectKind::kToy: return ObjectClass::kToy;
+    case ObjectKind::kBook: return ObjectClass::kBook;
+    case ObjectKind::kWindow: return std::nullopt;
+    case ObjectKind::kDoor: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+GenericInferenceScore ScoreDetections(
+    const std::vector<detect::Detection>& detections,
+    const std::vector<synth::SceneObjectTruth>& truth,
+    double iou_threshold) {
+  GenericInferenceScore score;
+  std::vector<bool> detection_used(detections.size(), false);
+
+  for (const auto& obj : truth) {
+    const auto expected = ExpectedClass(obj.kind);
+    if (!expected) continue;
+    ++score.detectable_objects;
+    for (std::size_t i = 0; i < detections.size(); ++i) {
+      if (detection_used[i]) continue;
+      if (detections[i].cls != *expected) continue;
+      if (imaging::RectIou(detections[i].rect, obj.rect) >= iou_threshold) {
+        detection_used[i] = true;
+        ++score.detected;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (detection_used[i]) continue;
+    // A leftover detection overlapping ANY ground-truth object (even of a
+    // mismatched class) is a confusion, not a hallucination; only
+    // detections on empty wall count as false alarms.
+    bool overlaps_something = false;
+    for (const auto& obj : truth) {
+      if (imaging::RectIou(detections[i].rect, obj.rect) >= iou_threshold) {
+        overlaps_something = true;
+        break;
+      }
+    }
+    if (!overlaps_something) ++score.false_alarms;
+  }
+  return score;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,40 @@
+// Generic object inference attack (paper sec. VI).
+//
+// Runs template-free detectors (the RetinaNet/YOLO substitute in
+// detect/generic.h) over the reconstruction and scores them against scene
+// ground truth - which classes were found in the leaked background, and
+// with how many false alarms.
+#pragma once
+
+#include <vector>
+
+#include "core/reconstruction.h"
+#include "detect/generic.h"
+#include "synth/scene.h"
+
+namespace bb::core {
+
+// Runs the detectors over the reconstruction.
+std::vector<detect::Detection> InferObjects(
+    const ReconstructionResult& reconstruction,
+    const detect::GenericDetectorOptions& opts = {});
+
+// Maps a synthetic scene-object kind to the detector class that should fire
+// on it (paintings report as posters; windows/doors/plain walls have no
+// detector class, mirroring the paper's "blank wall / window / door"
+// non-detections - those return nullopt).
+std::optional<detect::ObjectClass> ExpectedClass(synth::ObjectKind kind);
+
+struct GenericInferenceScore {
+  int detectable_objects = 0;   // GT objects with a detector class
+  int detected = 0;             // of those, found with IoU >= iou_threshold
+  int false_alarms = 0;         // detections matching no GT object
+};
+
+// Scores detections against the scene's object ground truth.
+GenericInferenceScore ScoreDetections(
+    const std::vector<detect::Detection>& detections,
+    const std::vector<synth::SceneObjectTruth>& truth,
+    double iou_threshold = 0.2);
+
+}  // namespace bb::core

@@ -1,0 +1,197 @@
+#include "core/attacks/location.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/transform.h"
+
+namespace bb::core {
+
+using imaging::Bitmap;
+using imaging::Hsv;
+using imaging::Image;
+
+namespace {
+
+struct Sample {
+  int x, y;
+  Hsv hsv;
+};
+
+// Covered, sampled pixels of one (possibly rotated) reconstruction.
+std::vector<Sample> CollectSamples(const Image& recon, const Bitmap& coverage,
+                                   int stride) {
+  std::vector<Sample> out;
+  for (int y = 0; y < recon.height(); y += stride) {
+    for (int x = 0; x < recon.width(); x += stride) {
+      if (!coverage(x, y)) continue;
+      out.push_back({x, y, imaging::RgbToHsv(recon(x, y))});
+    }
+  }
+  return out;
+}
+
+bool PixelsMatch(const Hsv& a, const Hsv& b, const LocationMatchOptions& o) {
+  const bool a_gray = a.s < o.min_saturation;
+  const bool b_gray = b.s < o.min_saturation;
+  if (a_gray != b_gray) return false;
+  if (a_gray) return std::fabs(a.v - b.v) <= o.value_tolerance;
+  return imaging::HueDistance(a.h, b.h) <= o.hue_tolerance;
+}
+
+double ScoreAgainstGrid(const std::vector<Sample>& samples,
+                        const imaging::ImageT<Hsv>& candidate_hsv,
+                        const LocationMatchOptions& opts) {
+  double best = 0.0;
+  for (int dy = -opts.max_shift; dy <= opts.max_shift; dy += opts.shift_step) {
+    for (int dx = -opts.max_shift; dx <= opts.max_shift;
+         dx += opts.shift_step) {
+      int matched = 0, compared = 0;
+      for (const Sample& s : samples) {
+        const int cx = s.x + dx, cy = s.y + dy;
+        if (!candidate_hsv.InBounds(cx, cy)) continue;
+        ++compared;
+        matched += PixelsMatch(s.hsv, candidate_hsv(cx, cy), opts);
+      }
+      if (compared > 0) {
+        best = std::max(best,
+                        static_cast<double>(matched) /
+                            static_cast<double>(compared));
+      }
+    }
+  }
+  return best;
+}
+
+imaging::ImageT<Hsv> ToHsvGrid(const Image& img) {
+  imaging::ImageT<Hsv> out(img.width(), img.height());
+  auto pi = img.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < pi.size(); ++i) po[i] = imaging::RgbToHsv(pi[i]);
+  return out;
+}
+
+}  // namespace
+
+double LocationMatchScore(const Image& reconstruction,
+                          const Bitmap& coverage, const Image& candidate,
+                          const LocationMatchOptions& opts) {
+  imaging::RequireSameShape(reconstruction, coverage, "LocationMatchScore");
+  if (imaging::SetFraction(coverage) < opts.min_coverage) return 0.0;
+  const auto candidate_hsv = ToHsvGrid(candidate);
+  double best = 0.0;
+  for (double rot : opts.rotations) {
+    const Image r = rot == 0.0 ? reconstruction
+                               : imaging::Rotate(reconstruction, rot);
+    const Bitmap c = rot == 0.0 ? coverage : imaging::Rotate(coverage, rot);
+    const auto samples =
+        CollectSamples(r, c, std::max(1, opts.pixel_stride));
+    best = std::max(best, ScoreAgainstGrid(samples, candidate_hsv, opts));
+  }
+  return best;
+}
+
+std::vector<RankedCandidate> RankLocations(
+    const Image& reconstruction, const Bitmap& coverage,
+    std::span<const Image> dictionary, const LocationMatchOptions& opts) {
+  imaging::RequireSameShape(reconstruction, coverage, "RankLocations");
+
+  // Precompute per-rotation sample lists once; reuse for every candidate.
+  std::vector<std::vector<Sample>> rotated_samples;
+  const bool enough_coverage =
+      imaging::SetFraction(coverage) >= opts.min_coverage;
+  if (enough_coverage) {
+    for (double rot : opts.rotations) {
+      const Image r = rot == 0.0 ? reconstruction
+                                 : imaging::Rotate(reconstruction, rot);
+      const Bitmap c = rot == 0.0 ? coverage : imaging::Rotate(coverage, rot);
+      rotated_samples.push_back(
+          CollectSamples(r, c, std::max(1, opts.pixel_stride)));
+    }
+  }
+
+  std::vector<RankedCandidate> ranking;
+  ranking.reserve(dictionary.size());
+  for (int d = 0; d < static_cast<int>(dictionary.size()); ++d) {
+    double score = 0.0;
+    if (enough_coverage) {
+      const auto grid = ToHsvGrid(dictionary[static_cast<std::size_t>(d)]);
+      for (const auto& samples : rotated_samples) {
+        score = std::max(score, ScoreAgainstGrid(samples, grid, opts));
+      }
+    }
+    ranking.push_back({d, score});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const RankedCandidate& a, const RankedCandidate& b) {
+                     return a.score > b.score;
+                   });
+  return ranking;
+}
+
+int RankOf(const std::vector<RankedCandidate>& ranking, int true_index) {
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].index == true_index) return static_cast<int>(i) + 1;
+  }
+  return static_cast<int>(ranking.size()) + 1;
+}
+
+double RandomBaselineTopK(int k, int dictionary_size) {
+  if (dictionary_size <= 0) return 0.0;
+  return std::min(1.0, static_cast<double>(k) /
+                           static_cast<double>(dictionary_size));
+}
+
+CrossCallMatch MatchReconstructions(const Image& recon_a,
+                                    const Bitmap& coverage_a,
+                                    const Image& recon_b,
+                                    const Bitmap& coverage_b,
+                                    const LocationMatchOptions& opts) {
+  imaging::RequireSameShape(recon_a, coverage_a, "MatchReconstructions");
+  imaging::RequireSameShape(recon_b, coverage_b, "MatchReconstructions");
+  imaging::RequireSameShape(recon_a, recon_b, "MatchReconstructions");
+
+  CrossCallMatch out;
+  out.overlap =
+      imaging::SetFraction(imaging::And(coverage_a, coverage_b));
+  if (out.overlap < opts.min_coverage) return out;
+
+  // Precompute B's HSV once; only pixels covered in B count as candidates.
+  imaging::ImageT<Hsv> b_hsv(recon_b.width(), recon_b.height());
+  {
+    auto pi = recon_b.pixels();
+    auto po = b_hsv.pixels();
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      po[i] = imaging::RgbToHsv(pi[i]);
+    }
+  }
+
+  for (double rot : opts.rotations) {
+    const Image a_img =
+        rot == 0.0 ? recon_a : imaging::Rotate(recon_a, rot);
+    const Bitmap a_cov =
+        rot == 0.0 ? coverage_a : imaging::Rotate(coverage_a, rot);
+    const auto samples =
+        CollectSamples(a_img, a_cov, std::max(1, opts.pixel_stride));
+    for (int dy = -opts.max_shift; dy <= opts.max_shift;
+         dy += opts.shift_step) {
+      for (int dx = -opts.max_shift; dx <= opts.max_shift;
+           dx += opts.shift_step) {
+        int matched = 0, compared = 0;
+        for (const Sample& s : samples) {
+          const int bx = s.x + dx, by = s.y + dy;
+          if (!coverage_b.InBounds(bx, by) || !coverage_b(bx, by)) continue;
+          ++compared;
+          matched += PixelsMatch(s.hsv, b_hsv(bx, by), opts);
+        }
+        if (compared > 8) {
+          out.score = std::max(out.score, static_cast<double>(matched) /
+                                              static_cast<double>(compared));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bb::core

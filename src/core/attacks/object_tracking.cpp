@@ -1,0 +1,28 @@
+#include "core/attacks/object_tracking.h"
+
+namespace bb::core {
+
+ObjectTrackingResult TrackObject(const ReconstructionResult& reconstruction,
+                                 const imaging::Image& object_template,
+                                 const detect::TemplateMatchOptions& opts) {
+  const auto match =
+      detect::MatchTemplate(reconstruction.background,
+                            reconstruction.coverage, object_template, opts);
+  return {match.found, match.score, match.window};
+}
+
+TrackingAccuracy EvaluateTracking(const std::vector<TrackingTrial>& trials,
+                                  const detect::TemplateMatchOptions& opts) {
+  TrackingAccuracy acc;
+  for (const TrackingTrial& t : trials) {
+    const auto r = TrackObject(*t.reconstruction, t.object_template, opts);
+    if (t.truly_present) {
+      r.present ? ++acc.true_positives : ++acc.false_negatives;
+    } else {
+      r.present ? ++acc.false_positives : ++acc.true_negatives;
+    }
+  }
+  return acc;
+}
+
+}  // namespace bb::core

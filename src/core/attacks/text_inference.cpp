@@ -1,0 +1,35 @@
+#include "core/attacks/text_inference.h"
+
+#include <algorithm>
+
+namespace bb::core {
+
+std::vector<detect::TextDetection> InferText(
+    const ReconstructionResult& reconstruction,
+    const detect::OcrOptions& opts) {
+  return detect::DetectText(reconstruction.background,
+                            reconstruction.coverage, opts);
+}
+
+TextInferenceScore ScoreText(
+    const std::vector<detect::TextDetection>& detections,
+    const std::vector<synth::SceneObjectTruth>& truth,
+    double accuracy_threshold) {
+  TextInferenceScore score;
+  for (const auto& obj : truth) {
+    if (obj.text.empty()) continue;
+    ++score.text_objects;
+    double best = 0.0;
+    for (const auto& det : detections) {
+      // Only credit detections anchored near the object.
+      if (imaging::RectIou(det.region, obj.rect) < 0.1) continue;
+      best = std::max(best,
+                      detect::CharacterAccuracy(obj.text, det.result.text));
+    }
+    score.best_accuracy = std::max(score.best_accuracy, best);
+    if (best >= accuracy_threshold) ++score.texts_found;
+  }
+  return score;
+}
+
+}  // namespace bb::core

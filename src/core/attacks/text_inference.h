@@ -1,0 +1,34 @@
+// Text inference attack (paper sec. VI).
+//
+// Detects and recognizes text in the reconstructed background (TextFuseNet
+// in the paper; the glyph-correlation OCR of detect/ocr.h here) and scores
+// it against the scene's ground-truth strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/reconstruction.h"
+#include "detect/ocr.h"
+#include "synth/scene.h"
+
+namespace bb::core {
+
+// Runs text detection + recognition over the reconstruction.
+std::vector<detect::TextDetection> InferText(
+    const ReconstructionResult& reconstruction,
+    const detect::OcrOptions& opts = {});
+
+struct TextInferenceScore {
+  int text_objects = 0;       // GT objects carrying text
+  int texts_found = 0;        // GT strings matched by some detection with
+                              // char accuracy >= accuracy_threshold
+  double best_accuracy = 0.0; // best char accuracy over all pairs
+};
+
+TextInferenceScore ScoreText(
+    const std::vector<detect::TextDetection>& detections,
+    const std::vector<synth::SceneObjectTruth>& truth,
+    double accuracy_threshold = 0.6);
+
+}  // namespace bb::core

@@ -1,0 +1,51 @@
+#include "core/blur_masking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/morphology.h"
+
+namespace bb::core {
+
+imaging::Bitmap ComputeBbm(const imaging::Bitmap& vbm, double phi) {
+  return imaging::DilateDisc(vbm, phi);
+}
+
+double CalibratePhi(const imaging::Image& probe_output,
+                    const imaging::Image& virtual_image,
+                    const imaging::Image& raw_frame, int tolerance) {
+  imaging::RequireSameShape(probe_output, virtual_image, "CalibratePhi");
+  imaging::RequireSameShape(probe_output, raw_frame, "CalibratePhi");
+
+  // VB-matching region of the probe.
+  imaging::Bitmap vb_region(probe_output.width(), probe_output.height());
+  for (int y = 0; y < probe_output.height(); ++y) {
+    for (int x = 0; x < probe_output.width(); ++x) {
+      if (imaging::NearlyEqual(probe_output(x, y), virtual_image(x, y),
+                               tolerance)) {
+        vb_region(x, y) = imaging::kMaskSet;
+      }
+    }
+  }
+  if (imaging::CountSet(vb_region) == 0) return 0.0;
+
+  const imaging::FloatImage dist = imaging::SquaredDistanceToSet(vb_region);
+  double max_blur_dist = 0.0;
+  for (int y = 0; y < probe_output.height(); ++y) {
+    for (int x = 0; x < probe_output.width(); ++x) {
+      if (vb_region(x, y)) continue;
+      const bool is_vb = imaging::NearlyEqual(probe_output(x, y),
+                                              virtual_image(x, y), tolerance);
+      const bool is_scene = imaging::NearlyEqual(probe_output(x, y),
+                                                 raw_frame(x, y), tolerance);
+      if (!is_vb && !is_scene) {
+        max_blur_dist = std::max(
+            max_blur_dist, static_cast<double>(std::sqrt(dist(x, y))));
+      }
+    }
+  }
+  return max_blur_dist;
+}
+
+}  // namespace bb::core

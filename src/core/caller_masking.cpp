@@ -1,0 +1,68 @@
+#include "core/caller_masking.h"
+
+#include <stdexcept>
+
+#include "imaging/color.h"
+#include "imaging/morphology.h"
+
+namespace bb::core {
+
+using imaging::Bitmap;
+
+CallerMasker::CallerMasker(segmentation::PersonSegmenter& segmenter,
+                           const CallerMaskingOptions& opts)
+    : segmenter_(segmenter),
+      opts_(opts),
+      color_counts_(imaging::kColorBucketCount, 0) {}
+
+void CallerMasker::Prepare(const video::VideoStream& call) {
+  raw_masks_.clear();
+  std::fill(color_counts_.begin(), color_counts_.end(), 0);
+  color_total_ = 0;
+
+  for (int i = 0; i < call.frame_count(); ++i) {
+    Bitmap mask = segmenter_.Segment(call, i);
+    auto pf = call.frame(i).pixels();
+    auto pm = mask.pixels();
+    for (std::size_t k = 0; k < pm.size(); ++k) {
+      if (!pm[k]) continue;
+      ++color_counts_[static_cast<std::size_t>(imaging::ColorBucket(pf[k]))];
+      ++color_total_;
+    }
+    raw_masks_.push_back(std::move(mask));
+  }
+  prepared_ = true;
+}
+
+const Bitmap& CallerMasker::RawSegmenterMask(int frame_index) const {
+  if (!prepared_) throw std::logic_error("CallerMasker: not prepared");
+  return raw_masks_.at(static_cast<std::size_t>(frame_index));
+}
+
+Bitmap CallerMasker::Vcm(const video::VideoStream& call,
+                         int frame_index) const {
+  if (!prepared_) throw std::logic_error("CallerMasker: not prepared");
+  const Bitmap& raw = raw_masks_.at(static_cast<std::size_t>(frame_index));
+  Bitmap vcm = raw;
+  if (color_total_ == 0 || opts_.rare_color_frequency <= 0.0) return vcm;
+
+  // Only the uncertain boundary band is eligible for flipping.
+  const Bitmap core = imaging::ErodeDisc(raw, opts_.protect_core_px);
+
+  const auto& frame = call.frame(frame_index);
+  const double threshold =
+      opts_.rare_color_frequency * static_cast<double>(color_total_);
+  for (int y = 0; y < vcm.height(); ++y) {
+    for (int x = 0; x < vcm.width(); ++x) {
+      if (!vcm(x, y) || core(x, y)) continue;
+      const auto count = color_counts_[static_cast<std::size_t>(
+          imaging::ColorBucket(frame(x, y)))];
+      if (static_cast<double>(count) < threshold) {
+        vcm(x, y) = imaging::kMaskClear;
+      }
+    }
+  }
+  return vcm;
+}
+
+}  // namespace bb::core

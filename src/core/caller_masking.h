@@ -1,0 +1,58 @@
+// Video caller masking (paper sec. V-D).
+//
+// VCM = person segmentation (DeepLabv3 in the paper; a PersonSegmenter
+// substitute here) refined by a statistical color-frequency correction:
+// colors that appear with very low frequency inside the caller region
+// across the whole call are presumed to be leaked background mistakenly
+// kept by the segmenter, and those pixels are flipped out of the VCM.
+// The paper's rationale: a leaked background pixel keeps the same color
+// whenever it leaks, while true caller-boundary pixels vary as the caller
+// moves - so leak colors are rare *within* the caller region but
+// persistent, and statistically contrast with the caller's palette.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "imaging/image.h"
+#include "segmentation/segmenter.h"
+#include "video/video.h"
+
+namespace bb::core {
+
+struct CallerMaskingOptions {
+  // A color bucket whose relative frequency inside the segmented caller
+  // region (over the whole call) is below this is treated as leaked
+  // background.
+  double rare_color_frequency = 0.0025;
+  // Never flip pixels deeper than this inside the segmenter mask; the
+  // correction targets the uncertain boundary band.
+  double protect_core_px = 4.0;
+};
+
+class CallerMasker {
+ public:
+  // The segmenter is shared, not owned; it must outlive the masker.
+  CallerMasker(segmentation::PersonSegmenter& segmenter,
+               const CallerMaskingOptions& opts = {});
+
+  // Precomputes segmenter masks and the color-frequency statistics for the
+  // call. Must be called before Vcm().
+  void Prepare(const video::VideoStream& call);
+
+  // Refined video-caller mask for frame i.
+  imaging::Bitmap Vcm(const video::VideoStream& call, int frame_index) const;
+
+  // Raw (unrefined) segmenter output for frame i (for ablations).
+  const imaging::Bitmap& RawSegmenterMask(int frame_index) const;
+
+ private:
+  segmentation::PersonSegmenter& segmenter_;
+  CallerMaskingOptions opts_;
+  std::vector<imaging::Bitmap> raw_masks_;
+  std::vector<std::uint64_t> color_counts_;
+  std::uint64_t color_total_ = 0;
+  bool prepared_ = false;
+};
+
+}  // namespace bb::core

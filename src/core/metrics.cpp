@@ -1,0 +1,86 @@
+#include "core/metrics.h"
+
+#include <stdexcept>
+
+#include "imaging/color.h"
+
+namespace bb::core {
+
+double Vbmr(const FrameDecomposition& decomp,
+            const imaging::Bitmap& true_vb_region) {
+  imaging::RequireSameShape(decomp.bbm, true_vb_region, "Vbmr");
+  // "Masked after applying blending blur" (paper sec. VIII-A): only the
+  // VBM/BBM stages count (BBM is a superset of VBM); the caller mask is a
+  // separate stage.
+  std::size_t vb_total = 0, vb_masked = 0;
+  auto pt = true_vb_region.pixels();
+  auto pb = decomp.bbm.pixels();
+  for (std::size_t i = 0; i < pt.size(); ++i) {
+    if (!pt[i]) continue;
+    ++vb_total;
+    vb_masked += (pb[i] != 0);
+  }
+  if (vb_total == 0) return 1.0;
+  return static_cast<double>(vb_masked) / static_cast<double>(vb_total);
+}
+
+double MeanVbmr(const std::vector<FrameDecomposition>& decomps,
+                const std::vector<imaging::Bitmap>& true_vb_regions) {
+  if (decomps.size() != true_vb_regions.size()) {
+    throw std::invalid_argument("MeanVbmr: size mismatch");
+  }
+  if (decomps.empty()) return 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < decomps.size(); ++i) {
+    sum += Vbmr(decomps[i], true_vb_regions[i]);
+  }
+  return sum / static_cast<double>(decomps.size());
+}
+
+RbrrResult Rbrr(const ReconstructionResult& rec,
+                const imaging::Image& true_background,
+                const RbrrOptions& opts) {
+  imaging::RequireSameShape(rec.coverage, true_background, "Rbrr");
+  RbrrResult out;
+  const std::size_t total = rec.coverage.pixel_count();
+  if (total == 0) return out;
+  std::size_t claimed = 0, verified = 0;
+  auto pc = rec.coverage.pixels();
+  auto pb = rec.background.pixels();
+  auto pt = true_background.pixels();
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    if (!pc[i]) continue;
+    ++claimed;
+    verified += imaging::NearlyEqual(pb[i], pt[i], opts.verify_tolerance);
+  }
+  out.claimed = static_cast<double>(claimed) / static_cast<double>(total);
+  out.verified = static_cast<double>(verified) / static_cast<double>(total);
+  out.precision = claimed > 0 ? static_cast<double>(verified) /
+                                    static_cast<double>(claimed)
+                              : 1.0;
+  return out;
+}
+
+double ActionSpeedSeconds(int event_frames, double fps) {
+  if (fps <= 0.0) throw std::invalid_argument("ActionSpeedSeconds: fps <= 0");
+  return static_cast<double>(event_frames) / fps;
+}
+
+double Displacement(const video::VideoStream& raw_segment,
+                    int channel_tolerance) {
+  if (raw_segment.frame_count() < 2) return 0.0;
+  imaging::Bitmap changed(raw_segment.width(), raw_segment.height());
+  for (int i = 1; i < raw_segment.frame_count(); ++i) {
+    auto pa = raw_segment.frame(i - 1).pixels();
+    auto pb = raw_segment.frame(i).pixels();
+    auto pch = changed.pixels();
+    for (std::size_t k = 0; k < pch.size(); ++k) {
+      if (!imaging::NearlyEqual(pa[k], pb[k], channel_tolerance)) {
+        pch[k] = imaging::kMaskSet;
+      }
+    }
+  }
+  return imaging::SetFraction(changed);
+}
+
+}  // namespace bb::core

@@ -1,0 +1,68 @@
+// Performance metrics (paper sec. VIII-A).
+//
+//   VBMR - Virtual Background Masking Rate: percentage of the (ground-
+//          truth) virtual-background pixels of a frame that the framework
+//          masked after the blending-blur stage. 100% means no VB pixel can
+//          be mistaken for leaked background.
+//   RBRR - Reconstructed Background Recovery Rate: percentage of the
+//          original frame recovered by the reconstruction. The paper counts
+//          pixels of the original (pre-VB) video leaked in >= 1 frame over
+//          the frame resolution. Two variants are exposed:
+//            verified - a recovered pixel must actually match the true
+//                       background (used for sec. VIII-C results);
+//            claimed  - raw recovered coverage (what the attacker believes;
+//                       the mitigation analysis in sec. IX-A uses this,
+//                       where recovery is polluted by VB pixels).
+//   Action Speed  - duration of one action event, seconds.
+//   Displacement  - percentage of unique pixel changes across the frames of
+//                   an action event.
+#pragma once
+
+#include <vector>
+
+#include "core/reconstruction.h"
+#include "imaging/image.h"
+#include "video/video.h"
+
+namespace bb::core {
+
+struct VbmrOptions {
+  int tolerance = 10;  // pixel-compare tolerance for ground-truth VB region
+};
+
+// VBMR for one frame. `true_vb_region` is ground truth from the compositor:
+// pixels whose output value is (essentially) pure virtual background.
+double Vbmr(const FrameDecomposition& decomp,
+            const imaging::Bitmap& true_vb_region);
+
+// Mean VBMR over a whole call.
+double MeanVbmr(const std::vector<FrameDecomposition>& decomps,
+                const std::vector<imaging::Bitmap>& true_vb_regions);
+
+struct RbrrOptions {
+  // A recovered pixel is "verified" when its reconstructed color is within
+  // this per-channel tolerance of the true background.
+  int verify_tolerance = 26;
+};
+
+struct RbrrResult {
+  double verified = 0.0;  // fraction of frame verified-recovered
+  double claimed = 0.0;   // fraction of frame covered by the reconstruction
+  // Precision of the reconstruction: verified / claimed (1.0 if nothing
+  // claimed).
+  double precision = 1.0;
+};
+
+RbrrResult Rbrr(const ReconstructionResult& rec,
+                const imaging::Image& true_background,
+                const RbrrOptions& opts = {});
+
+// Action Speed: seconds from the start to the end of one action event.
+double ActionSpeedSeconds(int event_frames, double fps);
+
+// Displacement: percentage (0..1) of pixels that changed in at least one
+// frame-to-frame transition of the raw (pre-VB) video segment.
+double Displacement(const video::VideoStream& raw_segment,
+                    int channel_tolerance = 12);
+
+}  // namespace bb::core

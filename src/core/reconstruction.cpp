@@ -1,0 +1,117 @@
+#include "core/reconstruction.h"
+
+#include <algorithm>
+
+namespace bb::core {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+Reconstructor::Reconstructor(const VbReference& reference,
+                             segmentation::PersonSegmenter& segmenter,
+                             const ReconstructionOptions& opts)
+    : reference_(reference),
+      caller_masker_(segmenter, opts.caller),
+      opts_(opts) {}
+
+void Reconstructor::PrepareCaller(const video::VideoStream& call) {
+  caller_masker_.Prepare(call);
+  caller_prepared_ = true;
+}
+
+FrameDecomposition Reconstructor::Decompose(const video::VideoStream& call,
+                                            int frame_index) const {
+  const Image& frame = call.frame(frame_index);
+  FrameDecomposition d;
+  d.vbm = ComputeVbm(frame,
+                     reference_.ImageFor(frame, frame_index, opts_.vb),
+                     reference_.ValidFor(frame, frame_index, opts_.vb),
+                     opts_.vb.match_tolerance);
+  d.bbm = ComputeBbm(d.vbm, opts_.phi);
+  d.vcm = caller_masker_.Vcm(call, frame_index);
+  // LB = residue after removing the three components.
+  d.lb = Bitmap(frame.width(), frame.height());
+  auto pb = d.bbm.pixels();
+  auto pc = d.vcm.pixels();
+  auto pl = d.lb.pixels();
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
+  }
+  return d;
+}
+
+ReconstructionResult Reconstructor::Run(const video::VideoStream& call) {
+  PrepareCaller(call);
+
+  const int w = call.width(), h = call.height();
+  ReconstructionResult result;
+  result.coverage = Bitmap(w, h);
+  result.leak_counts = imaging::ImageT<int>(w, h, 0);
+  result.background = Image(w, h);
+
+  std::vector<double> sum_r(static_cast<std::size_t>(w) * h, 0.0);
+  std::vector<double> sum_g(sum_r.size(), 0.0);
+  std::vector<double> sum_b(sum_r.size(), 0.0);
+  std::vector<double> sum_r2(sum_r.size(), 0.0);
+  std::vector<double> sum_g2(sum_r.size(), 0.0);
+  std::vector<double> sum_b2(sum_r.size(), 0.0);
+
+  for (int i = 0; i < call.frame_count(); ++i) {
+    FrameDecomposition d = Decompose(call, i);
+    const Image& frame = call.frame(i);
+    auto pf = frame.pixels();
+    auto pl = d.lb.pixels();
+    auto pcov = result.coverage.pixels();
+    auto pcnt = result.leak_counts.pixels();
+    std::size_t leaked = 0;
+    for (std::size_t k = 0; k < pl.size(); ++k) {
+      if (!pl[k]) continue;
+      ++leaked;
+      pcov[k] = imaging::kMaskSet;
+      ++pcnt[k];
+      sum_r[k] += pf[k].r;
+      sum_g[k] += pf[k].g;
+      sum_b[k] += pf[k].b;
+      sum_r2[k] += static_cast<double>(pf[k].r) * pf[k].r;
+      sum_g2[k] += static_cast<double>(pf[k].g) * pf[k].g;
+      sum_b2[k] += static_cast<double>(pf[k].b) * pf[k].b;
+    }
+    result.per_frame_leak_fraction.push_back(
+        static_cast<double>(leaked) / static_cast<double>(pl.size()));
+    if (opts_.keep_frame_masks) result.frame_masks.push_back(std::move(d));
+  }
+
+  auto pbg = result.background.pixels();
+  auto pcnt = result.leak_counts.pixels();
+  auto pcov = result.coverage.pixels();
+  const double max_var = opts_.max_color_spread * opts_.max_color_spread;
+  for (std::size_t k = 0; k < pbg.size(); ++k) {
+    if (pcnt[k] == 0) continue;
+    if (pcnt[k] < opts_.min_leak_count) {
+      pcov[k] = imaging::kMaskClear;
+      pcnt[k] = 0;
+      continue;
+    }
+    const double inv = 1.0 / pcnt[k];
+    const double mr = sum_r[k] * inv, mg = sum_g[k] * inv,
+                 mb = sum_b[k] * inv;
+    if (opts_.max_color_spread > 0.0 && pcnt[k] > 1) {
+      const double var = std::max({sum_r2[k] * inv - mr * mr,
+                                   sum_g2[k] * inv - mg * mg,
+                                   sum_b2[k] * inv - mb * mb});
+      if (var > max_var) {
+        // Unstable color across observations: caller boundary, not leaked
+        // background (paper sec. V-D Color Analysis).
+        pcov[k] = imaging::kMaskClear;
+        pcnt[k] = 0;
+        continue;
+      }
+    }
+    pbg[k] = {static_cast<std::uint8_t>(mr + 0.5),
+              static_cast<std::uint8_t>(mg + 0.5),
+              static_cast<std::uint8_t>(mb + 0.5)};
+  }
+  return result;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,292 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+
+#include "imaging/color.h"
+#include "imaging/transform.h"
+#include "synth/rng.h"
+
+namespace bb::datasets {
+
+using synth::ActionKind;
+using synth::ActionParams;
+using synth::CallerSpec;
+using synth::Lighting;
+using synth::RawRecording;
+using synth::SceneSpec;
+using synth::SpeedClass;
+
+namespace {
+
+std::uint64_t CaseSeed(int participant, int variant) {
+  return 0xB0B5ull * 1000003ull + static_cast<std::uint64_t>(participant) * 7919ull +
+         static_cast<std::uint64_t>(variant) * 104729ull;
+}
+
+SceneSpec SceneForSeed(std::uint64_t seed, const SimScale& scale,
+                       bool ensure_sticky_note = false) {
+  synth::Rng rng(seed);
+  synth::RandomSceneOptions opts;
+  opts.width = scale.width;
+  opts.height = scale.height;
+  opts.ensure_sticky_note = ensure_sticky_note;
+  return synth::RandomScene(rng, opts);
+}
+
+ActionParams MakeAction(ActionKind kind, SpeedClass speed) {
+  ActionParams a;
+  a.kind = kind;
+  a.speed = synth::SpeedMultiplier(speed);
+  return a;
+}
+
+}  // namespace
+
+CallerSpec Participant(int id) {
+  CallerSpec spec;
+  switch (((id % kParticipantCount) + kParticipantCount) %
+          kParticipantCount) {
+    case 0:
+      spec.skin = {224, 172, 136};
+      spec.apparel = {70, 90, 150};   // navy shirt
+      spec.scale = 0.9;
+      break;
+    case 1:
+      spec.skin = {188, 132, 100};
+      spec.apparel = {150, 45, 45};   // red shirt
+      spec.scale = 0.82;
+      break;
+    case 2:
+      spec.skin = {120, 84, 60};
+      spec.apparel = {50, 120, 70};   // green shirt
+      spec.scale = 0.97;
+      break;
+    case 3:
+      spec.skin = {240, 196, 165};
+      spec.apparel = {60, 60, 70};    // dark shirt...
+      spec.striped_apparel = true;    // ...with light stripes
+      spec.scale = 0.88;
+      break;
+    case 4:
+      spec.skin = {206, 150, 120};
+      spec.apparel = {180, 140, 40};  // mustard shirt
+      spec.scale = 0.93;
+      break;
+  }
+  return spec;
+}
+
+std::vector<E1Case> E1Matrix(const SimScale& scale) {
+  std::vector<E1Case> cases;
+  const double dur = 12.0 * scale.duration_factor;
+
+  auto add = [&](int participant, ActionKind action, SpeedClass speed,
+                 Lighting lighting, synth::Accessory accessory,
+                 bool apparel_like_bg, int scene_variant,
+                 const std::string& label) {
+    E1Case c;
+    c.participant = participant;
+    c.action = action;
+    c.speed = speed;
+    c.lighting = lighting;
+    c.accessory = accessory;
+    c.apparel_like_background = apparel_like_bg;
+    c.scene_seed = CaseSeed(participant, scene_variant);
+    c.duration_s = dur;
+    c.label = label;
+    cases.push_back(std::move(c));
+  };
+
+  // Baseline: every participant x every action, lights on. (50)
+  for (int p = 0; p < kParticipantCount; ++p) {
+    int variant = 0;
+    for (ActionKind a : synth::kAllActions) {
+      add(p, a, SpeedClass::kAverage, Lighting::kOn,
+          synth::Accessory::kNone, false, variant++, "baseline");
+    }
+  }
+  // Lighting repeat: same setups with background lights off. (50)
+  for (int p = 0; p < kParticipantCount; ++p) {
+    int variant = 0;
+    for (ActionKind a : synth::kAllActions) {
+      add(p, a, SpeedClass::kAverage, Lighting::kOff,
+          synth::Accessory::kNone, false, variant++, "lights_off");
+    }
+  }
+  // Speed variants: arm wave + clap at slow and fast. (20)
+  for (int p = 0; p < kParticipantCount; ++p) {
+    for (ActionKind a : {ActionKind::kArmWave, ActionKind::kClap}) {
+      for (SpeedClass s : {SpeedClass::kSlow, SpeedClass::kFast}) {
+        add(p, a, s, Lighting::kOn, synth::Accessory::kNone, false,
+            a == ActionKind::kArmWave ? 3 : 5, "speed");
+      }
+    }
+  }
+  // Accessories: three combos for a gesture-heavy and a calm action. (30)
+  for (int p = 0; p < kParticipantCount; ++p) {
+    for (synth::Accessory acc :
+         {synth::Accessory::kHat, synth::Accessory::kHeadphones,
+          synth::Accessory::kHatAndHeadphones}) {
+      add(p, ActionKind::kArmWave, SpeedClass::kAverage, Lighting::kOn, acc,
+          false, 3, "accessory");
+      add(p, ActionKind::kDrink, SpeedClass::kAverage, Lighting::kOn, acc,
+          false, 8, "accessory");
+    }
+  }
+  // Apparel similar to the background. (10)
+  for (int p = 0; p < kParticipantCount; ++p) {
+    add(p, ActionKind::kArmWave, SpeedClass::kAverage, Lighting::kOn,
+        synth::Accessory::kNone, true, 3, "apparel");
+    add(p, ActionKind::kRotate, SpeedClass::kAverage, Lighting::kOn,
+        synth::Accessory::kNone, true, 4, "apparel");
+  }
+  // Top up to the paper's 163 with extra fresh-background baselines. (3)
+  for (int i = 0; static_cast<int>(cases.size()) < 163; ++i) {
+    add(i % kParticipantCount, ActionKind::kArmWave, SpeedClass::kAverage,
+        Lighting::kOn, synth::Accessory::kNone, false, 40 + i, "extra");
+  }
+  return cases;
+}
+
+RawRecording RecordE1(const E1Case& c, const SimScale& scale) {
+  synth::RecordingSpec spec;
+  spec.scene = SceneForSeed(c.scene_seed, scale);
+  spec.caller = Participant(c.participant);
+  spec.caller.accessory = c.accessory;
+  if (c.apparel_like_background) {
+    // Recolor the shirt to sit near the wall color (slightly darker so the
+    // figure is still visible, as a real matching outfit would be).
+    spec.caller.apparel = imaging::Scaled(spec.scene.wall_color, 0.9f);
+    spec.caller.striped_apparel = false;
+  }
+  spec.action = MakeAction(c.action, c.speed);
+  spec.camera = synth::WebcamCamera(c.lighting);
+  spec.fps = scale.fps;
+  spec.duration_s = c.duration_s;
+  spec.seed = c.scene_seed ^ 0xE1ull;
+  return synth::RecordCall(spec);
+}
+
+const char* ToString(E2Mode m) {
+  return m == E2Mode::kPassive ? "passive" : "active";
+}
+
+std::vector<E2Case> E2Matrix(const SimScale& scale) {
+  std::vector<E2Case> cases;
+  const double dur = 40.0 * scale.duration_factor;
+  for (int p = 0; p < kParticipantCount; ++p) {
+    for (int k = 0; k < 4; ++k) {
+      cases.push_back({p, E2Mode::kPassive,
+                       CaseSeed(p, 100 + k), dur});
+    }
+    cases.push_back({p, E2Mode::kActive, CaseSeed(p, 104), dur});
+  }
+  return cases;
+}
+
+RawRecording RecordE2(const E2Case& c, const SimScale& scale) {
+  synth::ScriptedRecordingSpec spec;
+  spec.scene = SceneForSeed(c.scene_seed, scale);
+  spec.caller = Participant(c.participant);
+  spec.camera = synth::WebcamCamera(Lighting::kOn);
+  spec.fps = scale.fps;
+  spec.seed = c.scene_seed ^ 0xE2ull;
+
+  const double seg = std::max(2.0, c.duration_s / 10.0);
+  if (c.mode == E2Mode::kPassive) {
+    // Watching content: long stillness, the odd lean/sip.
+    spec.script = {
+        {MakeAction(ActionKind::kStill, SpeedClass::kAverage), seg * 3},
+        {MakeAction(ActionKind::kLeanForward, SpeedClass::kSlow), seg},
+        {MakeAction(ActionKind::kStill, SpeedClass::kAverage), seg * 3},
+        {MakeAction(ActionKind::kDrink, SpeedClass::kSlow), seg},
+        {MakeAction(ActionKind::kStill, SpeedClass::kAverage), seg * 2},
+    };
+  } else {
+    // Presenting: continuous gesturing.
+    spec.script = {
+        {MakeAction(ActionKind::kArmWave, SpeedClass::kAverage), seg * 2},
+        {MakeAction(ActionKind::kLeanForward, SpeedClass::kAverage), seg},
+        {MakeAction(ActionKind::kRotate, SpeedClass::kAverage), seg * 2},
+        {MakeAction(ActionKind::kType, SpeedClass::kAverage), seg},
+        {MakeAction(ActionKind::kStretch, SpeedClass::kAverage), seg},
+        {MakeAction(ActionKind::kArmWave, SpeedClass::kSlow), seg * 2},
+        {MakeAction(ActionKind::kDrink, SpeedClass::kAverage), seg},
+    };
+  }
+  return synth::RecordScriptedCall(spec);
+}
+
+std::vector<E3Case> E3Matrix(int count, const SimScale& scale) {
+  std::vector<E3Case> cases;
+  const double dur = 40.0 * scale.duration_factor;
+  for (int i = 0; i < count; ++i) {
+    cases.push_back({i, 0xE3000ull + static_cast<std::uint64_t>(i) * 31ull,
+                     dur});
+  }
+  return cases;
+}
+
+RawRecording RecordE3(const E3Case& c, const SimScale& scale) {
+  synth::ScriptedRecordingSpec spec;
+  // In-the-wild videos: richer sets (every tenth has a sticky note, like the
+  // single text hit across the paper's 50 videos), studio camera, active
+  // speaker.
+  spec.scene = SceneForSeed(c.scene_seed, scale,
+                            /*ensure_sticky_note=*/c.index % 10 == 0);
+  synth::Rng vary(c.scene_seed);
+  spec.caller = Participant(c.index % kParticipantCount);
+  spec.caller.scale *= vary.Uniform(0.9, 1.1);
+  spec.camera = synth::StudioCamera();
+  spec.fps = scale.fps;
+  spec.seed = c.scene_seed ^ 0xE3ull;
+
+  const double seg = std::max(2.0, c.duration_s / 8.0);
+  spec.script = {
+      {MakeAction(ActionKind::kRotate, SpeedClass::kAverage), seg * 2},
+      {MakeAction(ActionKind::kArmWave, SpeedClass::kAverage), seg},
+      {MakeAction(ActionKind::kLeanForward, SpeedClass::kAverage), seg},
+      {MakeAction(ActionKind::kStill, SpeedClass::kAverage), seg},
+      {MakeAction(ActionKind::kDrink, SpeedClass::kAverage), seg},
+      {MakeAction(ActionKind::kRotate, SpeedClass::kSlow), seg * 2},
+  };
+  return synth::RecordScriptedCall(spec);
+}
+
+std::vector<imaging::Image> BuildBackgroundDictionary(
+    std::vector<imaging::Image> ground_truth, int total_size,
+    std::uint64_t seed, const SimScale& scale, int confusers_per_truth) {
+  std::vector<imaging::Image> dict = std::move(ground_truth);
+  synth::Rng rng(seed);
+  const std::size_t truth_count = dict.size();
+
+  // Near-duplicates: mirrored and relit copies of the true rooms.
+  for (std::size_t i = 0;
+       i < truth_count && static_cast<int>(dict.size()) < total_size; ++i) {
+    for (int k = 0; k < confusers_per_truth &&
+                    static_cast<int>(dict.size()) < total_size;
+         ++k) {
+      imaging::Image variant = k % 2 == 0
+                                   ? imaging::FlipHorizontal(dict[i])
+                                   : dict[i];
+      const float gain = static_cast<float>(rng.Uniform(0.82, 1.18));
+      for (auto& p : variant.pixels()) p = imaging::Scaled(p, gain);
+      if (k >= 1) {
+        variant = imaging::Shift(variant, rng.UniformInt(-8, 8),
+                                 rng.UniformInt(-4, 4));
+      }
+      dict.push_back(std::move(variant));
+    }
+  }
+
+  while (static_cast<int>(dict.size()) < total_size) {
+    synth::RandomSceneOptions opts;
+    opts.width = scale.width;
+    opts.height = scale.height;
+    const SceneSpec spec = synth::RandomScene(rng, opts);
+    dict.push_back(synth::RenderScene(spec).background);
+  }
+  return dict;
+}
+
+}  // namespace bb::datasets

@@ -1,0 +1,105 @@
+// Synthetic analogues of the paper's three datasets (sec. VII).
+//
+//   E1 - 5 participants x 10 scripted actions under controlled variations
+//        of speed, lighting, accessories and apparel (163 short videos).
+//   E2 - 5 participants x 5 ten-minute calls: 4 passive (watching content,
+//        mostly still) + 1 active (presenting: continuous gesturing).
+//   E3 - 50 in-the-wild videos (vlogs/podcasts): studio cameras, good
+//        lighting, active speakers.
+//
+// Every builder is deterministic from its seed and scaled by SimScale
+// (resolution / fps / duration), since paper-scale 30 fps multi-minute
+// videos are unnecessary to reproduce the result shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "synth/recorder.h"
+
+namespace bb::datasets {
+
+struct SimScale {
+  int width = 192;
+  int height = 144;
+  double fps = 12.0;
+  // Duration multiplier applied to the nominal per-dataset durations.
+  double duration_factor = 1.0;
+};
+
+// The five recurring participants: distinct skin tones, apparel colors and
+// body scales; participant 3 wears a striped shirt (patterned clothing is
+// called out in the paper's color analysis).
+synth::CallerSpec Participant(int id);
+inline constexpr int kParticipantCount = 5;
+
+// ---- E1 -------------------------------------------------------------------
+
+struct E1Case {
+  int participant = 0;
+  synth::ActionKind action = synth::ActionKind::kStill;
+  synth::SpeedClass speed = synth::SpeedClass::kAverage;
+  synth::Lighting lighting = synth::Lighting::kOn;
+  synth::Accessory accessory = synth::Accessory::kNone;
+  // When true, the participant's apparel color is recolored toward the
+  // scene wall (the paper's "apparel similar to the background" variation).
+  bool apparel_like_background = false;
+  std::uint64_t scene_seed = 0;
+  double duration_s = 12.0;  // analog of the two-minute E1 videos
+  std::string label;
+};
+
+// The full E1 matrix (one video per combination actually exercised in the
+// paper's figures): 5 participants x 10 actions baseline, plus speed,
+// lighting, accessory and apparel variations. ~163 cases.
+std::vector<E1Case> E1Matrix(const SimScale& scale = {});
+
+// Renders one E1 case to a raw (pre-VB) recording.
+synth::RawRecording RecordE1(const E1Case& c, const SimScale& scale = {});
+
+// ---- E2 -------------------------------------------------------------------
+
+enum class E2Mode { kPassive, kActive };
+const char* ToString(E2Mode m);
+
+struct E2Case {
+  int participant = 0;
+  E2Mode mode = E2Mode::kPassive;
+  std::uint64_t scene_seed = 0;
+  double duration_s = 40.0;  // analog of the ten-minute E2 calls
+};
+
+// The 25-call E2 set: per participant, 4 passive + 1 active, each with a
+// different background.
+std::vector<E2Case> E2Matrix(const SimScale& scale = {});
+
+synth::RawRecording RecordE2(const E2Case& c, const SimScale& scale = {});
+
+// ---- E3 -------------------------------------------------------------------
+
+struct E3Case {
+  int index = 0;
+  std::uint64_t scene_seed = 0;
+  double duration_s = 40.0;
+};
+
+std::vector<E3Case> E3Matrix(int count = 50, const SimScale& scale = {});
+
+synth::RawRecording RecordE3(const E3Case& c, const SimScale& scale = {});
+
+// ---- Location dictionary ---------------------------------------------------
+
+// Builds the adversary's background dictionary: the given ground-truth
+// backgrounds, `confusers_per_truth` near-duplicates of each (mirrored /
+// relit copies - rooms with the same decor, as a real dictionary of one
+// household's or office's rooms would contain), plus random distractor
+// scenes up to `total_size` (the paper uses 200 unique backgrounds from
+// E1-E3). Ground-truth image i keeps dictionary index i.
+std::vector<imaging::Image> BuildBackgroundDictionary(
+    std::vector<imaging::Image> ground_truth, int total_size,
+    std::uint64_t seed, const SimScale& scale = {},
+    int confusers_per_truth = 2);
+
+}  // namespace bb::datasets

@@ -1,0 +1,255 @@
+#include "detect/generic.h"
+
+#include "detect/nms.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/connected_components.h"
+#include "imaging/morphology.h"
+
+namespace bb::detect {
+
+using imaging::Bitmap;
+using imaging::Hsv;
+using imaging::Image;
+using imaging::Rect;
+
+const char* ToString(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kBook: return "book";
+    case ObjectClass::kBookshelf: return "bookshelf";
+    case ObjectClass::kMonitor: return "monitor";
+    case ObjectClass::kTv: return "tv";
+    case ObjectClass::kClock: return "clock";
+    case ObjectClass::kStickyNote: return "sticky_note";
+    case ObjectClass::kPoster: return "poster";
+    case ObjectClass::kToy: return "toy";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct ComponentFeatures {
+  Rect bbox;
+  std::size_t area = 0;
+  double fill = 0.0;            // area / bbox area
+  double aspect = 1.0;          // h / w
+  double frame_fraction = 0.0;  // area / frame pixels
+  double recovered_in_bbox = 0.0;
+  int hue_modes = 0;            // hue-histogram bins holding >= 12% of pixels
+  int hue_bins_used = 0;        // bins holding >= 2% of colorful pixels
+  double dominant_hue = 0.0;
+  double mean_sat = 0.0;
+  double mean_val = 0.0;
+  double stripe_score = 0.0;     // column-to-column hue discontinuity
+  double interior_light = 0.0;   // fraction of central covered pixels that
+                                 // are bright & low-sat (clock face, screen)
+};
+
+ComponentFeatures ComputeFeatures(const Image& img, const Bitmap& coverage,
+                                  const imaging::ImageT<int>& labels,
+                                  const imaging::Component& comp) {
+  ComponentFeatures f;
+  f.bbox = comp.bbox;
+  f.area = comp.area;
+  f.fill = comp.bbox.Area() > 0
+               ? static_cast<double>(comp.area) /
+                     static_cast<double>(comp.bbox.Area())
+               : 0.0;
+  f.aspect = comp.bbox.w > 0
+                 ? static_cast<double>(comp.bbox.h) / comp.bbox.w
+                 : 1.0;
+  f.frame_fraction =
+      static_cast<double>(comp.area) / static_cast<double>(img.pixel_count());
+
+  std::array<int, 12> hue_hist{};
+  int colorful = 0;
+  double sat_sum = 0.0, val_sum = 0.0;
+  long long covered_in_bbox = 0;
+  int hue_jumps = 0, hue_pairs = 0;
+
+  for (int y = comp.bbox.y; y < comp.bbox.y2(); ++y) {
+    float prev_hue = -1.0f;
+    for (int x = comp.bbox.x; x < comp.bbox.x2(); ++x) {
+      if (coverage(x, y)) ++covered_in_bbox;
+      if (labels(x, y) != comp.label) {
+        prev_hue = -1.0f;
+        continue;
+      }
+      const Hsv h = imaging::RgbToHsv(img(x, y));
+      sat_sum += h.s;
+      val_sum += h.v;
+      if (h.s >= 0.3f) {
+        ++colorful;
+        int bin = static_cast<int>(h.h / 30.0f);
+        bin = std::clamp(bin, 0, 11);
+        ++hue_hist[static_cast<std::size_t>(bin)];
+        // Horizontal stripe signature: hue discontinuities between
+        // neighbouring colorful pixels in the same row (book spines).
+        if (prev_hue >= 0.0f) {
+          ++hue_pairs;
+          if (imaging::HueDistance(h.h, prev_hue) > 28.0f) ++hue_jumps;
+        }
+        prev_hue = h.h;
+      } else {
+        prev_hue = -1.0f;
+      }
+    }
+  }
+  f.mean_sat = sat_sum / std::max<std::size_t>(1, comp.area);
+  f.mean_val = val_sum / std::max<std::size_t>(1, comp.area);
+  f.recovered_in_bbox =
+      comp.bbox.Area() > 0
+          ? static_cast<double>(covered_in_bbox) /
+                static_cast<double>(comp.bbox.Area())
+          : 0.0;
+
+  int best_bin = 0;
+  for (int b = 0; b < 12; ++b) {
+    if (hue_hist[static_cast<std::size_t>(b)] >
+        hue_hist[static_cast<std::size_t>(best_bin)]) {
+      best_bin = b;
+    }
+    if (colorful > 0 &&
+        hue_hist[static_cast<std::size_t>(b)] >= 0.12 * colorful) {
+      ++f.hue_modes;
+    }
+    if (colorful > 0 &&
+        hue_hist[static_cast<std::size_t>(b)] >=
+            std::max(2.0, 0.02 * colorful)) {
+      ++f.hue_bins_used;
+    }
+  }
+  f.dominant_hue = best_bin * 30.0 + 15.0;
+
+  f.stripe_score =
+      hue_pairs > 0 ? static_cast<double>(hue_jumps) / hue_pairs : 0.0;
+
+  // Interior brightness: central third of the bbox.
+  const Rect inner{comp.bbox.x + comp.bbox.w / 3,
+                   comp.bbox.y + comp.bbox.h / 3,
+                   std::max(1, comp.bbox.w / 3),
+                   std::max(1, comp.bbox.h / 3)};
+  int light = 0, inner_n = 0;
+  for (int y = inner.y; y < inner.y2(); ++y) {
+    for (int x = inner.x; x < inner.x2(); ++x) {
+      if (!img.InBounds(x, y) || !coverage(x, y)) continue;
+      ++inner_n;
+      const Hsv h = imaging::RgbToHsv(img(x, y));
+      if (h.v > 0.6f && h.s < 0.35f) ++light;
+    }
+  }
+  f.interior_light = inner_n > 0 ? static_cast<double>(light) / inner_n : 0.0;
+  return f;
+}
+
+void ClassifyColorful(const ComponentFeatures& f,
+                      std::vector<Detection>& out) {
+  // Clock: ring (low fill), squarish, one hue mode, light interior.
+  if (f.fill < 0.75 && f.aspect > 0.6 && f.aspect < 1.6 &&
+      f.hue_modes <= 2 && f.interior_light > 0.3 &&
+      f.frame_fraction > 0.001) {
+    out.push_back({ObjectClass::kClock, f.bbox,
+                   0.5 + 0.5 * f.interior_light});
+    return;
+  }
+  // Bookshelf: larger region, many distinct hues, spine-stripe signature.
+  if (f.frame_fraction > 0.01 && f.hue_bins_used >= 5 &&
+      f.stripe_score > 0.08) {
+    out.push_back({ObjectClass::kBookshelf, f.bbox,
+                   std::min(1.0, 0.4 + f.stripe_score)});
+    return;
+  }
+  // Sticky note: small yellow square.
+  if (f.frame_fraction < 0.04 && f.dominant_hue > 35.0 &&
+      f.dominant_hue < 80.0 && f.aspect > 0.6 && f.aspect < 1.7 &&
+      f.fill > 0.55 && f.mean_sat > 0.35) {
+    out.push_back({ObjectClass::kStickyNote, f.bbox, 0.5 + f.fill / 2});
+    return;
+  }
+  // Toy: small compact blob with 2+ hues.
+  if (f.frame_fraction < 0.012 && f.hue_modes >= 2 && f.fill > 0.4) {
+    out.push_back({ObjectClass::kToy, f.bbox, 0.45 + 0.1 * f.hue_modes});
+    return;
+  }
+  // Book: small tall saturated rectangle.
+  if (f.frame_fraction < 0.03 && f.aspect >= 1.4 && f.fill > 0.55 &&
+      f.hue_modes <= 2) {
+    out.push_back({ObjectClass::kBook, f.bbox, 0.4 + f.fill / 2});
+    return;
+  }
+  // Poster / painting: large filled rectangle of few hues.
+  if (f.frame_fraction >= 0.015 && f.fill > 0.55 && f.aspect > 0.35 &&
+      f.aspect < 2.8) {
+    out.push_back({ObjectClass::kPoster, f.bbox, 0.4 + f.fill / 2});
+  }
+}
+
+void ClassifyDark(const ComponentFeatures& f, std::vector<Detection>& out) {
+  // Screens: the dark bezel is a thin RING around the bright panel, so its
+  // fill within the bounding box is low; solid dark slabs (shelf interiors,
+  // shadows) are not screens.
+  if (f.frame_fraction < 0.004 || f.aspect > 1.4) return;
+  if (f.fill < 0.12 || f.fill > 0.55) return;
+  const double width_ratio = 1.0 / std::max(1e-6, f.aspect);  // w / h
+  if (width_ratio >= 1.45) {
+    out.push_back({ObjectClass::kTv, f.bbox, 0.6 + 0.5 * (0.55 - f.fill)});
+  } else if (width_ratio >= 0.9) {
+    out.push_back({ObjectClass::kMonitor, f.bbox,
+                   0.6 + 0.5 * (0.55 - f.fill)});
+  }
+}
+
+}  // namespace
+
+std::vector<Detection> DetectObjects(const Image& reconstruction,
+                                     const Bitmap& coverage,
+                                     const GenericDetectorOptions& opts) {
+  imaging::RequireSameShape(reconstruction, coverage, "DetectObjects");
+  std::vector<Detection> out;
+
+  // Colorful candidate mask.
+  Bitmap colorful(reconstruction.width(), reconstruction.height());
+  Bitmap dark(reconstruction.width(), reconstruction.height());
+  for (int y = 0; y < reconstruction.height(); ++y) {
+    for (int x = 0; x < reconstruction.width(); ++x) {
+      if (!coverage(x, y)) continue;
+      const Hsv h = imaging::RgbToHsv(reconstruction(x, y));
+      if (h.s >= opts.min_saturation && h.v > 0.18f) {
+        colorful(x, y) = imaging::kMaskSet;
+      }
+      if (h.v <= opts.dark_value) dark(x, y) = imaging::kMaskSet;
+    }
+  }
+  // Bridge small reconstruction holes so one object stays one component.
+  colorful = imaging::CloseDisc(colorful, 2.0);
+  dark = imaging::CloseDisc(dark, 2.0);
+
+  {
+    const auto labeling = imaging::LabelComponents(colorful);
+    for (const auto& comp : labeling.components) {
+      if (comp.area < opts.min_area) continue;
+      const auto f = ComputeFeatures(reconstruction, coverage,
+                                     labeling.labels, comp);
+      if (f.recovered_in_bbox < opts.min_recovered_fraction) continue;
+      ClassifyColorful(f, out);
+    }
+  }
+  {
+    const auto labeling = imaging::LabelComponents(dark);
+    for (const auto& comp : labeling.components) {
+      if (comp.area < opts.min_area) continue;
+      const auto f = ComputeFeatures(reconstruction, coverage,
+                                     labeling.labels, comp);
+      if (f.recovered_in_bbox < opts.min_recovered_fraction) continue;
+      ClassifyDark(f, out);
+    }
+  }
+  return NonMaxSuppression(std::move(out));
+}
+
+}  // namespace bb::detect

@@ -1,0 +1,59 @@
+// Generic object inference - the RetinaNet/YOLO substitute.
+//
+// The paper runs pretrained detectors (COCO / ImageNet classes) over the
+// reconstructed backgrounds (sec. VI, Fig. 14). Without pretrained weights,
+// this module provides per-class feature detectors for the object classes
+// the synthetic scenes contain. Each detector answers the same experimental
+// question: is class X recognizable in the partial reconstruction?
+//
+// Detection is component-based: connected regions of recovered pixels are
+// classified by shape/color features (area, aspect, fill ratio, hue modes,
+// stripe signature, interior brightness).
+#pragma once
+
+#include <vector>
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::detect {
+
+enum class ObjectClass {
+  kBook,
+  kBookshelf,
+  kMonitor,
+  kTv,
+  kClock,
+  kStickyNote,
+  kPoster,  // covers posters and paintings (flat wall art)
+  kToy,
+};
+
+const char* ToString(ObjectClass c);
+
+struct Detection {
+  ObjectClass cls;
+  imaging::Rect rect;
+  double confidence = 0.0;
+};
+
+struct GenericDetectorOptions {
+  // A component must have at least this many pixels to be classified.
+  std::size_t min_area = 30;
+  // Minimum fraction of a candidate's bounding box that must be recovered.
+  double min_recovered_fraction = 0.35;
+  // Saturation above which a pixel counts as "colorful".
+  float min_saturation = 0.30f;
+  // Value below which a pixel counts as "dark" (screen bezels).
+  float dark_value = 0.30f;
+};
+
+// Runs all class detectors over the reconstruction; only pixels with
+// coverage set are considered. Results are not NMS'd across classes (one
+// region may plausibly be reported as, e.g., both book and poster; callers
+// score per class as the paper does).
+std::vector<Detection> DetectObjects(const imaging::Image& reconstruction,
+                                     const imaging::Bitmap& coverage,
+                                     const GenericDetectorOptions& opts = {});
+
+}  // namespace bb::detect

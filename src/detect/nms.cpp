@@ -1,0 +1,28 @@
+#include "detect/nms.h"
+
+#include <algorithm>
+
+namespace bb::detect {
+
+std::vector<Detection> NonMaxSuppression(std::vector<Detection> detections,
+                                         double iou_threshold) {
+  std::stable_sort(detections.begin(), detections.end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.confidence > b.confidence;
+                   });
+  std::vector<Detection> kept;
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (k.cls == d.cls &&
+          imaging::RectIou(k.rect, d.rect) >= iou_threshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace bb::detect

@@ -1,0 +1,22 @@
+// Non-maximum suppression for detections.
+//
+// The per-class detectors can fire multiple times on one object (e.g. a
+// bookshelf's interior strips alongside the shelf itself); NMS keeps the
+// most confident detection of each overlapping same-class group, the way
+// the paper's RetinaNet/YOLO pipelines post-process their proposals.
+#pragma once
+
+#include <vector>
+
+#include "detect/generic.h"
+
+namespace bb::detect {
+
+// Greedy same-class NMS: detections are considered in decreasing
+// confidence; a detection is dropped when it overlaps an already-kept
+// detection of the same class with IoU >= `iou_threshold`. Order of the
+// survivors is by decreasing confidence.
+std::vector<Detection> NonMaxSuppression(std::vector<Detection> detections,
+                                         double iou_threshold = 0.4);
+
+}  // namespace bb::detect

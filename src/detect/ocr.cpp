@@ -1,0 +1,233 @@
+#include "detect/ocr.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "detect/generic.h"
+#include "imaging/color.h"
+#include "imaging/connected_components.h"
+#include "imaging/font.h"
+
+namespace bb::detect {
+
+using imaging::Bitmap;
+using imaging::Image;
+using imaging::Rect;
+
+namespace {
+
+// Recognizable alphabet (everything the font provides except space, which
+// segmentation handles implicitly).
+const char* kAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-!?:";
+
+struct CellState {
+  // Tri-state glyph cell sampled to the 5x7 grid: 1 ink, 0 paper, -1 unknown.
+  int grid[imaging::kGlyphHeight][imaging::kGlyphWidth];
+  double coverage = 0.0;
+};
+
+CellState SampleCell(const Image& img, const Bitmap& coverage, int cx, int cy,
+                     int scale, double ink_threshold) {
+  CellState cell{};
+  int known = 0, total = 0;
+  for (int gy = 0; gy < imaging::kGlyphHeight; ++gy) {
+    for (int gx = 0; gx < imaging::kGlyphWidth; ++gx) {
+      int ink = 0, covered = 0, block = 0;
+      for (int sy = 0; sy < scale; ++sy) {
+        for (int sx = 0; sx < scale; ++sx) {
+          const int px = cx + gx * scale + sx;
+          const int py = cy + gy * scale + sy;
+          if (!img.InBounds(px, py)) continue;
+          ++block;
+          if (!coverage(px, py)) continue;
+          ++covered;
+          if (imaging::Luma(img(px, py)) < ink_threshold) ++ink;
+        }
+      }
+      ++total;
+      if (block == 0 || covered < std::max(1, block / 3)) {
+        cell.grid[gy][gx] = -1;
+      } else {
+        ++known;
+        cell.grid[gy][gx] = (2 * ink > covered) ? 1 : 0;
+      }
+    }
+  }
+  cell.coverage = total > 0 ? static_cast<double>(known) / total : 0.0;
+  return cell;
+}
+
+// Correlation of a sampled cell against one glyph: fraction of known grid
+// positions that agree.
+double GlyphScore(const CellState& cell, const Bitmap& glyph) {
+  int agree = 0, known = 0;
+  for (int gy = 0; gy < imaging::kGlyphHeight; ++gy) {
+    for (int gx = 0; gx < imaging::kGlyphWidth; ++gx) {
+      if (cell.grid[gy][gx] < 0) continue;
+      ++known;
+      const int want = glyph(gx, gy) ? 1 : 0;
+      agree += (cell.grid[gy][gx] == want);
+    }
+  }
+  return known > 0 ? static_cast<double>(agree) / known : 0.0;
+}
+
+}  // namespace
+
+OcrResult ReadTextRegion(const Image& reconstruction, const Bitmap& coverage,
+                         const Rect& region, const OcrOptions& opts) {
+  imaging::RequireSameShape(reconstruction, coverage, "ReadTextRegion");
+  OcrResult out;
+  const Rect r = region.Intersect(
+      {0, 0, reconstruction.width(), reconstruction.height()});
+  if (r.Empty()) return out;
+
+  // Bright mass of the region -> ink threshold.
+  double luma_sum = 0.0;
+  int n = 0;
+  for (int y = r.y; y < r.y2(); ++y) {
+    for (int x = r.x; x < r.x2(); ++x) {
+      if (!coverage(x, y)) continue;
+      luma_sum += imaging::Luma(reconstruction(x, y));
+      ++n;
+    }
+  }
+  if (n < 8) return out;
+  const double ink_threshold = luma_sum / n - opts.ink_luma_margin;
+
+  // Ink mask of the region. Glyph geometry (scale, text line) is estimated
+  // from the connected ink components, which makes the reader robust to
+  // non-text dark features in the region (shadows, edges, decorations).
+  imaging::Bitmap ink(reconstruction.width(), reconstruction.height());
+  for (int y = r.y; y < r.y2(); ++y) {
+    for (int x = r.x; x < r.x2(); ++x) {
+      if (!coverage(x, y)) continue;
+      if (imaging::Luma(reconstruction(x, y)) < ink_threshold) {
+        ink(x, y) = imaging::kMaskSet;
+      }
+    }
+  }
+  const auto labeling = imaging::LabelComponents(
+      ink, imaging::Connectivity::kEight);
+  // Glyph-like components: taller than a speck or an edge line, not huge.
+  std::vector<const imaging::Component*> glyph_comps;
+  std::vector<int> heights;
+  for (const auto& comp : labeling.components) {
+    if (comp.bbox.h < 3 || comp.bbox.h > r.h * 3 / 4) continue;
+    if (comp.bbox.w > r.w / 2) continue;  // full-width rule/edge, not a glyph
+    glyph_comps.push_back(&comp);
+    heights.push_back(comp.bbox.h);
+  }
+  if (glyph_comps.empty()) return out;
+  std::nth_element(heights.begin(), heights.begin() + heights.size() / 2,
+                   heights.end());
+  const int median_h = heights[heights.size() / 2];
+  const int scale = std::max(
+      1, static_cast<int>(std::lround(
+             median_h / static_cast<double>(imaging::kGlyphHeight))));
+  const int advance = (imaging::kGlyphWidth + 1) * scale;
+
+  // Text line anchor: leftmost/topmost of the glyph-like components whose
+  // height is close to the median (a single line is assumed).
+  int ix0 = r.x2(), iy0 = r.y2(), ix1 = r.x - 1;
+  for (const auto* comp : glyph_comps) {
+    if (std::abs(comp->bbox.h - median_h) > median_h / 2 + 1) continue;
+    ix0 = std::min(ix0, comp->bbox.x);
+    iy0 = std::min(iy0, comp->bbox.y);
+    ix1 = std::max(ix1, comp->bbox.x2() - 1);
+  }
+  if (ix1 < ix0) return out;
+
+  // Precompute glyph bitmaps.
+  std::vector<std::pair<char, Bitmap>> glyphs;
+  for (const char* p = kAlphabet; *p; ++p) {
+    glyphs.emplace_back(*p, imaging::GlyphBitmap(*p));
+  }
+
+  double conf_sum = 0.0;
+  int conf_n = 0;
+  for (int cx = ix0; cx + imaging::kGlyphWidth * scale <= ix1 + scale &&
+                     static_cast<int>(out.text.size()) < opts.max_chars;
+       cx += advance) {
+    const CellState cell =
+        SampleCell(reconstruction, coverage, cx, iy0, scale, ink_threshold);
+    if (cell.coverage < opts.min_cell_coverage) {
+      out.text.push_back('?');
+      continue;
+    }
+    // A fully recovered cell without any ink is an inter-word space.
+    bool any_ink = false;
+    for (int gy = 0; gy < imaging::kGlyphHeight && !any_ink; ++gy) {
+      for (int gx = 0; gx < imaging::kGlyphWidth; ++gx) {
+        if (cell.grid[gy][gx] == 1) {
+          any_ink = true;
+          break;
+        }
+      }
+    }
+    if (!any_ink) {
+      out.text.push_back(' ');
+      continue;
+    }
+    char best_char = '?';
+    double best_score = 0.0;
+    for (const auto& [c, glyph] : glyphs) {
+      const double s = GlyphScore(cell, glyph);
+      if (s > best_score) {
+        best_score = s;
+        best_char = c;
+      }
+    }
+    if (best_score >= opts.min_glyph_score) {
+      out.text.push_back(best_char);
+      ++out.readable_chars;
+      conf_sum += best_score;
+      ++conf_n;
+    } else {
+      out.text.push_back('?');
+    }
+  }
+  // Trim trailing unknowns and spaces.
+  while (!out.text.empty() &&
+         (out.text.back() == '?' || out.text.back() == ' ')) {
+    out.text.pop_back();
+  }
+  out.mean_confidence = conf_n > 0 ? conf_sum / conf_n : 0.0;
+  return out;
+}
+
+std::vector<TextDetection> DetectText(const Image& reconstruction,
+                                      const Bitmap& coverage,
+                                      const OcrOptions& opts) {
+  std::vector<TextDetection> out;
+  const auto detections = DetectObjects(reconstruction, coverage);
+  for (const Detection& d : detections) {
+    if (d.cls != ObjectClass::kStickyNote && d.cls != ObjectClass::kPoster) {
+      continue;
+    }
+    OcrResult r = ReadTextRegion(reconstruction, coverage,
+                                 d.rect.Inflated(1), opts);
+    if (r.readable_chars > 0) {
+      out.push_back({d.rect, std::move(r)});
+    }
+  }
+  return out;
+}
+
+double CharacterAccuracy(const std::string& truth,
+                         const std::string& recognized) {
+  if (truth.empty()) return recognized.empty() ? 1.0 : 0.0;
+  const std::size_t n = std::max(truth.size(), recognized.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size() && i < recognized.size(); ++i) {
+    const char a = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(truth[i])));
+    const char b = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(recognized[i])));
+    correct += (a == b);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace bb::detect

@@ -1,0 +1,60 @@
+// Text inference - the TextFuseNet substitute.
+//
+// The paper detects text boxes in the reconstruction and recognizes their
+// contents (sec. VI, Fig. 14b: a sticky note's text). This module locates
+// candidate text-bearing regions (sticky notes, posters) in a partial
+// reconstruction and recognizes glyphs by correlation against the same 5x7
+// font family the synthetic scenes render with - degraded, like the paper's
+// setting, by the holes and noise of the reconstruction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::detect {
+
+struct OcrOptions {
+  // Ink = pixels darker than the region's bright mass by this luma margin.
+  double ink_luma_margin = 45.0;
+  // Minimum fraction of a glyph cell's pixels that must be recovered for
+  // the cell to be read at all.
+  double min_cell_coverage = 0.3;
+  // Minimum correlation for a glyph to be accepted (below: '?').
+  double min_glyph_score = 0.62;
+  // Maximum characters read per region (sanity bound).
+  int max_chars = 16;
+};
+
+struct OcrResult {
+  std::string text;        // recognized characters; '?' = unreadable cell
+  double mean_confidence = 0.0;
+  int readable_chars = 0;  // characters recognized above threshold
+};
+
+// Reads one line of text inside `region` of the reconstruction, honoring
+// the coverage mask (unrecovered pixels are "unknown", not background).
+OcrResult ReadTextRegion(const imaging::Image& reconstruction,
+                         const imaging::Bitmap& coverage,
+                         const imaging::Rect& region,
+                         const OcrOptions& opts = {});
+
+struct TextDetection {
+  imaging::Rect region;
+  OcrResult result;
+};
+
+// Full pipeline: finds candidate text-bearing regions (via the generic
+// detectors) and OCRs each.
+std::vector<TextDetection> DetectText(const imaging::Image& reconstruction,
+                                      const imaging::Bitmap& coverage,
+                                      const OcrOptions& opts = {});
+
+// Character accuracy of `recognized` against `truth` (case-insensitive,
+// positional, length mismatches count as errors). In [0, 1].
+double CharacterAccuracy(const std::string& truth,
+                         const std::string& recognized);
+
+}  // namespace bb::detect

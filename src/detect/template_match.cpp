@@ -1,0 +1,143 @@
+#include "detect/template_match.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/transform.h"
+
+namespace bb::detect {
+
+using imaging::Bitmap;
+using imaging::Hsv;
+using imaging::Image;
+using imaging::Rect;
+
+IntegralMask::IntegralMask(const Bitmap& mask)
+    : width_(mask.width()), height_(mask.height()),
+      table_(static_cast<std::size_t>(mask.width() + 1) *
+             (mask.height() + 1), 0) {
+  const int w1 = width_ + 1;
+  for (int y = 0; y < height_; ++y) {
+    long long row_sum = 0;
+    for (int x = 0; x < width_; ++x) {
+      row_sum += mask(x, y) ? 1 : 0;
+      table_[static_cast<std::size_t>(y + 1) * w1 + (x + 1)] =
+          table_[static_cast<std::size_t>(y) * w1 + (x + 1)] + row_sum;
+    }
+  }
+}
+
+long long IntegralMask::Sum(const Rect& r) const {
+  const Rect c = r.Intersect({0, 0, width_, height_});
+  if (c.Empty()) return 0;
+  const int w1 = width_ + 1;
+  auto at = [&](int x, int y) {
+    return table_[static_cast<std::size_t>(y) * w1 + x];
+  };
+  return at(c.x2(), c.y2()) - at(c.x, c.y2()) - at(c.x2(), c.y) +
+         at(c.x, c.y);
+}
+
+namespace {
+
+bool HsvMatch(const Hsv& a, const Hsv& b, const TemplateMatchOptions& o) {
+  const bool a_gray = a.s < o.min_saturation;
+  const bool b_gray = b.s < o.min_saturation;
+  if (a_gray != b_gray) return false;
+  if (a_gray) return std::fabs(a.v - b.v) <= o.value_tolerance;
+  return imaging::HueDistance(a.h, b.h) <= o.hue_tolerance;
+}
+
+}  // namespace
+
+TemplateMatchResult MatchTemplate(const Image& reconstruction,
+                                  const Bitmap& coverage, const Image& templ,
+                                  const TemplateMatchOptions& opts) {
+  imaging::RequireSameShape(reconstruction, coverage, "MatchTemplate");
+  TemplateMatchResult best;
+  if (templ.empty() || reconstruction.empty()) return best;
+
+  const IntegralMask cov_integral(coverage);
+  const long long frame_pixels =
+      static_cast<long long>(reconstruction.pixel_count());
+
+  // Precompute the reconstruction's HSV once.
+  imaging::ImageT<Hsv> recon_hsv(reconstruction.width(),
+                                 reconstruction.height());
+  {
+    auto pi = reconstruction.pixels();
+    auto po = recon_hsv.pixels();
+    for (std::size_t i = 0; i < pi.size(); ++i) {
+      po[i] = imaging::RgbToHsv(pi[i]);
+    }
+  }
+
+  const int stride = std::max(1, opts.window_stride);
+  const int tstride = std::max(1, opts.sample_stride);
+
+  for (double scale : opts.scales) {
+    const int tw = std::max(2, static_cast<int>(templ.width() * scale));
+    const int th = std::max(2, static_cast<int>(templ.height() * scale));
+    if (tw > reconstruction.width() || th > reconstruction.height()) continue;
+    const Image scaled = imaging::ResizeNearest(templ, tw, th);
+    const long long window_area = static_cast<long long>(tw) * th;
+    if (static_cast<double>(window_area) <
+        opts.min_window_fraction * static_cast<double>(frame_pixels)) {
+      continue;  // paper's minimum-window-size constraint
+    }
+
+    for (double rot : opts.rotations) {
+      const Image rotated =
+          rot == 0.0 ? scaled : imaging::Rotate(scaled, rot);
+      // Template HSV samples (skip fill pixels introduced by rotation).
+      struct TSample {
+        int x, y;
+        Hsv hsv;
+      };
+      std::vector<TSample> tsamples;
+      for (int y = 0; y < rotated.height(); y += tstride) {
+        for (int x = 0; x < rotated.width(); x += tstride) {
+          if (rot != 0.0 && rotated(x, y) == imaging::Rgb8{}) continue;
+          if (opts.ignore_exact_color &&
+              rotated(x, y) == *opts.ignore_exact_color) {
+            continue;  // canvas filler, not object
+          }
+          tsamples.push_back({x, y, imaging::RgbToHsv(rotated(x, y))});
+        }
+      }
+      if (tsamples.empty()) continue;
+
+      for (int wy = 0; wy + th <= reconstruction.height(); wy += stride) {
+        for (int wx = 0; wx + tw <= reconstruction.width(); wx += stride) {
+          const Rect window{wx, wy, tw, th};
+          const long long recovered = cov_integral.Sum(window);
+          if (static_cast<double>(recovered) <
+              opts.min_recovered_fraction *
+                  static_cast<double>(window_area)) {
+            continue;  // paper's recovered-pixel constraint
+          }
+          int matched = 0, compared = 0;
+          for (const auto& s : tsamples) {
+            const int rx = wx + s.x, ry = wy + s.y;
+            if (!coverage.InBounds(rx, ry) || !coverage(rx, ry)) continue;
+            ++compared;
+            matched += HsvMatch(s.hsv, recon_hsv(rx, ry), opts);
+          }
+          if (compared < std::max(1, opts.min_compared_samples)) continue;
+          const double score =
+              static_cast<double>(matched) / static_cast<double>(compared);
+          if (score > best.score) {
+            best.score = score;
+            best.window = window;
+            best.scale = scale;
+            best.rotation = rot;
+          }
+        }
+      }
+    }
+  }
+  best.found = best.score >= opts.present_threshold;
+  return best;
+}
+
+}  // namespace bb::detect

@@ -1,0 +1,74 @@
+// Template matching over partial reconstructions.
+//
+// Implements the paper's specific-object-tracking primitive (sec. VI): the
+// object template is incrementally rotated, shifted and scaled across the
+// reconstructed background; a window matches when enough of its recovered
+// pixels agree in hue with the template, subject to the paper's constraints
+// (minimum window size, minimum fraction of recovered pixels in the
+// window, sec. VIII-D).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "imaging/color.h"
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::detect {
+
+struct TemplateMatchOptions {
+  std::vector<double> scales{0.8, 1.0, 1.25};
+  std::vector<double> rotations{-8.0, 0.0, 8.0};
+  int window_stride = 2;     // slide step, pixels
+  int sample_stride = 2;     // template pixel sampling step
+  // Paper constraints: the matching window must cover at least
+  // `min_window_fraction` of the frame's pixels and contain at least
+  // `min_recovered_fraction` recovered pixels.
+  double min_window_fraction = 0.05;
+  double min_recovered_fraction = 0.5;
+  // Hue tolerance for saturated pixels / value tolerance for near-gray.
+  float hue_tolerance = 20.0f;
+  float min_saturation = 0.15f;
+  float value_tolerance = 0.22f;
+  // Score threshold for declaring the object present.
+  double present_threshold = 0.58;
+  // Windows where fewer than this many template samples landed on
+  // recovered pixels are not trusted (tiny overlaps score high by luck).
+  int min_compared_samples = 24;
+  // Template pixels of exactly this color are ignored: object templates are
+  // rendered on a neutral canvas (synth::RenderObjectTemplate uses mid-gray)
+  // and those filler pixels carry no object evidence.
+  std::optional<imaging::Rgb8> ignore_exact_color =
+      imaging::Rgb8{128, 128, 128};
+};
+
+struct TemplateMatchResult {
+  bool found = false;
+  double score = 0.0;          // best matched fraction
+  imaging::Rect window;        // best window in the reconstruction
+  double scale = 1.0;
+  double rotation = 0.0;
+};
+
+// Searches for `templ` in `reconstruction`, considering only pixels where
+// `coverage` is set.
+TemplateMatchResult MatchTemplate(const imaging::Image& reconstruction,
+                                  const imaging::Bitmap& coverage,
+                                  const imaging::Image& templ,
+                                  const TemplateMatchOptions& opts = {});
+
+// Summed-area table of a bitmap; Sum(r) is O(1). Used to reject windows
+// failing the recovered-fraction constraint cheaply.
+class IntegralMask {
+ public:
+  explicit IntegralMask(const imaging::Bitmap& mask);
+  long long Sum(const imaging::Rect& r) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<long long> table_;  // (width+1) x (height+1)
+};
+
+}  // namespace bb::detect

@@ -1,0 +1,151 @@
+#include "imaging/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::imaging {
+
+namespace {
+
+// Generic scanline fill for a predicate-defined region over a bounding box.
+template <typename ImgT, typename Pred>
+void FillWhere(ImgT& img, const Rect& bbox, typename ImgT::Pixel value,
+               Pred&& inside) {
+  const Rect clipped =
+      bbox.Intersect({0, 0, img.width(), img.height()});
+  for (int y = clipped.y; y < clipped.y2(); ++y) {
+    for (int x = clipped.x; x < clipped.x2(); ++x) {
+      if (inside(x, y)) img(x, y) = value;
+    }
+  }
+}
+
+template <typename ImgT>
+void FillRectImpl(ImgT& img, const Rect& r, typename ImgT::Pixel value) {
+  const Rect clipped = r.Intersect({0, 0, img.width(), img.height()});
+  for (int y = clipped.y; y < clipped.y2(); ++y) {
+    auto* row = img.row(y);
+    std::fill(row + clipped.x, row + clipped.x2(), value);
+  }
+}
+
+template <typename ImgT>
+void FillEllipseImpl(ImgT& img, int cx, int cy, int rx, int ry,
+                     typename ImgT::Pixel value) {
+  if (rx <= 0 || ry <= 0) return;
+  const double inv_rx2 = 1.0 / (static_cast<double>(rx) * rx);
+  const double inv_ry2 = 1.0 / (static_cast<double>(ry) * ry);
+  FillWhere(img, Rect{cx - rx, cy - ry, 2 * rx + 1, 2 * ry + 1}, value,
+            [&](int x, int y) {
+              const double dx = x - cx, dy = y - cy;
+              return dx * dx * inv_rx2 + dy * dy * inv_ry2 <= 1.0;
+            });
+}
+
+template <typename ImgT>
+void FillCapsuleImpl(ImgT& img, PointF a, PointF b, double radius,
+                     typename ImgT::Pixel value) {
+  if (radius <= 0) return;
+  const double len2 = (b.x - a.x) * (b.x - a.x) + (b.y - a.y) * (b.y - a.y);
+  const int x0 = static_cast<int>(std::floor(std::min(a.x, b.x) - radius));
+  const int y0 = static_cast<int>(std::floor(std::min(a.y, b.y) - radius));
+  const int x1 = static_cast<int>(std::ceil(std::max(a.x, b.x) + radius));
+  const int y1 = static_cast<int>(std::ceil(std::max(a.y, b.y) + radius));
+  const double r2 = radius * radius;
+  FillWhere(img, Rect{x0, y0, x1 - x0 + 1, y1 - y0 + 1}, value,
+            [&](int x, int y) {
+              // Distance from (x, y) to segment a-b.
+              double t = 0.0;
+              if (len2 > 0.0) {
+                t = ((x - a.x) * (b.x - a.x) + (y - a.y) * (b.y - a.y)) / len2;
+                t = std::clamp(t, 0.0, 1.0);
+              }
+              const double px = a.x + t * (b.x - a.x);
+              const double py = a.y + t * (b.y - a.y);
+              const double dx = x - px, dy = y - py;
+              return dx * dx + dy * dy <= r2;
+            });
+}
+
+}  // namespace
+
+void FillRect(Image& img, const Rect& r, Rgb8 color) {
+  FillRectImpl(img, r, color);
+}
+void FillRect(Bitmap& mask, const Rect& r, std::uint8_t value) {
+  FillRectImpl(mask, r, value);
+}
+
+void DrawRectOutline(Image& img, const Rect& r, Rgb8 color, int thickness) {
+  if (r.Empty() || thickness <= 0) return;
+  FillRect(img, {r.x, r.y, r.w, thickness}, color);
+  FillRect(img, {r.x, r.y2() - thickness, r.w, thickness}, color);
+  FillRect(img, {r.x, r.y, thickness, r.h}, color);
+  FillRect(img, {r.x2() - thickness, r.y, thickness, r.h}, color);
+}
+
+void FillCircle(Image& img, int cx, int cy, int radius, Rgb8 color) {
+  FillEllipseImpl(img, cx, cy, radius, radius, color);
+}
+void FillCircle(Bitmap& mask, int cx, int cy, int radius, std::uint8_t value) {
+  FillEllipseImpl(mask, cx, cy, radius, radius, value);
+}
+
+void FillEllipse(Image& img, int cx, int cy, int rx, int ry, Rgb8 color) {
+  FillEllipseImpl(img, cx, cy, rx, ry, color);
+}
+void FillEllipse(Bitmap& mask, int cx, int cy, int rx, int ry,
+                 std::uint8_t value) {
+  FillEllipseImpl(mask, cx, cy, rx, ry, value);
+}
+
+void FillCapsule(Image& img, PointF a, PointF b, double radius, Rgb8 color) {
+  FillCapsuleImpl(img, a, b, radius, color);
+}
+void FillCapsule(Bitmap& mask, PointF a, PointF b, double radius,
+                 std::uint8_t value) {
+  FillCapsuleImpl(mask, a, b, radius, value);
+}
+
+void DrawLine(Image& img, Point a, Point b, Rgb8 color, int thickness) {
+  const double radius = std::max(0.5, thickness * 0.5);
+  FillCapsule(img, PointF{static_cast<double>(a.x), static_cast<double>(a.y)},
+              PointF{static_cast<double>(b.x), static_cast<double>(b.y)},
+              radius, color);
+}
+
+void FillRing(Image& img, int cx, int cy, int r_outer, int r_inner,
+              Rgb8 color) {
+  if (r_outer <= 0 || r_inner >= r_outer) return;
+  const long long ro2 = static_cast<long long>(r_outer) * r_outer;
+  const long long ri2 = static_cast<long long>(r_inner) * r_inner;
+  FillWhere(img, Rect{cx - r_outer, cy - r_outer, 2 * r_outer + 1,
+                      2 * r_outer + 1},
+            color, [&](int x, int y) {
+              const long long dx = x - cx, dy = y - cy;
+              const long long d2 = dx * dx + dy * dy;
+              return d2 <= ro2 && d2 >= ri2;
+            });
+}
+
+void CopyMasked(Image& dst, const Image& src, const Bitmap& where) {
+  RequireSameShape(dst, src, "CopyMasked");
+  RequireSameShape(dst, where, "CopyMasked");
+  auto pd = dst.pixels();
+  auto ps = src.pixels();
+  auto pw = where.pixels();
+  for (std::size_t i = 0; i < pd.size(); ++i) {
+    if (pw[i]) pd[i] = ps[i];
+  }
+}
+
+void PaintMasked(Image& dst, const Bitmap& where, Rgb8 color) {
+  RequireSameShape(dst, where, "PaintMasked");
+  auto pd = dst.pixels();
+  auto pw = where.pixels();
+  for (std::size_t i = 0; i < pd.size(); ++i) {
+    if (pw[i]) pd[i] = color;
+  }
+}
+
+}  // namespace bb::imaging

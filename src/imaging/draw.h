@@ -1,0 +1,45 @@
+// Rasterization primitives used by the synthetic scene generator.
+//
+// All routines clip against the image bounds, so callers may draw shapes
+// that extend past the frame (e.g. a caller walking out of the room in the
+// exit/enter action).
+#pragma once
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+void FillRect(Image& img, const Rect& r, Rgb8 color);
+void DrawRectOutline(Image& img, const Rect& r, Rgb8 color, int thickness = 1);
+
+void FillCircle(Image& img, int cx, int cy, int radius, Rgb8 color);
+void FillEllipse(Image& img, int cx, int cy, int rx, int ry, Rgb8 color);
+
+// Thick line with round caps ("capsule") - used for limbs of the synthetic
+// caller.
+void FillCapsule(Image& img, PointF a, PointF b, double radius, Rgb8 color);
+
+void DrawLine(Image& img, Point a, Point b, Rgb8 color, int thickness = 1);
+
+// Ring (circle outline with inner/outer radius), used for clock faces and
+// headphone bands.
+void FillRing(Image& img, int cx, int cy, int r_outer, int r_inner,
+              Rgb8 color);
+
+// Same primitives on bitmaps (used to build ground-truth caller masks).
+void FillRect(Bitmap& mask, const Rect& r, std::uint8_t value = kMaskSet);
+void FillCircle(Bitmap& mask, int cx, int cy, int radius,
+                std::uint8_t value = kMaskSet);
+void FillEllipse(Bitmap& mask, int cx, int cy, int rx, int ry,
+                 std::uint8_t value = kMaskSet);
+void FillCapsule(Bitmap& mask, PointF a, PointF b, double radius,
+                 std::uint8_t value = kMaskSet);
+
+// Copies `src` pixels into `dst` wherever `where` is set.
+void CopyMasked(Image& dst, const Image& src, const Bitmap& where);
+
+// Paints `color` into `dst` wherever `where` is set.
+void PaintMasked(Image& dst, const Bitmap& where, Rgb8 color);
+
+}  // namespace bb::imaging

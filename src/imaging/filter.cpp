@@ -1,0 +1,204 @@
+#include "imaging/filter.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace bb::imaging {
+
+namespace {
+
+std::uint8_t ToU8(float v) {
+  if (v <= 0.0f) return 0;
+  if (v >= 255.0f) return 255;
+  return static_cast<std::uint8_t>(v + 0.5f);
+}
+
+// Horizontal-then-vertical sliding-window mean on one float channel.
+std::vector<float> BoxBlurChannel(const std::vector<float>& src, int w, int h,
+                                  int radius) {
+  std::vector<float> tmp(src.size()), out(src.size());
+  const float inv = 1.0f / (2 * radius + 1);
+  // Horizontal pass with edge clamping.
+  for (int y = 0; y < h; ++y) {
+    const float* row = src.data() + static_cast<std::size_t>(y) * w;
+    float* trow = tmp.data() + static_cast<std::size_t>(y) * w;
+    float acc = 0.0f;
+    for (int k = -radius; k <= radius; ++k) {
+      acc += row[std::clamp(k, 0, w - 1)];
+    }
+    for (int x = 0; x < w; ++x) {
+      trow[x] = acc * inv;
+      acc += row[std::clamp(x + radius + 1, 0, w - 1)];
+      acc -= row[std::clamp(x - radius, 0, w - 1)];
+    }
+  }
+  // Vertical pass.
+  for (int x = 0; x < w; ++x) {
+    float acc = 0.0f;
+    for (int k = -radius; k <= radius; ++k) {
+      acc += tmp[static_cast<std::size_t>(std::clamp(k, 0, h - 1)) * w + x];
+    }
+    for (int y = 0; y < h; ++y) {
+      out[static_cast<std::size_t>(y) * w + x] = acc * inv;
+      acc += tmp[static_cast<std::size_t>(std::clamp(y + radius + 1, 0, h - 1)) *
+                     w +
+                 x];
+      acc -= tmp[static_cast<std::size_t>(std::clamp(y - radius, 0, h - 1)) * w +
+                 x];
+    }
+  }
+  return out;
+}
+
+std::array<std::vector<float>, 3> SplitChannels(const Image& img) {
+  std::array<std::vector<float>, 3> ch;
+  const auto px = img.pixels();
+  for (auto& c : ch) c.resize(px.size());
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    ch[0][i] = px[i].r;
+    ch[1][i] = px[i].g;
+    ch[2][i] = px[i].b;
+  }
+  return ch;
+}
+
+Image MergeChannels(const std::array<std::vector<float>, 3>& ch, int w,
+                    int h) {
+  Image out(w, h);
+  auto px = out.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = {ToU8(ch[0][i]), ToU8(ch[1][i]), ToU8(ch[2][i])};
+  }
+  return out;
+}
+
+std::vector<float> Convolve1D(const std::vector<float>& src, int w, int h,
+                              const std::vector<float>& kernel,
+                              bool horizontal) {
+  const int radius = static_cast<int>(kernel.size() / 2);
+  std::vector<float> out(src.size());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        const int sx = horizontal ? std::clamp(x + k, 0, w - 1) : x;
+        const int sy = horizontal ? y : std::clamp(y + k, 0, h - 1);
+        acc += kernel[k + radius] *
+               src[static_cast<std::size_t>(sy) * w + sx];
+      }
+      out[static_cast<std::size_t>(y) * w + x] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image BoxBlur(const Image& img, int radius) {
+  if (radius <= 0 || img.empty()) return img;
+  auto ch = SplitChannels(img);
+  for (auto& c : ch) c = BoxBlurChannel(c, img.width(), img.height(), radius);
+  return MergeChannels(ch, img.width(), img.height());
+}
+
+FloatImage BoxBlur(const FloatImage& img, int radius) {
+  if (radius <= 0 || img.empty()) return img;
+  std::vector<float> src(img.pixels().begin(), img.pixels().end());
+  auto blurred = BoxBlurChannel(src, img.width(), img.height(), radius);
+  FloatImage out(img.width(), img.height());
+  std::copy(blurred.begin(), blurred.end(), out.pixels().begin());
+  return out;
+}
+
+Image GaussianBlur(const Image& img, double sigma) {
+  if (sigma <= 0.0 || img.empty()) return img;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<float> kernel(2 * radius + 1);
+  float sum = 0.0f;
+  for (int k = -radius; k <= radius; ++k) {
+    const float v = std::exp(-0.5f * static_cast<float>(k * k) /
+                             static_cast<float>(sigma * sigma));
+    kernel[k + radius] = v;
+    sum += v;
+  }
+  for (auto& v : kernel) v /= sum;
+
+  auto ch = SplitChannels(img);
+  for (auto& c : ch) {
+    c = Convolve1D(c, img.width(), img.height(), kernel, /*horizontal=*/true);
+    c = Convolve1D(c, img.width(), img.height(), kernel, /*horizontal=*/false);
+  }
+  return MergeChannels(ch, img.width(), img.height());
+}
+
+Image MotionBlur(const Image& img, double dx, double dy, int length) {
+  if (length <= 1 || img.empty()) return img;
+  const double norm = std::hypot(dx, dy);
+  if (norm <= 0.0) return img;
+  dx /= norm;
+  dy /= norm;
+  Image out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      float r = 0, g = 0, b = 0;
+      for (int k = 0; k < length; ++k) {
+        const double t = k - (length - 1) * 0.5;
+        const int sx = static_cast<int>(std::lround(x + dx * t));
+        const int sy = static_cast<int>(std::lround(y + dy * t));
+        const Rgb8 p = img.AtClamped(sx, sy);
+        r += p.r;
+        g += p.g;
+        b += p.b;
+      }
+      const float inv = 1.0f / length;
+      out(x, y) = {ToU8(r * inv), ToU8(g * inv), ToU8(b * inv)};
+    }
+  }
+  return out;
+}
+
+FloatImage AbsDiff(const Image& a, const Image& b) {
+  RequireSameShape(a, b, "AbsDiff");
+  FloatImage out(a.width(), a.height());
+  auto pa = a.pixels(), pb = b.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    const int dr = std::abs(pa[i].r - pb[i].r);
+    const int dg = std::abs(pa[i].g - pb[i].g);
+    const int db = std::abs(pa[i].b - pb[i].b);
+    po[i] = static_cast<float>(std::max({dr, dg, db}));
+  }
+  return out;
+}
+
+Bitmap Threshold(const FloatImage& img, float threshold) {
+  Bitmap out(img.width(), img.height());
+  auto pi = img.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    po[i] = pi[i] >= threshold ? kMaskSet : kMaskClear;
+  }
+  return out;
+}
+
+Bitmap MedianFilter3(const Bitmap& mask) {
+  Bitmap out(mask.width(), mask.height());
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      int set = 0, total = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (!mask.InBounds(x + dx, y + dy)) continue;
+          ++total;
+          set += mask(x + dx, y + dy) != 0;
+        }
+      }
+      out(x, y) = (2 * set > total) ? kMaskSet : kMaskClear;
+    }
+  }
+  return out;
+}
+
+}  // namespace bb::imaging

@@ -1,0 +1,36 @@
+// Spatial filters.
+//
+// The virtual-background engine uses Gaussian blur for the blending ring
+// (paper sec. III, Fig. 1) and motion blur to model fast limb movement
+// (which the paper observed makes the matting engine confuse foreground and
+// background, sec. VIII-C "Effect of Movement").
+#pragma once
+
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+// Separable box blur with an odd kernel of the given radius (window size
+// 2*radius+1). radius <= 0 returns the input unchanged.
+Image BoxBlur(const Image& img, int radius);
+FloatImage BoxBlur(const FloatImage& img, int radius);
+
+// Separable Gaussian blur with standard deviation `sigma` (kernel truncated
+// at 3 sigma). sigma <= 0 returns the input unchanged.
+Image GaussianBlur(const Image& img, double sigma);
+
+// Directional (linear) motion blur: averages `length` samples along the unit
+// direction (dx, dy). length <= 1 returns the input unchanged.
+Image MotionBlur(const Image& img, double dx, double dy, int length);
+
+// Per-pixel absolute difference, max over channels, as a float image in
+// [0, 255].
+FloatImage AbsDiff(const Image& a, const Image& b);
+
+// Thresholds a float image: out = (img >= threshold).
+Bitmap Threshold(const FloatImage& img, float threshold);
+
+// 3x3 median filter on a bitmap (despeckles masks).
+Bitmap MedianFilter3(const Bitmap& mask);
+
+}  // namespace bb::imaging

@@ -1,0 +1,121 @@
+#include "imaging/font.h"
+
+#include <array>
+#include <cctype>
+
+namespace bb::imaging {
+
+namespace {
+
+struct Glyph {
+  char c;
+  std::uint8_t rows[kGlyphHeight];
+};
+
+// Classic 5x7 dot-matrix font; bit 4 is the leftmost column of a row.
+constexpr std::array<Glyph, 42> kGlyphs = {{
+    {'A', {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001}},
+    {'B', {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110}},
+    {'C', {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110}},
+    {'D', {0b11110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11110}},
+    {'E', {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111}},
+    {'F', {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000}},
+    {'G', {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111}},
+    {'H', {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001}},
+    {'I', {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},
+    {'J', {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100}},
+    {'K', {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001}},
+    {'L', {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111}},
+    {'M', {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001}},
+    {'N', {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001}},
+    {'O', {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110}},
+    {'P', {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000}},
+    {'Q', {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101}},
+    {'R', {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001}},
+    {'S', {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110}},
+    {'T', {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100}},
+    {'U', {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110}},
+    {'V', {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100}},
+    {'W', {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010}},
+    {'X', {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001}},
+    {'Y', {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100}},
+    {'Z', {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111}},
+    {'0', {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}},
+    {'1', {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},
+    {'2', {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111}},
+    {'3', {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110}},
+    {'4', {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}},
+    {'5', {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}},
+    {'6', {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110}},
+    {'7', {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}},
+    {'8', {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}},
+    {'9', {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100}},
+    {' ', {0, 0, 0, 0, 0, 0, 0}},
+    {'.', {0, 0, 0, 0, 0, 0b00100, 0b00100}},
+    {'-', {0, 0, 0, 0b01110, 0, 0, 0}},
+    {'!', {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0, 0b00100}},
+    {'?', {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0, 0b00100}},
+    {':', {0, 0b00100, 0b00100, 0, 0b00100, 0b00100, 0}},
+}};
+
+}  // namespace
+
+std::optional<const std::uint8_t*> GlyphRows(char c) {
+  const char upper = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(c)));
+  for (const Glyph& g : kGlyphs) {
+    if (g.c == upper) return g.rows;
+  }
+  return std::nullopt;
+}
+
+bool IsRenderable(char c) { return GlyphRows(c).has_value(); }
+
+Rect DrawText(Image& img, int x, int y, int scale, Rgb8 color,
+              std::string_view text) {
+  if (scale < 1) scale = 1;
+  const int advance = (kGlyphWidth + 1) * scale;
+  int cx = x;
+  for (char c : text) {
+    if (auto rows = GlyphRows(c)) {
+      for (int gy = 0; gy < kGlyphHeight; ++gy) {
+        const std::uint8_t bits = (*rows)[gy];
+        for (int gx = 0; gx < kGlyphWidth; ++gx) {
+          if (!(bits & (1 << (kGlyphWidth - 1 - gx)))) continue;
+          for (int sy = 0; sy < scale; ++sy) {
+            for (int sx = 0; sx < scale; ++sx) {
+              const int px = cx + gx * scale + sx;
+              const int py = y + gy * scale + sy;
+              if (img.InBounds(px, py)) img(px, py) = color;
+            }
+          }
+        }
+      }
+    }
+    cx += advance;
+  }
+  return Rect{x, y, TextWidth(text, scale), kGlyphHeight * scale};
+}
+
+int TextWidth(std::string_view text, int scale) {
+  if (scale < 1) scale = 1;
+  if (text.empty()) return 0;
+  const int advance = (kGlyphWidth + 1) * scale;
+  return static_cast<int>(text.size()) * advance - scale;
+}
+
+Bitmap GlyphBitmap(char c) {
+  auto rows = GlyphRows(c);
+  if (!rows) return {};
+  Bitmap out(kGlyphWidth, kGlyphHeight);
+  for (int gy = 0; gy < kGlyphHeight; ++gy) {
+    for (int gx = 0; gx < kGlyphWidth; ++gx) {
+      if ((*rows)[gy] & (1 << (kGlyphWidth - 1 - gx))) {
+        out(gx, gy) = kMaskSet;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bb::imaging

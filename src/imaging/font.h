@@ -1,0 +1,43 @@
+// Minimal 5x7 bitmap font.
+//
+// The synthetic scene generator renders text (sticky notes, posters, book
+// spines) with this font, and the text-inference attack's OCR substitute
+// (detect/ocr.h) recognizes glyphs by correlating against the same tables -
+// mirroring the paper's TextFuseNet setup where the recognizer is trained on
+// the same character shapes that appear in the world.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+// Returns the 7 row bitmasks (bit 4 = leftmost column) for a supported
+// character, or nullopt. Supported: 'A'-'Z', '0'-'9', ' ', '.', '-', '!',
+// '?', ':'. Lowercase letters map to uppercase.
+std::optional<const std::uint8_t*> GlyphRows(char c);
+
+// True when GlyphRows(c) would succeed.
+bool IsRenderable(char c);
+
+// Draws `text` with its top-left corner at (x, y); each glyph cell is
+// kGlyphWidth x kGlyphHeight pixels scaled by `scale`, with one scaled column
+// of spacing between glyphs. Characters without a glyph advance the cursor
+// but draw nothing. Returns the bounding rectangle of the rendered text.
+Rect DrawText(Image& img, int x, int y, int scale, Rgb8 color,
+              std::string_view text);
+
+// Pixel width of `text` at the given scale (matches DrawText's advance).
+int TextWidth(std::string_view text, int scale);
+
+// Renders a single glyph into a fresh kGlyphWidth x kGlyphHeight bitmap
+// (1 = ink). Returns an empty bitmap for unsupported characters.
+Bitmap GlyphBitmap(char c);
+
+}  // namespace bb::imaging

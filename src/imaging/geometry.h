@@ -1,0 +1,84 @@
+// Small geometric value types shared by the drawing, detection and synthesis
+// layers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::imaging {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+  constexpr bool operator==(const Point&) const = default;
+};
+
+struct PointF {
+  double x = 0.0;
+  double y = 0.0;
+  constexpr bool operator==(const PointF&) const = default;
+};
+
+// Axis-aligned rectangle; (x, y) is the top-left corner, width/height may be
+// zero (empty rectangle) but never negative.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  constexpr bool operator==(const Rect&) const = default;
+
+  int x2() const { return x + w; }  // exclusive
+  int y2() const { return y + h; }  // exclusive
+  bool Empty() const { return w <= 0 || h <= 0; }
+  long long Area() const {
+    return Empty() ? 0 : static_cast<long long>(w) * h;
+  }
+  bool Contains(int px, int py) const {
+    return px >= x && py >= y && px < x2() && py < y2();
+  }
+  Point Center() const { return {x + w / 2, y + h / 2}; }
+
+  Rect Intersect(const Rect& o) const {
+    const int nx = std::max(x, o.x);
+    const int ny = std::max(y, o.y);
+    const int nx2 = std::min(x2(), o.x2());
+    const int ny2 = std::min(y2(), o.y2());
+    if (nx2 <= nx || ny2 <= ny) return {};
+    return {nx, ny, nx2 - nx, ny2 - ny};
+  }
+
+  Rect Union(const Rect& o) const {
+    if (Empty()) return o;
+    if (o.Empty()) return *this;
+    const int nx = std::min(x, o.x);
+    const int ny = std::min(y, o.y);
+    const int nx2 = std::max(x2(), o.x2());
+    const int ny2 = std::max(y2(), o.y2());
+    return {nx, ny, nx2 - nx, ny2 - ny};
+  }
+
+  // Rectangle grown by `margin` on every side (shrunk when negative).
+  Rect Inflated(int margin) const {
+    Rect r{x - margin, y - margin, w + 2 * margin, h + 2 * margin};
+    if (r.w < 0) r.w = 0;
+    if (r.h < 0) r.h = 0;
+    return r;
+  }
+};
+
+// Intersection-over-union of two rectangles (0 when either is empty and
+// they do not overlap).
+inline double RectIou(const Rect& a, const Rect& b) {
+  const long long inter = a.Intersect(b).Area();
+  const long long uni = a.Area() + b.Area() - inter;
+  if (uni <= 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+inline double Distance(const PointF& a, const PointF& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace bb::imaging

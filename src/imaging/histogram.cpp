@@ -1,0 +1,66 @@
+#include "imaging/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::imaging {
+
+void ColorFrequency::AddMasked(const Image& img, const Bitmap& mask) {
+  RequireSameShape(img, mask, "ColorFrequency::AddMasked");
+  auto pi = img.pixels();
+  auto pm = mask.pixels();
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (pm[i]) Add(pi[i]);
+  }
+}
+
+std::vector<double> HueHistogram(const Image& img, const Bitmap& mask,
+                                 const HueHistogramOptions& opts) {
+  RequireSameShape(img, mask, "HueHistogram");
+  std::vector<double> hist(static_cast<std::size_t>(std::max(1, opts.bins)),
+                           0.0);
+  auto pi = img.pixels();
+  auto pm = mask.pixels();
+  double total = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (!pm[i]) continue;
+    const Hsv hsv = RgbToHsv(pi[i]);
+    if (hsv.s < opts.min_saturation || hsv.v < opts.min_value) continue;
+    int bin = static_cast<int>(hsv.h / 360.0f * static_cast<float>(hist.size()));
+    bin = std::clamp(bin, 0, static_cast<int>(hist.size()) - 1);
+    hist[static_cast<std::size_t>(bin)] += 1.0;
+    total += 1.0;
+  }
+  if (total > 0.0) {
+    for (auto& v : hist) v /= total;
+  }
+  return hist;
+}
+
+double HistogramIntersection(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += std::min(a[i], b[i]);
+  return sum;
+}
+
+Rgb8 MeanColor(const Image& img, const Bitmap& mask) {
+  RequireSameShape(img, mask, "MeanColor");
+  double r = 0, g = 0, b = 0, n = 0;
+  auto pi = img.pixels();
+  auto pm = mask.pixels();
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (!pm[i]) continue;
+    r += pi[i].r;
+    g += pi[i].g;
+    b += pi[i].b;
+    n += 1.0;
+  }
+  if (n == 0.0) return {};
+  return {static_cast<std::uint8_t>(r / n + 0.5),
+          static_cast<std::uint8_t>(g / n + 0.5),
+          static_cast<std::uint8_t>(b / n + 0.5)};
+}
+
+}  // namespace bb::imaging

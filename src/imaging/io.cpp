@@ -1,0 +1,229 @@
+#include "imaging/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#ifdef BB_HAVE_PNG
+#include <png.h>
+#endif
+
+namespace bb::imaging {
+
+bool WritePpm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (const Rgb8& p : img.pixels()) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Image> ReadPpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") return std::nullopt;
+
+  auto next_token = [&in]() -> std::optional<long> {
+    // Skips whitespace and '#' comments per the PPM spec.
+    while (in) {
+      int c = in.peek();
+      if (c == '#') {
+        std::string line;
+        std::getline(in, line);
+      } else if (std::isspace(c)) {
+        in.get();
+      } else {
+        break;
+      }
+    }
+    long v = 0;
+    if (!(in >> v)) return std::nullopt;
+    return v;
+  };
+
+  const auto w = next_token();
+  const auto h = next_token();
+  const auto maxval = next_token();
+  if (!w || !h || !maxval || *w <= 0 || *h <= 0 || *maxval != 255) {
+    return std::nullopt;
+  }
+  in.get();  // single whitespace after header
+
+  Image img(static_cast<int>(*w), static_cast<int>(*h));
+  std::vector<char> buf(img.pixel_count() * 3);
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (static_cast<std::size_t>(in.gcount()) != buf.size()) return std::nullopt;
+  auto px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = {static_cast<std::uint8_t>(buf[3 * i]),
+             static_cast<std::uint8_t>(buf[3 * i + 1]),
+             static_cast<std::uint8_t>(buf[3 * i + 2])};
+  }
+  return img;
+}
+
+bool PngSupported() {
+#ifdef BB_HAVE_PNG
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool WritePng(const Image& img, const std::string& path) {
+#ifdef BB_HAVE_PNG
+  FILE* fp = std::fopen(path.c_str(), "wb");
+  if (!fp) return false;
+  png_structp png =
+      png_create_write_struct(PNG_LIBPNG_VER_STRING, nullptr, nullptr, nullptr);
+  if (!png) {
+    std::fclose(fp);
+    return false;
+  }
+  png_infop info = png_create_info_struct(png);
+  if (!info) {
+    png_destroy_write_struct(&png, nullptr);
+    std::fclose(fp);
+    return false;
+  }
+  if (setjmp(png_jmpbuf(png))) {
+    png_destroy_write_struct(&png, &info);
+    std::fclose(fp);
+    return false;
+  }
+  png_init_io(png, fp);
+  png_set_IHDR(png, info, static_cast<png_uint_32>(img.width()),
+               static_cast<png_uint_32>(img.height()), 8, PNG_COLOR_TYPE_RGB,
+               PNG_INTERLACE_NONE, PNG_COMPRESSION_TYPE_DEFAULT,
+               PNG_FILTER_TYPE_DEFAULT);
+  png_write_info(png, info);
+  std::vector<png_byte> row(static_cast<std::size_t>(img.width()) * 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const Rgb8 p = img(x, y);
+      row[3 * static_cast<std::size_t>(x)] = p.r;
+      row[3 * static_cast<std::size_t>(x) + 1] = p.g;
+      row[3 * static_cast<std::size_t>(x) + 2] = p.b;
+    }
+    png_write_row(png, row.data());
+  }
+  png_write_end(png, nullptr);
+  png_destroy_write_struct(&png, &info);
+  std::fclose(fp);
+  return true;
+#else
+  (void)img;
+  (void)path;
+  return false;
+#endif
+}
+
+std::optional<Image> ReadPng(const std::string& path) {
+#ifdef BB_HAVE_PNG
+  FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) return std::nullopt;
+  png_byte header[8];
+  if (std::fread(header, 1, 8, fp) != 8 || png_sig_cmp(header, 0, 8) != 0) {
+    std::fclose(fp);
+    return std::nullopt;
+  }
+  png_structp png =
+      png_create_read_struct(PNG_LIBPNG_VER_STRING, nullptr, nullptr, nullptr);
+  if (!png) {
+    std::fclose(fp);
+    return std::nullopt;
+  }
+  png_infop info = png_create_info_struct(png);
+  if (!info) {
+    png_destroy_read_struct(&png, nullptr, nullptr);
+    std::fclose(fp);
+    return std::nullopt;
+  }
+  // Declared before setjmp so cleanup on longjmp sees a defined state.
+  std::optional<Image> result;
+  std::vector<png_bytep> row_ptrs;
+  std::vector<png_byte> pixels;
+  if (setjmp(png_jmpbuf(png))) {
+    png_destroy_read_struct(&png, &info, nullptr);
+    std::fclose(fp);
+    return std::nullopt;
+  }
+  png_init_io(png, fp);
+  png_set_sig_bytes(png, 8);
+  png_read_info(png, info);
+
+  // Normalize everything to 8-bit RGB.
+  png_set_palette_to_rgb(png);
+  png_set_expand_gray_1_2_4_to_8(png);
+  png_set_gray_to_rgb(png);
+  png_set_strip_16(png);
+  png_set_strip_alpha(png);
+  png_read_update_info(png, info);
+
+  const png_uint_32 w = png_get_image_width(png, info);
+  const png_uint_32 h = png_get_image_height(png, info);
+  if (w == 0 || h == 0 || w > 16384 || h > 16384 ||
+      png_get_channels(png, info) != 3) {
+    png_destroy_read_struct(&png, &info, nullptr);
+    std::fclose(fp);
+    return std::nullopt;
+  }
+  pixels.resize(static_cast<std::size_t>(w) * h * 3);
+  row_ptrs.resize(h);
+  for (png_uint_32 y = 0; y < h; ++y) {
+    row_ptrs[y] = pixels.data() + static_cast<std::size_t>(y) * w * 3;
+  }
+  png_read_image(png, row_ptrs.data());
+  png_destroy_read_struct(&png, &info, nullptr);
+  std::fclose(fp);
+
+  Image img(static_cast<int>(w), static_cast<int>(h));
+  auto px = img.pixels();
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = {pixels[3 * i], pixels[3 * i + 1], pixels[3 * i + 2]};
+  }
+  result = std::move(img);
+  return result;
+#else
+  (void)path;
+  return std::nullopt;
+#endif
+}
+
+std::optional<Image> ReadImageAuto(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".png") == 0) {
+    return ReadPng(path);
+  }
+  return ReadPpm(path);
+}
+
+std::optional<std::string> WriteImageAuto(const Image& img,
+                                          const std::string& path_base) {
+  if (PngSupported()) {
+    const std::string path = path_base + ".png";
+    if (WritePng(img, path)) return path;
+    return std::nullopt;
+  }
+  const std::string path = path_base + ".ppm";
+  if (WritePpm(img, path)) return path;
+  return std::nullopt;
+}
+
+Image MaskToImage(const Bitmap& mask) {
+  Image out(mask.width(), mask.height());
+  auto pm = mask.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    const std::uint8_t v = pm[i] ? 255 : 0;
+    po[i] = {v, v, v};
+  }
+  return out;
+}
+
+}  // namespace bb::imaging

@@ -1,0 +1,44 @@
+// Image file I/O.
+//
+// PPM (binary P6) is always available and dependency-free; PNG is compiled
+// in when libpng is found at configure time (BB_HAVE_PNG). Examples write
+// whichever format the caller asks for.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+// Writes a binary P6 PPM. Returns false (and leaves no partial file
+// guarantees) on I/O failure.
+bool WritePpm(const Image& img, const std::string& path);
+
+// Reads a binary P6 PPM; nullopt on parse or I/O failure.
+std::optional<Image> ReadPpm(const std::string& path);
+
+// True when PNG support was compiled in.
+bool PngSupported();
+
+// Writes an 8-bit RGB PNG. Returns false when PNG support is unavailable or
+// on I/O failure.
+bool WritePng(const Image& img, const std::string& path);
+
+// Reads a PNG into RGB8 (gray/palette/alpha inputs are expanded; 16-bit is
+// reduced). nullopt when unsupported, missing, or malformed.
+std::optional<Image> ReadPng(const std::string& path);
+
+// Reads by extension: .png via ReadPng, anything else via ReadPpm.
+std::optional<Image> ReadImageAuto(const std::string& path);
+
+// Convenience: writes PNG when supported, else PPM with the extension
+// swapped to .ppm. Returns the path actually written, or nullopt on failure.
+std::optional<std::string> WriteImageAuto(const Image& img,
+                                          const std::string& path_base);
+
+// Renders a bitmap as a grayscale visualization (set = white).
+Image MaskToImage(const Bitmap& mask);
+
+}  // namespace bb::imaging

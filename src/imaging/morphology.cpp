@@ -1,0 +1,105 @@
+#include "imaging/morphology.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace bb::imaging {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::max() / 4.0f;
+
+// 1-D squared distance transform (Felzenszwalb & Huttenlocher 2012).
+void Dt1d(const float* f, float* d, int n, int* v, float* z) {
+  int k = 0;
+  v[0] = 0;
+  z[0] = -kInf;
+  z[1] = kInf;
+  for (int q = 1; q < n; ++q) {
+    float s = ((f[q] + static_cast<float>(q) * q) -
+               (f[v[k]] + static_cast<float>(v[k]) * v[k])) /
+              (2.0f * (q - v[k]));
+    while (s <= z[k]) {
+      --k;
+      s = ((f[q] + static_cast<float>(q) * q) -
+           (f[v[k]] + static_cast<float>(v[k]) * v[k])) /
+          (2.0f * (q - v[k]));
+    }
+    ++k;
+    v[k] = q;
+    z[k] = s;
+    z[k + 1] = kInf;
+  }
+  k = 0;
+  for (int q = 0; q < n; ++q) {
+    while (z[k + 1] < static_cast<float>(q)) ++k;
+    const float dq = static_cast<float>(q - v[k]);
+    d[q] = dq * dq + f[v[k]];
+  }
+}
+
+}  // namespace
+
+FloatImage SquaredDistanceToSet(const Bitmap& mask) {
+  const int w = mask.width(), h = mask.height();
+  FloatImage dist(w, h);
+  if (w == 0 || h == 0) return dist;
+
+  // Initialize: 0 inside the set, +inf outside.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      dist(x, y) = mask(x, y) ? 0.0f : kInf;
+    }
+  }
+
+  const int n = std::max(w, h);
+  std::vector<float> f(n), d(n), z(n + 1);
+  std::vector<int> v(n);
+
+  // Transform along columns.
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) f[y] = dist(x, y);
+    Dt1d(f.data(), d.data(), h, v.data(), z.data());
+    for (int y = 0; y < h; ++y) dist(x, y) = d[y];
+  }
+  // Transform along rows.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) f[x] = dist(x, y);
+    Dt1d(f.data(), d.data(), w, v.data(), z.data());
+    for (int x = 0; x < w; ++x) dist(x, y) = d[x];
+  }
+  return dist;
+}
+
+Bitmap DilateDisc(const Bitmap& mask, double radius) {
+  if (radius <= 0.0) return mask;
+  const FloatImage dist = SquaredDistanceToSet(mask);
+  const float r2 = static_cast<float>(radius * radius);
+  Bitmap out(mask.width(), mask.height());
+  auto pd = dist.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    po[i] = pd[i] <= r2 ? kMaskSet : kMaskClear;
+  }
+  return out;
+}
+
+Bitmap ErodeDisc(const Bitmap& mask, double radius) {
+  if (radius <= 0.0) return mask;
+  return Not(DilateDisc(Not(mask), radius));
+}
+
+Bitmap OpenDisc(const Bitmap& mask, double radius) {
+  return DilateDisc(ErodeDisc(mask, radius), radius);
+}
+
+Bitmap CloseDisc(const Bitmap& mask, double radius) {
+  return ErodeDisc(DilateDisc(mask, radius), radius);
+}
+
+Bitmap BoundaryRing(const Bitmap& mask, double radius) {
+  return AndNot(DilateDisc(mask, radius), mask);
+}
+
+}  // namespace bb::imaging

@@ -1,0 +1,220 @@
+#include "imaging/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::imaging {
+
+namespace {
+
+// 1-4-6-4-1 separable smoothing on a band image (edge-clamped).
+BandImage Smooth(const BandImage& img) {
+  static constexpr float kK[5] = {1.0f / 16, 4.0f / 16, 6.0f / 16,
+                                  4.0f / 16, 1.0f / 16};
+  const int w = img.width(), h = img.height();
+  BandImage tmp(w, h), out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      Rgbf acc;
+      for (int k = -2; k <= 2; ++k) {
+        const Rgbf& p = img(std::clamp(x + k, 0, w - 1), y);
+        acc.r += kK[k + 2] * p.r;
+        acc.g += kK[k + 2] * p.g;
+        acc.b += kK[k + 2] * p.b;
+      }
+      tmp(x, y) = acc;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      Rgbf acc;
+      for (int k = -2; k <= 2; ++k) {
+        const Rgbf& p = tmp(x, std::clamp(y + k, 0, h - 1));
+        acc.r += kK[k + 2] * p.r;
+        acc.g += kK[k + 2] * p.g;
+        acc.b += kK[k + 2] * p.b;
+      }
+      out(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+FloatImage DownsampleMask(const FloatImage& mask) {
+  const int w = (mask.width() + 1) / 2, h = (mask.height() + 1) / 2;
+  FloatImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Mean of the (up to) 2x2 source block.
+      float sum = 0.0f;
+      int n = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const int sx = 2 * x + dx, sy = 2 * y + dy;
+          if (sx < mask.width() && sy < mask.height()) {
+            sum += mask(sx, sy);
+            ++n;
+          }
+        }
+      }
+      out(x, y) = n > 0 ? sum / static_cast<float>(n) : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BandImage ToBandImage(const Image& img) {
+  BandImage out(img.width(), img.height());
+  auto pi = img.pixels();
+  auto po = out.pixels();
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    po[i] = {static_cast<float>(pi[i].r), static_cast<float>(pi[i].g),
+             static_cast<float>(pi[i].b)};
+  }
+  return out;
+}
+
+Image FromBandImage(const BandImage& img) {
+  Image out(img.width(), img.height());
+  auto pi = img.pixels();
+  auto po = out.pixels();
+  auto clamp8 = [](float v) {
+    return static_cast<std::uint8_t>(std::clamp(v + 0.5f, 0.0f, 255.0f));
+  };
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    po[i] = {clamp8(pi[i].r), clamp8(pi[i].g), clamp8(pi[i].b)};
+  }
+  return out;
+}
+
+BandImage Downsample2x(const BandImage& img) {
+  const BandImage smoothed = Smooth(img);
+  const int w = (img.width() + 1) / 2, h = (img.height() + 1) / 2;
+  BandImage out(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      out(x, y) = smoothed(std::min(2 * x, img.width() - 1),
+                           std::min(2 * y, img.height() - 1));
+    }
+  }
+  return out;
+}
+
+BandImage UpsampleTo(const BandImage& img, int width, int height) {
+  BandImage out(width, height);
+  if (img.empty() || width <= 0 || height <= 0) return out;
+  const float sx = static_cast<float>(img.width()) / width;
+  const float sy = static_cast<float>(img.height()) / height;
+  for (int y = 0; y < height; ++y) {
+    const float fy =
+        std::min((y + 0.5f) * sy - 0.5f,
+                 static_cast<float>(img.height() - 1));
+    const int y0 = std::max(0, static_cast<int>(std::floor(fy)));
+    const int y1 = std::min(img.height() - 1, y0 + 1);
+    const float wy = std::clamp(fy - y0, 0.0f, 1.0f);
+    for (int x = 0; x < width; ++x) {
+      const float fx =
+          std::min((x + 0.5f) * sx - 0.5f,
+                   static_cast<float>(img.width() - 1));
+      const int x0 = std::max(0, static_cast<int>(std::floor(fx)));
+      const int x1 = std::min(img.width() - 1, x0 + 1);
+      const float wx = std::clamp(fx - x0, 0.0f, 1.0f);
+      auto lerp_ch = [&](float c00, float c10, float c01, float c11) {
+        const float top = c00 * (1 - wx) + c10 * wx;
+        const float bot = c01 * (1 - wx) + c11 * wx;
+        return top * (1 - wy) + bot * wy;
+      };
+      const Rgbf& p00 = img(x0, y0);
+      const Rgbf& p10 = img(x1, y0);
+      const Rgbf& p01 = img(x0, y1);
+      const Rgbf& p11 = img(x1, y1);
+      out(x, y) = {lerp_ch(p00.r, p10.r, p01.r, p11.r),
+                   lerp_ch(p00.g, p10.g, p01.g, p11.g),
+                   lerp_ch(p00.b, p10.b, p01.b, p11.b)};
+    }
+  }
+  return out;
+}
+
+std::vector<BandImage> GaussianPyramid(const BandImage& img, int levels) {
+  std::vector<BandImage> out;
+  out.push_back(img);
+  for (int l = 1; l < levels; ++l) {
+    const BandImage& prev = out.back();
+    if (prev.width() <= 1 || prev.height() <= 1) break;
+    out.push_back(Downsample2x(prev));
+  }
+  return out;
+}
+
+std::vector<BandImage> LaplacianPyramid(const BandImage& img, int levels) {
+  const std::vector<BandImage> gauss = GaussianPyramid(img, levels);
+  std::vector<BandImage> out;
+  for (std::size_t l = 0; l + 1 < gauss.size(); ++l) {
+    const BandImage up = UpsampleTo(gauss[l + 1], gauss[l].width(),
+                                    gauss[l].height());
+    BandImage band(gauss[l].width(), gauss[l].height());
+    auto pg = gauss[l].pixels();
+    auto pu = up.pixels();
+    auto pb = band.pixels();
+    for (std::size_t i = 0; i < pb.size(); ++i) {
+      pb[i] = {pg[i].r - pu[i].r, pg[i].g - pu[i].g, pg[i].b - pu[i].b};
+    }
+    out.push_back(std::move(band));
+  }
+  out.push_back(gauss.back());  // low-pass residual
+  return out;
+}
+
+BandImage CollapseLaplacian(const std::vector<BandImage>& pyramid) {
+  if (pyramid.empty()) return {};
+  BandImage acc = pyramid.back();
+  for (std::size_t l = pyramid.size() - 1; l-- > 0;) {
+    const BandImage up =
+        UpsampleTo(acc, pyramid[l].width(), pyramid[l].height());
+    acc = BandImage(pyramid[l].width(), pyramid[l].height());
+    auto pb = pyramid[l].pixels();
+    auto pu = up.pixels();
+    auto pa = acc.pixels();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      pa[i] = {pb[i].r + pu[i].r, pb[i].g + pu[i].g, pb[i].b + pu[i].b};
+    }
+  }
+  return acc;
+}
+
+Image PyramidBlend(const Image& a, const Image& b, const FloatImage& mask,
+                   int levels) {
+  RequireSameShape(a, b, "PyramidBlend");
+  RequireSameShape(a, mask, "PyramidBlend");
+  const auto la = LaplacianPyramid(ToBandImage(a), levels);
+  const auto lb = LaplacianPyramid(ToBandImage(b), levels);
+
+  // Mask pyramid: plain downsampled means (already smooth per level).
+  std::vector<FloatImage> masks;
+  masks.push_back(mask);
+  while (masks.size() < la.size()) {
+    masks.push_back(DownsampleMask(masks.back()));
+  }
+
+  std::vector<BandImage> blended;
+  for (std::size_t l = 0; l < la.size(); ++l) {
+    BandImage band(la[l].width(), la[l].height());
+    auto pa = la[l].pixels();
+    auto pb = lb[l].pixels();
+    auto pm = masks[l].pixels();
+    auto po = band.pixels();
+    for (std::size_t i = 0; i < po.size(); ++i) {
+      const float m = std::clamp(pm[i], 0.0f, 1.0f);
+      po[i] = {pa[i].r * m + pb[i].r * (1 - m),
+               pa[i].g * m + pb[i].g * (1 - m),
+               pa[i].b * m + pb[i].b * (1 - m)};
+    }
+    blended.push_back(std::move(band));
+  }
+  return FromBandImage(CollapseLaplacian(blended));
+}
+
+}  // namespace bb::imaging

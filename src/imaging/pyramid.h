@@ -1,0 +1,51 @@
+// Gaussian / Laplacian image pyramids (Burt & Adelson 1983).
+//
+// The paper lists "Laplacian pyramid blending" among the blending functions
+// a video-calling app may use for its virtual background (sec. III). The
+// vbg compositor's kLaplacianPyramid blend mode is built on these
+// primitives: blend each Laplacian band with a progressively smoothed mask,
+// then collapse.
+#pragma once
+
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+// Signed-float RGB plane used for Laplacian bands (differences can be
+// negative).
+struct Rgbf {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+};
+using BandImage = ImageT<Rgbf>;
+
+BandImage ToBandImage(const Image& img);
+// Clamps each channel to [0, 255].
+Image FromBandImage(const BandImage& img);
+
+// Halves each dimension (rounding up) after a small smoothing kernel; the
+// inverse upsamples with bilinear interpolation back to an arbitrary
+// (w, h) so odd sizes round-trip.
+BandImage Downsample2x(const BandImage& img);
+BandImage UpsampleTo(const BandImage& img, int width, int height);
+
+// Gaussian pyramid: levels[0] is the input, each next level is
+// Downsample2x of the previous. `levels` includes the base (so levels >= 1);
+// construction stops early once a dimension reaches 1.
+std::vector<BandImage> GaussianPyramid(const BandImage& img, int levels);
+
+// Laplacian pyramid: band[i] = gauss[i] - Upsample(gauss[i+1]); the last
+// entry is the residual low-pass level. Collapse inverts it exactly (up to
+// float rounding).
+std::vector<BandImage> LaplacianPyramid(const BandImage& img, int levels);
+BandImage CollapseLaplacian(const std::vector<BandImage>& pyramid);
+
+// Laplacian-pyramid blend of two images with a soft mask in [0, 1]
+// (1 = take `a`). Classic Burt-Adelson multiband blending.
+Image PyramidBlend(const Image& a, const Image& b, const FloatImage& mask,
+                   int levels = 4);
+
+}  // namespace bb::imaging

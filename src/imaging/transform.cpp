@@ -1,0 +1,162 @@
+#include "imaging/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::imaging {
+
+namespace {
+
+template <typename P>
+ImageT<P> ShiftImpl(const ImageT<P>& img, int dx, int dy, P fill) {
+  ImageT<P> out(img.width(), img.height(), fill);
+  for (int y = 0; y < img.height(); ++y) {
+    const int sy = y - dy;
+    if (sy < 0 || sy >= img.height()) continue;
+    for (int x = 0; x < img.width(); ++x) {
+      const int sx = x - dx;
+      if (sx < 0 || sx >= img.width()) continue;
+      out(x, y) = img(sx, sy);
+    }
+  }
+  return out;
+}
+
+template <typename P>
+ImageT<P> RotateImpl(const ImageT<P>& img, double degrees, P fill) {
+  ImageT<P> out(img.width(), img.height(), fill);
+  const double rad = degrees * 3.14159265358979323846 / 180.0;
+  const double c = std::cos(rad), s = std::sin(rad);
+  const double cx = (img.width() - 1) * 0.5;
+  const double cy = (img.height() - 1) * 0.5;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      // Inverse mapping: rotate destination coords by -degrees.
+      const double rx = (x - cx) * c + (y - cy) * s + cx;
+      const double ry = -(x - cx) * s + (y - cy) * c + cy;
+      const int sx = static_cast<int>(std::lround(rx));
+      const int sy = static_cast<int>(std::lround(ry));
+      if (img.InBounds(sx, sy)) out(x, y) = img(sx, sy);
+    }
+  }
+  return out;
+}
+
+template <typename P>
+ImageT<P> ResizeNearestImpl(const ImageT<P>& img, int new_w, int new_h) {
+  ImageT<P> out(new_w, new_h);
+  if (img.empty() || new_w <= 0 || new_h <= 0) return out;
+  for (int y = 0; y < new_h; ++y) {
+    const int sy = std::min(
+        img.height() - 1,
+        static_cast<int>((static_cast<long long>(y) * img.height()) / new_h));
+    for (int x = 0; x < new_w; ++x) {
+      const int sx = std::min(
+          img.width() - 1,
+          static_cast<int>((static_cast<long long>(x) * img.width()) / new_w));
+      out(x, y) = img(sx, sy);
+    }
+  }
+  return out;
+}
+
+template <typename P>
+ImageT<P> CropImpl(const ImageT<P>& img, const Rect& r) {
+  const Rect clipped = r.Intersect({0, 0, img.width(), img.height()});
+  ImageT<P> out(clipped.w, clipped.h);
+  for (int y = 0; y < clipped.h; ++y) {
+    for (int x = 0; x < clipped.w; ++x) {
+      out(x, y) = img(clipped.x + x, clipped.y + y);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image Shift(const Image& img, int dx, int dy, Rgb8 fill) {
+  return ShiftImpl(img, dx, dy, fill);
+}
+Bitmap Shift(const Bitmap& mask, int dx, int dy, std::uint8_t fill) {
+  return ShiftImpl(mask, dx, dy, fill);
+}
+
+Image Rotate(const Image& img, double degrees, Rgb8 fill) {
+  return RotateImpl(img, degrees, fill);
+}
+Bitmap Rotate(const Bitmap& mask, double degrees, std::uint8_t fill) {
+  return RotateImpl(mask, degrees, fill);
+}
+
+Image ResizeNearest(const Image& img, int new_w, int new_h) {
+  return ResizeNearestImpl(img, new_w, new_h);
+}
+Bitmap ResizeNearest(const Bitmap& mask, int new_w, int new_h) {
+  return ResizeNearestImpl(mask, new_w, new_h);
+}
+
+Image ResizeBilinear(const Image& img, int new_w, int new_h) {
+  Image out(new_w, new_h);
+  if (img.empty() || new_w <= 0 || new_h <= 0) return out;
+  const double sx_step = static_cast<double>(img.width()) / new_w;
+  const double sy_step = static_cast<double>(img.height()) / new_h;
+  for (int y = 0; y < new_h; ++y) {
+    const double fy = std::min((y + 0.5) * sy_step - 0.5,
+                               static_cast<double>(img.height() - 1));
+    const int y0 = std::max(0, static_cast<int>(std::floor(fy)));
+    const int y1 = std::min(img.height() - 1, y0 + 1);
+    const double wy = std::clamp(fy - y0, 0.0, 1.0);
+    for (int x = 0; x < new_w; ++x) {
+      const double fx = std::min((x + 0.5) * sx_step - 0.5,
+                                 static_cast<double>(img.width() - 1));
+      const int x0 = std::max(0, static_cast<int>(std::floor(fx)));
+      const int x1 = std::min(img.width() - 1, x0 + 1);
+      const double wx = std::clamp(fx - x0, 0.0, 1.0);
+      auto blend = [&](auto get) {
+        const double top = get(img(x0, y0)) * (1 - wx) + get(img(x1, y0)) * wx;
+        const double bot = get(img(x0, y1)) * (1 - wx) + get(img(x1, y1)) * wx;
+        const double v = top * (1 - wy) + bot * wy;
+        return static_cast<std::uint8_t>(std::clamp(v + 0.5, 0.0, 255.0));
+      };
+      out(x, y) = {blend([](Rgb8 p) { return static_cast<double>(p.r); }),
+                   blend([](Rgb8 p) { return static_cast<double>(p.g); }),
+                   blend([](Rgb8 p) { return static_cast<double>(p.b); })};
+    }
+  }
+  return out;
+}
+
+namespace {
+template <typename P>
+ImageT<P> FlipHorizontalImpl(const ImageT<P>& img) {
+  ImageT<P> out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out(x, y) = img(img.width() - 1 - x, y);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Image FlipHorizontal(const Image& img) { return FlipHorizontalImpl(img); }
+Bitmap FlipHorizontal(const Bitmap& mask) {
+  return FlipHorizontalImpl(mask);
+}
+
+Image Crop(const Image& img, const Rect& r) { return CropImpl(img, r); }
+Bitmap Crop(const Bitmap& mask, const Rect& r) { return CropImpl(mask, r); }
+
+void Paste(Image& dst, const Image& src, int x, int y) {
+  for (int sy = 0; sy < src.height(); ++sy) {
+    const int dy = y + sy;
+    if (dy < 0 || dy >= dst.height()) continue;
+    for (int sx = 0; sx < src.width(); ++sx) {
+      const int dx = x + sx;
+      if (dx < 0 || dx >= dst.width()) continue;
+      dst(dx, dy) = src(sx, sy);
+    }
+  }
+}
+
+}  // namespace bb::imaging

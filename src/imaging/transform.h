@@ -1,0 +1,40 @@
+// Geometric transforms.
+//
+// The location-inference and object-tracking attacks (paper sec. VI) search
+// over incremental rotations, shifts and scales of the reconstructed
+// background; these are the primitives they sweep with.
+#pragma once
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::imaging {
+
+// Translates the image by (dx, dy); uncovered pixels take `fill`.
+Image Shift(const Image& img, int dx, int dy, Rgb8 fill = {});
+Bitmap Shift(const Bitmap& mask, int dx, int dy, std::uint8_t fill = 0);
+
+// Rotates around the image center by `degrees` (counter-clockwise) with
+// nearest-neighbour sampling; uncovered pixels take `fill`.
+Image Rotate(const Image& img, double degrees, Rgb8 fill = {});
+Bitmap Rotate(const Bitmap& mask, double degrees, std::uint8_t fill = 0);
+
+// Resizes to (new_w, new_h) with nearest-neighbour sampling.
+Image ResizeNearest(const Image& img, int new_w, int new_h);
+Bitmap ResizeNearest(const Bitmap& mask, int new_w, int new_h);
+
+// Resizes with bilinear sampling (color images only).
+Image ResizeBilinear(const Image& img, int new_w, int new_h);
+
+// Mirror around the vertical axis.
+Image FlipHorizontal(const Image& img);
+Bitmap FlipHorizontal(const Bitmap& mask);
+
+// Copies the sub-rectangle `r` (clipped to bounds) into a new image.
+Image Crop(const Image& img, const Rect& r);
+Bitmap Crop(const Bitmap& mask, const Rect& r);
+
+// Pastes `src` into `dst` with its top-left corner at (x, y), clipping.
+void Paste(Image& dst, const Image& src, int x, int y);
+
+}  // namespace bb::imaging

@@ -1,0 +1,90 @@
+// Person segmentation - the DeepLabv3 substitute.
+//
+// The paper generates the video-caller mask VCM with DeepLabv3 (sec. V-D),
+// run offline on the recorded call. No pretrained network is available
+// here, so two substitutes cover the same role:
+//   * NoisyOracleSegmenter - degrades the ground-truth caller silhouette to
+//     a configurable accuracy (default ~DeepLabv3-class IoU). Used by the
+//     benches so the VCM quality is a controlled variable.
+//   * ClassicalSegmenter   - a real segmenter with no oracle access: finds
+//     the dynamic region of the call video, then refines it with a color
+//     model. Proves the pipeline works end-to-end without ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "imaging/image.h"
+#include "video/video.h"
+
+namespace bb::segmentation {
+
+class PersonSegmenter {
+ public:
+  virtual ~PersonSegmenter() = default;
+
+  // Estimated caller mask for frame `frame_index` of `call`. Implementations
+  // may precompute on first use; `call` must be the same stream across calls
+  // of one instance.
+  virtual imaging::Bitmap Segment(const video::VideoStream& call,
+                                  int frame_index) = 0;
+};
+
+struct NoisyOracleParams {
+  // Std-dev of the smooth boundary displacement, pixels. ~1.0 yields
+  // IoU ~0.95 on 144p figures (DeepLabv3-class).
+  double boundary_noise_px = 1.0;
+  int noise_cell_px = 10;
+  // The paper notes DeepLabv3's characteristic misses: background regions
+  // under the head / between fingers kept as person. The oracle emulates
+  // this by dilating concave pockets: probability of including a background
+  // pixel that is surrounded by caller pixels.
+  double pocket_inclusion = 0.5;
+  double pocket_reach_px = 3.0;
+};
+
+class NoisyOracleSegmenter final : public PersonSegmenter {
+ public:
+  NoisyOracleSegmenter(std::vector<imaging::Bitmap> true_masks,
+                       const NoisyOracleParams& params, std::uint64_t seed);
+
+  imaging::Bitmap Segment(const video::VideoStream& call,
+                          int frame_index) override;
+
+ private:
+  std::vector<imaging::Bitmap> true_masks_;
+  NoisyOracleParams params_;
+  std::uint64_t seed_;
+};
+
+struct ClassicalSegmenterParams {
+  // A pixel belongs to the dynamic (caller) region when it deviates from
+  // the static layer in at least this fraction of frames.
+  double dynamic_fraction = 0.25;
+  int channel_tolerance = 14;
+  // Color-model refinement: pixels in the dynamic region whose color bucket
+  // is rare inside the region's confident core are dropped.
+  double rare_color_frequency = 0.004;
+  double core_erode_px = 3.0;
+  std::size_t min_island_area = 24;
+};
+
+class ClassicalSegmenter final : public PersonSegmenter {
+ public:
+  explicit ClassicalSegmenter(const ClassicalSegmenterParams& params = {});
+
+  imaging::Bitmap Segment(const video::VideoStream& call,
+                          int frame_index) override;
+
+ private:
+  void Prepare(const video::VideoStream& call);
+
+  ClassicalSegmenterParams params_;
+  bool prepared_ = false;
+  const video::VideoStream* prepared_for_ = nullptr;
+  imaging::Image static_layer_;
+  imaging::FloatImage dynamic_score_;
+};
+
+}  // namespace bb::segmentation

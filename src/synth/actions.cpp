@@ -1,0 +1,186 @@
+#include "synth/actions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::synth {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Smooth 0->1->0 bump over one period (cosine window), phase in [0, 1).
+double Bump(double phase) { return 0.5 * (1.0 - std::cos(2.0 * kPi * phase)); }
+
+// Idle "breathing" micro-motion present in every action.
+void AddIdle(Pose& pose, double t) {
+  pose.offset_y += 0.6 * std::sin(2.0 * kPi * 0.21 * t);
+  pose.sway += 0.8 * std::sin(2.0 * kPi * 0.13 * t + 0.7);
+}
+
+}  // namespace
+
+const char* ToString(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kStill: return "still";
+    case ActionKind::kLeanForward: return "lean_forward";
+    case ActionKind::kLeanBackward: return "lean_backward";
+    case ActionKind::kArmWave: return "arm_wave";
+    case ActionKind::kRotate: return "rotate";
+    case ActionKind::kClap: return "clap";
+    case ActionKind::kStretch: return "stretch";
+    case ActionKind::kType: return "type";
+    case ActionKind::kDrink: return "drink";
+    case ActionKind::kExitEnter: return "exit_enter";
+  }
+  return "unknown";
+}
+
+const char* ToString(SpeedClass s) {
+  switch (s) {
+    case SpeedClass::kSlow: return "slow";
+    case SpeedClass::kAverage: return "average";
+    case SpeedClass::kFast: return "fast";
+  }
+  return "unknown";
+}
+
+double SpeedMultiplier(SpeedClass s) {
+  switch (s) {
+    case SpeedClass::kSlow: return 0.45;
+    case SpeedClass::kAverage: return 1.0;
+    case SpeedClass::kFast: return 2.4;
+  }
+  return 1.0;
+}
+
+double EventDuration(const ActionParams& params) {
+  // Base duration of one event at speed 1.0, per action.
+  double base = 1.0;
+  switch (params.kind) {
+    case ActionKind::kStill: base = 4.0; break;          // one breath cycle
+    case ActionKind::kLeanForward: base = 3.0; break;
+    case ActionKind::kLeanBackward: base = 3.0; break;
+    case ActionKind::kArmWave: base = 0.9; break;        // paper: avg 0.9 s
+    case ActionKind::kRotate: base = 2.5; break;
+    case ActionKind::kClap: base = 0.26; break;          // paper: avg 0.26 s
+    case ActionKind::kStretch: base = 5.0; break;
+    case ActionKind::kType: base = 0.5; break;
+    case ActionKind::kDrink: base = 4.0; break;
+    case ActionKind::kExitEnter: base = 8.0; break;
+  }
+  return base / params.speed;
+}
+
+Pose PoseAt(const ActionParams& params, double t) {
+  Pose pose;
+  const double period = EventDuration(params);
+  const double phase = period > 0.0 ? std::fmod(t, period) / period : 0.0;
+  const double h = params.frame_height;
+  const double w = params.frame_width;
+
+  // Participants performing an action slowly sweep it more broadly; fast
+  // repetitions are tighter (the paper's measured displacement decreases
+  // from slow to fast, sec. VIII-C "Effect of Movement").
+  const double amp =
+      std::clamp(1.0 + 0.50 * (1.0 - params.speed), 0.75, 1.30);
+
+  switch (params.kind) {
+    case ActionKind::kStill:
+      break;
+
+    case ActionKind::kLeanForward: {
+      const double b = Bump(phase);
+      pose.lean = 1.0 + 0.28 * b;
+      pose.offset_y = 0.06 * h * b;
+      break;
+    }
+
+    case ActionKind::kLeanBackward: {
+      const double b = Bump(phase);
+      pose.lean = 1.0 - 0.20 * b;
+      pose.offset_y = -0.04 * h * b;
+      break;
+    }
+
+    case ActionKind::kArmWave: {
+      // Right arm raised high, whole forearm sweeping broadly side to side
+      // once per event, shoulder rocking with it.
+      pose.r_shoulder_deg =
+          145.0 + amp * 14.0 * std::sin(2.0 * kPi * phase);
+      pose.r_elbow_deg = amp * 55.0 * std::sin(2.0 * kPi * phase) - 10.0;
+      pose.l_shoulder_deg = 6.0;
+      break;
+    }
+
+    case ActionKind::kRotate: {
+      // Torso/head rotation approximated by opposite head sway and body
+      // shift.
+      const double s = std::sin(2.0 * kPi * phase);
+      pose.sway = 0.07 * w * s;
+      pose.offset_x = -0.03 * w * s;
+      break;
+    }
+
+    case ActionKind::kClap: {
+      // Both forearms swing toward the midline and back each event.
+      const double b = Bump(phase);
+      pose.l_shoulder_deg = 55.0;
+      pose.r_shoulder_deg = 55.0;
+      pose.l_elbow_deg = 30.0 + amp * 65.0 * b;
+      pose.r_elbow_deg = 30.0 + amp * 65.0 * b;
+      break;
+    }
+
+    case ActionKind::kStretch: {
+      // Arms rise overhead, hold, come back.
+      const double b = Bump(phase);
+      pose.l_shoulder_deg = 8.0 + 132.0 * b;
+      pose.r_shoulder_deg = 8.0 + 132.0 * b;
+      pose.l_elbow_deg = 30.0 * b;
+      pose.r_elbow_deg = 30.0 * b;
+      pose.offset_y = -0.02 * h * b;
+      break;
+    }
+
+    case ActionKind::kType: {
+      // Hands low in front of the torso; typing barely moves the
+      // silhouette (paper Fig. 7: typing leaks the least).
+      pose.l_shoulder_deg = 12.0;
+      pose.r_shoulder_deg = 12.0;
+      pose.l_elbow_deg = 70.0 + 2.0 * std::sin(2.0 * kPi * phase);
+      pose.r_elbow_deg = 70.0 - 2.0 * std::sin(2.0 * kPi * phase);
+      break;
+    }
+
+    case ActionKind::kDrink: {
+      // Raise cup to mouth (first half), sip, lower (second half).
+      const double b = Bump(phase);
+      pose.holding_cup = true;
+      pose.r_shoulder_deg = 15.0 + 55.0 * b;
+      pose.r_elbow_deg = 20.0 + 95.0 * b;
+      break;
+    }
+
+    case ActionKind::kExitEnter: {
+      // Walk out to the right, stay out, walk back in.
+      if (phase < 0.3) {
+        pose.offset_x = (phase / 0.3) * 0.9 * w;
+      } else if (phase < 0.55) {
+        pose.visible = false;
+      } else if (phase < 0.85) {
+        pose.offset_x = (1.0 - (phase - 0.55) / 0.3) * 0.9 * w;
+      } else {
+        pose.offset_x = 0.0;
+      }
+      break;
+    }
+  }
+
+  if (params.kind != ActionKind::kExitEnter || pose.visible) {
+    AddIdle(pose, t);
+  }
+  return pose;
+}
+
+}  // namespace bb::synth

@@ -1,0 +1,60 @@
+// Caller actions (experiment E1, paper sec. VII-A).
+//
+// The ten scripted actions/movements participants performed: leaning
+// forward, leaning backward, arm waving, rotating, clapping, stretching,
+// typing, drinking, exiting+entering the room, plus a still baseline.
+// Each action is a deterministic, periodic pose trajectory; `speed` scales
+// the event frequency (the paper's slow / average / fast variants).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "synth/caller.h"
+
+namespace bb::synth {
+
+enum class ActionKind {
+  kStill,
+  kLeanForward,
+  kLeanBackward,
+  kArmWave,
+  kRotate,
+  kClap,
+  kStretch,
+  kType,
+  kDrink,
+  kExitEnter,
+};
+
+inline constexpr ActionKind kAllActions[] = {
+    ActionKind::kStill,     ActionKind::kLeanForward,
+    ActionKind::kLeanBackward, ActionKind::kArmWave,
+    ActionKind::kRotate,    ActionKind::kClap,
+    ActionKind::kStretch,   ActionKind::kType,
+    ActionKind::kDrink,     ActionKind::kExitEnter,
+};
+
+const char* ToString(ActionKind kind);
+
+// Speed classes used in Fig. 8; Multiplier() converts to a frequency factor.
+enum class SpeedClass { kSlow, kAverage, kFast };
+const char* ToString(SpeedClass s);
+double SpeedMultiplier(SpeedClass s);
+
+struct ActionParams {
+  ActionKind kind = ActionKind::kStill;
+  double speed = 1.0;       // event frequency multiplier
+  int frame_width = 192;    // needed to scale translations (exit/enter)
+  int frame_height = 144;
+};
+
+// Pose of the caller `t` seconds into the action.
+Pose PoseAt(const ActionParams& params, double t);
+
+// Duration in seconds of one action *event* (one wave / one clap / one
+// exit+enter round trip) at the given speed - the numerator of the paper's
+// Action Speed metric (sec. VIII-A).
+double EventDuration(const ActionParams& params);
+
+}  // namespace bb::synth

@@ -1,0 +1,216 @@
+#include "synth/caller.h"
+
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+
+namespace bb::synth {
+
+using imaging::Bitmap;
+using imaging::Image;
+using imaging::PointF;
+using imaging::Rgb8;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Figure {
+  // All coordinates in frame pixels.
+  double cx, head_cy, head_r;
+  double torso_cx, torso_cy, torso_rx, torso_ry, torso_top;
+  PointF l_shoulder, r_shoulder, l_elbow, r_elbow, l_hand, r_hand;
+  double arm_r, hand_r, upper_len, fore_len;
+};
+
+Figure Layout(int width, int height, const CallerSpec& spec,
+              const Pose& pose) {
+  Figure f{};
+  const double u = height * spec.scale * pose.lean;
+  f.cx = width * 0.5 + pose.offset_x;
+  const double base_y = height * 1.05 + pose.offset_y;
+
+  f.torso_rx = 0.30 * u;
+  f.torso_ry = 0.55 * u;
+  f.torso_cx = f.cx;
+  f.torso_cy = base_y;
+  f.torso_top = base_y - f.torso_ry;
+
+  f.head_r = 0.145 * u;
+  f.head_cy = f.torso_top - f.head_r * 0.55;
+
+  f.arm_r = 0.055 * u;
+  f.hand_r = 0.055 * u;
+  f.upper_len = 0.24 * u;
+  f.fore_len = 0.22 * u;
+
+  const double shoulder_y = f.torso_top + 0.14 * u;
+  f.l_shoulder = {f.cx - 0.26 * u, shoulder_y};
+  f.r_shoulder = {f.cx + 0.26 * u, shoulder_y};
+
+  // Shoulder angle 0 = arm straight down; positive rotates the arm outward
+  // and up. Elbow angle bends the forearm back toward the body midline.
+  auto arm = [&](const PointF& shoulder, double shoulder_deg,
+                 double elbow_deg, double side) {
+    const double sa = shoulder_deg * kPi / 180.0;
+    PointF elbow{shoulder.x + side * std::sin(sa) * f.upper_len,
+                 shoulder.y + std::cos(sa) * f.upper_len};
+    const double fa = (shoulder_deg + elbow_deg) * kPi / 180.0;
+    PointF hand{elbow.x + side * std::sin(fa) * f.fore_len,
+                elbow.y + std::cos(fa) * f.fore_len};
+    return std::pair{elbow, hand};
+  };
+  std::tie(f.l_elbow, f.l_hand) =
+      arm(f.l_shoulder, pose.l_shoulder_deg, pose.l_elbow_deg, -1.0);
+  std::tie(f.r_elbow, f.r_hand) =
+      arm(f.r_shoulder, pose.r_shoulder_deg, pose.r_elbow_deg, +1.0);
+  return f;
+}
+
+// Paints one figure into any target via the callback primitives so the color
+// frame and the mask stay geometrically identical.
+template <typename EllipseFn, typename CapsuleFn, typename CircleFn,
+          typename RectFn>
+void PaintFigure(const Figure& f, const CallerSpec& spec, const Pose& pose,
+                 int height, EllipseFn&& ellipse, CapsuleFn&& capsule,
+                 CircleFn&& circle, RectFn&& rect) {
+  const double sway = pose.sway;
+  // Torso.
+  ellipse(static_cast<int>(f.torso_cx), static_cast<int>(f.torso_cy),
+          static_cast<int>(f.torso_rx), static_cast<int>(f.torso_ry),
+          /*is_skin=*/false, /*y_ref=*/f.torso_top);
+  // Neck.
+  rect(static_cast<int>(f.cx + sway * 0.5 - f.head_r * 0.35),
+       static_cast<int>(f.head_cy + f.head_r * 0.5),
+       static_cast<int>(f.head_r * 0.7),
+       static_cast<int>(f.torso_top - f.head_cy), /*is_skin=*/true);
+  // Head (sways relative to torso).
+  ellipse(static_cast<int>(f.cx + sway), static_cast<int>(f.head_cy),
+          static_cast<int>(f.head_r), static_cast<int>(f.head_r * 1.12),
+          /*is_skin=*/true, f.head_cy);
+  // Arms: apparel-colored upper + forearm, skin hand.
+  capsule(f.l_shoulder, f.l_elbow, f.arm_r, false);
+  capsule(f.l_elbow, f.l_hand, f.arm_r * 0.9, false);
+  capsule(f.r_shoulder, f.r_elbow, f.arm_r, false);
+  capsule(f.r_elbow, f.r_hand, f.arm_r * 0.9, false);
+  circle(static_cast<int>(f.l_hand.x), static_cast<int>(f.l_hand.y),
+         static_cast<int>(f.hand_r), true);
+  circle(static_cast<int>(f.r_hand.x), static_cast<int>(f.r_hand.y),
+         static_cast<int>(f.hand_r), true);
+
+  if (pose.holding_cup) {
+    rect(static_cast<int>(f.r_hand.x - f.hand_r * 0.8),
+         static_cast<int>(f.r_hand.y - f.hand_r * 2.2),
+         static_cast<int>(f.hand_r * 1.6), static_cast<int>(f.hand_r * 2.2),
+         /*is_skin=*/false);
+  }
+
+  const bool hat = spec.accessory == Accessory::kHat ||
+                   spec.accessory == Accessory::kHatAndHeadphones;
+  const bool phones = spec.accessory == Accessory::kHeadphones ||
+                      spec.accessory == Accessory::kHatAndHeadphones;
+  if (hat) {
+    // Crown + brim above the head.
+    rect(static_cast<int>(f.cx + sway - f.head_r * 0.8),
+         static_cast<int>(f.head_cy - f.head_r * 1.8),
+         static_cast<int>(f.head_r * 1.6), static_cast<int>(f.head_r * 0.9),
+         /*is_skin=*/false);
+    rect(static_cast<int>(f.cx + sway - f.head_r * 1.2),
+         static_cast<int>(f.head_cy - f.head_r * 1.0),
+         static_cast<int>(f.head_r * 2.4), static_cast<int>(f.head_r * 0.3),
+         /*is_skin=*/false);
+  }
+  if (phones) {
+    // Ear pads; the band is approximated by a thin rect over the crown.
+    circle(static_cast<int>(f.cx + sway - f.head_r * 1.05),
+           static_cast<int>(f.head_cy), static_cast<int>(f.head_r * 0.35),
+           false);
+    circle(static_cast<int>(f.cx + sway + f.head_r * 1.05),
+           static_cast<int>(f.head_cy), static_cast<int>(f.head_r * 0.35),
+           false);
+    rect(static_cast<int>(f.cx + sway - f.head_r * 1.05),
+         static_cast<int>(f.head_cy - f.head_r * 1.35),
+         static_cast<int>(f.head_r * 2.1), static_cast<int>(f.head_r * 0.3),
+         /*is_skin=*/false);
+  }
+  (void)height;
+}
+
+}  // namespace
+
+const char* ToString(Accessory a) {
+  switch (a) {
+    case Accessory::kNone: return "none";
+    case Accessory::kHat: return "hat";
+    case Accessory::kHeadphones: return "headphones";
+    case Accessory::kHatAndHeadphones: return "hat+headphones";
+  }
+  return "unknown";
+}
+
+void DrawCaller(Image& frame, Bitmap& mask, const CallerSpec& spec,
+                const Pose& pose) {
+  imaging::RequireSameShape(frame, mask, "DrawCaller");
+  if (!pose.visible) return;
+  const Figure f = Layout(frame.width(), frame.height(), spec, pose);
+
+  const Rgb8 dark_accessory{42, 42, 48};
+  auto apparel_at = [&](double y_ref) -> Rgb8 {
+    if (!spec.striped_apparel) return spec.apparel;
+    // Horizontal stripes every ~6 px relative to the torso top.
+    return (static_cast<int>(std::floor((y_ref) / 6.0)) % 2 == 0)
+               ? spec.apparel
+               : spec.stripe_color;
+  };
+
+  auto ellipse = [&](int cx, int cy, int rx, int ry, bool is_skin,
+                     double y_ref) {
+    Rgb8 color = is_skin ? spec.skin : spec.apparel;
+    if (!is_skin && spec.striped_apparel) {
+      // Draw striped torso as stacked bands.
+      for (int band_y = cy - ry; band_y <= cy + ry; band_y += 3) {
+        const Rgb8 c = apparel_at(band_y);
+        // Band width follows the ellipse profile.
+        const double dy = (band_y - cy) / static_cast<double>(ry);
+        if (std::abs(dy) > 1.0) continue;
+        const int half_w = static_cast<int>(rx * std::sqrt(1.0 - dy * dy));
+        imaging::FillRect(frame, {cx - half_w, band_y, 2 * half_w, 3}, c);
+        imaging::FillRect(mask, {cx - half_w, band_y, 2 * half_w, 3});
+      }
+      return;
+    }
+    (void)y_ref;
+    imaging::FillEllipse(frame, cx, cy, rx, ry, color);
+    imaging::FillEllipse(mask, cx, cy, rx, ry);
+  };
+  auto capsule = [&](PointF a, PointF b, double r, bool is_skin) {
+    imaging::FillCapsule(frame, a, b, r,
+                         is_skin ? spec.skin : apparel_at(a.y));
+    imaging::FillCapsule(mask, a, b, r);
+  };
+  auto circle = [&](int cx, int cy, int r, bool is_skin) {
+    imaging::FillCircle(frame, cx, cy, r,
+                        is_skin ? spec.skin : dark_accessory);
+    imaging::FillCircle(mask, cx, cy, r);
+  };
+  auto rect = [&](int x, int y, int w, int h, bool is_skin) {
+    imaging::FillRect(frame, {x, y, w, h},
+                      is_skin ? spec.skin : dark_accessory);
+    imaging::FillRect(mask, {x, y, w, h});
+  };
+
+  PaintFigure(f, spec, pose, frame.height(), ellipse, capsule, circle, rect);
+}
+
+Bitmap CallerSilhouette(int width, int height, const CallerSpec& spec,
+                        const Pose& pose) {
+  Image scratch(width, height);
+  Bitmap mask(width, height);
+  DrawCaller(scratch, mask, spec, pose);
+  return mask;
+}
+
+}  // namespace bb::synth

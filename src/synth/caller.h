@@ -1,0 +1,59 @@
+// The synthetic video caller.
+//
+// A 2-D articulated figure (head, torso, two 2-segment arms, hands,
+// optional accessories) substituting for the paper's human-subject
+// participants. The renderer draws the figure over a background frame and
+// produces the exact foreground mask - the ground truth the virtual-
+// background engine's matting-error model degrades, and against which the
+// caller-masking accuracy (DeepLabv3 substitute) is measured.
+#pragma once
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+
+namespace bb::synth {
+
+// Accessories tested in E1 (paper Fig. 9).
+enum class Accessory { kNone, kHat, kHeadphones, kHatAndHeadphones };
+
+const char* ToString(Accessory a);
+
+struct CallerSpec {
+  imaging::Rgb8 skin{224, 172, 136};
+  imaging::Rgb8 apparel{70, 90, 150};
+  // Striped clothing increases color variance along the caller boundary
+  // (paper sec. V-D "Color Analysis" notes patterned clothes amplify it).
+  bool striped_apparel = false;
+  imaging::Rgb8 stripe_color{210, 210, 215};
+  Accessory accessory = Accessory::kNone;
+  // Figure size as a fraction of frame height (0.9 = typical webcam "head
+  // and torso" framing).
+  double scale = 0.9;
+};
+
+// A joint configuration at one instant. Angles are degrees measured from
+// "arm hanging straight down"; positive raises the arm outward/upward.
+struct Pose {
+  double offset_x = 0.0;   // horizontal translation, pixels
+  double offset_y = 0.0;   // vertical translation, pixels
+  double lean = 1.0;       // >1 leans toward camera (figure grows)
+  double sway = 0.0;       // head/torso horizontal skew, pixels
+  double l_shoulder_deg = 8.0;
+  double l_elbow_deg = 10.0;
+  double r_shoulder_deg = 8.0;
+  double r_elbow_deg = 10.0;
+  bool holding_cup = false;  // draws a cup in the right hand (drink action)
+  bool visible = true;       // false while the caller has left the room
+};
+
+// Draws the caller over `frame` and ORs its silhouette into `mask` (which
+// must share the frame's shape). The same geometry is painted into both, so
+// mask pixels correspond exactly to caller pixels.
+void DrawCaller(imaging::Image& frame, imaging::Bitmap& mask,
+                const CallerSpec& spec, const Pose& pose);
+
+// Renders only the silhouette of the pose (fresh mask of the given size).
+imaging::Bitmap CallerSilhouette(int width, int height,
+                                 const CallerSpec& spec, const Pose& pose);
+
+}  // namespace bb::synth

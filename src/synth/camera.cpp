@@ -1,0 +1,52 @@
+#include "synth/camera.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bb::synth {
+
+const char* ToString(Lighting l) {
+  return l == Lighting::kOn ? "on" : "off";
+}
+
+CameraModel WebcamCamera(Lighting lighting) {
+  CameraModel cam;
+  if (lighting == Lighting::kOn) {
+    cam.noise_stddev = 3.0;
+    cam.exposure = 1.0;
+    cam.contrast = 1.0;
+  } else {
+    // Background lights off: darker, noisier, flatter.
+    cam.noise_stddev = 6.5;
+    cam.exposure = 0.55;
+    cam.contrast = 0.82;
+  }
+  return cam;
+}
+
+CameraModel StudioCamera() {
+  CameraModel cam;
+  cam.noise_stddev = 1.0;
+  cam.exposure = 1.05;
+  cam.contrast = 1.08;
+  return cam;
+}
+
+imaging::Image ApplyCamera(const imaging::Image& frame,
+                           const CameraModel& camera, Rng& rng) {
+  imaging::Image out(frame.width(), frame.height());
+  auto pi = frame.pixels();
+  auto po = out.pixels();
+  auto apply = [&](std::uint8_t v) -> std::uint8_t {
+    double x = v * camera.exposure;
+    x = (x - 128.0) * camera.contrast + 128.0;
+    if (camera.noise_stddev > 0.0) x += rng.Gaussian(0.0, camera.noise_stddev);
+    return static_cast<std::uint8_t>(std::clamp(x, 0.0, 255.0));
+  };
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    po[i] = {apply(pi[i].r), apply(pi[i].g), apply(pi[i].b)};
+  }
+  return out;
+}
+
+}  // namespace bb::synth

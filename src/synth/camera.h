@@ -1,0 +1,40 @@
+// Lighting and camera/sensor model.
+//
+// E1 repeats recordings with background lights ON vs OFF (paper Fig. 10/11)
+// and E3's in-the-wild videos have noticeably better lighting and cameras
+// than webcams (paper attributes E3's lower leakage to this, sec. VIII-C).
+// Both effects enter the pipeline here.
+#pragma once
+
+#include "imaging/image.h"
+#include "synth/rng.h"
+
+namespace bb::synth {
+
+enum class Lighting { kOn, kOff };
+const char* ToString(Lighting l);
+
+struct CameraModel {
+  // Std-dev of per-channel Gaussian sensor noise (webcams are noisy,
+  // produced YouTube cameras much less so).
+  double noise_stddev = 3.0;
+  // Brightness multiplier applied before noise; lighting OFF lowers it.
+  double exposure = 1.0;
+  // Contrast about mid-gray (1.0 = unchanged). Low light flattens contrast,
+  // making foreground/background separation harder for the matting engine.
+  double contrast = 1.0;
+  // Frames of simulated motion blur sampling; >1 smears fast motion.
+  int motion_blur_samples = 1;
+};
+
+// Webcam under the given lighting (E1/E2).
+CameraModel WebcamCamera(Lighting lighting);
+
+// High-quality "produced video" camera (E3).
+CameraModel StudioCamera();
+
+// Applies exposure, contrast and sensor noise to a rendered frame.
+imaging::Image ApplyCamera(const imaging::Image& frame,
+                           const CameraModel& camera, Rng& rng);
+
+}  // namespace bb::synth

@@ -1,0 +1,107 @@
+#include "synth/recorder.h"
+
+#include <algorithm>
+
+namespace bb::synth {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+namespace {
+
+// Renders `frame_count` frames of one action segment into `out`, starting
+// the action clock at zero.
+void RenderSegment(RawRecording& out, const ActionParams& action,
+                   const CallerSpec& caller, const CameraModel& camera,
+                   double fps, int frame_count, int samples,
+                   Rng& camera_rng) {
+  const imaging::Image& base = out.scene.background;
+  const int w = base.width();
+  const int h = base.height();
+
+  for (int i = 0; i < frame_count; ++i) {
+    const double t = i / fps;
+    std::vector<float> acc_r(base.pixel_count(), 0.0f);
+    std::vector<float> acc_g(acc_r.size(), 0.0f);
+    std::vector<float> acc_b(acc_r.size(), 0.0f);
+    Bitmap union_mask(w, h);
+    Bitmap inter_mask(w, h, imaging::kMaskSet);
+
+    for (int s = 0; s < samples; ++s) {
+      const double ts =
+          t + (samples > 1 ? (s / static_cast<double>(samples)) / fps : 0.0);
+      Image frame = base;
+      Bitmap mask(w, h);
+      DrawCaller(frame, mask, caller, PoseAt(action, ts));
+      auto pf = frame.pixels();
+      auto pm = mask.pixels();
+      auto pu = union_mask.pixels();
+      auto pi = inter_mask.pixels();
+      for (std::size_t k = 0; k < pf.size(); ++k) {
+        acc_r[k] += pf[k].r;
+        acc_g[k] += pf[k].g;
+        acc_b[k] += pf[k].b;
+        pu[k] = (pu[k] || pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
+        pi[k] = (pi[k] && pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
+      }
+    }
+
+    Image blended(w, h);
+    auto pb = blended.pixels();
+    const float inv = 1.0f / static_cast<float>(samples);
+    for (std::size_t k = 0; k < pb.size(); ++k) {
+      pb[k] = {static_cast<std::uint8_t>(acc_r[k] * inv + 0.5f),
+               static_cast<std::uint8_t>(acc_g[k] * inv + 0.5f),
+               static_cast<std::uint8_t>(acc_b[k] * inv + 0.5f)};
+    }
+
+    out.video.Append(ApplyCamera(blended, camera, camera_rng));
+    out.blur_masks.push_back(imaging::AndNot(union_mask, inter_mask));
+    out.caller_masks.push_back(std::move(union_mask));
+  }
+}
+
+}  // namespace
+
+RawRecording RecordCall(const RecordingSpec& spec) {
+  ScriptedRecordingSpec scripted;
+  scripted.scene = spec.scene;
+  scripted.caller = spec.caller;
+  scripted.script = {{spec.action, spec.duration_s}};
+  scripted.camera = spec.camera;
+  scripted.fps = spec.fps;
+  scripted.seed = spec.seed;
+  scripted.motion_samples = spec.motion_samples;
+  return RecordScriptedCall(scripted);
+}
+
+RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec) {
+  RawRecording out;
+  out.scene = RenderScene(spec.scene);
+  out.video = video::VideoStream(spec.fps);
+
+  Rng rng(spec.seed);
+  Rng camera_rng = rng.Fork(1);
+  {
+    // Ground-truth background under the call's own lighting/exposure.
+    CameraModel noise_free = spec.camera;
+    noise_free.noise_stddev = 0.0;
+    Rng scratch(0);
+    out.true_background =
+        ApplyCamera(out.scene.background, noise_free, scratch);
+  }
+  const int samples = std::max(1, spec.motion_samples);
+
+  for (const ScriptSegment& seg : spec.script) {
+    ActionParams action = seg.action;
+    action.frame_width = spec.scene.width;
+    action.frame_height = spec.scene.height;
+    const int frames =
+        std::max(1, static_cast<int>(seg.duration_s * spec.fps));
+    RenderSegment(out, action, spec.caller, spec.camera, spec.fps, frames,
+                  samples, camera_rng);
+  }
+  return out;
+}
+
+}  // namespace bb::synth

@@ -1,0 +1,70 @@
+// Raw call recorder.
+//
+// Produces the analog of the paper's ground-truth recordings (sec. VII-D):
+// participants recorded WITHOUT a virtual background; those raw videos are
+// later replayed through the video-calling software (our vbg compositor) to
+// produce the attacked stream. The recorder renders scene + caller action +
+// camera model into an annotated raw video with exact per-frame caller
+// masks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.h"
+#include "synth/actions.h"
+#include "synth/caller.h"
+#include "synth/camera.h"
+#include "synth/scene.h"
+#include "video/video.h"
+
+namespace bb::synth {
+
+struct RecordingSpec {
+  SceneSpec scene;
+  CallerSpec caller;
+  ActionParams action;
+  CameraModel camera;
+  double fps = 12.0;
+  double duration_s = 12.0;
+  std::uint64_t seed = 1;
+  // Sub-frame renders averaged per output frame; >1 produces real motion
+  // blur on fast limbs (paper sec. VIII-C attributes extra leakage during
+  // fast waving to motion blur).
+  int motion_samples = 3;
+};
+
+struct RawRecording {
+  video::VideoStream video;                   // camera-processed frames
+  // The background as the camera captures it (exposure/contrast applied,
+  // no sensor noise) - the paper's RBRR ground truth is the original video
+  // itself, which shares the call's lighting. The pristine design-time
+  // render is available as scene.background.
+  imaging::Image true_background;
+  std::vector<imaging::Bitmap> caller_masks;  // union over motion samples
+  std::vector<imaging::Bitmap> blur_masks;    // pixels only partially caller
+  RenderedScene scene;                        // object ground truth
+};
+
+RawRecording RecordCall(const RecordingSpec& spec);
+
+// A scripted call: a sequence of action segments (E2's "actively engaging"
+// participants mix leaning, gesturing and typing over a ten-minute call).
+struct ScriptSegment {
+  ActionParams action;
+  double duration_s = 4.0;
+};
+
+struct ScriptedRecordingSpec {
+  SceneSpec scene;
+  CallerSpec caller;
+  std::vector<ScriptSegment> script;
+  CameraModel camera;
+  double fps = 12.0;
+  std::uint64_t seed = 1;
+  int motion_samples = 3;
+};
+
+RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec);
+
+}  // namespace bb::synth

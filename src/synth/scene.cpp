@@ -1,0 +1,406 @@
+#include "synth/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+#include "imaging/font.h"
+
+namespace bb::synth {
+
+using imaging::FillCircle;
+using imaging::FillRect;
+using imaging::FillRing;
+using imaging::Image;
+using imaging::Rect;
+using imaging::Rgb8;
+
+namespace {
+
+void DrawWall(Image& img, const SceneSpec& spec) {
+  // Base wall with a gentle vertical luminance gradient (rooms are lit from
+  // above), so even "blank" walls have structure the hue matcher can't use
+  // but the luminance-sensitive components can.
+  for (int y = 0; y < img.height(); ++y) {
+    const float gain =
+        1.05f - 0.12f * static_cast<float>(y) / std::max(1, img.height() - 1);
+    const Rgb8 c = imaging::Scaled(spec.wall_color, gain);
+    for (int x = 0; x < img.width(); ++x) img(x, y) = c;
+  }
+
+  if (spec.wall_style == WallStyle::kBrick) {
+    const Rgb8 mortar = imaging::Scaled(spec.wall_color, 1.25f);
+    const int bh = std::max(4, img.height() / 18);
+    const int bw = std::max(8, img.width() / 12);
+    for (int y = 0; y < img.height(); y += bh) {
+      FillRect(img, {0, y, img.width(), 1}, mortar);
+      const int offset = ((y / bh) % 2) ? bw / 2 : 0;
+      for (int x = offset; x < img.width(); x += bw) {
+        FillRect(img, {x, y, 1, bh}, mortar);
+      }
+    }
+  } else if (spec.wall_style == WallStyle::kPanelled) {
+    const int pw = std::max(10, img.width() / 8);
+    for (int x = 0; x < img.width(); x += pw) {
+      const float gain = ((x / pw) % 2) ? 0.94f : 1.0f;
+      for (int y = 0; y < img.height(); ++y) {
+        for (int px = x; px < std::min(x + pw, img.width()); ++px) {
+          img(px, y) = imaging::Scaled(img(px, y), gain);
+        }
+      }
+      FillRect(img, {x, 0, 1, img.height()},
+               imaging::Scaled(spec.wall_color, 0.8f));
+    }
+  }
+}
+
+void DrawPoster(Image& img, const ObjectSpec& o) {
+  Rng style(o.style_seed);
+  FillRect(img, o.rect, o.primary);
+  imaging::DrawRectOutline(img, o.rect, imaging::Scaled(o.primary, 0.5f), 1);
+  // Horizontal accent bands.
+  const int bands = 2 + static_cast<int>(o.style_seed % 3);
+  for (int b = 0; b < bands; ++b) {
+    const int by =
+        o.rect.y + 2 + style.UniformInt(0, std::max(1, o.rect.h - 6));
+    FillRect(img, {o.rect.x + 2, by, o.rect.w - 4, 2}, o.secondary);
+  }
+  if (!o.text.empty()) {
+    const int scale = std::max(1, o.rect.w / ((static_cast<int>(o.text.size()) + 1) * 6));
+    imaging::DrawText(img, o.rect.x + 3, o.rect.y + 3, scale,
+                      imaging::Scaled(o.primary, 0.3f), o.text);
+  }
+}
+
+void DrawPainting(Image& img, const ObjectSpec& o) {
+  const Rgb8 frame{94, 66, 38};
+  FillRect(img, o.rect, frame);
+  const Rect canvas = o.rect.Inflated(-2);
+  // Diagonal two-tone gradient canvas.
+  for (int y = canvas.y; y < canvas.y2(); ++y) {
+    for (int x = canvas.x; x < canvas.x2(); ++x) {
+      if (!img.InBounds(x, y)) continue;
+      const float t =
+          static_cast<float>((x - canvas.x) + (y - canvas.y)) /
+          std::max(1, canvas.w + canvas.h - 2);
+      img(x, y) = imaging::Lerp(o.primary, o.secondary, t);
+    }
+  }
+}
+
+void DrawBookshelf(Image& img, const ObjectSpec& o) {
+  Rng style(o.style_seed);
+  const Rgb8 wood{110, 78, 48};
+  FillRect(img, o.rect, wood);
+  const int shelf_h = std::max(8, o.rect.h / 3);
+  for (int sy = o.rect.y; sy + shelf_h <= o.rect.y2(); sy += shelf_h) {
+    const Rect inner{o.rect.x + 2, sy + 1, o.rect.w - 4, shelf_h - 3};
+    FillRect(img, inner, imaging::Scaled(wood, 0.55f));
+    // Book spines: vertical colored strips of varying width/height.
+    int x = inner.x;
+    while (x < inner.x2() - 1) {
+      const int bw = style.UniformInt(2, 4);
+      const int bh = inner.h - style.UniformInt(0, 2);
+      const Rgb8 c = imaging::HsvToRgb(
+          {static_cast<float>(style.Uniform(0.0, 360.0)),
+           static_cast<float>(style.Uniform(0.45, 0.9)),
+           static_cast<float>(style.Uniform(0.45, 0.9))});
+      FillRect(img, {x, inner.y2() - bh, std::min(bw, inner.x2() - x), bh}, c);
+      x += bw + 1;
+    }
+    FillRect(img, {o.rect.x, sy + shelf_h - 2, o.rect.w, 2},
+             imaging::Scaled(wood, 1.2f));
+  }
+}
+
+void DrawStickyNote(Image& img, const ObjectSpec& o) {
+  FillRect(img, o.rect, o.primary);
+  // Slight darker bottom edge (curl shadow).
+  FillRect(img, {o.rect.x, o.rect.y2() - 1, o.rect.w, 1},
+           imaging::Scaled(o.primary, 0.7f));
+  if (!o.text.empty()) {
+    imaging::DrawText(img, o.rect.x + 2, o.rect.y + 2, 1, {40, 40, 46},
+                      o.text);
+  }
+}
+
+void DrawMonitor(Image& img, const ObjectSpec& o) {
+  const Rgb8 bezel{30, 30, 34};
+  const int stand_h = std::max(2, o.rect.h / 6);
+  const Rect body{o.rect.x, o.rect.y, o.rect.w, o.rect.h - stand_h};
+  FillRect(img, body, bezel);
+  FillRect(img, body.Inflated(-2), o.secondary);
+  // Stand.
+  FillRect(img,
+           {o.rect.Center().x - 2, body.y2(), 4, stand_h},
+           bezel);
+}
+
+void DrawTv(Image& img, const ObjectSpec& o) {
+  const Rgb8 bezel{18, 18, 20};
+  FillRect(img, o.rect, bezel);
+  FillRect(img, o.rect.Inflated(-2), o.secondary);
+  // Glint.
+  FillRect(img, {o.rect.x + 3, o.rect.y + 3, std::max(1, o.rect.w / 5), 1},
+           {220, 225, 235});
+}
+
+void DrawClock(Image& img, const ObjectSpec& o) {
+  const int r = std::min(o.rect.w, o.rect.h) / 2;
+  const auto c = o.rect.Center();
+  FillCircle(img, c.x, c.y, r, {240, 238, 230});
+  FillRing(img, c.x, c.y, r, r - 2, o.primary);
+  // Hands: hour at 10 o'clock, minute at 2 o'clock (fixed; the background is
+  // static during a call).
+  imaging::DrawLine(img, {c.x, c.y},
+                    {c.x - r / 2, c.y - r / 3}, {30, 30, 30}, 1);
+  imaging::DrawLine(img, {c.x, c.y},
+                    {c.x + static_cast<int>(r * 0.6), c.y - r / 2},
+                    {30, 30, 30}, 1);
+}
+
+void DrawToy(Image& img, const ObjectSpec& o) {
+  // Small cartoon figure: round body, head, two ears - recognizable shape
+  // with saturated colors (paper Fig. 13b tracks a Pokemon figure).
+  const auto c = o.rect.Center();
+  const int body_r = std::max(2, std::min(o.rect.w, o.rect.h) / 3);
+  FillCircle(img, c.x, c.y + body_r / 2, body_r, o.primary);
+  FillCircle(img, c.x, c.y - body_r / 2, std::max(2, body_r * 2 / 3),
+             o.primary);
+  FillCircle(img, c.x - body_r / 2, c.y - body_r, std::max(1, body_r / 3),
+             o.secondary);
+  FillCircle(img, c.x + body_r / 2, c.y - body_r, std::max(1, body_r / 3),
+             o.secondary);
+  FillCircle(img, c.x, c.y + body_r / 2, std::max(1, body_r / 2),
+             o.secondary);
+}
+
+void DrawBook(Image& img, const ObjectSpec& o) {
+  FillRect(img, o.rect, o.primary);
+  FillRect(img, {o.rect.x, o.rect.y, o.rect.w, 2}, o.secondary);
+  FillRect(img, {o.rect.x, o.rect.y2() - 2, o.rect.w, 2}, o.secondary);
+  if (!o.text.empty()) {
+    imaging::DrawText(img, o.rect.x + 1, o.rect.y + o.rect.h / 3, 1,
+                      imaging::Scaled(o.primary, 0.35f), o.text);
+  }
+}
+
+void DrawWindow(Image& img, const ObjectSpec& o) {
+  const Rgb8 frame{235, 235, 230};
+  FillRect(img, o.rect, frame);
+  const Rect glass = o.rect.Inflated(-2);
+  FillRect(img, glass, o.primary);  // sky-ish
+  // Cross frame.
+  FillRect(img, {o.rect.Center().x - 1, glass.y, 2, glass.h}, frame);
+  FillRect(img, {glass.x, o.rect.Center().y - 1, glass.w, 2}, frame);
+}
+
+void DrawDoor(Image& img, const ObjectSpec& o) {
+  FillRect(img, o.rect, o.primary);
+  imaging::DrawRectOutline(img, o.rect, imaging::Scaled(o.primary, 0.6f), 1);
+  // Panels.
+  FillRect(img, o.rect.Inflated(-4).Intersect(
+                    {o.rect.x, o.rect.y, o.rect.w, o.rect.h / 2}),
+           imaging::Scaled(o.primary, 0.85f));
+  // Knob.
+  FillCircle(img, o.rect.x2() - 4, o.rect.Center().y, 1, {220, 200, 90});
+}
+
+void DrawObject(Image& img, const ObjectSpec& o) {
+  switch (o.kind) {
+    case ObjectKind::kPoster: DrawPoster(img, o); break;
+    case ObjectKind::kPainting: DrawPainting(img, o); break;
+    case ObjectKind::kBookshelf: DrawBookshelf(img, o); break;
+    case ObjectKind::kStickyNote: DrawStickyNote(img, o); break;
+    case ObjectKind::kMonitor: DrawMonitor(img, o); break;
+    case ObjectKind::kTv: DrawTv(img, o); break;
+    case ObjectKind::kClock: DrawClock(img, o); break;
+    case ObjectKind::kToy: DrawToy(img, o); break;
+    case ObjectKind::kBook: DrawBook(img, o); break;
+    case ObjectKind::kWindow: DrawWindow(img, o); break;
+    case ObjectKind::kDoor: DrawDoor(img, o); break;
+  }
+}
+
+}  // namespace
+
+const char* ToString(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kPoster: return "poster";
+    case ObjectKind::kPainting: return "painting";
+    case ObjectKind::kBookshelf: return "bookshelf";
+    case ObjectKind::kStickyNote: return "sticky_note";
+    case ObjectKind::kMonitor: return "monitor";
+    case ObjectKind::kTv: return "tv";
+    case ObjectKind::kClock: return "clock";
+    case ObjectKind::kToy: return "toy";
+    case ObjectKind::kBook: return "book";
+    case ObjectKind::kWindow: return "window";
+    case ObjectKind::kDoor: return "door";
+  }
+  return "unknown";
+}
+
+RenderedScene RenderScene(const SceneSpec& spec) {
+  RenderedScene out;
+  out.background = Image(spec.width, spec.height);
+  DrawWall(out.background, spec);
+  for (const ObjectSpec& o : spec.objects) {
+    DrawObject(out.background, o);
+    SceneObjectTruth truth;
+    truth.kind = o.kind;
+    truth.rect = o.rect;
+    truth.text = o.text;
+    truth.template_image = RenderObjectTemplate(o);
+    out.objects.push_back(std::move(truth));
+  }
+  return out;
+}
+
+imaging::Image RenderObjectTemplate(const ObjectSpec& spec) {
+  ObjectSpec local = spec;
+  local.rect = {0, 0, spec.rect.w, spec.rect.h};
+  // Neutral background so template pixels outside the object shape exist but
+  // carry the (unknown) wall color; matching scores hue only on the object.
+  Image canvas(spec.rect.w, spec.rect.h, Rgb8{128, 128, 128});
+  DrawObject(canvas, local);
+  return canvas;
+}
+
+SceneSpec RandomScene(Rng& rng, const RandomSceneOptions& opts) {
+  SceneSpec spec;
+  spec.width = opts.width;
+  spec.height = opts.height;
+  spec.wall_color = imaging::HsvToRgb(
+      {static_cast<float>(rng.Uniform(20.0, 80.0)),
+       static_cast<float>(rng.Uniform(0.05, 0.25)),
+       static_cast<float>(rng.Uniform(0.55, 0.9))});
+  const double style_roll = rng.Uniform();
+  spec.wall_style = style_roll < 0.6   ? WallStyle::kPlain
+                    : style_roll < 0.8 ? WallStyle::kBrick
+                                       : WallStyle::kPanelled;
+
+  static constexpr ObjectKind kPlaceable[] = {
+      ObjectKind::kPoster,  ObjectKind::kPainting, ObjectKind::kBookshelf,
+      ObjectKind::kStickyNote, ObjectKind::kMonitor, ObjectKind::kTv,
+      ObjectKind::kClock,   ObjectKind::kToy,      ObjectKind::kBook,
+      ObjectKind::kWindow,  ObjectKind::kDoor};
+  static constexpr const char* kNoteTexts[] = {
+      "CALL BOB", "PIN 4312", "BUY MILK", "DO TAXES", "RENT DUE"};
+  static constexpr const char* kPosterTexts[] = {"ROCK", "VOTE", "ART",
+                                                 "JAZZ", "GYM"};
+
+  const int n = rng.UniformInt(opts.min_objects, opts.max_objects);
+  std::vector<imaging::Rect> placed;
+  auto try_place = [&](ObjectKind kind) {
+    int w = 20, h = 20;
+    switch (kind) {
+      case ObjectKind::kPoster:
+        w = rng.UniformInt(spec.width / 8, spec.width / 4);
+        h = rng.UniformInt(spec.height / 5, spec.height / 3);
+        break;
+      case ObjectKind::kPainting:
+        w = rng.UniformInt(spec.width / 7, spec.width / 4);
+        h = rng.UniformInt(spec.height / 6, spec.height / 4);
+        break;
+      case ObjectKind::kBookshelf:
+        w = rng.UniformInt(spec.width / 5, spec.width / 3);
+        h = rng.UniformInt(spec.height / 3, spec.height / 2);
+        break;
+      case ObjectKind::kStickyNote:
+        w = rng.UniformInt(spec.width / 9, spec.width / 7);
+        h = w;
+        break;
+      case ObjectKind::kMonitor:
+        w = rng.UniformInt(spec.width / 6, spec.width / 4);
+        h = w * 3 / 4;
+        break;
+      case ObjectKind::kTv:
+        w = rng.UniformInt(spec.width / 4, spec.width / 3);
+        h = w * 9 / 16 + 2;
+        break;
+      case ObjectKind::kClock: {
+        const int d = rng.UniformInt(spec.height / 8, spec.height / 5);
+        w = d;
+        h = d;
+        break;
+      }
+      case ObjectKind::kToy:
+        w = rng.UniformInt(spec.width / 12, spec.width / 8);
+        h = w;
+        break;
+      case ObjectKind::kBook:
+        w = rng.UniformInt(spec.width / 16, spec.width / 10);
+        h = rng.UniformInt(spec.height / 6, spec.height / 4);
+        break;
+      case ObjectKind::kWindow:
+        w = rng.UniformInt(spec.width / 5, spec.width / 3);
+        h = rng.UniformInt(spec.height / 4, spec.height / 3);
+        break;
+      case ObjectKind::kDoor:
+        w = rng.UniformInt(spec.width / 8, spec.width / 6);
+        h = rng.UniformInt(spec.height / 2, spec.height * 3 / 4);
+        break;
+    }
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      imaging::Rect r{rng.UniformInt(0, std::max(0, spec.width - w - 1)),
+                      rng.UniformInt(0, std::max(0, spec.height - h - 1)), w,
+                      h};
+      bool overlaps = false;
+      for (const auto& p : placed) {
+        if (!r.Inflated(2).Intersect(p).Empty()) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      placed.push_back(r);
+      ObjectSpec o;
+      o.kind = kind;
+      o.rect = r;
+      o.style_seed = rng.Next();
+      o.primary = imaging::HsvToRgb(
+          {static_cast<float>(rng.Uniform(0.0, 360.0)),
+           static_cast<float>(rng.Uniform(0.5, 0.95)),
+           static_cast<float>(rng.Uniform(0.5, 0.95))});
+      o.secondary = imaging::HsvToRgb(
+          {static_cast<float>(rng.Uniform(0.0, 360.0)),
+           static_cast<float>(rng.Uniform(0.4, 0.9)),
+           static_cast<float>(rng.Uniform(0.4, 0.9))});
+      if (kind == ObjectKind::kStickyNote) {
+        o.primary = {236, 221, 96};  // classic yellow
+        o.text = kNoteTexts[rng.UniformInt(0, 4)];
+      } else if (kind == ObjectKind::kPoster && rng.Chance(0.6)) {
+        o.text = kPosterTexts[rng.UniformInt(0, 4)];
+      } else if (kind == ObjectKind::kMonitor || kind == ObjectKind::kTv) {
+        o.secondary = imaging::HsvToRgb(
+            {static_cast<float>(rng.Uniform(200.0, 250.0)),
+             static_cast<float>(rng.Uniform(0.3, 0.7)),
+             static_cast<float>(rng.Uniform(0.4, 0.8))});
+      } else if (kind == ObjectKind::kWindow) {
+        o.primary = imaging::HsvToRgb(
+            {static_cast<float>(rng.Uniform(195.0, 220.0)),
+             static_cast<float>(rng.Uniform(0.25, 0.5)),
+             static_cast<float>(rng.Uniform(0.75, 0.95))});
+      }
+      spec.objects.push_back(std::move(o));
+      return true;
+    }
+    return false;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    try_place(kPlaceable[rng.UniformInt(0, 10)]);
+  }
+  if (opts.ensure_sticky_note) {
+    bool has_note = false;
+    for (const auto& o : spec.objects) {
+      has_note |= o.kind == ObjectKind::kStickyNote;
+    }
+    if (!has_note) try_place(ObjectKind::kStickyNote);
+  }
+  return spec;
+}
+
+}  // namespace bb::synth

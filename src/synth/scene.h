@@ -1,0 +1,92 @@
+// Synthetic room/background generator.
+//
+// Substitutes for the real rooms behind the paper's human-subject
+// participants (experiment setups E1/E2, sec. VII) and the in-the-wild
+// videos (E3). A scene is a wall plus a set of placed objects; the renderer
+// returns both the background image and per-object ground truth (kind,
+// bounding box, template image, text) so that the object-tracking,
+// generic-object and text-inference attacks can be scored exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "imaging/geometry.h"
+#include "imaging/image.h"
+#include "synth/rng.h"
+
+namespace bb::synth {
+
+enum class ObjectKind {
+  kPoster,      // saturated rectangle with bands + optional title text
+  kPainting,    // framed gradient-ish canvas
+  kBookshelf,   // grid of colored book spines
+  kStickyNote,  // small yellow square with text (paper Fig. 14b)
+  kMonitor,     // dark bezel + bright screen
+  kTv,          // wide dark bezel + medium screen
+  kClock,       // ring + hands
+  kToy,         // small colorful blob figure (paper Fig. 13b)
+  kBook,        // single standing book
+  kWindow,      // light rectangle with cross frame
+  kDoor,        // tall rectangle with knob
+};
+
+const char* ToString(ObjectKind kind);
+
+// Placement plus appearance parameters for one object.
+struct ObjectSpec {
+  ObjectKind kind = ObjectKind::kPoster;
+  imaging::Rect rect;          // placement in the scene
+  imaging::Rgb8 primary;       // dominant color (bands, cover, ...)
+  imaging::Rgb8 secondary;     // accent color
+  std::string text;            // rendered on sticky notes / posters / books
+  std::uint64_t style_seed = 0;  // deterministic per-object detail noise
+};
+
+// Wall finishes the paper observed in the wild (sec. VIII-D mentions blank
+// walls, bricked walls, windows, doors as common backgrounds).
+enum class WallStyle { kPlain, kBrick, kPanelled };
+
+struct SceneSpec {
+  int width = 192;
+  int height = 144;
+  imaging::Rgb8 wall_color{186, 178, 162};
+  WallStyle wall_style = WallStyle::kPlain;
+  std::vector<ObjectSpec> objects;
+};
+
+// Ground truth for one rendered object.
+struct SceneObjectTruth {
+  ObjectKind kind;
+  imaging::Rect rect;
+  imaging::Image template_image;  // the object as rendered, cropped
+  std::string text;               // empty when the object carries no text
+};
+
+struct RenderedScene {
+  imaging::Image background;
+  std::vector<SceneObjectTruth> objects;
+};
+
+// Renders the scene deterministically (same spec -> same pixels).
+RenderedScene RenderScene(const SceneSpec& spec);
+
+// Options controlling random scene synthesis.
+struct RandomSceneOptions {
+  int width = 192;
+  int height = 144;
+  int min_objects = 3;
+  int max_objects = 6;
+  // Force at least one text-bearing sticky note into the scene.
+  bool ensure_sticky_note = false;
+};
+
+// Draws a random scene spec: wall color/style, object count, kinds,
+// non-overlapping placements, colors and text.
+SceneSpec RandomScene(Rng& rng, const RandomSceneOptions& opts = {});
+
+// Renders a single object onto a neutral canvas of its own size - the
+// "template" an adversary uses for specific object tracking (sec. VI).
+imaging::Image RenderObjectTemplate(const ObjectSpec& spec);
+
+}  // namespace bb::synth

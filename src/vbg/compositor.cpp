@@ -1,0 +1,181 @@
+#include "vbg/compositor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/filter.h"
+#include "imaging/pyramid.h"
+#include "imaging/morphology.h"
+
+namespace bb::vbg {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+SoftwareProfile ZoomProfile() {
+  SoftwareProfile p;
+  p.name = "zoom";
+  p.matting = MattingParams{};  // defaults are calibrated for the Zoom shape
+  p.blend_radius = 4.0;
+  return p;
+}
+
+SoftwareProfile SkypeProfile() {
+  SoftwareProfile p;
+  p.name = "skype";
+  MattingParams m;
+  // "Skype was more accurate in its virtual background rendering"
+  // (sec. VIII-E): smaller boundary errors, less lag, faster warm-up.
+  m.base_error_px = 1.2;
+  m.temporal_lag = 0.42;
+  m.initial_bad_frames = 5;
+  m.initial_extra_px = 3.5;
+  m.motion_error_gain = 4.2;
+  m.contrast_confusion_px = 2.0;
+  m.blur_confusion = 0.5;
+  p.matting = m;
+  p.blend_radius = 3.0;
+  return p;
+}
+
+const char* ToString(BlendMode mode) {
+  switch (mode) {
+    case BlendMode::kDistanceRamp: return "distance_ramp";
+    case BlendMode::kGaussianFeather: return "gaussian_feather";
+    case BlendMode::kTrimap: return "trimap";
+    case BlendMode::kLaplacianPyramid: return "laplacian_pyramid";
+  }
+  return "unknown";
+}
+
+Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
+                 double blend_radius, BlendMode mode) {
+  imaging::RequireSameShape(real, vb, "BlendFrame");
+  imaging::RequireSameShape(real, fg_mask, "BlendFrame");
+  Image out(real.width(), real.height());
+
+  if (blend_radius <= 0.0) {
+    auto pr = real.pixels();
+    auto pv = vb.pixels();
+    auto pm = fg_mask.pixels();
+    auto po = out.pixels();
+    for (std::size_t i = 0; i < po.size(); ++i) {
+      po[i] = pm[i] ? pr[i] : pv[i];
+    }
+    return out;
+  }
+
+  if (mode == BlendMode::kLaplacianPyramid) {
+    // Multiband blend: hard mask, feathering supplied by the pyramid's
+    // per-band smoothing. Pyramid depth scales with the blend radius.
+    imaging::FloatImage mask(fg_mask.width(), fg_mask.height());
+    auto pm = fg_mask.pixels();
+    auto pa = mask.pixels();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      pa[i] = pm[i] ? 1.0f : 0.0f;
+    }
+    const int levels =
+        std::clamp(static_cast<int>(std::lround(blend_radius)) / 2 + 2, 2, 6);
+    return imaging::PyramidBlend(real, vb, mask, levels);
+  }
+
+  if (mode == BlendMode::kGaussianFeather) {
+    // "Gaussian blending": alpha = smoothed binary mask. (A box blur of the
+    // same radius stands in for the Gaussian kernel; the difference is
+    // invisible at these radii.)
+    imaging::FloatImage alpha(fg_mask.width(), fg_mask.height());
+    auto pm = fg_mask.pixels();
+    auto pa = alpha.pixels();
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      pa[i] = pm[i] ? 1.0f : 0.0f;
+    }
+    alpha = imaging::BoxBlur(alpha, static_cast<int>(blend_radius + 0.5));
+    for (int y = 0; y < out.height(); ++y) {
+      for (int x = 0; x < out.width(); ++x) {
+        out(x, y) = imaging::Lerp(vb(x, y), real(x, y), alpha(x, y));
+      }
+    }
+    return out;
+  }
+
+  const imaging::FloatImage dist_out =
+      imaging::SquaredDistanceToSet(fg_mask);
+  const imaging::FloatImage dist_in =
+      imaging::SquaredDistanceToSet(imaging::Not(fg_mask));
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      const double signed_d = fg_mask(x, y) ? std::sqrt(dist_in(x, y))
+                                            : -std::sqrt(dist_out(x, y));
+      double alpha;
+      if (mode == BlendMode::kTrimap) {
+        // Three states (paper sec. III): foreground, background, and a
+        // fixed 50/50 mixture in the uncertain band. The band spans
+        // +/- blend_radius/2 so its total width matches the ramp's.
+        const double half = blend_radius * 0.5;
+        alpha = signed_d > half ? 1.0 : signed_d < -half ? 0.0 : 0.5;
+      } else {
+        // kDistanceRamp: 1 deep inside the FG, 0 at blend_radius outside.
+        alpha = std::clamp(0.5 + signed_d / (2.0 * blend_radius), 0.0, 1.0);
+      }
+      out(x, y) = imaging::Lerp(vb(x, y), real(x, y),
+                                static_cast<float>(alpha));
+    }
+  }
+  return out;
+}
+
+CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
+                                      const VirtualSource& vb,
+                                      const CompositeOptions& opts) {
+  CompositedCall out;
+  out.video = video::VideoStream(raw.video.fps());
+
+  MattingEngine engine(opts.profile.matting, opts.seed);
+  synth::Rng recording_rng(opts.seed ^ 0xEC0DEull);
+
+  for (int i = 0; i < raw.video.frame_count(); ++i) {
+    const Image& real = raw.video.frame(i);
+    const Bitmap& true_mask = raw.caller_masks[static_cast<std::size_t>(i)];
+    const Bitmap& blur_mask = raw.blur_masks[static_cast<std::size_t>(i)];
+
+    const Bitmap est = engine.Estimate(true_mask, blur_mask, real);
+
+    const Image& vb_frame = vb.FrameAt(i);
+    imaging::RequireSameShape(real, vb_frame, "ApplyVirtualBackground");
+    Image adapted;
+    const Image* vb_used = &vb_frame;
+    if (opts.adapter) {
+      adapted = opts.adapter(vb_frame, real, i);
+      vb_used = &adapted;
+    }
+
+    Image blended = BlendFrame(real, *vb_used, est,
+                               opts.profile.blend_radius,
+                               opts.profile.blend_mode);
+    if (opts.profile.recording_noise > 0.0) {
+      synth::CameraModel recorder;
+      recorder.noise_stddev = opts.profile.recording_noise;
+      blended = synth::ApplyCamera(blended, recorder, recording_rng);
+    }
+    out.video.Append(std::move(blended));
+    // A background pixel only leaks *unmixed* when it sits deep enough
+    // inside the estimated foreground that the blend alpha is ~1.
+    const Bitmap pure_fg =
+        opts.profile.blend_radius > 0.0
+            ? imaging::ErodeDisc(est, opts.profile.blend_radius * 1.05)
+            : est;
+    out.leak_masks.push_back(imaging::AndNot(pure_fg, true_mask));
+    // Pixels far enough from the estimated foreground that the blend alpha
+    // is ~0: the output there is pure virtual background.
+    out.vb_regions.push_back(
+        opts.profile.blend_radius > 0.0
+            ? imaging::Not(
+                  imaging::DilateDisc(est, opts.profile.blend_radius * 1.05))
+            : imaging::Not(est));
+    out.estimated_masks.push_back(est);
+  }
+  return out;
+}
+
+}  // namespace bb::vbg

@@ -1,0 +1,101 @@
+// Virtual-background compositor: the simulated video-calling software.
+//
+// Implements the paper's pipeline (sec. III, Fig. 2): per frame, estimate a
+// foreground mask (MattingEngine), then blend the virtual background over
+// the background region with a smoothing ring of width `blend_radius`
+// around the foreground boundary (the BB component of Fig. 3). The output
+// stream is what the adversary records; the per-frame estimated masks and
+// true-leak masks are ground truth used only by the evaluation metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "synth/camera.h"
+#include "synth/recorder.h"
+#include "vbg/matting.h"
+#include "vbg/virtual_source.h"
+#include "video/video.h"
+
+namespace bb::vbg {
+
+// How the software blends the virtual background over the background region
+// (paper sec. III: "alpha blending, Gaussian blending, and Laplacian
+// pyramid blending ... the blending function used by popular video calling
+// applications is unknown").
+enum class BlendMode {
+  // Smooth alpha ramp over the signed distance to the foreground boundary
+  // (the default; visually closest to commercial output).
+  kDistanceRamp,
+  // Alpha = Gaussian blur of the binary mask ("Gaussian blending").
+  kGaussianFeather,
+  // Three-state trimap: pure FG, pure BG, and a fixed 50/50 mix in the
+  // uncertain band (the trimap masks of paper sec. III).
+  kTrimap,
+  // Burt-Adelson multiband blending ("Laplacian pyramid blending",
+  // paper sec. III): each frequency band blended with a progressively
+  // smoothed mask.
+  kLaplacianPyramid,
+};
+const char* ToString(BlendMode mode);
+
+// A video-calling software profile: matting behaviour + blending geometry.
+// Zoom and Skype "use different virtual background masking techniques;
+// Skype was more accurate" (paper sec. VIII-E).
+struct SoftwareProfile {
+  std::string name;
+  MattingParams matting;
+  BlendMode blend_mode = BlendMode::kDistanceRamp;
+  // Width of the blending ring around the foreground boundary, pixels.
+  // (The paper measured phi = 20 at webcam resolution; scaled to the
+  // simulation's default 144p this is ~4.)
+  double blend_radius = 4.0;
+  // Std-dev of Gaussian noise on the recorded output (the paper records
+  // the attacked stream with Zoom's recorder: lossy encoding jitters even
+  // the virtual-background pixels, which is why known-VB masking tops out
+  // near 98.7%, not 100%).
+  double recording_noise = 1.2;
+};
+
+SoftwareProfile ZoomProfile();
+SoftwareProfile SkypeProfile();
+
+// Optional per-frame transformation of the VB frame before compositing -
+// the hook the dynamic-virtual-background mitigation (sec. IX-A) plugs into.
+// Arguments: (vb_frame, real_frame, frame_index) -> adapted vb frame.
+using VbAdapter = std::function<imaging::Image(
+    const imaging::Image&, const imaging::Image&, int)>;
+
+struct CompositeOptions {
+  SoftwareProfile profile = ZoomProfile();
+  std::uint64_t seed = 1;
+  VbAdapter adapter;  // null = use the VB source frames unchanged
+};
+
+struct CompositedCall {
+  video::VideoStream video;  // what the adversary records
+
+  // Ground truth (never shown to the attack framework):
+  std::vector<imaging::Bitmap> estimated_masks;  // software's FG estimate
+  std::vector<imaging::Bitmap> leak_masks;       // est FG that is really bg
+  std::vector<imaging::Bitmap> vb_regions;       // output is pure VB here
+};
+
+// Replays a raw recording through the virtual-background feature.
+CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
+                                      const VirtualSource& vb,
+                                      const CompositeOptions& opts = {});
+
+// Blends one frame: real where mask is set, vb elsewhere, mixing across a
+// boundary band of width `blend_radius` per the chosen mode (exposed for
+// unit tests).
+imaging::Image BlendFrame(const imaging::Image& real,
+                          const imaging::Image& vb,
+                          const imaging::Bitmap& fg_mask,
+                          double blend_radius,
+                          BlendMode mode = BlendMode::kDistanceRamp);
+
+}  // namespace bb::vbg

@@ -1,0 +1,47 @@
+#include "vbg/dynamic_background.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "imaging/color.h"
+#include "imaging/filter.h"
+#include "vbg/noise_field.h"
+
+namespace bb::vbg {
+
+using imaging::Hsv;
+using imaging::Image;
+
+Image AdaptVirtualBackground(const Image& vb, const Image& real_frame,
+                             const DynamicVbParams& params,
+                             synth::Rng& rng) {
+  imaging::RequireSameShape(vb, real_frame, "AdaptVirtualBackground");
+  const Image smoothed =
+      imaging::GaussianBlur(real_frame, params.smoothing_sigma);
+
+  NoiseField hue_noise(vb.width(), vb.height(), params.jitter_cell_px, rng);
+
+  Image out(vb.width(), vb.height());
+  for (int y = 0; y < vb.height(); ++y) {
+    for (int x = 0; x < vb.width(); ++x) {
+      Hsv v = imaging::RgbToHsv(vb(x, y));
+      const Hsv r = imaging::RgbToHsv(smoothed(x, y));
+      v.v = static_cast<float>(v.v + (r.v - v.v) * params.value_adoption);
+      v.s = static_cast<float>(v.s + (r.s - v.s) * params.saturation_adoption);
+      v.h += static_cast<float>(hue_noise.At(x, y) * params.hue_jitter_deg);
+      out(x, y) = imaging::HsvToRgb(v);
+    }
+  }
+  return out;
+}
+
+VbAdapter MakeDynamicVbAdapter(const DynamicVbParams& params,
+                               std::uint64_t seed) {
+  auto rng = std::make_shared<synth::Rng>(seed);
+  return [params, rng](const Image& vb, const Image& real_frame,
+                       int /*frame_index*/) {
+    return AdaptVirtualBackground(vb, real_frame, params, *rng);
+  };
+}
+
+}  // namespace bb::vbg

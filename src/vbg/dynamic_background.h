@@ -1,0 +1,43 @@
+// Dynamic virtual background - the paper's primary mitigation (sec. IX-A).
+//
+// Idea: make leaked real-background pixels indistinguishable from the
+// virtual background by (a) adapting the VB's per-pixel brightness and
+// saturation toward the real frame's (after Gaussian smoothing, so the VB
+// does not simply copy the scene), and (b) randomly fluctuating each VB
+// pixel's hue across frames so the adversary's pixel-consistency and
+// known-image matching both break.
+#pragma once
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "synth/rng.h"
+#include "vbg/compositor.h"
+
+namespace bb::vbg {
+
+struct DynamicVbParams {
+  // Gaussian smoothing applied to the real frame's brightness/saturation
+  // before the VB adopts them (the paper's "Gaussian kernel").
+  double smoothing_sigma = 4.0;
+  // How strongly the VB's value/saturation move toward the real frame's
+  // (0 = unchanged, 1 = fully adopted).
+  double value_adoption = 0.7;
+  double saturation_adoption = 0.55;
+  // Max per-frame random hue offset, degrees, applied in smooth patches.
+  double hue_jitter_deg = 18.0;
+  int jitter_cell_px = 10;
+};
+
+// Returns a CompositeOptions::adapter implementing the mitigation. The
+// returned callable owns its RNG state; one adapter per call.
+VbAdapter MakeDynamicVbAdapter(const DynamicVbParams& params,
+                               std::uint64_t seed);
+
+// One-shot version (exposed for unit tests).
+imaging::Image AdaptVirtualBackground(const imaging::Image& vb,
+                                      const imaging::Image& real_frame,
+                                      const DynamicVbParams& params,
+                                      synth::Rng& rng);
+
+}  // namespace bb::vbg

@@ -1,0 +1,173 @@
+#include "vbg/matting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/connected_components.h"
+#include "imaging/filter.h"
+#include "imaging/morphology.h"
+#include "vbg/noise_field.h"
+
+namespace bb::vbg {
+
+using imaging::Bitmap;
+using imaging::FloatImage;
+using imaging::Image;
+
+double FrameQuality(const imaging::Image& frame) {
+  if (frame.pixel_count() == 0) return 0.5;
+  double sum = 0.0, sum2 = 0.0;
+  for (const imaging::Rgb8& p : frame.pixels()) {
+    const double l = imaging::Luma(p);
+    sum += l;
+    sum2 += l * l;
+  }
+  const double n = static_cast<double>(frame.pixel_count());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum2 / n - mean * mean);
+  const double stddev = std::sqrt(var);
+  // Map luma contrast to [0, 1]; ~18 is a murky lights-off scene, ~60 a
+  // crisp studio shot.
+  return std::clamp((stddev - 18.0) / 42.0, 0.0, 1.0);
+}
+
+MattingEngine::MattingEngine(const MattingParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+Bitmap MattingEngine::Estimate(const Bitmap& true_mask,
+                               const Bitmap& blur_mask,
+                               const Image& frame) {
+  imaging::RequireSameShape(true_mask, frame, "MattingEngine::Estimate");
+  imaging::RequireSameShape(true_mask, blur_mask, "MattingEngine::Estimate");
+  const int w = true_mask.width(), h = true_mask.height();
+
+  if (prev_true_.empty()) prev_true_ = true_mask;
+
+  // ---- Local error amplitude --------------------------------------------
+  const double quality = FrameQuality(frame);
+  const double quality_gain =
+      params_.quality_gain_low +
+      (params_.quality_gain_high - params_.quality_gain_low) * quality;
+  const double initial_extra =
+      params_.initial_bad_frames > 0
+          ? params_.initial_extra_px *
+                std::max(0.0, 1.0 - static_cast<double>(frame_index_) /
+                                        params_.initial_bad_frames)
+          : 0.0;
+
+  // Motion density: fraction of recently changed caller pixels nearby.
+  FloatImage motion(w, h, 0.0f);
+  {
+    auto pt = true_mask.pixels();
+    auto pp = prev_true_.pixels();
+    auto pm = motion.pixels();
+    for (std::size_t i = 0; i < pm.size(); ++i) {
+      pm[i] = (pt[i] != 0) != (pp[i] != 0) ? 1.0f : 0.0f;
+    }
+    motion = imaging::BoxBlur(motion, params_.error_cell_px);
+  }
+
+  // ---- Boundary displacement by a smooth noise field ---------------------
+  const FloatImage dist_out = imaging::SquaredDistanceToSet(true_mask);
+  const FloatImage dist_in =
+      imaging::SquaredDistanceToSet(imaging::Not(true_mask));
+  NoiseField noise(w, h, params_.error_cell_px, rng_);
+
+  Bitmap est(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double signed_d = true_mask(x, y)
+                                  ? -std::sqrt(dist_in(x, y))
+                                  : std::sqrt(dist_out(x, y));
+      const double motion_factor = std::min(
+          1.0, static_cast<double>(motion(x, y)) *
+                   params_.motion_density_boost);
+      const double amplitude =
+          (params_.base_error_px + initial_extra +
+           params_.motion_error_gain * motion_factor) *
+          quality_gain;
+      if (signed_d <= noise.At(x, y) * amplitude) {
+        est(x, y) = imaging::kMaskSet;
+      }
+    }
+  }
+
+  // ---- Low-contrast confusion --------------------------------------------
+  if (params_.contrast_confusion_px > 0.0) {
+    // Mean color of the caller's boundary band (what the engine would
+    // compare background pixels against).
+    const Bitmap inner_band =
+        imaging::AndNot(true_mask, imaging::ErodeDisc(true_mask, 3.0));
+    double br = 0, bg = 0, bb = 0, bn = 0;
+    auto pb = inner_band.pixels();
+    auto pf = frame.pixels();
+    for (std::size_t i = 0; i < pb.size(); ++i) {
+      if (!pb[i]) continue;
+      br += pf[i].r;
+      bg += pf[i].g;
+      bb += pf[i].b;
+      bn += 1.0;
+    }
+    if (bn > 0.0) {
+      const imaging::Rgb8 band_mean{
+          static_cast<std::uint8_t>(br / bn),
+          static_cast<std::uint8_t>(bg / bn),
+          static_cast<std::uint8_t>(bb / bn)};
+      const double reach2 = params_.contrast_confusion_px *
+                            params_.contrast_confusion_px;
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          if (true_mask(x, y) || est(x, y)) continue;
+          if (dist_out(x, y) > reach2) continue;
+          if (imaging::RgbDistance(frame(x, y), band_mean) <
+              params_.contrast_threshold) {
+            est(x, y) = imaging::kMaskSet;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Motion-blur ring absorption ----------------------------------------
+  if (params_.blur_confusion > 0.0) {
+    NoiseField blur_noise(w, h, params_.error_cell_px, rng_);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (!blur_mask(x, y) || est(x, y)) continue;
+        // Map smooth N(0,1) to a coherent keep-probability threshold.
+        if (blur_noise.At(x, y) * 0.5 + 0.5 < params_.blur_confusion) {
+          est(x, y) = imaging::kMaskSet;
+        }
+      }
+    }
+  }
+
+  // ---- Temporal lag: retain coherent chunks of the previous estimate ------
+  if (!prev_estimate_.empty() && params_.temporal_lag > 0.0) {
+    NoiseField lag_noise(w, h, params_.error_cell_px, rng_);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (est(x, y) || !prev_estimate_(x, y)) continue;
+        if (lag_noise.At(x, y) * 0.5 + 0.5 < params_.temporal_lag) {
+          est(x, y) = imaging::kMaskSet;
+        }
+      }
+    }
+  }
+
+  // ---- Cleanup: real engines emit smooth masks ----------------------------
+  if (params_.close_radius > 0.0) {
+    est = imaging::CloseDisc(est, params_.close_radius);
+  }
+  if (params_.min_island_area > 0) {
+    est = imaging::RemoveSmallComponents(est, params_.min_island_area);
+  }
+
+  prev_estimate_ = est;
+  prev_true_ = true_mask;
+  ++frame_index_;
+  return est;
+}
+
+}  // namespace bb::vbg

@@ -1,0 +1,98 @@
+// Matting-error model: the simulated foreground/background separator inside
+// the video-calling software.
+//
+// Commercial engines are proprietary; the paper reverse-engineers only their
+// principles (mask generation + blending, sec. III) and empirically observes
+// the error classes that cause leakage (sec. V-D):
+//   * inaccurate human boundaries (under head, near hair, between fingers),
+//   * poor accuracy in the first frames of a call ("initial leakage"),
+//   * motion-dependent errors (mask lags fast movement; motion blur makes
+//     foreground and background blend),
+//   * low-contrast confusion (apparel similar to the background).
+// This model reproduces each class mechanistically from the ground-truth
+// caller mask: the estimated mask is the true boundary displaced by a
+// smooth noise field whose local amplitude grows with motion, poor image
+// quality and frame recency, blended with the previous estimate (temporal
+// lag), plus contrast-driven background inclusion.
+#pragma once
+
+#include <cstdint>
+
+#include "imaging/image.h"
+#include "synth/rng.h"
+
+namespace bb::vbg {
+
+struct MattingParams {
+  // Baseline boundary displacement amplitude, pixels (std-dev of the smooth
+  // field). Zoom-class engines ~1.8 at 144p; Skype-class lower.
+  double base_error_px = 1.8;
+
+  // Spatial coherence of boundary errors: noise-field knot spacing, pixels.
+  int error_cell_px = 16;
+
+  // Fraction of the previous estimated mask retained where it disagrees with
+  // the current one (temporal smoothing/lag). This is the main source of
+  // leakage during motion: the mask trails the body, passing through real
+  // background where the body just was.
+  double temporal_lag = 0.68;
+
+  // Tracking is poor for the first frames of a call (paper Fig. 5).
+  int initial_bad_frames = 9;
+  double initial_extra_px = 6.5;
+
+  // Extra displacement amplitude (pixels) in regions of recent caller
+  // motion; the local motion density (0..1 after boosting) scales it.
+  double motion_error_gain = 8.0;
+  double motion_density_boost = 10.0;
+
+  // Background pixels near the boundary whose color is close to the caller
+  // get absorbed into the foreground (low-contrast confusion).
+  double contrast_confusion_px = 3.0;   // how far out this effect reaches
+  double contrast_threshold = 42.0;     // RGB distance considered "similar"
+
+  // Fraction of the motion-blur ring (pixels only partially covered by the
+  // caller during the frame) absorbed into the foreground.
+  double blur_confusion = 0.85;
+
+  // Image-quality coupling: amplitude is multiplied by
+  //   quality_gain_low  when the frame is flat/noisy (lights off), down to
+  //   quality_gain_high when crisp (studio camera).
+  double quality_gain_low = 1.45;
+  double quality_gain_high = 0.85;
+
+  // Mask cleanup, mimicking the smooth masks real engines output.
+  double close_radius = 1.0;
+  std::size_t min_island_area = 10;
+};
+
+// Stateful per-call matting engine (the temporal lag carries state).
+class MattingEngine {
+ public:
+  MattingEngine(const MattingParams& params, std::uint64_t seed);
+
+  // Estimates the foreground mask for one frame.
+  //   true_mask: exact caller silhouette (union over motion samples)
+  //   blur_mask: pixels only partially covered (motion blur ring)
+  //   frame:     camera-processed frame the engine "sees"
+  // Frames must be fed in order; frame_index() tracks position.
+  imaging::Bitmap Estimate(const imaging::Bitmap& true_mask,
+                           const imaging::Bitmap& blur_mask,
+                           const imaging::Image& frame);
+
+  int frame_index() const { return frame_index_; }
+  const MattingParams& params() const { return params_; }
+
+ private:
+  MattingParams params_;
+  synth::Rng rng_;
+  int frame_index_ = 0;
+  imaging::Bitmap prev_estimate_;
+  imaging::Bitmap prev_true_;
+};
+
+// Measures a frame's "quality" in [0, 1]: luma contrast normalized; low in
+// dim/flat scenes, high in crisp studio footage.
+double FrameQuality(const imaging::Image& frame);
+
+}  // namespace bb::vbg

@@ -1,0 +1,33 @@
+#include "vbg/noise_field.h"
+
+#include <algorithm>
+
+namespace bb::vbg {
+
+NoiseField::NoiseField(int width, int height, int cell, synth::Rng& rng)
+    : width_(width), height_(height), cell_(std::max(2, cell)) {
+  gw_ = width_ / cell_ + 2;
+  gh_ = height_ / cell_ + 2;
+  grid_.resize(static_cast<std::size_t>(gw_) * gh_);
+  for (auto& v : grid_) v = static_cast<float>(rng.Gaussian());
+}
+
+float NoiseField::At(int x, int y) const {
+  const float fx = static_cast<float>(x) / cell_;
+  const float fy = static_cast<float>(y) / cell_;
+  int gx = static_cast<int>(fx);
+  int gy = static_cast<int>(fy);
+  gx = std::clamp(gx, 0, gw_ - 2);
+  gy = std::clamp(gy, 0, gh_ - 2);
+  const float tx = fx - gx;
+  const float ty = fy - gy;
+  const float v00 = grid_[static_cast<std::size_t>(gy) * gw_ + gx];
+  const float v10 = grid_[static_cast<std::size_t>(gy) * gw_ + gx + 1];
+  const float v01 = grid_[static_cast<std::size_t>(gy + 1) * gw_ + gx];
+  const float v11 = grid_[static_cast<std::size_t>(gy + 1) * gw_ + gx + 1];
+  const float top = v00 * (1 - tx) + v10 * tx;
+  const float bot = v01 * (1 - tx) + v11 * tx;
+  return top * (1 - ty) + bot * ty;
+}
+
+}  // namespace bb::vbg

@@ -1,0 +1,36 @@
+// Smooth (low-frequency) 2-D noise fields.
+//
+// The matting-error model displaces the estimated foreground boundary by a
+// spatially smooth random amount - real matting networks err in coherent
+// patches (a chunk of chair back classified as shoulder), not in per-pixel
+// salt-and-pepper. A NoiseField is Gaussian noise on a coarse grid,
+// bilinearly interpolated to pixel resolution.
+#pragma once
+
+#include "imaging/image.h"
+#include "synth/rng.h"
+
+namespace bb::vbg {
+
+class NoiseField {
+ public:
+  // Creates a field covering a width x height image with one Gaussian knot
+  // per `cell` pixels (cell >= 2). Values are N(0, 1).
+  NoiseField(int width, int height, int cell, synth::Rng& rng);
+
+  // Bilinearly interpolated value at pixel (x, y).
+  float At(int x, int y) const;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  int cell_;
+  int gw_;
+  int gh_;
+  std::vector<float> grid_;
+};
+
+}  // namespace bb::vbg

@@ -1,0 +1,163 @@
+#include "vbg/virtual_source.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+#include "synth/rng.h"
+
+namespace bb::vbg {
+
+using imaging::Image;
+using imaging::Rect;
+using imaging::Rgb8;
+
+LoopingVideoSource::LoopingVideoSource(std::vector<imaging::Image> frames)
+    : frames_(std::move(frames)) {
+  if (frames_.empty()) {
+    throw std::invalid_argument("LoopingVideoSource: no frames");
+  }
+}
+
+const imaging::Image& LoopingVideoSource::FrameAt(int frame_index) const {
+  const int period = static_cast<int>(frames_.size());
+  int phase = frame_index % period;
+  if (phase < 0) phase += period;
+  return frames_[static_cast<std::size_t>(phase)];
+}
+
+const char* ToString(StockImage kind) {
+  switch (kind) {
+    case StockImage::kBeach: return "beach";
+    case StockImage::kOffice: return "office";
+    case StockImage::kSpace: return "space";
+    case StockImage::kGradient: return "gradient";
+    case StockImage::kForest: return "forest";
+  }
+  return "unknown";
+}
+
+Image MakeStockImage(StockImage kind, int width, int height) {
+  Image img(width, height);
+  synth::Rng rng(static_cast<std::uint64_t>(kind) * 7919 + 17);
+  switch (kind) {
+    case StockImage::kBeach: {
+      // Sky / sea / sand horizontal thirds with a sun.
+      const int sky = height * 45 / 100, sea = height * 30 / 100;
+      imaging::FillRect(img, {0, 0, width, sky}, {140, 200, 238});
+      imaging::FillRect(img, {0, sky, width, sea}, {38, 110, 168});
+      imaging::FillRect(img, {0, sky + sea, width, height - sky - sea},
+                        {226, 203, 148});
+      imaging::FillCircle(img, width * 3 / 4, sky / 2, height / 10,
+                          {250, 235, 160});
+      break;
+    }
+    case StockImage::kOffice: {
+      imaging::FillRect(img, {0, 0, width, height}, {205, 205, 210});
+      // Window band and a desk line.
+      imaging::FillRect(img, {width / 10, height / 8, width / 3, height / 3},
+                        {170, 205, 235});
+      imaging::FillRect(img, {width / 2, height / 8, width / 3, height / 3},
+                        {170, 205, 235});
+      imaging::FillRect(img, {0, height * 3 / 4, width, height / 30 + 1},
+                        {120, 95, 70});
+      break;
+    }
+    case StockImage::kSpace: {
+      imaging::FillRect(img, {0, 0, width, height}, {8, 8, 24});
+      for (int i = 0; i < width * height / 160; ++i) {
+        const int x = rng.UniformInt(0, width - 1);
+        const int y = rng.UniformInt(0, height - 1);
+        const std::uint8_t v =
+            static_cast<std::uint8_t>(rng.UniformInt(150, 255));
+        img(x, y) = {v, v, v};
+      }
+      imaging::FillCircle(img, width / 4, height / 3, height / 8,
+                          {140, 90, 170});
+      break;
+    }
+    case StockImage::kGradient: {
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          img(x, y) = imaging::Lerp(
+              {30, 60, 120}, {180, 60, 120},
+              static_cast<float>(x + y) /
+                  static_cast<float>(width + height - 2));
+        }
+      }
+      break;
+    }
+    case StockImage::kForest: {
+      imaging::FillRect(img, {0, 0, width, height}, {120, 170, 120});
+      for (int i = 0; i < 10; ++i) {
+        const int x = rng.UniformInt(0, width - 1);
+        const int trunk_w = std::max(2, width / 40);
+        imaging::FillRect(img, {x, height / 3, trunk_w, height}, {90, 62, 40});
+        imaging::FillCircle(img, x + trunk_w / 2, height / 3, height / 7,
+                            {52, 110, 55});
+      }
+      break;
+    }
+  }
+  return img;
+}
+
+std::vector<Image> AllStockImages(int width, int height) {
+  std::vector<Image> out;
+  for (StockImage k : {StockImage::kBeach, StockImage::kOffice,
+                       StockImage::kSpace, StockImage::kGradient,
+                       StockImage::kForest}) {
+    out.push_back(MakeStockImage(k, width, height));
+  }
+  return out;
+}
+
+const char* ToString(StockVideo kind) {
+  switch (kind) {
+    case StockVideo::kWaves: return "waves";
+    case StockVideo::kStars: return "stars";
+  }
+  return "unknown";
+}
+
+std::vector<Image> MakeStockVideo(StockVideo kind, int width, int height,
+                                  int period) {
+  std::vector<Image> frames;
+  frames.reserve(static_cast<std::size_t>(period));
+  constexpr double kPi = 3.14159265358979323846;
+  for (int p = 0; p < period; ++p) {
+    const double phase = 2.0 * kPi * p / period;
+    Image img(width, height);
+    switch (kind) {
+      case StockVideo::kWaves: {
+        img = MakeStockImage(StockImage::kBeach, width, height);
+        // Animated wave crest lines sliding with the phase.
+        const int sky = height * 45 / 100, sea = height * 30 / 100;
+        for (int k = 0; k < 3; ++k) {
+          const int y = sky + static_cast<int>(
+                                  (sea - 4) *
+                                  std::fmod(0.3 * k + phase / (2.0 * kPi),
+                                            1.0));
+          imaging::FillRect(img, {0, y, width, 2}, {225, 238, 245});
+        }
+        break;
+      }
+      case StockVideo::kStars: {
+        img = MakeStockImage(StockImage::kSpace, width, height);
+        // A comet orbiting the planet.
+        const int cx = width / 4 +
+                       static_cast<int>(std::cos(phase) * width / 5);
+        const int cy = height / 3 +
+                       static_cast<int>(std::sin(phase) * height / 5);
+        imaging::FillCircle(img, cx, cy, std::max(2, height / 36),
+                            {255, 240, 200});
+        break;
+      }
+    }
+    frames.push_back(std::move(img));
+  }
+  return frames;
+}
+
+}  // namespace bb::vbg

@@ -1,0 +1,63 @@
+// Virtual background sources.
+//
+// The VB feature replaces the background with either a static virtual image
+// VI or a looping virtual video (paper sec. III / V-B). Stock generators
+// synthesize the "default/popular" backgrounds that populate the adversary's
+// dictionaries D_img and D_vid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "imaging/image.h"
+#include "video/video.h"
+
+namespace bb::vbg {
+
+// Provides the VB frame to composite behind frame index i.
+class VirtualSource {
+ public:
+  virtual ~VirtualSource() = default;
+  virtual const imaging::Image& FrameAt(int frame_index) const = 0;
+};
+
+class StaticImageSource final : public VirtualSource {
+ public:
+  explicit StaticImageSource(imaging::Image image) : image_(std::move(image)) {}
+  const imaging::Image& FrameAt(int) const override { return image_; }
+  const imaging::Image& image() const { return image_; }
+
+ private:
+  imaging::Image image_;
+};
+
+// Loops a fixed frame sequence: frame i shows loop frame i % period.
+class LoopingVideoSource final : public VirtualSource {
+ public:
+  explicit LoopingVideoSource(std::vector<imaging::Image> frames);
+  const imaging::Image& FrameAt(int frame_index) const override;
+  int period() const { return static_cast<int>(frames_.size()); }
+  const std::vector<imaging::Image>& frames() const { return frames_; }
+
+ private:
+  std::vector<imaging::Image> frames_;
+};
+
+// Built-in stock virtual background images (the "default/popular" images of
+// the paper's known-VB scenario).
+enum class StockImage { kBeach, kOffice, kSpace, kGradient, kForest };
+const char* ToString(StockImage kind);
+imaging::Image MakeStockImage(StockImage kind, int width, int height);
+
+// All stock images at the given resolution - a ready-made D_img.
+std::vector<imaging::Image> AllStockImages(int width, int height);
+
+// Built-in stock looping VB videos.
+enum class StockVideo { kWaves, kStars };
+const char* ToString(StockVideo kind);
+std::vector<imaging::Image> MakeStockVideo(StockVideo kind, int width,
+                                           int height, int period);
+
+}  // namespace bb::vbg

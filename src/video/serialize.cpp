@@ -1,0 +1,102 @@
+#include "video/serialize.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace bb::video {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'B', 'V', '1'};
+
+void PutU32(std::ostream& out, std::uint32_t v) {
+  const std::array<char, 4> bytes = {
+      static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+      static_cast<char>((v >> 16) & 0xFF),
+      static_cast<char>((v >> 24) & 0xFF)};
+  out.write(bytes.data(), 4);
+}
+
+std::optional<std::uint32_t> GetU32(std::istream& in) {
+  std::array<unsigned char, 4> bytes{};
+  in.read(reinterpret_cast<char*>(bytes.data()), 4);
+  if (in.gcount() != 4) return std::nullopt;
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace
+
+bool WriteBbv(const VideoStream& video, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, 4);
+  PutU32(out, static_cast<std::uint32_t>(video.width()));
+  PutU32(out, static_cast<std::uint32_t>(video.height()));
+  PutU32(out, static_cast<std::uint32_t>(video.frame_count()));
+  PutU32(out, static_cast<std::uint32_t>(std::lround(video.fps() * 1000.0)));
+
+  std::vector<char> row;
+  for (int i = 0; i < video.frame_count(); ++i) {
+    const imaging::Image& f = video.frame(i);
+    row.clear();
+    row.reserve(f.pixel_count() * 3);
+    for (const imaging::Rgb8& p : f.pixels()) {
+      row.push_back(static_cast<char>(p.r));
+      row.push_back(static_cast<char>(p.g));
+      row.push_back(static_cast<char>(p.b));
+    }
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<VideoStream> ReadBbv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  const auto width = GetU32(in);
+  const auto height = GetU32(in);
+  const auto frames = GetU32(in);
+  const auto fps_mhz = GetU32(in);
+  if (!width || !height || !frames || !fps_mhz) return std::nullopt;
+  if (*fps_mhz == 0) return std::nullopt;
+  // An empty stream legitimately has zero dimensions.
+  if (*frames > 0 && (*width == 0 || *height == 0)) return std::nullopt;
+  // Refuse absurd headers rather than attempting a huge allocation.
+  if (*width > 16384 || *height > 16384 || *frames > 1000000) {
+    return std::nullopt;
+  }
+
+  VideoStream video(*fps_mhz / 1000.0);
+  const std::size_t frame_bytes =
+      static_cast<std::size_t>(*width) * *height * 3;
+  std::vector<char> buf(frame_bytes);
+  for (std::uint32_t i = 0; i < *frames; ++i) {
+    in.read(buf.data(), static_cast<std::streamsize>(frame_bytes));
+    if (static_cast<std::size_t>(in.gcount()) != frame_bytes) {
+      return std::nullopt;  // truncated
+    }
+    imaging::Image f(static_cast<int>(*width), static_cast<int>(*height));
+    auto px = f.pixels();
+    for (std::size_t k = 0; k < px.size(); ++k) {
+      px[k] = {static_cast<std::uint8_t>(buf[3 * k]),
+               static_cast<std::uint8_t>(buf[3 * k + 1]),
+               static_cast<std::uint8_t>(buf[3 * k + 2])};
+    }
+    video.Append(std::move(f));
+  }
+  return video;
+}
+
+}  // namespace bb::video

@@ -1,0 +1,32 @@
+// VideoStream persistence.
+//
+// A minimal container format (".bbv") so synthesized calls and attacked
+// streams can be written to disk, shared, and re-attacked without
+// regeneration - the workflow a real adversary post-processing recordings
+// would follow. Layout (all integers little-endian):
+//
+//   magic   "BBV1"              4 bytes
+//   width   uint32
+//   height  uint32
+//   frames  uint32
+//   fps_mhz uint32              fps * 1000, rounded
+//   payload frames * w * h * 3  RGB8, row-major, frame-major
+//
+// The format is intentionally uncompressed: deterministic, seekable and
+// dependency-free. PNG/PPM dumps of single frames live in imaging/io.h.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "video/video.h"
+
+namespace bb::video {
+
+// Writes the stream; false on I/O failure (the file may be partial).
+bool WriteBbv(const VideoStream& video, const std::string& path);
+
+// Reads a stream; nullopt on missing file, bad magic, or truncation.
+std::optional<VideoStream> ReadBbv(const std::string& path);
+
+}  // namespace bb::video

@@ -1,0 +1,200 @@
+#include "video/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imaging/color.h"
+
+namespace bb::video {
+
+namespace {
+
+bool Same(imaging::Rgb8 a, imaging::Rgb8 b, int tol) {
+  return imaging::NearlyEqual(a, b, tol);
+}
+
+std::uint8_t MedianOf(std::vector<std::uint8_t>& v) {
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  return *mid;
+}
+
+}  // namespace
+
+imaging::ImageT<int> LongestStableRun(const VideoStream& video,
+                                      const ConsistencyOptions& opts) {
+  const int w = video.width(), h = video.height();
+  imaging::ImageT<int> best(w, h, 0);
+  if (video.frame_count() == 0) return best;
+
+  imaging::ImageT<int> run(w, h, 1);
+  imaging::Image anchor = video.frame(0);
+  best.Fill(1);
+
+  for (int i = 1; i < video.frame_count(); ++i) {
+    const imaging::Image& f = video.frame(i);
+    auto pf = f.pixels();
+    auto pa = anchor.pixels();
+    auto pr = run.pixels();
+    auto pb = best.pixels();
+    for (std::size_t k = 0; k < pf.size(); ++k) {
+      if (Same(pf[k], pa[k], opts.channel_tolerance)) {
+        ++pr[k];
+      } else {
+        pa[k] = pf[k];
+        pr[k] = 1;
+      }
+      pb[k] = std::max(pb[k], pr[k]);
+    }
+  }
+  return best;
+}
+
+StaticLayer EstimateStaticLayer(const VideoStream& video, int min_run,
+                                const ConsistencyOptions& opts) {
+  const int w = video.width(), h = video.height();
+  StaticLayer out;
+  out.color = imaging::Image(w, h);
+  out.valid = imaging::Bitmap(w, h);
+  if (video.frame_count() == 0) return out;
+
+  imaging::ImageT<int> run(w, h, 1);
+  imaging::ImageT<int> best(w, h, 1);
+  imaging::Image anchor = video.frame(0);
+  out.color = video.frame(0);
+
+  for (int i = 1; i < video.frame_count(); ++i) {
+    const imaging::Image& f = video.frame(i);
+    auto pf = f.pixels();
+    auto pa = anchor.pixels();
+    auto pr = run.pixels();
+    auto pb = best.pixels();
+    auto pc = out.color.pixels();
+    for (std::size_t k = 0; k < pf.size(); ++k) {
+      if (Same(pf[k], pa[k], opts.channel_tolerance)) {
+        ++pr[k];
+      } else {
+        pa[k] = pf[k];
+        pr[k] = 1;
+      }
+      if (pr[k] > pb[k]) {
+        pb[k] = pr[k];
+        pc[k] = pa[k];  // representative value of the current best run
+      }
+    }
+  }
+
+  auto pb = best.pixels();
+  auto pv = out.valid.pixels();
+  for (std::size_t k = 0; k < pb.size(); ++k) {
+    pv[k] = pb[k] >= min_run ? imaging::kMaskSet : imaging::kMaskClear;
+  }
+  return out;
+}
+
+double MeanFrameDifference(const imaging::Image& a, const imaging::Image& b) {
+  imaging::RequireSameShape(a, b, "MeanFrameDifference");
+  if (a.pixel_count() == 0) return 0.0;
+  double sum = 0.0;
+  auto pa = a.pixels(), pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    sum += std::max({std::abs(pa[i].r - pb[i].r), std::abs(pa[i].g - pb[i].g),
+                     std::abs(pa[i].b - pb[i].b)});
+  }
+  return sum / static_cast<double>(a.pixel_count());
+}
+
+double ChangedFraction(const imaging::Image& a, const imaging::Image& b,
+                       int channel_tolerance) {
+  imaging::RequireSameShape(a, b, "ChangedFraction");
+  if (a.pixel_count() == 0) return 0.0;
+  std::size_t changed = 0;
+  auto pa = a.pixels(), pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    changed += !imaging::NearlyEqual(pa[i], pb[i], channel_tolerance);
+  }
+  return static_cast<double>(changed) / static_cast<double>(a.pixel_count());
+}
+
+std::optional<int> DetectLoopPeriod(const VideoStream& video,
+                                    const LoopDetectOptions& opts) {
+  const int n = video.frame_count();
+  if (n < 2 * opts.min_period) return std::nullopt;
+
+  double best_score = opts.max_changed_fraction;
+  std::optional<int> best_period;
+  const int max_period = std::min(opts.max_period, n / 2);
+  for (int period = opts.min_period; period <= max_period; ++period) {
+    // Score a handful of frame pairs one period apart, spread over the video.
+    double sum = 0.0;
+    int pairs = 0;
+    const int step = std::max(1, (n - period) / 8);
+    for (int i = 0; i + period < n; i += step) {
+      sum += ChangedFraction(video.frame(i), video.frame(i + period),
+                             opts.channel_tolerance);
+      ++pairs;
+    }
+    if (pairs == 0) continue;
+    const double score = sum / pairs;
+    // Strictly-better keeps the smallest of equally good periods; require a
+    // small margin so noise cannot promote a multiple over the base period.
+    if (score < best_score - 1e-6) {
+      best_score = score;
+      best_period = period;
+    }
+  }
+  return best_period;
+}
+
+LoopEstimate EstimateLoopFrames(const VideoStream& video, int period,
+                                const ConsistencyOptions& opts) {
+  LoopEstimate out;
+  if (period <= 0 || video.frame_count() == 0) return out;
+  const int w = video.width(), h = video.height();
+  out.phase_frames.reserve(static_cast<std::size_t>(period));
+  out.phase_valid.reserve(static_cast<std::size_t>(period));
+
+  std::vector<std::uint8_t> ch_r, ch_g, ch_b;
+  for (int phase = 0; phase < period; ++phase) {
+    imaging::Image est(w, h);
+    imaging::Bitmap valid(w, h);
+    std::vector<const imaging::Image*> occ;
+    for (int i = phase; i < video.frame_count(); i += period) {
+      occ.push_back(&video.frame(i));
+    }
+    if (occ.empty()) {
+      out.phase_frames.push_back(std::move(est));
+      out.phase_valid.push_back(std::move(valid));
+      continue;
+    }
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        ch_r.clear();
+        ch_g.clear();
+        ch_b.clear();
+        for (const imaging::Image* f : occ) {
+          const imaging::Rgb8 p = (*f)(x, y);
+          ch_r.push_back(p.r);
+          ch_g.push_back(p.g);
+          ch_b.push_back(p.b);
+        }
+        const imaging::Rgb8 med{MedianOf(ch_r), MedianOf(ch_g),
+                                MedianOf(ch_b)};
+        est(x, y) = med;
+        // Valid when a majority of occurrences agree with the median.
+        int agree = 0;
+        for (const imaging::Image* f : occ) {
+          if (Same((*f)(x, y), med, opts.channel_tolerance)) ++agree;
+        }
+        valid(x, y) = (2 * agree > static_cast<int>(occ.size()))
+                          ? imaging::kMaskSet
+                          : imaging::kMaskClear;
+      }
+    }
+    out.phase_frames.push_back(std::move(est));
+    out.phase_valid.push_back(std::move(valid));
+  }
+  return out;
+}
+
+}  // namespace bb::video

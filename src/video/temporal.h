@@ -1,0 +1,77 @@
+// Temporal pixel analysis.
+//
+// These primitives implement the signal the paper's *unknown virtual
+// background* derivation relies on (sec. V-B): virtual-background pixels are
+// static across frames while the caller and the blending ring are dynamic.
+// For virtual *videos*, the VB loops, so the per-phase statistics become
+// static once the loop period is known.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "imaging/image.h"
+#include "video/video.h"
+
+namespace bb::video {
+
+struct ConsistencyOptions {
+  // Two samples of a pixel are "the same value" when every channel differs
+  // by at most this much (blending/compression jitter tolerance).
+  int channel_tolerance = 4;
+};
+
+// For each pixel, the length of the longest run of consecutive frames over
+// which its value stayed the same (within tolerance). A pixel of the virtual
+// background has a run close to the video length; caller pixels have short
+// runs. Paper threshold: a run of >= 10 frames at 30 fps is VB.
+imaging::ImageT<int> LongestStableRun(const VideoStream& video,
+                                      const ConsistencyOptions& opts = {});
+
+// The per-pixel modal color over the frames where the pixel was inside its
+// longest stable run - i.e. the best estimate of the static layer. Pixels
+// whose longest run is below `min_run` are reported in `valid` as 0.
+struct StaticLayer {
+  imaging::Image color;
+  imaging::Bitmap valid;
+};
+StaticLayer EstimateStaticLayer(const VideoStream& video, int min_run,
+                                const ConsistencyOptions& opts = {});
+
+// Mean absolute frame difference between frames i and j (over all pixels,
+// max-channel metric).
+double MeanFrameDifference(const imaging::Image& a, const imaging::Image& b);
+
+// Fraction of pixels whose value differs beyond `channel_tolerance` between
+// two frames.
+double ChangedFraction(const imaging::Image& a, const imaging::Image& b,
+                       int channel_tolerance);
+
+// Detects the loop period (in frames) of a repeating background video by
+// scanning candidate periods and scoring the fraction of pixels that change
+// between frames one period apart. The metric is robust to a moving caller
+// occupying part of the frame (the caller changes pixels at EVERY period,
+// adding a constant floor, while a wrong period additionally changes the
+// animated background). Returns nullopt when no candidate scores below
+// `max_changed_fraction`. Periods in [min_period, max_period] are
+// considered; among near-ties the smallest period wins.
+struct LoopDetectOptions {
+  int min_period = 4;
+  int max_period = 120;
+  double max_changed_fraction = 0.6;
+  int channel_tolerance = 8;
+};
+std::optional<int> DetectLoopPeriod(const VideoStream& video,
+                                    const LoopDetectOptions& opts = {});
+
+// Given a known loop period, estimates each phase's static frame by a
+// per-pixel majority over all occurrences of that phase. `valid` marks
+// pixels that were consistent across a majority of occurrences.
+struct LoopEstimate {
+  std::vector<imaging::Image> phase_frames;
+  std::vector<imaging::Bitmap> phase_valid;
+};
+LoopEstimate EstimateLoopFrames(const VideoStream& video, int period,
+                                const ConsistencyOptions& opts = {});
+
+}  // namespace bb::video

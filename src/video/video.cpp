@@ -1,0 +1,31 @@
+#include "video/video.h"
+
+namespace bb::video {
+
+void VideoStream::Append(imaging::Image frame) {
+  if (!frames_.empty() &&
+      (frame.width() != width() || frame.height() != height())) {
+    throw std::invalid_argument("VideoStream::Append: resolution mismatch");
+  }
+  frames_.push_back(std::move(frame));
+}
+
+VideoStream VideoStream::Subsampled(int stride) const {
+  if (stride <= 1) return *this;
+  VideoStream out(fps_ / stride);
+  for (int i = 0; i < frame_count(); i += stride) {
+    out.Append(frames_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+VideoStream VideoStream::Slice(int first, int count) const {
+  VideoStream out(fps_);
+  for (int i = first; i < first + count && i < frame_count(); ++i) {
+    if (i < 0) continue;
+    out.Append(frames_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace bb::video

@@ -1,0 +1,63 @@
+// Video stream representation (paper sec. III).
+//
+// A video V is a time-ordered sequence {f^1 ... f^l} of frames with a fixed
+// resolution and frame rate. Streams in this library are in-memory; the
+// datasets are synthesized rather than decoded from disk.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "imaging/image.h"
+
+namespace bb::video {
+
+class VideoStream {
+ public:
+  VideoStream() = default;
+  explicit VideoStream(double fps) : fps_(fps) {
+    if (fps <= 0.0) throw std::invalid_argument("VideoStream: fps <= 0");
+  }
+
+  double fps() const { return fps_; }
+  int frame_count() const { return static_cast<int>(frames_.size()); }
+  bool empty() const { return frames_.empty(); }
+
+  // Duration in seconds.
+  double duration() const { return frame_count() / fps_; }
+
+  int width() const { return frames_.empty() ? 0 : frames_.front().width(); }
+  int height() const { return frames_.empty() ? 0 : frames_.front().height(); }
+
+  // Appends a frame; all frames must share the first frame's resolution.
+  void Append(imaging::Image frame);
+
+  const imaging::Image& frame(int i) const { return frames_.at(static_cast<std::size_t>(i)); }
+  imaging::Image& frame(int i) { return frames_.at(static_cast<std::size_t>(i)); }
+
+  const std::vector<imaging::Image>& frames() const { return frames_; }
+
+  // Keeps every `stride`-th frame (the frame-dropping mitigation heuristic,
+  // paper sec. IX-B). stride <= 1 returns a copy.
+  VideoStream Subsampled(int stride) const;
+
+  // Returns the sub-stream [first, first+count).
+  VideoStream Slice(int first, int count) const;
+
+ private:
+  double fps_ = 30.0;
+  std::vector<imaging::Image> frames_;
+};
+
+// A video plus per-frame ground truth produced by the synthesizer/compositor;
+// the reconstruction framework never reads the ground-truth fields - they
+// exist for metric computation (VBMR/RBRR need the true background, paper
+// sec. VIII-A).
+struct AnnotatedVideo {
+  VideoStream video;                         // what the adversary records
+  imaging::Image true_background;            // real background, no caller
+  std::vector<imaging::Bitmap> caller_masks; // true caller region per frame
+  std::vector<imaging::Bitmap> leak_masks;   // true leaked-background pixels
+};
+
+}  // namespace bb::video

@@ -1,0 +1,71 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::cli {
+namespace {
+
+Args ParseVec(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "backbuster");
+  return Args::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, ParsesCommand) {
+  const Args a = ParseVec({"simulate"});
+  EXPECT_EQ(a.command(), "simulate");
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(ArgsTest, NoCommandIsEmpty) {
+  const Args a = ParseVec({"--out", "x.bbv"});
+  EXPECT_EQ(a.command(), "");
+  EXPECT_EQ(a.Get("out", ""), "x.bbv");
+}
+
+TEST(ArgsTest, KeyValuePairsBothSyntaxes) {
+  const Args a = ParseVec({"attack", "--in", "call.bbv", "--phi=6.5"});
+  EXPECT_EQ(a.Get("in", ""), "call.bbv");
+  EXPECT_DOUBLE_EQ(a.GetDouble("phi", 0.0), 6.5);
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  const Args a = ParseVec({"simulate", "--dynamic", "--out", "x"});
+  EXPECT_TRUE(a.Has("dynamic"));
+  EXPECT_FALSE(a.Has("static"));
+  EXPECT_EQ(a.Get("out", ""), "x");
+}
+
+TEST(ArgsTest, TrailingFlagIsBoolean) {
+  const Args a = ParseVec({"simulate", "--verbose"});
+  EXPECT_TRUE(a.Has("verbose"));
+}
+
+TEST(ArgsTest, TypedAccessorsRejectGarbage) {
+  const Args a = ParseVec({"x", "--n", "12", "--bad", "twelve"});
+  EXPECT_EQ(a.GetInt("n"), 12);
+  EXPECT_FALSE(a.GetInt("bad").has_value());
+  EXPECT_FALSE(a.GetInt("missing").has_value());
+  EXPECT_EQ(a.GetInt("missing", 7), 7);
+}
+
+TEST(ArgsTest, MalformedTokensAreErrors) {
+  const Args a = ParseVec({"x", "-single", "ok"});
+  EXPECT_FALSE(a.errors().empty());
+}
+
+TEST(ArgsTest, UnconsumedKeysTracksTypos) {
+  const Args a = ParseVec({"x", "--good", "1", "--typo", "2"});
+  (void)a.Get("good");
+  const auto leftover = a.UnconsumedKeys();
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "typo");
+}
+
+TEST(ArgsTest, EqualsSyntaxWithEmptyValue) {
+  const Args a = ParseVec({"x", "--name="});
+  EXPECT_TRUE(a.Has("name"));
+  EXPECT_EQ(a.Get("name", "zz"), "");
+}
+
+}  // namespace
+}  // namespace bb::cli

@@ -1,0 +1,86 @@
+#include "core/blur_masking.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "synth/recorder.h"
+#include "vbg/compositor.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+
+TEST(ComputeBbmTest, IsDiscDilationOfVbm) {
+  Bitmap vbm(21, 21);
+  vbm(10, 10) = imaging::kMaskSet;
+  const Bitmap bbm = ComputeBbm(vbm, 4.0);
+  EXPECT_TRUE(bbm(10, 10));  // includes the VBM itself
+  EXPECT_TRUE(bbm(14, 10));
+  EXPECT_FALSE(bbm(15, 10));
+}
+
+TEST(ComputeBbmTest, ZeroPhiEqualsVbm) {
+  Bitmap vbm(9, 9);
+  imaging::FillRect(vbm, {2, 2, 3, 3});
+  EXPECT_EQ(ComputeBbm(vbm, 0.0), vbm);
+}
+
+TEST(ComputeBbmTest, BbmIsSupersetOfVbm) {
+  Bitmap vbm(15, 15);
+  imaging::FillCircle(vbm, 7, 7, 3);
+  const Bitmap bbm = ComputeBbm(vbm, 2.5);
+  EXPECT_EQ(imaging::CountSet(imaging::AndNot(vbm, bbm)), 0u);
+  EXPECT_GT(imaging::CountSet(bbm), imaging::CountSet(vbm));
+}
+
+TEST(CalibratePhiTest, RecoversTheBlendRadius) {
+  // Offline probe exactly as the paper describes: apply the target software
+  // to a static scene with a motionless figure, then measure blur depth.
+  synth::RecordingSpec spec;
+  spec.scene.width = 96;
+  spec.scene.height = 72;
+  spec.action.kind = synth::ActionKind::kStill;
+  spec.fps = 8.0;
+  spec.duration_s = 3.0;
+  spec.seed = 3;
+  spec.camera.noise_stddev = 0.0;  // clean probe
+  const auto raw = synth::RecordCall(spec);
+
+  const imaging::Image vb_img =
+      vbg::MakeStockImage(vbg::StockImage::kGradient, 96, 72);
+  const vbg::StaticImageSource vb(vb_img);
+  vbg::CompositeOptions opts;
+  opts.profile.blend_radius = 5.0;
+  // Remove matting noise so the probe isolates pure blending.
+  opts.profile.matting.base_error_px = 0.0;
+  opts.profile.matting.initial_bad_frames = 0;
+  opts.profile.matting.temporal_lag = 0.0;
+  opts.profile.matting.contrast_confusion_px = 0.0;
+  opts.profile.matting.blur_confusion = 0.0;
+  const auto call = vbg::ApplyVirtualBackground(raw, vb, opts);
+
+  const int last = call.video.frame_count() - 1;
+  const double phi = CalibratePhi(call.video.frame(last), vb_img,
+                                  raw.video.frame(last), 8);
+  // Observed blur depth is on the order of the blend radius.
+  EXPECT_GT(phi, 2.0);
+  EXPECT_LT(phi, 12.0);
+}
+
+TEST(CalibratePhiTest, NoBlurMeansNearZeroPhi) {
+  const imaging::Image vb_img(32, 32, {200, 100, 50});
+  imaging::Image probe = vb_img;  // output identical to VB everywhere
+  const imaging::Image raw(32, 32, {10, 10, 10});
+  EXPECT_DOUBLE_EQ(CalibratePhi(probe, vb_img, raw, 4), 0.0);
+}
+
+TEST(CalibratePhiTest, EmptyVbRegionIsZero) {
+  const imaging::Image vb_img(16, 16, {200, 0, 0});
+  const imaging::Image probe(16, 16, {0, 200, 0});
+  const imaging::Image raw(16, 16, {0, 200, 0});
+  EXPECT_DOUBLE_EQ(CalibratePhi(probe, vb_img, raw, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,97 @@
+#include "core/caller_masking.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+// A fake segmenter returning a fixed mask.
+class FixedSegmenter final : public segmentation::PersonSegmenter {
+ public:
+  explicit FixedSegmenter(Bitmap mask) : mask_(std::move(mask)) {}
+  Bitmap Segment(const video::VideoStream&, int) override { return mask_; }
+
+ private:
+  Bitmap mask_;
+};
+
+// A call where the "caller" is a blue square but the segmenter's mask also
+// swallows a strip of green background on the right.
+struct Fixture {
+  video::VideoStream call{10.0};
+  Bitmap over_mask{48, 32};
+
+  Fixture() {
+    imaging::FillRect(over_mask, {10, 8, 24, 16});  // includes green strip
+    for (int i = 0; i < 12; ++i) {
+      Image f(48, 32, {210, 210, 210});
+      imaging::FillRect(f, {10, 8, 20, 16}, {30, 40, 180});  // caller (blue)
+      imaging::FillRect(f, {30, 8, 4, 16}, {40, 170, 60});   // leak (green)
+      call.Append(std::move(f));
+    }
+  }
+};
+
+TEST(CallerMaskingTest, RefinementDropsRareColors) {
+  Fixture f;
+  FixedSegmenter seg(f.over_mask);
+  CallerMaskingOptions opts;
+  opts.rare_color_frequency = 0.25;  // green strip is ~17% of mask: rare
+  opts.protect_core_px = 2.0;
+  CallerMasker masker(seg, opts);
+  masker.Prepare(f.call);
+  const Bitmap vcm = masker.Vcm(f.call, 0);
+  // Blue core retained.
+  EXPECT_TRUE(vcm(15, 15));
+  // Green strip at the mask boundary flipped out.
+  EXPECT_FALSE(vcm(32, 15));
+}
+
+TEST(CallerMaskingTest, CoreIsProtectedFromFlipping) {
+  Fixture f;
+  FixedSegmenter seg(f.over_mask);
+  CallerMaskingOptions opts;
+  opts.rare_color_frequency = 1.1;  // everything is "rare"
+  opts.protect_core_px = 5.0;
+  CallerMasker masker(seg, opts);
+  masker.Prepare(f.call);
+  const Bitmap vcm = masker.Vcm(f.call, 0);
+  // Deep interior survives even an absurd threshold.
+  EXPECT_TRUE(vcm(20, 16));
+  // Boundary does not.
+  EXPECT_FALSE(vcm(10, 8));
+}
+
+TEST(CallerMaskingTest, DisabledRefinementKeepsRawMask) {
+  Fixture f;
+  FixedSegmenter seg(f.over_mask);
+  CallerMaskingOptions opts;
+  opts.rare_color_frequency = 0.0;
+  CallerMasker masker(seg, opts);
+  masker.Prepare(f.call);
+  EXPECT_EQ(masker.Vcm(f.call, 3), f.over_mask);
+}
+
+TEST(CallerMaskingTest, RawMaskAccessor) {
+  Fixture f;
+  FixedSegmenter seg(f.over_mask);
+  CallerMasker masker(seg);
+  masker.Prepare(f.call);
+  EXPECT_EQ(masker.RawSegmenterMask(5), f.over_mask);
+}
+
+TEST(CallerMaskingTest, ThrowsWhenNotPrepared) {
+  Fixture f;
+  FixedSegmenter seg(f.over_mask);
+  CallerMasker masker(seg);
+  EXPECT_THROW(masker.Vcm(f.call, 0), std::logic_error);
+  EXPECT_THROW(masker.RawSegmenterMask(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,86 @@
+#include "core/attacks/generic_object.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "synth/rng.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+TEST(ExpectedClassTest, MapsKindsToDetectorClasses) {
+  EXPECT_EQ(ExpectedClass(synth::ObjectKind::kPoster),
+            detect::ObjectClass::kPoster);
+  EXPECT_EQ(ExpectedClass(synth::ObjectKind::kPainting),
+            detect::ObjectClass::kPoster);
+  EXPECT_EQ(ExpectedClass(synth::ObjectKind::kClock),
+            detect::ObjectClass::kClock);
+  EXPECT_FALSE(ExpectedClass(synth::ObjectKind::kWindow).has_value());
+  EXPECT_FALSE(ExpectedClass(synth::ObjectKind::kDoor).has_value());
+}
+
+TEST(ScoreDetectionsTest, CountsHitsMissesAndFalseAlarms) {
+  std::vector<synth::SceneObjectTruth> truth(2);
+  truth[0].kind = synth::ObjectKind::kStickyNote;
+  truth[0].rect = {10, 10, 16, 16};
+  truth[1].kind = synth::ObjectKind::kClock;
+  truth[1].rect = {60, 10, 20, 20};
+
+  std::vector<detect::Detection> dets;
+  dets.push_back({detect::ObjectClass::kStickyNote, {11, 11, 15, 15}, 0.9});
+  dets.push_back({detect::ObjectClass::kPoster, {100, 60, 20, 20}, 0.5});
+
+  const GenericInferenceScore score = ScoreDetections(dets, truth);
+  EXPECT_EQ(score.detectable_objects, 2);
+  EXPECT_EQ(score.detected, 1);       // the note; the clock was missed
+  EXPECT_EQ(score.false_alarms, 1);   // poster on empty wall
+}
+
+TEST(ScoreDetectionsTest, WrongClassOverGtIsNotAFalseAlarm) {
+  std::vector<synth::SceneObjectTruth> truth(1);
+  truth[0].kind = synth::ObjectKind::kClock;
+  truth[0].rect = {20, 20, 20, 20};
+  std::vector<detect::Detection> dets;
+  dets.push_back({detect::ObjectClass::kToy, {21, 21, 18, 18}, 0.6});
+  const GenericInferenceScore score = ScoreDetections(dets, truth);
+  EXPECT_EQ(score.detected, 0);
+  EXPECT_EQ(score.false_alarms, 0);  // confusion, not hallucination
+}
+
+TEST(ScoreDetectionsTest, EachDetectionCreditsOneObject) {
+  std::vector<synth::SceneObjectTruth> truth(2);
+  truth[0].kind = synth::ObjectKind::kBook;
+  truth[0].rect = {10, 10, 10, 20};
+  truth[1].kind = synth::ObjectKind::kBook;
+  truth[1].rect = {12, 12, 10, 20};  // overlapping second book
+  std::vector<detect::Detection> dets;
+  dets.push_back({detect::ObjectClass::kBook, {10, 10, 10, 20}, 0.8});
+  const GenericInferenceScore score = ScoreDetections(dets, truth);
+  EXPECT_EQ(score.detectable_objects, 2);
+  EXPECT_EQ(score.detected, 1);  // single detection cannot count twice
+}
+
+TEST(InferObjectsTest, RunsDetectorsOverReconstruction) {
+  // Best-case reconstruction: the full scene.
+  synth::Rng rng(41);
+  synth::RandomSceneOptions opts;
+  opts.width = 128;
+  opts.height = 96;
+  opts.ensure_sticky_note = true;
+  const auto scene = synth::RenderScene(synth::RandomScene(rng, opts));
+
+  ReconstructionResult rec;
+  rec.background = scene.background;
+  rec.coverage = Bitmap(128, 96, imaging::kMaskSet);
+  const auto dets = InferObjects(rec);
+  const auto score = ScoreDetections(dets, scene.objects);
+  EXPECT_GT(score.detectable_objects, 0);
+  // With full coverage at least one object class must be found.
+  EXPECT_GT(score.detected, 0);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,121 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+TEST(VbmrTest, FullMaskingIsOne) {
+  FrameDecomposition d;
+  d.bbm = Bitmap(8, 8, imaging::kMaskSet);
+  d.vcm = Bitmap(8, 8);  // unused by the metric
+  const Bitmap true_vb(8, 8, imaging::kMaskSet);
+  EXPECT_DOUBLE_EQ(Vbmr(d, true_vb), 1.0);
+}
+
+TEST(VbmrTest, CountsUnmaskedVbPixels) {
+  FrameDecomposition d;
+  d.bbm = Bitmap(4, 1);
+  d.bbm(0, 0) = imaging::kMaskSet;
+  d.vcm = Bitmap(4, 1);
+  d.vcm(1, 0) = imaging::kMaskSet;  // VCM is a separate stage: not counted
+  Bitmap true_vb(4, 1, imaging::kMaskSet);
+  true_vb(3, 0) = imaging::kMaskClear;  // only 3 VB pixels
+  // Only pixel 0 (bbm) of the 3 VB pixels is masked -> 1/3.
+  EXPECT_NEAR(Vbmr(d, true_vb), 1.0 / 3.0, 1e-12);
+}
+
+TEST(VbmrTest, NoVbPixelsIsVacuouslyPerfect) {
+  FrameDecomposition d;
+  d.bbm = Bitmap(4, 4);
+  d.vcm = Bitmap(4, 4);
+  EXPECT_DOUBLE_EQ(Vbmr(d, Bitmap(4, 4)), 1.0);
+}
+
+TEST(VbmrTest, MeanVbmrAverages) {
+  FrameDecomposition all;
+  all.bbm = Bitmap(2, 1, imaging::kMaskSet);
+  all.vcm = Bitmap(2, 1);
+  FrameDecomposition none;
+  none.bbm = Bitmap(2, 1);
+  none.vcm = Bitmap(2, 1);
+  const Bitmap true_vb(2, 1, imaging::kMaskSet);
+  std::vector<FrameDecomposition> ds;
+  ds.push_back(all);
+  ds.push_back(none);
+  const std::vector<Bitmap> vbs{true_vb, true_vb};
+  EXPECT_DOUBLE_EQ(MeanVbmr(ds, vbs), 0.5);
+  EXPECT_THROW(MeanVbmr(ds, {true_vb}), std::invalid_argument);
+}
+
+TEST(RbrrTest, VerifiedRequiresColorAgreement) {
+  ReconstructionResult rec;
+  rec.background = Image(4, 1);
+  rec.coverage = Bitmap(4, 1);
+  rec.background(0, 0) = {100, 100, 100};
+  rec.background(1, 0) = {200, 200, 200};
+  rec.coverage(0, 0) = imaging::kMaskSet;
+  rec.coverage(1, 0) = imaging::kMaskSet;
+  Image truth(4, 1, {100, 100, 100});
+  const RbrrResult r = Rbrr(rec, truth);
+  EXPECT_DOUBLE_EQ(r.claimed, 0.5);
+  EXPECT_DOUBLE_EQ(r.verified, 0.25);  // only pixel 0 matches
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+}
+
+TEST(RbrrTest, EmptyCoverage) {
+  ReconstructionResult rec;
+  rec.background = Image(4, 4);
+  rec.coverage = Bitmap(4, 4);
+  const RbrrResult r = Rbrr(rec, Image(4, 4));
+  EXPECT_DOUBLE_EQ(r.claimed, 0.0);
+  EXPECT_DOUBLE_EQ(r.verified, 0.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+}
+
+TEST(RbrrTest, ToleranceIsConfigurable) {
+  ReconstructionResult rec;
+  rec.background = Image(1, 1, {110, 110, 110});
+  rec.coverage = Bitmap(1, 1, imaging::kMaskSet);
+  const Image truth(1, 1, {100, 100, 100});
+  EXPECT_DOUBLE_EQ(Rbrr(rec, truth, {.verify_tolerance = 5}).verified, 0.0);
+  EXPECT_DOUBLE_EQ(Rbrr(rec, truth, {.verify_tolerance = 15}).verified, 1.0);
+}
+
+TEST(ActionSpeedTest, FramesOverFps) {
+  EXPECT_DOUBLE_EQ(ActionSpeedSeconds(30, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(ActionSpeedSeconds(9, 12.0), 0.75);
+  EXPECT_THROW(ActionSpeedSeconds(10, 0.0), std::invalid_argument);
+}
+
+TEST(DisplacementTest, StaticVideoHasZeroDisplacement) {
+  video::VideoStream v(10.0);
+  for (int i = 0; i < 5; ++i) v.Append(Image(8, 8, {50, 50, 50}));
+  EXPECT_DOUBLE_EQ(Displacement(v), 0.0);
+}
+
+TEST(DisplacementTest, CountsUniqueChangedPixels) {
+  video::VideoStream v(10.0);
+  Image f(10, 1, {0, 0, 0});
+  v.Append(f);
+  imaging::FillRect(f, {0, 0, 3, 1}, {255, 255, 255});
+  v.Append(f);  // pixels 0-2 change
+  imaging::FillRect(f, {2, 0, 2, 1}, {128, 128, 128});
+  v.Append(f);  // pixels 2-3 change (2 already counted)
+  EXPECT_DOUBLE_EQ(Displacement(v), 0.4);  // pixels 0,1,2,3 of 10
+}
+
+TEST(DisplacementTest, ShortVideosAreZero) {
+  video::VideoStream v(10.0);
+  EXPECT_DOUBLE_EQ(Displacement(v), 0.0);
+  v.Append(Image(4, 4));
+  EXPECT_DOUBLE_EQ(Displacement(v), 0.0);
+}
+
+}  // namespace
+}  // namespace bb::core

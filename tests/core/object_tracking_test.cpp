@@ -1,0 +1,124 @@
+#include "core/attacks/object_tracking.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/transform.h"
+#include "synth/scene.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+// Builds a ReconstructionResult directly from a scene image and a coverage
+// mask (unit-level; the full pipeline is exercised in integration tests).
+ReconstructionResult MakeRecon(const Image& scene, const Bitmap& coverage) {
+  ReconstructionResult rec;
+  rec.background = scene;
+  rec.coverage = coverage;
+  // Zero out unrecovered pixels like the real accumulator does.
+  for (int y = 0; y < scene.height(); ++y) {
+    for (int x = 0; x < scene.width(); ++x) {
+      if (!coverage(x, y)) rec.background(x, y) = {};
+    }
+  }
+  return rec;
+}
+
+detect::TemplateMatchOptions TestOptions() {
+  detect::TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;
+  return opts;
+}
+
+struct TrackingFixture {
+  synth::ObjectSpec poster;
+  Image scene{128, 96, {180, 172, 160}};
+  Image templ;
+
+  TrackingFixture() {
+    poster.kind = synth::ObjectKind::kPoster;
+    poster.rect = {60, 30, 30, 40};
+    poster.primary = {200, 30, 30};
+    poster.secondary = {250, 220, 40};
+    poster.style_seed = 5;
+    synth::SceneSpec spec;
+    spec.width = 128;
+    spec.height = 96;
+    spec.wall_color = {180, 172, 160};
+    spec.objects.push_back(poster);
+    scene = synth::RenderScene(spec).background;
+    templ = synth::RenderObjectTemplate(poster);
+  }
+};
+
+TEST(ObjectTrackingTest, FindsPresentObject) {
+  TrackingFixture f;
+  const auto rec = MakeRecon(f.scene, Bitmap(128, 96, imaging::kMaskSet));
+  const auto r = TrackObject(rec, f.templ, TestOptions());
+  EXPECT_TRUE(r.present);
+  EXPECT_LT(std::abs(r.window.x - f.poster.rect.x), 6);
+}
+
+TEST(ObjectTrackingTest, RejectsAbsentObject) {
+  TrackingFixture f;
+  synth::ObjectSpec other = f.poster;
+  other.primary = {30, 200, 60};  // green poster never placed
+  other.secondary = {60, 30, 220};
+  other.style_seed = 99;
+  const Image other_templ = synth::RenderObjectTemplate(other);
+  const auto rec = MakeRecon(f.scene, Bitmap(128, 96, imaging::kMaskSet));
+  const auto r = TrackObject(rec, other_templ, TestOptions());
+  EXPECT_FALSE(r.present);
+}
+
+TEST(ObjectTrackingTest, FindsObjectInPartialReconstruction) {
+  TrackingFixture f;
+  Bitmap coverage(128, 96);
+  // 75% coverage in patches.
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if ((x / 5 + y / 5) % 4 != 0) coverage(x, y) = imaging::kMaskSet;
+    }
+  }
+  const auto rec = MakeRecon(f.scene, coverage);
+  EXPECT_TRUE(TrackObject(rec, f.templ, TestOptions()).present);
+}
+
+TEST(ObjectTrackingTest, UnrecoveredObjectRegionBlocksDetection) {
+  TrackingFixture f;
+  Bitmap coverage(128, 96, imaging::kMaskSet);
+  imaging::FillRect(coverage, f.poster.rect.Inflated(10),
+                    static_cast<std::uint8_t>(0));
+  const auto rec = MakeRecon(f.scene, coverage);
+  EXPECT_FALSE(TrackObject(rec, f.templ, TestOptions()).present);
+}
+
+TEST(EvaluateTrackingTest, ComputesConfusionCounts) {
+  TrackingFixture f;
+  const auto rec = MakeRecon(f.scene, Bitmap(128, 96, imaging::kMaskSet));
+
+  synth::ObjectSpec absent = f.poster;
+  absent.primary = {20, 210, 80};
+  absent.secondary = {40, 40, 210};
+  absent.style_seed = 321;
+
+  std::vector<TrackingTrial> trials;
+  trials.push_back({&rec, f.templ, true});
+  trials.push_back({&rec, synth::RenderObjectTemplate(absent), false});
+  const TrackingAccuracy acc = EvaluateTracking(trials, TestOptions());
+  EXPECT_EQ(acc.true_positives, 1);
+  EXPECT_EQ(acc.true_negatives, 1);
+  EXPECT_EQ(acc.false_positives, 0);
+  EXPECT_EQ(acc.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(acc.Accuracy(), 1.0);
+}
+
+TEST(EvaluateTrackingTest, EmptyTrialsGiveZeroAccuracy) {
+  EXPECT_DOUBLE_EQ(EvaluateTracking({}).Accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace bb::core

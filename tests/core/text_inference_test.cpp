@@ -1,0 +1,91 @@
+#include "core/attacks/text_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+struct NoteSceneFixture {
+  synth::RenderedScene scene;
+
+  NoteSceneFixture() {
+    synth::SceneSpec spec;
+    spec.width = 128;
+    spec.height = 96;
+    synth::ObjectSpec note;
+    note.kind = synth::ObjectKind::kStickyNote;
+    note.rect = {40, 30, 44, 40};
+    note.primary = {236, 221, 96};
+    note.text = "PIN 42";
+    spec.objects.push_back(note);
+    scene = synth::RenderScene(spec);
+  }
+
+  ReconstructionResult FullRecon() const {
+    ReconstructionResult rec;
+    rec.background = scene.background;
+    rec.coverage = Bitmap(128, 96, imaging::kMaskSet);
+    return rec;
+  }
+};
+
+TEST(TextInferenceTest, ReadsNoteFromFullReconstruction) {
+  NoteSceneFixture f;
+  const auto detections = InferText(f.FullRecon());
+  const TextInferenceScore score = ScoreText(detections, f.scene.objects);
+  EXPECT_EQ(score.text_objects, 1);
+  EXPECT_EQ(score.texts_found, 1);
+  EXPECT_GE(score.best_accuracy, 0.8);
+}
+
+TEST(TextInferenceTest, UnrecoveredNoteYieldsNothing) {
+  NoteSceneFixture f;
+  ReconstructionResult rec = f.FullRecon();
+  // Remove all coverage over the note.
+  imaging::FillRect(rec.coverage, {30, 20, 70, 60},
+                    static_cast<std::uint8_t>(0));
+  const auto detections = InferText(rec);
+  const TextInferenceScore score = ScoreText(detections, f.scene.objects);
+  EXPECT_EQ(score.texts_found, 0);
+}
+
+TEST(TextInferenceTest, DetectionsFarFromObjectDoNotScore) {
+  NoteSceneFixture f;
+  std::vector<detect::TextDetection> fake;
+  detect::TextDetection d;
+  d.region = {0, 0, 10, 10};  // nowhere near the note
+  d.result.text = "PIN 42";
+  d.result.readable_chars = 6;
+  fake.push_back(d);
+  const TextInferenceScore score = ScoreText(fake, f.scene.objects);
+  EXPECT_EQ(score.texts_found, 0);
+}
+
+TEST(TextInferenceTest, AccuracyThresholdGatesCredit) {
+  NoteSceneFixture f;
+  std::vector<detect::TextDetection> fake;
+  detect::TextDetection d;
+  d.region = {40, 30, 44, 40};
+  d.result.text = "PXN 4Z";  // 4/6 correct
+  fake.push_back(d);
+  EXPECT_EQ(ScoreText(fake, f.scene.objects, 0.6).texts_found, 1);
+  EXPECT_EQ(ScoreText(fake, f.scene.objects, 0.9).texts_found, 0);
+}
+
+TEST(TextInferenceTest, ScenesWithoutTextScoreZeroObjects) {
+  synth::SceneSpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  const auto scene = synth::RenderScene(spec);
+  const TextInferenceScore score = ScoreText({}, scene.objects);
+  EXPECT_EQ(score.text_objects, 0);
+  EXPECT_EQ(score.texts_found, 0);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,173 @@
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bb::datasets {
+namespace {
+
+SimScale TinyScale() {
+  SimScale s;
+  s.width = 64;
+  s.height = 48;
+  s.fps = 6.0;
+  s.duration_factor = 0.15;
+  return s;
+}
+
+TEST(DatasetsTest, ParticipantsAreDistinct) {
+  std::set<std::tuple<int, int, int>> apparel;
+  for (int p = 0; p < kParticipantCount; ++p) {
+    const auto spec = Participant(p);
+    apparel.insert({spec.apparel.r, spec.apparel.g, spec.apparel.b});
+  }
+  EXPECT_EQ(apparel.size(), static_cast<std::size_t>(kParticipantCount));
+  // Ids wrap around.
+  EXPECT_EQ(Participant(0).apparel, Participant(5).apparel);
+}
+
+TEST(DatasetsTest, E1MatrixHas163Cases) {
+  const auto cases = E1Matrix();
+  EXPECT_EQ(cases.size(), 163u);  // paper sec. VII-A
+}
+
+TEST(DatasetsTest, E1MatrixCoversAllActionsAndParticipants) {
+  const auto cases = E1Matrix();
+  std::set<synth::ActionKind> actions;
+  std::set<int> participants;
+  int lights_off = 0, accessories = 0, speed = 0, apparel = 0;
+  for (const auto& c : cases) {
+    actions.insert(c.action);
+    participants.insert(c.participant);
+    lights_off += c.lighting == synth::Lighting::kOff;
+    accessories += c.accessory != synth::Accessory::kNone;
+    speed += c.speed != synth::SpeedClass::kAverage;
+    apparel += c.apparel_like_background;
+  }
+  EXPECT_EQ(actions.size(), 10u);
+  EXPECT_EQ(participants.size(), 5u);
+  EXPECT_EQ(lights_off, 50);
+  EXPECT_EQ(accessories, 30);
+  EXPECT_EQ(speed, 20);
+  EXPECT_EQ(apparel, 10);
+}
+
+TEST(DatasetsTest, E2MatrixHas25CallsWithModeSplit) {
+  const auto cases = E2Matrix();
+  EXPECT_EQ(cases.size(), 25u);  // paper sec. VII-B
+  int passive = 0, active = 0;
+  std::set<std::uint64_t> scenes;
+  for (const auto& c : cases) {
+    (c.mode == E2Mode::kPassive ? passive : active) += 1;
+    scenes.insert(c.scene_seed);
+  }
+  EXPECT_EQ(passive, 20);
+  EXPECT_EQ(active, 5);
+  // Every call uses a different background (paper: "pick a different
+  // background" per recording).
+  EXPECT_EQ(scenes.size(), 25u);
+}
+
+TEST(DatasetsTest, E3MatrixHasRequestedCount) {
+  EXPECT_EQ(E3Matrix().size(), 50u);  // paper sec. VII-C
+  EXPECT_EQ(E3Matrix(7).size(), 7u);
+}
+
+TEST(DatasetsTest, RecordingsAreDeterministic) {
+  const SimScale scale = TinyScale();
+  const auto cases = E1Matrix(scale);
+  const auto a = RecordE1(cases[0], scale);
+  const auto b = RecordE1(cases[0], scale);
+  EXPECT_EQ(a.video.frames(), b.video.frames());
+  EXPECT_EQ(a.true_background, b.true_background);
+}
+
+TEST(DatasetsTest, E1RecordingMatchesScale) {
+  const SimScale scale = TinyScale();
+  const auto cases = E1Matrix(scale);
+  const auto rec = RecordE1(cases[3], scale);
+  EXPECT_EQ(rec.video.width(), 64);
+  EXPECT_EQ(rec.video.height(), 48);
+  EXPECT_DOUBLE_EQ(rec.video.fps(), 6.0);
+  EXPECT_GT(rec.video.frame_count(), 2);
+  EXPECT_EQ(rec.caller_masks.size(),
+            static_cast<std::size_t>(rec.video.frame_count()));
+}
+
+TEST(DatasetsTest, ApparelLikeBackgroundRecolorsShirt) {
+  const SimScale scale = TinyScale();
+  auto cases = E1Matrix(scale);
+  E1Case matching;
+  bool found = false;
+  for (const auto& c : cases) {
+    if (c.apparel_like_background) {
+      matching = c;
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  E1Case plain = matching;
+  plain.apparel_like_background = false;
+  const auto rec_match = RecordE1(matching, scale);
+  const auto rec_plain = RecordE1(plain, scale);
+  EXPECT_NE(rec_match.video.frames(), rec_plain.video.frames());
+}
+
+TEST(DatasetsTest, E2PassiveMovesLessThanActive) {
+  const SimScale scale = TinyScale();
+  const auto cases = E2Matrix(scale);
+  const auto passive = RecordE2(cases[0], scale);
+  const auto active = RecordE2(cases[4], scale);
+  auto motion = [](const synth::RawRecording& rec) {
+    double changed = 0.0;
+    for (std::size_t i = 1; i < rec.caller_masks.size(); ++i) {
+      changed += imaging::SetFraction(imaging::AndNot(
+          rec.caller_masks[i], rec.caller_masks[i - 1]));
+    }
+    return changed / static_cast<double>(rec.caller_masks.size());
+  };
+  EXPECT_LT(motion(passive), motion(active));
+}
+
+TEST(DatasetsTest, E3UsesStudioQuality) {
+  const SimScale scale = TinyScale();
+  const auto e3 = RecordE3(E3Matrix(1, scale)[0], scale);
+  EXPECT_GT(e3.video.frame_count(), 2);
+  // Every tenth E3 scene carries a sticky note (index 0 qualifies).
+  bool has_note = false;
+  for (const auto& o : e3.scene.objects) {
+    has_note |= o.kind == synth::ObjectKind::kStickyNote;
+  }
+  EXPECT_TRUE(has_note);
+}
+
+TEST(DatasetsTest, DictionaryContainsTruthAtOriginalIndices) {
+  const SimScale scale = TinyScale();
+  std::vector<imaging::Image> truths;
+  synth::Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    synth::RandomSceneOptions opts;
+    opts.width = scale.width;
+    opts.height = scale.height;
+    truths.push_back(
+        synth::RenderScene(synth::RandomScene(rng, opts)).background);
+  }
+  const auto dict = BuildBackgroundDictionary(truths, 20, 99, scale);
+  EXPECT_EQ(dict.size(), 20u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(dict[static_cast<std::size_t>(i)], truths[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(DatasetsTest, DictionaryIsDeterministic) {
+  const SimScale scale = TinyScale();
+  const auto a = BuildBackgroundDictionary({}, 8, 42, scale);
+  const auto b = BuildBackgroundDictionary({}, 8, 42, scale);
+  EXPECT_EQ(a.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace bb::datasets

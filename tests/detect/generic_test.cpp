@@ -1,0 +1,141 @@
+#include "detect/generic.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "synth/scene.h"
+
+namespace bb::detect {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+// Renders a scene containing exactly one object and returns it with full
+// coverage, as a best-case reconstruction.
+struct OneObjectScene {
+  Image img;
+  Bitmap coverage;
+  imaging::Rect rect;
+
+  explicit OneObjectScene(synth::ObjectSpec object, int w = 128, int h = 96) {
+    synth::SceneSpec spec;
+    spec.width = w;
+    spec.height = h;
+    spec.wall_color = {186, 178, 162};
+    rect = object.rect;
+    spec.objects.push_back(std::move(object));
+    img = synth::RenderScene(spec).background;
+    coverage = Bitmap(w, h, imaging::kMaskSet);
+  }
+};
+
+bool Detected(const std::vector<Detection>& dets, ObjectClass cls,
+              const imaging::Rect& rect, double min_iou = 0.2) {
+  for (const auto& d : dets) {
+    if (d.cls == cls && imaging::RectIou(d.rect, rect) >= min_iou) {
+      return true;
+    }
+  }
+  return false;
+}
+
+synth::ObjectSpec MakeObject(synth::ObjectKind kind, imaging::Rect rect,
+                             imaging::Rgb8 primary = {200, 40, 40},
+                             imaging::Rgb8 secondary = {40, 40, 200}) {
+  synth::ObjectSpec o;
+  o.kind = kind;
+  o.rect = rect;
+  o.primary = primary;
+  o.secondary = secondary;
+  o.style_seed = 7;
+  return o;
+}
+
+TEST(GenericDetectorTest, FindsStickyNote) {
+  auto note = MakeObject(synth::ObjectKind::kStickyNote, {50, 40, 16, 16},
+                         {236, 221, 96});
+  note.text = "HI";
+  const OneObjectScene s(note);
+  const auto dets = DetectObjects(s.img, s.coverage);
+  EXPECT_TRUE(Detected(dets, ObjectClass::kStickyNote, s.rect));
+}
+
+TEST(GenericDetectorTest, FindsBookshelf) {
+  const OneObjectScene s(
+      MakeObject(synth::ObjectKind::kBookshelf, {30, 20, 50, 60}));
+  const auto dets = DetectObjects(s.img, s.coverage);
+  EXPECT_TRUE(Detected(dets, ObjectClass::kBookshelf, s.rect));
+}
+
+TEST(GenericDetectorTest, FindsMonitorAndTv) {
+  const OneObjectScene mon(MakeObject(synth::ObjectKind::kMonitor,
+                                      {40, 30, 32, 24}, {10, 10, 10},
+                                      {90, 120, 200}));
+  EXPECT_TRUE(Detected(DetectObjects(mon.img, mon.coverage),
+                       ObjectClass::kMonitor, mon.rect));
+  const OneObjectScene tv(MakeObject(synth::ObjectKind::kTv,
+                                     {30, 30, 48, 29}, {10, 10, 10},
+                                     {90, 120, 200}));
+  EXPECT_TRUE(Detected(DetectObjects(tv.img, tv.coverage), ObjectClass::kTv,
+                       tv.rect));
+}
+
+TEST(GenericDetectorTest, FindsClock) {
+  const OneObjectScene s(MakeObject(synth::ObjectKind::kClock,
+                                    {50, 35, 26, 26}, {160, 40, 40}));
+  const auto dets = DetectObjects(s.img, s.coverage);
+  EXPECT_TRUE(Detected(dets, ObjectClass::kClock, s.rect));
+}
+
+TEST(GenericDetectorTest, FindsPoster) {
+  const OneObjectScene s(
+      MakeObject(synth::ObjectKind::kPoster, {40, 20, 36, 48}));
+  const auto dets = DetectObjects(s.img, s.coverage);
+  EXPECT_TRUE(Detected(dets, ObjectClass::kPoster, s.rect));
+}
+
+TEST(GenericDetectorTest, EmptyWallHasFewFalseAlarms) {
+  synth::SceneSpec spec;
+  spec.width = 128;
+  spec.height = 96;
+  const Image img = synth::RenderScene(spec).background;
+  const Bitmap coverage(128, 96, imaging::kMaskSet);
+  const auto dets = DetectObjects(img, coverage);
+  EXPECT_LE(dets.size(), 1u);
+}
+
+TEST(GenericDetectorTest, NothingDetectedWithoutCoverage) {
+  const OneObjectScene s(
+      MakeObject(synth::ObjectKind::kPoster, {40, 20, 36, 48}));
+  const Bitmap no_coverage(128, 96);
+  EXPECT_TRUE(DetectObjects(s.img, no_coverage).empty());
+}
+
+TEST(GenericDetectorTest, SurvivesPartialCoverage) {
+  const OneObjectScene s(
+      MakeObject(synth::ObjectKind::kPoster, {30, 20, 44, 52}));
+  Bitmap coverage(128, 96);
+  // ~75% recovered; unrecovered holes are 4 px wide diagonal strips.
+  for (int y = 0; y < 96; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if ((x / 4 + y / 4) % 4 != 0) coverage(x, y) = imaging::kMaskSet;
+    }
+  }
+  const auto dets = DetectObjects(s.img, coverage);
+  EXPECT_TRUE(Detected(dets, ObjectClass::kPoster, s.rect));
+}
+
+TEST(GenericDetectorTest, ToStringCoversClasses) {
+  EXPECT_STREQ(ToString(ObjectClass::kBook), "book");
+  EXPECT_STREQ(ToString(ObjectClass::kTv), "tv");
+  EXPECT_STREQ(ToString(ObjectClass::kStickyNote), "sticky_note");
+}
+
+TEST(GenericDetectorTest, RejectsShapeMismatch) {
+  EXPECT_THROW(DetectObjects(Image(4, 4), Bitmap(5, 4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::detect

@@ -1,0 +1,76 @@
+#include "detect/nms.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::detect {
+namespace {
+
+TEST(NmsTest, KeepsTheMostConfidentOfOverlappingPair) {
+  std::vector<Detection> dets{
+      {ObjectClass::kPoster, {10, 10, 20, 20}, 0.6},
+      {ObjectClass::kPoster, {12, 12, 20, 20}, 0.9},
+  };
+  const auto kept = NonMaxSuppression(dets, 0.4);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);
+}
+
+TEST(NmsTest, DifferentClassesNeverSuppressEachOther) {
+  std::vector<Detection> dets{
+      {ObjectClass::kPoster, {10, 10, 20, 20}, 0.9},
+      {ObjectClass::kBookshelf, {10, 10, 20, 20}, 0.5},
+  };
+  EXPECT_EQ(NonMaxSuppression(dets, 0.4).size(), 2u);
+}
+
+TEST(NmsTest, DisjointDetectionsAllSurvive) {
+  std::vector<Detection> dets{
+      {ObjectClass::kBook, {0, 0, 10, 10}, 0.7},
+      {ObjectClass::kBook, {50, 50, 10, 10}, 0.6},
+      {ObjectClass::kBook, {100, 0, 10, 10}, 0.5},
+  };
+  EXPECT_EQ(NonMaxSuppression(dets, 0.4).size(), 3u);
+}
+
+TEST(NmsTest, ThresholdControlsSuppression) {
+  // ~43% IoU overlap.
+  std::vector<Detection> dets{
+      {ObjectClass::kClock, {0, 0, 20, 20}, 0.9},
+      {ObjectClass::kClock, {8, 0, 20, 20}, 0.8},
+  };
+  EXPECT_EQ(NonMaxSuppression(dets, 0.3).size(), 1u);
+  EXPECT_EQ(NonMaxSuppression(dets, 0.6).size(), 2u);
+}
+
+TEST(NmsTest, SurvivorsSortedByConfidence) {
+  std::vector<Detection> dets{
+      {ObjectClass::kToy, {0, 0, 5, 5}, 0.2},
+      {ObjectClass::kToy, {20, 0, 5, 5}, 0.8},
+      {ObjectClass::kToy, {40, 0, 5, 5}, 0.5},
+  };
+  const auto kept = NonMaxSuppression(dets, 0.4);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_GE(kept[0].confidence, kept[1].confidence);
+  EXPECT_GE(kept[1].confidence, kept[2].confidence);
+}
+
+TEST(NmsTest, EmptyInputIsFine) {
+  EXPECT_TRUE(NonMaxSuppression({}, 0.4).empty());
+}
+
+TEST(NmsTest, ChainSuppressionIsGreedy) {
+  // A overlaps B, B overlaps C, but A does not overlap C: greedy NMS keeps
+  // A (best) and C (not overlapping anything kept).
+  std::vector<Detection> dets{
+      {ObjectClass::kTv, {0, 0, 20, 10}, 0.9},
+      {ObjectClass::kTv, {10, 0, 20, 10}, 0.8},
+      {ObjectClass::kTv, {20, 0, 20, 10}, 0.7},
+  };
+  const auto kept = NonMaxSuppression(dets, 0.3);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].rect.x, 0);
+  EXPECT_EQ(kept[1].rect.x, 20);
+}
+
+}  // namespace
+}  // namespace bb::detect

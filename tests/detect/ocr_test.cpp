@@ -1,0 +1,109 @@
+#include "detect/ocr.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/font.h"
+#include "synth/scene.h"
+
+namespace bb::detect {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+using imaging::Rect;
+
+struct TextFixture {
+  Image img{120, 40, {236, 221, 96}};  // sticky-note yellow page
+  Bitmap coverage{120, 40, imaging::kMaskSet};
+  Rect region{0, 0, 120, 40};
+};
+
+TEST(OcrTest, ReadsCleanText) {
+  TextFixture f;
+  imaging::DrawText(f.img, 4, 8, 2, {40, 40, 46}, "CALL BOB");
+  const OcrResult r = ReadTextRegion(f.img, f.coverage, f.region);
+  EXPECT_EQ(r.text, "CALL BOB");
+  EXPECT_GT(r.mean_confidence, 0.9);
+}
+
+TEST(OcrTest, ReadsScaleOneText) {
+  TextFixture f;
+  imaging::DrawText(f.img, 4, 8, 1, {30, 30, 30}, "PIN 4312");
+  const OcrResult r = ReadTextRegion(f.img, f.coverage, f.region);
+  EXPECT_EQ(r.text, "PIN 4312");
+}
+
+TEST(OcrTest, ToleratesMissingCoverage) {
+  TextFixture f;
+  imaging::DrawText(f.img, 4, 8, 2, {40, 40, 46}, "RENT DUE");
+  // Punch coverage holes over ~25% of pixels.
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 120; ++x) {
+      if ((x + 2 * y) % 4 == 0) f.coverage(x, y) = imaging::kMaskClear;
+    }
+  }
+  const OcrResult r = ReadTextRegion(f.img, f.coverage, f.region);
+  EXPECT_GE(CharacterAccuracy("RENT DUE", r.text), 0.6);
+}
+
+TEST(OcrTest, UnreadableCellsBecomeQuestionMarks) {
+  TextFixture f;
+  imaging::DrawText(f.img, 4, 8, 2, {40, 40, 46}, "AB");
+  // Wipe out coverage over the first glyph only.
+  imaging::FillRect(f.coverage, {0, 0, 16, 40},
+                    static_cast<std::uint8_t>(0));
+  const OcrResult r = ReadTextRegion(f.img, f.coverage, f.region);
+  // The 'A' has no recovered ink, so the read starts at 'B'.
+  EXPECT_NE(r.text.find('B'), std::string::npos);
+  EXPECT_EQ(r.text.find('A'), std::string::npos);
+}
+
+TEST(OcrTest, EmptyRegionYieldsNothing) {
+  TextFixture f;  // no ink at all
+  const OcrResult r = ReadTextRegion(f.img, f.coverage, f.region);
+  EXPECT_TRUE(r.text.empty());
+  EXPECT_EQ(r.readable_chars, 0);
+}
+
+TEST(OcrTest, RegionOutsideImageIsSafe) {
+  TextFixture f;
+  EXPECT_NO_THROW(
+      ReadTextRegion(f.img, f.coverage, Rect{200, 200, 50, 50}));
+}
+
+TEST(OcrTest, DetectTextFindsStickyNoteText) {
+  // Full scene pipeline: a sticky note with text on a wall.
+  synth::SceneSpec spec;
+  spec.width = 128;
+  spec.height = 96;
+  synth::ObjectSpec note;
+  note.kind = synth::ObjectKind::kStickyNote;
+  note.rect = {40, 30, 40, 40};
+  note.primary = {236, 221, 96};
+  note.text = "PIN 13";
+  spec.objects.push_back(note);
+  const Image img = synth::RenderScene(spec).background;
+  const Bitmap coverage(128, 96, imaging::kMaskSet);
+
+  const auto detections = DetectText(img, coverage);
+  ASSERT_FALSE(detections.empty());
+  double best = 0.0;
+  for (const auto& d : detections) {
+    best = std::max(best, CharacterAccuracy("PIN 13", d.result.text));
+  }
+  EXPECT_GE(best, 0.8);
+}
+
+TEST(CharacterAccuracyTest, ScoresPositionsCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("ABC", "ABC"), 1.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("ABC", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("ABC", "AXC"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("ABC", "AB"), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("AB", "ABCD"), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(CharacterAccuracy("", "X"), 0.0);
+}
+
+}  // namespace
+}  // namespace bb::detect

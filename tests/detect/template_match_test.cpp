@@ -1,0 +1,153 @@
+#include "detect/template_match.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/transform.h"
+
+namespace bb::detect {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+using imaging::Rect;
+
+TEST(IntegralMaskTest, SumsMatchBruteForce) {
+  Bitmap m(7, 5);
+  m(0, 0) = m(3, 2) = m(6, 4) = m(2, 2) = imaging::kMaskSet;
+  const IntegralMask integral(m);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      for (int h = 1; y + h <= 5; h += 2) {
+        for (int w = 1; x + w <= 7; w += 2) {
+          long long expected = 0;
+          for (int yy = y; yy < y + h; ++yy) {
+            for (int xx = x; xx < x + w; ++xx) expected += m(xx, yy) ? 1 : 0;
+          }
+          EXPECT_EQ(integral.Sum({x, y, w, h}), expected)
+              << x << "," << y << " " << w << "x" << h;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntegralMaskTest, ClipsOutOfBoundsRects) {
+  Bitmap m(4, 4, imaging::kMaskSet);
+  const IntegralMask integral(m);
+  EXPECT_EQ(integral.Sum({-2, -2, 10, 10}), 16);
+  EXPECT_EQ(integral.Sum({5, 5, 2, 2}), 0);
+}
+
+// A scene with a distinctive red-blue object on a gray wall.
+struct SceneFixture {
+  Image scene{96, 72, {120, 118, 115}};
+  Image templ{20, 16};
+  Rect object_at{50, 30, 20, 16};
+
+  SceneFixture() {
+    imaging::FillRect(templ, {0, 0, 20, 16}, {200, 30, 30});
+    imaging::FillRect(templ, {4, 4, 12, 8}, {30, 30, 200});
+    imaging::Paste(scene, templ, object_at.x, object_at.y);
+  }
+};
+
+TemplateMatchOptions LooseOptions() {
+  TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;  // tiny test frames
+  opts.min_recovered_fraction = 0.5;
+  return opts;
+}
+
+TEST(TemplateMatchTest, FindsObjectWithFullCoverage) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  const auto r = MatchTemplate(f.scene, coverage, f.templ, LooseOptions());
+  EXPECT_TRUE(r.found);
+  EXPECT_GT(r.score, 0.85);
+  EXPECT_LT(std::abs(r.window.x - f.object_at.x), 4);
+  EXPECT_LT(std::abs(r.window.y - f.object_at.y), 4);
+}
+
+TEST(TemplateMatchTest, RejectsAbsentObject) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  Image other(20, 16, {20, 200, 20});  // green object not in the scene
+  const auto r = MatchTemplate(f.scene, coverage, other, LooseOptions());
+  EXPECT_FALSE(r.found);
+}
+
+TEST(TemplateMatchTest, FindsObjectUnderPartialCoverage) {
+  const SceneFixture f;
+  // Only ~60% of pixels recovered, in stripes.
+  Bitmap coverage(96, 72);
+  for (int y = 0; y < 72; ++y) {
+    for (int x = 0; x < 96; ++x) {
+      if ((x / 3) % 2 == 0 || y % 2 == 0) coverage(x, y) = imaging::kMaskSet;
+    }
+  }
+  const auto r = MatchTemplate(f.scene, coverage, f.templ, LooseOptions());
+  EXPECT_TRUE(r.found);
+}
+
+TEST(TemplateMatchTest, RespectsRecoveredFractionConstraint) {
+  const SceneFixture f;
+  // Nothing recovered around the object.
+  Bitmap coverage(96, 72);
+  imaging::FillRect(coverage, {0, 0, 30, 72});
+  TemplateMatchOptions opts = LooseOptions();
+  opts.min_recovered_fraction = 0.5;
+  const auto r = MatchTemplate(f.scene, coverage, f.templ, opts);
+  // The object region is unrecovered, so no window there qualifies.
+  EXPECT_TRUE(!r.found ||
+              r.window.Intersect(f.object_at.Inflated(-4)).Empty());
+}
+
+TEST(TemplateMatchTest, RespectsMinWindowFraction) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  TemplateMatchOptions opts = LooseOptions();
+  opts.min_window_fraction = 0.5;  // template is ~4.6% of the frame: too small
+  const auto r = MatchTemplate(f.scene, coverage, f.templ, opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.score, 0.0);
+}
+
+TEST(TemplateMatchTest, FindsScaledObject) {
+  SceneFixture f;
+  Image big_scene(96, 72, {120, 118, 115});
+  const Image scaled = imaging::ResizeNearest(f.templ, 25, 20);
+  imaging::Paste(big_scene, scaled, 40, 30);
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  const auto r = MatchTemplate(big_scene, coverage, f.templ, LooseOptions());
+  EXPECT_TRUE(r.found);
+  EXPECT_GT(r.scale, 1.0);
+}
+
+TEST(TemplateMatchTest, FindsRotatedObject) {
+  SceneFixture f;
+  Image scene(96, 72, {120, 118, 115});
+  const Image rotated = imaging::Rotate(f.templ, 8.0, {120, 118, 115});
+  imaging::Paste(scene, rotated, 40, 30);
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  const auto r = MatchTemplate(scene, coverage, f.templ, LooseOptions());
+  EXPECT_TRUE(r.found);
+}
+
+TEST(TemplateMatchTest, EmptyInputsAreSafe) {
+  const Bitmap coverage(10, 10, imaging::kMaskSet);
+  const Image recon(10, 10);
+  EXPECT_FALSE(MatchTemplate(recon, coverage, Image{}, LooseOptions()).found);
+  EXPECT_FALSE(
+      MatchTemplate(Image{}, Bitmap{}, Image(4, 4), LooseOptions()).found);
+}
+
+TEST(TemplateMatchTest, OversizedTemplateSkipsScale) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  const Image huge(200, 200, {1, 1, 1});
+  EXPECT_FALSE(MatchTemplate(f.scene, coverage, huge, LooseOptions()).found);
+}
+
+}  // namespace
+}  // namespace bb::detect

@@ -1,0 +1,107 @@
+#include "imaging/color.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::imaging {
+namespace {
+
+TEST(ColorTest, PrimariesConvertToExpectedHues) {
+  EXPECT_NEAR(RgbToHsv({255, 0, 0}).h, 0.0f, 0.5f);
+  EXPECT_NEAR(RgbToHsv({0, 255, 0}).h, 120.0f, 0.5f);
+  EXPECT_NEAR(RgbToHsv({0, 0, 255}).h, 240.0f, 0.5f);
+}
+
+TEST(ColorTest, GrayHasZeroSaturation) {
+  const Hsv g = RgbToHsv({128, 128, 128});
+  EXPECT_FLOAT_EQ(g.s, 0.0f);
+  EXPECT_NEAR(g.v, 128.0f / 255.0f, 1e-4f);
+}
+
+TEST(ColorTest, BlackAndWhiteExtremes) {
+  EXPECT_FLOAT_EQ(RgbToHsv({0, 0, 0}).v, 0.0f);
+  EXPECT_FLOAT_EQ(RgbToHsv({255, 255, 255}).v, 1.0f);
+  EXPECT_FLOAT_EQ(RgbToHsv({255, 255, 255}).s, 0.0f);
+}
+
+TEST(ColorTest, HsvToRgbHandlesHueWrap) {
+  const Rgb8 a = HsvToRgb({360.0f, 1.0f, 1.0f});
+  const Rgb8 b = HsvToRgb({0.0f, 1.0f, 1.0f});
+  EXPECT_EQ(a, b);
+  const Rgb8 c = HsvToRgb({-120.0f, 1.0f, 1.0f});
+  const Rgb8 d = HsvToRgb({240.0f, 1.0f, 1.0f});
+  EXPECT_EQ(c, d);
+}
+
+TEST(ColorTest, HueDistanceWrapsAround) {
+  EXPECT_FLOAT_EQ(HueDistance(10.0f, 350.0f), 20.0f);
+  EXPECT_FLOAT_EQ(HueDistance(0.0f, 180.0f), 180.0f);
+  EXPECT_FLOAT_EQ(HueDistance(90.0f, 90.0f), 0.0f);
+}
+
+TEST(ColorTest, LumaWeightsGreenHighest) {
+  EXPECT_GT(Luma({0, 255, 0}), Luma({255, 0, 0}));
+  EXPECT_GT(Luma({255, 0, 0}), Luma({0, 0, 255}));
+  EXPECT_FLOAT_EQ(Luma({255, 255, 255}), 255.0f);
+}
+
+TEST(ColorTest, RgbDistance) {
+  EXPECT_FLOAT_EQ(RgbDistance({0, 0, 0}, {0, 0, 0}), 0.0f);
+  EXPECT_NEAR(RgbDistance({0, 0, 0}, {255, 255, 255}), 441.67f, 0.1f);
+  EXPECT_FLOAT_EQ(RgbDistance({10, 0, 0}, {0, 0, 0}), 10.0f);
+}
+
+TEST(ColorTest, NearlyEqualRespectsTolerance) {
+  EXPECT_TRUE(NearlyEqual({10, 10, 10}, {12, 8, 10}, 2));
+  EXPECT_FALSE(NearlyEqual({10, 10, 10}, {13, 10, 10}, 2));
+  EXPECT_TRUE(NearlyEqual({0, 0, 0}, {0, 0, 0}, 0));
+}
+
+TEST(ColorTest, LerpEndpointsAndMidpoint) {
+  const Rgb8 a{0, 0, 0}, b{200, 100, 50};
+  EXPECT_EQ(Lerp(a, b, 0.0f), a);
+  EXPECT_EQ(Lerp(a, b, 1.0f), b);
+  const Rgb8 mid = Lerp(a, b, 0.5f);
+  EXPECT_NEAR(mid.r, 100, 1);
+  EXPECT_NEAR(mid.g, 50, 1);
+  EXPECT_NEAR(mid.b, 25, 1);
+  // t clamps.
+  EXPECT_EQ(Lerp(a, b, 2.0f), b);
+  EXPECT_EQ(Lerp(a, b, -1.0f), a);
+}
+
+TEST(ColorTest, ScaledClampsChannels) {
+  EXPECT_EQ(Scaled({200, 200, 200}, 2.0f), (Rgb8{255, 255, 255}));
+  EXPECT_EQ(Scaled({100, 50, 10}, 0.5f), (Rgb8{50, 25, 5}));
+}
+
+TEST(ColorTest, ColorBucketGroupsSimilarColors) {
+  EXPECT_EQ(ColorBucket({10, 20, 30}), ColorBucket({11, 21, 31}));
+  EXPECT_NE(ColorBucket({10, 20, 30}), ColorBucket({30, 20, 10}));
+  EXPECT_GE(ColorBucket({255, 255, 255}), 0);
+  EXPECT_LT(ColorBucket({255, 255, 255}), kColorBucketCount);
+}
+
+// Property: RGB -> HSV -> RGB round-trips within quantization error.
+class HsvRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HsvRoundTripTest, RoundTripIsNearlyLossless) {
+  std::uint64_t s = static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9u + 7;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<std::uint8_t>(s);
+  };
+  for (int i = 0; i < 64; ++i) {
+    const Rgb8 c{next(), next(), next()};
+    const Rgb8 back = HsvToRgb(RgbToHsv(c));
+    EXPECT_TRUE(NearlyEqual(c, back, 2))
+        << "(" << int(c.r) << "," << int(c.g) << "," << int(c.b) << ") -> ("
+        << int(back.r) << "," << int(back.g) << "," << int(back.b) << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsvRoundTripTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bb::imaging

@@ -1,0 +1,128 @@
+#include "imaging/draw.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/image.h"
+
+namespace bb::imaging {
+namespace {
+
+TEST(DrawTest, FillRectFillsExactRegion) {
+  Image img(8, 8);
+  FillRect(img, {2, 3, 3, 2}, {5, 5, 5});
+  int painted = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const bool inside = x >= 2 && x < 5 && y >= 3 && y < 5;
+      EXPECT_EQ(img(x, y) == (Rgb8{5, 5, 5}), inside) << x << "," << y;
+      painted += img(x, y) == Rgb8{5, 5, 5};
+    }
+  }
+  EXPECT_EQ(painted, 6);
+}
+
+TEST(DrawTest, FillRectClipsAtBorders) {
+  Image img(4, 4);
+  EXPECT_NO_THROW(FillRect(img, {-2, -2, 10, 10}, {1, 1, 1}));
+  EXPECT_EQ(img(0, 0), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(img(3, 3), (Rgb8{1, 1, 1}));
+  Image img2(4, 4);
+  FillRect(img2, {10, 10, 5, 5}, {1, 1, 1});
+  for (const Rgb8& p : img2.pixels()) EXPECT_EQ(p, Rgb8{});
+}
+
+TEST(DrawTest, FillCircleIsSymmetric) {
+  Image img(21, 21);
+  FillCircle(img, 10, 10, 5, {7, 7, 7});
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 21; ++x) {
+      EXPECT_EQ(img(x, y), img(20 - x, y));
+      EXPECT_EQ(img(x, y), img(x, 20 - y));
+    }
+  }
+  EXPECT_EQ(img(10, 10), (Rgb8{7, 7, 7}));
+  EXPECT_EQ(img(10, 15), (Rgb8{7, 7, 7}));  // on the radius
+  EXPECT_EQ(img(10, 16), Rgb8{});           // just outside
+}
+
+TEST(DrawTest, FillEllipseRespectsRadii) {
+  Image img(41, 21);
+  FillEllipse(img, 20, 10, 15, 5, {3, 3, 3});
+  EXPECT_EQ(img(35, 10), (Rgb8{3, 3, 3}));
+  EXPECT_EQ(img(20, 15), (Rgb8{3, 3, 3}));
+  EXPECT_EQ(img(20, 16), Rgb8{});
+  EXPECT_EQ(img(36, 10), Rgb8{});
+}
+
+TEST(DrawTest, CapsuleCoversEndpointsAndMidline) {
+  Image img(30, 30);
+  FillCapsule(img, {5, 5}, {25, 25}, 2.0, {9, 9, 9});
+  EXPECT_EQ(img(5, 5), (Rgb8{9, 9, 9}));
+  EXPECT_EQ(img(25, 25), (Rgb8{9, 9, 9}));
+  EXPECT_EQ(img(15, 15), (Rgb8{9, 9, 9}));
+  EXPECT_EQ(img(5, 25), Rgb8{});
+}
+
+TEST(DrawTest, CapsuleDegeneratesToDisc) {
+  Image img(11, 11);
+  FillCapsule(img, {5, 5}, {5, 5}, 3.0, {1, 1, 1});
+  EXPECT_EQ(img(5, 8), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(img(5, 9), Rgb8{});
+}
+
+TEST(DrawTest, RectOutlineLeavesInteriorUntouched) {
+  Image img(10, 10);
+  DrawRectOutline(img, {1, 1, 8, 8}, {2, 2, 2}, 1);
+  EXPECT_EQ(img(1, 1), (Rgb8{2, 2, 2}));
+  EXPECT_EQ(img(8, 8), (Rgb8{2, 2, 2}));
+  EXPECT_EQ(img(4, 4), Rgb8{});
+}
+
+TEST(DrawTest, RingExcludesInterior) {
+  Image img(21, 21);
+  FillRing(img, 10, 10, 8, 6, {4, 4, 4});
+  EXPECT_EQ(img(10, 3), (Rgb8{4, 4, 4}));   // on outer radius band
+  EXPECT_EQ(img(10, 10), Rgb8{});           // center clear
+  EXPECT_EQ(img(10, 5), Rgb8{});            // inside inner radius
+}
+
+TEST(DrawTest, MaskVariantsMatchImageVariants) {
+  Image img(16, 16);
+  Bitmap mask(16, 16);
+  FillCircle(img, 8, 8, 4, {1, 2, 3});
+  FillCircle(mask, 8, 8, 4);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(img(x, y) != Rgb8{}, mask(x, y) != 0) << x << "," << y;
+    }
+  }
+}
+
+TEST(DrawTest, CopyMaskedOnlyTouchesMaskedPixels) {
+  Image dst(3, 1, Rgb8{1, 1, 1});
+  Image src(3, 1, Rgb8{2, 2, 2});
+  Bitmap where(3, 1);
+  where(1, 0) = kMaskSet;
+  CopyMasked(dst, src, where);
+  EXPECT_EQ(dst(0, 0), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(dst(1, 0), (Rgb8{2, 2, 2}));
+  EXPECT_EQ(dst(2, 0), (Rgb8{1, 1, 1}));
+}
+
+TEST(DrawTest, PaintMasked) {
+  Image dst(2, 2);
+  Bitmap where(2, 2);
+  where(0, 1) = kMaskSet;
+  PaintMasked(dst, where, {9, 8, 7});
+  EXPECT_EQ(dst(0, 1), (Rgb8{9, 8, 7}));
+  EXPECT_EQ(dst(0, 0), Rgb8{});
+}
+
+TEST(DrawTest, MaskedOpsRejectShapeMismatch) {
+  Image dst(2, 2), src(3, 2);
+  Bitmap where(2, 2);
+  EXPECT_THROW(CopyMasked(dst, src, where), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::imaging

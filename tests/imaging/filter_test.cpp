@@ -1,0 +1,126 @@
+#include "imaging/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+
+namespace bb::imaging {
+namespace {
+
+double MeanLuma(const Image& img) {
+  double sum = 0.0;
+  for (const Rgb8& p : img.pixels()) sum += (p.r + p.g + p.b) / 3.0;
+  return sum / static_cast<double>(img.pixel_count());
+}
+
+TEST(FilterTest, BoxBlurZeroRadiusIsIdentity) {
+  Image img(5, 5, Rgb8{10, 20, 30});
+  img(2, 2) = {200, 0, 0};
+  EXPECT_EQ(BoxBlur(img, 0), img);
+}
+
+TEST(FilterTest, BoxBlurPreservesConstantImages) {
+  Image img(7, 7, Rgb8{90, 120, 33});
+  const Image out = BoxBlur(img, 2);
+  for (const Rgb8& p : out.pixels()) {
+    EXPECT_TRUE(NearlyEqual(p, {90, 120, 33}, 1));
+  }
+}
+
+TEST(FilterTest, BoxBlurApproximatelyPreservesMean) {
+  Image img(16, 16);
+  FillRect(img, {4, 4, 8, 8}, {200, 100, 50});
+  const double before = MeanLuma(img);
+  const double after = MeanLuma(BoxBlur(img, 3));
+  EXPECT_NEAR(before, after, 3.0);
+}
+
+TEST(FilterTest, BoxBlurSpreadsAnImpulse) {
+  Image img(9, 9);
+  img(4, 4) = {255, 255, 255};
+  const Image out = BoxBlur(img, 1);
+  EXPECT_GT(out(3, 4).r, 0);
+  EXPECT_GT(out(5, 5).r, 0);
+  EXPECT_LT(out(4, 4).r, 255);
+  EXPECT_EQ(out(0, 0).r, 0);
+}
+
+TEST(FilterTest, FloatBoxBlurMatchesSemantics) {
+  FloatImage img(5, 1, 0.0f);
+  img(2, 0) = 3.0f;
+  const FloatImage out = BoxBlur(img, 1);
+  EXPECT_NEAR(out(1, 0), 1.0f, 1e-4f);
+  EXPECT_NEAR(out(2, 0), 1.0f, 1e-4f);
+  EXPECT_NEAR(out(3, 0), 1.0f, 1e-4f);
+  EXPECT_NEAR(out(0, 0), 0.0f, 1e-4f);
+}
+
+TEST(FilterTest, GaussianBlurSmoothsEdges) {
+  Image img(20, 20);
+  FillRect(img, {0, 0, 10, 20}, {255, 255, 255});
+  const Image out = GaussianBlur(img, 1.5);
+  // Edge pixel becomes intermediate.
+  EXPECT_GT(out(10, 10).r, 10);
+  EXPECT_LT(out(10, 10).r, 245);
+  // Far from the edge unchanged.
+  EXPECT_GT(out(1, 10).r, 250);
+  EXPECT_LT(out(18, 10).r, 5);
+}
+
+TEST(FilterTest, GaussianBlurNonPositiveSigmaIsIdentity) {
+  Image img(4, 4, Rgb8{1, 2, 3});
+  EXPECT_EQ(GaussianBlur(img, 0.0), img);
+  EXPECT_EQ(GaussianBlur(img, -1.0), img);
+}
+
+TEST(FilterTest, MotionBlurSmearsAlongDirection) {
+  Image img(15, 15);
+  img(7, 7) = {255, 255, 255};
+  const Image out = MotionBlur(img, 1.0, 0.0, 5);
+  EXPECT_GT(out(5, 7).r, 0);
+  EXPECT_GT(out(9, 7).r, 0);
+  EXPECT_EQ(out(7, 5).r, 0);  // perpendicular untouched
+  EXPECT_EQ(MotionBlur(img, 1.0, 0.0, 1), img);
+}
+
+TEST(FilterTest, AbsDiffUsesMaxChannel) {
+  Image a(2, 1), b(2, 1);
+  a(0, 0) = {10, 0, 0};
+  b(0, 0) = {0, 5, 0};
+  const FloatImage d = AbsDiff(a, b);
+  EXPECT_FLOAT_EQ(d(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(d(1, 0), 0.0f);
+  Image c(3, 1);
+  EXPECT_THROW(AbsDiff(a, c), std::invalid_argument);
+}
+
+TEST(FilterTest, ThresholdBoundary) {
+  FloatImage f(3, 1);
+  f(0, 0) = 1.0f;
+  f(1, 0) = 2.0f;
+  f(2, 0) = 3.0f;
+  const Bitmap m = Threshold(f, 2.0f);
+  EXPECT_FALSE(m(0, 0));
+  EXPECT_TRUE(m(1, 0));  // >= is set
+  EXPECT_TRUE(m(2, 0));
+}
+
+TEST(FilterTest, MedianFilterRemovesSaltNoise) {
+  Bitmap m(9, 9);
+  m(4, 4) = kMaskSet;  // isolated pixel
+  EXPECT_EQ(CountSet(MedianFilter3(m)), 0u);
+}
+
+TEST(FilterTest, MedianFilterKeepsSolidRegions) {
+  Bitmap m(9, 9);
+  for (int y = 2; y < 7; ++y) {
+    for (int x = 2; x < 7; ++x) m(x, y) = kMaskSet;
+  }
+  const Bitmap out = MedianFilter3(m);
+  EXPECT_TRUE(out(4, 4));
+  EXPECT_TRUE(out(3, 3));
+}
+
+}  // namespace
+}  // namespace bb::imaging

@@ -1,0 +1,93 @@
+#include "imaging/font.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bb::imaging {
+namespace {
+
+TEST(FontTest, SupportsAlphabetDigitsAndPunctuation) {
+  for (char c = 'A'; c <= 'Z'; ++c) EXPECT_TRUE(IsRenderable(c)) << c;
+  for (char c = '0'; c <= '9'; ++c) EXPECT_TRUE(IsRenderable(c)) << c;
+  for (char c : std::string(" .-!?:")) EXPECT_TRUE(IsRenderable(c)) << c;
+  EXPECT_FALSE(IsRenderable('@'));
+  EXPECT_FALSE(IsRenderable('\n'));
+}
+
+TEST(FontTest, LowercaseMapsToUppercase) {
+  EXPECT_TRUE(IsRenderable('a'));
+  EXPECT_EQ(GlyphBitmap('a'), GlyphBitmap('A'));
+}
+
+TEST(FontTest, GlyphsAreDistinct) {
+  const std::string alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    for (std::size_t j = i + 1; j < alphabet.size(); ++j) {
+      EXPECT_NE(GlyphBitmap(alphabet[i]), GlyphBitmap(alphabet[j]))
+          << alphabet[i] << " vs " << alphabet[j];
+    }
+  }
+}
+
+TEST(FontTest, GlyphBitmapShape) {
+  const Bitmap g = GlyphBitmap('A');
+  EXPECT_EQ(g.width(), kGlyphWidth);
+  EXPECT_EQ(g.height(), kGlyphHeight);
+  EXPECT_GT(CountSet(g), 0u);
+  EXPECT_TRUE(GlyphBitmap('@').empty());
+}
+
+TEST(FontTest, SpaceGlyphIsBlank) {
+  EXPECT_EQ(CountSet(GlyphBitmap(' ')), 0u);
+}
+
+TEST(FontTest, TextWidthMatchesAdvance) {
+  EXPECT_EQ(TextWidth("", 1), 0);
+  EXPECT_EQ(TextWidth("A", 1), kGlyphWidth);
+  EXPECT_EQ(TextWidth("AB", 1), 2 * (kGlyphWidth + 1) - 1);
+  EXPECT_EQ(TextWidth("A", 2), 2 * kGlyphWidth);
+}
+
+TEST(FontTest, DrawTextPaintsInkOnlyInsideBounds) {
+  Image img(64, 16);
+  const Rect r = DrawText(img, 2, 3, 1, {255, 0, 0}, "HI");
+  EXPECT_EQ(r.x, 2);
+  EXPECT_EQ(r.y, 3);
+  EXPECT_EQ(r.h, kGlyphHeight);
+  int ink = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (img(x, y) == Rgb8{255, 0, 0}) {
+        ++ink;
+        EXPECT_TRUE(r.Contains(x, y)) << x << "," << y;
+      }
+    }
+  }
+  EXPECT_GT(ink, 10);
+}
+
+TEST(FontTest, DrawTextScalesInk) {
+  Image small(32, 16), big(64, 32);
+  DrawText(small, 0, 0, 1, {1, 1, 1}, "E");
+  DrawText(big, 0, 0, 2, {1, 1, 1}, "E");
+  int ink_small = 0, ink_big = 0;
+  for (const Rgb8& p : small.pixels()) ink_small += p == Rgb8{1, 1, 1};
+  for (const Rgb8& p : big.pixels()) ink_big += p == Rgb8{1, 1, 1};
+  EXPECT_EQ(ink_big, 4 * ink_small);
+}
+
+TEST(FontTest, DrawTextClipsAtImageEdge) {
+  Image img(8, 8);
+  EXPECT_NO_THROW(DrawText(img, 5, 5, 2, {1, 1, 1}, "WWW"));
+}
+
+TEST(FontTest, UnsupportedCharactersAdvanceSilently) {
+  Image a(64, 16), b(64, 16);
+  DrawText(a, 0, 0, 1, {1, 1, 1}, "A@B");
+  DrawText(b, 0, 0, 1, {1, 1, 1}, "A B");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace bb::imaging

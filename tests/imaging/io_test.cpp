@@ -1,0 +1,150 @@
+#include "imaging/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bb::imaging {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Image TestPattern(int w, int h) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img(x, y) = {static_cast<std::uint8_t>(x * 7),
+                   static_cast<std::uint8_t>(y * 11),
+                   static_cast<std::uint8_t>((x + y) * 3)};
+    }
+  }
+  return img;
+}
+
+TEST(IoTest, PpmRoundTrip) {
+  const Image img = TestPattern(17, 9);
+  const std::string path = TempPath("bb_io_test.ppm");
+  ASSERT_TRUE(WritePpm(img, path));
+  const auto back = ReadPpm(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, img);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadPpmRejectsMissingFile) {
+  EXPECT_FALSE(ReadPpm(TempPath("bb_does_not_exist.ppm")).has_value());
+}
+
+TEST(IoTest, ReadPpmRejectsWrongMagic) {
+  const std::string path = TempPath("bb_bad_magic.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n2 2\n255\nxxxxxxxxxxxx";
+  }
+  EXPECT_FALSE(ReadPpm(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadPpmRejectsTruncatedData) {
+  const std::string path = TempPath("bb_truncated.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n4 4\n255\nab";  // far fewer than 48 bytes
+  }
+  EXPECT_FALSE(ReadPpm(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadPpmHandlesComments) {
+  const std::string path = TempPath("bb_comments.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n# a comment\n1 1\n255\n";
+    out.put(static_cast<char>(10));
+    out.put(static_cast<char>(20));
+    out.put(static_cast<char>(30));
+  }
+  const auto img = ReadPpm(path);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ((*img)(0, 0), (Rgb8{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, PngWriteWhenSupported) {
+  const Image img = TestPattern(8, 8);
+  const std::string path = TempPath("bb_io_test.png");
+  if (PngSupported()) {
+    EXPECT_TRUE(WritePng(img, path));
+    EXPECT_GT(std::filesystem::file_size(path), 8u);
+    std::remove(path.c_str());
+  } else {
+    EXPECT_FALSE(WritePng(img, path));
+  }
+}
+
+TEST(IoTest, PngRoundTripWhenSupported) {
+  if (!PngSupported()) GTEST_SKIP() << "built without libpng";
+  const Image img = TestPattern(19, 11);
+  const std::string path = TempPath("bb_png_roundtrip.png");
+  ASSERT_TRUE(WritePng(img, path));
+  const auto back = ReadPng(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, img);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadPngRejectsGarbage) {
+  if (!PngSupported()) GTEST_SKIP() << "built without libpng";
+  const std::string path = TempPath("bb_not_png.png");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a png file at all";
+  }
+  EXPECT_FALSE(ReadPng(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadPngRejectsMissingFile) {
+  EXPECT_FALSE(ReadPng(TempPath("bb_missing.png")).has_value());
+}
+
+TEST(IoTest, ReadImageAutoDispatchesByExtension) {
+  const Image img = TestPattern(7, 5);
+  const std::string ppm = TempPath("bb_auto_read.ppm");
+  ASSERT_TRUE(WritePpm(img, ppm));
+  auto via_auto = ReadImageAuto(ppm);
+  ASSERT_TRUE(via_auto.has_value());
+  EXPECT_EQ(*via_auto, img);
+  std::remove(ppm.c_str());
+  if (PngSupported()) {
+    const std::string png = TempPath("bb_auto_read.png");
+    ASSERT_TRUE(WritePng(img, png));
+    auto png_auto = ReadImageAuto(png);
+    ASSERT_TRUE(png_auto.has_value());
+    EXPECT_EQ(*png_auto, img);
+    std::remove(png.c_str());
+  }
+}
+
+TEST(IoTest, WriteImageAutoPicksAFormat) {
+  const Image img = TestPattern(6, 6);
+  const auto path = WriteImageAuto(img, TempPath("bb_auto"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(std::filesystem::exists(*path));
+  std::remove(path->c_str());
+}
+
+TEST(IoTest, MaskToImageMapsSetToWhite) {
+  Bitmap m(2, 1);
+  m(1, 0) = kMaskSet;
+  const Image img = MaskToImage(m);
+  EXPECT_EQ(img(0, 0), (Rgb8{0, 0, 0}));
+  EXPECT_EQ(img(1, 0), (Rgb8{255, 255, 255}));
+}
+
+}  // namespace
+}  // namespace bb::imaging

@@ -1,0 +1,152 @@
+#include "imaging/morphology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "imaging/draw.h"
+
+namespace bb::imaging {
+namespace {
+
+// Brute-force reference distance transform.
+FloatImage BruteForceSquaredDistance(const Bitmap& mask) {
+  FloatImage out(mask.width(), mask.height(),
+                 std::numeric_limits<float>::max() / 8.0f);
+  for (int y = 0; y < mask.height(); ++y) {
+    for (int x = 0; x < mask.width(); ++x) {
+      float best = out(x, y);
+      for (int sy = 0; sy < mask.height(); ++sy) {
+        for (int sx = 0; sx < mask.width(); ++sx) {
+          if (!mask(sx, sy)) continue;
+          const float d = static_cast<float>((x - sx) * (x - sx) +
+                                             (y - sy) * (y - sy));
+          best = std::min(best, d);
+        }
+      }
+      out(x, y) = best;
+    }
+  }
+  return out;
+}
+
+TEST(MorphologyTest, DistanceTransformZeroInsideSet) {
+  Bitmap m(8, 8);
+  FillRect(m, {2, 2, 3, 3});
+  const FloatImage d = SquaredDistanceToSet(m);
+  for (int y = 2; y < 5; ++y) {
+    for (int x = 2; x < 5; ++x) EXPECT_FLOAT_EQ(d(x, y), 0.0f);
+  }
+  EXPECT_FLOAT_EQ(d(5, 2), 1.0f);
+  EXPECT_FLOAT_EQ(d(6, 2), 4.0f);
+  EXPECT_FLOAT_EQ(d(6, 6), 8.0f);  // diagonal 2,2 from (4,4)
+}
+
+// Property: exact transform matches brute force on random masks.
+class DistanceTransformPropertyTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceTransformPropertyTest, MatchesBruteForce) {
+  std::uint64_t s = static_cast<std::uint64_t>(GetParam()) * 48271u + 3;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  Bitmap m(13, 9);
+  for (auto& v : m.pixels()) v = (next() % 5) == 0;
+  if (CountSet(m) == 0) m(0, 0) = kMaskSet;
+
+  const FloatImage fast = SquaredDistanceToSet(m);
+  const FloatImage slow = BruteForceSquaredDistance(m);
+  for (int y = 0; y < m.height(); ++y) {
+    for (int x = 0; x < m.width(); ++x) {
+      EXPECT_NEAR(fast(x, y), slow(x, y), 1e-3f) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceTransformPropertyTest,
+                         ::testing::Range(0, 10));
+
+TEST(MorphologyTest, DilateDiscGrowsByRadius) {
+  Bitmap m(15, 15);
+  m(7, 7) = kMaskSet;
+  const Bitmap d = DilateDisc(m, 3.0);
+  EXPECT_TRUE(d(7, 7));
+  EXPECT_TRUE(d(7, 4));   // distance 3
+  EXPECT_TRUE(d(9, 9));   // distance 2.83
+  EXPECT_FALSE(d(7, 3));  // distance 4
+  EXPECT_FALSE(d(10, 10));
+}
+
+TEST(MorphologyTest, DilateZeroRadiusIsIdentity) {
+  Bitmap m(5, 5);
+  m(2, 2) = kMaskSet;
+  EXPECT_EQ(DilateDisc(m, 0.0), m);
+  EXPECT_EQ(DilateDisc(m, -1.0), m);
+}
+
+TEST(MorphologyTest, ErodeShrinksByRadius) {
+  Bitmap m(15, 15);
+  FillCircle(m, 7, 7, 5);
+  const Bitmap e = ErodeDisc(m, 2.0);
+  EXPECT_TRUE(e(7, 7));
+  EXPECT_FALSE(e(7, 2));  // was boundary
+  EXPECT_LT(CountSet(e), CountSet(m));
+}
+
+TEST(MorphologyTest, ErodeThenDilateRemovesSmallSpecks) {
+  Bitmap m(20, 20);
+  FillCircle(m, 6, 6, 4);
+  m(15, 15) = kMaskSet;  // speck
+  const Bitmap opened = OpenDisc(m, 1.5);
+  EXPECT_FALSE(opened(15, 15));
+  EXPECT_TRUE(opened(6, 6));
+}
+
+TEST(MorphologyTest, CloseFillsSmallHoles) {
+  Bitmap m(20, 20);
+  FillCircle(m, 10, 10, 6);
+  m(10, 10) = kMaskClear;  // pinhole
+  const Bitmap closed = CloseDisc(m, 1.5);
+  EXPECT_TRUE(closed(10, 10));
+}
+
+TEST(MorphologyTest, BoundaryRingExcludesMask) {
+  Bitmap m(15, 15);
+  FillCircle(m, 7, 7, 3);
+  const Bitmap ring = BoundaryRing(m, 2.0);
+  EXPECT_EQ(CountSet(And(ring, m)), 0u);
+  EXPECT_TRUE(ring(7, 2));   // 2 outside the radius-3 disc edge
+  EXPECT_FALSE(ring(7, 7));
+  EXPECT_FALSE(ring(0, 0));
+}
+
+TEST(MorphologyTest, DilationMonotoneInRadius) {
+  Bitmap m(21, 21);
+  FillRect(m, {9, 9, 3, 3});
+  const Bitmap d2 = DilateDisc(m, 2.0);
+  const Bitmap d5 = DilateDisc(m, 5.0);
+  // d2 subset of d5.
+  EXPECT_EQ(CountSet(AndNot(d2, d5)), 0u);
+  EXPECT_LT(CountSet(d2), CountSet(d5));
+}
+
+TEST(MorphologyTest, EmptyMaskDilatesToEmpty) {
+  Bitmap m(6, 6);
+  EXPECT_EQ(CountSet(DilateDisc(m, 3.0)), 0u);
+}
+
+TEST(MorphologyTest, FullMaskStaysFullUnderErosion) {
+  // Border convention: pixels outside the image count as set, so a full
+  // mask has no boundary to erode from.
+  Bitmap m(8, 8, kMaskSet);
+  const Bitmap e = ErodeDisc(m, 1.0);
+  EXPECT_EQ(CountSet(e), m.pixel_count());
+}
+
+}  // namespace
+}  // namespace bb::imaging

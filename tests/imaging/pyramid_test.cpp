@@ -1,0 +1,108 @@
+#include "imaging/pyramid.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+
+namespace bb::imaging {
+namespace {
+
+Image Gradient(int w, int h) {
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img(x, y) = {static_cast<std::uint8_t>(255 * x / std::max(1, w - 1)),
+                   static_cast<std::uint8_t>(255 * y / std::max(1, h - 1)),
+                   100};
+    }
+  }
+  return img;
+}
+
+TEST(PyramidTest, BandImageRoundTrip) {
+  const Image img = Gradient(13, 9);
+  EXPECT_EQ(FromBandImage(ToBandImage(img)), img);
+}
+
+TEST(PyramidTest, DownsampleHalvesRoundingUp) {
+  const BandImage b = ToBandImage(Gradient(13, 9));
+  const BandImage down = Downsample2x(b);
+  EXPECT_EQ(down.width(), 7);
+  EXPECT_EQ(down.height(), 5);
+}
+
+TEST(PyramidTest, GaussianPyramidStopsAtOnePixel) {
+  const auto pyr = GaussianPyramid(ToBandImage(Gradient(16, 16)), 32);
+  ASSERT_GE(pyr.size(), 4u);
+  EXPECT_LE(pyr.back().width(), 1);
+  for (std::size_t l = 1; l < pyr.size(); ++l) {
+    EXPECT_LT(pyr[l].width(), pyr[l - 1].width());
+  }
+}
+
+TEST(PyramidTest, LaplacianCollapseInvertsDecomposition) {
+  const Image img = Gradient(24, 18);
+  const auto pyr = LaplacianPyramid(ToBandImage(img), 4);
+  const Image back = FromBandImage(CollapseLaplacian(pyr));
+  // Exact up to float rounding.
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_TRUE(NearlyEqual(back(x, y), img(x, y), 1)) << x << "," << y;
+    }
+  }
+}
+
+TEST(PyramidTest, CollapseInvertsOddSizesToo) {
+  const Image img = Gradient(23, 17);
+  const auto pyr = LaplacianPyramid(ToBandImage(img), 3);
+  const Image back = FromBandImage(CollapseLaplacian(pyr));
+  int bad = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      bad += !NearlyEqual(back(x, y), img(x, y), 2);
+    }
+  }
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(PyramidTest, BlendTakesAWhereMaskIsOne) {
+  const Image a(32, 32, {200, 40, 40});
+  const Image b(32, 32, {40, 40, 200});
+  FloatImage mask(32, 32, 0.0f);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 16; ++x) mask(x, y) = 1.0f;
+  }
+  const Image out = PyramidBlend(a, b, mask);
+  EXPECT_TRUE(NearlyEqual(out(2, 16), a(2, 16), 12));
+  EXPECT_TRUE(NearlyEqual(out(29, 16), b(29, 16), 12));
+  // The seam is a smooth mixture.
+  const Rgb8 seam = out(16, 16);
+  EXPECT_GT(seam.r, 60);
+  EXPECT_LT(seam.r, 190);
+}
+
+TEST(PyramidTest, BlendOfIdenticalImagesIsIdentity) {
+  const Image img = Gradient(20, 20);
+  FloatImage mask(20, 20, 0.5f);
+  const Image out = PyramidBlend(img, img, mask);
+  int bad = 0;
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      bad += !NearlyEqual(out(x, y), img(x, y), 2);
+    }
+  }
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(PyramidTest, BlendRejectsShapeMismatch) {
+  EXPECT_THROW(
+      PyramidBlend(Image(8, 8), Image(9, 8), FloatImage(8, 8, 0.5f)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PyramidBlend(Image(8, 8), Image(8, 8), FloatImage(8, 9, 0.5f)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::imaging

@@ -1,0 +1,139 @@
+#include "imaging/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+
+namespace bb::imaging {
+namespace {
+
+TEST(TransformTest, ShiftMovesContentAndFills) {
+  Image img(4, 4);
+  img(1, 1) = {9, 9, 9};
+  const Image s = Shift(img, 2, 1, {1, 1, 1});
+  EXPECT_EQ(s(3, 2), (Rgb8{9, 9, 9}));
+  EXPECT_EQ(s(0, 0), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(s(1, 1), (Rgb8{1, 1, 1}));
+}
+
+TEST(TransformTest, ShiftByZeroIsIdentity) {
+  Image img(4, 4);
+  img(2, 3) = {5, 6, 7};
+  EXPECT_EQ(Shift(img, 0, 0), img);
+}
+
+TEST(TransformTest, OppositeShiftsRoundTripInteriorPixels) {
+  Image img(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      img(x, y) = {static_cast<std::uint8_t>(x * 16),
+                   static_cast<std::uint8_t>(y * 16), 0};
+    }
+  }
+  const Image round = Shift(Shift(img, 2, 1), -2, -1);
+  for (int y = 1; y < 7; ++y) {
+    for (int x = 0; x < 6; ++x) EXPECT_EQ(round(x, y), img(x, y));
+  }
+}
+
+TEST(TransformTest, RotateZeroIsNearIdentity) {
+  Image img(9, 9);
+  FillRect(img, {2, 2, 4, 4}, {7, 7, 7});
+  EXPECT_EQ(Rotate(img, 0.0), img);
+}
+
+TEST(TransformTest, Rotate90MovesAxisPoint) {
+  Image img(11, 11);
+  img(10, 5) = {9, 9, 9};  // right of center
+  const Image r = Rotate(img, 90.0);
+  // CCW in image coordinates (y down): right -> top... verify the pixel
+  // landed on the vertical axis either side of center.
+  EXPECT_TRUE(r(5, 0) == (Rgb8{9, 9, 9}) || r(5, 10) == (Rgb8{9, 9, 9}));
+  EXPECT_EQ(r(10, 5), Rgb8{});
+}
+
+TEST(TransformTest, RotatePreservesCenter) {
+  Image img(11, 11);
+  img(5, 5) = {3, 3, 3};
+  EXPECT_EQ(Rotate(img, 37.0)(5, 5), (Rgb8{3, 3, 3}));
+}
+
+TEST(TransformTest, SmallRotationKeepsMostMass) {
+  Bitmap m(21, 21);
+  FillCircle(m, 10, 10, 6);
+  const Bitmap r = Rotate(m, 4.0);
+  EXPECT_GT(Iou(m, r), 0.85);
+}
+
+TEST(TransformTest, ResizeNearestScalesExactly) {
+  Image img(2, 2);
+  img(0, 0) = {1, 1, 1};
+  img(1, 0) = {2, 2, 2};
+  img(0, 1) = {3, 3, 3};
+  img(1, 1) = {4, 4, 4};
+  const Image big = ResizeNearest(img, 4, 4);
+  EXPECT_EQ(big(0, 0), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(big(1, 1), (Rgb8{1, 1, 1}));
+  EXPECT_EQ(big(3, 3), (Rgb8{4, 4, 4}));
+  EXPECT_EQ(big(2, 0), (Rgb8{2, 2, 2}));
+}
+
+TEST(TransformTest, ResizeNearestRoundTripsDownUp) {
+  Image img(8, 8, Rgb8{5, 5, 5});
+  const Image small = ResizeNearest(img, 4, 4);
+  const Image back = ResizeNearest(small, 8, 8);
+  EXPECT_EQ(back, img);
+}
+
+TEST(TransformTest, ResizeBilinearConstantStaysConstant) {
+  Image img(5, 5, Rgb8{100, 150, 200});
+  const Image out = ResizeBilinear(img, 9, 3);
+  for (const Rgb8& p : out.pixels()) {
+    EXPECT_TRUE(NearlyEqual(p, {100, 150, 200}, 1));
+  }
+}
+
+TEST(TransformTest, ResizeBilinearInterpolatesGradient) {
+  Image img(2, 1);
+  img(0, 0) = {0, 0, 0};
+  img(1, 0) = {200, 200, 200};
+  const Image out = ResizeBilinear(img, 4, 1);
+  EXPECT_LT(out(0, 0).r, 60);
+  EXPECT_GT(out(3, 0).r, 140);
+  EXPECT_LT(out(1, 0).r, out(2, 0).r);
+}
+
+TEST(TransformTest, CropClipsToBounds) {
+  Image img(6, 6);
+  img(4, 4) = {8, 8, 8};
+  const Image c = Crop(img, {4, 4, 10, 10});
+  EXPECT_EQ(c.width(), 2);
+  EXPECT_EQ(c.height(), 2);
+  EXPECT_EQ(c(0, 0), (Rgb8{8, 8, 8}));
+  EXPECT_TRUE(Crop(img, {10, 10, 3, 3}).empty());
+}
+
+TEST(TransformTest, PasteClipsAtEdges) {
+  Image dst(4, 4);
+  Image src(3, 3, Rgb8{6, 6, 6});
+  Paste(dst, src, 2, 2);
+  EXPECT_EQ(dst(2, 2), (Rgb8{6, 6, 6}));
+  EXPECT_EQ(dst(3, 3), (Rgb8{6, 6, 6}));
+  EXPECT_EQ(dst(1, 1), Rgb8{});
+  EXPECT_NO_THROW(Paste(dst, src, -2, -2));
+  EXPECT_EQ(dst(0, 0), (Rgb8{6, 6, 6}));
+}
+
+TEST(TransformTest, FlipHorizontalMirrors) {
+  Image img(3, 2);
+  img(0, 0) = {1, 0, 0};
+  img(2, 1) = {2, 0, 0};
+  const Image f = FlipHorizontal(img);
+  EXPECT_EQ(f(2, 0), (Rgb8{1, 0, 0}));
+  EXPECT_EQ(f(0, 1), (Rgb8{2, 0, 0}));
+  EXPECT_EQ(FlipHorizontal(f), img);  // involution
+}
+
+}  // namespace
+}  // namespace bb::imaging

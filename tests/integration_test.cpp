@@ -1,0 +1,170 @@
+// End-to-end integration tests: synthesize -> composite -> attack, checking
+// the headline qualitative claims of the paper on small inputs.
+#include <gtest/gtest.h>
+
+#include "core/attacks/location.h"
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/dynamic_background.h"
+
+namespace bb {
+namespace {
+
+datasets::SimScale SmallScale() {
+  datasets::SimScale s;
+  s.width = 96;
+  s.height = 72;
+  s.fps = 8.0;
+  s.duration_factor = 0.4;
+  return s;
+}
+
+struct AttackRun {
+  core::ReconstructionResult rec;
+  core::RbrrResult rbrr;
+};
+
+AttackRun Attack(const synth::RawRecording& raw,
+                 const vbg::CompositeOptions& copts = {}) {
+  const vbg::StaticImageSource vb(vbg::MakeStockImage(
+      vbg::StockImage::kBeach, raw.video.width(), raw.video.height()));
+  const auto call = vbg::ApplyVirtualBackground(raw, vb, copts);
+  const core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+  core::Reconstructor rc(ref, seg);
+  AttackRun run;
+  run.rec = rc.Run(call.video);
+  run.rbrr = core::Rbrr(run.rec, raw.true_background);
+  return run;
+}
+
+TEST(IntegrationTest, MotionLeaksMoreThanStillness) {
+  const auto scale = SmallScale();
+  datasets::E1Case moving;
+  moving.action = synth::ActionKind::kExitEnter;
+  moving.scene_seed = 7;
+  moving.duration_s = 8.0;
+  datasets::E1Case still = moving;
+  still.action = synth::ActionKind::kType;
+  const auto run_moving = Attack(datasets::RecordE1(moving, scale));
+  const auto run_still = Attack(datasets::RecordE1(still, scale));
+  EXPECT_GT(run_moving.rbrr.verified, run_still.rbrr.verified * 1.5);
+}
+
+TEST(IntegrationTest, SkypeLeaksLessThanZoom) {
+  const auto scale = SmallScale();
+  datasets::E1Case c;
+  c.action = synth::ActionKind::kArmWave;
+  c.scene_seed = 11;
+  c.duration_s = 8.0;
+  const auto raw = datasets::RecordE1(c, scale);
+  vbg::CompositeOptions zoom;
+  zoom.profile = vbg::ZoomProfile();
+  vbg::CompositeOptions skype;
+  skype.profile = vbg::SkypeProfile();
+  EXPECT_GT(Attack(raw, zoom).rbrr.verified,
+            Attack(raw, skype).rbrr.verified);
+}
+
+TEST(IntegrationTest, LocationInferenceBeatsRandomBaseline) {
+  const auto scale = SmallScale();
+  datasets::E1Case c;
+  c.action = synth::ActionKind::kArmWave;
+  c.scene_seed = 19;
+  c.duration_s = 8.0;
+  const auto raw = datasets::RecordE1(c, scale);
+  const auto run = Attack(raw);
+
+  auto dict = datasets::BuildBackgroundDictionary({raw.true_background}, 25,
+                                                  123, scale);
+  const auto ranking =
+      core::RankLocations(run.rec.background, run.rec.coverage, dict);
+  const int rank = core::RankOf(ranking, 0);
+  // Far better than the random baseline's expected rank (13 of 25).
+  EXPECT_LE(rank, 5);
+}
+
+TEST(IntegrationTest, DynamicVbMitigationDefeatsLocationInference) {
+  const auto scale = SmallScale();
+  datasets::E1Case c;
+  c.action = synth::ActionKind::kArmWave;
+  c.scene_seed = 23;
+  c.duration_s = 8.0;
+  const auto raw = datasets::RecordE1(c, scale);
+
+  vbg::CompositeOptions mitigated;
+  mitigated.adapter = vbg::MakeDynamicVbAdapter({}, 55);
+  const auto plain = Attack(raw);
+  const auto defended = Attack(raw, mitigated);
+
+  // Claimed recovery balloons (polluted by VB pixels, paper Fig. 15a)...
+  EXPECT_GT(defended.rbrr.claimed, plain.rbrr.claimed);
+  // ...but its precision collapses.
+  EXPECT_LT(defended.rbrr.precision, plain.rbrr.precision * 0.8);
+
+  auto dict = datasets::BuildBackgroundDictionary({raw.true_background}, 25,
+                                                  123, scale);
+  const int rank_plain = core::RankOf(
+      core::RankLocations(plain.rec.background, plain.rec.coverage, dict), 0);
+  const int rank_defended = core::RankOf(
+      core::RankLocations(defended.rec.background, defended.rec.coverage,
+                          dict),
+      0);
+  EXPECT_GE(rank_defended, rank_plain);
+}
+
+TEST(IntegrationTest, FrameDroppingReducesRecovery) {
+  // The sec. IX-B heuristic: fewer frames -> less reconstruction.
+  const auto scale = SmallScale();
+  datasets::E1Case c;
+  c.action = synth::ActionKind::kArmWave;
+  c.scene_seed = 31;
+  c.duration_s = 8.0;
+  const auto raw = datasets::RecordE1(c, scale);
+  const vbg::StaticImageSource vb(
+      vbg::MakeStockImage(vbg::StockImage::kBeach, 96, 72));
+  const auto call = vbg::ApplyVirtualBackground(raw, vb);
+
+  const core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  segmentation::NoisyOracleSegmenter seg_full(raw.caller_masks, {}, 7);
+  core::Reconstructor rc_full(ref, seg_full);
+  const auto full = rc_full.Run(call.video);
+
+  // Dropped-frame variant: subsample the call; the oracle segmenter needs
+  // matching masks, so subsample those identically.
+  const auto sub_video = call.video.Subsampled(4);
+  std::vector<imaging::Bitmap> sub_masks;
+  for (std::size_t i = 0; i < raw.caller_masks.size(); i += 4) {
+    sub_masks.push_back(raw.caller_masks[i]);
+  }
+  segmentation::NoisyOracleSegmenter seg_sub(sub_masks, {}, 7);
+  core::Reconstructor rc_sub(ref, seg_sub);
+  const auto sub = rc_sub.Run(sub_video);
+
+  EXPECT_LT(sub.CoverageFraction(), full.CoverageFraction());
+}
+
+TEST(IntegrationTest, UnknownVbDerivationStillRecoversBackground) {
+  const auto scale = SmallScale();
+  datasets::E1Case c;
+  c.action = synth::ActionKind::kRotate;
+  c.scene_seed = 37;
+  c.duration_s = 10.0;
+  const auto raw = datasets::RecordE1(c, scale);
+  const vbg::StaticImageSource vb(
+      vbg::MakeStockImage(vbg::StockImage::kOffice, 96, 72));
+  const auto call = vbg::ApplyVirtualBackground(raw, vb);
+
+  const core::VbReference ref = core::VbReference::DeriveImage(call.video);
+  segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+  core::Reconstructor rc(ref, seg);
+  const auto rec = rc.Run(call.video);
+  const auto rbrr = core::Rbrr(rec, raw.true_background);
+  EXPECT_GT(rbrr.verified, 0.02);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,124 @@
+// Parameterized pipeline invariants: for EVERY caller action and both
+// software profiles, the synthesize -> composite -> reconstruct pipeline
+// must uphold its structural guarantees. These are property sweeps, not
+// result-shape checks (those live in integration_test.cpp and the benches).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+
+namespace bb {
+namespace {
+
+using Param = std::tuple<synth::ActionKind, const char*>;
+
+class PipelinePropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static vbg::SoftwareProfile ProfileByName(const std::string& name) {
+    return name == "skype" ? vbg::SkypeProfile() : vbg::ZoomProfile();
+  }
+
+  struct Run {
+    synth::RawRecording raw;
+    vbg::CompositedCall call;
+    core::ReconstructionResult rec;
+    imaging::Image vb_image;
+  };
+
+  Run MakeRun() const {
+    const auto [action, profile_name] = GetParam();
+    datasets::SimScale scale;
+    scale.width = 96;
+    scale.height = 72;
+    scale.fps = 8.0;
+    datasets::E1Case c;
+    c.participant = 1;
+    c.action = action;
+    c.scene_seed = 314159;
+    c.duration_s = 5.0;
+
+    Run run;
+    run.raw = datasets::RecordE1(c, scale);
+    run.vb_image = vbg::MakeStockImage(vbg::StockImage::kOffice, 96, 72);
+    vbg::CompositeOptions copts;
+    copts.profile = ProfileByName(profile_name);
+    const vbg::StaticImageSource vb(run.vb_image);
+    run.call = vbg::ApplyVirtualBackground(run.raw, vb, copts);
+
+    const core::VbReference ref = core::VbReference::KnownImage(run.vb_image);
+    segmentation::NoisyOracleSegmenter seg(run.raw.caller_masks, {}, 7);
+    core::Reconstructor rc(ref, seg);
+    run.rec = rc.Run(run.call.video);
+    return run;
+  }
+};
+
+TEST_P(PipelinePropertyTest, GroundTruthShapesAreConsistent) {
+  const Run run = MakeRun();
+  const auto n = static_cast<std::size_t>(run.call.video.frame_count());
+  EXPECT_EQ(run.call.estimated_masks.size(), n);
+  EXPECT_EQ(run.call.leak_masks.size(), n);
+  EXPECT_EQ(run.call.vb_regions.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Leaks never overlap the true caller.
+    EXPECT_EQ(imaging::CountSet(imaging::And(run.call.leak_masks[i],
+                                             run.raw.caller_masks[i])),
+              0u);
+    // VB region never overlaps the estimated foreground.
+    EXPECT_EQ(imaging::CountSet(imaging::And(run.call.vb_regions[i],
+                                             run.call.estimated_masks[i])),
+              0u);
+  }
+}
+
+TEST_P(PipelinePropertyTest, ReconstructionInvariants) {
+  const Run run = MakeRun();
+  // Coverage implies a leak count; no coverage implies a black pixel.
+  for (int y = 0; y < 72; ++y) {
+    for (int x = 0; x < 96; ++x) {
+      if (run.rec.coverage(x, y)) {
+        EXPECT_GT(run.rec.leak_counts(x, y), 0);
+      } else {
+        EXPECT_EQ(run.rec.leak_counts(x, y), 0);
+        EXPECT_EQ(run.rec.background(x, y), imaging::Rgb8{});
+      }
+    }
+  }
+  // Per-frame fractions are valid probabilities.
+  for (double f : run.rec.per_frame_leak_fraction) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  // RBRR components are consistent.
+  const auto rbrr = core::Rbrr(run.rec, run.raw.true_background);
+  EXPECT_GE(rbrr.claimed, rbrr.verified);
+  EXPECT_GE(rbrr.precision, 0.0);
+  EXPECT_LE(rbrr.precision, 1.0);
+}
+
+TEST_P(PipelinePropertyTest, PipelineIsDeterministic) {
+  const Run a = MakeRun();
+  const Run b = MakeRun();
+  EXPECT_EQ(a.call.video.frames(), b.call.video.frames());
+  EXPECT_EQ(a.rec.coverage, b.rec.coverage);
+  EXPECT_EQ(a.rec.background, b.rec.background);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(ToString(std::get<0>(info.param))) + "_" +
+         std::get<1>(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllActionsAndProfiles, PipelinePropertyTest,
+    ::testing::Combine(::testing::ValuesIn(synth::kAllActions),
+                       ::testing::Values("zoom", "skype")),
+    ParamName);
+
+}  // namespace
+}  // namespace bb

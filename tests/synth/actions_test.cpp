@@ -1,0 +1,145 @@
+#include "synth/actions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bb::synth {
+namespace {
+
+ActionParams Make(ActionKind kind, double speed = 1.0) {
+  ActionParams p;
+  p.kind = kind;
+  p.speed = speed;
+  p.frame_width = 192;
+  p.frame_height = 144;
+  return p;
+}
+
+TEST(ActionsTest, PoseIsDeterministic) {
+  const ActionParams p = Make(ActionKind::kArmWave);
+  const Pose a = PoseAt(p, 1.234);
+  const Pose b = PoseAt(p, 1.234);
+  EXPECT_DOUBLE_EQ(a.r_elbow_deg, b.r_elbow_deg);
+  EXPECT_DOUBLE_EQ(a.offset_x, b.offset_x);
+}
+
+TEST(ActionsTest, EventDurationScalesWithSpeed) {
+  const double base = EventDuration(Make(ActionKind::kClap, 1.0));
+  EXPECT_NEAR(EventDuration(Make(ActionKind::kClap, 2.0)), base / 2.0, 1e-12);
+  EXPECT_NEAR(EventDuration(Make(ActionKind::kClap, 0.5)), base * 2.0, 1e-12);
+}
+
+TEST(ActionsTest, EventDurationsMatchPaperAnchors) {
+  // Paper sec. VIII-C: average arm wave ~0.9 s, average clap ~0.26 s.
+  EXPECT_NEAR(EventDuration(Make(ActionKind::kArmWave,
+                                 SpeedMultiplier(SpeedClass::kAverage))),
+              0.9, 1e-9);
+  EXPECT_NEAR(EventDuration(Make(ActionKind::kClap,
+                                 SpeedMultiplier(SpeedClass::kAverage))),
+              0.26, 1e-9);
+}
+
+TEST(ActionsTest, SpeedMultipliersAreOrdered) {
+  EXPECT_LT(SpeedMultiplier(SpeedClass::kSlow),
+            SpeedMultiplier(SpeedClass::kAverage));
+  EXPECT_LT(SpeedMultiplier(SpeedClass::kAverage),
+            SpeedMultiplier(SpeedClass::kFast));
+}
+
+TEST(ActionsTest, ExitEnterLeavesAndReturns) {
+  const ActionParams p = Make(ActionKind::kExitEnter);
+  const double period = EventDuration(p);
+  bool was_gone = false;
+  for (double t = 0.0; t < period; t += period / 50.0) {
+    was_gone |= !PoseAt(p, t).visible;
+  }
+  EXPECT_TRUE(was_gone);
+  EXPECT_TRUE(PoseAt(p, 0.0).visible);
+  EXPECT_TRUE(PoseAt(p, period * 0.99).visible);
+  // Mid-exit, well off to the side.
+  EXPECT_GT(PoseAt(p, period * 0.25).offset_x, 30.0);
+}
+
+TEST(ActionsTest, LeanForwardGrowsLean) {
+  const ActionParams p = Make(ActionKind::kLeanForward);
+  const double mid = EventDuration(p) / 2.0;
+  EXPECT_GT(PoseAt(p, mid).lean, 1.1);
+  EXPECT_NEAR(PoseAt(p, 0.0).lean, 1.0, 0.05);
+}
+
+TEST(ActionsTest, LeanBackwardShrinksLean) {
+  const ActionParams p = Make(ActionKind::kLeanBackward);
+  EXPECT_LT(PoseAt(p, EventDuration(p) / 2.0).lean, 0.95);
+}
+
+TEST(ActionsTest, ArmWaveKeepsArmRaised) {
+  const ActionParams p = Make(ActionKind::kArmWave);
+  for (double t = 0.0; t < 2.0; t += 0.1) {
+    EXPECT_GT(PoseAt(p, t).r_shoulder_deg, 100.0);
+  }
+}
+
+TEST(ActionsTest, DrinkHoldsCup) {
+  const ActionParams p = Make(ActionKind::kDrink);
+  EXPECT_TRUE(PoseAt(p, 0.5).holding_cup);
+  EXPECT_FALSE(PoseAt(Make(ActionKind::kStill), 0.5).holding_cup);
+}
+
+TEST(ActionsTest, StillHasOnlyMicroMotion) {
+  const ActionParams p = Make(ActionKind::kStill);
+  for (double t = 0.0; t < 8.0; t += 0.37) {
+    const Pose pose = PoseAt(p, t);
+    EXPECT_LT(std::fabs(pose.offset_x), 2.0);
+    EXPECT_LT(std::fabs(pose.offset_y), 2.0);
+    EXPECT_LT(std::fabs(pose.sway), 2.0);
+    EXPECT_NEAR(pose.lean, 1.0, 1e-9);
+  }
+}
+
+TEST(ActionsTest, SlowerSpeedSweepsWider) {
+  // The amplitude coupling: slow waves sweep more broadly than fast ones
+  // (paper: slow actions show the greatest displacement).
+  const ActionParams slow = Make(ActionKind::kArmWave,
+                                 SpeedMultiplier(SpeedClass::kSlow));
+  const ActionParams fast = Make(ActionKind::kArmWave,
+                                 SpeedMultiplier(SpeedClass::kFast));
+  auto elbow_range = [](const ActionParams& p) {
+    double lo = 1e9, hi = -1e9;
+    const double period = EventDuration(p);
+    for (double t = 0.0; t < period; t += period / 64.0) {
+      const double e = PoseAt(p, t).r_elbow_deg;
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(elbow_range(slow), elbow_range(fast) + 10.0);
+}
+
+class AllActionsTest : public ::testing::TestWithParam<ActionKind> {};
+
+TEST_P(AllActionsTest, PosesStayBounded) {
+  const ActionParams p = Make(GetParam());
+  for (double t = 0.0; t < 2.5 * EventDuration(p); t += 0.11) {
+    const Pose pose = PoseAt(p, t);
+    EXPECT_GE(pose.lean, 0.5);
+    EXPECT_LE(pose.lean, 1.6);
+    EXPECT_LE(std::fabs(pose.offset_y), 30.0);
+    EXPECT_LE(std::fabs(pose.l_shoulder_deg), 200.0);
+    EXPECT_LE(std::fabs(pose.r_shoulder_deg), 200.0);
+  }
+}
+
+TEST_P(AllActionsTest, EventDurationPositive) {
+  EXPECT_GT(EventDuration(Make(GetParam())), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AllActionsTest,
+                         ::testing::ValuesIn(kAllActions),
+                         [](const auto& info) {
+                           return std::string(ToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace bb::synth

@@ -1,0 +1,138 @@
+#include "synth/caller.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+
+namespace bb::synth {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+TEST(CallerTest, DrawsNonEmptySilhouette) {
+  const Bitmap mask = CallerSilhouette(96, 72, CallerSpec{}, Pose{});
+  const double frac = imaging::SetFraction(mask);
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST(CallerTest, MaskMatchesPaintedPixels) {
+  Image frame(96, 72, {1, 2, 3});
+  Bitmap mask(96, 72);
+  DrawCaller(frame, mask, CallerSpec{}, Pose{});
+  for (int y = 0; y < 72; ++y) {
+    for (int x = 0; x < 96; ++x) {
+      const bool painted = frame(x, y) != imaging::Rgb8{1, 2, 3};
+      // Every repainted pixel must be in the mask. (The mask may include a
+      // few pixels painted with a color equal to the background, so only
+      // one direction is exact.)
+      if (painted) {
+        EXPECT_TRUE(mask(x, y)) << x << "," << y;
+      }
+    }
+  }
+}
+
+TEST(CallerTest, InvisiblePoseDrawsNothing) {
+  Pose pose;
+  pose.visible = false;
+  const Bitmap mask = CallerSilhouette(64, 48, CallerSpec{}, pose);
+  EXPECT_EQ(imaging::CountSet(mask), 0u);
+}
+
+TEST(CallerTest, OffsetMovesSilhouette) {
+  Pose left, right;
+  right.offset_x = 20.0;
+  const Bitmap a = CallerSilhouette(96, 72, CallerSpec{}, left);
+  const Bitmap b = CallerSilhouette(96, 72, CallerSpec{}, right);
+  EXPECT_LT(imaging::Iou(a, b), 0.9);
+}
+
+TEST(CallerTest, LeanGrowsSilhouette) {
+  Pose normal, leaning;
+  leaning.lean = 1.3;
+  const auto a = imaging::CountSet(CallerSilhouette(96, 72, {}, normal));
+  const auto b = imaging::CountSet(CallerSilhouette(96, 72, {}, leaning));
+  EXPECT_GT(b, a);
+}
+
+TEST(CallerTest, RaisedArmChangesSilhouette) {
+  Pose down, up;
+  up.r_shoulder_deg = 150.0;
+  const Bitmap a = CallerSilhouette(96, 72, CallerSpec{}, down);
+  const Bitmap b = CallerSilhouette(96, 72, CallerSpec{}, up);
+  EXPECT_LT(imaging::Iou(a, b), 0.98);
+  // The raised arm reaches higher.
+  auto top_row = [](const Bitmap& m) {
+    for (int y = 0; y < m.height(); ++y) {
+      for (int x = 0; x < m.width(); ++x) {
+        if (m(x, y)) return y;
+      }
+    }
+    return m.height();
+  };
+  EXPECT_LT(top_row(b), top_row(a));
+}
+
+class AccessoryTest : public ::testing::TestWithParam<Accessory> {};
+
+TEST_P(AccessoryTest, AccessoryEnlargesSilhouette) {
+  CallerSpec plain;
+  CallerSpec dressed;
+  dressed.accessory = GetParam();
+  const auto base = imaging::CountSet(CallerSilhouette(96, 72, plain, {}));
+  const auto with = imaging::CountSet(CallerSilhouette(96, 72, dressed, {}));
+  EXPECT_GT(with, base) << ToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAccessories, AccessoryTest,
+    ::testing::Values(Accessory::kHat, Accessory::kHeadphones,
+                      Accessory::kHatAndHeadphones),
+    [](const auto& info) {
+      std::string s = ToString(info.param);
+      for (char& c : s) {
+        if (c == '+') c = '_';
+      }
+      return s;
+    });
+
+TEST(CallerTest, StripedApparelShowsStripes) {
+  CallerSpec striped;
+  striped.striped_apparel = true;
+  striped.apparel = {20, 20, 120};
+  striped.stripe_color = {220, 220, 220};
+  Image frame(96, 72);
+  Bitmap mask(96, 72);
+  DrawCaller(frame, mask, striped, Pose{});
+  bool has_dark = false, has_light = false;
+  for (const auto& p : frame.pixels()) {
+    has_dark |= imaging::NearlyEqual(p, striped.apparel, 8);
+    has_light |= imaging::NearlyEqual(p, striped.stripe_color, 8);
+  }
+  EXPECT_TRUE(has_dark);
+  EXPECT_TRUE(has_light);
+}
+
+TEST(CallerTest, CupAppearsWhenHeld) {
+  Pose with_cup;
+  with_cup.holding_cup = true;
+  with_cup.r_shoulder_deg = 70.0;
+  with_cup.r_elbow_deg = 115.0;
+  Pose without = with_cup;
+  without.holding_cup = false;
+  const auto a = imaging::CountSet(CallerSilhouette(96, 72, {}, with_cup));
+  const auto b = imaging::CountSet(CallerSilhouette(96, 72, {}, without));
+  EXPECT_GT(a, b);
+}
+
+TEST(CallerTest, DrawCallerRejectsShapeMismatch) {
+  Image frame(10, 10);
+  Bitmap mask(11, 10);
+  EXPECT_THROW(DrawCaller(frame, mask, CallerSpec{}, Pose{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::synth

@@ -1,0 +1,108 @@
+#include "synth/camera.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/color.h"
+
+namespace bb::synth {
+namespace {
+
+using imaging::Image;
+
+double MeanLuma(const Image& img) {
+  double s = 0.0;
+  for (const auto& p : img.pixels()) s += imaging::Luma(p);
+  return s / static_cast<double>(img.pixel_count());
+}
+
+double LumaStddev(const Image& img) {
+  const double mean = MeanLuma(img);
+  double v = 0.0;
+  for (const auto& p : img.pixels()) {
+    const double d = imaging::Luma(p) - mean;
+    v += d * d;
+  }
+  return std::sqrt(v / static_cast<double>(img.pixel_count()));
+}
+
+TEST(CameraTest, LightsOffReducesBrightness) {
+  const Image scene(32, 32, {150, 140, 130});
+  Rng rng1(1), rng2(1);
+  const Image on = ApplyCamera(scene, WebcamCamera(Lighting::kOn), rng1);
+  const Image off = ApplyCamera(scene, WebcamCamera(Lighting::kOff), rng2);
+  EXPECT_LT(MeanLuma(off), MeanLuma(on) - 30.0);
+}
+
+TEST(CameraTest, LightsOffFlattensContrast) {
+  Image scene(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      scene(x, y) = (x < 16) ? imaging::Rgb8{40, 40, 40}
+                             : imaging::Rgb8{220, 220, 220};
+    }
+  }
+  Rng rng1(1), rng2(1);
+  const Image on = ApplyCamera(scene, WebcamCamera(Lighting::kOn), rng1);
+  const Image off = ApplyCamera(scene, WebcamCamera(Lighting::kOff), rng2);
+  EXPECT_LT(LumaStddev(off), LumaStddev(on));
+}
+
+TEST(CameraTest, StudioCameraIsCleanerThanWebcam) {
+  const Image scene(48, 48, {128, 128, 128});
+  Rng rng1(1), rng2(1);
+  const Image webcam = ApplyCamera(scene, WebcamCamera(Lighting::kOn), rng1);
+  const Image studio = ApplyCamera(scene, StudioCamera(), rng2);
+  // Flat scene: any deviation is sensor noise.
+  EXPECT_LT(LumaStddev(studio), LumaStddev(webcam));
+}
+
+TEST(CameraTest, NoiselessCameraIsDeterministicTransform) {
+  CameraModel cam;
+  cam.noise_stddev = 0.0;
+  cam.exposure = 0.5;
+  cam.contrast = 1.0;
+  const Image scene(8, 8, {100, 200, 60});
+  Rng rng(9);
+  const Image out = ApplyCamera(scene, cam, rng);
+  for (const auto& p : out.pixels()) {
+    EXPECT_TRUE(imaging::NearlyEqual(p, {50, 100, 30}, 1));
+  }
+}
+
+TEST(CameraTest, ContrastPivotsAroundMidGray) {
+  CameraModel cam;
+  cam.noise_stddev = 0.0;
+  cam.contrast = 2.0;
+  const Image mid(4, 4, {128, 128, 128});
+  Rng rng(1);
+  const Image out = ApplyCamera(mid, cam, rng);
+  EXPECT_TRUE(imaging::NearlyEqual(out(0, 0), {128, 128, 128}, 1));
+  const Image dark(4, 4, {100, 100, 100});
+  Rng rng2(1);
+  EXPECT_TRUE(imaging::NearlyEqual(ApplyCamera(dark, cam, rng2)(0, 0),
+                                   {72, 72, 72}, 1));
+}
+
+TEST(CameraTest, NoiseIsSeedDeterministic) {
+  const Image scene(16, 16, {90, 90, 90});
+  Rng a(42), b(42), c(43);
+  const Image out_a = ApplyCamera(scene, WebcamCamera(Lighting::kOn), a);
+  const Image out_b = ApplyCamera(scene, WebcamCamera(Lighting::kOn), b);
+  const Image out_c = ApplyCamera(scene, WebcamCamera(Lighting::kOn), c);
+  EXPECT_EQ(out_a, out_b);
+  EXPECT_NE(out_a, out_c);
+}
+
+TEST(CameraTest, OutputStaysInRange) {
+  CameraModel cam;
+  cam.exposure = 3.0;
+  cam.noise_stddev = 50.0;
+  Image scene(16, 16, {240, 10, 128});
+  Rng rng(5);
+  EXPECT_NO_THROW(ApplyCamera(scene, cam, rng));
+}
+
+}  // namespace
+}  // namespace bb::synth

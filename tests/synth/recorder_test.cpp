@@ -1,0 +1,146 @@
+#include "synth/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+
+namespace bb::synth {
+namespace {
+
+RecordingSpec SmallSpec() {
+  RecordingSpec spec;
+  spec.scene.width = 96;
+  spec.scene.height = 72;
+  spec.action.kind = ActionKind::kArmWave;
+  spec.fps = 8.0;
+  spec.duration_s = 2.0;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(RecorderTest, ProducesExpectedFrameCount) {
+  const RawRecording rec = RecordCall(SmallSpec());
+  EXPECT_EQ(rec.video.frame_count(), 16);
+  EXPECT_EQ(rec.caller_masks.size(), 16u);
+  EXPECT_EQ(rec.blur_masks.size(), 16u);
+  EXPECT_EQ(rec.video.width(), 96);
+  EXPECT_EQ(rec.video.height(), 72);
+}
+
+TEST(RecorderTest, IsDeterministic) {
+  const RawRecording a = RecordCall(SmallSpec());
+  const RawRecording b = RecordCall(SmallSpec());
+  EXPECT_EQ(a.video.frames(), b.video.frames());
+  EXPECT_EQ(a.caller_masks, b.caller_masks);
+}
+
+TEST(RecorderTest, DifferentSeedsDiffer) {
+  RecordingSpec spec = SmallSpec();
+  const RawRecording a = RecordCall(spec);
+  spec.seed = 12;
+  const RawRecording b = RecordCall(spec);
+  EXPECT_NE(a.video.frames(), b.video.frames());
+}
+
+TEST(RecorderTest, TrueBackgroundIsCameraProcessedScene) {
+  const RawRecording rec = RecordCall(SmallSpec());
+  // The pristine render is kept in scene.background; true_background is
+  // its camera-processed (noise-free) capture. With the default daylight
+  // camera the two are nearly identical.
+  EXPECT_EQ(rec.scene.background, RenderScene(SmallSpec().scene).background);
+  int off = 0;
+  for (int y = 0; y < rec.true_background.height(); ++y) {
+    for (int x = 0; x < rec.true_background.width(); ++x) {
+      off += !imaging::NearlyEqual(rec.true_background(x, y),
+                                   rec.scene.background(x, y), 4);
+    }
+  }
+  EXPECT_EQ(off, 0);
+}
+
+TEST(RecorderTest, TrueBackgroundTracksLighting) {
+  RecordingSpec dim = SmallSpec();
+  dim.camera = WebcamCamera(Lighting::kOff);
+  const RawRecording rec = RecordCall(dim);
+  // Captured background is darker than the pristine render.
+  double luma_true = 0.0, luma_scene = 0.0;
+  for (const auto& p : rec.true_background.pixels()) {
+    luma_true += imaging::Luma(p);
+  }
+  for (const auto& p : rec.scene.background.pixels()) {
+    luma_scene += imaging::Luma(p);
+  }
+  EXPECT_LT(luma_true, luma_scene * 0.75);
+}
+
+TEST(RecorderTest, CallerMaskCoversCallerPixels) {
+  const RawRecording rec = RecordCall(SmallSpec());
+  // Where the mask is clear, the frame must equal the background up to
+  // camera noise.
+  const auto& frame = rec.video.frame(5);
+  const auto& mask = rec.caller_masks[5];
+  int mismatches = 0;
+  for (int y = 0; y < frame.height(); ++y) {
+    for (int x = 0; x < frame.width(); ++x) {
+      if (mask(x, y)) continue;
+      if (!imaging::NearlyEqual(frame(x, y), rec.true_background(x, y), 30)) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_LT(mismatches, frame.width() * frame.height() / 100);
+}
+
+TEST(RecorderTest, BlurMaskIsSubsetOfCallerMask) {
+  const RawRecording rec = RecordCall(SmallSpec());
+  for (std::size_t i = 0; i < rec.caller_masks.size(); ++i) {
+    EXPECT_EQ(imaging::CountSet(imaging::AndNot(rec.blur_masks[i],
+                                                rec.caller_masks[i])),
+              0u)
+        << "frame " << i;
+  }
+}
+
+TEST(RecorderTest, FastMotionProducesBlurRing) {
+  RecordingSpec spec = SmallSpec();
+  spec.action.kind = ActionKind::kArmWave;
+  spec.action.speed = 2.4;
+  spec.motion_samples = 3;
+  const RawRecording fast = RecordCall(spec);
+  spec.motion_samples = 1;
+  const RawRecording sharp = RecordCall(spec);
+  std::size_t fast_blur = 0, sharp_blur = 0;
+  for (const auto& m : fast.blur_masks) fast_blur += imaging::CountSet(m);
+  for (const auto& m : sharp.blur_masks) sharp_blur += imaging::CountSet(m);
+  EXPECT_GT(fast_blur, sharp_blur);
+  EXPECT_EQ(sharp_blur, 0u);
+}
+
+TEST(RecorderTest, ScriptedCallConcatenatesSegments) {
+  ScriptedRecordingSpec spec;
+  spec.scene.width = 64;
+  spec.scene.height = 48;
+  spec.fps = 8.0;
+  ActionParams still;
+  still.kind = ActionKind::kStill;
+  ActionParams wave;
+  wave.kind = ActionKind::kArmWave;
+  spec.script = {{still, 1.0}, {wave, 2.0}};
+  const RawRecording rec = RecordScriptedCall(spec);
+  EXPECT_EQ(rec.video.frame_count(), 8 + 16);
+  EXPECT_EQ(rec.caller_masks.size(), 24u);
+}
+
+TEST(RecorderTest, SceneObjectsAppearInGroundTruth) {
+  RecordingSpec spec = SmallSpec();
+  ObjectSpec note;
+  note.kind = ObjectKind::kStickyNote;
+  note.rect = {5, 5, 12, 12};
+  spec.scene.objects.push_back(note);
+  const RawRecording rec = RecordCall(spec);
+  ASSERT_EQ(rec.scene.objects.size(), 1u);
+  EXPECT_EQ(rec.scene.objects[0].kind, ObjectKind::kStickyNote);
+}
+
+}  // namespace
+}  // namespace bb::synth

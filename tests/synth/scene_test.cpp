@@ -1,0 +1,160 @@
+#include "synth/scene.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/color.h"
+
+namespace bb::synth {
+namespace {
+
+TEST(SceneTest, RenderIsDeterministic) {
+  Rng rng1(7), rng2(7);
+  const SceneSpec a = RandomScene(rng1);
+  const SceneSpec b = RandomScene(rng2);
+  EXPECT_EQ(RenderScene(a).background, RenderScene(b).background);
+}
+
+TEST(SceneTest, DifferentSeedsGiveDifferentScenes) {
+  Rng rng1(1), rng2(2);
+  const auto a = RenderScene(RandomScene(rng1)).background;
+  const auto b = RenderScene(RandomScene(rng2)).background;
+  EXPECT_NE(a, b);
+}
+
+TEST(SceneTest, RenderedSceneHasRequestedSize) {
+  SceneSpec spec;
+  spec.width = 100;
+  spec.height = 60;
+  const auto r = RenderScene(spec);
+  EXPECT_EQ(r.background.width(), 100);
+  EXPECT_EQ(r.background.height(), 60);
+}
+
+TEST(SceneTest, ObjectTruthMatchesSpec) {
+  SceneSpec spec;
+  ObjectSpec note;
+  note.kind = ObjectKind::kStickyNote;
+  note.rect = {20, 20, 20, 20};
+  note.primary = {236, 221, 96};
+  note.text = "PIN 42";
+  spec.objects.push_back(note);
+  const auto r = RenderScene(spec);
+  ASSERT_EQ(r.objects.size(), 1u);
+  EXPECT_EQ(r.objects[0].kind, ObjectKind::kStickyNote);
+  EXPECT_EQ(r.objects[0].rect, note.rect);
+  EXPECT_EQ(r.objects[0].text, "PIN 42");
+  EXPECT_EQ(r.objects[0].template_image.width(), 20);
+  // The note's yellow is actually painted at its location.
+  EXPECT_TRUE(imaging::NearlyEqual(r.background(25, 35), note.primary, 10));
+}
+
+TEST(SceneTest, RandomSceneObjectsFitInFrame) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const SceneSpec spec = RandomScene(rng);
+    for (const auto& o : spec.objects) {
+      EXPECT_GE(o.rect.x, 0);
+      EXPECT_GE(o.rect.y, 0);
+      EXPECT_LE(o.rect.x2(), spec.width) << "seed " << seed;
+      EXPECT_LE(o.rect.y2(), spec.height) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SceneTest, RandomSceneObjectsDoNotOverlap) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const SceneSpec spec = RandomScene(rng);
+    for (std::size_t i = 0; i < spec.objects.size(); ++i) {
+      for (std::size_t j = i + 1; j < spec.objects.size(); ++j) {
+        EXPECT_TRUE(spec.objects[i]
+                        .rect.Intersect(spec.objects[j].rect)
+                        .Empty())
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SceneTest, RandomSceneRespectsObjectCountBounds) {
+  RandomSceneOptions opts;
+  opts.min_objects = 2;
+  opts.max_objects = 4;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const SceneSpec spec = RandomScene(rng, opts);
+    // Placement can fail on crowded frames, so only the upper bound is hard.
+    EXPECT_LE(spec.objects.size(), 4u);
+  }
+}
+
+TEST(SceneTest, EnsureStickyNoteForcesOne) {
+  RandomSceneOptions opts;
+  opts.ensure_sticky_note = true;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const SceneSpec spec = RandomScene(rng, opts);
+    bool has_note = false;
+    for (const auto& o : spec.objects) {
+      has_note |= o.kind == ObjectKind::kStickyNote;
+    }
+    EXPECT_TRUE(has_note) << "seed " << seed;
+  }
+}
+
+TEST(SceneTest, StickyNotesCarryText) {
+  RandomSceneOptions opts;
+  opts.ensure_sticky_note = true;
+  Rng rng(3);
+  const SceneSpec spec = RandomScene(rng, opts);
+  for (const auto& o : spec.objects) {
+    if (o.kind == ObjectKind::kStickyNote) {
+      EXPECT_FALSE(o.text.empty());
+    }
+  }
+}
+
+TEST(SceneTest, TemplateRenderMatchesInSceneRendering) {
+  ObjectSpec poster;
+  poster.kind = ObjectKind::kPoster;
+  poster.rect = {10, 10, 30, 40};
+  poster.primary = {200, 30, 30};
+  poster.secondary = {30, 30, 200};
+  poster.style_seed = 99;
+  const imaging::Image tmpl = RenderObjectTemplate(poster);
+  EXPECT_EQ(tmpl.width(), 30);
+  EXPECT_EQ(tmpl.height(), 40);
+
+  SceneSpec spec;
+  spec.objects.push_back(poster);
+  const auto scene = RenderScene(spec);
+  // Interior pixels of the placed object equal the template's.
+  for (int y = 2; y < 38; y += 7) {
+    for (int x = 2; x < 28; x += 5) {
+      EXPECT_EQ(scene.background(10 + x, 10 + y), tmpl(x, y))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(SceneTest, WallStylesProduceDistinctWalls) {
+  SceneSpec plain, brick, panel;
+  plain.wall_style = WallStyle::kPlain;
+  brick.wall_style = WallStyle::kBrick;
+  panel.wall_style = WallStyle::kPanelled;
+  const auto a = RenderScene(plain).background;
+  const auto b = RenderScene(brick).background;
+  const auto c = RenderScene(panel).background;
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(SceneTest, ToStringCoversAllKinds) {
+  EXPECT_STREQ(ToString(ObjectKind::kPoster), "poster");
+  EXPECT_STREQ(ToString(ObjectKind::kStickyNote), "sticky_note");
+  EXPECT_STREQ(ToString(ObjectKind::kDoor), "door");
+}
+
+}  // namespace
+}  // namespace bb::synth

@@ -1,0 +1,258 @@
+#include "vbg/compositor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+#include "imaging/morphology.h"
+#include "synth/recorder.h"
+
+namespace bb::vbg {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+TEST(BlendFrameTest, HardBlendWithZeroRadius) {
+  const Image real(8, 8, {10, 10, 10});
+  const Image vb(8, 8, {200, 200, 200});
+  Bitmap fg(8, 8);
+  imaging::FillRect(fg, {0, 0, 4, 8});
+  const Image out = BlendFrame(real, vb, fg, 0.0);
+  EXPECT_EQ(out(1, 1), (imaging::Rgb8{10, 10, 10}));
+  EXPECT_EQ(out(6, 1), (imaging::Rgb8{200, 200, 200}));
+}
+
+TEST(BlendFrameTest, RampCrossesBoundary) {
+  const Image real(32, 8, {0, 0, 0});
+  const Image vb(32, 8, {200, 200, 200});
+  Bitmap fg(32, 8);
+  imaging::FillRect(fg, {0, 0, 16, 8});
+  const Image out = BlendFrame(real, vb, fg, 4.0);
+  // Deep inside FG: pure real; deep outside: pure VB; boundary: mixed.
+  EXPECT_TRUE(imaging::NearlyEqual(out(2, 4), {0, 0, 0}, 6));
+  EXPECT_TRUE(imaging::NearlyEqual(out(30, 4), {200, 200, 200}, 6));
+  const auto boundary = out(16, 4);
+  EXPECT_GT(boundary.r, 40);
+  EXPECT_LT(boundary.r, 160);
+}
+
+TEST(BlendFrameTest, MonotoneAcrossTheRamp) {
+  const Image real(32, 4, {0, 0, 0});
+  const Image vb(32, 4, {240, 240, 240});
+  Bitmap fg(32, 4);
+  imaging::FillRect(fg, {0, 0, 16, 4});
+  const Image out = BlendFrame(real, vb, fg, 5.0);
+  for (int x = 1; x < 32; ++x) {
+    EXPECT_GE(out(x, 2).r + 2, out(x - 1, 2).r) << x;
+  }
+}
+
+synth::RawRecording SmallRecording() {
+  synth::RecordingSpec spec;
+  spec.scene.width = 96;
+  spec.scene.height = 72;
+  spec.action.kind = synth::ActionKind::kArmWave;
+  spec.fps = 8.0;
+  spec.duration_s = 2.5;
+  spec.seed = 21;
+  return synth::RecordCall(spec);
+}
+
+TEST(CompositorTest, OutputHasSameShapeAndLength) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kGradient, 96, 72));
+  const CompositedCall call = ApplyVirtualBackground(raw, vb);
+  EXPECT_EQ(call.video.frame_count(), raw.video.frame_count());
+  EXPECT_EQ(call.estimated_masks.size(), raw.caller_masks.size());
+  EXPECT_EQ(call.leak_masks.size(), raw.caller_masks.size());
+  EXPECT_EQ(call.vb_regions.size(), raw.caller_masks.size());
+}
+
+TEST(CompositorTest, VbRegionShowsVirtualImage) {
+  const auto raw = SmallRecording();
+  const Image vb_img = MakeStockImage(StockImage::kGradient, 96, 72);
+  const StaticImageSource vb(vb_img);
+  CompositeOptions opts;
+  opts.profile.recording_noise = 0.0;  // isolate the blending path
+  const CompositedCall call = ApplyVirtualBackground(raw, vb, opts);
+  for (int i : {0, 5, 10}) {
+    const auto& frame = call.video.frame(i);
+    const auto& region = call.vb_regions[static_cast<std::size_t>(i)];
+    int bad = 0, total = 0;
+    for (int y = 0; y < 72; ++y) {
+      for (int x = 0; x < 96; ++x) {
+        if (!region(x, y)) continue;
+        ++total;
+        bad += !imaging::NearlyEqual(frame(x, y), vb_img(x, y), 2);
+      }
+    }
+    EXPECT_GT(total, 0);
+    EXPECT_EQ(bad, 0) << "frame " << i;
+  }
+}
+
+TEST(CompositorTest, LeakMaskPixelsShowRealBackground) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kGradient, 96, 72));
+  const CompositedCall call = ApplyVirtualBackground(raw, vb);
+  std::size_t leaked_total = 0;
+  int mismatches = 0;
+  for (int i = 0; i < call.video.frame_count(); ++i) {
+    const auto& leak = call.leak_masks[static_cast<std::size_t>(i)];
+    const auto& frame = call.video.frame(i);
+    const auto& raw_frame = raw.video.frame(i);
+    for (int y = 0; y < 72; ++y) {
+      for (int x = 0; x < 96; ++x) {
+        if (!leak(x, y)) continue;
+        ++leaked_total;
+        // Leaked pixels pass the raw frame through (the raw frame there is
+        // background, since leaks exclude the true caller).
+        mismatches += !imaging::NearlyEqual(frame(x, y), raw_frame(x, y), 8);
+      }
+    }
+  }
+  EXPECT_GT(leaked_total, 0u);
+  EXPECT_LT(mismatches, static_cast<int>(leaked_total / 20 + 2));
+}
+
+TEST(CompositorTest, LeakMasksExcludeTrueCaller) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kBeach, 96, 72));
+  const CompositedCall call = ApplyVirtualBackground(raw, vb);
+  for (std::size_t i = 0; i < call.leak_masks.size(); ++i) {
+    EXPECT_EQ(imaging::CountSet(
+                  imaging::And(call.leak_masks[i], raw.caller_masks[i])),
+              0u)
+        << "frame " << i;
+  }
+}
+
+TEST(CompositorTest, DeterministicForSameSeed) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kBeach, 96, 72));
+  CompositeOptions opts;
+  opts.seed = 5;
+  const CompositedCall a = ApplyVirtualBackground(raw, vb, opts);
+  const CompositedCall b = ApplyVirtualBackground(raw, vb, opts);
+  EXPECT_EQ(a.video.frames(), b.video.frames());
+  opts.seed = 6;
+  const CompositedCall c = ApplyVirtualBackground(raw, vb, opts);
+  EXPECT_NE(a.video.frames(), c.video.frames());
+}
+
+TEST(CompositorTest, SkypeLeaksLessThanZoom) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kOffice, 96, 72));
+  CompositeOptions zoom_opts;
+  zoom_opts.profile = ZoomProfile();
+  CompositeOptions skype_opts;
+  skype_opts.profile = SkypeProfile();
+  const CompositedCall zoom = ApplyVirtualBackground(raw, vb, zoom_opts);
+  const CompositedCall skype = ApplyVirtualBackground(raw, vb, skype_opts);
+  Bitmap zoom_union(96, 72), skype_union(96, 72);
+  for (const auto& m : zoom.leak_masks) zoom_union = imaging::Or(zoom_union, m);
+  for (const auto& m : skype.leak_masks) {
+    skype_union = imaging::Or(skype_union, m);
+  }
+  EXPECT_LT(imaging::SetFraction(skype_union),
+            imaging::SetFraction(zoom_union));
+}
+
+TEST(CompositorTest, AdapterReceivesAndReplacesVb) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kBeach, 96, 72));
+  CompositeOptions opts;
+  opts.profile.recording_noise = 0.0;  // keep the replaced VB byte-exact
+  int calls = 0;
+  opts.adapter = [&calls](const Image& vb_frame, const Image&, int) {
+    ++calls;
+    Image red(vb_frame.width(), vb_frame.height(), {255, 0, 0});
+    return red;
+  };
+  const CompositedCall call = ApplyVirtualBackground(raw, vb, opts);
+  EXPECT_EQ(calls, raw.video.frame_count());
+  // VB region is now red.
+  const auto& region = call.vb_regions[4];
+  for (int y = 0; y < 72; y += 7) {
+    for (int x = 0; x < 96; x += 7) {
+      if (region(x, y)) {
+        EXPECT_EQ(call.video.frame(4)(x, y), (imaging::Rgb8{255, 0, 0}));
+      }
+    }
+  }
+}
+
+TEST(BlendModeTest, GaussianFeatherRampIsSmoothAndBounded) {
+  const Image real(32, 8, {0, 0, 0});
+  const Image vb(32, 8, {200, 200, 200});
+  Bitmap fg(32, 8);
+  imaging::FillRect(fg, {0, 0, 16, 8});
+  const Image out =
+      BlendFrame(real, vb, fg, 4.0, BlendMode::kGaussianFeather);
+  EXPECT_TRUE(imaging::NearlyEqual(out(1, 4), {0, 0, 0}, 6));
+  EXPECT_TRUE(imaging::NearlyEqual(out(30, 4), {200, 200, 200}, 6));
+  const auto boundary = out(16, 4);
+  EXPECT_GT(boundary.r, 40);
+  EXPECT_LT(boundary.r, 160);
+}
+
+TEST(BlendModeTest, TrimapHasExactlyThreeStates) {
+  const Image real(40, 8, {0, 0, 0});
+  const Image vb(40, 8, {200, 200, 200});
+  Bitmap fg(40, 8);
+  imaging::FillRect(fg, {0, 0, 20, 8});
+  const Image out = BlendFrame(real, vb, fg, 3.0, BlendMode::kTrimap);
+  std::set<int> states;
+  for (int x = 0; x < 40; ++x) states.insert(out(x, 4).r);
+  EXPECT_EQ(states.size(), 3u);  // FG, BG, 50/50 mix only
+  EXPECT_TRUE(states.count(0));
+  EXPECT_TRUE(states.count(200));
+  EXPECT_TRUE(states.count(100));
+}
+
+TEST(BlendModeTest, AllModesAgreeFarFromTheBoundary) {
+  const Image real(48, 16, {10, 60, 110});
+  const Image vb(48, 16, {240, 180, 20});
+  Bitmap fg(48, 16);
+  imaging::FillRect(fg, {0, 0, 24, 16});
+  for (BlendMode mode :
+       {BlendMode::kDistanceRamp, BlendMode::kGaussianFeather,
+        BlendMode::kTrimap, BlendMode::kLaplacianPyramid}) {
+    const Image out = BlendFrame(real, vb, fg, 4.0, mode);
+    EXPECT_TRUE(imaging::NearlyEqual(out(2, 8), real(2, 8), 4))
+        << ToString(mode);
+    EXPECT_TRUE(imaging::NearlyEqual(out(45, 8), vb(45, 8), 4))
+        << ToString(mode);
+  }
+}
+
+TEST(BlendModeTest, AttackSurvivesEveryBlendMode) {
+  // The framework never assumes a particular blending function (the paper
+  // notes the real one is unknown); the pipeline must recover background
+  // under all three.
+  const auto raw = SmallRecording();
+  for (BlendMode mode :
+       {BlendMode::kDistanceRamp, BlendMode::kGaussianFeather,
+        BlendMode::kTrimap, BlendMode::kLaplacianPyramid}) {
+    CompositeOptions opts;
+    opts.profile.blend_mode = mode;
+    const StaticImageSource vb(MakeStockImage(StockImage::kBeach, 96, 72));
+    const CompositedCall call = ApplyVirtualBackground(raw, vb, opts);
+    Bitmap leak_union(96, 72);
+    for (const auto& m : call.leak_masks) {
+      leak_union = imaging::Or(leak_union, m);
+    }
+    EXPECT_GT(imaging::SetFraction(leak_union), 0.01) << ToString(mode);
+  }
+}
+
+TEST(CompositorTest, ProfilesAreNamed) {
+  EXPECT_EQ(ZoomProfile().name, "zoom");
+  EXPECT_EQ(SkypeProfile().name, "skype");
+}
+
+}  // namespace
+}  // namespace bb::vbg

@@ -1,0 +1,104 @@
+#include "vbg/dynamic_background.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imaging/color.h"
+#include "imaging/draw.h"
+
+namespace bb::vbg {
+namespace {
+
+using imaging::Image;
+
+TEST(DynamicVbTest, AdaptsBrightnessTowardRealFrame) {
+  const Image vb(32, 32, imaging::HsvToRgb({200.0f, 0.6f, 0.9f}));  // bright
+  const Image real(32, 32, imaging::HsvToRgb({30.0f, 0.2f, 0.15f}));  // dark
+  DynamicVbParams params;
+  params.hue_jitter_deg = 0.0;
+  synth::Rng rng(1);
+  const Image adapted = AdaptVirtualBackground(vb, real, params, rng);
+  const float v_before = imaging::RgbToHsv(vb(16, 16)).v;
+  const float v_after = imaging::RgbToHsv(adapted(16, 16)).v;
+  const float v_real = imaging::RgbToHsv(real(16, 16)).v;
+  EXPECT_LT(v_after, v_before);
+  EXPECT_GT(v_after, v_real - 0.05f);
+}
+
+TEST(DynamicVbTest, HueJitterChangesAcrossFrames) {
+  const Image vb(32, 32, imaging::HsvToRgb({120.0f, 0.8f, 0.7f}));
+  const Image real(32, 32, {90, 90, 90});
+  DynamicVbParams params;
+  auto adapter = MakeDynamicVbAdapter(params, 3);
+  const Image f0 = adapter(vb, real, 0);
+  const Image f1 = adapter(vb, real, 1);
+  EXPECT_NE(f0, f1);
+  // Hue moved but stayed in the neighbourhood.
+  const float h0 = imaging::RgbToHsv(f0(10, 10)).h;
+  EXPECT_LT(imaging::HueDistance(h0, 120.0f),
+            static_cast<float>(params.hue_jitter_deg) * 3.0f);
+}
+
+TEST(DynamicVbTest, ZeroParamsKeepVbChromaticity) {
+  const Image vb(16, 16, imaging::HsvToRgb({250.0f, 0.7f, 0.5f}));
+  const Image real(16, 16, {200, 200, 200});
+  DynamicVbParams params;
+  params.value_adoption = 0.0;
+  params.saturation_adoption = 0.0;
+  params.hue_jitter_deg = 0.0;
+  synth::Rng rng(5);
+  const Image adapted = AdaptVirtualBackground(vb, real, params, rng);
+  for (int y = 0; y < 16; y += 3) {
+    for (int x = 0; x < 16; x += 3) {
+      EXPECT_TRUE(imaging::NearlyEqual(adapted(x, y), vb(x, y), 3));
+    }
+  }
+}
+
+TEST(DynamicVbTest, SmoothingPreventsSceneCopying) {
+  // The adapted VB must not reproduce fine structure of the real frame -
+  // only its smoothed brightness field.
+  Image real(64, 64, {30, 30, 30});
+  imaging::FillRect(real, {30, 30, 2, 2}, {250, 250, 250});  // tiny feature
+  const Image vb(64, 64, imaging::HsvToRgb({0.0f, 0.0f, 0.5f}));
+  DynamicVbParams params;
+  params.hue_jitter_deg = 0.0;
+  params.value_adoption = 1.0;
+  synth::Rng rng(7);
+  const Image adapted = AdaptVirtualBackground(vb, real, params, rng);
+  // The tiny bright feature is spread out: adapted pixel is far dimmer than
+  // the feature itself.
+  EXPECT_LT(imaging::Luma(adapted(31, 31)), 140.0f);
+}
+
+TEST(DynamicVbTest, BreaksPixelConstancy) {
+  // The core anti-derivation property: with jitter on, a VB pixel does NOT
+  // stay constant across frames (paper sec. IX-A), defeating the >= 10
+  // stable-frames rule.
+  const Image vb(24, 24, imaging::HsvToRgb({150.0f, 0.7f, 0.6f}));
+  const Image real(24, 24, {100, 110, 120});
+  auto adapter = MakeDynamicVbAdapter(DynamicVbParams{}, 11);
+  Image prev = adapter(vb, real, 0);
+  int constant_run = 0, max_run = 0;
+  for (int i = 1; i < 14; ++i) {
+    const Image cur = adapter(vb, real, i);
+    if (imaging::NearlyEqual(cur(12, 12), prev(12, 12), 4)) {
+      max_run = std::max(max_run, ++constant_run);
+    } else {
+      constant_run = 0;
+    }
+    prev = cur;
+  }
+  EXPECT_LT(max_run, 10);
+}
+
+TEST(DynamicVbTest, RejectsShapeMismatch) {
+  synth::Rng rng(1);
+  EXPECT_THROW(AdaptVirtualBackground(Image(4, 4), Image(5, 4),
+                                      DynamicVbParams{}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::vbg

@@ -1,0 +1,157 @@
+#include "vbg/matting.h"
+
+#include <gtest/gtest.h>
+
+#include "imaging/draw.h"
+#include "imaging/morphology.h"
+
+namespace bb::vbg {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+Bitmap DiscMask(int w, int h, int cx, int cy, int r) {
+  Bitmap m(w, h);
+  imaging::FillCircle(m, cx, cy, r);
+  return m;
+}
+
+// A frame with decent contrast so quality coupling is neutral-ish.
+Image ContrastFrame(int w, int h) {
+  Image f(w, h, {40, 60, 80});
+  imaging::FillRect(f, {0, 0, w / 2, h}, {190, 180, 170});
+  return f;
+}
+
+TEST(MattingTest, EstimateRoughlyTracksTruth) {
+  MattingParams params;
+  params.initial_bad_frames = 0;  // isolate the steady-state behaviour
+  params.temporal_lag = 0.0;
+  MattingEngine engine(params, 3);
+  const Bitmap truth = DiscMask(96, 72, 48, 36, 18);
+  const Bitmap blur(96, 72);
+  const Image frame = ContrastFrame(96, 72);
+  const Bitmap est = engine.Estimate(truth, blur, frame);
+  EXPECT_GT(imaging::Iou(est, truth), 0.6);
+}
+
+TEST(MattingTest, InitialFramesHaveLargerErrors) {
+  MattingEngine engine(MattingParams{}, 3);
+  const Bitmap truth = DiscMask(96, 72, 48, 36, 18);
+  const Bitmap blur(96, 72);
+  const Image frame = ContrastFrame(96, 72);
+  double first_iou = 0.0, later_iou = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const Bitmap est = engine.Estimate(truth, blur, frame);
+    const double iou = imaging::Iou(est, truth);
+    if (i == 0) first_iou = iou;
+    if (i == 19) later_iou = iou;
+  }
+  EXPECT_GT(later_iou, first_iou + 0.05);
+}
+
+TEST(MattingTest, MovingMaskLeavesTrail) {
+  MattingParams params;
+  params.initial_bad_frames = 0;
+  MattingEngine engine(params, 5);
+  const Bitmap blur(96, 72);
+  const Image frame = ContrastFrame(96, 72);
+  // Warm up at one position, then jump.
+  Bitmap truth_a = DiscMask(96, 72, 30, 36, 14);
+  for (int i = 0; i < 4; ++i) engine.Estimate(truth_a, blur, frame);
+  Bitmap truth_b = DiscMask(96, 72, 60, 36, 14);
+  const Bitmap est = engine.Estimate(truth_b, blur, frame);
+  // Some of the old position is still classified foreground (the leak!).
+  const Bitmap old_only = imaging::AndNot(truth_a, truth_b);
+  const double retained =
+      static_cast<double>(imaging::CountSet(imaging::And(est, old_only))) /
+      static_cast<double>(imaging::CountSet(old_only));
+  EXPECT_GT(retained, 0.2);
+}
+
+TEST(MattingTest, NoLagMeansNoTrail) {
+  MattingParams params;
+  params.initial_bad_frames = 0;
+  params.temporal_lag = 0.0;
+  params.motion_error_gain = 0.0;
+  params.base_error_px = 0.5;
+  MattingEngine engine(params, 5);
+  const Bitmap blur(96, 72);
+  const Image frame = ContrastFrame(96, 72);
+  Bitmap truth_a = DiscMask(96, 72, 25, 36, 12);
+  for (int i = 0; i < 4; ++i) engine.Estimate(truth_a, blur, frame);
+  Bitmap truth_b = DiscMask(96, 72, 65, 36, 12);
+  const Bitmap est = engine.Estimate(truth_b, blur, frame);
+  const Bitmap old_far = imaging::ErodeDisc(truth_a, 3.0);
+  const double retained =
+      static_cast<double>(imaging::CountSet(imaging::And(est, old_far))) /
+      std::max<double>(1.0, static_cast<double>(imaging::CountSet(old_far)));
+  EXPECT_LT(retained, 0.05);
+}
+
+TEST(MattingTest, BlurRingGetsAbsorbed) {
+  MattingParams params;
+  params.initial_bad_frames = 0;
+  params.temporal_lag = 0.0;
+  params.base_error_px = 0.3;
+  params.blur_confusion = 1.0;
+  MattingEngine engine(params, 7);
+  const Bitmap truth = DiscMask(96, 72, 48, 36, 12);
+  const Bitmap blur = imaging::BoundaryRing(truth, 6.0);
+  const Image frame = ContrastFrame(96, 72);
+  const Bitmap est = engine.Estimate(truth, blur, frame);
+  const double absorbed =
+      static_cast<double>(imaging::CountSet(imaging::And(est, blur))) /
+      static_cast<double>(imaging::CountSet(blur));
+  EXPECT_GT(absorbed, 0.8);
+}
+
+TEST(MattingTest, FrameQualityOrdersScenes) {
+  const Image flat(32, 32, {60, 60, 60});
+  Image crisp(32, 32, {20, 20, 20});
+  imaging::FillRect(crisp, {0, 0, 16, 32}, {230, 230, 230});
+  EXPECT_LT(FrameQuality(flat), FrameQuality(crisp));
+  EXPECT_GE(FrameQuality(flat), 0.0);
+  EXPECT_LE(FrameQuality(crisp), 1.0);
+}
+
+TEST(MattingTest, LowQualityFramesErrMore) {
+  // Same geometry; one flat/murky frame, one crisp frame.
+  auto run = [](const Image& frame) {
+    MattingParams params;
+    params.initial_bad_frames = 0;
+    params.temporal_lag = 0.0;
+    MattingEngine engine(params, 11);
+    const Bitmap truth = DiscMask(96, 72, 48, 36, 18);
+    const Bitmap blur(96, 72);
+    double iou = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      iou = imaging::Iou(engine.Estimate(truth, blur, frame), truth);
+    }
+    return iou;
+  };
+  const Image murky(96, 72, {55, 52, 50});
+  Image crisp(96, 72, {20, 20, 20});
+  imaging::FillRect(crisp, {48, 0, 48, 72}, {220, 215, 210});
+  EXPECT_LT(run(murky), run(crisp));
+}
+
+TEST(MattingTest, DeterministicForSameSeed) {
+  const Bitmap truth = DiscMask(64, 48, 32, 24, 10);
+  const Bitmap blur(64, 48);
+  const Image frame = ContrastFrame(64, 48);
+  MattingEngine a(MattingParams{}, 9), b(MattingParams{}, 9);
+  EXPECT_EQ(a.Estimate(truth, blur, frame), b.Estimate(truth, blur, frame));
+  MattingEngine c(MattingParams{}, 10);
+  EXPECT_NE(a.Estimate(truth, blur, frame), c.Estimate(truth, blur, frame));
+}
+
+TEST(MattingTest, RejectsShapeMismatch) {
+  MattingEngine engine(MattingParams{}, 1);
+  EXPECT_THROW(engine.Estimate(Bitmap(4, 4), Bitmap(4, 4), Image(5, 4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bb::vbg

@@ -1,0 +1,52 @@
+#include "vbg/virtual_source.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::vbg {
+namespace {
+
+TEST(VirtualSourceTest, StaticImageAlwaysSameFrame) {
+  const StaticImageSource src(MakeStockImage(StockImage::kBeach, 32, 24));
+  EXPECT_EQ(&src.FrameAt(0), &src.FrameAt(100));
+  EXPECT_EQ(src.FrameAt(3).width(), 32);
+}
+
+TEST(VirtualSourceTest, StockImagesAreDistinct) {
+  const auto all = AllStockImages(48, 36);
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].width(), 48);
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(VirtualSourceTest, StockImagesAreDeterministic) {
+  EXPECT_EQ(MakeStockImage(StockImage::kSpace, 40, 30),
+            MakeStockImage(StockImage::kSpace, 40, 30));
+}
+
+TEST(VirtualSourceTest, LoopingVideoWrapsAround) {
+  auto frames = MakeStockVideo(StockVideo::kWaves, 32, 24, 6);
+  ASSERT_EQ(frames.size(), 6u);
+  const LoopingVideoSource src(std::move(frames));
+  EXPECT_EQ(src.period(), 6);
+  EXPECT_EQ(src.FrameAt(0), src.FrameAt(6));
+  EXPECT_EQ(src.FrameAt(2), src.FrameAt(14));
+  EXPECT_NE(src.FrameAt(0), src.FrameAt(3));
+}
+
+TEST(VirtualSourceTest, LoopingVideoRejectsEmpty) {
+  EXPECT_THROW(LoopingVideoSource({}), std::invalid_argument);
+}
+
+TEST(VirtualSourceTest, StockVideoFramesAnimate) {
+  const auto frames = MakeStockVideo(StockVideo::kStars, 32, 24, 8);
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_NE(frames[i], frames[0]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bb::vbg

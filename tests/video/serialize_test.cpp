@@ -1,0 +1,94 @@
+#include "video/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace bb::video {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+VideoStream TestVideo(int frames = 5, int w = 9, int h = 7) {
+  VideoStream v(12.5);
+  for (int i = 0; i < frames; ++i) {
+    imaging::Image f(w, h);
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        f(x, y) = {static_cast<std::uint8_t>(x * 13 + i),
+                   static_cast<std::uint8_t>(y * 17),
+                   static_cast<std::uint8_t>(i * 31)};
+      }
+    }
+    v.Append(std::move(f));
+  }
+  return v;
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const VideoStream v = TestVideo();
+  const std::string path = TempPath("bb_roundtrip.bbv");
+  ASSERT_TRUE(WriteBbv(v, path));
+  const auto back = ReadBbv(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->fps(), 12.5);
+  EXPECT_EQ(back->frame_count(), v.frame_count());
+  EXPECT_EQ(back->frames(), v.frames());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyStreamRoundTrips) {
+  const VideoStream v(30.0);
+  const std::string path = TempPath("bb_empty.bbv");
+  ASSERT_TRUE(WriteBbv(v, path));
+  const auto back = ReadBbv(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->frame_count(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMissingFile) {
+  EXPECT_FALSE(ReadBbv(TempPath("bb_missing.bbv")).has_value());
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  const std::string path = TempPath("bb_badmagic.bbv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE then some bytes";
+  }
+  EXPECT_FALSE(ReadBbv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsTruncatedPayload) {
+  const VideoStream v = TestVideo();
+  const std::string path = TempPath("bb_truncated.bbv");
+  ASSERT_TRUE(WriteBbv(v, path));
+  // Chop off the last frame and a half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 9 * 7 * 3 - 10);
+  EXPECT_FALSE(ReadBbv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsAbsurdHeader) {
+  const std::string path = TempPath("bb_absurd.bbv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "BBV1";
+    // width = 2^31, rest zeros.
+    const unsigned char huge[16] = {0, 0, 0, 0x80, 1, 0, 0, 0,
+                                    1, 0, 0, 0,    1, 0, 0, 0};
+    out.write(reinterpret_cast<const char*>(huge), 16);
+  }
+  EXPECT_FALSE(ReadBbv(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bb::video

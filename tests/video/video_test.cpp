@@ -1,0 +1,69 @@
+#include "video/video.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::video {
+namespace {
+
+using imaging::Image;
+using imaging::Rgb8;
+
+Image Solid(int w, int h, std::uint8_t v) { return Image(w, h, {v, v, v}); }
+
+TEST(VideoStreamTest, InvalidFpsThrows) {
+  EXPECT_THROW(VideoStream(0.0), std::invalid_argument);
+  EXPECT_THROW(VideoStream(-1.0), std::invalid_argument);
+}
+
+TEST(VideoStreamTest, AppendAndAccess) {
+  VideoStream v(10.0);
+  EXPECT_TRUE(v.empty());
+  v.Append(Solid(4, 3, 1));
+  v.Append(Solid(4, 3, 2));
+  EXPECT_EQ(v.frame_count(), 2);
+  EXPECT_EQ(v.width(), 4);
+  EXPECT_EQ(v.height(), 3);
+  EXPECT_EQ(v.frame(1)(0, 0), (Rgb8{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(v.duration(), 0.2);
+}
+
+TEST(VideoStreamTest, AppendRejectsResolutionMismatch) {
+  VideoStream v(10.0);
+  v.Append(Solid(4, 3, 1));
+  EXPECT_THROW(v.Append(Solid(3, 4, 1)), std::invalid_argument);
+}
+
+TEST(VideoStreamTest, SubsampledKeepsEveryNth) {
+  VideoStream v(12.0);
+  for (int i = 0; i < 10; ++i) {
+    v.Append(Solid(2, 2, static_cast<std::uint8_t>(i)));
+  }
+  const VideoStream s = v.Subsampled(3);
+  EXPECT_EQ(s.frame_count(), 4);  // frames 0, 3, 6, 9
+  EXPECT_DOUBLE_EQ(s.fps(), 4.0);
+  EXPECT_EQ(s.frame(1)(0, 0).r, 3);
+  EXPECT_EQ(s.frame(3)(0, 0).r, 9);
+  // stride <= 1 is a copy.
+  EXPECT_EQ(v.Subsampled(1).frame_count(), 10);
+}
+
+TEST(VideoStreamTest, SliceClampsRange) {
+  VideoStream v(5.0);
+  for (int i = 0; i < 6; ++i) {
+    v.Append(Solid(2, 2, static_cast<std::uint8_t>(i)));
+  }
+  const VideoStream s = v.Slice(4, 10);
+  EXPECT_EQ(s.frame_count(), 2);
+  EXPECT_EQ(s.frame(0)(0, 0).r, 4);
+  EXPECT_EQ(v.Slice(-2, 3).frame_count(), 1);  // only index 0 valid
+  EXPECT_DOUBLE_EQ(s.fps(), 5.0);
+}
+
+TEST(VideoStreamTest, FrameAtThrowsOutOfRange) {
+  VideoStream v(5.0);
+  v.Append(Solid(2, 2, 0));
+  EXPECT_THROW(v.frame(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bb::video

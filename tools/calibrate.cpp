@@ -1,0 +1,57 @@
+// Scratch calibration diagnostics (not part of the shipped library).
+#include <cstdio>
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+
+using namespace bb;
+
+int main(int argc, char** argv) {
+  const char* action = argc > 1 ? argv[1] : "arm_wave";
+  datasets::E1Case c;
+  c.participant = 0;
+  c.scene_seed = 42;
+  for (auto a : synth::kAllActions)
+    if (std::string(synth::ToString(a)) == action) c.action = a;
+  const synth::RawRecording raw = datasets::RecordE1(c);
+  const vbg::StaticImageSource vb(vbg::MakeStockImage(
+      vbg::StockImage::kBeach, raw.video.width(), raw.video.height()));
+  const vbg::CompositedCall call = vbg::ApplyVirtualBackground(raw, vb);
+
+  // Ground truth: union of true leaks
+  imaging::Bitmap leak_union(raw.video.width(), raw.video.height());
+  for (auto& m : call.leak_masks) leak_union = imaging::Or(leak_union, m);
+  std::printf("GT leak union: %.1f%%\n", 100*imaging::SetFraction(leak_union));
+  double early=0, late=0;
+  for (int i=0;i<8;i++) early += imaging::SetFraction(call.leak_masks[i]);
+  for (int i=8;i<call.video.frame_count();++i) late += imaging::SetFraction(call.leak_masks[i]);
+  std::printf("mean leak/frame: first8=%.2f%% rest=%.2f%%\n", 100*early/8, 100*late/(call.video.frame_count()-8));
+
+  const core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+  core::Reconstructor rc(ref, seg);
+  auto rec = rc.Run(call.video);
+  auto rbrr = core::Rbrr(rec, raw.true_background);
+  std::printf("claimed=%.1f%% verified=%.1f%% precision=%.1f%%\n",
+              100*rbrr.claimed, 100*rbrr.verified, 100*rbrr.precision);
+
+  // How much of GT leak is claimed?
+  auto inter = imaging::And(rec.coverage, leak_union);
+  std::printf("claimed∩GTleak = %.1f%% of frame (recall of leak: %.1f%%)\n",
+              100*imaging::SetFraction(inter),
+              100*imaging::SetFraction(inter)/std::max(1e-9, imaging::SetFraction(leak_union)));
+
+  // VCM quality check on one frame
+  rc.PrepareCaller(call.video);
+  int mid = call.video.frame_count()/2;
+  auto d = rc.Decompose(call.video, mid);
+  std::printf("frame %d: VBM=%.1f%% BBM=%.1f%% VCM=%.1f%% LB=%.1f%% | trueFG=%.1f%% estFG=%.1f%%\n",
+    mid, 100*imaging::SetFraction(d.vbm), 100*imaging::SetFraction(d.bbm),
+    100*imaging::SetFraction(d.vcm), 100*imaging::SetFraction(d.lb),
+    100*imaging::SetFraction(raw.caller_masks[mid]),
+    100*imaging::SetFraction(call.estimated_masks[mid]));
+  std::printf("VCM vs true caller IoU: %.3f\n", imaging::Iou(d.vcm, raw.caller_masks[mid]));
+  return 0;
+}

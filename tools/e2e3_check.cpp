@@ -1,0 +1,47 @@
+#include <cstdio>
+#include "core/attacks/location.h"
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+using namespace bb;
+
+int main() {
+  datasets::SimScale scale; scale.duration_factor = 0.5;
+  std::vector<imaging::Image> gts;
+  std::vector<core::ReconstructionResult> recs;
+  std::vector<const char*> labels;
+
+  auto run = [&](const synth::RawRecording& raw, const char* label) {
+    vbg::StaticImageSource vb(vbg::MakeStockImage(vbg::StockImage::kOffice, raw.video.width(), raw.video.height()));
+    auto call = vbg::ApplyVirtualBackground(raw, vb);
+    core::VbReference ref = core::VbReference::KnownImage(vb.image());
+    segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+    core::Reconstructor rc(ref, seg);
+    auto rec = rc.Run(call.video);
+    auto rbrr = core::Rbrr(rec, raw.true_background);
+    std::printf("%s: claimed=%.1f%% verified=%.1f%% prec=%.1f%%\n", label, 100*rbrr.claimed, 100*rbrr.verified, 100*rbrr.precision);
+    gts.push_back(raw.true_background);
+    recs.push_back(std::move(rec));
+    labels.push_back(label);
+  };
+
+  auto e2 = datasets::E2Matrix(scale);
+  run(datasets::RecordE2(e2[0], scale), "E2 passive p0");
+  run(datasets::RecordE2(e2[4], scale), "E2 active p0");
+  run(datasets::RecordE2(e2[9], scale), "E2 active p1");
+  auto e3 = datasets::E3Matrix(3, scale);
+  run(datasets::RecordE3(e3[0], scale), "E3 wild 0");
+  run(datasets::RecordE3(e3[1], scale), "E3 wild 1");
+
+  // Location attack: dictionary = GT backgrounds + distractors to 40.
+  auto dict = datasets::BuildBackgroundDictionary(gts, 40, 999, scale);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    auto ranking = core::RankLocations(recs[i].background, recs[i].coverage, dict);
+    int rank = core::RankOf(ranking, (int)i);
+    std::printf("%s: location rank %d/40 (top score %.3f, true score %.3f)\n",
+                labels[i], rank, ranking[0].score, ranking[(size_t)rank-1].score);
+  }
+  return 0;
+}

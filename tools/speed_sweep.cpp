@@ -1,0 +1,28 @@
+#include <cstdio>
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+using namespace bb;
+int main() {
+  for (auto action : {synth::ActionKind::kArmWave, synth::ActionKind::kClap}) {
+    for (auto sp : {synth::SpeedClass::kSlow, synth::SpeedClass::kAverage, synth::SpeedClass::kFast}) {
+      datasets::E1Case c; c.participant=0; c.scene_seed=42; c.action=action; c.speed=sp;
+      auto raw = datasets::RecordE1(c);
+      vbg::StaticImageSource vb(vbg::MakeStockImage(vbg::StockImage::kBeach, raw.video.width(), raw.video.height()));
+      auto call = vbg::ApplyVirtualBackground(raw, vb);
+      core::VbReference ref = core::VbReference::KnownImage(vb.image());
+      segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+      core::Reconstructor rc(ref, seg);
+      auto rec = rc.Run(call.video);
+      auto rbrr = core::Rbrr(rec, raw.true_background);
+      synth::ActionParams ap; ap.kind=action; ap.speed=synth::SpeedMultiplier(sp);
+      double ev = synth::EventDuration(ap);
+      int evframes = (int)(ev * raw.video.fps());
+      double disp = core::Displacement(raw.video.Slice(24, std::max(2,evframes)));
+      std::printf("%s %s: event=%.2fs disp=%.1f%% RBRR=%.1f%%\n", synth::ToString(action), synth::ToString(sp), ev, 100*disp, 100*rbrr.verified);
+    }
+  }
+  return 0;
+}

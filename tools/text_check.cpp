@@ -1,0 +1,37 @@
+#include <cstdio>
+#include "core/attacks/text_inference.h"
+#include "imaging/transform.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+using namespace bb;
+int main() {
+  // Favorable case: big sticky note, exit/enter action, long call.
+  synth::RecordingSpec spec;
+  spec.scene.width = 192; spec.scene.height = 144;
+  synth::ObjectSpec note;
+  note.kind = synth::ObjectKind::kStickyNote;
+  note.rect = {110, 40, 40, 40};
+  note.primary = {236, 221, 96};
+  note.text = "PIN 42";
+  spec.scene.objects.push_back(note);
+  spec.action.kind = synth::ActionKind::kExitEnter;
+  spec.fps = 12; spec.duration_s = 20; spec.seed = 5;
+  auto raw = synth::RecordCall(spec);
+  vbg::StaticImageSource vb(vbg::MakeStockImage(vbg::StockImage::kBeach, 192, 144));
+  auto call = vbg::ApplyVirtualBackground(raw, vb);
+  core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+  core::Reconstructor rc(ref, seg);
+  auto rec = rc.Run(call.video);
+  // coverage over the note?
+  auto note_cov = imaging::Crop(rec.coverage, note.rect);
+  printf("note coverage: %.1f%%\n", 100*imaging::SetFraction(note_cov));
+  auto texts = core::InferText(rec);
+  printf("text detections: %zu\n", texts.size());
+  for (auto& t : texts) printf("  '%s'\n", t.result.text.c_str());
+  auto direct = detect::ReadTextRegion(rec.background, rec.coverage, note.rect.Inflated(1));
+  printf("direct: '%s'\n", direct.text.c_str());
+  return 0;
+}
