@@ -21,6 +21,7 @@
 #include <string>
 
 #include "cli/args.h"
+#include "common/parallel.h"
 #include "core/metrics.h"
 #include "core/reconstruction.h"
 #include "datasets/datasets.h"
@@ -46,7 +47,11 @@ int Usage() {
       "commands:\n"
       "  simulate   synthesize an attacked call  (--help for options)\n"
       "  attack     reconstruct the hidden background from a .bbv stream\n"
-      "  info       print .bbv stream properties\n");
+      "  info       print .bbv stream properties\n"
+      "\n"
+      "global options:\n"
+      "  --threads N   worker threads (default: BB_THREADS env, else all\n"
+      "                hardware threads; 1 = fully serial)\n");
   return 2;
 }
 
@@ -77,7 +82,7 @@ int RejectUnknown(const cli::Args& args) {
 // ---- simulate -------------------------------------------------------------
 
 int Simulate(const cli::Args& args) {
-  if (args.Has("help")) {
+  if (args.GetFlag("help")) {
     std::printf(
         "backbuster simulate --out call.bbv\n"
         "  --action NAME      one of still, lean_forward, lean_backward,\n"
@@ -94,7 +99,9 @@ int Simulate(const cli::Args& args) {
         "  --fps F            frames/second (default 12)\n"
         "  --width W --height H   resolution (default 192x144)\n"
         "  --truth-out BASE   also write the true background image "
-        "(default: <out>.truth)\n");
+        "(default: <out>.truth)\n"
+        "  --threads N        worker threads (default: BB_THREADS env,\n"
+        "                     else all hardware threads)\n");
     return 0;
   }
   const auto out = args.Get("out");
@@ -131,7 +138,8 @@ int Simulate(const cli::Args& args) {
   } else if (profile != "zoom") {
     return Fail("unknown --profile " + profile);
   }
-  if (args.Has("dynamic")) {
+  const bool dynamic_vb = args.GetFlag("dynamic");
+  if (dynamic_vb) {
     copts.adapter = vbg::MakeDynamicVbAdapter({}, c.scene_seed ^ 0xD1ull);
   }
   const std::string truth_base = args.Get("truth-out", *out + ".truth");
@@ -153,7 +161,7 @@ int Simulate(const cli::Args& args) {
   std::printf("wrote %s (%d frames, %dx%d @ %.0f fps, %s/%s%s)\n",
               out->c_str(), call.video.frame_count(), scale.width,
               scale.height, scale.fps, profile.c_str(), vb_name.c_str(),
-              args.Has("dynamic") ? ", dynamic VB" : "");
+              dynamic_vb ? ", dynamic VB" : "");
   std::printf("wrote %s.ppm (true background)\n", truth_base.c_str());
   return 0;
 }
@@ -161,14 +169,16 @@ int Simulate(const cli::Args& args) {
 // ---- attack ----------------------------------------------------------------
 
 int Attack(const cli::Args& args) {
-  if (args.Has("help")) {
+  if (args.GetFlag("help")) {
     std::printf(
         "backbuster attack --in call.bbv\n"
         "  --vb NAME         match a stock image (beach|office|...) instead\n"
         "                    of deriving the VB from the footage\n"
         "  --phi R           blending-blur radius (default %.1f)\n"
         "  --truth FILE      score against this image (.ppm or .png)\n"
-        "  --out BASE        output image base name (default: <in>.recon)\n",
+        "  --out BASE        output image base name (default: <in>.recon)\n"
+        "  --threads N       worker threads (default: BB_THREADS env,\n"
+        "                    else all hardware threads)\n",
         core::kDefaultPhi);
     return 0;
   }
@@ -245,11 +255,21 @@ int Info(const cli::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const cli::Args args = cli::Args::Parse(argc, argv);
+  // Switches that never take a value (and so never swallow the token that
+  // follows them on the command line).
+  const cli::Args args =
+      cli::Args::Parse(argc, argv, {"help", "dynamic"});
   for (const auto& err : args.errors()) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
   }
   if (!args.errors().empty()) return 2;
+
+  if (const auto threads = args.GetInt("threads")) {
+    if (*threads < 1) return Fail("--threads must be >= 1");
+    common::SetThreadCount(static_cast<int>(*threads));
+  } else if (args.Has("threads")) {
+    return Fail("--threads expects an integer");
+  }
 
   if (args.command() == "simulate") return Simulate(args);
   if (args.command() == "attack") return Attack(args);

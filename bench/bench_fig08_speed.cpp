@@ -6,9 +6,11 @@
 //   RBRR: wave slow 35.9% / average 30.3% / fast 33.7%; clap avg 22.6% vs
 //   fast 20.8%. Headline: "action events with the slowest speed returned
 //   the highest RBRR"; slower speeds produce greater displacement.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "core/metrics.h"
 
 using namespace bb;
@@ -18,8 +20,8 @@ int main() {
   cfg.Print("bench_fig08_speed (Fig. 8: action speed vs recovery)");
 
   bench::PrintRule();
-  std::printf("%-10s %-8s %10s %13s %8s\n", "action", "speed", "event[s]",
-              "displacement", "RBRR");
+  std::printf("%-10s %-8s %10s %13s %8s %8s %10s\n", "action", "speed",
+              "event[s]", "displacement", "RBRR", "threads", "attack[s]");
 
   struct Row {
     synth::ActionKind action;
@@ -28,13 +30,14 @@ int main() {
     double displacement;
   };
   std::vector<Row> rows;
+  double attack_s_total = 0.0;
 
   for (synth::ActionKind action : {synth::ActionKind::kArmWave,
                                    synth::ActionKind::kClap}) {
     for (synth::SpeedClass speed : {synth::SpeedClass::kSlow,
                                     synth::SpeedClass::kAverage,
                                     synth::SpeedClass::kFast}) {
-      std::vector<double> rbrrs, displacements;
+      std::vector<double> rbrrs, displacements, attack_seconds;
       double event_s = 0.0;
       for (int p = 0; p < cfg.participants; ++p) {
         datasets::E1Case c;
@@ -44,7 +47,12 @@ int main() {
         c.scene_seed = cfg.seed + static_cast<std::uint64_t>(p) * 13;
         c.duration_s = 12.0 * cfg.scale.duration_factor;
         const auto raw = datasets::RecordE1(c, cfg.scale);
+        const auto t0 = std::chrono::steady_clock::now();
         rbrrs.push_back(bench::RunAttack(raw).rbrr.verified);
+        attack_seconds.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
 
         synth::ActionParams params;
         params.kind = action;
@@ -56,10 +64,12 @@ int main() {
         displacements.push_back(core::Displacement(
             raw.video.Slice(raw.video.frame_count() / 3, event_frames)));
       }
-      std::printf("%-10s %-8s %10.2f %12.1f%% %7.1f%%\n", ToString(action),
-                  ToString(speed), event_s,
+      std::printf("%-10s %-8s %10.2f %12.1f%% %7.1f%% %8d %10.2f\n",
+                  ToString(action), ToString(speed), event_s,
                   100.0 * bench::Mean(displacements),
-                  100.0 * bench::Mean(rbrrs));
+                  100.0 * bench::Mean(rbrrs), common::ThreadCount(),
+                  bench::Mean(attack_seconds));
+      attack_s_total += bench::Mean(attack_seconds);
       rows.push_back({action, speed, bench::Mean(rbrrs),
                       bench::Mean(displacements)});
     }
@@ -93,5 +103,8 @@ int main() {
               disp_ordered ? "OK" : "MISMATCH");
   std::printf("shape check: slowest speed leaks most -> %s\n",
               slow_leads ? "OK" : "MISMATCH");
+  std::printf("total mean attack wall-clock %.2f s at %d threads "
+              "(set BB_THREADS to compare)\n",
+              attack_s_total, common::ThreadCount());
   return 0;
 }

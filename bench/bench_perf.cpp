@@ -2,15 +2,20 @@
 //
 // Not a paper table - engineering data: per-frame cost of the compositor
 // and of each reconstruction stage at the default 192x144 simulation
-// resolution.
+// resolution. The *Threads benchmarks sweep --threads values (Arg = thread
+// count) so the parallel-runtime speedup is measured, not asserted.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "core/blur_masking.h"
+#include "core/reconstruction.h"
 #include "core/vb_masking.h"
 #include "detect/template_match.h"
 #include "imaging/color.h"
+#include "imaging/filter.h"
 #include "imaging/transform.h"
 #include "imaging/morphology.h"
+#include "segmentation/segmenter.h"
 #include "synth/recorder.h"
 #include "vbg/compositor.h"
 #include "vbg/matting.h"
@@ -113,6 +118,59 @@ void BM_MatchTemplate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MatchTemplate);
+
+// RAII thread-count override so a benchmark exception cannot leave the
+// global override set for later benchmarks.
+struct ThreadScope {
+  explicit ThreadScope(int n) { common::SetThreadCount(n); }
+  ~ThreadScope() { common::SetThreadCount(0); }
+};
+
+void BM_ReconstructorRunThreads(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const vbg::StaticImageSource vb(
+      vbg::MakeStockImage(vbg::StockImage::kBeach, kW, kH));
+  const vbg::CompositedCall call = vbg::ApplyVirtualBackground(raw, vb);
+  const core::VbReference ref = core::VbReference::KnownImage(vb.image());
+  const ThreadScope scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+    core::Reconstructor reconstructor(ref, seg);
+    benchmark::DoNotOptimize(reconstructor.Run(call.video));
+  }
+  state.SetItemsProcessed(state.iterations() * call.video.frame_count());
+}
+BENCHMARK(BM_ReconstructorRunThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatchTemplateThreads(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const imaging::Bitmap coverage(kW, kH, imaging::kMaskSet);
+  const imaging::Image templ =
+      imaging::Crop(raw.true_background, {20, 20, 32, 32});
+  detect::TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;
+  opts.scales = {0.9, 1.0, 1.1};
+  opts.rotations = {-5.0, 0.0, 5.0};
+  const ThreadScope scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detect::MatchTemplate(raw.true_background, coverage, templ, opts));
+  }
+}
+BENCHMARK(BM_MatchTemplateThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BoxBlurThreads(benchmark::State& state) {
+  const auto raw = SharedRecording();
+  const auto& frame = raw.video.frame(0);
+  const ThreadScope scope(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(imaging::BoxBlur(frame, 6));
+  }
+  state.SetItemsProcessed(state.iterations() * kW * kH);
+}
+BENCHMARK(BM_BoxBlurThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_FullCompositeFrame(benchmark::State& state) {
   const auto raw = SharedRecording();

@@ -4,7 +4,8 @@
 
 namespace bb::cli {
 
-Args Args::Parse(int argc, const char* const* argv) {
+Args Args::Parse(int argc, const char* const* argv,
+                 const std::set<std::string>& boolean_flags) {
   Args args;
   int i = 1;
   if (i < argc && argv[i][0] != '-') {
@@ -20,7 +21,17 @@ Args Args::Parse(int argc, const char* const* argv) {
     token = token.substr(2);
     const auto eq = token.find('=');
     if (eq != std::string::npos) {
-      args.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      const std::string key = token.substr(0, eq);
+      if (boolean_flags.count(key)) {
+        args.errors_.push_back("flag --" + key + " does not take a value");
+        continue;
+      }
+      args.values_[key] = token.substr(eq + 1);
+      continue;
+    }
+    if (boolean_flags.count(token)) {
+      // Declared switches never swallow the next token.
+      args.values_[token] = "";
       continue;
     }
     // "--key value" unless the next token is another flag (then boolean).

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,11 +16,24 @@ namespace bb::cli {
 class Args {
  public:
   // Parses argv[1..); argv[1] is the command unless it starts with "--".
-  static Args Parse(int argc, const char* const* argv);
+  // Keys listed in `boolean_flags` are switches: they never consume the
+  // following token as a value (so `--verbose out.bbv` leaves `out.bbv`
+  // alone) and reject the `--flag=value` spelling. Undeclared keys keep
+  // the permissive "--key value" grammar.
+  static Args Parse(int argc, const char* const* argv,
+                    const std::set<std::string>& boolean_flags = {});
 
   const std::string& command() const { return command_; }
 
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  // Presence test; marks the key consumed (see UnconsumedKeys).
+  bool Has(const std::string& key) const {
+    consumed_[key] = true;
+    return values_.count(key) > 0;
+  }
+
+  // Presence of a boolean switch; marks it consumed. Identical to Has()
+  // today, spelled separately so call sites read as flag lookups.
+  bool GetFlag(const std::string& key) const { return Has(key); }
 
   // String value; `fallback` when absent.
   std::string Get(const std::string& key, const std::string& fallback) const;

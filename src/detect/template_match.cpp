@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "common/parallel.h"
 #include "imaging/transform.h"
 
 namespace bb::detect {
@@ -75,65 +77,103 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
   const int stride = std::max(1, opts.window_stride);
   const int tstride = std::max(1, opts.sample_stride);
 
-  for (double scale : opts.scales) {
-    const int tw = std::max(2, static_cast<int>(templ.width() * scale));
-    const int th = std::max(2, static_cast<int>(templ.height() * scale));
-    if (tw > reconstruction.width() || th > reconstruction.height()) continue;
+  // One job per (scale, rotation) pair; each sweeps its windows serially
+  // and records a local best. Jobs are independent, so they run on the
+  // thread pool; the final reduction below is serial and deterministic.
+  struct Job {
+    int scale_index;
+    int rot_index;
+    TemplateMatchResult local;  // found is unused at job level
+    bool any = false;
+  };
+  std::vector<Job> jobs;
+  for (int si = 0; si < static_cast<int>(opts.scales.size()); ++si) {
+    for (int ri = 0; ri < static_cast<int>(opts.rotations.size()); ++ri) {
+      jobs.push_back({si, ri, {}, false});
+    }
+  }
+
+  common::ParallelFor(0, static_cast<std::int64_t>(jobs.size()), /*grain=*/1,
+                      [&](std::int64_t j) {
+    Job& job = jobs[static_cast<std::size_t>(j)];
+    const double scale = opts.scales[static_cast<std::size_t>(job.scale_index)];
+    // Round (not truncate) the scaled dimensions so sweeps are symmetric:
+    // a 31-px template at scale 0.99 must stay 31 px, not drop to 30.
+    const int tw = std::max(
+        2, static_cast<int>(std::lround(templ.width() * scale)));
+    const int th = std::max(
+        2, static_cast<int>(std::lround(templ.height() * scale)));
+    if (tw > reconstruction.width() || th > reconstruction.height()) return;
     const Image scaled = imaging::ResizeNearest(templ, tw, th);
     const long long window_area = static_cast<long long>(tw) * th;
     if (static_cast<double>(window_area) <
         opts.min_window_fraction * static_cast<double>(frame_pixels)) {
-      continue;  // paper's minimum-window-size constraint
+      return;  // paper's minimum-window-size constraint
     }
 
-    for (double rot : opts.rotations) {
-      const Image rotated =
-          rot == 0.0 ? scaled : imaging::Rotate(scaled, rot);
-      // Template HSV samples (skip fill pixels introduced by rotation).
-      struct TSample {
-        int x, y;
-        Hsv hsv;
-      };
-      std::vector<TSample> tsamples;
-      for (int y = 0; y < rotated.height(); y += tstride) {
-        for (int x = 0; x < rotated.width(); x += tstride) {
-          if (rot != 0.0 && rotated(x, y) == imaging::Rgb8{}) continue;
-          if (opts.ignore_exact_color &&
-              rotated(x, y) == *opts.ignore_exact_color) {
-            continue;  // canvas filler, not object
-          }
-          tsamples.push_back({x, y, imaging::RgbToHsv(rotated(x, y))});
+    const double rot = opts.rotations[static_cast<std::size_t>(job.rot_index)];
+    // Rotation filler pixels carry no object evidence; the validity mask
+    // (not a sentinel color) identifies them, so genuinely black template
+    // pixels keep contributing samples.
+    imaging::Bitmap rot_valid;
+    const Image rotated =
+        rot == 0.0 ? scaled : imaging::Rotate(scaled, rot, &rot_valid);
+    struct TSample {
+      int x, y;
+      Hsv hsv;
+    };
+    std::vector<TSample> tsamples;
+    for (int y = 0; y < rotated.height(); y += tstride) {
+      for (int x = 0; x < rotated.width(); x += tstride) {
+        if (!rot_valid.empty() && !rot_valid(x, y)) continue;
+        if (opts.ignore_exact_color &&
+            rotated(x, y) == *opts.ignore_exact_color) {
+          continue;  // canvas filler, not object
         }
+        tsamples.push_back({x, y, imaging::RgbToHsv(rotated(x, y))});
       }
-      if (tsamples.empty()) continue;
+    }
+    if (tsamples.empty()) return;
 
-      for (int wy = 0; wy + th <= reconstruction.height(); wy += stride) {
-        for (int wx = 0; wx + tw <= reconstruction.width(); wx += stride) {
-          const Rect window{wx, wy, tw, th};
-          const long long recovered = cov_integral.Sum(window);
-          if (static_cast<double>(recovered) <
-              opts.min_recovered_fraction *
-                  static_cast<double>(window_area)) {
-            continue;  // paper's recovered-pixel constraint
-          }
-          int matched = 0, compared = 0;
-          for (const auto& s : tsamples) {
-            const int rx = wx + s.x, ry = wy + s.y;
-            if (!coverage.InBounds(rx, ry) || !coverage(rx, ry)) continue;
-            ++compared;
-            matched += HsvMatch(s.hsv, recon_hsv(rx, ry), opts);
-          }
-          if (compared < std::max(1, opts.min_compared_samples)) continue;
-          const double score =
-              static_cast<double>(matched) / static_cast<double>(compared);
-          if (score > best.score) {
-            best.score = score;
-            best.window = window;
-            best.scale = scale;
-            best.rotation = rot;
-          }
+    for (int wy = 0; wy + th <= reconstruction.height(); wy += stride) {
+      for (int wx = 0; wx + tw <= reconstruction.width(); wx += stride) {
+        const Rect window{wx, wy, tw, th};
+        const long long recovered = cov_integral.Sum(window);
+        if (static_cast<double>(recovered) <
+            opts.min_recovered_fraction * static_cast<double>(window_area)) {
+          continue;  // paper's recovered-pixel constraint
+        }
+        int matched = 0, compared = 0;
+        for (const auto& s : tsamples) {
+          const int rx = wx + s.x, ry = wy + s.y;
+          if (!coverage.InBounds(rx, ry) || !coverage(rx, ry)) continue;
+          ++compared;
+          matched += HsvMatch(s.hsv, recon_hsv(rx, ry), opts);
+        }
+        if (compared < std::max(1, opts.min_compared_samples)) continue;
+        const double score =
+            static_cast<double>(matched) / static_cast<double>(compared);
+        if (score > job.local.score) {
+          job.local.score = score;
+          job.local.window = window;
+          job.local.scale = scale;
+          job.local.rotation = rot;
+          job.any = true;
         }
       }
+    }
+  });
+
+  // Deterministic argmax: jobs are visited in (scale_index, rot_index)
+  // order and each job's sweep keeps the first maximum in (wy, wx) order,
+  // so with a strict `>` the winner matches the serial nested-loop scan
+  // exactly - ties break toward the lowest (scale, rotation, wy, wx).
+  for (const Job& job : jobs) {
+    if (job.any && job.local.score > best.score) {
+      best.score = job.local.score;
+      best.window = job.local.window;
+      best.scale = job.local.scale;
+      best.rotation = job.local.rotation;
     }
   }
   best.found = best.score >= opts.present_threshold;

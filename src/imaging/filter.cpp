@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace bb::imaging {
 
@@ -15,13 +18,15 @@ std::uint8_t ToU8(float v) {
   return static_cast<std::uint8_t>(v + 0.5f);
 }
 
-// Horizontal-then-vertical sliding-window mean on one float channel.
+// Horizontal-then-vertical sliding-window mean on one float channel. Both
+// passes are parallel over independent rows/columns; every lane writes a
+// disjoint slice, so the result is identical at any thread count.
 std::vector<float> BoxBlurChannel(const std::vector<float>& src, int w, int h,
                                   int radius) {
   std::vector<float> tmp(src.size()), out(src.size());
   const float inv = 1.0f / (2 * radius + 1);
   // Horizontal pass with edge clamping.
-  for (int y = 0; y < h; ++y) {
+  common::ParallelFor(0, h, /*grain=*/16, [&](std::int64_t y) {
     const float* row = src.data() + static_cast<std::size_t>(y) * w;
     float* trow = tmp.data() + static_cast<std::size_t>(y) * w;
     float acc = 0.0f;
@@ -33,9 +38,9 @@ std::vector<float> BoxBlurChannel(const std::vector<float>& src, int w, int h,
       acc += row[std::clamp(x + radius + 1, 0, w - 1)];
       acc -= row[std::clamp(x - radius, 0, w - 1)];
     }
-  }
+  });
   // Vertical pass.
-  for (int x = 0; x < w; ++x) {
+  common::ParallelFor(0, w, /*grain=*/16, [&](std::int64_t x) {
     float acc = 0.0f;
     for (int k = -radius; k <= radius; ++k) {
       acc += tmp[static_cast<std::size_t>(std::clamp(k, 0, h - 1)) * w + x];
@@ -48,7 +53,7 @@ std::vector<float> BoxBlurChannel(const std::vector<float>& src, int w, int h,
       acc -= tmp[static_cast<std::size_t>(std::clamp(y - radius, 0, h - 1)) * w +
                  x];
     }
-  }
+  });
   return out;
 }
 
@@ -79,18 +84,21 @@ std::vector<float> Convolve1D(const std::vector<float>& src, int w, int h,
                               bool horizontal) {
   const int radius = static_cast<int>(kernel.size() / 2);
   std::vector<float> out(src.size());
-  for (int y = 0; y < h; ++y) {
+  common::ParallelFor(0, h, /*grain=*/8, [&](std::int64_t y) {
     for (int x = 0; x < w; ++x) {
       float acc = 0.0f;
       for (int k = -radius; k <= radius; ++k) {
-        const int sx = horizontal ? std::clamp(x + k, 0, w - 1) : x;
-        const int sy = horizontal ? y : std::clamp(y + k, 0, h - 1);
+        const int sx = horizontal ? std::clamp(x + k, 0, w - 1)
+                                  : x;
+        const int sy = horizontal ? static_cast<int>(y)
+                                  : std::clamp(static_cast<int>(y) + k, 0,
+                                               h - 1);
         acc += kernel[k + radius] *
                src[static_cast<std::size_t>(sy) * w + sx];
       }
       out[static_cast<std::size_t>(y) * w + x] = acc;
     }
-  }
+  });
   return out;
 }
 
@@ -140,7 +148,7 @@ Image MotionBlur(const Image& img, double dx, double dy, int length) {
   dx /= norm;
   dy /= norm;
   Image out(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
+  common::ParallelFor(0, img.height(), /*grain=*/4, [&](std::int64_t y) {
     for (int x = 0; x < img.width(); ++x) {
       float r = 0, g = 0, b = 0;
       for (int k = 0; k < length; ++k) {
@@ -153,9 +161,10 @@ Image MotionBlur(const Image& img, double dx, double dy, int length) {
         b += p.b;
       }
       const float inv = 1.0f / length;
-      out(x, y) = {ToU8(r * inv), ToU8(g * inv), ToU8(b * inv)};
+      out(x, static_cast<int>(y)) = {ToU8(r * inv), ToU8(g * inv),
+                                     ToU8(b * inv)};
     }
-  }
+  });
   return out;
 }
 
@@ -185,7 +194,8 @@ Bitmap Threshold(const FloatImage& img, float threshold) {
 
 Bitmap MedianFilter3(const Bitmap& mask) {
   Bitmap out(mask.width(), mask.height());
-  for (int y = 0; y < mask.height(); ++y) {
+  common::ParallelFor(0, mask.height(), /*grain=*/32, [&](std::int64_t yy) {
+    const int y = static_cast<int>(yy);
     for (int x = 0; x < mask.width(); ++x) {
       int set = 0, total = 0;
       for (int dy = -1; dy <= 1; ++dy) {
@@ -197,7 +207,7 @@ Bitmap MedianFilter3(const Bitmap& mask) {
       }
       out(x, y) = (2 * set > total) ? kMaskSet : kMaskClear;
     }
-  }
+  });
   return out;
 }
 

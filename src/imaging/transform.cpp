@@ -23,8 +23,10 @@ ImageT<P> ShiftImpl(const ImageT<P>& img, int dx, int dy, P fill) {
 }
 
 template <typename P>
-ImageT<P> RotateImpl(const ImageT<P>& img, double degrees, P fill) {
+ImageT<P> RotateImpl(const ImageT<P>& img, double degrees, P fill,
+                     Bitmap* valid) {
   ImageT<P> out(img.width(), img.height(), fill);
+  if (valid) *valid = Bitmap(img.width(), img.height(), kMaskClear);
   const double rad = degrees * 3.14159265358979323846 / 180.0;
   const double c = std::cos(rad), s = std::sin(rad);
   const double cx = (img.width() - 1) * 0.5;
@@ -36,7 +38,10 @@ ImageT<P> RotateImpl(const ImageT<P>& img, double degrees, P fill) {
       const double ry = -(x - cx) * s + (y - cy) * c + cy;
       const int sx = static_cast<int>(std::lround(rx));
       const int sy = static_cast<int>(std::lround(ry));
-      if (img.InBounds(sx, sy)) out(x, y) = img(sx, sy);
+      if (img.InBounds(sx, sy)) {
+        out(x, y) = img(sx, sy);
+        if (valid) (*valid)(x, y) = kMaskSet;
+      }
     }
   }
   return out;
@@ -82,10 +87,13 @@ Bitmap Shift(const Bitmap& mask, int dx, int dy, std::uint8_t fill) {
 }
 
 Image Rotate(const Image& img, double degrees, Rgb8 fill) {
-  return RotateImpl(img, degrees, fill);
+  return RotateImpl(img, degrees, fill, nullptr);
 }
 Bitmap Rotate(const Bitmap& mask, double degrees, std::uint8_t fill) {
-  return RotateImpl(mask, degrees, fill);
+  return RotateImpl(mask, degrees, fill, nullptr);
+}
+Image Rotate(const Image& img, double degrees, Bitmap* valid, Rgb8 fill) {
+  return RotateImpl(img, degrees, fill, valid);
 }
 
 Image ResizeNearest(const Image& img, int new_w, int new_h) {

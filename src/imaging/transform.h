@@ -19,6 +19,14 @@ Bitmap Shift(const Bitmap& mask, int dx, int dy, std::uint8_t fill = 0);
 Image Rotate(const Image& img, double degrees, Rgb8 fill = {});
 Bitmap Rotate(const Bitmap& mask, double degrees, std::uint8_t fill = 0);
 
+// Rotate that additionally reports which output pixels were sampled from
+// inside the source (`valid` set) vs. took the fill color (clear). Callers
+// that must distinguish genuine source pixels from rotation filler - e.g.
+// template matching against dark objects whose pixels equal the default
+// fill - test the validity mask instead of a sentinel color.
+Image Rotate(const Image& img, double degrees, Bitmap* valid,
+             Rgb8 fill = {});
+
 // Resizes to (new_w, new_h) with nearest-neighbour sampling.
 Image ResizeNearest(const Image& img, int new_w, int new_h);
 Bitmap ResizeNearest(const Bitmap& mask, int new_w, int new_h);

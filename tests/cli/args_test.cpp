@@ -67,5 +67,50 @@ TEST(ArgsTest, EqualsSyntaxWithEmptyValue) {
   EXPECT_EQ(a.Get("name", "zz"), "");
 }
 
+TEST(ArgsTest, HasMarksKeyConsumed) {
+  // Regression: Has() used to leave the key unconsumed, so flags probed
+  // only via Has() (e.g. backbuster's --dynamic) were later rejected as
+  // unknown options.
+  const Args a = ParseVec({"simulate", "--dynamic"});
+  EXPECT_TRUE(a.Has("dynamic"));
+  EXPECT_TRUE(a.UnconsumedKeys().empty());
+}
+
+Args ParseBool(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "backbuster");
+  return Args::Parse(static_cast<int>(argv.size()), argv.data(),
+                     {"verbose", "dynamic"});
+}
+
+TEST(ArgsTest, DeclaredBooleanFlagDoesNotSwallowNextToken) {
+  // Regression: `simulate --verbose out.bbv` used to silently eat
+  // `out.bbv` as the value of --verbose.
+  const Args a = ParseBool({"simulate", "--verbose", "out.bbv"});
+  EXPECT_TRUE(a.GetFlag("verbose"));
+  EXPECT_EQ(a.Get("verbose", "sentinel"), "");
+  // The stray positional is surfaced as a parse error, not lost.
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("out.bbv"), std::string::npos);
+}
+
+TEST(ArgsTest, DeclaredBooleanFlagBeforeRealOption) {
+  const Args a = ParseBool({"simulate", "--dynamic", "--out", "x.bbv"});
+  EXPECT_TRUE(a.GetFlag("dynamic"));
+  EXPECT_EQ(a.Get("out", ""), "x.bbv");
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(ArgsTest, DeclaredBooleanFlagRejectsEqualsValue) {
+  const Args a = ParseBool({"simulate", "--verbose=1"});
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("verbose"), std::string::npos);
+}
+
+TEST(ArgsTest, UndeclaredKeysKeepValueGrammar) {
+  const Args a = ParseBool({"simulate", "--out", "x.bbv"});
+  EXPECT_EQ(a.Get("out", ""), "x.bbv");
+  EXPECT_TRUE(a.errors().empty());
+}
+
 }  // namespace
 }  // namespace bb::cli

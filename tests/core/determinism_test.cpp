@@ -1,0 +1,132 @@
+// Determinism contract of the parallel execution layer (DESIGN.md
+// "Concurrency"): the reconstruction pipeline and template matching must
+// produce bit-identical results at any thread count, and threads=1 must be
+// the exact serial path.
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "detect/template_match.h"
+#include "imaging/filter.h"
+#include "imaging/transform.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/virtual_source.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+// An E2-style call (active participant, continuous gesturing) small enough
+// for a test but long enough that the frame range splits across shards.
+struct E2Fixture {
+  synth::RawRecording raw;
+  vbg::CompositedCall call;
+  Image vb_image;
+
+  E2Fixture() {
+    datasets::E2Case c;
+    c.participant = 1;
+    c.mode = datasets::E2Mode::kActive;
+    c.scene_seed = 11;
+    c.duration_s = 4.0;
+    datasets::SimScale scale;
+    scale.width = 96;
+    scale.height = 72;
+    scale.fps = 10.0;
+    raw = datasets::RecordE2(c, scale);
+    vb_image = vbg::MakeStockImage(vbg::StockImage::kBeach, 96, 72);
+    call = vbg::ApplyVirtualBackground(raw,
+                                       vbg::StaticImageSource(vb_image));
+  }
+};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { common::SetThreadCount(0); }
+};
+
+ReconstructionResult RunWithThreads(const E2Fixture& f, int threads) {
+  common::SetThreadCount(threads);
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  // Fresh segmenter per run: its noise RNG advances during Prepare.
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+  ReconstructionOptions opts;
+  opts.keep_frame_masks = true;
+  Reconstructor rc(ref, seg, opts);
+  return rc.Run(f.call.video);
+}
+
+TEST_F(DeterminismTest, ReconstructionBitIdenticalAcrossThreadCounts) {
+  const E2Fixture f;
+  ASSERT_GE(f.call.video.frame_count(), 8);
+  const ReconstructionResult serial = RunWithThreads(f, 1);
+
+  for (int threads : {2, 4}) {
+    const ReconstructionResult parallel = RunWithThreads(f, threads);
+    EXPECT_EQ(parallel.background, serial.background) << threads;
+    EXPECT_EQ(parallel.coverage, serial.coverage) << threads;
+    EXPECT_EQ(parallel.leak_counts, serial.leak_counts) << threads;
+    EXPECT_EQ(parallel.per_frame_leak_fraction,
+              serial.per_frame_leak_fraction)
+        << threads;
+    ASSERT_EQ(parallel.frame_masks.size(), serial.frame_masks.size());
+    for (std::size_t i = 0; i < serial.frame_masks.size(); ++i) {
+      EXPECT_EQ(parallel.frame_masks[i].vbm, serial.frame_masks[i].vbm);
+      EXPECT_EQ(parallel.frame_masks[i].bbm, serial.frame_masks[i].bbm);
+      EXPECT_EQ(parallel.frame_masks[i].vcm, serial.frame_masks[i].vcm);
+      EXPECT_EQ(parallel.frame_masks[i].lb, serial.frame_masks[i].lb);
+    }
+  }
+}
+
+TEST_F(DeterminismTest, MatchTemplateIdenticalAcrossThreadCounts) {
+  const E2Fixture f;
+  const ReconstructionResult rec = RunWithThreads(f, 1);
+  // Template cut from the true background so the sweep has a real target.
+  const Image templ =
+      imaging::Crop(f.raw.true_background, {30, 20, 24, 18});
+  detect::TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;
+
+  common::SetThreadCount(1);
+  const auto serial =
+      detect::MatchTemplate(rec.background, rec.coverage, templ, opts);
+  for (int threads : {2, 4}) {
+    common::SetThreadCount(threads);
+    const auto parallel =
+        detect::MatchTemplate(rec.background, rec.coverage, templ, opts);
+    EXPECT_EQ(parallel.found, serial.found) << threads;
+    EXPECT_EQ(parallel.score, serial.score) << threads;
+    EXPECT_EQ(parallel.window.x, serial.window.x) << threads;
+    EXPECT_EQ(parallel.window.y, serial.window.y) << threads;
+    EXPECT_EQ(parallel.window.w, serial.window.w) << threads;
+    EXPECT_EQ(parallel.window.h, serial.window.h) << threads;
+    EXPECT_EQ(parallel.scale, serial.scale) << threads;
+    EXPECT_EQ(parallel.rotation, serial.rotation) << threads;
+  }
+}
+
+TEST_F(DeterminismTest, RowParallelFiltersIdenticalAcrossThreadCounts) {
+  const E2Fixture f;
+  const Image& frame = f.call.video.frame(0);
+  const Bitmap& mask = f.raw.caller_masks.front();
+
+  common::SetThreadCount(1);
+  const Image box1 = imaging::BoxBlur(frame, 3);
+  const Image gauss1 = imaging::GaussianBlur(frame, 1.5);
+  const Image motion1 = imaging::MotionBlur(frame, 1.0, 0.5, 5);
+  const Bitmap median1 = imaging::MedianFilter3(mask);
+
+  common::SetThreadCount(4);
+  EXPECT_EQ(imaging::BoxBlur(frame, 3), box1);
+  EXPECT_EQ(imaging::GaussianBlur(frame, 1.5), gauss1);
+  EXPECT_EQ(imaging::MotionBlur(frame, 1.0, 0.5, 5), motion1);
+  EXPECT_EQ(imaging::MedianFilter3(mask), median1);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -134,6 +134,48 @@ TEST(TemplateMatchTest, FindsRotatedObject) {
   EXPECT_TRUE(r.found);
 }
 
+TEST(TemplateMatchTest, FindsRotatedDarkObject) {
+  // Regression: rotation filler used to be detected by comparing against
+  // the fill color {0,0,0}, which also discarded legitimate pure-black
+  // template pixels (TV bezels, monitor frames). A mostly-black template
+  // must still match under rotation.
+  Image dark_templ(24, 18, {0, 0, 0});        // black bezel...
+  imaging::FillRect(dark_templ, {8, 6, 8, 6}, {60, 60, 200});  // ...blue core
+  Image scene(96, 72, {120, 118, 115});
+  const Image rotated = imaging::Rotate(dark_templ, 8.0, {120, 118, 115});
+  imaging::Paste(scene, rotated, 40, 28);
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  TemplateMatchOptions opts = LooseOptions();
+  opts.rotations = {8.0};  // force the rotated code path
+  const auto r = MatchTemplate(scene, coverage, dark_templ, opts);
+  EXPECT_TRUE(r.found);
+  EXPECT_GT(r.score, 0.7);
+}
+
+TEST(TemplateMatchTest, ScaledDimensionsRoundSymmetrically) {
+  // Regression: 31-px templates at scale 0.99 used to truncate to 30 px.
+  // With rounding, near-unit scales keep the template dimensions, so the
+  // best window for a perfectly-placed object reports the template's size.
+  Image templ(31, 31);
+  for (int y = 0; y < 31; ++y) {
+    for (int x = 0; x < 31; ++x) {
+      templ(x, y) = (x + y) % 2 ? imaging::Rgb8{200, 30, 30}
+                                : imaging::Rgb8{30, 30, 200};
+    }
+  }
+  Image scene(96, 72, {120, 118, 115});
+  imaging::Paste(scene, templ, 30, 20);
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  TemplateMatchOptions opts = LooseOptions();
+  opts.scales = {0.99};
+  opts.rotations = {0.0};
+  opts.window_stride = 1;
+  const auto r = MatchTemplate(scene, coverage, templ, opts);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.window.w, 31);
+  EXPECT_EQ(r.window.h, 31);
+}
+
 TEST(TemplateMatchTest, EmptyInputsAreSafe) {
   const Bitmap coverage(10, 10, imaging::kMaskSet);
   const Image recon(10, 10);

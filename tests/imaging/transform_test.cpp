@@ -66,6 +66,40 @@ TEST(TransformTest, SmallRotationKeepsMostMass) {
   EXPECT_GT(Iou(m, r), 0.85);
 }
 
+TEST(TransformTest, RotateValidityMarksFillerPixels) {
+  // An all-black image rotated 45 degrees: every pixel equals the fill
+  // color, so only the validity mask can tell source pixels from filler.
+  Image img(11, 11, {0, 0, 0});
+  Bitmap valid;
+  const Image r = Rotate(img, 45.0, &valid);
+  ASSERT_EQ(valid.width(), 11);
+  ASSERT_EQ(valid.height(), 11);
+  // Corners of the output square fall outside the rotated source.
+  EXPECT_FALSE(valid(0, 0));
+  EXPECT_FALSE(valid(10, 10));
+  // The center always maps to the source.
+  EXPECT_TRUE(valid(5, 5));
+  // Validity agrees with the bounds test pixel by pixel: a rotated copy of
+  // an all-{9,9,9} image is {9,9,9} exactly where valid is set.
+  Image bright(11, 11, {9, 9, 9});
+  const Image rb = Rotate(bright, 45.0);
+  for (int y = 0; y < 11; ++y) {
+    for (int x = 0; x < 11; ++x) {
+      EXPECT_EQ(valid(x, y) != 0, rb(x, y) == (Rgb8{9, 9, 9}))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(TransformTest, RotateZeroValidityIsAllSet) {
+  Image img(7, 5, {1, 2, 3});
+  Bitmap valid;
+  Rotate(img, 0.0, &valid);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) EXPECT_TRUE(valid(x, y));
+  }
+}
+
 TEST(TransformTest, ResizeNearestScalesExactly) {
   Image img(2, 2);
   img(0, 0) = {1, 1, 1};
