@@ -7,6 +7,7 @@
 //   fast 20.8%. Headline: "action events with the slowest speed returned
 //   the highest RBRR"; slower speeds produce greater displacement.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -59,7 +60,7 @@ int main() {
         params.speed = synth::SpeedMultiplier(speed);
         event_s = synth::EventDuration(params);
         const int event_frames = std::max(
-            2, static_cast<int>(event_s * raw.video.fps()));
+            2, static_cast<int>(std::lround(event_s * raw.video.fps())));
         // Measure displacement over one settled event (skip warm-up).
         displacements.push_back(core::Displacement(
             raw.video.Slice(raw.video.frame_count() / 3, event_frames)));

@@ -85,7 +85,8 @@ ComponentFeatures ComputeFeatures(const Image& img, const Bitmap& coverage,
       val_sum += h.v;
       if (h.s >= 0.3f) {
         ++colorful;
-        int bin = static_cast<int>(h.h / 30.0f);
+        // Hue binning wants the floor, not the nearest bin.
+        int bin = static_cast<int>(std::floor(h.h / 30.0f));
         bin = std::clamp(bin, 0, 11);
         ++hue_hist[static_cast<std::size_t>(bin)];
         // Horizontal stripe signature: hue discontinuities between

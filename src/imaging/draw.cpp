@@ -24,8 +24,8 @@ template <typename ImgT>
 void FillRectImpl(ImgT& img, const Rect& r, typename ImgT::Pixel value) {
   const Rect clipped = r.Intersect({0, 0, img.width(), img.height()});
   for (int y = clipped.y; y < clipped.y2(); ++y) {
-    auto* row = img.row(y);
-    std::fill(row + clipped.x, row + clipped.x2(), value);
+    auto row = img.row(y);
+    std::fill(row.begin() + clipped.x, row.begin() + clipped.x2(), value);
   }
 }
 

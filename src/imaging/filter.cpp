@@ -21,82 +21,84 @@ std::uint8_t ToU8(float v) {
 // Horizontal-then-vertical sliding-window mean on one float channel. Both
 // passes are parallel over independent rows/columns; every lane writes a
 // disjoint slice, so the result is identical at any thread count.
-std::vector<float> BoxBlurChannel(const std::vector<float>& src, int w, int h,
-                                  int radius) {
-  std::vector<float> tmp(src.size()), out(src.size());
+FloatImage BoxBlurChannel(const FloatImage& src, int radius) {
+  const int w = src.width();
+  const int h = src.height();
+  FloatImage tmp(w, h), out(w, h);
   const float inv = 1.0f / (2 * radius + 1);
   // Horizontal pass with edge clamping.
-  common::ParallelFor(0, h, /*grain=*/16, [&](std::int64_t y) {
-    const float* row = src.data() + static_cast<std::size_t>(y) * w;
-    float* trow = tmp.data() + static_cast<std::size_t>(y) * w;
+  common::ParallelFor(0, h, /*grain=*/16, [&](std::int64_t yy) {
+    const int y = static_cast<int>(yy);
     float acc = 0.0f;
     for (int k = -radius; k <= radius; ++k) {
-      acc += row[std::clamp(k, 0, w - 1)];
+      acc += src(std::clamp(k, 0, w - 1), y);
     }
     for (int x = 0; x < w; ++x) {
-      trow[x] = acc * inv;
-      acc += row[std::clamp(x + radius + 1, 0, w - 1)];
-      acc -= row[std::clamp(x - radius, 0, w - 1)];
+      tmp(x, y) = acc * inv;
+      acc += src(std::clamp(x + radius + 1, 0, w - 1), y);
+      acc -= src(std::clamp(x - radius, 0, w - 1), y);
     }
   });
   // Vertical pass.
-  common::ParallelFor(0, w, /*grain=*/16, [&](std::int64_t x) {
+  common::ParallelFor(0, w, /*grain=*/16, [&](std::int64_t xx) {
+    const int x = static_cast<int>(xx);
     float acc = 0.0f;
     for (int k = -radius; k <= radius; ++k) {
-      acc += tmp[static_cast<std::size_t>(std::clamp(k, 0, h - 1)) * w + x];
+      acc += tmp(x, std::clamp(k, 0, h - 1));
     }
     for (int y = 0; y < h; ++y) {
-      out[static_cast<std::size_t>(y) * w + x] = acc * inv;
-      acc += tmp[static_cast<std::size_t>(std::clamp(y + radius + 1, 0, h - 1)) *
-                     w +
-                 x];
-      acc -= tmp[static_cast<std::size_t>(std::clamp(y - radius, 0, h - 1)) * w +
-                 x];
+      out(x, y) = acc * inv;
+      acc += tmp(x, std::clamp(y + radius + 1, 0, h - 1));
+      acc -= tmp(x, std::clamp(y - radius, 0, h - 1));
     }
   });
   return out;
 }
 
-std::array<std::vector<float>, 3> SplitChannels(const Image& img) {
-  std::array<std::vector<float>, 3> ch;
+std::array<FloatImage, 3> SplitChannels(const Image& img) {
+  std::array<FloatImage, 3> ch = {FloatImage(img.width(), img.height()),
+                                  FloatImage(img.width(), img.height()),
+                                  FloatImage(img.width(), img.height())};
   const auto px = img.pixels();
-  for (auto& c : ch) c.resize(px.size());
+  auto r = ch[0].pixels();
+  auto g = ch[1].pixels();
+  auto b = ch[2].pixels();
   for (std::size_t i = 0; i < px.size(); ++i) {
-    ch[0][i] = px[i].r;
-    ch[1][i] = px[i].g;
-    ch[2][i] = px[i].b;
+    r[i] = px[i].r;
+    g[i] = px[i].g;
+    b[i] = px[i].b;
   }
   return ch;
 }
 
-Image MergeChannels(const std::array<std::vector<float>, 3>& ch, int w,
-                    int h) {
-  Image out(w, h);
+Image MergeChannels(const std::array<FloatImage, 3>& ch) {
+  Image out(ch[0].width(), ch[0].height());
   auto px = out.pixels();
+  const auto r = ch[0].pixels();
+  const auto g = ch[1].pixels();
+  const auto b = ch[2].pixels();
   for (std::size_t i = 0; i < px.size(); ++i) {
-    px[i] = {ToU8(ch[0][i]), ToU8(ch[1][i]), ToU8(ch[2][i])};
+    px[i] = {ToU8(r[i]), ToU8(g[i]), ToU8(b[i])};
   }
   return out;
 }
 
-std::vector<float> Convolve1D(const std::vector<float>& src, int w, int h,
-                              const std::vector<float>& kernel,
-                              bool horizontal) {
+FloatImage Convolve1D(const FloatImage& src, const std::vector<float>& kernel,
+                      bool horizontal) {
+  const int w = src.width();
+  const int h = src.height();
   const int radius = static_cast<int>(kernel.size() / 2);
-  std::vector<float> out(src.size());
-  common::ParallelFor(0, h, /*grain=*/8, [&](std::int64_t y) {
+  FloatImage out(w, h);
+  common::ParallelFor(0, h, /*grain=*/8, [&](std::int64_t yy) {
+    const int y = static_cast<int>(yy);
     for (int x = 0; x < w; ++x) {
       float acc = 0.0f;
       for (int k = -radius; k <= radius; ++k) {
-        const int sx = horizontal ? std::clamp(x + k, 0, w - 1)
-                                  : x;
-        const int sy = horizontal ? static_cast<int>(y)
-                                  : std::clamp(static_cast<int>(y) + k, 0,
-                                               h - 1);
-        acc += kernel[k + radius] *
-               src[static_cast<std::size_t>(sy) * w + sx];
+        const int sx = horizontal ? std::clamp(x + k, 0, w - 1) : x;
+        const int sy = horizontal ? y : std::clamp(y + k, 0, h - 1);
+        acc += kernel[static_cast<std::size_t>(k + radius)] * src(sx, sy);
       }
-      out[static_cast<std::size_t>(y) * w + x] = acc;
+      out(x, y) = acc;
     }
   });
   return out;
@@ -107,17 +109,13 @@ std::vector<float> Convolve1D(const std::vector<float>& src, int w, int h,
 Image BoxBlur(const Image& img, int radius) {
   if (radius <= 0 || img.empty()) return img;
   auto ch = SplitChannels(img);
-  for (auto& c : ch) c = BoxBlurChannel(c, img.width(), img.height(), radius);
-  return MergeChannels(ch, img.width(), img.height());
+  for (auto& c : ch) c = BoxBlurChannel(c, radius);
+  return MergeChannels(ch);
 }
 
 FloatImage BoxBlur(const FloatImage& img, int radius) {
   if (radius <= 0 || img.empty()) return img;
-  std::vector<float> src(img.pixels().begin(), img.pixels().end());
-  auto blurred = BoxBlurChannel(src, img.width(), img.height(), radius);
-  FloatImage out(img.width(), img.height());
-  std::copy(blurred.begin(), blurred.end(), out.pixels().begin());
-  return out;
+  return BoxBlurChannel(img, radius);
 }
 
 Image GaussianBlur(const Image& img, double sigma) {
@@ -135,10 +133,10 @@ Image GaussianBlur(const Image& img, double sigma) {
 
   auto ch = SplitChannels(img);
   for (auto& c : ch) {
-    c = Convolve1D(c, img.width(), img.height(), kernel, /*horizontal=*/true);
-    c = Convolve1D(c, img.width(), img.height(), kernel, /*horizontal=*/false);
+    c = Convolve1D(c, kernel, /*horizontal=*/true);
+    c = Convolve1D(c, kernel, /*horizontal=*/false);
   }
-  return MergeChannels(ch, img.width(), img.height());
+  return MergeChannels(ch);
 }
 
 Image MotionBlur(const Image& img, double dx, double dy, int length) {

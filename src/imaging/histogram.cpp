@@ -26,7 +26,9 @@ std::vector<double> HueHistogram(const Image& img, const Bitmap& mask,
     if (!pm[i]) continue;
     const Hsv hsv = RgbToHsv(pi[i]);
     if (hsv.s < opts.min_saturation || hsv.v < opts.min_value) continue;
-    int bin = static_cast<int>(hsv.h / 360.0f * static_cast<float>(hist.size()));
+    // Hue binning wants the floor, not the nearest bin.
+    int bin = static_cast<int>(
+        std::floor(hsv.h / 360.0f * static_cast<float>(hist.size())));
     bin = std::clamp(bin, 0, static_cast<int>(hist.size()) - 1);
     hist[static_cast<std::size_t>(bin)] += 1.0;
     total += 1.0;

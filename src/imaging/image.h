@@ -106,13 +106,17 @@ class ImageT {
   std::span<P> pixels() { return pixels_; }
   std::span<const P> pixels() const { return pixels_; }
 
-  P* row(int y) {
+  // A whole row as a span of exactly width() pixels, so row-wise kernels
+  // keep bounds information instead of decaying to a raw pointer.
+  std::span<P> row(int y) {
     assert(y >= 0 && y < height_);
-    return pixels_.data() + static_cast<std::size_t>(y) * width_;
+    return {pixels_.data() + static_cast<std::size_t>(y) * width_,
+            static_cast<std::size_t>(width_)};
   }
-  const P* row(int y) const {
+  std::span<const P> row(int y) const {
     assert(y >= 0 && y < height_);
-    return pixels_.data() + static_cast<std::size_t>(y) * width_;
+    return {pixels_.data() + static_cast<std::size_t>(y) * width_,
+            static_cast<std::size_t>(width_)};
   }
 
   bool operator==(const ImageT& other) const = default;

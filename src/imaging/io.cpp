@@ -10,6 +10,24 @@
 
 namespace bb::imaging {
 
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+}
+
+}  // namespace
+
+const char* CheckImageDims(long long w, long long h) {
+  if (w <= 0 || h <= 0) return "non-positive dimensions";
+  if (w > kMaxImageDimension || h > kMaxImageDimension) {
+    return "dimension exceeds kMaxImageDimension";
+  }
+  // Both factors are capped above, so the product cannot overflow.
+  if (w * h > kMaxImagePixels) return "pixel count exceeds kMaxImagePixels";
+  return nullptr;
+}
+
 bool WritePpm(const Image& img, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
@@ -22,12 +40,18 @@ bool WritePpm(const Image& img, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<Image> ReadPpm(const std::string& path) {
+std::optional<Image> ReadPpm(const std::string& path, std::string* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    SetError(error, "ppm: cannot open file");
+    return std::nullopt;
+  }
   std::string magic;
   in >> magic;
-  if (magic != "P6") return std::nullopt;
+  if (magic != "P6") {
+    SetError(error, "ppm: bad magic (want P6)");
+    return std::nullopt;
+  }
 
   auto next_token = [&in]() -> std::optional<long> {
     // Skips whitespace and '#' comments per the PPM spec.
@@ -50,15 +74,25 @@ std::optional<Image> ReadPpm(const std::string& path) {
   const auto w = next_token();
   const auto h = next_token();
   const auto maxval = next_token();
-  if (!w || !h || !maxval || *w <= 0 || *h <= 0 || *maxval != 255) {
+  if (!w || !h || !maxval || *maxval != 255) {
+    SetError(error, "ppm: malformed header");
+    return std::nullopt;
+  }
+  if (const char* why = CheckImageDims(*w, *h)) {
+    SetError(error, std::string("ppm: ") + why);
     return std::nullopt;
   }
   in.get();  // single whitespace after header
 
+  // Dimensions validated against kMaxImageDimension above, so the narrowing
+  // is exact.
   Image img(static_cast<int>(*w), static_cast<int>(*h));
   std::vector<char> buf(img.pixel_count() * 3);
   in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (static_cast<std::size_t>(in.gcount()) != buf.size()) return std::nullopt;
+  if (static_cast<std::size_t>(in.gcount()) != buf.size()) {
+    SetError(error, "ppm: truncated pixel data");
+    return std::nullopt;
+  }
   auto px = img.pixels();
   for (std::size_t i = 0; i < px.size(); ++i) {
     px[i] = {static_cast<std::uint8_t>(buf[3 * i]),
@@ -124,13 +158,17 @@ bool WritePng(const Image& img, const std::string& path) {
 #endif
 }
 
-std::optional<Image> ReadPng(const std::string& path) {
+std::optional<Image> ReadPng(const std::string& path, std::string* error) {
 #ifdef BB_HAVE_PNG
   FILE* fp = std::fopen(path.c_str(), "rb");
-  if (!fp) return std::nullopt;
+  if (!fp) {
+    SetError(error, "png: cannot open file");
+    return std::nullopt;
+  }
   png_byte header[8];
   if (std::fread(header, 1, 8, fp) != 8 || png_sig_cmp(header, 0, 8) != 0) {
     std::fclose(fp);
+    SetError(error, "png: bad signature");
     return std::nullopt;
   }
   png_structp png =
@@ -152,6 +190,7 @@ std::optional<Image> ReadPng(const std::string& path) {
   if (setjmp(png_jmpbuf(png))) {
     png_destroy_read_struct(&png, &info, nullptr);
     std::fclose(fp);
+    SetError(error, "png: decode error");
     return std::nullopt;
   }
   png_init_io(png, fp);
@@ -168,21 +207,27 @@ std::optional<Image> ReadPng(const std::string& path) {
 
   const png_uint_32 w = png_get_image_width(png, info);
   const png_uint_32 h = png_get_image_height(png, info);
-  if (w == 0 || h == 0 || w > 16384 || h > 16384 ||
-      png_get_channels(png, info) != 3) {
+  const char* dims_why = CheckImageDims(w, h);
+  if (dims_why != nullptr || png_get_channels(png, info) != 3) {
     png_destroy_read_struct(&png, &info, nullptr);
     std::fclose(fp);
+    SetError(error, dims_why != nullptr ? std::string("png: ") + dims_why
+                                        : "png: unexpected channel count");
     return std::nullopt;
   }
   pixels.resize(static_cast<std::size_t>(w) * h * 3);
   row_ptrs.resize(h);
   for (png_uint_32 y = 0; y < h; ++y) {
+    // libpng wants raw row pointers into the interleaved byte buffer; this
+    // is codec interop, not image math. bblint: allow(no-raw-pixel-indexing)
     row_ptrs[y] = pixels.data() + static_cast<std::size_t>(y) * w * 3;
   }
   png_read_image(png, row_ptrs.data());
   png_destroy_read_struct(&png, &info, nullptr);
   std::fclose(fp);
 
+  // Dimensions validated against kMaxImageDimension above, so the narrowing
+  // is exact.
   Image img(static_cast<int>(w), static_cast<int>(h));
   auto px = img.pixels();
   for (std::size_t i = 0; i < px.size(); ++i) {
@@ -192,6 +237,7 @@ std::optional<Image> ReadPng(const std::string& path) {
   return result;
 #else
   (void)path;
+  SetError(error, "png: support not compiled in");
   return std::nullopt;
 #endif
 }

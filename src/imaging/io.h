@@ -12,12 +12,26 @@
 
 namespace bb::imaging {
 
+// Hard limits every reader applies to header-advertised dimensions before
+// allocating pixel storage. Hostile or corrupt headers are rejected with a
+// named error instead of overflowing int arithmetic or attempting a
+// multi-gigabyte allocation.
+inline constexpr long long kMaxImageDimension = 1 << 15;  // 32768 px per side
+inline constexpr long long kMaxImagePixels = 1LL << 26;   // 64 Mpx per image
+
+// Validates reader-supplied dimensions against the limits above. Returns
+// nullptr when acceptable, else the name of the violated constraint
+// (e.g. "dimension exceeds kMaxImageDimension").
+const char* CheckImageDims(long long w, long long h);
+
 // Writes a binary P6 PPM. Returns false (and leaves no partial file
 // guarantees) on I/O failure.
 bool WritePpm(const Image& img, const std::string& path);
 
-// Reads a binary P6 PPM; nullopt on parse or I/O failure.
-std::optional<Image> ReadPpm(const std::string& path);
+// Reads a binary P6 PPM; nullopt on parse or I/O failure. When `error` is
+// non-null it receives the reason for a failed read ("ppm: <what>").
+std::optional<Image> ReadPpm(const std::string& path,
+                             std::string* error = nullptr);
 
 // True when PNG support was compiled in.
 bool PngSupported();
@@ -27,8 +41,10 @@ bool PngSupported();
 bool WritePng(const Image& img, const std::string& path);
 
 // Reads a PNG into RGB8 (gray/palette/alpha inputs are expanded; 16-bit is
-// reduced). nullopt when unsupported, missing, or malformed.
-std::optional<Image> ReadPng(const std::string& path);
+// reduced). nullopt when unsupported, missing, or malformed. When `error`
+// is non-null it receives the reason for a failed read ("png: <what>").
+std::optional<Image> ReadPng(const std::string& path,
+                             std::string* error = nullptr);
 
 // Reads by extension: .png via ReadPng, anything else via ReadPpm.
 std::optional<Image> ReadImageAuto(const std::string& path);

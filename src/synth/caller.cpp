@@ -18,6 +18,11 @@ namespace {
 
 constexpr double kPi = 3.14159265358979323846;
 
+// Quantizes a figure coordinate (laid out in doubles) to the nearest pixel.
+// Rounding, not truncation: silent truncation is the bug class the
+// no-float-truncation lint rule exists for.
+int Px(double v) { return static_cast<int>(std::lround(v)); }
+
 struct Figure {
   // All coordinates in frame pixels.
   double cx, head_cy, head_r;
@@ -79,32 +84,32 @@ void PaintFigure(const Figure& f, const CallerSpec& spec, const Pose& pose,
                  CircleFn&& circle, RectFn&& rect) {
   const double sway = pose.sway;
   // Torso.
-  ellipse(static_cast<int>(f.torso_cx), static_cast<int>(f.torso_cy),
-          static_cast<int>(f.torso_rx), static_cast<int>(f.torso_ry),
+  ellipse(Px(f.torso_cx), Px(f.torso_cy),
+          Px(f.torso_rx), Px(f.torso_ry),
           /*is_skin=*/false, /*y_ref=*/f.torso_top);
   // Neck.
-  rect(static_cast<int>(f.cx + sway * 0.5 - f.head_r * 0.35),
-       static_cast<int>(f.head_cy + f.head_r * 0.5),
-       static_cast<int>(f.head_r * 0.7),
-       static_cast<int>(f.torso_top - f.head_cy), /*is_skin=*/true);
+  rect(Px(f.cx + sway * 0.5 - f.head_r * 0.35),
+       Px(f.head_cy + f.head_r * 0.5),
+       Px(f.head_r * 0.7),
+       Px(f.torso_top - f.head_cy), /*is_skin=*/true);
   // Head (sways relative to torso).
-  ellipse(static_cast<int>(f.cx + sway), static_cast<int>(f.head_cy),
-          static_cast<int>(f.head_r), static_cast<int>(f.head_r * 1.12),
+  ellipse(Px(f.cx + sway), Px(f.head_cy),
+          Px(f.head_r), Px(f.head_r * 1.12),
           /*is_skin=*/true, f.head_cy);
   // Arms: apparel-colored upper + forearm, skin hand.
   capsule(f.l_shoulder, f.l_elbow, f.arm_r, false);
   capsule(f.l_elbow, f.l_hand, f.arm_r * 0.9, false);
   capsule(f.r_shoulder, f.r_elbow, f.arm_r, false);
   capsule(f.r_elbow, f.r_hand, f.arm_r * 0.9, false);
-  circle(static_cast<int>(f.l_hand.x), static_cast<int>(f.l_hand.y),
-         static_cast<int>(f.hand_r), true);
-  circle(static_cast<int>(f.r_hand.x), static_cast<int>(f.r_hand.y),
-         static_cast<int>(f.hand_r), true);
+  circle(Px(f.l_hand.x), Px(f.l_hand.y),
+         Px(f.hand_r), true);
+  circle(Px(f.r_hand.x), Px(f.r_hand.y),
+         Px(f.hand_r), true);
 
   if (pose.holding_cup) {
-    rect(static_cast<int>(f.r_hand.x - f.hand_r * 0.8),
-         static_cast<int>(f.r_hand.y - f.hand_r * 2.2),
-         static_cast<int>(f.hand_r * 1.6), static_cast<int>(f.hand_r * 2.2),
+    rect(Px(f.r_hand.x - f.hand_r * 0.8),
+         Px(f.r_hand.y - f.hand_r * 2.2),
+         Px(f.hand_r * 1.6), Px(f.hand_r * 2.2),
          /*is_skin=*/false);
   }
 
@@ -114,26 +119,26 @@ void PaintFigure(const Figure& f, const CallerSpec& spec, const Pose& pose,
                       spec.accessory == Accessory::kHatAndHeadphones;
   if (hat) {
     // Crown + brim above the head.
-    rect(static_cast<int>(f.cx + sway - f.head_r * 0.8),
-         static_cast<int>(f.head_cy - f.head_r * 1.8),
-         static_cast<int>(f.head_r * 1.6), static_cast<int>(f.head_r * 0.9),
+    rect(Px(f.cx + sway - f.head_r * 0.8),
+         Px(f.head_cy - f.head_r * 1.8),
+         Px(f.head_r * 1.6), Px(f.head_r * 0.9),
          /*is_skin=*/false);
-    rect(static_cast<int>(f.cx + sway - f.head_r * 1.2),
-         static_cast<int>(f.head_cy - f.head_r * 1.0),
-         static_cast<int>(f.head_r * 2.4), static_cast<int>(f.head_r * 0.3),
+    rect(Px(f.cx + sway - f.head_r * 1.2),
+         Px(f.head_cy - f.head_r * 1.0),
+         Px(f.head_r * 2.4), Px(f.head_r * 0.3),
          /*is_skin=*/false);
   }
   if (phones) {
     // Ear pads; the band is approximated by a thin rect over the crown.
-    circle(static_cast<int>(f.cx + sway - f.head_r * 1.05),
-           static_cast<int>(f.head_cy), static_cast<int>(f.head_r * 0.35),
+    circle(Px(f.cx + sway - f.head_r * 1.05),
+           Px(f.head_cy), Px(f.head_r * 0.35),
            false);
-    circle(static_cast<int>(f.cx + sway + f.head_r * 1.05),
-           static_cast<int>(f.head_cy), static_cast<int>(f.head_r * 0.35),
+    circle(Px(f.cx + sway + f.head_r * 1.05),
+           Px(f.head_cy), Px(f.head_r * 0.35),
            false);
-    rect(static_cast<int>(f.cx + sway - f.head_r * 1.05),
-         static_cast<int>(f.head_cy - f.head_r * 1.35),
-         static_cast<int>(f.head_r * 2.1), static_cast<int>(f.head_r * 0.3),
+    rect(Px(f.cx + sway - f.head_r * 1.05),
+         Px(f.head_cy - f.head_r * 1.35),
+         Px(f.head_r * 2.1), Px(f.head_r * 0.3),
          /*is_skin=*/false);
   }
   (void)height;
@@ -176,7 +181,7 @@ void DrawCaller(Image& frame, Bitmap& mask, const CallerSpec& spec,
         // Band width follows the ellipse profile.
         const double dy = (band_y - cy) / static_cast<double>(ry);
         if (std::abs(dy) > 1.0) continue;
-        const int half_w = static_cast<int>(rx * std::sqrt(1.0 - dy * dy));
+        const int half_w = Px(rx * std::sqrt(1.0 - dy * dy));
         imaging::FillRect(frame, {cx - half_w, band_y, 2 * half_w, 3}, c);
         imaging::FillRect(mask, {cx - half_w, band_y, 2 * half_w, 3});
       }

@@ -1,6 +1,7 @@
 #include "synth/recorder.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bb::synth {
 
@@ -96,8 +97,9 @@ RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec) {
     ActionParams action = seg.action;
     action.frame_width = spec.scene.width;
     action.frame_height = spec.scene.height;
+    // Whole frames only; the floor keeps historical segment lengths.
     const int frames =
-        std::max(1, static_cast<int>(seg.duration_s * spec.fps));
+        std::max(1, static_cast<int>(std::floor(seg.duration_s * spec.fps)));
     RenderSegment(out, action, spec.caller, spec.camera, spec.fps, frames,
                   samples, camera_rng);
   }

@@ -156,7 +156,7 @@ void DrawClock(Image& img, const ObjectSpec& o) {
   imaging::DrawLine(img, {c.x, c.y},
                     {c.x - r / 2, c.y - r / 3}, {30, 30, 30}, 1);
   imaging::DrawLine(img, {c.x, c.y},
-                    {c.x + static_cast<int>(r * 0.6), c.y - r / 2},
+                    {c.x + static_cast<int>(std::lround(r * 0.6)), c.y - r / 2},
                     {30, 30, 30}, 1);
 }
 

@@ -135,10 +135,12 @@ std::vector<Image> MakeStockVideo(StockVideo kind, int width, int height,
         // Animated wave crest lines sliding with the phase.
         const int sky = height * 45 / 100, sea = height * 30 / 100;
         for (int k = 0; k < 3; ++k) {
-          const int y = sky + static_cast<int>(
-                                  (sea - 4) *
-                                  std::fmod(0.3 * k + phase / (2.0 * kPi),
-                                            1.0));
+          // Floor, not round: nearest-pixel rounding aliases neighbouring
+          // phases onto the same row at small frame sizes.
+          const int y =
+              sky + static_cast<int>(std::floor(
+                        (sea - 4) *
+                        std::fmod(0.3 * k + phase / (2.0 * kPi), 1.0)));
           imaging::FillRect(img, {0, y, width, 2}, {225, 238, 245});
         }
         break;
@@ -146,10 +148,10 @@ std::vector<Image> MakeStockVideo(StockVideo kind, int width, int height,
       case StockVideo::kStars: {
         img = MakeStockImage(StockImage::kSpace, width, height);
         // A comet orbiting the planet.
-        const int cx = width / 4 +
-                       static_cast<int>(std::cos(phase) * width / 5);
-        const int cy = height / 3 +
-                       static_cast<int>(std::sin(phase) * height / 5);
+        const int cx =
+            width / 4 + static_cast<int>(std::lround(std::cos(phase) * width / 5));
+        const int cy =
+            height / 3 + static_cast<int>(std::lround(std::sin(phase) * height / 5));
         imaging::FillCircle(img, cx, cy, std::max(2, height / 36),
                             {255, 240, 200});
         break;

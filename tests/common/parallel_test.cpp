@@ -97,6 +97,9 @@ TEST_F(ParallelTest, PerShardIntegerSumsReduceExactly) {
   double serial = 0.0;
   ParallelShards(0, 10000, 1, [&](int, std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) {
+      // Single-threaded by construction (SetThreadCount(1) above): this IS
+      // the serial reference the sharded sum is checked against.
+      // bblint: allow(no-unshared-float-accumulation)
       serial += data[static_cast<std::size_t>(i)];
     }
   });

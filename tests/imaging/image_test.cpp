@@ -60,6 +60,60 @@ TEST(ImageTest, RowPointsIntoStorage) {
   EXPECT_EQ(img(2, 1), (Rgb8{9, 9, 9}));
 }
 
+TEST(ImageTest, RowSpanHasExactlyWidthElements) {
+  Image img(7, 3);
+  EXPECT_EQ(img.row(0).size(), 7u);
+  EXPECT_EQ(img.row(2).size(), 7u);
+  const Image& cimg = img;
+  EXPECT_EQ(cimg.row(1).size(), 7u);
+  // Consecutive rows tile the flat storage without gaps. This asserts
+  // the layout itself, so it must look at raw pointers.
+  // bblint: allow(no-raw-pixel-indexing)
+  EXPECT_EQ(img.row(0).data() + img.width(), img.row(1).data());
+}
+
+TEST(ImageTest, AtThrowsOnEveryOutOfBoundsEdge) {
+  Image img(4, 3);
+  const Image& cimg = img;
+  EXPECT_NO_THROW(img.at(0, 0));
+  EXPECT_NO_THROW(img.at(3, 2));
+  EXPECT_THROW(img.at(-1, 0), std::out_of_range);   // left
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);    // right
+  EXPECT_THROW(img.at(0, -1), std::out_of_range);   // top
+  EXPECT_THROW(img.at(0, 3), std::out_of_range);    // bottom
+  EXPECT_THROW(cimg.at(-1, -1), std::out_of_range);  // const overload
+  EXPECT_THROW(cimg.at(4, 3), std::out_of_range);
+}
+
+TEST(ImageTest, AtThrowsOnEmptyImage) {
+  Image img;
+  EXPECT_THROW(img.at(0, 0), std::out_of_range);
+}
+
+TEST(ImageTest, InBoundsAtTheLimits) {
+  Image img(4, 3);
+  EXPECT_TRUE(img.InBounds(0, 0));
+  EXPECT_TRUE(img.InBounds(3, 0));
+  EXPECT_TRUE(img.InBounds(0, 2));
+  EXPECT_TRUE(img.InBounds(3, 2));
+  EXPECT_FALSE(img.InBounds(-1, 0));
+  EXPECT_FALSE(img.InBounds(0, -1));
+  EXPECT_FALSE(img.InBounds(4, 0));
+  EXPECT_FALSE(img.InBounds(0, 3));
+}
+
+TEST(ImageTest, NegativeDimensionsThrowForEveryPixelType) {
+  EXPECT_THROW(Bitmap(-3, -3), std::invalid_argument);
+  EXPECT_THROW(FloatImage(-1, 0), std::invalid_argument);
+}
+
+TEST(ImageTest, ZeroDimensionsAreEmptyNotAnError) {
+  Image img(0, 5);
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.pixel_count(), 0u);
+  EXPECT_FALSE(img.InBounds(0, 0));
+}
+
 TEST(ImageTest, EqualityIsValueBased) {
   Image a(2, 2, Rgb8{1, 2, 3});
   Image b(2, 2, Rgb8{1, 2, 3});

@@ -55,8 +55,84 @@ TEST(IoTest, ReadPpmRejectsTruncatedData) {
     std::ofstream out(path, std::ios::binary);
     out << "P6\n4 4\n255\nab";  // far fewer than 48 bytes
   }
-  EXPECT_FALSE(ReadPpm(path).has_value());
+  std::string error;
+  EXPECT_FALSE(ReadPpm(path, &error).has_value());
+  EXPECT_EQ(error, "ppm: truncated pixel data");
   std::remove(path.c_str());
+}
+
+// Writes `header` (no pixel data beyond it) and returns ReadPpm's error.
+std::string PpmHeaderError(const std::string& name,
+                           const std::string& header) {
+  const std::string path = TempPath(name);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << header;
+  }
+  std::string error;
+  EXPECT_FALSE(ReadPpm(path, &error).has_value()) << header;
+  std::remove(path.c_str());
+  return error;
+}
+
+TEST(IoTest, ReadPpmRejectsDimensionsThatWouldOverflowInt) {
+  // 4e9 fits in the header's long parse but not in the int the Image
+  // constructor takes; must be rejected before the narrowing, by name.
+  EXPECT_EQ(PpmHeaderError("bb_hostile_w.ppm", "P6\n4000000000 1\n255\n"),
+            "ppm: dimension exceeds kMaxImageDimension");
+  EXPECT_EQ(PpmHeaderError("bb_hostile_h.ppm", "P6\n1 4000000000\n255\n"),
+            "ppm: dimension exceeds kMaxImageDimension");
+}
+
+TEST(IoTest, ReadPpmRejectsExcessivePixelCount) {
+  // Each side is under kMaxImageDimension but the product is above
+  // kMaxImagePixels: a 201 MB allocation from a 20-byte file.
+  EXPECT_EQ(PpmHeaderError("bb_hostile_area.ppm", "P6\n8193 8193\n255\n"),
+            "ppm: pixel count exceeds kMaxImagePixels");
+}
+
+TEST(IoTest, ReadPpmRejectsNonPositiveDimensions) {
+  EXPECT_EQ(PpmHeaderError("bb_hostile_neg.ppm", "P6\n-5 10\n255\n"),
+            "ppm: non-positive dimensions");
+  EXPECT_EQ(PpmHeaderError("bb_hostile_zero.ppm", "P6\n0 10\n255\n"),
+            "ppm: non-positive dimensions");
+}
+
+TEST(IoTest, ReadPpmRejectsUnparseableHeader) {
+  EXPECT_EQ(PpmHeaderError("bb_hostile_text.ppm", "P6\nwide tall\n255\n"),
+            "ppm: malformed header");
+  // A value too large even for the long parse sets failbit.
+  EXPECT_EQ(PpmHeaderError("bb_hostile_huge.ppm",
+                           "P6\n99999999999999999999999999 1\n255\n"),
+            "ppm: malformed header");
+}
+
+TEST(IoTest, ReadPpmAcceptsLargestAllowedDimensions) {
+  // 1 x kMaxImageDimension is within every limit; the reader must not
+  // reject at the boundary.
+  const std::string path = TempPath("bb_max_dim.ppm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P6\n" << kMaxImageDimension << " 1\n255\n";
+    for (long long i = 0; i < kMaxImageDimension * 3; ++i) out.put('\0');
+  }
+  std::string error;
+  const auto img = ReadPpm(path, &error);
+  ASSERT_TRUE(img.has_value()) << error;
+  EXPECT_EQ(img->width(), static_cast<int>(kMaxImageDimension));
+  EXPECT_EQ(img->height(), 1);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CheckImageDimsNamesEachLimit) {
+  EXPECT_EQ(CheckImageDims(64, 64), nullptr);
+  EXPECT_EQ(CheckImageDims(kMaxImageDimension, 1), nullptr);
+  EXPECT_STREQ(CheckImageDims(0, 4), "non-positive dimensions");
+  EXPECT_STREQ(CheckImageDims(4, -1), "non-positive dimensions");
+  EXPECT_STREQ(CheckImageDims(kMaxImageDimension + 1, 1),
+               "dimension exceeds kMaxImageDimension");
+  EXPECT_STREQ(CheckImageDims(8193, 8193),
+               "pixel count exceeds kMaxImagePixels");
 }
 
 TEST(IoTest, ReadPpmHandlesComments) {

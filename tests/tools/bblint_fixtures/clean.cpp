@@ -1,0 +1,32 @@
+// Known-good fixture: the compliant version of every bad fixture. Zero
+// findings expected.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "imaging/image.h"
+#include "synth/rng.h"
+
+int SeededEntropy(bb::synth::Rng& rng);
+
+int AccessorRead(const bb::imaging::Image& img, int x, int y) {
+  return img.at(x, y).r;
+}
+
+double SumRowsSharded(int h) {
+  std::vector<double> partial(4, 0.0);
+  bb::common::ParallelShards(
+      0, h, /*grain=*/1, [&](int shard, std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          partial[static_cast<std::size_t>(shard)] += 1.0;
+        }
+      });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+int ScaledWidth(int width, double scale) {
+  return static_cast<int>(std::lround(width * scale));
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture: exactly one no-unshared-float-accumulation violation.
+// (Fixtures are scanned, never compiled, but mirror real call shapes.)
+#include <cstdint>
+
+#include "common/parallel.h"
+
+double SumRows(int h, int w) {
+  double total = 0.0;
+  bb::common::ParallelFor(0, h, /*grain=*/1, [&](std::int64_t y) {
+    float row_sum = 0.0f;                          // lambda-local: fine
+    for (int x = 0; x < w; ++x) row_sum += 1.0f;   // lambda-local: fine
+    total += row_sum;  // the one violation in this file
+    (void)y;
+  });
+  return total;
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: exactly one no-float-truncation violation.
+#include <cmath>
+
+int ScaledWidth(int width, double scale) {
+  const int ok = static_cast<int>(std::lround(width * scale));  // fine
+  const int bad = static_cast<int>(width * scale);  // the one violation
+  return ok + bad;
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: exactly one header-hygiene violation (this header has
+// #pragma once and no <iostream>, but a namespace-scope using-directive).
+#pragma once
+
+#include <string>
+
+using namespace std;  // the one violation in this file
+
+inline string FixtureName() { return "header"; }

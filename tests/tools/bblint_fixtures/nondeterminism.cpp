@@ -1,0 +1,10 @@
+// Known-bad fixture: exactly one no-nondeterminism violation.
+// This directory is excluded from the tree walk (LintTree skips
+// bblint_fixtures/); the lint unit tests feed these files to LintFile
+// under a library-code path and assert on the findings.
+#include <random>
+
+int UnseededEntropy() {
+  std::random_device rd;  // the one violation in this file
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,6 @@
+// Known-bad fixture: exactly one no-raw-pixel-indexing violation.
+#include <vector>
+
+int ManualOffset(const std::vector<int>& buf, int width, int x, int y) {
+  return buf[y * width + x];  // the one violation in this file
+}

@@ -1,0 +1,31 @@
+// Known-bad-but-suppressed fixture: one representative violation of every
+// rule that can fire in a .cpp, each silenced by a bblint: allow() marker.
+// The lint tests assert this file produces zero findings.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/parallel.h"
+
+int Entropy() {
+  return std::rand();  // bblint: allow(no-nondeterminism)
+}
+
+int ManualOffset(const std::vector<int>& buf, int width, int x, int y) {
+  // bblint: allow(no-raw-pixel-indexing)
+  return buf[y * width + x];
+}
+
+double SumRows(int h) {
+  double total = 0.0;
+  bb::common::ParallelFor(0, h, /*grain=*/1, [&](std::int64_t y) {
+    total += 1.0;  // bblint: allow(no-unshared-float-accumulation)
+    (void)y;
+  });
+  return total;
+}
+
+int ScaledWidth(int width, double scale) {
+  return static_cast<int>(width * scale);  // bblint: allow(no-float-truncation)
+}

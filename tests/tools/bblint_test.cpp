@@ -1,0 +1,325 @@
+// Unit tests for the bblint scanner: every rule gets a positive, a negative,
+// and a suppressed case via LintContent, plus fixture files on disk proving
+// each rule fires exactly once on a known-bad snippet and that suppression
+// markers silence it.
+#include "bblint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bb::lint {
+namespace {
+
+// Findings for `content` linted under a library-code path (no exemptions).
+std::vector<Finding> Lint(const std::string& content,
+                          const std::string& path = "src/core/fixture.cpp") {
+  return LintContent(path, content);
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : findings) n += f.rule == rule;
+  return n;
+}
+
+TEST(BblintRegistryTest, FiveRulesRegistered) {
+  const auto names = RuleNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], kRuleNondeterminism);
+  EXPECT_EQ(names[1], kRuleRawPixelIndexing);
+  EXPECT_EQ(names[2], kRuleFloatAccumulation);
+  EXPECT_EQ(names[3], kRuleFloatTruncation);
+  EXPECT_EQ(names[4], kRuleHeaderHygiene);
+}
+
+// --- no-nondeterminism ----------------------------------------------------
+
+TEST(NondeterminismRuleTest, FlagsRandAndClocks) {
+  EXPECT_EQ(CountRule(Lint("int x = rand();\n"), kRuleNondeterminism), 1);
+  EXPECT_EQ(CountRule(Lint("srand(42);\n"), kRuleNondeterminism), 1);
+  EXPECT_EQ(CountRule(Lint("std::random_device rd;\n"), kRuleNondeterminism),
+            1);
+  EXPECT_EQ(CountRule(Lint("auto t = time(nullptr);\n"), kRuleNondeterminism),
+            1);
+  EXPECT_EQ(CountRule(Lint("auto t0 = std::chrono::steady_clock::now();\n"),
+                      kRuleNondeterminism),
+            1);
+}
+
+TEST(NondeterminismRuleTest, SeededRngAndPlainCodeAreClean) {
+  EXPECT_EQ(CountRule(Lint("auto v = rng.Uniform(0, 1);\n"),
+                      kRuleNondeterminism),
+            0);
+  // `runtime(` must not trip the \btime( pattern.
+  EXPECT_EQ(CountRule(Lint("auto v = runtime(x);\n"), kRuleNondeterminism), 0);
+}
+
+TEST(NondeterminismRuleTest, MatchesInCommentsAndStringsAreIgnored) {
+  EXPECT_EQ(CountRule(Lint("// configure time (BB_HAVE_PNG)\n"),
+                      kRuleNondeterminism),
+            0);
+  EXPECT_EQ(CountRule(Lint("const char* s = \"rand()\";\n"),
+                      kRuleNondeterminism),
+            0);
+}
+
+TEST(NondeterminismRuleTest, RngHeaderIsExempt) {
+  EXPECT_EQ(CountRule(LintContent("src/synth/rng.h",
+                                  "#pragma once\nstd::random_device rd;\n"),
+                      kRuleNondeterminism),
+            0);
+}
+
+TEST(NondeterminismRuleTest, BenchAndToolsMayReadClocksButNotRand) {
+  const std::string clock_line =
+      "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(CountRule(LintContent("bench/bench_x.cpp", clock_line),
+                      kRuleNondeterminism),
+            0);
+  EXPECT_EQ(CountRule(LintContent("tools/probe.cpp", clock_line),
+                      kRuleNondeterminism),
+            0);
+  EXPECT_EQ(CountRule(LintContent("bench/bench_x.cpp", "srand(1);\n"),
+                      kRuleNondeterminism),
+            1);
+}
+
+TEST(NondeterminismRuleTest, SuppressedBySameLineAllow) {
+  EXPECT_EQ(CountRule(Lint("srand(42);  // bblint: allow(no-nondeterminism)\n"),
+                      kRuleNondeterminism),
+            0);
+}
+
+// --- no-raw-pixel-indexing ------------------------------------------------
+
+TEST(RawPixelIndexingRuleTest, FlagsManualOffsetsAndDataArithmetic) {
+  EXPECT_EQ(CountRule(Lint("buf[y * width + x] = 0;\n"),
+                      kRuleRawPixelIndexing),
+            1);
+  EXPECT_EQ(CountRule(Lint("auto* p = img.pixels().data() + offset;\n"),
+                      kRuleRawPixelIndexing),
+            1);
+  EXPECT_EQ(CountRule(Lint("pixels_[i] = v;\n"), kRuleRawPixelIndexing), 1);
+}
+
+TEST(RawPixelIndexingRuleTest, AccessorsAndFlatIterationAreClean) {
+  EXPECT_EQ(CountRule(Lint("img(x, y) = v;\nimg.at(x, y) = v;\n"),
+                      kRuleRawPixelIndexing),
+            0);
+  EXPECT_EQ(CountRule(Lint("for (auto& p : img.pixels()) p = v;\n"),
+                      kRuleRawPixelIndexing),
+            0);
+  EXPECT_EQ(CountRule(Lint("row[std::clamp(x, 0, w - 1)] = v;\n"),
+                      kRuleRawPixelIndexing),
+            0);
+}
+
+TEST(RawPixelIndexingRuleTest, ImageHeaderIsExempt) {
+  EXPECT_EQ(CountRule(LintContent(
+                          "src/imaging/image.h",
+                          "#pragma once\nreturn pixels_[y * width_ + x];\n"),
+                      kRuleRawPixelIndexing),
+            0);
+}
+
+TEST(RawPixelIndexingRuleTest, SuppressedByPreviousLineComment) {
+  EXPECT_EQ(CountRule(Lint("// bblint: allow(no-raw-pixel-indexing)\n"
+                           "buf[y * width + x] = 0;\n"),
+                      kRuleRawPixelIndexing),
+            0);
+}
+
+// --- no-unshared-float-accumulation ---------------------------------------
+
+constexpr const char* kSharedAccum =
+    "double total = 0.0;\n"
+    "common::ParallelFor(0, h, 1, [&](std::int64_t y) {\n"
+    "  total += 1.0;\n"
+    "});\n";
+
+TEST(FloatAccumulationRuleTest, FlagsOuterFloatCompoundAssign) {
+  EXPECT_EQ(CountRule(Lint(kSharedAccum), kRuleFloatAccumulation), 1);
+}
+
+TEST(FloatAccumulationRuleTest, LambdaLocalAccumulatorIsClean) {
+  EXPECT_EQ(CountRule(Lint("common::ParallelFor(0, h, 1, [&](std::int64_t y) "
+                           "{\n  float acc = 0.0f;\n  acc += 1.0f;\n});\n"),
+                      kRuleFloatAccumulation),
+            0);
+}
+
+TEST(FloatAccumulationRuleTest, PerShardVectorAccumulationIsClean) {
+  EXPECT_EQ(
+      CountRule(Lint("std::vector<double> partial(4, 0.0);\n"
+                     "common::ParallelShards(0, n, 1, [&](int s, std::int64_t "
+                     "b, std::int64_t e) {\n  partial[s] += 1.0;\n});\n"),
+                kRuleFloatAccumulation),
+      0);
+}
+
+TEST(FloatAccumulationRuleTest, AccumulationOutsideParallelIsClean) {
+  EXPECT_EQ(CountRule(Lint("double total = 0.0;\n"
+                           "for (int i = 0; i < n; ++i) total += 1.0;\n"),
+                      kRuleFloatAccumulation),
+            0);
+}
+
+TEST(FloatAccumulationRuleTest, Suppressed) {
+  EXPECT_EQ(
+      CountRule(Lint("double total = 0.0;\n"
+                     "common::ParallelFor(0, h, 1, [&](std::int64_t y) {\n"
+                     "  total += 1.0;  // bblint: "
+                     "allow(no-unshared-float-accumulation)\n});\n"),
+                kRuleFloatAccumulation),
+      0);
+}
+
+// --- no-float-truncation --------------------------------------------------
+
+TEST(FloatTruncationRuleTest, FlagsTruncatingCastsOfFloatArithmetic) {
+  EXPECT_EQ(CountRule(Lint("int w2 = static_cast<int>(w * 0.5);\n"),
+                      kRuleFloatTruncation),
+            1);
+  EXPECT_EQ(CountRule(Lint("double scale = 2.0;\n"
+                           "int w2 = static_cast<int>(w / scale);\n"),
+                      kRuleFloatTruncation),
+            1);
+  EXPECT_EQ(CountRule(Lint("int w2 = (int)(w * 0.5);\n"),
+                      kRuleFloatTruncation),
+            1);
+}
+
+TEST(FloatTruncationRuleTest, RoundedAndIntegerCastsAreClean) {
+  EXPECT_EQ(CountRule(Lint("int w2 = static_cast<int>(std::lround(w * 0.5));\n"),
+                      kRuleFloatTruncation),
+            0);
+  EXPECT_EQ(
+      CountRule(Lint("int bin = static_cast<int>(std::floor(h / 30.0f));\n"),
+                kRuleFloatTruncation),
+      0);
+  EXPECT_EQ(CountRule(Lint("int half = static_cast<int>(n / 2);\n"),
+                      kRuleFloatTruncation),
+            0);
+}
+
+TEST(FloatTruncationRuleTest, Suppressed) {
+  EXPECT_EQ(CountRule(Lint("int w2 = static_cast<int>(w * 0.5);  "
+                           "// bblint: allow(no-float-truncation)\n"),
+                      kRuleFloatTruncation),
+            0);
+}
+
+// --- header-hygiene -------------------------------------------------------
+
+TEST(HeaderHygieneRuleTest, FlagsMissingPragmaUsingNamespaceAndIostream) {
+  EXPECT_EQ(CountRule(LintContent("src/core/x.h", "int F();\n"),
+                      kRuleHeaderHygiene),
+            1);  // missing #pragma once
+  EXPECT_EQ(CountRule(LintContent("src/core/x.h",
+                                  "#pragma once\nusing namespace std;\n"),
+                      kRuleHeaderHygiene),
+            1);
+  EXPECT_EQ(CountRule(LintContent("src/core/x.h",
+                                  "#pragma once\n#include <iostream>\n"),
+                      kRuleHeaderHygiene),
+            1);
+}
+
+TEST(HeaderHygieneRuleTest, CleanHeaderAndSourceFilesPass) {
+  EXPECT_EQ(CountRule(LintContent("src/core/x.h",
+                                  "#pragma once\n#include <string>\nint F();\n"),
+                      kRuleHeaderHygiene),
+            0);
+  // .cpp files may do all of this.
+  EXPECT_EQ(CountRule(LintContent("src/core/x.cpp",
+                                  "#include <iostream>\nusing namespace std;\n"),
+                      kRuleHeaderHygiene),
+            0);
+}
+
+TEST(HeaderHygieneRuleTest, MissingPragmaSuppressedOnLineOne) {
+  EXPECT_EQ(CountRule(LintContent(
+                          "src/core/x.h",
+                          "// bblint: allow(header-hygiene)\nint F();\n"),
+                      kRuleHeaderHygiene),
+            0);
+}
+
+// --- suppression mechanics ------------------------------------------------
+
+TEST(SuppressionTest, AllowAllSilencesEveryRule) {
+  EXPECT_TRUE(Lint("srand(42);  // bblint: allow(all)\n").empty());
+}
+
+TEST(SuppressionTest, AllowListHandlesMultipleRules) {
+  EXPECT_TRUE(
+      Lint("int w2 = static_cast<int>(srand(1) * 0.5);  // bblint: "
+           "allow(no-float-truncation, no-nondeterminism)\n")
+          .empty());
+}
+
+TEST(SuppressionTest, WrongRuleNameDoesNotSuppress) {
+  EXPECT_EQ(CountRule(Lint("srand(42);  // bblint: allow(no-float-truncation)\n"),
+                      kRuleNondeterminism),
+            1);
+}
+
+// --- fixture files --------------------------------------------------------
+
+std::string FixturePath(const std::string& name) {
+  return std::string(BBLINT_FIXTURE_DIR) + "/" + name;
+}
+
+// Lints a fixture under a library-code path so no exemption applies.
+std::vector<Finding> LintFixture(const std::string& name) {
+  return LintFile("src/fixtures/" + name, FixturePath(name));
+}
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+};
+
+class BblintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(BblintFixtureTest, BadFixtureFiresItsRuleExactlyOnce) {
+  const auto findings = LintFixture(GetParam().file);
+  ASSERT_EQ(findings.size(), 1u) << "fixture " << GetParam().file;
+  EXPECT_EQ(findings[0].rule, GetParam().rule);
+  EXPECT_GT(findings[0].line, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, BblintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"nondeterminism.cpp", kRuleNondeterminism},
+        FixtureCase{"raw_index.cpp", kRuleRawPixelIndexing},
+        FixtureCase{"float_accum.cpp", kRuleFloatAccumulation},
+        FixtureCase{"float_trunc.cpp", kRuleFloatTruncation},
+        FixtureCase{"header.h", kRuleHeaderHygiene}),
+    [](const ::testing::TestParamInfo<FixtureCase>& info) {
+      std::string name = info.param.rule;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BblintFixtureFilesTest, SuppressedFixtureIsSilent) {
+  EXPECT_TRUE(LintFixture("suppressed.cpp").empty());
+}
+
+TEST(BblintFixtureFilesTest, CleanFixtureIsSilent) {
+  EXPECT_TRUE(LintFixture("clean.cpp").empty());
+}
+
+TEST(BblintFixtureFilesTest, UnreadableFileYieldsIoFinding) {
+  const auto findings = LintFixture("does_not_exist.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lint-io");
+}
+
+}  // namespace
+}  // namespace bb::lint

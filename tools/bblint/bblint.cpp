@@ -1,0 +1,546 @@
+#include "bblint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace bb::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preparation
+// ---------------------------------------------------------------------------
+
+// The per-file view every rule works on: the raw text (for suppression
+// comments), the same text with comments and string/char literals blanked
+// out (what rules actually match against), and both split into lines.
+struct FileView {
+  std::string path;       // repo-relative, forward slashes
+  bool is_header = false;
+  std::string stripped;   // comments + literal contents replaced by spaces
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> stripped_lines;
+  // suppressed[i] = rules allowed on 1-based line i+1 (already merged with
+  // comment-only lines immediately above).
+  std::vector<std::set<std::string>> suppressed;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// Blanks out //- and /**/-comments and the contents of string and character
+// literals (delimiters are kept so token boundaries survive). Newlines are
+// preserved so line numbers line up with the raw text. Raw string literals
+// are handled well enough for this codebase (default-delimiter R"( ... )").
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class St { Code, LineComment, BlockComment, String, Char, RawString };
+  St st = St::Code;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::LineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::BlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                    src[i - 1])) ||
+                                src[i - 1] == '_'))) {
+          st = St::RawString;
+          ++i;  // keep R and the quote
+        } else if (c == '"') {
+          st = St::String;
+        } else if (c == '\'') {
+          st = St::Char;
+        }
+        break;
+      case St::LineComment:
+        if (c == '\n') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::String:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Char:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::RawString:
+        // Default-delimiter raw strings only: terminated by )".
+        if (c == ')' && next == '"') {
+          ++i;
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsBlank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+// Parses every "bblint: allow(a, b)" marker on the raw line.
+std::set<std::string> ParseAllows(const std::string& raw_line) {
+  std::set<std::string> rules;
+  static const std::regex kAllow(R"(bblint:\s*allow\(([^)]*)\))");
+  auto begin =
+      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string list = (*it)[1].str();
+    std::string name;
+    std::istringstream ss(list);
+    while (std::getline(ss, name, ',')) {
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](unsigned char c) {
+                                  return std::isspace(c) != 0;
+                                }),
+                 name.end());
+      if (!name.empty()) rules.insert(name);
+    }
+  }
+  return rules;
+}
+
+FileView MakeFileView(const std::string& path, const std::string& content) {
+  FileView v;
+  v.path = path;
+  const auto dot = path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  v.is_header = ext == ".h" || ext == ".hh" || ext == ".hpp";
+  v.stripped = StripCommentsAndStrings(content);
+  v.raw_lines = SplitLines(content);
+  v.stripped_lines = SplitLines(v.stripped);
+  v.suppressed.resize(v.raw_lines.size());
+  for (std::size_t i = 0; i < v.raw_lines.size(); ++i) {
+    auto here = ParseAllows(v.raw_lines[i]);
+    v.suppressed[i].insert(here.begin(), here.end());
+    // A comment-only allow() line also covers the next line of code.
+    if (!here.empty() && IsBlank(v.stripped_lines[i]) &&
+        i + 1 < v.raw_lines.size()) {
+      v.suppressed[i + 1].insert(here.begin(), here.end());
+    }
+  }
+  return v;
+}
+
+bool Suppressed(const FileView& v, int line, const std::string& rule) {
+  if (line < 1 || static_cast<std::size_t>(line) > v.suppressed.size()) {
+    return false;
+  }
+  const auto& s = v.suppressed[static_cast<std::size_t>(line) - 1];
+  return s.count(rule) > 0 || s.count("all") > 0;
+}
+
+int LineOfOffset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// All identifiers declared as float/double anywhere in the file. A cheap
+// stand-in for real type information: good enough to recognize the usual
+// `double scale = ...; ... static_cast<int>(x * scale)` shape.
+std::set<std::string> FloatIdentifiers(const FileView& v) {
+  std::set<std::string> idents;
+  static const std::regex kDecl(R"(\b(?:float|double)\s+([A-Za-z_]\w*))");
+  auto begin = std::sregex_iterator(v.stripped.begin(), v.stripped.end(),
+                                    kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    idents.insert((*it)[1].str());
+  }
+  return idents;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-nondeterminism
+// ---------------------------------------------------------------------------
+
+void CheckNondeterminism(const FileView& v, std::vector<Finding>* out) {
+  // All randomness flows through the seeded generator in src/synth/rng.h.
+  if (v.path == "src/synth/rng.h") return;
+  // Benchmarks and developer tools may measure wall-clock time; library,
+  // app, and test code may not.
+  const bool timing_ok =
+      StartsWith(v.path, "bench/") || StartsWith(v.path, "tools/");
+
+  struct Pattern {
+    std::regex re;
+    bool is_timing;
+    const char* what;
+  };
+  static const std::vector<Pattern> kPatterns = {
+      {std::regex(R"(\brand\s*\()"), false,
+       "rand() is unseeded global state; use synth::Rng"},
+      {std::regex(R"(\bsrand\s*\()"), false,
+       "srand() mutates global RNG state; use synth::Rng"},
+      {std::regex(R"(\brandom_device\b)"), false,
+       "std::random_device is nondeterministic; use synth::Rng"},
+      {std::regex(R"(\btime\s*\()"), true,
+       "time() reads the wall clock; results become unreplayable"},
+      {std::regex(R"(\b\w*_clock\s*::\s*now\b)"), true,
+       "clock ::now() reads the wall clock; results become unreplayable"},
+  };
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    for (const auto& p : kPatterns) {
+      if (p.is_timing && timing_ok) continue;
+      if (std::regex_search(v.stripped_lines[i], p.re)) {
+        out->push_back({v.path, static_cast<int>(i + 1),
+                        kRuleNondeterminism, p.what});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-pixel-indexing
+// ---------------------------------------------------------------------------
+
+void CheckRawPixelIndexing(const FileView& v, std::vector<Finding>* out) {
+  // The container itself is the one place allowed to do offset arithmetic.
+  if (v.path == "src/imaging/image.h") return;
+
+  static const std::regex kPixelsMember(R"(\bpixels_\s*\[)");
+  static const std::regex kDataArith(R"(\.data\(\)\s*\+)");
+  static const std::regex kWidthOffset(
+      R"(\[[^\][]*\*\s*(?:w|width|width_|stride|cols)(?:\(\))?\s*\+[^\][]*\])");
+
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    const std::string& line = v.stripped_lines[i];
+    const char* what = nullptr;
+    if (std::regex_search(line, kPixelsMember)) {
+      what = "direct pixels_[] access; use operator()/at()/row()";
+    } else if (std::regex_search(line, kDataArith)) {
+      what = ".data() pointer arithmetic; use operator()/at()/row()";
+    } else if (std::regex_search(line, kWidthOffset)) {
+      what = "manual y*width+x offset arithmetic; use operator()/at()/row()";
+    }
+    if (what != nullptr) {
+      out->push_back(
+          {v.path, static_cast<int>(i + 1), kRuleRawPixelIndexing, what});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unshared-float-accumulation
+// ---------------------------------------------------------------------------
+
+// Character ranges of by-reference lambda bodies passed to ParallelFor /
+// ParallelShards.
+struct Region {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+std::vector<Region> ParallelLambdaRegions(const std::string& text) {
+  std::vector<Region> regions;
+  static const std::regex kCall(R"(\b(?:ParallelFor|ParallelShards)\s*\()");
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position());
+    // Find the lambda capture list within the call.
+    std::size_t lb = text.find('[', pos);
+    if (lb == std::string::npos) continue;
+    std::size_t rb = text.find(']', lb);
+    if (rb == std::string::npos) continue;
+    const std::string capture = text.substr(lb, rb - lb + 1);
+    if (capture.find('&') == std::string::npos) continue;  // copies are safe
+    std::size_t body = text.find('{', rb);
+    if (body == std::string::npos) continue;
+    int depth = 0;
+    std::size_t j = body;
+    for (; j < text.size(); ++j) {
+      if (text[j] == '{') ++depth;
+      if (text[j] == '}') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    regions.push_back({body, j});
+  }
+  return regions;
+}
+
+void CheckFloatAccumulation(const FileView& v, std::vector<Finding>* out) {
+  const auto regions = ParallelLambdaRegions(v.stripped);
+  if (regions.empty()) return;
+  const auto float_idents = FloatIdentifiers(v);
+
+  static const std::regex kDecl(R"(\b(?:float|double)\s+([A-Za-z_]\w*))");
+  static const std::regex kCompound(R"(\b([A-Za-z_]\w*)\s*[+-]=)");
+
+  for (const auto& r : regions) {
+    const std::string body = v.stripped.substr(r.begin, r.end - r.begin);
+    std::set<std::string> locals;
+    auto dbegin = std::sregex_iterator(body.begin(), body.end(), kDecl);
+    for (auto it = dbegin; it != std::sregex_iterator(); ++it) {
+      locals.insert((*it)[1].str());
+    }
+    auto cbegin = std::sregex_iterator(body.begin(), body.end(), kCompound);
+    for (auto it = cbegin; it != std::sregex_iterator(); ++it) {
+      const std::string ident = (*it)[1].str();
+      if (locals.count(ident) > 0) continue;        // per-iteration state
+      if (float_idents.count(ident) == 0) continue;  // not a float
+      const std::size_t off = r.begin + static_cast<std::size_t>(it->position());
+      out->push_back(
+          {v.path, LineOfOffset(v.stripped, off), kRuleFloatAccumulation,
+           "float accumulation into '" + ident +
+               "' captured by reference in a parallel body; reduce through "
+               "per-shard accumulators (ParallelShards) instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-float-truncation
+// ---------------------------------------------------------------------------
+
+// Extracts the balanced-paren argument starting at text[open] == '('.
+// Returns the contents without the outer parens; empty when unbalanced.
+std::string BalancedArg(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < text.size(); ++j) {
+    if (text[j] == '(') ++depth;
+    if (text[j] == ')') {
+      --depth;
+      if (depth == 0) return text.substr(open + 1, j - open - 1);
+    }
+  }
+  return "";
+}
+
+bool HasFloatLiteral(const std::string& expr) {
+  static const std::regex kFloatLit(R"((^|[^\w.])(\d+\.\d*|\.\d+)f?)");
+  return std::regex_search(expr, kFloatLit);
+}
+
+bool ExplicitlyRounded(const std::string& expr) {
+  static const std::regex kWrapped(
+      R"(^\s*(?:std\s*::\s*)?(?:lround|llround|round|floor|ceil|trunc)\s*\()");
+  return std::regex_search(expr, kWrapped);
+}
+
+void CheckFloatTruncation(const FileView& v, std::vector<Finding>* out) {
+  const auto float_idents = FloatIdentifiers(v);
+
+  auto arg_is_suspect = [&](const std::string& arg) {
+    if (arg.empty() || ExplicitlyRounded(arg)) return false;
+    if (arg.find('*') == std::string::npos &&
+        arg.find('/') == std::string::npos) {
+      return false;
+    }
+    if (HasFloatLiteral(arg)) return true;
+    static const std::regex kIdent(R"([A-Za-z_]\w*)");
+    auto begin = std::sregex_iterator(arg.begin(), arg.end(), kIdent);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      if (float_idents.count(it->str()) > 0) return true;
+    }
+    return false;
+  };
+
+  static const std::regex kStaticCast(R"(static_cast\s*<\s*int\s*>\s*\()");
+  static const std::regex kCStyle(R"(\(\s*int\s*\)\s*\()");
+  const std::string& text = v.stripped;
+
+  auto scan = [&](const std::regex& re) {
+    auto begin = std::sregex_iterator(text.begin(), text.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::size_t open =
+          static_cast<std::size_t>(it->position() + it->length() - 1);
+      if (arg_is_suspect(BalancedArg(text, open))) {
+        out->push_back(
+            {v.path, LineOfOffset(text, static_cast<std::size_t>(it->position())),
+             kRuleFloatTruncation,
+             "int cast truncates a floating multiply/divide; use std::lround "
+             "(or an explicit std::floor/std::ceil/std::trunc)"});
+      }
+    }
+  };
+  scan(kStaticCast);
+  scan(kCStyle);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: header-hygiene
+// ---------------------------------------------------------------------------
+
+void CheckHeaderHygiene(const FileView& v, std::vector<Finding>* out) {
+  if (!v.is_header) return;
+  bool has_pragma = false;
+  static const std::regex kPragma(R"(^\s*#\s*pragma\s+once\b)");
+  static const std::regex kUsingNs(R"(\busing\s+namespace\b)");
+  static const std::regex kIostream(R"(^\s*#\s*include\s*<iostream>)");
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    const std::string& line = v.stripped_lines[i];
+    if (std::regex_search(line, kPragma)) has_pragma = true;
+    if (std::regex_search(line, kUsingNs)) {
+      out->push_back({v.path, static_cast<int>(i + 1), kRuleHeaderHygiene,
+                      "'using namespace' in a header leaks into every "
+                      "includer; qualify names instead"});
+    }
+    if (std::regex_search(line, kIostream)) {
+      out->push_back({v.path, static_cast<int>(i + 1), kRuleHeaderHygiene,
+                      "<iostream> in a header pulls static init into every "
+                      "TU; include it in the .cpp"});
+    }
+  }
+  if (!has_pragma) {
+    out->push_back({v.path, 1, kRuleHeaderHygiene,
+                    "header is missing '#pragma once'"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  const char* name;
+  void (*check)(const FileView&, std::vector<Finding>*);
+};
+
+const std::vector<Rule>& Registry() {
+  static const std::vector<Rule> kRules = {
+      {kRuleNondeterminism, CheckNondeterminism},
+      {kRuleRawPixelIndexing, CheckRawPixelIndexing},
+      {kRuleFloatAccumulation, CheckFloatAccumulation},
+      {kRuleFloatTruncation, CheckFloatTruncation},
+      {kRuleHeaderHygiene, CheckHeaderHygiene},
+  };
+  return kRules;
+}
+
+}  // namespace
+
+std::vector<std::string> RuleNames() {
+  std::vector<std::string> names;
+  for (const auto& r : Registry()) names.push_back(r.name);
+  return names;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content) {
+  const FileView v = MakeFileView(path, content);
+  std::vector<Finding> all;
+  for (const auto& rule : Registry()) {
+    std::vector<Finding> found;
+    rule.check(v, &found);
+    for (auto& f : found) {
+      if (!Suppressed(v, f.line, f.rule)) all.push_back(std::move(f));
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return all;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& abs_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) {
+    return {{rel_path, 0, "lint-io", "could not read file"}};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LintContent(rel_path, ss.str());
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  static const std::vector<std::string> kSubdirs = {"src", "apps", "bench",
+                                                    "tools", "tests"};
+  std::vector<std::pair<std::string, std::string>> files;  // rel, abs
+  for (const auto& sub : kSubdirs) {
+    const fs::path base = fs::path(root) / sub;
+    if (!fs::exists(base)) continue;
+    auto it = fs::recursive_directory_iterator(base);
+    for (; it != fs::recursive_directory_iterator(); ++it) {
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory()) {
+        if (name.empty() || name[0] == '.' ||
+            name.rfind("build", 0) == 0 || name == "bblint_fixtures") {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = p.extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      const std::string rel =
+          fs::relative(p, fs::path(root)).generic_string();
+      files.emplace_back(rel, p.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Finding> all;
+  for (const auto& [rel, abs] : files) {
+    auto found = LintFile(rel, abs);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  return all;
+}
+
+}  // namespace bb::lint

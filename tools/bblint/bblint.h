@@ -1,0 +1,72 @@
+// bblint - project-specific static analysis for Background Buster.
+//
+// A deliberately small line/token-level scanner (no libclang): each rule is
+// a heuristic over comment- and string-stripped source lines, tuned to the
+// invariants this codebase actually depends on. The rules guard properties
+// the test suite cannot see locally:
+//
+//   no-nondeterminism          - reconstruction must be replayable; all
+//                                randomness flows through src/synth/rng.h and
+//                                nothing in the pipeline reads wall clocks.
+//   no-raw-pixel-indexing      - pixel access goes through the bounds-checked
+//                                ImageT accessors, not y*width+x arithmetic.
+//   no-unshared-float-accum    - no `f += ...` on a by-reference captured
+//                                float inside a ParallelFor/ParallelShards
+//                                body; reductions use per-shard accumulators
+//                                so results stay bit-identical.
+//   no-float-truncation        - int casts of floating multiply/divide go
+//                                through std::lround (or an explicit
+//                                floor/ceil/trunc), never silent truncation.
+//   header-hygiene             - headers have #pragma once, no
+//                                `using namespace`, no <iostream>.
+//
+// False positives are silenced per line with
+//     // bblint: allow(<rule>[, <rule>...])
+// either at the end of the offending line or on a comment-only line
+// immediately above it. `allow(all)` silences every rule for that line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bb::lint {
+
+// Rule identifiers (the strings used in findings and allow() comments).
+inline constexpr const char* kRuleNondeterminism = "no-nondeterminism";
+inline constexpr const char* kRuleRawPixelIndexing = "no-raw-pixel-indexing";
+inline constexpr const char* kRuleFloatAccumulation =
+    "no-unshared-float-accumulation";
+inline constexpr const char* kRuleFloatTruncation = "no-float-truncation";
+inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  int line = 0;         // 1-based
+  std::string rule;     // one of the kRule* identifiers
+  std::string message;  // human-readable explanation
+
+  bool operator==(const Finding&) const = default;
+};
+
+// Names of every registered rule, in registration order.
+std::vector<std::string> RuleNames();
+
+// Lints `content` as if it were the file at repo-relative `path` (the path
+// drives per-file exemptions and the header/source distinction). Findings
+// are ordered by line.
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+// Reads `abs_path` from disk and lints it under the repo-relative name
+// `rel_path`. Unreadable files yield a single pseudo-finding so CI never
+// silently skips a file.
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& abs_path);
+
+// Walks src/, apps/, bench/, tools/, and tests/ under `root`, linting every
+// .h/.cpp file. Directories named build*, hidden directories, and
+// bblint_fixtures/ (known-bad test inputs) are skipped. The walk order - and
+// therefore the output - is deterministic: paths are sorted.
+std::vector<Finding> LintTree(const std::string& root);
+
+}  // namespace bb::lint

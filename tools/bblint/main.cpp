@@ -1,0 +1,58 @@
+// bblint CLI: scans the repository and exits nonzero on any finding, so it
+// can gate ctest/CI. See bblint.h for the rule set and suppression syntax.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bblint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "usage: bblint [--root DIR] [--list-rules]\n"
+      "\n"
+      "Project-specific static analysis for Background Buster. Scans\n"
+      "src/, apps/, bench/, tools/, and tests/ under DIR (default: .)\n"
+      "and reports violations of the determinism / bounds-safety /\n"
+      "header-hygiene rules. Exits 1 when any finding is reported.\n"
+      "\n"
+      "Suppress a false positive per line with:\n"
+      "    // bblint: allow(<rule>[, <rule>...])\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& name : bb::lint::RuleNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "bblint: unknown argument '%s'\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  const auto findings = bb::lint::LintTree(root);
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("bblint: clean\n");
+    return 0;
+  }
+  std::printf("bblint: %zu finding(s)\n", findings.size());
+  return 1;
+}

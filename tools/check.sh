@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# One-shot verification gate for Background Buster.
+#
+# Runs, in order, failing fast on the first problem:
+#   1. default build with -DBB_WERROR=ON, full ctest suite
+#   2. ThreadSanitizer build, determinism / parallel-runtime suites
+#   3. UndefinedBehaviorSanitizer build, full ctest suite
+#   4. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#
+# Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
+# created as build-check, build-check-tsan, build-check-ubsan)
+set -euo pipefail
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "default build (-DBB_WERROR=ON) + full test suite"
+cmake -B build-check -S . -DBB_WERROR=ON
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+step "ThreadSanitizer build + determinism/parallel suites"
+cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON
+cmake --build build-check-tsan -j "$JOBS"
+ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS" \
+      -R 'determinism|Parallel|common|core'
+
+step "UndefinedBehaviorSanitizer build + full test suite"
+cmake -B build-check-ubsan -S . -DBB_SANITIZE=undefined -DBB_WERROR=ON
+cmake --build build-check-ubsan -j "$JOBS"
+ctest --test-dir build-check-ubsan --output-on-failure -j "$JOBS"
+
+step "bblint tree scan"
+build-check/tools/bblint/bblint --root "$ROOT"
+
+step "all checks passed"

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdio>
 #include "core/metrics.h"
 #include "core/reconstruction.h"
@@ -19,7 +20,7 @@ int main() {
       auto rbrr = core::Rbrr(rec, raw.true_background);
       synth::ActionParams ap; ap.kind=action; ap.speed=synth::SpeedMultiplier(sp);
       double ev = synth::EventDuration(ap);
-      int evframes = (int)(ev * raw.video.fps());
+      int evframes = static_cast<int>(std::lround(ev * raw.video.fps()));
       double disp = core::Displacement(raw.video.Slice(24, std::max(2,evframes)));
       std::printf("%s %s: event=%.2fs disp=%.1f%% RBRR=%.1f%%\n", synth::ToString(action), synth::ToString(sp), ev, 100*disp, 100*rbrr.verified);
     }
