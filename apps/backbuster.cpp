@@ -22,6 +22,7 @@
 
 #include "cli/args.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/metrics.h"
 #include "core/reconstruction.h"
 #include "datasets/datasets.h"
@@ -51,7 +52,9 @@ int Usage() {
       "\n"
       "global options:\n"
       "  --threads N   worker threads (default: BB_THREADS env, else all\n"
-      "                hardware threads; 1 = fully serial)\n");
+      "                hardware threads; 1 = fully serial)\n"
+      "  --trace FILE  collect per-stage timings and pipeline counters,\n"
+      "                written as JSON when the command finishes\n");
   return 2;
 }
 
@@ -101,7 +104,8 @@ int Simulate(const cli::Args& args) {
         "  --truth-out BASE   also write the true background image "
         "(default: <out>.truth)\n"
         "  --threads N        worker threads (default: BB_THREADS env,\n"
-        "                     else all hardware threads)\n");
+        "                     else all hardware threads)\n"
+        "  --trace FILE       write per-stage timings/counters as JSON\n");
     return 0;
   }
   const auto out = args.Get("out");
@@ -178,7 +182,8 @@ int Attack(const cli::Args& args) {
         "  --truth FILE      score against this image (.ppm or .png)\n"
         "  --out BASE        output image base name (default: <in>.recon)\n"
         "  --threads N       worker threads (default: BB_THREADS env,\n"
-        "                    else all hardware threads)\n",
+        "                    else all hardware threads)\n"
+        "  --trace FILE      write per-stage timings/counters as JSON\n",
         core::kDefaultPhi);
     return 0;
   }
@@ -271,8 +276,32 @@ int main(int argc, char** argv) {
     return Fail("--threads expects an integer");
   }
 
-  if (args.command() == "simulate") return Simulate(args);
-  if (args.command() == "attack") return Attack(args);
-  if (args.command() == "info") return Info(args);
-  return Usage();
+  // Global: --trace FILE collects stage timings/counters across whatever
+  // command runs and dumps them as JSON before exit. Collection never feeds
+  // back into the pipeline, so outputs are identical with or without it.
+  const auto trace_path = args.Get("trace");
+  if (trace_path) {
+    if (trace_path->empty()) return Fail("--trace expects a file path");
+    trace::Enable();
+  }
+
+  int rc;
+  if (args.command() == "simulate") {
+    rc = Simulate(args);
+  } else if (args.command() == "attack") {
+    rc = Attack(args);
+  } else if (args.command() == "info") {
+    rc = Info(args);
+  } else {
+    rc = Usage();
+  }
+
+  if (trace_path) {
+    if (trace::WriteJson(*trace_path)) {
+      std::printf("wrote %s (trace)\n", trace_path->c_str());
+    } else {
+      return Fail("cannot write trace file " + *trace_path);
+    }
+  }
+  return rc;
 }

@@ -22,6 +22,9 @@ int main() {
   c.duration_s = 12.0 * cfg.scale.duration_factor;
   const auto raw = datasets::RecordE1(c, cfg.scale);
 
+  bench::Report report("blend_modes");
+  cfg.Fill(&report);
+
   bench::PrintRule();
   std::printf("%-20s %9s %10s %11s\n", "blend function", "claimed",
               "verified", "precision");
@@ -39,16 +42,23 @@ int main() {
                 100.0 * outcome.rbrr.precision);
     min_verified = std::min(min_verified, outcome.rbrr.verified);
     max_verified = std::max(max_verified, outcome.rbrr.verified);
+    report.Measured(std::string("verified_") + ToString(mode),
+                    outcome.rbrr.verified);
   }
 
   bench::PrintRule();
+  const bool all_modes_work = min_verified > 0.02;
   std::printf("shape check: recovery works under every blend function -> "
               "%s\n",
-              min_verified > 0.02 ? "OK" : "MISMATCH");
+              all_modes_work ? "OK" : "MISMATCH");
   std::printf(
       "observation: the harder the blend mixes (trimap < ramp < feather < "
       "multiband), the fewer *pure* background pixels survive - multiband "
       "blending is itself a partial defense (spread %.1fx)\n",
       max_verified / std::max(1e-9, min_verified));
-  return 0;
+
+  report.Measured("verified_min", min_verified);
+  report.Measured("verified_max", max_verified);
+  report.Shape("recovery_under_every_blend", all_modes_work);
+  return report.Write() ? 0 : 1;
 }

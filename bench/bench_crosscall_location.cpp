@@ -74,11 +74,22 @@ int main() {
               other_n > 0 ? other_sum / other_n : 0.0);
   std::printf("paper: cross-call matching works without full-background "
               "auxiliary information (sec. VI)\n");
+  const double mean_same = same_sum / rooms;
+  const double mean_other = other_n > 0 ? other_sum / other_n : 0.0;
+  const bool same_dominates = mean_same > mean_other;
+  const bool majority_found = 2 * correct > rooms;
   std::printf("shape check: same-room scores dominate -> %s\n",
-              (same_sum / rooms) > (other_n > 0 ? other_sum / other_n : 0.0)
-                  ? "OK"
-                  : "MISMATCH");
+              same_dominates ? "OK" : "MISMATCH");
   std::printf("shape check: majority of rooms identified -> %s\n",
-              2 * correct > rooms ? "OK" : "MISMATCH");
-  return 0;
+              majority_found ? "OK" : "MISMATCH");
+
+  bench::Report report("crosscall_location");
+  cfg.Fill(&report);
+  report.Config("rooms", rooms);
+  report.Measured("rooms_identified", correct);
+  report.Measured("mean_score_same_room", mean_same);
+  report.Measured("mean_score_cross_room", mean_other);
+  report.Shape("same_room_scores_dominate", same_dominates);
+  report.Shape("majority_of_rooms_identified", majority_found);
+  return report.Write() ? 0 : 1;
 }

@@ -49,7 +49,14 @@ int main() {
   std::printf("mean leak, frames 0-4     : %.2f%%\n", 100.0 * early);
   std::printf("mean leak, last 5 frames  : %.2f%%\n", 100.0 * late);
   std::printf("paper: initial frames leak heavily, then settle (Fig. 5)\n");
+  const bool early_dominates = early > 2.0 * late;
   std::printf("shape check: early >> late -> %s\n",
-              early > 2.0 * late ? "OK" : "MISMATCH");
-  return 0;
+              early_dominates ? "OK" : "MISMATCH");
+
+  bench::Report report("fig05_initial_leakage");
+  cfg.Fill(&report);
+  report.Measured("mean_leak_frames_0_4", early);
+  report.Measured("mean_leak_last_5_frames", late);
+  report.Shape("early_leak_dominates", early_dominates);
+  return report.Write() ? 0 : 1;
 }

@@ -54,8 +54,17 @@ int main() {
       exit_is_max = false;
     }
   }
-  std::printf(
-      "shape check: exit/enter leads, typing trails -> %s\n",
-      (exit_is_max && type_mean < exit_mean / 2.5) ? "OK" : "MISMATCH");
-  return 0;
+  const bool ordering_ok = exit_is_max && type_mean < exit_mean / 2.5;
+  std::printf("shape check: exit/enter leads, typing trails -> %s\n",
+              ordering_ok ? "OK" : "MISMATCH");
+
+  bench::Report report("fig07_actions");
+  cfg.Fill(&report);
+  report.Paper("rbrr_exit_enter", 0.386);
+  report.Paper("rbrr_type", 0.044);
+  for (const auto& [name, v] : by_action) {
+    report.Measured("rbrr_" + name, v);
+  }
+  report.Shape("exit_enter_leads_type_trails", ordering_ok);
+  return report.Write() ? 0 : 1;
 }

@@ -6,7 +6,6 @@
 //   RBRR: wave slow 35.9% / average 30.3% / fast 33.7%; clap avg 22.6% vs
 //   fast 20.8%. Headline: "action events with the slowest speed returned
 //   the highest RBRR"; slower speeds produce greater displacement.
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -48,12 +47,9 @@ int main() {
         c.scene_seed = cfg.seed + static_cast<std::uint64_t>(p) * 13;
         c.duration_s = 12.0 * cfg.scale.duration_factor;
         const auto raw = datasets::RecordE1(c, cfg.scale);
-        const auto t0 = std::chrono::steady_clock::now();
+        const bench::Stopwatch attack_watch;
         rbrrs.push_back(bench::RunAttack(raw).rbrr.verified);
-        attack_seconds.push_back(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          t0)
-                .count());
+        attack_seconds.push_back(attack_watch.Seconds());
 
         synth::ActionParams params;
         params.kind = action;
@@ -107,5 +103,22 @@ int main() {
   std::printf("total mean attack wall-clock %.2f s at %d threads "
               "(set BB_THREADS to compare)\n",
               attack_s_total, common::ThreadCount());
-  return 0;
+
+  bench::Report report("fig08_speed");
+  cfg.Fill(&report);
+  report.Paper("rbrr_wave_slow", 0.359);
+  report.Paper("rbrr_wave_average", 0.303);
+  report.Paper("rbrr_wave_fast", 0.337);
+  report.Paper("rbrr_clap_average", 0.226);
+  report.Paper("rbrr_clap_fast", 0.208);
+  for (const auto& r : rows) {
+    const std::string key = std::string(ToString(r.action)) + "_" +
+                            ToString(r.speed);
+    report.Measured("rbrr_" + key, r.rbrr);
+    report.Measured("displacement_" + key, r.displacement);
+  }
+  report.Measured("attack_seconds_total", attack_s_total);
+  report.Shape("slow_to_fast_displacement_falls", disp_ordered);
+  report.Shape("slowest_speed_leaks_most", slow_leads);
+  return report.Write() ? 0 : 1;
 }

@@ -56,7 +56,17 @@ int main() {
   std::printf("spread across accessory combos: %.1f%% (max-min)\n",
               100.0 * (hi - lo));
   std::printf("paper: no significant difference across accessories\n");
+  const bool spread_small = (hi - lo) < 0.5 * hi;
   std::printf("shape check: spread small relative to the signal -> %s\n",
-              (hi - lo) < 0.5 * hi ? "OK" : "MISMATCH");
-  return 0;
+              spread_small ? "OK" : "MISMATCH");
+
+  bench::Report report("fig09_accessories");
+  cfg.Fill(&report);
+  for (std::size_t i = 0; i < combo_means.size(); ++i) {
+    report.Measured(std::string("rbrr_") + ToString(combos[i]),
+                    combo_means[i]);
+  }
+  report.Measured("spread_max_minus_min", hi - lo);
+  report.Shape("spread_small_relative_to_signal", spread_small);
+  return report.Write() ? 0 : 1;
 }

@@ -55,12 +55,24 @@ int main() {
   std::printf("measured mean: ON %.1f%% vs OFF %.1f%%\n", 100.0 * mean_on,
               100.0 * mean_off);
   std::printf("paper        : ON 39.6%% vs OFF 41.6%%\n");
+  const double region_iou = region_overlap_sum / region_overlap_n;
   std::printf("recovered-region IoU across lighting: %.2f (1.0 = identical)\n",
-              region_overlap_sum / region_overlap_n);
+              region_iou);
+  const bool off_leaks_as_much = mean_off >= mean_on * 0.95;
+  const bool regions_differ = region_iou < 0.85;
   std::printf("shape check: lights OFF leaks at least as much -> %s\n",
-              mean_off >= mean_on * 0.95 ? "OK" : "MISMATCH");
+              off_leaks_as_much ? "OK" : "MISMATCH");
   std::printf("shape check: regions differ across lighting -> %s\n",
-              region_overlap_sum / region_overlap_n < 0.85 ? "OK"
-                                                           : "MISMATCH");
-  return 0;
+              regions_differ ? "OK" : "MISMATCH");
+
+  bench::Report report("fig10_lighting");
+  cfg.Fill(&report);
+  report.Paper("rbrr_lights_on", 0.396);
+  report.Paper("rbrr_lights_off", 0.416);
+  report.Measured("rbrr_lights_on", mean_on);
+  report.Measured("rbrr_lights_off", mean_off);
+  report.Measured("region_iou_across_lighting", region_iou);
+  report.Shape("lights_off_leaks_at_least_as_much", off_leaks_as_much);
+  report.Shape("regions_differ_across_lighting", regions_differ);
+  return report.Write() ? 0 : 1;
 }

@@ -45,7 +45,18 @@ int main() {
   const double mp = bench::Mean(passive), ma = bench::Mean(active),
                mw = bench::Mean(wild);
   bench::PrintRule();
+  const bool ordering_ok = ma > mw && mw > mp;
   std::printf("shape check: active > wild > passive -> %s\n",
-              (ma > mw && mw > mp) ? "OK" : "MISMATCH");
-  return 0;
+              ordering_ok ? "OK" : "MISMATCH");
+
+  bench::Report report("fig12a_rbrr_e2e3");
+  cfg.Fill(&report);
+  report.Paper("rbrr_passive_e2", 0.098);
+  report.Paper("rbrr_active_e2", 0.300);
+  report.Paper("rbrr_wild_e3", 0.239);
+  report.Measured("rbrr_passive_e2", mp);
+  report.Measured("rbrr_active_e2", ma);
+  report.Measured("rbrr_wild_e3", mw);
+  report.Shape("active_gt_wild_gt_passive", ordering_ok);
+  return report.Write() ? 0 : 1;
 }

@@ -96,9 +96,26 @@ int main() {
       groups[0].TopK(10) > core::RandomBaselineTopK(10, cfg.dictionary_size) &&
       groups[1].TopK(10) > core::RandomBaselineTopK(10, cfg.dictionary_size) &&
       groups[2].TopK(10) > core::RandomBaselineTopK(10, cfg.dictionary_size);
+  const bool active_ge_passive = groups[1].TopK(1) >= groups[0].TopK(1);
   std::printf("shape check: every group beats the random baseline -> %s\n",
               beats_random ? "OK" : "MISMATCH");
   std::printf("shape check: active top-1 >= passive top-1 -> %s\n",
-              groups[1].TopK(1) >= groups[0].TopK(1) ? "OK" : "MISMATCH");
-  return 0;
+              active_ge_passive ? "OK" : "MISMATCH");
+
+  bench::Report report("fig12b_location");
+  cfg.Fill(&report);
+  report.Paper("top1_passive_e2", 0.20);
+  report.Paper("top1_active_e2", 0.60);
+  report.Paper("top1_wild_e3", 0.46);
+  report.Paper("top10_passive_e2", 0.80);
+  const char* keys[3] = {"passive_e2", "active_e2", "wild_e3"};
+  for (int g = 0; g < 3; ++g) {
+    report.Measured(std::string("top1_") + keys[g], groups[g].TopK(1));
+    report.Measured(std::string("top10_") + keys[g], groups[g].TopK(10));
+  }
+  report.Measured("random_baseline_top10",
+                  core::RandomBaselineTopK(10, cfg.dictionary_size));
+  report.Shape("every_group_beats_random", beats_random);
+  report.Shape("active_top1_ge_passive_top1", active_ge_passive);
+  return report.Write() ? 0 : 1;
 }

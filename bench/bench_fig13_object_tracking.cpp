@@ -87,7 +87,19 @@ int main() {
               acc.true_negatives, acc.false_positives, acc.false_negatives);
   std::printf("measured accuracy : %.1f%%\n", 100.0 * acc.Accuracy());
   std::printf("paper             : 90 objects, 96.7%% accuracy\n");
+  const bool above_chance = acc.Accuracy() > 0.75;
   std::printf("shape check: accuracy well above chance (50%%) -> %s\n",
-              acc.Accuracy() > 0.75 ? "OK" : "MISMATCH");
-  return 0;
+              above_chance ? "OK" : "MISMATCH");
+
+  bench::Report report("fig13_object_tracking");
+  cfg.Fill(&report);
+  report.Paper("tracking_accuracy", 0.967);
+  report.Measured("tracking_accuracy", acc.Accuracy());
+  report.Measured("trials", static_cast<double>(trials.size()));
+  report.Measured("true_positives", acc.true_positives);
+  report.Measured("true_negatives", acc.true_negatives);
+  report.Measured("false_positives", acc.false_positives);
+  report.Measured("false_negatives", acc.false_negatives);
+  report.Shape("accuracy_above_chance", above_chance);
+  return report.Write() ? 0 : 1;
 }

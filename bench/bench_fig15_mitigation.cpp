@@ -129,5 +129,26 @@ int main() {
               claimed_up ? "OK" : "MISMATCH");
   std::printf("shape check: mitigation degrades location inference -> %s\n",
               location_down ? "OK" : "MISMATCH");
-  return 0;
+
+  bench::Report report("fig15_mitigation");
+  cfg.Fill(&report);
+  report.Paper("claimed_defended_passive_e2", 0.658);
+  report.Paper("claimed_defended_active_e2", 0.740);
+  report.Paper("claimed_defended_wild_e3", 0.862);
+  report.Paper("top25_defended_active_e2", 0.40);
+  report.Paper("top25_defended_wild_e3", 0.22);
+  const char* keys[3] = {"passive_e2", "active_e2", "wild_e3"};
+  for (int g = 0; g < 3; ++g) {
+    report.Measured(std::string("claimed_plain_") + keys[g],
+                    bench::Mean(groups[g].plain_claimed));
+    report.Measured(std::string("claimed_defended_") + keys[g],
+                    bench::Mean(groups[g].defended_claimed));
+    report.Measured(std::string("top25_plain_") + keys[g],
+                    groups[g].TopK(groups[g].plain_rank, 25));
+    report.Measured(std::string("top25_defended_") + keys[g],
+                    groups[g].TopK(groups[g].defended_rank, 25));
+  }
+  report.Shape("mitigation_inflates_claimed", claimed_up);
+  report.Shape("mitigation_degrades_location", location_down);
+  return report.Write() ? 0 : 1;
 }

@@ -116,13 +116,25 @@ int main() {
   bench::PrintRule();
   std::printf("paper: each heuristic trades call fidelity for background "
               "privacy (sec. IX-B)\n");
+  const bool random_weakens = random_vb_verified < baseline.rbrr.verified;
+  const bool dropping_weakens = dropped_verified < baseline.rbrr.verified;
+  const bool fake_eliminates =
+      fake_verified < 0.35 * baseline.rbrr.verified;
   std::printf("shape check: random VB weakens the attack -> %s\n",
-              random_vb_verified < baseline.rbrr.verified ? "OK"
-                                                          : "MISMATCH");
+              random_weakens ? "OK" : "MISMATCH");
   std::printf("shape check: frame dropping weakens the attack -> %s\n",
-              dropped_verified < baseline.rbrr.verified ? "OK" : "MISMATCH");
+              dropping_weakens ? "OK" : "MISMATCH");
   std::printf("shape check: fake frames nearly eliminate recovery -> %s\n",
-              fake_verified < 0.35 * baseline.rbrr.verified ? "OK"
-                                                            : "MISMATCH");
-  return 0;
+              fake_eliminates ? "OK" : "MISMATCH");
+
+  bench::Report bench_report("heuristics");
+  cfg.Fill(&bench_report);
+  bench_report.Measured("verified_baseline", baseline.rbrr.verified);
+  bench_report.Measured("verified_random_vb", random_vb_verified);
+  bench_report.Measured("verified_frame_dropping", dropped_verified);
+  bench_report.Measured("verified_fake_frames", fake_verified);
+  bench_report.Shape("random_vb_weakens_attack", random_weakens);
+  bench_report.Shape("frame_dropping_weakens_attack", dropping_weakens);
+  bench_report.Shape("fake_frames_nearly_eliminate", fake_eliminates);
+  return bench_report.Write() ? 0 : 1;
 }

@@ -4,9 +4,15 @@
 // and of each reconstruction stage at the default 192x144 simulation
 // resolution. The *Threads benchmarks sweep --threads values (Arg = thread
 // count) so the parallel-runtime speedup is measured, not asserted.
+//
+// Unlike the table benches this binary does NOT enable stage tracing: the
+// kernels it times include instrumented code, and the tracing fast path is
+// supposed to be free when disabled - measured here, asserted (<2%
+// regression budget) by the golden perf tracking in tools/check.sh.
 #include <benchmark/benchmark.h>
 
 #include "common/parallel.h"
+#include "report.h"
 #include "core/blur_masking.h"
 #include "core/reconstruction.h"
 #include "core/vb_masking.h"
@@ -183,6 +189,49 @@ void BM_FullCompositeFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCompositeFrame);
 
+// Console reporter that also remembers every per-iteration run so main()
+// can serialize them into BENCH_perf.json after the sweep.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_seconds;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      // GetAdjustedRealTime() is expressed in the run's display unit;
+      // normalize back to seconds for the report.
+      entries_.push_back(
+          {run.benchmark_name(),
+           run.GetAdjustedRealTime() /
+               benchmark::GetTimeUnitMultiplier(run.time_unit)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bb::bench::Report report("perf");
+  report.Config("width", kW);
+  report.Config("height", kH);
+  report.Config("threads_default", bb::common::ThreadCount());
+  for (const auto& e : reporter.entries()) {
+    report.Measured(e.name + " [s]", e.real_seconds);
+  }
+  return report.Write() ? 0 : 1;
+}

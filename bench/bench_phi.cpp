@@ -29,6 +29,9 @@ int main() {
   const auto call = vbg::ApplyVirtualBackground(raw, vb);
   const auto ref = core::VbReference::KnownImage(vb.image());
 
+  bench::Report report("phi");
+  cfg.Fill(&report);
+
   bench::PrintRule();
   std::printf("%6s %10s %12s %11s\n", "phi", "claimed", "verified",
               "precision");
@@ -45,6 +48,9 @@ int main() {
     std::printf("%6.1f %9.1f%% %11.1f%% %10.1f%%\n", phi,
                 100.0 * rbrr.claimed, 100.0 * rbrr.verified,
                 100.0 * rbrr.precision);
+    char key[40];
+    std::snprintf(key, sizeof(key), "verified_at_phi_%.0f", phi);
+    report.Measured(key, rbrr.verified);
     if (phi == 0.0) {
       verified_at_0 = rbrr.verified;
       precision_at_0 = rbrr.precision;
@@ -80,12 +86,20 @@ int main() {
               cfg.scale.height);
   std::printf("paper calibrated phi      : 20 px at ~720p (~4 at 144p)\n");
   std::printf("framework default phi     : %.1f px\n", core::kDefaultPhi);
+  const bool precision_grows = precision_at_0 < precision_at_cal;
+  const bool verified_peaks =
+      verified_at_cal > verified_at_0 && verified_at_cal > verified_at_max;
   std::printf("shape check: precision grows with phi -> %s\n",
-              precision_at_0 < precision_at_cal ? "OK" : "MISMATCH");
-  std::printf(
-      "shape check: verified recovery peaks at moderate phi -> %s\n",
-      (verified_at_cal > verified_at_0 && verified_at_cal > verified_at_max)
-          ? "OK"
-          : "MISMATCH");
-  return 0;
+              precision_grows ? "OK" : "MISMATCH");
+  std::printf("shape check: verified recovery peaks at moderate phi -> %s\n",
+              verified_peaks ? "OK" : "MISMATCH");
+
+  report.Paper("calibrated_phi_at_144p", 4.0);
+  report.Measured("calibrated_phi_probe", measured_phi);
+  report.Measured("default_phi", core::kDefaultPhi);
+  report.Measured("precision_at_phi_0", precision_at_0);
+  report.Measured("precision_at_default_phi", precision_at_cal);
+  report.Shape("precision_grows_with_phi", precision_grows);
+  report.Shape("verified_peaks_at_moderate_phi", verified_peaks);
+  return report.Write() ? 0 : 1;
 }

@@ -61,10 +61,27 @@ int main() {
   std::printf("%-10s %10s %14s\n", "paper", "23.9/19.4%", "80/76%");
 
   bench::PrintRule();
+  const bool skype_leaks_less =
+      bench::Mean(skype_rbrr) < bench::Mean(zoom_rbrr);
+  const bool skype_location_le = skype_top10 <= zoom_top10;
   std::printf("shape check: skype leaks less than zoom -> %s\n",
-              bench::Mean(skype_rbrr) < bench::Mean(zoom_rbrr) ? "OK"
-                                                               : "MISMATCH");
+              skype_leaks_less ? "OK" : "MISMATCH");
   std::printf("shape check: skype location <= zoom location -> %s\n",
-              skype_top10 <= zoom_top10 ? "OK" : "MISMATCH");
-  return 0;
+              skype_location_le ? "OK" : "MISMATCH");
+
+  bench::Report report("skype_vs_zoom");
+  cfg.Fill(&report);
+  report.Paper("rbrr_e3_zoom", 0.239);
+  report.Paper("rbrr_e3_skype", 0.194);
+  report.Paper("top10_zoom", 0.80);
+  report.Paper("top10_skype", 0.76);
+  report.Measured("rbrr_e3_zoom", bench::Mean(zoom_rbrr));
+  report.Measured("rbrr_e3_skype", bench::Mean(skype_rbrr));
+  report.Measured("top10_zoom",
+                  static_cast<double>(zoom_top10) / recs.size());
+  report.Measured("top10_skype",
+                  static_cast<double>(skype_top10) / recs.size());
+  report.Shape("skype_leaks_less_than_zoom", skype_leaks_less);
+  report.Shape("skype_location_le_zoom", skype_location_le);
+  return report.Write() ? 0 : 1;
 }

@@ -69,11 +69,23 @@ int main() {
   bench::PrintRule();
   std::printf("paper: both video-VB scenarios feed the same reconstruction "
               "pipeline (sec. V-B)\n");
+  const bool known_works = known.verified > 0.05;
+  const bool derived_works = derived_ref && derived.verified > 0.03;
+  const bool known_ge_derived = known.verified >= derived.verified;
   std::printf("shape check: known video VB recovers background -> %s\n",
-              known.verified > 0.05 ? "OK" : "MISMATCH");
+              known_works ? "OK" : "MISMATCH");
   std::printf("shape check: derived video VB also works -> %s\n",
-              (derived_ref && derived.verified > 0.03) ? "OK" : "MISMATCH");
+              derived_works ? "OK" : "MISMATCH");
   std::printf("shape check: known >= derived -> %s\n",
-              known.verified >= derived.verified ? "OK" : "MISMATCH");
-  return 0;
+              known_ge_derived ? "OK" : "MISMATCH");
+
+  bench::Report bench_report("video_vb");
+  cfg.Fill(&bench_report);
+  bench_report.Measured("verified_static_image", image_outcome.rbrr.verified);
+  bench_report.Measured("verified_video_known", known.verified);
+  bench_report.Measured("verified_video_derived", derived.verified);
+  bench_report.Shape("known_video_vb_recovers", known_works);
+  bench_report.Shape("derived_video_vb_works", derived_works);
+  bench_report.Shape("known_ge_derived", known_ge_derived);
+  return bench_report.Write() ? 0 : 1;
 }

@@ -1,0 +1,146 @@
+#include "report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bb::bench {
+
+namespace {
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendSection(
+    std::string* out, std::string_view section,
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    bool trailing_comma) {
+  *out += "  \"";
+  *out += section;
+  *out += "\": {";
+  bool first = true;
+  for (const auto& [key, value] : entries) {
+    *out += first ? "\n" : ",\n";
+    first = false;
+    *out += "    \"" + trace::EscapeJson(key) + "\": " + value;
+  }
+  *out += first ? "}" : "\n  }";
+  *out += trailing_comma ? ",\n" : "\n";
+}
+
+std::vector<std::pair<std::string, std::string>> Serialized(
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries.size());
+  for (const auto& [key, value] : entries) {
+    out.emplace_back(key, JsonNumber(value));
+  }
+  return out;
+}
+
+}  // namespace
+
+Report::Report(std::string_view bench_name) : name_(bench_name) {}
+
+void Report::Config(std::string_view key, std::string_view value) {
+  config_.emplace_back(std::string(key),
+                       "\"" + trace::EscapeJson(value) + "\"");
+}
+
+void Report::Config(std::string_view key, const char* value) {
+  Config(key, std::string_view(value));
+}
+
+void Report::Config(std::string_view key, double value) {
+  config_.emplace_back(std::string(key), JsonNumber(value));
+}
+
+void Report::Config(std::string_view key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  config_.emplace_back(std::string(key), buf);
+}
+
+void Report::Config(std::string_view key, int value) {
+  Config(key, static_cast<std::int64_t>(value));
+}
+
+void Report::Paper(std::string_view metric, double value) {
+  paper_.emplace_back(std::string(metric), value);
+}
+
+void Report::Measured(std::string_view metric, double value) {
+  measured_.emplace_back(std::string(metric), value);
+}
+
+void Report::Shape(std::string_view check, bool ok) {
+  shape_checks_.emplace_back(std::string(check), ok);
+}
+
+bool Report::AllShapeChecksPass() const {
+  for (const auto& [check, ok] : shape_checks_) {
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string Report::FileName() const { return "BENCH_" + name_ + ".json"; }
+
+std::string Report::FilePath() const {
+  const char* dir = std::getenv("BB_BENCH_REPORT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return FileName();
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + FileName();
+}
+
+std::string Report::ToJson() const {
+  std::string out;
+  out += "{\n  \"schema\": \"bb.bench.v1\",\n";
+  out += "  \"bench\": \"" + trace::EscapeJson(name_) + "\",\n";
+  AppendSection(&out, "config", config_, /*trailing_comma=*/true);
+  AppendSection(&out, "paper", Serialized(paper_), /*trailing_comma=*/true);
+  AppendSection(&out, "measured", Serialized(measured_),
+                /*trailing_comma=*/true);
+  std::vector<std::pair<std::string, std::string>> shapes;
+  shapes.reserve(shape_checks_.size());
+  for (const auto& [check, ok] : shape_checks_) {
+    shapes.emplace_back(check, ok ? "true" : "false");
+  }
+  AppendSection(&out, "shape_checks", shapes, /*trailing_comma=*/true);
+
+  // Embed the stage-timing registry (schema bb.trace.v1) as captured now;
+  // benches enable collection at startup, so this holds every stage the
+  // run touched.
+  std::string trace_json = trace::ToJson(trace::Capture());
+  while (!trace_json.empty() && trace_json.back() == '\n') {
+    trace_json.pop_back();
+  }
+  out += "  \"trace\": " + trace_json + "\n}\n";
+  return out;
+}
+
+bool Report::Write() const {
+  const std::string path = FilePath();
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == json.size() && closed;
+  if (ok) {
+    std::printf("wrote %s (report)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "report: cannot write %s\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace bb::bench

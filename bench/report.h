@@ -1,0 +1,83 @@
+// Machine-readable bench reports (schema "bb.bench.v1").
+//
+// Every table/figure bench builds a Report while it runs and writes it as
+// BENCH_<name>.json next to its stdout table, so EXPERIMENTS.md numbers can
+// be regenerated and diffed without scraping text. A report carries:
+//   * config        - the simulation parameters the bench ran with
+//   * paper         - the paper's reported values for the same quantities
+//   * measured      - what this run produced
+//   * shape_checks  - the qualitative pass/fail assertions the bench prints
+//   * trace         - the stage-timing/counter registry (bb.trace.v1),
+//                     captured at Write() time
+//
+// This header is standalone bench infrastructure: it depends only on
+// common/trace.h, never on bench_util.h, so tools and tests can use it
+// without dragging in the simulation stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace bb::bench {
+
+// Wall-clock stopwatch over the sanctioned trace clock - the one way a
+// bench may time things itself (bblint bans raw chrono reads tree-wide,
+// including bench/).
+class Stopwatch {
+ public:
+  Stopwatch() : start_seconds_(trace::MonotonicSeconds()) {}
+  double Seconds() const {
+    return trace::MonotonicSeconds() - start_seconds_;
+  }
+  void Restart() { start_seconds_ = trace::MonotonicSeconds(); }
+
+ private:
+  double start_seconds_;
+};
+
+class Report {
+ public:
+  // `bench_name` is the short name: "vbmr" for bench_vbmr. The report file
+  // is BENCH_<bench_name>.json in the working directory (or under
+  // BB_BENCH_REPORT_DIR when set).
+  explicit Report(std::string_view bench_name);
+
+  // Sections keep insertion order; keys repeat the stdout table's wording.
+  void Config(std::string_view key, std::string_view value);
+  void Config(std::string_view key, const char* value);
+  void Config(std::string_view key, double value);
+  void Config(std::string_view key, std::int64_t value);
+  void Config(std::string_view key, int value);
+  void Paper(std::string_view metric, double value);
+  void Measured(std::string_view metric, double value);
+  void Shape(std::string_view check, bool ok);
+
+  bool AllShapeChecksPass() const;
+
+  const std::string& name() const { return name_; }
+  std::string FileName() const;  // "BENCH_<name>.json"
+  std::string FilePath() const;  // FileName() resolved against
+                                 // BB_BENCH_REPORT_DIR when set
+
+  // Serializes the report, embedding a fresh trace snapshot. Non-finite
+  // doubles become JSON null (NaN/Inf have no JSON representation).
+  std::string ToJson() const;
+
+  // Writes FilePath() and reports the path on stdout. False on I/O error.
+  bool Write() const;
+
+ private:
+  std::string name_;
+  // Config values are stored pre-serialized as JSON literals.
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> paper_;
+  std::vector<std::pair<std::string, double>> measured_;
+  std::vector<std::pair<std::string, bool>> shape_checks_;
+};
+
+}  // namespace bb::bench

@@ -1,0 +1,232 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace bb::trace {
+
+namespace {
+
+struct StageSlot {
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+// One mutex guards both maps. Instrumentation is per-frame / per-stage
+// granularity (never per-pixel), so contention is negligible next to the
+// work being timed; std::map keeps snapshots name-sorted for free and its
+// nodes are pointer-stable, which lets ScopedTimer hold a slot across its
+// lifetime without re-looking it up.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, StageSlot, std::less<>> stages;
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+};
+
+Registry& Reg() {
+  static Registry* r = new Registry();  // never destroyed: timers may
+  return *r;                            // outlive static-destruction order
+}
+
+std::atomic<bool> g_enabled{false};
+
+std::string& EnvTracePath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void WriteEnvTraceAtExit() {
+  const std::string& path = EnvTracePath();
+  if (!WriteJson(path)) {
+    std::fprintf(stderr, "trace: cannot write BB_TRACE file %s\n",
+                 path.c_str());
+  }
+}
+
+// BB_TRACE=<path> enables collection for any binary linking this TU and
+// dumps the registry at normal exit - the no-code-changes enablement path
+// for benches, tools, and tests.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("BB_TRACE");
+    if (env == nullptr || env[0] == '\0') return;
+    EnvTracePath() = env;
+    g_enabled.store(true, std::memory_order_relaxed);
+    std::atexit(WriteEnvTraceAtExit);
+  }
+};
+EnvInit g_env_init;
+
+void AppendJsonUint(std::string* out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Enable() { g_enabled.store(true, std::memory_order_relaxed); }
+
+void Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void Reset() {
+  Registry& reg = Reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  reg.stages.clear();
+  reg.counters.clear();
+}
+
+double MonotonicSeconds() {
+  // The one sanctioned wall-clock read (see the header and bblint's
+  // no-nondeterminism rule). Everything time-derived flows through here.
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AddCounter(std::string_view name, std::uint64_t delta) {
+  if (!Enabled()) return;
+  Registry& reg = Reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.counters.find(name);
+  if (it == reg.counters.end()) {
+    it = reg.counters.emplace(std::string(name), 0).first;
+  }
+  it->second += delta;  // uint64: wraps modulo 2^64 by definition
+}
+
+ScopedTimer::ScopedTimer(std::string_view stage) {
+  if (!Enabled()) return;
+  Registry& reg = Reg();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.stages.find(stage);
+    if (it == reg.stages.end()) {
+      it = reg.stages.emplace(std::string(stage), StageSlot{}).first;
+    }
+    slot_ = &it->second;
+  }
+  start_seconds_ = MonotonicSeconds();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (slot_ == nullptr) return;
+  const double elapsed = MonotonicSeconds() - start_seconds_;
+  Registry& reg = Reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  StageSlot& slot = *static_cast<StageSlot*>(slot_);
+  if (slot.calls == 0 || elapsed < slot.min_seconds) {
+    slot.min_seconds = elapsed;
+  }
+  if (slot.calls == 0 || elapsed > slot.max_seconds) {
+    slot.max_seconds = elapsed;
+  }
+  ++slot.calls;
+  slot.total_seconds += elapsed;
+}
+
+Snapshot Capture() {
+  Snapshot snap;
+  Registry& reg = Reg();
+  const std::lock_guard<std::mutex> lock(reg.mu);
+  snap.stages.reserve(reg.stages.size());
+  for (const auto& [name, slot] : reg.stages) {
+    snap.stages.push_back({name, slot.calls, slot.total_seconds,
+                           slot.min_seconds, slot.max_seconds});
+  }
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& [name, value] : reg.counters) {
+    snap.counters.push_back({name, value});
+  }
+  return snap;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const Snapshot& snapshot, bool include_timings) {
+  std::string out;
+  out += "{\n  \"schema\": \"bb.trace.v1\",\n  \"stages\": {";
+  bool first = true;
+  for (const auto& s : snapshot.stages) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(s.name) + "\": {\"calls\": ";
+    AppendJsonUint(&out, s.calls);
+    if (include_timings) {
+      out += ", \"total_ms\": ";
+      AppendJsonDouble(&out, s.total_seconds * 1e3);
+      out += ", \"mean_ms\": ";
+      AppendJsonDouble(&out,
+                       s.calls > 0
+                           ? s.total_seconds * 1e3 /
+                                 static_cast<double>(s.calls)
+                           : 0.0);
+      out += ", \"min_ms\": ";
+      AppendJsonDouble(&out, s.min_seconds * 1e3);
+      out += ", \"max_ms\": ";
+      AppendJsonDouble(&out, s.max_seconds * 1e3);
+    }
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(c.name) + "\": ";
+    AppendJsonUint(&out, c.value);
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+bool WriteJson(const std::string& path) {
+  const std::string json = ToJson(Capture(), /*include_timings=*/true);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  return written == json.size() && closed;
+}
+
+}  // namespace bb::trace

@@ -1,0 +1,104 @@
+// Stage-level observability for the reconstruction pipeline (DESIGN.md
+// "Observability").
+//
+// A process-wide registry of named stage timers and monotonic counters,
+// designed so every pipeline run can answer "where did the time go" per
+// stage without perturbing the computation it observes:
+//   * Zero overhead when disabled. Collection is off by default; a disabled
+//     ScopedTimer / AddCounter is a relaxed atomic load and a branch - no
+//     clock read, no lock, no allocation.
+//   * Observation only. Tracing never feeds back into pipeline state, so
+//     outputs are bit-identical with tracing on or off.
+//   * Deterministic structure. Stage/counter *names*, call counts, and
+//     counter values depend only on the work performed, never on thread
+//     scheduling; ToJson(snapshot, /*include_timings=*/false) is therefore
+//     bit-identical across runs and thread counts. Wall-clock durations are
+//     the one nondeterministic ingredient and are clearly separated so they
+//     can be excluded.
+//
+// Enablement: `backbuster --trace <path>` turns collection on and writes the
+// JSON at exit; every other binary (benches, tools, tests) honors the
+// BB_TRACE=<path> environment variable, which enables collection at startup
+// and dumps the registry to <path> at normal process exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bb::trace {
+
+// True when collection is on. The fast path every instrumentation site
+// checks first.
+bool Enabled();
+
+// Turns collection on/off. Already-recorded data is kept (see Reset).
+void Enable();
+void Disable();
+
+// Drops every recorded stage and counter. Must not be called while a
+// ScopedTimer is alive (its registry slot would dangle).
+void Reset();
+
+// Monotonic wall-clock seconds from an arbitrary epoch. The single
+// sanctioned clock read in the tree (bblint's no-nondeterminism rule bans
+// clock reads everywhere else); benches time through this or ScopedTimer.
+double MonotonicSeconds();
+
+// Adds `delta` to the named monotonic counter, creating it at zero on first
+// use. Counters are uint64 and wrap modulo 2^64 on overflow (unsigned
+// arithmetic; never undefined behavior). No-op when disabled.
+void AddCounter(std::string_view name, std::uint64_t delta);
+
+// RAII wall-time accumulator for one named stage. Nests freely (inner
+// stages are accounted in both their own slot and the enclosing stage's
+// elapsed time, like a flat profiler). Thread-safe: concurrent timers on
+// the same stage accumulate without tearing.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view stage);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void* slot_ = nullptr;  // registry slot; null when disabled at entry
+  double start_seconds_ = 0.0;
+};
+
+struct StageStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+// A consistent copy of the registry; stages and counters sorted by name so
+// serialization order never depends on insertion (i.e. scheduling) order.
+struct Snapshot {
+  std::vector<StageStats> stages;
+  std::vector<CounterValue> counters;
+};
+Snapshot Capture();
+
+// RFC 8259 string escaping: backslash, double quote, and control characters
+// (U+0000..U+001F as \uXXXX); all other bytes pass through untouched.
+std::string EscapeJson(std::string_view s);
+
+// Serializes a snapshot. With include_timings=false every wall-clock-derived
+// field is omitted, leaving only names, call counts, and counter values -
+// the deterministic skeleton the determinism suite pins across thread
+// counts.
+std::string ToJson(const Snapshot& snapshot, bool include_timings = true);
+
+// Captures and writes the registry as JSON to `path`. False on I/O failure.
+bool WriteJson(const std::string& path);
+
+}  // namespace bb::trace

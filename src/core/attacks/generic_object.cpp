@@ -1,12 +1,17 @@
 #include "core/attacks/generic_object.h"
 
+#include "common/trace.h"
+
 namespace bb::core {
 
 std::vector<detect::Detection> InferObjects(
     const ReconstructionResult& reconstruction,
     const detect::GenericDetectorOptions& opts) {
-  return detect::DetectObjects(reconstruction.background,
-                               reconstruction.coverage, opts);
+  const trace::ScopedTimer timer("attack.generic_object");
+  auto detections = detect::DetectObjects(reconstruction.background,
+                                          reconstruction.coverage, opts);
+  trace::AddCounter("generic_object.detections", detections.size());
+  return detections;
 }
 
 std::optional<detect::ObjectClass> ExpectedClass(synth::ObjectKind kind) {

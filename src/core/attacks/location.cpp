@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.h"
 #include "imaging/transform.h"
 
 namespace bb::core {
@@ -77,6 +78,7 @@ double LocationMatchScore(const Image& reconstruction,
                           const Bitmap& coverage, const Image& candidate,
                           const LocationMatchOptions& opts) {
   imaging::RequireSameShape(reconstruction, coverage, "LocationMatchScore");
+  const trace::ScopedTimer timer("attack.location.score");
   if (imaging::SetFraction(coverage) < opts.min_coverage) return 0.0;
   const auto candidate_hsv = ToHsvGrid(candidate);
   double best = 0.0;
@@ -95,6 +97,8 @@ std::vector<RankedCandidate> RankLocations(
     const Image& reconstruction, const Bitmap& coverage,
     std::span<const Image> dictionary, const LocationMatchOptions& opts) {
   imaging::RequireSameShape(reconstruction, coverage, "RankLocations");
+  const trace::ScopedTimer timer("attack.location.rank");
+  trace::AddCounter("location.candidates_ranked", dictionary.size());
 
   // Precompute per-rotation sample lists once; reuse for every candidate.
   std::vector<std::vector<Sample>> rotated_samples;
@@ -150,6 +154,7 @@ CrossCallMatch MatchReconstructions(const Image& recon_a,
   imaging::RequireSameShape(recon_a, coverage_a, "MatchReconstructions");
   imaging::RequireSameShape(recon_b, coverage_b, "MatchReconstructions");
   imaging::RequireSameShape(recon_a, recon_b, "MatchReconstructions");
+  const trace::ScopedTimer timer("attack.location.crosscall");
 
   CrossCallMatch out;
   out.overlap =

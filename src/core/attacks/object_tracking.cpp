@@ -1,13 +1,19 @@
 #include "core/attacks/object_tracking.h"
 
+#include "common/trace.h"
+
 namespace bb::core {
 
 ObjectTrackingResult TrackObject(const ReconstructionResult& reconstruction,
                                  const imaging::Image& object_template,
                                  const detect::TemplateMatchOptions& opts) {
+  const trace::ScopedTimer timer("attack.object_tracking");
   const auto match =
       detect::MatchTemplate(reconstruction.background,
                             reconstruction.coverage, object_template, opts);
+  if (trace::Enabled() && match.found) {
+    trace::AddCounter("object_tracking.objects_found", 1);
+  }
   return {match.found, match.score, match.window};
 }
 

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace bb::core {
 
 std::vector<detect::TextDetection> InferText(
     const ReconstructionResult& reconstruction,
     const detect::OcrOptions& opts) {
-  return detect::DetectText(reconstruction.background,
-                            reconstruction.coverage, opts);
+  const trace::ScopedTimer timer("attack.text");
+  auto detections = detect::DetectText(reconstruction.background,
+                                       reconstruction.coverage, opts);
+  trace::AddCounter("text.detections", detections.size());
+  return detections;
 }
 
 TextInferenceScore ScoreText(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace bb::core {
 
@@ -19,6 +20,7 @@ Reconstructor::Reconstructor(const VbReference& reference,
       opts_(opts) {}
 
 void Reconstructor::PrepareCaller(const video::VideoStream& call) {
+  const trace::ScopedTimer timer("reconstruct.caller_prepare");
   caller_masker_.Prepare(call);
   caller_prepared_ = true;
 }
@@ -27,19 +29,40 @@ FrameDecomposition Reconstructor::Decompose(const video::VideoStream& call,
                                             int frame_index) const {
   const Image& frame = call.frame(frame_index);
   FrameDecomposition d;
-  d.vbm = ComputeVbm(frame,
-                     reference_.ImageFor(frame, frame_index, opts_.vb),
-                     reference_.ValidFor(frame, frame_index, opts_.vb),
-                     opts_.vb.match_tolerance);
-  d.bbm = ComputeBbm(d.vbm, opts_.phi);
-  d.vcm = caller_masker_.Vcm(call, frame_index);
-  // LB = residue after removing the three components.
-  d.lb = Bitmap(frame.width(), frame.height());
-  auto pb = d.bbm.pixels();
-  auto pc = d.vcm.pixels();
-  auto pl = d.lb.pixels();
-  for (std::size_t i = 0; i < pl.size(); ++i) {
-    pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
+  {
+    const trace::ScopedTimer timer("reconstruct.vbm");
+    d.vbm = ComputeVbm(frame,
+                       reference_.ImageFor(frame, frame_index, opts_.vb),
+                       reference_.ValidFor(frame, frame_index, opts_.vb),
+                       opts_.vb.match_tolerance);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.bbm");
+    d.bbm = ComputeBbm(d.vbm, opts_.phi);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.vcm");
+    d.vcm = caller_masker_.Vcm(call, frame_index);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.lb");
+    // LB = residue after removing the three components.
+    d.lb = Bitmap(frame.width(), frame.height());
+    auto pb = d.bbm.pixels();
+    auto pc = d.vcm.pixels();
+    auto pl = d.lb.pixels();
+    for (std::size_t i = 0; i < pl.size(); ++i) {
+      pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
+    }
+  }
+  if (trace::Enabled()) {
+    // Per-stage masked-pixel volumes; summed per frame, so the totals are
+    // independent of how the frame loop is sharded across threads.
+    trace::AddCounter("reconstruct.frames_decomposed", 1);
+    trace::AddCounter("reconstruct.pixels.vbm", imaging::CountSet(d.vbm));
+    trace::AddCounter("reconstruct.pixels.bbm", imaging::CountSet(d.bbm));
+    trace::AddCounter("reconstruct.pixels.vcm", imaging::CountSet(d.vcm));
+    trace::AddCounter("reconstruct.pixels.lb", imaging::CountSet(d.lb));
   }
   return d;
 }
@@ -63,6 +86,7 @@ struct LeakAccumulator {
 }  // namespace
 
 ReconstructionResult Reconstructor::Run(const video::VideoStream& call) {
+  const trace::ScopedTimer run_timer("reconstruct.run");
   PrepareCaller(call);
 
   const int w = call.width(), h = call.height();
@@ -85,36 +109,40 @@ ReconstructionResult Reconstructor::Run(const video::VideoStream& call) {
   // Frame decomposition dominates the pipeline cost; shard the frame range
   // across threads, each accumulating privately. Per-frame outputs index
   // into preallocated slots, so writes are disjoint.
-  common::ParallelShards(
-      0, frames, /*grain=*/1,
-      [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
-        LeakAccumulator& a = acc[static_cast<std::size_t>(shard)];
-        for (std::int64_t i = shard_begin; i < shard_end; ++i) {
-          FrameDecomposition d = Decompose(call, static_cast<int>(i));
-          auto pf = call.frame(static_cast<int>(i)).pixels();
-          auto pl = d.lb.pixels();
-          std::size_t leaked = 0;
-          for (std::size_t k = 0; k < pl.size(); ++k) {
-            if (!pl[k]) continue;
-            ++leaked;
-            ++a.counts[k];
-            a.sum_r[k] += pf[k].r;
-            a.sum_g[k] += pf[k].g;
-            a.sum_b[k] += pf[k].b;
-            a.sum_r2[k] += static_cast<double>(pf[k].r) * pf[k].r;
-            a.sum_g2[k] += static_cast<double>(pf[k].g) * pf[k].g;
-            a.sum_b2[k] += static_cast<double>(pf[k].b) * pf[k].b;
+  {
+    const trace::ScopedTimer accumulate_timer("reconstruct.accumulate");
+    common::ParallelShards(
+        0, frames, /*grain=*/1,
+        [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
+          LeakAccumulator& a = acc[static_cast<std::size_t>(shard)];
+          for (std::int64_t i = shard_begin; i < shard_end; ++i) {
+            FrameDecomposition d = Decompose(call, static_cast<int>(i));
+            auto pf = call.frame(static_cast<int>(i)).pixels();
+            auto pl = d.lb.pixels();
+            std::size_t leaked = 0;
+            for (std::size_t k = 0; k < pl.size(); ++k) {
+              if (!pl[k]) continue;
+              ++leaked;
+              ++a.counts[k];
+              a.sum_r[k] += pf[k].r;
+              a.sum_g[k] += pf[k].g;
+              a.sum_b[k] += pf[k].b;
+              a.sum_r2[k] += static_cast<double>(pf[k].r) * pf[k].r;
+              a.sum_g2[k] += static_cast<double>(pf[k].g) * pf[k].g;
+              a.sum_b2[k] += static_cast<double>(pf[k].b) * pf[k].b;
+            }
+            result.per_frame_leak_fraction[static_cast<std::size_t>(i)] =
+                static_cast<double>(leaked) / static_cast<double>(pl.size());
+            if (opts_.keep_frame_masks) {
+              result.frame_masks[static_cast<std::size_t>(i)] = std::move(d);
+            }
           }
-          result.per_frame_leak_fraction[static_cast<std::size_t>(i)] =
-              static_cast<double>(leaked) / static_cast<double>(pl.size());
-          if (opts_.keep_frame_masks) {
-            result.frame_masks[static_cast<std::size_t>(i)] = std::move(d);
-          }
-        }
-      });
+        });
+  }
 
   // Deterministic serial reduction in shard order (exact: see
   // LeakAccumulator).
+  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
   LeakAccumulator& total = acc.front();
   for (int s = 1; s < shards; ++s) {
     const LeakAccumulator& a = acc[static_cast<std::size_t>(s)];

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "imaging/transform.h"
 
 namespace bb::detect {
@@ -56,6 +57,7 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
                                   const Bitmap& coverage, const Image& templ,
                                   const TemplateMatchOptions& opts) {
   imaging::RequireSameShape(reconstruction, coverage, "MatchTemplate");
+  const trace::ScopedTimer timer("detect.match_template");
   TemplateMatchResult best;
   if (templ.empty() || reconstruction.empty()) return best;
 
@@ -85,6 +87,12 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
     int rot_index;
     TemplateMatchResult local;  // found is unused at job level
     bool any = false;
+    // Job-local tallies, flushed to the trace registry once the sweep is
+    // done (serially, below), so counter totals never depend on how jobs
+    // were scheduled across threads.
+    std::uint64_t windows_scored = 0;
+    std::uint64_t windows_pruned = 0;
+    bool pruned_entirely = false;
   };
   std::vector<Job> jobs;
   for (int si = 0; si < static_cast<int>(opts.scales.size()); ++si) {
@@ -103,11 +111,15 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
         2, static_cast<int>(std::lround(templ.width() * scale)));
     const int th = std::max(
         2, static_cast<int>(std::lround(templ.height() * scale)));
-    if (tw > reconstruction.width() || th > reconstruction.height()) return;
+    if (tw > reconstruction.width() || th > reconstruction.height()) {
+      job.pruned_entirely = true;
+      return;
+    }
     const Image scaled = imaging::ResizeNearest(templ, tw, th);
     const long long window_area = static_cast<long long>(tw) * th;
     if (static_cast<double>(window_area) <
         opts.min_window_fraction * static_cast<double>(frame_pixels)) {
+      job.pruned_entirely = true;
       return;  // paper's minimum-window-size constraint
     }
 
@@ -133,7 +145,10 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
         tsamples.push_back({x, y, imaging::RgbToHsv(rotated(x, y))});
       }
     }
-    if (tsamples.empty()) return;
+    if (tsamples.empty()) {
+      job.pruned_entirely = true;
+      return;
+    }
 
     for (int wy = 0; wy + th <= reconstruction.height(); wy += stride) {
       for (int wx = 0; wx + tw <= reconstruction.width(); wx += stride) {
@@ -141,6 +156,7 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
         const long long recovered = cov_integral.Sum(window);
         if (static_cast<double>(recovered) <
             opts.min_recovered_fraction * static_cast<double>(window_area)) {
+          ++job.windows_pruned;
           continue;  // paper's recovered-pixel constraint
         }
         int matched = 0, compared = 0;
@@ -150,7 +166,11 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
           ++compared;
           matched += HsvMatch(s.hsv, recon_hsv(rx, ry), opts);
         }
-        if (compared < std::max(1, opts.min_compared_samples)) continue;
+        if (compared < std::max(1, opts.min_compared_samples)) {
+          ++job.windows_pruned;
+          continue;
+        }
+        ++job.windows_scored;
         const double score =
             static_cast<double>(matched) / static_cast<double>(compared);
         if (score > job.local.score) {
@@ -168,13 +188,22 @@ TemplateMatchResult MatchTemplate(const Image& reconstruction,
   // order and each job's sweep keeps the first maximum in (wy, wx) order,
   // so with a strict `>` the winner matches the serial nested-loop scan
   // exactly - ties break toward the lowest (scale, rotation, wy, wx).
+  std::uint64_t windows_scored = 0, windows_pruned = 0, jobs_pruned = 0;
   for (const Job& job : jobs) {
+    windows_scored += job.windows_scored;
+    windows_pruned += job.windows_pruned;
+    jobs_pruned += job.pruned_entirely ? 1 : 0;
     if (job.any && job.local.score > best.score) {
       best.score = job.local.score;
       best.window = job.local.window;
       best.scale = job.local.scale;
       best.rotation = job.local.rotation;
     }
+  }
+  if (trace::Enabled()) {
+    trace::AddCounter("match_template.windows_scored", windows_scored);
+    trace::AddCounter("match_template.windows_pruned", windows_pruned);
+    trace::AddCounter("match_template.jobs_pruned", jobs_pruned);
   }
   best.found = best.score >= opts.present_threshold;
   return best;

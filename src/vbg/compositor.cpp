@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/trace.h"
 #include "imaging/color.h"
 #include "imaging/filter.h"
 #include "imaging/pyramid.h"
@@ -128,18 +129,27 @@ Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
 CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
                                       const VirtualSource& vb,
                                       const CompositeOptions& opts) {
+  const trace::ScopedTimer run_timer("composite.run");
   CompositedCall out;
   out.video = video::VideoStream(raw.video.fps());
 
   MattingEngine engine(opts.profile.matting, opts.seed);
   synth::Rng recording_rng(opts.seed ^ 0xEC0DEull);
 
+  if (trace::Enabled()) {
+    trace::AddCounter("composite.frames",
+                      static_cast<std::uint64_t>(raw.video.frame_count()));
+  }
   for (int i = 0; i < raw.video.frame_count(); ++i) {
     const Image& real = raw.video.frame(i);
     const Bitmap& true_mask = raw.caller_masks[static_cast<std::size_t>(i)];
     const Bitmap& blur_mask = raw.blur_masks[static_cast<std::size_t>(i)];
 
-    const Bitmap est = engine.Estimate(true_mask, blur_mask, real);
+    Bitmap est;
+    {
+      const trace::ScopedTimer matting_timer("composite.matting");
+      est = engine.Estimate(true_mask, blur_mask, real);
+    }
 
     const Image& vb_frame = vb.FrameAt(i);
     imaging::RequireSameShape(real, vb_frame, "ApplyVirtualBackground");
@@ -150,9 +160,12 @@ CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
       vb_used = &adapted;
     }
 
-    Image blended = BlendFrame(real, *vb_used, est,
-                               opts.profile.blend_radius,
-                               opts.profile.blend_mode);
+    Image blended;
+    {
+      const trace::ScopedTimer blend_timer("composite.blend");
+      blended = BlendFrame(real, *vb_used, est, opts.profile.blend_radius,
+                           opts.profile.blend_mode);
+    }
     if (opts.profile.recording_noise > 0.0) {
       synth::CameraModel recorder;
       recorder.noise_stddev = opts.profile.recording_noise;

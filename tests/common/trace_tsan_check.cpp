@@ -1,0 +1,70 @@
+// ThreadSanitizer check for the trace registry: many threads concurrently
+// creating scoped timers and bumping counters (including first-touch slot
+// creation racing against established slots) plus a reader thread taking
+// snapshots mid-flight. Compiled with -fsanitize=thread together with
+// trace.cpp built from source, so every access to registry state is
+// instrumented; any data race aborts the test. Mirrors
+// common/parallel_tsan_check.cpp. Exits 0 on success.
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+int main() {
+  using namespace bb::trace;
+  Enable();
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kIterations; ++i) {
+        // Shared slot: every thread contends on the same names.
+        const ScopedTimer shared("tsan.shared");
+        AddCounter("tsan.shared_count", 1);
+        // Private slot: first-touch creation happens under load.
+        const std::string mine = "tsan.thread." + std::to_string(t);
+        const ScopedTimer own(mine);
+        AddCounter(mine, 2);
+      }
+    });
+  }
+  // Concurrent reader: snapshots and serialization while writers run.
+  workers.emplace_back([] {
+    for (int i = 0; i < 50; ++i) {
+      const std::string json = ToJson(Capture());
+      if (json.empty()) {
+        std::fprintf(stderr, "empty serialization\n");
+        std::abort();
+      }
+    }
+  });
+  for (auto& w : workers) w.join();
+
+  const Snapshot snap = Capture();
+  std::uint64_t shared_calls = 0;
+  std::uint64_t shared_count = 0;
+  for (const auto& s : snap.stages) {
+    if (s.name == "tsan.shared") shared_calls = s.calls;
+  }
+  for (const auto& c : snap.counters) {
+    if (c.name == "tsan.shared_count") shared_count = c.value;
+  }
+  const auto expected =
+      static_cast<std::uint64_t>(kThreads) * kIterations;
+  if (shared_calls != expected || shared_count != expected) {
+    std::fprintf(stderr, "lost updates: calls=%llu count=%llu want=%llu\n",
+                 static_cast<unsigned long long>(shared_calls),
+                 static_cast<unsigned long long>(shared_count),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  std::printf("trace tsan check ok (%d threads x %d iterations)\n",
+              kThreads, kIterations);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Observability contract of the trace registry (DESIGN.md "Observability"):
+// instrumentation must be inert - enabling tracing cannot change a single
+// output bit - and the collected skeleton (stage call counts and counter
+// totals, timings excluded) must be deterministic across thread counts,
+// because every counter flush rides the deterministic reduction order of
+// the parallel runtime.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/parallel.h"
+#include "common/trace.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "detect/template_match.h"
+#include "imaging/transform.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/virtual_source.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Image;
+
+// Same E2-style call as determinism_test.cpp: active participant, small
+// frame, enough frames to split across shards.
+struct E2Fixture {
+  synth::RawRecording raw;
+  vbg::CompositedCall call;
+  Image vb_image;
+
+  E2Fixture() {
+    datasets::E2Case c;
+    c.participant = 1;
+    c.mode = datasets::E2Mode::kActive;
+    c.scene_seed = 11;
+    c.duration_s = 4.0;
+    datasets::SimScale scale;
+    scale.width = 96;
+    scale.height = 72;
+    scale.fps = 10.0;
+    raw = datasets::RecordE2(c, scale);
+    vb_image = vbg::MakeStockImage(vbg::StockImage::kBeach, 96, 72);
+    call = vbg::ApplyVirtualBackground(raw,
+                                       vbg::StaticImageSource(vb_image));
+  }
+};
+
+class TraceDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::Disable();
+    trace::Reset();
+  }
+  void TearDown() override {
+    common::SetThreadCount(0);
+    trace::Disable();
+    trace::Reset();
+  }
+};
+
+ReconstructionResult RunPipeline(const E2Fixture& f, int threads) {
+  common::SetThreadCount(threads);
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  // Fresh segmenter per run: its noise RNG advances during Prepare.
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+  ReconstructionOptions opts;
+  opts.keep_frame_masks = true;
+  Reconstructor rc(ref, seg, opts);
+  return rc.Run(f.call.video);
+}
+
+void ExpectBitIdentical(const ReconstructionResult& a,
+                        const ReconstructionResult& b) {
+  EXPECT_EQ(a.background, b.background);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.leak_counts, b.leak_counts);
+  EXPECT_EQ(a.per_frame_leak_fraction, b.per_frame_leak_fraction);
+  ASSERT_EQ(a.frame_masks.size(), b.frame_masks.size());
+  for (std::size_t i = 0; i < a.frame_masks.size(); ++i) {
+    EXPECT_EQ(a.frame_masks[i].vbm, b.frame_masks[i].vbm);
+    EXPECT_EQ(a.frame_masks[i].bbm, b.frame_masks[i].bbm);
+    EXPECT_EQ(a.frame_masks[i].vcm, b.frame_masks[i].vcm);
+    EXPECT_EQ(a.frame_masks[i].lb, b.frame_masks[i].lb);
+  }
+}
+
+TEST_F(TraceDeterminismTest, TracingOnAndOffProduceBitIdenticalOutputs) {
+  const E2Fixture f;
+
+  trace::Disable();
+  trace::Reset();
+  const ReconstructionResult off = RunPipeline(f, 2);
+
+  trace::Enable();
+  const ReconstructionResult on = RunPipeline(f, 2);
+  trace::Disable();
+
+  ExpectBitIdentical(on, off);
+
+  // The traced run actually collected something - otherwise this test
+  // proves nothing.
+  const trace::Snapshot snap = trace::Capture();
+  EXPECT_FALSE(snap.stages.empty());
+  EXPECT_FALSE(snap.counters.empty());
+}
+
+TEST_F(TraceDeterminismTest, TracingOnAndOffIdenticalTemplateMatch) {
+  const E2Fixture f;
+  const ReconstructionResult rec = RunPipeline(f, 2);
+  const Image templ =
+      imaging::Crop(f.raw.true_background, {30, 20, 24, 18});
+  detect::TemplateMatchOptions opts;
+  opts.min_window_fraction = 0.0;
+
+  trace::Disable();
+  const auto off =
+      detect::MatchTemplate(rec.background, rec.coverage, templ, opts);
+  trace::Enable();
+  const auto on =
+      detect::MatchTemplate(rec.background, rec.coverage, templ, opts);
+  trace::Disable();
+
+  EXPECT_EQ(on.found, off.found);
+  EXPECT_EQ(on.score, off.score);
+  EXPECT_EQ(on.window.x, off.window.x);
+  EXPECT_EQ(on.window.y, off.window.y);
+  EXPECT_EQ(on.window.w, off.window.w);
+  EXPECT_EQ(on.window.h, off.window.h);
+  EXPECT_EQ(on.scale, off.scale);
+  EXPECT_EQ(on.rotation, off.rotation);
+}
+
+// The skeleton - stage names, call counts, counter names and totals, all
+// timing fields excluded - must be byte-identical for --threads 1 through
+// 8. Counters are flushed through the serial shard-order reduction (or as
+// commutative sums), so totals cannot depend on the thread count.
+TEST_F(TraceDeterminismTest, TraceSkeletonIdenticalAcrossThreadCounts) {
+  const E2Fixture f;
+  const Image templ =
+      imaging::Crop(f.raw.true_background, {30, 20, 24, 18});
+  detect::TemplateMatchOptions mt_opts;
+  mt_opts.min_window_fraction = 0.0;
+
+  std::string reference;
+  for (int threads = 1; threads <= 8; ++threads) {
+    trace::Reset();
+    trace::Enable();
+    const ReconstructionResult rec = RunPipeline(f, threads);
+    detect::MatchTemplate(rec.background, rec.coverage, templ, mt_opts);
+    trace::Disable();
+    const std::string skeleton =
+        trace::ToJson(trace::Capture(), /*include_timings=*/false);
+    if (threads == 1) {
+      reference = skeleton;
+      // Sanity: the skeleton holds the pipeline stages and counters.
+      EXPECT_NE(skeleton.find("reconstruct.run"), std::string::npos);
+      EXPECT_NE(skeleton.find("reconstruct.frames_decomposed"),
+                std::string::npos);
+      EXPECT_NE(skeleton.find("detect.match_template"), std::string::npos);
+      EXPECT_NE(skeleton.find("match_template.windows_scored"),
+                std::string::npos);
+      EXPECT_EQ(skeleton.find("_ms"), std::string::npos);
+    } else {
+      EXPECT_EQ(skeleton, reference) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bb::core

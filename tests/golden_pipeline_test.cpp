@@ -1,0 +1,125 @@
+// Golden end-to-end regression test: one fixed synthesize -> composite ->
+// reconstruct run with every metric pinned to its exact value. The whole
+// pipeline is deterministic by contract (fixed seeds, deterministic
+// parallel runtime, no wall-clock dependence), so these are EXPECT_DOUBLE_EQ
+// pins, not tolerances: any drift in any stage - synthesis, compositing,
+// matting, segmentation noise, decomposition, accumulation, metrics - shows
+// up here as a bit-exact diff.
+//
+// To regenerate after an INTENTIONAL output change, run this binary with
+// BB_GOLDEN_PRINT=1 and paste the printed block over the constants below
+// (then justify the change in the PR description).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "core/metrics.h"
+#include "core/reconstruction.h"
+#include "datasets/datasets.h"
+#include "segmentation/segmenter.h"
+#include "vbg/compositor.h"
+#include "vbg/virtual_source.h"
+
+namespace bb {
+namespace {
+
+// The same E2-style call the determinism tests use: participant 1, active
+// mode, scene seed 11, 4 s at 96x72@10fps over the beach stock VB.
+constexpr int kGoldenFrames = 200;
+constexpr double kGoldenVerified = 0.25376157407407407;
+constexpr double kGoldenClaimed = 0.34620949074074076;
+constexpr double kGoldenPrecision = 0.73297116590054323;
+constexpr double kGoldenMeanVbmr = 1.0;
+constexpr std::uint64_t kGoldenLeakSum = 44871;
+
+struct GoldenRun {
+  vbg::CompositedCall call;
+  core::ReconstructionResult rec;
+  core::RbrrResult rbrr;
+  double mean_vbmr = 0.0;
+  std::uint64_t leak_sum = 0;
+};
+
+GoldenRun RunGoldenPipeline() {
+  datasets::E2Case c;
+  c.participant = 1;
+  c.mode = datasets::E2Mode::kActive;
+  c.scene_seed = 11;
+  c.duration_s = 4.0;
+  datasets::SimScale scale;
+  scale.width = 96;
+  scale.height = 72;
+  scale.fps = 10.0;
+  const synth::RawRecording raw = datasets::RecordE2(c, scale);
+  const imaging::Image vb =
+      vbg::MakeStockImage(vbg::StockImage::kBeach, 96, 72);
+
+  GoldenRun run;
+  run.call = vbg::ApplyVirtualBackground(raw, vbg::StaticImageSource(vb));
+  segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+  core::ReconstructionOptions opts;
+  opts.keep_frame_masks = true;
+  // Named: Reconstructor holds the reference by const&.
+  const core::VbReference ref = core::VbReference::KnownImage(vb);
+  core::Reconstructor rc(ref, seg, opts);
+  run.rec = rc.Run(run.call.video);
+  run.rbrr = core::Rbrr(run.rec, raw.true_background);
+  run.mean_vbmr = core::MeanVbmr(run.rec.frame_masks, run.call.vb_regions);
+  const auto leak_pixels = run.rec.leak_counts.pixels();
+  run.leak_sum = std::accumulate(leak_pixels.begin(), leak_pixels.end(),
+                                 std::uint64_t{0});
+  return run;
+}
+
+TEST(GoldenPipelineTest, HeadlineMetricsMatchGoldenValuesExactly) {
+  const GoldenRun run = RunGoldenPipeline();
+
+  if (std::getenv("BB_GOLDEN_PRINT") != nullptr) {
+    std::printf("constexpr int kGoldenFrames = %d;\n",
+                run.call.video.frame_count());
+    std::printf("constexpr double kGoldenVerified = %.17g;\n",
+                run.rbrr.verified);
+    std::printf("constexpr double kGoldenClaimed = %.17g;\n",
+                run.rbrr.claimed);
+    std::printf("constexpr double kGoldenPrecision = %.17g;\n",
+                run.rbrr.precision);
+    std::printf("constexpr double kGoldenMeanVbmr = %.17g;\n",
+                run.mean_vbmr);
+    std::printf("constexpr std::uint64_t kGoldenLeakSum = %llu;\n",
+                static_cast<unsigned long long>(run.leak_sum));
+  }
+
+  EXPECT_EQ(run.call.video.frame_count(), kGoldenFrames);
+  EXPECT_DOUBLE_EQ(run.rbrr.verified, kGoldenVerified);
+  EXPECT_DOUBLE_EQ(run.rbrr.claimed, kGoldenClaimed);
+  EXPECT_DOUBLE_EQ(run.rbrr.precision, kGoldenPrecision);
+  EXPECT_DOUBLE_EQ(run.mean_vbmr, kGoldenMeanVbmr);
+  EXPECT_EQ(run.leak_sum, kGoldenLeakSum);
+
+  // Shape guards so a regenerated golden that is obviously broken (empty
+  // reconstruction, no masking) cannot be pasted in silently.
+  EXPECT_GT(run.rbrr.verified, 0.0);
+  EXPECT_GE(run.rbrr.claimed, run.rbrr.verified);
+  EXPECT_GT(run.rbrr.precision, 0.5);
+  EXPECT_GT(run.mean_vbmr, 0.5);
+}
+
+// The golden values must not depend on the thread count - otherwise the
+// pin above would only hold on machines with the same core count.
+TEST(GoldenPipelineTest, GoldenValuesThreadCountIndependent) {
+  common::SetThreadCount(5);
+  const GoldenRun run = RunGoldenPipeline();
+  common::SetThreadCount(0);
+  EXPECT_DOUBLE_EQ(run.rbrr.verified, kGoldenVerified);
+  EXPECT_DOUBLE_EQ(run.rbrr.claimed, kGoldenClaimed);
+  EXPECT_DOUBLE_EQ(run.rbrr.precision, kGoldenPrecision);
+  EXPECT_DOUBLE_EQ(run.mean_vbmr, kGoldenMeanVbmr);
+  EXPECT_EQ(run.leak_sum, kGoldenLeakSum);
+}
+
+}  // namespace
+}  // namespace bb

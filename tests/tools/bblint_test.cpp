@@ -72,15 +72,21 @@ TEST(NondeterminismRuleTest, RngHeaderIsExempt) {
             0);
 }
 
-TEST(NondeterminismRuleTest, BenchAndToolsMayReadClocksButNotRand) {
+TEST(NondeterminismRuleTest, OnlyTraceClockAndToolsMayReadClocks) {
   const std::string clock_line =
       "auto t0 = std::chrono::steady_clock::now();\n";
-  EXPECT_EQ(CountRule(LintContent("bench/bench_x.cpp", clock_line),
+  // The sanctioned clock read lives in the trace registry; tools keep a
+  // blanket exemption.
+  EXPECT_EQ(CountRule(LintContent("src/common/trace.cpp", clock_line),
                       kRuleNondeterminism),
             0);
   EXPECT_EQ(CountRule(LintContent("tools/probe.cpp", clock_line),
                       kRuleNondeterminism),
             0);
+  // Benches must go through trace::MonotonicSeconds / bench::Stopwatch.
+  EXPECT_EQ(CountRule(LintContent("bench/bench_x.cpp", clock_line),
+                      kRuleNondeterminism),
+            1);
   EXPECT_EQ(CountRule(LintContent("bench/bench_x.cpp", "srand(1);\n"),
                       kRuleNondeterminism),
             1);

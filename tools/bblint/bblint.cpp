@@ -218,10 +218,13 @@ std::set<std::string> FloatIdentifiers(const FileView& v) {
 void CheckNondeterminism(const FileView& v, std::vector<Finding>* out) {
   // All randomness flows through the seeded generator in src/synth/rng.h.
   if (v.path == "src/synth/rng.h") return;
-  // Benchmarks and developer tools may measure wall-clock time; library,
-  // app, and test code may not.
+  // Every sanctioned clock read in the tree flows through
+  // trace::MonotonicSeconds (src/common/trace.cpp); benches time themselves
+  // via bench::Stopwatch on top of it. Developer tools keep a blanket
+  // exemption; everything else - library, app, bench, test code - may not
+  // touch a clock directly.
   const bool timing_ok =
-      StartsWith(v.path, "bench/") || StartsWith(v.path, "tools/");
+      v.path == "src/common/trace.cpp" || StartsWith(v.path, "tools/");
 
   struct Pattern {
     std::regex re;

@@ -2,10 +2,14 @@
 # One-shot verification gate for Background Buster.
 #
 # Runs, in order, failing fast on the first problem:
-#   1. default build with -DBB_WERROR=ON, full ctest suite
-#   2. ThreadSanitizer build, determinism / parallel-runtime suites
-#   3. UndefinedBehaviorSanitizer build, full ctest suite
-#   4. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   1. default build with -DBB_WERROR=ON, full ctest suite (minus the
+#      bench-smoke label, which gets its own step)
+#   2. bench smoke runs + bb.bench.v1 report schema validation
+#   3. ThreadSanitizer build, determinism / parallel-runtime suites
+#   4. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#      bench-smoke: the benches are already covered by step 2 and would
+#      dominate the sanitized runtime)
+#   5. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
 #
 # Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
 # created as build-check, build-check-tsan, build-check-ubsan)
@@ -20,7 +24,10 @@ step() { printf '\n== %s ==\n' "$*"; }
 step "default build (-DBB_WERROR=ON) + full test suite"
 cmake -B build-check -S . -DBB_WERROR=ON
 cmake --build build-check -j "$JOBS"
-ctest --test-dir build-check --output-on-failure -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" -LE bench-smoke
+
+step "bench smoke runs + report schema validation"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" -L bench-smoke
 
 step "ThreadSanitizer build + determinism/parallel suites"
 cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON
@@ -31,7 +38,8 @@ ctest --test-dir build-check-tsan --output-on-failure -j "$JOBS" \
 step "UndefinedBehaviorSanitizer build + full test suite"
 cmake -B build-check-ubsan -S . -DBB_SANITIZE=undefined -DBB_WERROR=ON
 cmake --build build-check-ubsan -j "$JOBS"
-ctest --test-dir build-check-ubsan --output-on-failure -j "$JOBS"
+ctest --test-dir build-check-ubsan --output-on-failure -j "$JOBS" \
+      -LE bench-smoke
 
 step "bblint tree scan"
 build-check/tools/bblint/bblint --root "$ROOT"

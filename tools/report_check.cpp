@@ -1,0 +1,397 @@
+// Schema validator for machine-readable bench reports (bb.bench.v1).
+//
+//   report_check FILE.json [FILE.json ...]
+//
+// Parses each file with a small self-contained JSON parser (strict: no
+// trailing commas, no comments, no trailing garbage) and checks the
+// bb.bench.v1 contract that downstream tooling relies on:
+//   - root object with "schema": "bb.bench.v1" and a non-empty "bench"
+//   - "config" object: string / number values
+//   - "paper" and "measured" objects: number-or-null values
+//   - "shape_checks" object: boolean values
+//   - "trace" object with "schema": "bb.trace.v1", "stages" (objects
+//     carrying at least an integer "calls") and "counters" (integers)
+// Exits 0 only when every file validates; prints one line per problem.
+// Used by the bench-smoke ctest label (see bench/CMakeLists.txt).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  const Value* Find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  Parser(const char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  bool Parse(Value* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (p_ != end_) return Fail("trailing garbage after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void SkipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end_ - p_) < n ||
+        std::memcmp(p_, lit, n) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->kind = Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = Kind::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->kind = Kind::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->kind = Kind::kNull;
+        return Literal("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value* out) {
+    out->kind = Kind::kObject;
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':'");
+      ++p_;
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->kind = Kind::kArray;
+    ++p_;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++p_;  // opening quote
+    out->clear();
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("unterminated escape");
+        switch (*p_) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end_ - p_ < 5) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = p_[i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Reports only ever escape control bytes; decode the BMP
+            // code point as UTF-8 for completeness.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xc0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              *out += static_cast<char>(0xe0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            p_ += 4;
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+        ++p_;
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++p_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    while (p_ != end_ &&
+           ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+            *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      ++p_;
+    }
+    if (p_ == start) return Fail("expected a value");
+    const std::string text(start, p_);
+    char* parse_end = nullptr;
+    out->number = std::strtod(text.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0') {
+      return Fail("malformed number '" + text + "'");
+    }
+    out->kind = Kind::kNumber;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string error_;
+};
+
+// ---- bb.bench.v1 structural checks ---------------------------------------
+
+int g_problems = 0;
+const char* g_file = "";
+
+void Problem(const std::string& what) {
+  std::fprintf(stderr, "%s: %s\n", g_file, what.c_str());
+  ++g_problems;
+}
+
+const Value* RequireObject(const Value& root, const char* key) {
+  const Value* v = root.Find(key);
+  if (v == nullptr) {
+    Problem(std::string("missing \"") + key + "\" section");
+    return nullptr;
+  }
+  if (v->kind != Kind::kObject) {
+    Problem(std::string("\"") + key + "\" is not an object");
+    return nullptr;
+  }
+  return v;
+}
+
+void RequireSchema(const Value& obj, const char* want, const char* where) {
+  const Value* schema = obj.Find("schema");
+  if (schema == nullptr || schema->kind != Kind::kString ||
+      schema->string != want) {
+    Problem(std::string(where) + ": \"schema\" is not \"" + want + "\"");
+  }
+}
+
+void CheckValues(const Value* section, const char* name, bool allow_string,
+                 bool allow_number, bool allow_bool, bool allow_null) {
+  if (section == nullptr) return;
+  for (const auto& [key, v] : section->object) {
+    const bool ok = (allow_string && v.kind == Kind::kString) ||
+                    (allow_number && v.kind == Kind::kNumber) ||
+                    (allow_bool && v.kind == Kind::kBool) ||
+                    (allow_null && v.kind == Kind::kNull);
+    if (!ok) {
+      Problem(std::string(name) + "." + key + " has a disallowed type");
+    }
+  }
+}
+
+void CheckTrace(const Value& root) {
+  const Value* trace = RequireObject(root, "trace");
+  if (trace == nullptr) return;
+  RequireSchema(*trace, "bb.trace.v1", "trace");
+  const Value* stages = trace->Find("stages");
+  if (stages == nullptr || stages->kind != Kind::kObject) {
+    Problem("trace.stages missing or not an object");
+  } else {
+    for (const auto& [key, stage] : stages->object) {
+      if (stage.kind != Kind::kObject) {
+        Problem("trace.stages." + key + " is not an object");
+        continue;
+      }
+      const Value* calls = stage.Find("calls");
+      if (calls == nullptr || calls->kind != Kind::kNumber ||
+          calls->number < 0) {
+        Problem("trace.stages." + key + ".calls missing or invalid");
+      }
+      CheckValues(&stage, ("trace.stages." + key).c_str(),
+                  /*allow_string=*/false, /*allow_number=*/true,
+                  /*allow_bool=*/false, /*allow_null=*/false);
+    }
+  }
+  const Value* counters = trace->Find("counters");
+  if (counters == nullptr || counters->kind != Kind::kObject) {
+    Problem("trace.counters missing or not an object");
+  } else {
+    CheckValues(counters, "trace.counters", /*allow_string=*/false,
+                /*allow_number=*/true, /*allow_bool=*/false,
+                /*allow_null=*/false);
+  }
+}
+
+void CheckReport(const Value& root) {
+  if (root.kind != Kind::kObject) {
+    Problem("root is not an object");
+    return;
+  }
+  RequireSchema(root, "bb.bench.v1", "root");
+  const Value* bench = root.Find("bench");
+  if (bench == nullptr || bench->kind != Kind::kString ||
+      bench->string.empty()) {
+    Problem("\"bench\" missing or not a non-empty string");
+  }
+  CheckValues(RequireObject(root, "config"), "config",
+              /*allow_string=*/true, /*allow_number=*/true,
+              /*allow_bool=*/false, /*allow_null=*/false);
+  CheckValues(RequireObject(root, "paper"), "paper",
+              /*allow_string=*/false, /*allow_number=*/true,
+              /*allow_bool=*/false, /*allow_null=*/true);
+  const Value* measured = RequireObject(root, "measured");
+  CheckValues(measured, "measured", /*allow_string=*/false,
+              /*allow_number=*/true, /*allow_bool=*/false,
+              /*allow_null=*/true);
+  if (measured != nullptr && measured->object.empty()) {
+    Problem("\"measured\" is empty - a report must measure something");
+  }
+  CheckValues(RequireObject(root, "shape_checks"), "shape_checks",
+              /*allow_string=*/false, /*allow_number=*/false,
+              /*allow_bool=*/true, /*allow_null=*/false);
+  CheckTrace(root);
+}
+
+bool CheckFile(const char* path) {
+  g_file = path;
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    Problem("cannot open");
+    return false;
+  }
+  std::string data;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  Value root;
+  Parser parser(data.data(), data.size());
+  const int before = g_problems;
+  if (!parser.Parse(&root)) {
+    Problem("JSON parse error: " + parser.error());
+    return false;
+  }
+  CheckReport(root);
+  if (g_problems == before) {
+    std::printf("ok %s\n", path);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: report_check FILE.json [FILE.json ...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!CheckFile(argv[i])) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
