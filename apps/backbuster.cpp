@@ -25,6 +25,7 @@
 #include "common/trace.h"
 #include "core/metrics.h"
 #include "core/reconstruction.h"
+#include "core/streaming.h"
 #include "datasets/datasets.h"
 #include "imaging/io.h"
 #include "segmentation/segmenter.h"
@@ -172,61 +173,16 @@ int Simulate(const cli::Args& args) {
 
 // ---- attack ----------------------------------------------------------------
 
-int Attack(const cli::Args& args) {
-  if (args.GetFlag("help")) {
-    std::printf(
-        "backbuster attack --in call.bbv\n"
-        "  --vb NAME         match a stock image (beach|office|...) instead\n"
-        "                    of deriving the VB from the footage\n"
-        "  --phi R           blending-blur radius (default %.1f)\n"
-        "  --truth FILE      score against this image (.ppm or .png)\n"
-        "  --out BASE        output image base name (default: <in>.recon)\n"
-        "  --threads N       worker threads (default: BB_THREADS env,\n"
-        "                    else all hardware threads)\n"
-        "  --trace FILE      write per-stage timings/counters as JSON\n",
-        core::kDefaultPhi);
-    return 0;
-  }
-  const auto in = args.Get("in");
-  if (!in) return Fail("attack requires --in <file.bbv>");
-  const std::string out_base = args.Get("out", *in + ".recon");
-  const auto vb_name = args.Get("vb");
-  const double phi = args.GetDouble("phi", core::kDefaultPhi);
-  const auto truth_path = args.Get("truth");
-  if (const int rc = RejectUnknown(args)) return rc;
-
-  const auto call = video::ReadBbv(*in);
-  if (!call) return Fail("cannot read " + *in);
-  std::printf("loaded %s: %d frames %dx%d @ %.1f fps\n", in->c_str(),
-              call->frame_count(), call->width(), call->height(),
-              call->fps());
-
-  // Build the VB reference the way a real adversary would.
-  core::VbReference ref = core::VbReference::DeriveImage(*call);
-  if (vb_name) {
-    const auto kind = StockByName(*vb_name);
-    if (!kind) return Fail("unknown --vb " + *vb_name);
-    ref = core::VbReference::KnownImage(
-        vbg::MakeStockImage(*kind, call->width(), call->height()));
-    std::printf("using known stock VB '%s'\n", vb_name->c_str());
-  } else {
-    std::printf("derived VB from footage (%.1f%% of the frame)\n",
-                100.0 * ref.ValidFraction());
-  }
-
-  segmentation::ClassicalSegmenter segmenter;
-  core::ReconstructionOptions opts;
-  opts.phi = phi;
-  core::Reconstructor reconstructor(ref, segmenter, opts);
-  const core::ReconstructionResult rec = reconstructor.Run(*call);
-
+// Scoring + output tail shared by the batch and streaming attack paths.
+int FinishAttack(const core::ReconstructionResult& rec, int width, int height,
+                 const std::optional<std::string>& truth_path,
+                 const std::string& out_base) {
   std::printf("recovered %.1f%% of the frame\n",
               100.0 * rec.CoverageFraction());
   if (truth_path) {
     const auto truth = imaging::ReadImageAuto(*truth_path);
     if (!truth) return Fail("cannot read truth image " + *truth_path);
-    if (truth->width() != call->width() ||
-        truth->height() != call->height()) {
+    if (truth->width() != width || truth->height() != height) {
       return Fail("truth image resolution does not match the stream");
     }
     const auto rbrr = core::Rbrr(rec, *truth);
@@ -241,6 +197,105 @@ int Attack(const cli::Args& args) {
     std::printf("wrote %s\n", path->c_str());
   }
   return 0;
+}
+
+int Attack(const cli::Args& args) {
+  if (args.GetFlag("help")) {
+    std::printf(
+        "backbuster attack --in call.bbv\n"
+        "  --vb NAME         match a stock image (beach|office|...) instead\n"
+        "                    of deriving the VB from the footage\n"
+        "  --phi R           blending-blur radius (default %.1f)\n"
+        "  --truth FILE      score against this image (.ppm or .png)\n"
+        "  --out BASE        output image base name (default: <in>.recon)\n"
+        "  --stream          stream the .bbv instead of loading it: frame\n"
+        "                    memory is bounded by the window, not the call\n"
+        "  --window N        streaming window size in frames (default 64)\n"
+        "  --threads N       worker threads (default: BB_THREADS env,\n"
+        "                    else all hardware threads)\n"
+        "  --trace FILE      write per-stage timings/counters as JSON\n",
+        core::kDefaultPhi);
+    return 0;
+  }
+  const auto in = args.Get("in");
+  if (!in) return Fail("attack requires --in <file.bbv>");
+  const std::string out_base = args.Get("out", *in + ".recon");
+  const auto vb_name = args.Get("vb");
+  const double phi = args.GetDouble("phi", core::kDefaultPhi);
+  const auto truth_path = args.Get("truth");
+  const bool stream = args.GetFlag("stream");
+  const int window = static_cast<int>(args.GetInt("window", 64));
+  if (window < 1) return Fail("--window must be >= 1");
+  if (const int rc = RejectUnknown(args)) return rc;
+
+  std::optional<vbg::StockImage> stock;
+  if (vb_name) {
+    stock = StockByName(*vb_name);
+    if (!stock) return Fail("unknown --vb " + *vb_name);
+  }
+
+  if (stream) {
+    // Streaming path: the call is never materialized - the .bbv is pulled
+    // once per pass and at most `window` frames are resident.
+    auto source = video::BbvFileSource::Open(*in);
+    if (!source) return Fail("cannot read " + *in);
+    const video::StreamInfo info = source->info();
+    std::printf("streaming %s: %d frames %dx%d @ %.1f fps (window %d)\n",
+                in->c_str(), info.frame_count, info.width, info.height,
+                info.fps, window);
+
+    std::optional<core::VbReference> ref;
+    if (stock) {
+      ref = core::VbReference::KnownImage(
+          vbg::MakeStockImage(*stock, info.width, info.height));
+      std::printf("using known stock VB '%s'\n", vb_name->c_str());
+    } else {
+      ref = core::VbReference::DeriveImageStreaming(*source);
+      std::printf("derived VB from footage (%.1f%% of the frame)\n",
+                  100.0 * ref->ValidFraction());
+    }
+
+    segmentation::ClassicalSegmenter segmenter;
+    core::StreamingOptions sopts;
+    sopts.window_frames = window;
+    sopts.recon.phi = phi;
+    core::StreamingReconstructor reconstructor(*ref, segmenter, sopts);
+    const core::ReconstructionResult rec = reconstructor.Run(*source);
+    const core::StreamingStats& stats = reconstructor.stats();
+    std::printf(
+        "peak window residency %d/%d frames over %llu flushes "
+        "(pool: %llu hits, %llu misses)\n",
+        stats.peak_window_frames, stats.window_capacity,
+        static_cast<unsigned long long>(stats.window_flushes),
+        static_cast<unsigned long long>(stats.pool_hits),
+        static_cast<unsigned long long>(stats.pool_misses));
+    return FinishAttack(rec, info.width, info.height, truth_path, out_base);
+  }
+
+  const auto call = video::ReadBbv(*in);
+  if (!call) return Fail("cannot read " + *in);
+  std::printf("loaded %s: %d frames %dx%d @ %.1f fps\n", in->c_str(),
+              call->frame_count(), call->width(), call->height(),
+              call->fps());
+
+  // Build the VB reference the way a real adversary would.
+  core::VbReference ref = core::VbReference::DeriveImage(*call);
+  if (stock) {
+    ref = core::VbReference::KnownImage(
+        vbg::MakeStockImage(*stock, call->width(), call->height()));
+    std::printf("using known stock VB '%s'\n", vb_name->c_str());
+  } else {
+    std::printf("derived VB from footage (%.1f%% of the frame)\n",
+                100.0 * ref.ValidFraction());
+  }
+
+  segmentation::ClassicalSegmenter segmenter;
+  core::ReconstructionOptions opts;
+  opts.phi = phi;
+  core::Reconstructor reconstructor(ref, segmenter, opts);
+  const core::ReconstructionResult rec = reconstructor.Run(*call);
+  return FinishAttack(rec, call->width(), call->height(), truth_path,
+                      out_base);
 }
 
 // ---- info -------------------------------------------------------------------
@@ -263,7 +318,7 @@ int main(int argc, char** argv) {
   // Switches that never take a value (and so never swallow the token that
   // follows them on the command line).
   const cli::Args args =
-      cli::Args::Parse(argc, argv, {"help", "dynamic"});
+      cli::Args::Parse(argc, argv, {"help", "dynamic", "stream"});
   for (const auto& err : args.errors()) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
   }

@@ -15,6 +15,7 @@
 #include "report.h"
 #include "core/blur_masking.h"
 #include "core/reconstruction.h"
+#include "core/streaming.h"
 #include "core/vb_masking.h"
 #include "detect/template_match.h"
 #include "imaging/color.h"
@@ -178,6 +179,57 @@ void BM_BoxBlurThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_BoxBlurThreads)->Arg(1)->Arg(2)->Arg(4);
 
+// Streaming fixture: a 120-frame call at reduced resolution, 12x the
+// smallest benchmarked window, so peak-residency numbers are measured on a
+// call much longer than the window.
+constexpr int kStreamW = 96, kStreamH = 72;
+constexpr int kStreamProbeWindow = 10;
+
+struct StreamingFixture {
+  synth::RawRecording raw;
+  vbg::CompositedCall call;
+  core::VbReference ref;
+
+  StreamingFixture()
+      : raw(MakeRaw()),
+        call(vbg::ApplyVirtualBackground(
+            raw, vbg::StaticImageSource(vbg::MakeStockImage(
+                     vbg::StockImage::kBeach, kStreamW, kStreamH)))),
+        ref(core::VbReference::KnownImage(vbg::MakeStockImage(
+            vbg::StockImage::kBeach, kStreamW, kStreamH))) {}
+
+  static synth::RawRecording MakeRaw() {
+    synth::RecordingSpec spec;
+    spec.scene.width = kStreamW;
+    spec.scene.height = kStreamH;
+    spec.action.kind = synth::ActionKind::kArmWave;
+    spec.fps = 12.0;
+    spec.duration_s = 10.0;
+    spec.seed = 99;
+    return synth::RecordCall(spec);
+  }
+};
+
+const StreamingFixture& SharedStreaming() {
+  static const StreamingFixture fixture;
+  return fixture;
+}
+
+void BM_StreamingReconstructorWindow(benchmark::State& state) {
+  const StreamingFixture& f = SharedStreaming();
+  core::StreamingOptions sopts;
+  sopts.window_frames = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+    core::StreamingReconstructor reconstructor(f.ref, seg, sopts);
+    video::VideoStreamSource source(f.call.video);
+    benchmark::DoNotOptimize(reconstructor.Run(source));
+  }
+  state.SetItemsProcessed(state.iterations() * f.call.video.frame_count());
+}
+BENCHMARK(BM_StreamingReconstructorWindow)->Arg(10)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullCompositeFrame(benchmark::State& state) {
   const auto raw = SharedRecording();
   const vbg::StaticImageSource vb(
@@ -233,5 +285,49 @@ int main(int argc, char** argv) {
   for (const auto& e : reporter.entries()) {
     report.Measured(e.name + " [s]", e.real_seconds);
   }
-  return report.Write() ? 0 : 1;
+
+  // Memory probe (independent of the timing sweep/filter): stream a call
+  // 12x longer than the window and record the residency/pool gauges, then
+  // check the streaming result against the batch wrapper bit-for-bit.
+  {
+    const StreamingFixture& f = SharedStreaming();
+    const int frames = f.call.video.frame_count();
+    report.Config("stream_probe_window", kStreamProbeWindow);
+    report.Config("stream_probe_frames", frames);
+
+    bb::segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+    bb::core::StreamingOptions sopts;
+    sopts.window_frames = kStreamProbeWindow;
+    bb::core::StreamingReconstructor streaming(f.ref, seg, sopts);
+    bb::video::VideoStreamSource source(f.call.video);
+    const bb::core::ReconstructionResult stream_result =
+        streaming.Run(source);
+    const bb::core::StreamingStats& stats = streaming.stats();
+
+    report.Memory("stream.window_capacity",
+                  static_cast<double>(stats.window_capacity));
+    report.Memory("stream.peak_window_frames",
+                  static_cast<double>(stats.peak_window_frames));
+    report.Memory("stream.frames_pushed",
+                  static_cast<double>(stats.frames_pushed));
+    report.Memory("stream.window_flushes",
+                  static_cast<double>(stats.window_flushes));
+    report.Memory("stream.pool_hits", static_cast<double>(stats.pool_hits));
+    report.Memory("stream.pool_misses",
+                  static_cast<double>(stats.pool_misses));
+
+    bb::segmentation::NoisyOracleSegmenter batch_seg(f.raw.caller_masks, {},
+                                                     7);
+    bb::core::Reconstructor batch(f.ref, batch_seg);
+    const bb::core::ReconstructionResult batch_result =
+        batch.Run(f.call.video);
+    report.Shape("peak window residency bounded by window on a 12x call",
+                 stats.peak_window_frames <= kStreamProbeWindow &&
+                     frames >= 10 * kStreamProbeWindow);
+    report.Shape("streaming reconstruction bit-identical to batch",
+                 stream_result.background == batch_result.background &&
+                     stream_result.coverage == batch_result.coverage &&
+                     stream_result.leak_counts == batch_result.leak_counts);
+  }
+  return report.Write() && report.AllShapeChecksPass() ? 0 : 1;
 }

@@ -77,6 +77,10 @@ void Report::Measured(std::string_view metric, double value) {
   measured_.emplace_back(std::string(metric), value);
 }
 
+void Report::Memory(std::string_view key, double value) {
+  memory_.emplace_back(std::string(key), value);
+}
+
 void Report::Shape(std::string_view check, bool ok) {
   shape_checks_.emplace_back(std::string(check), ok);
 }
@@ -112,6 +116,8 @@ std::string Report::ToJson() const {
     shapes.emplace_back(check, ok ? "true" : "false");
   }
   AppendSection(&out, "shape_checks", shapes, /*trailing_comma=*/true);
+  AppendSection(&out, "memory", Serialized(memory_),
+                /*trailing_comma=*/true);
 
   // Embed the stage-timing registry (schema bb.trace.v1) as captured now;
   // benches enable collection at startup, so this holds every stage the

@@ -7,6 +7,8 @@
 //   * paper         - the paper's reported values for the same quantities
 //   * measured      - what this run produced
 //   * shape_checks  - the qualitative pass/fail assertions the bench prints
+//   * memory        - peak-residency / buffer-pool gauges (always present;
+//                     empty for benches that do not measure memory)
 //   * trace         - the stage-timing/counter registry (bb.trace.v1),
 //                     captured at Write() time
 //
@@ -55,6 +57,9 @@ class Report {
   void Config(std::string_view key, int value);
   void Paper(std::string_view metric, double value);
   void Measured(std::string_view metric, double value);
+  // Memory gauges (frame counts, pool hit/miss totals, ...), emitted under
+  // the report's "memory" section.
+  void Memory(std::string_view key, double value);
   void Shape(std::string_view check, bool ok);
 
   bool AllShapeChecksPass() const;
@@ -77,6 +82,7 @@ class Report {
   std::vector<std::pair<std::string, std::string>> config_;
   std::vector<std::pair<std::string, double>> paper_;
   std::vector<std::pair<std::string, double>> measured_;
+  std::vector<std::pair<std::string, double>> memory_;
   std::vector<std::pair<std::string, bool>> shape_checks_;
 };
 

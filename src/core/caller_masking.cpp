@@ -16,22 +16,42 @@ CallerMasker::CallerMasker(segmentation::PersonSegmenter& segmenter,
       color_counts_(imaging::kColorBucketCount, 0) {}
 
 void CallerMasker::Prepare(const video::VideoStream& call) {
+  BeginPrepare();
+  for (int i = 0; i < call.frame_count(); ++i) {
+    Bitmap mask = segmenter_.SegmentBatch(call, i);
+    AccumulateStats(call.frame(i), mask);
+    raw_masks_.push_back(std::move(mask));
+  }
+  EndPrepare();
+  prepared_ = true;
+}
+
+void CallerMasker::BeginPrepare() {
   raw_masks_.clear();
   std::fill(color_counts_.begin(), color_counts_.end(), 0);
   color_total_ = 0;
+  stats_ready_ = false;
+  prepared_ = false;
+}
 
-  for (int i = 0; i < call.frame_count(); ++i) {
-    Bitmap mask = segmenter_.Segment(call, i);
-    auto pf = call.frame(i).pixels();
-    auto pm = mask.pixels();
-    for (std::size_t k = 0; k < pm.size(); ++k) {
-      if (!pm[k]) continue;
-      ++color_counts_[static_cast<std::size_t>(imaging::ColorBucket(pf[k]))];
-      ++color_total_;
-    }
-    raw_masks_.push_back(std::move(mask));
+Bitmap CallerMasker::PushPrepare(const imaging::Image& frame,
+                                 int frame_index) {
+  Bitmap mask = segmenter_.Segment(frame, frame_index);
+  AccumulateStats(frame, mask);
+  return mask;
+}
+
+void CallerMasker::EndPrepare() { stats_ready_ = true; }
+
+void CallerMasker::AccumulateStats(const imaging::Image& frame,
+                                   const imaging::Bitmap& mask) {
+  auto pf = frame.pixels();
+  auto pm = mask.pixels();
+  for (std::size_t k = 0; k < pm.size(); ++k) {
+    if (!pm[k]) continue;
+    ++color_counts_[static_cast<std::size_t>(imaging::ColorBucket(pf[k]))];
+    ++color_total_;
   }
-  prepared_ = true;
 }
 
 const Bitmap& CallerMasker::RawSegmenterMask(int frame_index) const {
@@ -42,14 +62,23 @@ const Bitmap& CallerMasker::RawSegmenterMask(int frame_index) const {
 Bitmap CallerMasker::Vcm(const video::VideoStream& call,
                          int frame_index) const {
   if (!prepared_) throw std::logic_error("CallerMasker: not prepared");
-  const Bitmap& raw = raw_masks_.at(static_cast<std::size_t>(frame_index));
+  return Refine(call.frame(frame_index),
+                raw_masks_.at(static_cast<std::size_t>(frame_index)));
+}
+
+Bitmap CallerMasker::Vcm(const imaging::Image& frame, int frame_index) const {
+  return Refine(frame, segmenter_.Segment(frame, frame_index));
+}
+
+Bitmap CallerMasker::Refine(const imaging::Image& frame,
+                            const imaging::Bitmap& raw) const {
+  if (!stats_ready_) throw std::logic_error("CallerMasker: not prepared");
   Bitmap vcm = raw;
   if (color_total_ == 0 || opts_.rare_color_frequency <= 0.0) return vcm;
 
   // Only the uncertain boundary band is eligible for flipping.
   const Bitmap core = imaging::ErodeDisc(raw, opts_.protect_core_px);
 
-  const auto& frame = call.frame(frame_index);
   const double threshold =
       opts_.rare_color_frequency * static_cast<double>(color_total_);
   for (int y = 0; y < vcm.height(); ++y) {

@@ -37,7 +37,7 @@ class CallerMasker {
                const CallerMaskingOptions& opts = {});
 
   // Precomputes segmenter masks and the color-frequency statistics for the
-  // call. Must be called before Vcm().
+  // call. Must be called before Vcm(). (Batch form; retains every raw mask.)
   void Prepare(const video::VideoStream& call);
 
   // Refined video-caller mask for frame i.
@@ -46,13 +46,38 @@ class CallerMasker {
   // Raw (unrefined) segmenter output for frame i (for ablations).
   const imaging::Bitmap& RawSegmenterMask(int frame_index) const;
 
+  // Streaming preparation: color statistics accumulate over one in-order
+  // pass of frames with O(1) state - raw masks are NOT retained (the caller
+  // may cache the returned mask). The segmenter's analysis passes, if any,
+  // must have run before BeginPrepare().
+  void BeginPrepare();
+  // Segments `frame`, folds the mask into the color statistics, and returns
+  // the raw mask.
+  imaging::Bitmap PushPrepare(const imaging::Image& frame, int frame_index);
+  void EndPrepare();
+
+  // Refines a raw segmenter mask into the VCM for `frame` using the
+  // statistics from Prepare()/Begin..EndPrepare(). Thread-safe once
+  // preparation is complete; Vcm() is a lookup into the retained masks plus
+  // this refinement.
+  imaging::Bitmap Refine(const imaging::Image& frame,
+                         const imaging::Bitmap& raw) const;
+
+  // Segments + refines one frame (the streaming reconstruct path when raw
+  // masks were not cached).
+  imaging::Bitmap Vcm(const imaging::Image& frame, int frame_index) const;
+
  private:
+  void AccumulateStats(const imaging::Image& frame,
+                       const imaging::Bitmap& mask);
+
   segmentation::PersonSegmenter& segmenter_;
   CallerMaskingOptions opts_;
   std::vector<imaging::Bitmap> raw_masks_;
   std::vector<std::uint64_t> color_counts_;
   std::uint64_t color_total_ = 0;
-  bool prepared_ = false;
+  bool stats_ready_ = false;  // Refine() usable (streaming or batch)
+  bool prepared_ = false;     // raw masks retained (batch only)
 };
 
 }  // namespace bb::core

@@ -1,11 +1,9 @@
 #include "core/reconstruction.h"
 
 #include <algorithm>
-#include <cstdint>
-#include <vector>
 
-#include "common/parallel.h"
 #include "common/trace.h"
+#include "core/streaming.h"
 
 namespace bb::core {
 
@@ -16,6 +14,7 @@ Reconstructor::Reconstructor(const VbReference& reference,
                              segmentation::PersonSegmenter& segmenter,
                              const ReconstructionOptions& opts)
     : reference_(reference),
+      segmenter_(segmenter),
       caller_masker_(segmenter, opts.caller),
       opts_(opts) {}
 
@@ -67,141 +66,17 @@ FrameDecomposition Reconstructor::Decompose(const video::VideoStream& call,
   return d;
 }
 
-namespace {
-
-// Per-shard accumulator for the frame loop. All sums are integer-valued
-// (uint8 samples and their squares), so double addition is exact and the
-// shard-order reduction is bit-identical to the serial frame-order loop
-// regardless of how many shards the range was split into.
-struct LeakAccumulator {
-  std::vector<double> sum_r, sum_g, sum_b, sum_r2, sum_g2, sum_b2;
-  std::vector<int> counts;
-
-  explicit LeakAccumulator(std::size_t pixels)
-      : sum_r(pixels, 0.0), sum_g(pixels, 0.0), sum_b(pixels, 0.0),
-        sum_r2(pixels, 0.0), sum_g2(pixels, 0.0), sum_b2(pixels, 0.0),
-        counts(pixels, 0) {}
-};
-
-}  // namespace
-
 ReconstructionResult Reconstructor::Run(const video::VideoStream& call) {
   const trace::ScopedTimer run_timer("reconstruct.run");
-  PrepareCaller(call);
-
-  const int w = call.width(), h = call.height();
-  const int frames = call.frame_count();
-  ReconstructionResult result;
-  result.coverage = Bitmap(w, h);
-  result.leak_counts = imaging::ImageT<int>(w, h, 0);
-  result.background = Image(w, h);
-  result.per_frame_leak_fraction.assign(static_cast<std::size_t>(frames),
-                                        0.0);
-  if (opts_.keep_frame_masks) {
-    result.frame_masks.resize(static_cast<std::size_t>(frames));
-  }
-
-  const std::size_t pixels = static_cast<std::size_t>(w) * h;
-  const int shards = common::NumShards(frames);
-  std::vector<LeakAccumulator> acc(static_cast<std::size_t>(shards),
-                                   LeakAccumulator(pixels));
-
-  // Frame decomposition dominates the pipeline cost; shard the frame range
-  // across threads, each accumulating privately. Per-frame outputs index
-  // into preallocated slots, so writes are disjoint.
-  {
-    const trace::ScopedTimer accumulate_timer("reconstruct.accumulate");
-    common::ParallelShards(
-        0, frames, /*grain=*/1,
-        [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
-          LeakAccumulator& a = acc[static_cast<std::size_t>(shard)];
-          for (std::int64_t i = shard_begin; i < shard_end; ++i) {
-            FrameDecomposition d = Decompose(call, static_cast<int>(i));
-            auto pf = call.frame(static_cast<int>(i)).pixels();
-            auto pl = d.lb.pixels();
-            std::size_t leaked = 0;
-            for (std::size_t k = 0; k < pl.size(); ++k) {
-              if (!pl[k]) continue;
-              ++leaked;
-              ++a.counts[k];
-              a.sum_r[k] += pf[k].r;
-              a.sum_g[k] += pf[k].g;
-              a.sum_b[k] += pf[k].b;
-              a.sum_r2[k] += static_cast<double>(pf[k].r) * pf[k].r;
-              a.sum_g2[k] += static_cast<double>(pf[k].g) * pf[k].g;
-              a.sum_b2[k] += static_cast<double>(pf[k].b) * pf[k].b;
-            }
-            result.per_frame_leak_fraction[static_cast<std::size_t>(i)] =
-                static_cast<double>(leaked) / static_cast<double>(pl.size());
-            if (opts_.keep_frame_masks) {
-              result.frame_masks[static_cast<std::size_t>(i)] = std::move(d);
-            }
-          }
-        });
-  }
-
-  // Deterministic serial reduction in shard order (exact: see
-  // LeakAccumulator).
-  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
-  LeakAccumulator& total = acc.front();
-  for (int s = 1; s < shards; ++s) {
-    const LeakAccumulator& a = acc[static_cast<std::size_t>(s)];
-    for (std::size_t k = 0; k < pixels; ++k) {
-      total.counts[k] += a.counts[k];
-      total.sum_r[k] += a.sum_r[k];
-      total.sum_g[k] += a.sum_g[k];
-      total.sum_b[k] += a.sum_b[k];
-      total.sum_r2[k] += a.sum_r2[k];
-      total.sum_g2[k] += a.sum_g2[k];
-      total.sum_b2[k] += a.sum_b2[k];
-    }
-  }
-  {
-    auto pcov = result.coverage.pixels();
-    auto pcnt = result.leak_counts.pixels();
-    for (std::size_t k = 0; k < pixels; ++k) {
-      pcnt[k] = total.counts[k];
-      if (total.counts[k] > 0) pcov[k] = imaging::kMaskSet;
-    }
-  }
-
-  // Finalize each pixel independently (means + the paper's color-stability
-  // filter); row-parallel, disjoint writes.
-  auto pbg = result.background.pixels();
-  auto pcnt = result.leak_counts.pixels();
-  auto pcov = result.coverage.pixels();
-  const double max_var = opts_.max_color_spread * opts_.max_color_spread;
-  common::ParallelFor(0, h, /*grain=*/16, [&](std::int64_t y) {
-    for (std::size_t k = static_cast<std::size_t>(y) * w,
-                     row_end = k + static_cast<std::size_t>(w);
-         k < row_end; ++k) {
-      if (pcnt[k] == 0) continue;
-      if (pcnt[k] < opts_.min_leak_count) {
-        pcov[k] = imaging::kMaskClear;
-        pcnt[k] = 0;
-        continue;
-      }
-      const double inv = 1.0 / pcnt[k];
-      const double mr = total.sum_r[k] * inv, mg = total.sum_g[k] * inv,
-                   mb = total.sum_b[k] * inv;
-      if (opts_.max_color_spread > 0.0 && pcnt[k] > 1) {
-        const double var = std::max({total.sum_r2[k] * inv - mr * mr,
-                                     total.sum_g2[k] * inv - mg * mg,
-                                     total.sum_b2[k] * inv - mb * mb});
-        if (var > max_var) {
-          // Unstable color across observations: caller boundary, not leaked
-          // background (paper sec. V-D Color Analysis).
-          pcov[k] = imaging::kMaskClear;
-          pcnt[k] = 0;
-          continue;
-        }
-      }
-      pbg[k] = {static_cast<std::uint8_t>(mr + 0.5),
-                static_cast<std::uint8_t>(mg + 0.5),
-                static_cast<std::uint8_t>(mb + 0.5)};
-    }
-  });
-  return result;
+  // Window = call length, so the single flush shards the frame range exactly
+  // like the pre-streaming frame loop and the raw segmenter masks are cached
+  // (one segmentation per frame, as before).
+  StreamingOptions sopts;
+  sopts.window_frames = std::max(1, call.frame_count());
+  sopts.recon = opts_;
+  StreamingReconstructor streaming(reference_, segmenter_, sopts);
+  video::VideoStreamSource source(call);
+  return streaming.Run(source);
 }
 
 }  // namespace bb::core

@@ -81,13 +81,16 @@ class Reconstructor {
   FrameDecomposition Decompose(const video::VideoStream& call,
                                int frame_index) const;
 
-  // Full pipeline over every frame of the call.
+  // Full pipeline over every frame of the call. Thin batch-compat wrapper
+  // over the streaming core (streaming.h) with window = call length, which
+  // makes it bit-identical to the pre-streaming implementation.
   ReconstructionResult Run(const video::VideoStream& call);
 
   const ReconstructionOptions& options() const { return opts_; }
 
  private:
   const VbReference& reference_;
+  segmentation::PersonSegmenter& segmenter_;
   CallerMasker caller_masker_;
   ReconstructionOptions opts_;
   bool caller_prepared_ = false;

@@ -1,0 +1,373 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace bb::core {
+
+using imaging::Bitmap;
+using imaging::Image;
+
+StreamingReconstructor::StreamingReconstructor(
+    const VbReference& reference, segmentation::PersonSegmenter& segmenter,
+    const StreamingOptions& opts)
+    : reference_(reference),
+      segmenter_(segmenter),
+      masker_(segmenter, opts.recon.caller),
+      opts_(opts) {
+  if (opts_.window_frames < 1) {
+    throw std::invalid_argument("StreamingReconstructor: window_frames < 1");
+  }
+}
+
+int StreamingReconstructor::TotalPasses() const {
+  return segmenter_.AnalysisPasses() + 2;
+}
+
+void StreamingReconstructor::Begin(const video::StreamInfo& info) {
+  info_ = info;
+  analysis_passes_ = segmenter_.AnalysisPasses();
+  current_pass_ = -1;
+  next_frame_ = 0;
+  const int w = info.width, h = info.height;
+  const int frames = info.frame_count;
+  pixels_ = static_cast<std::size_t>(w) * static_cast<std::size_t>(h);
+
+  result_ = ReconstructionResult{};
+  result_.coverage = Bitmap(w, h);
+  result_.leak_counts = imaging::ImageT<int>(w, h, 0);
+  result_.background = Image(w, h);
+  result_.per_frame_leak_fraction.assign(static_cast<std::size_t>(frames),
+                                         0.0);
+  if (opts_.recon.keep_frame_masks) {
+    result_.frame_masks.clear();
+    result_.frame_masks.resize(static_cast<std::size_t>(frames));
+  }
+
+  cache_raw_masks_ = opts_.window_frames >= frames;
+  raw_cache_.clear();
+  window_.emplace(std::min(opts_.window_frames, std::max(1, frames)));
+  pool_ = video::BufferPool();
+  shards_.clear();
+  stats_ = StreamingStats{};
+  stats_.window_capacity = window_->capacity();
+  stats_.raw_masks_cached = cache_raw_masks_;
+}
+
+void StreamingReconstructor::BeginPass(int pass) {
+  if (pass != current_pass_ + 1 || pass >= TotalPasses()) {
+    throw std::logic_error("StreamingReconstructor: passes must run in order");
+  }
+  current_pass_ = pass;
+  next_frame_ = 0;
+  if (pass < analysis_passes_) {
+    segmenter_.BeginAnalysisPass(pass, info_);
+  } else if (pass == analysis_passes_) {
+    masker_.BeginPrepare();
+    if (cache_raw_masks_) {
+      raw_cache_.assign(static_cast<std::size_t>(info_.frame_count),
+                        Bitmap());
+    }
+    caller_timer_.emplace("reconstruct.caller_prepare");
+  } else {
+    accumulate_timer_.emplace("reconstruct.accumulate");
+  }
+}
+
+void StreamingReconstructor::CheckOrder(int frame_index) {
+  if (current_pass_ < 0) {
+    throw std::logic_error("StreamingReconstructor: BeginPass not called");
+  }
+  if (frame_index != next_frame_ || frame_index >= info_.frame_count) {
+    throw std::logic_error(
+        "StreamingReconstructor: frames must be pushed in order");
+  }
+  ++next_frame_;
+}
+
+void StreamingReconstructor::PushFrame(const Image& frame, int frame_index) {
+  if (current_pass_ == analysis_passes_ + 1) {
+    CheckOrder(frame_index);
+    Image buffer = pool_.AcquireImage(info_.width, info_.height);
+    const auto src = frame.pixels();
+    const auto dst = buffer.pixels();
+    std::copy(src.begin(), src.end(), dst.begin());
+    PushWindowed(std::move(buffer));
+    return;
+  }
+  CheckOrder(frame_index);
+  if (current_pass_ < analysis_passes_) {
+    segmenter_.PushAnalysisFrame(current_pass_, frame, frame_index);
+  } else {
+    Bitmap raw = masker_.PushPrepare(frame, frame_index);
+    if (cache_raw_masks_) {
+      raw_cache_[static_cast<std::size_t>(frame_index)] = std::move(raw);
+    }
+  }
+}
+
+void StreamingReconstructor::PushFrame(Image&& frame, int frame_index) {
+  if (current_pass_ == analysis_passes_ + 1) {
+    CheckOrder(frame_index);
+    PushWindowed(std::move(frame));
+    return;
+  }
+  PushFrame(static_cast<const Image&>(frame), frame_index);
+}
+
+void StreamingReconstructor::PushWindowed(Image frame) {
+  ++stats_.frames_pushed;
+  pool_.Release(window_->Push(std::move(frame)));
+  if (window_->size() == window_->capacity()) FlushWindow();
+}
+
+void StreamingReconstructor::FlushWindow() {
+  const int count = window_->size();
+  if (count == 0) return;
+  ++stats_.window_flushes;
+
+  const int first = window_->first_index();
+  const std::size_t needed =
+      static_cast<std::size_t>(common::NumShards(count));
+  while (shards_.size() < needed) {
+    LeakShard s;
+    s.sum_r.assign(pixels_, 0.0);
+    s.sum_g.assign(pixels_, 0.0);
+    s.sum_b.assign(pixels_, 0.0);
+    s.sum_r2.assign(pixels_, 0.0);
+    s.sum_g2.assign(pixels_, 0.0);
+    s.sum_b2.assign(pixels_, 0.0);
+    s.counts.assign(pixels_, 0);
+    shards_.push_back(std::move(s));
+  }
+
+  // Decomposition dominates the pipeline cost; shard the resident frame
+  // range across threads, each accumulating privately into a shard that
+  // persists across flushes. Per-frame outputs index into preallocated
+  // slots, so writes are disjoint.
+  common::ParallelShards(
+      0, count, /*grain=*/1,
+      [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
+        LeakShard& a = shards_[static_cast<std::size_t>(shard)];
+        for (std::int64_t k = shard_begin; k < shard_end; ++k) {
+          const int i = first + static_cast<int>(k);
+          DecomposeWindowFrame(i, a);
+          auto pf = window_->at(i).pixels();
+          auto pl = a.scratch.lb.pixels();
+          std::size_t leaked = 0;
+          for (std::size_t p = 0; p < pl.size(); ++p) {
+            if (!pl[p]) continue;
+            ++leaked;
+            ++a.counts[p];
+            a.sum_r[p] += pf[p].r;
+            a.sum_g[p] += pf[p].g;
+            a.sum_b[p] += pf[p].b;
+            a.sum_r2[p] += static_cast<double>(pf[p].r) * pf[p].r;
+            a.sum_g2[p] += static_cast<double>(pf[p].g) * pf[p].g;
+            a.sum_b2[p] += static_cast<double>(pf[p].b) * pf[p].b;
+          }
+          result_.per_frame_leak_fraction[static_cast<std::size_t>(i)] =
+              static_cast<double>(leaked) / static_cast<double>(pl.size());
+          if (opts_.recon.keep_frame_masks) {
+            result_.frame_masks[static_cast<std::size_t>(i)] =
+                std::move(a.scratch);
+          }
+        }
+      });
+  window_->Clear(&pool_);
+}
+
+void StreamingReconstructor::DecomposeWindowFrame(int frame_index,
+                                                  LeakShard& shard) {
+  const Image& frame = window_->at(frame_index);
+  FrameDecomposition& d = shard.scratch;
+  {
+    const trace::ScopedTimer timer("reconstruct.vbm");
+    ComputeVbmInto(frame,
+                   reference_.ImageFor(frame, frame_index, opts_.recon.vb),
+                   reference_.ValidFor(frame, frame_index, opts_.recon.vb),
+                   opts_.recon.vb.match_tolerance, &d.vbm);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.bbm");
+    d.bbm = ComputeBbm(d.vbm, opts_.recon.phi);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.vcm");
+    d.vcm = cache_raw_masks_
+                ? masker_.Refine(
+                      frame,
+                      raw_cache_[static_cast<std::size_t>(frame_index)])
+                : masker_.Vcm(frame, frame_index);
+  }
+  {
+    const trace::ScopedTimer timer("reconstruct.lb");
+    // LB = residue after removing the three components.
+    if (d.lb.width() != frame.width() || d.lb.height() != frame.height()) {
+      d.lb = Bitmap(frame.width(), frame.height());
+    }
+    auto pb = d.bbm.pixels();
+    auto pc = d.vcm.pixels();
+    auto pl = d.lb.pixels();
+    for (std::size_t i = 0; i < pl.size(); ++i) {
+      pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
+    }
+  }
+  if (trace::Enabled()) {
+    // Per-stage masked-pixel volumes; summed per frame, so the totals are
+    // independent of how the frame loop is sharded across threads.
+    trace::AddCounter("reconstruct.frames_decomposed", 1);
+    trace::AddCounter("reconstruct.pixels.vbm", imaging::CountSet(d.vbm));
+    trace::AddCounter("reconstruct.pixels.bbm", imaging::CountSet(d.bbm));
+    trace::AddCounter("reconstruct.pixels.vcm", imaging::CountSet(d.vcm));
+    trace::AddCounter("reconstruct.pixels.lb", imaging::CountSet(d.lb));
+  }
+}
+
+void StreamingReconstructor::EndPass(int pass) {
+  if (pass != current_pass_) {
+    throw std::logic_error("StreamingReconstructor: EndPass out of order");
+  }
+  if (pass < analysis_passes_) {
+    segmenter_.EndAnalysisPass(pass);
+  } else if (pass == analysis_passes_) {
+    masker_.EndPrepare();
+    caller_timer_.reset();
+  } else {
+    FlushWindow();
+    accumulate_timer_.reset();
+  }
+}
+
+ReconstructionResult StreamingReconstructor::Finalize() {
+  if (current_pass_ != TotalPasses() - 1) {
+    throw std::logic_error(
+        "StreamingReconstructor: Finalize before the final pass");
+  }
+  current_pass_ = TotalPasses();  // guard against reuse without Begin()
+
+  // Deterministic serial reduction in shard order (exact: see LeakShard).
+  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
+  if (shards_.empty()) {
+    LeakShard s;
+    s.sum_r.assign(pixels_, 0.0);
+    s.sum_g.assign(pixels_, 0.0);
+    s.sum_b.assign(pixels_, 0.0);
+    s.sum_r2.assign(pixels_, 0.0);
+    s.sum_g2.assign(pixels_, 0.0);
+    s.sum_b2.assign(pixels_, 0.0);
+    s.counts.assign(pixels_, 0);
+    shards_.push_back(std::move(s));
+  }
+  LeakShard& total = shards_.front();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const LeakShard& a = shards_[s];
+    for (std::size_t k = 0; k < pixels_; ++k) {
+      total.counts[k] += a.counts[k];
+      total.sum_r[k] += a.sum_r[k];
+      total.sum_g[k] += a.sum_g[k];
+      total.sum_b[k] += a.sum_b[k];
+      total.sum_r2[k] += a.sum_r2[k];
+      total.sum_g2[k] += a.sum_g2[k];
+      total.sum_b2[k] += a.sum_b2[k];
+    }
+  }
+  {
+    auto pcov = result_.coverage.pixels();
+    auto pcnt = result_.leak_counts.pixels();
+    for (std::size_t k = 0; k < pixels_; ++k) {
+      pcnt[k] = total.counts[k];
+      if (total.counts[k] > 0) pcov[k] = imaging::kMaskSet;
+    }
+  }
+
+  // Finalize each pixel independently (means + the paper's color-stability
+  // filter); row-parallel, disjoint writes.
+  auto pbg = result_.background.pixels();
+  auto pcnt = result_.leak_counts.pixels();
+  auto pcov = result_.coverage.pixels();
+  const int w = info_.width;
+  const double max_var =
+      opts_.recon.max_color_spread * opts_.recon.max_color_spread;
+  common::ParallelFor(0, info_.height, /*grain=*/16, [&](std::int64_t y) {
+    for (std::size_t k = static_cast<std::size_t>(y) * w,
+                     row_end = k + static_cast<std::size_t>(w);
+         k < row_end; ++k) {
+      if (pcnt[k] == 0) continue;
+      if (pcnt[k] < opts_.recon.min_leak_count) {
+        pcov[k] = imaging::kMaskClear;
+        pcnt[k] = 0;
+        continue;
+      }
+      const double inv = 1.0 / pcnt[k];
+      const double mr = total.sum_r[k] * inv, mg = total.sum_g[k] * inv,
+                   mb = total.sum_b[k] * inv;
+      if (opts_.recon.max_color_spread > 0.0 && pcnt[k] > 1) {
+        const double var = std::max({total.sum_r2[k] * inv - mr * mr,
+                                     total.sum_g2[k] * inv - mg * mg,
+                                     total.sum_b2[k] * inv - mb * mb});
+        if (var > max_var) {
+          // Unstable color across observations: caller boundary, not leaked
+          // background (paper sec. V-D Color Analysis).
+          pcov[k] = imaging::kMaskClear;
+          pcnt[k] = 0;
+          continue;
+        }
+      }
+      pbg[k] = {static_cast<std::uint8_t>(mr + 0.5),
+                static_cast<std::uint8_t>(mg + 0.5),
+                static_cast<std::uint8_t>(mb + 0.5)};
+    }
+  });
+
+  stats_.peak_window_frames = window_->peak_size();
+  stats_.pool_hits = pool_.hits();
+  stats_.pool_misses = pool_.misses();
+  if (trace::Enabled()) {
+    trace::AddCounter("stream.window_capacity",
+                      static_cast<std::uint64_t>(stats_.window_capacity));
+    trace::AddCounter("stream.peak_window_frames",
+                      static_cast<std::uint64_t>(stats_.peak_window_frames));
+    trace::AddCounter("stream.window_flushes", stats_.window_flushes);
+    trace::AddCounter("stream.frames_pushed", stats_.frames_pushed);
+    trace::AddCounter("stream.pool_hits", stats_.pool_hits);
+    trace::AddCounter("stream.pool_misses", stats_.pool_misses);
+  }
+  return std::move(result_);
+}
+
+ReconstructionResult StreamingReconstructor::Run(video::FrameSource& source) {
+  Begin(source.info());
+  const int total_passes = TotalPasses();
+  const int n = info_.frame_count;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    source.Reset();
+    BeginPass(pass);
+    if (pass == analysis_passes_ + 1) {
+      // Windowed pass: pull directly into pooled buffers and move them into
+      // the window (allocation-free at steady state).
+      Image buffer = pool_.AcquireImage(info_.width, info_.height);
+      int i = 0;
+      while (i < n && source.Next(buffer)) {
+        PushFrame(std::move(buffer), i);
+        ++i;
+        buffer = pool_.AcquireImage(info_.width, info_.height);
+      }
+      pool_.Release(std::move(buffer));
+    } else {
+      Image buffer;
+      int i = 0;
+      while (i < n && source.Next(buffer)) {
+        PushFrame(buffer, i);
+        ++i;
+      }
+    }
+    EndPass(pass);
+  }
+  return Finalize();
+}
+
+}  // namespace bb::core

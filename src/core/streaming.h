@@ -1,0 +1,119 @@
+// Streaming reconstruction core (ROADMAP: O(window) memory end-to-end).
+//
+// StreamingReconstructor runs the full reconstruction framework of
+// reconstruction.h over a video::FrameSource without ever materializing the
+// call: frame state is bounded by a FrameWindow, mask/frame buffers recycle
+// through a BufferPool, and the whole-call statistics (segmenter analysis,
+// caller color model, leak accumulators) are incremental with O(pixels)
+// state. The batch Reconstructor::Run is a thin wrapper over this class
+// (window = call length), and the two are bit-identical at any thread
+// count: per-shard leak accumulators persist across window flushes and sum
+// integer-valued doubles, so the reduction is exact regardless of how the
+// frames were windowed or sharded.
+//
+// Pass protocol (TotalPasses() sequential pulls over a rewindable source):
+//   passes [0, A)  - segmenter analysis passes (A = AnalysisPasses())
+//   pass A         - caller statistics (segment + color histogram); raw
+//                    masks are cached only when the window covers the call
+//   pass A+1       - windowed decomposition + leak accumulation
+// Run() drives all passes; the Begin/BeginPass/PushFrame/EndPass/Finalize
+// surface is public for callers that push frames as they arrive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/trace.h"
+#include "core/reconstruction.h"
+#include "imaging/image.h"
+#include "video/frame_source.h"
+
+namespace bb::core {
+
+struct StreamingOptions {
+  // Capacity of the reconstruction window in frames (>= 1) - the only
+  // multi-frame frame state. Peak frame-buffer residency is bounded by this,
+  // never by the call length.
+  int window_frames = 64;
+  ReconstructionOptions recon;
+};
+
+// Observability counters for the streaming run (also mirrored into
+// bb.trace.v1 as stream.* counters when tracing is enabled).
+struct StreamingStats {
+  int window_capacity = 0;
+  int peak_window_frames = 0;
+  std::uint64_t frames_pushed = 0;
+  std::uint64_t window_flushes = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  bool raw_masks_cached = false;
+};
+
+class StreamingReconstructor {
+ public:
+  // `reference` and `segmenter` are borrowed and must outlive the instance.
+  StreamingReconstructor(const VbReference& reference,
+                         segmentation::PersonSegmenter& segmenter,
+                         const StreamingOptions& opts = {});
+
+  // Drives every pass over a rewindable source and finalizes.
+  ReconstructionResult Run(video::FrameSource& source);
+
+  // Incremental protocol (Run() is a wrapper around these). For each pass
+  // p in [0, TotalPasses()): BeginPass(p), push every frame in order,
+  // EndPass(p); then Finalize().
+  void Begin(const video::StreamInfo& info);
+  int TotalPasses() const;
+  void BeginPass(int pass);
+  // Copying push (the frame is copied into a pooled buffer on the windowed
+  // pass) and zero-copy move push.
+  void PushFrame(const imaging::Image& frame, int frame_index);
+  void PushFrame(imaging::Image&& frame, int frame_index);
+  void EndPass(int pass);
+  ReconstructionResult Finalize();
+
+  const StreamingStats& stats() const { return stats_; }
+
+ private:
+  // Per-shard leak accumulator + reusable decomposition scratch. All sums
+  // are integer-valued (uint8 samples and their squares), so double
+  // addition is exact and the shard-order reduction at Finalize() is
+  // bit-identical to a serial frame-order loop no matter how many window
+  // flushes or shards contributed.
+  struct LeakShard {
+    std::vector<double> sum_r, sum_g, sum_b, sum_r2, sum_g2, sum_b2;
+    std::vector<int> counts;
+    FrameDecomposition scratch;
+  };
+
+  void CheckOrder(int frame_index);
+  void PushWindowed(imaging::Image frame);
+  void FlushWindow();
+  void DecomposeWindowFrame(int frame_index, LeakShard& shard);
+
+  const VbReference& reference_;
+  segmentation::PersonSegmenter& segmenter_;
+  CallerMasker masker_;
+  StreamingOptions opts_;
+
+  video::StreamInfo info_;
+  std::size_t pixels_ = 0;
+  int analysis_passes_ = 0;
+  int current_pass_ = -2;  // -2 before Begin, -1 after Begin
+  int next_frame_ = 0;
+  bool cache_raw_masks_ = false;
+
+  std::optional<video::FrameWindow> window_;
+  video::BufferPool pool_;
+  std::vector<imaging::Bitmap> raw_cache_;
+  std::vector<LeakShard> shards_;
+  ReconstructionResult result_;
+  StreamingStats stats_;
+
+  std::optional<trace::ScopedTimer> caller_timer_;
+  std::optional<trace::ScopedTimer> accumulate_timer_;
+};
+
+}  // namespace bb::core

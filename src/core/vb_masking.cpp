@@ -130,6 +130,43 @@ std::optional<VbReference> VbReference::DeriveVideo(
   return ref;
 }
 
+VbReference VbReference::DeriveImageStreaming(video::FrameSource& source,
+                                              int min_stable_run,
+                                              int channel_tolerance) {
+  source.Reset();
+  video::StaticLayerAccumulator acc(
+      video::ConsistencyOptions{channel_tolerance});
+  imaging::Image frame;
+  while (source.Next(frame)) acc.Push(frame);
+  const auto layer = acc.Finalize(min_stable_run);
+  VbReference ref;
+  ref.derived_ = true;
+  ref.frames_.push_back(layer.color);
+  ref.valid_.push_back(layer.valid);
+  return ref;
+}
+
+std::optional<VbReference> VbReference::DeriveVideoStreaming(
+    video::FrameSource& source, int window_frames, int min_stable_run,
+    int channel_tolerance) {
+  const auto period = video::DetectLoopPeriodStreaming(source);
+  if (!period) return std::nullopt;
+  auto est = video::EstimateLoopFramesStreaming(source, *period,
+                                                window_frames,
+                                                {channel_tolerance});
+  if (est.phase_frames.empty()) return std::nullopt;
+  // Require each phase to have been observed enough times to be meaningful.
+  const int frame_count = source.info().frame_count;
+  if (frame_count / *period < std::max(2, min_stable_run / *period)) {
+    return std::nullopt;
+  }
+  VbReference ref;
+  ref.derived_ = true;
+  ref.frames_ = std::move(est.phase_frames);
+  ref.valid_ = std::move(est.phase_valid);
+  return ref;
+}
+
 void VbReference::AugmentWith(const VbReference& other) {
   if (other.frames_.size() != frames_.size()) {
     throw std::invalid_argument("VbReference::AugmentWith: period mismatch");
@@ -187,19 +224,28 @@ double VbReference::ValidFraction() const {
 
 Bitmap ComputeVbm(const Image& frame, const Image& reference,
                   const Bitmap& reference_valid, int tolerance) {
+  Bitmap vbm;
+  ComputeVbmInto(frame, reference, reference_valid, tolerance, &vbm);
+  return vbm;
+}
+
+void ComputeVbmInto(const Image& frame, const Image& reference,
+                    const Bitmap& reference_valid, int tolerance,
+                    Bitmap* out) {
   imaging::RequireSameShape(frame, reference, "ComputeVbm");
   imaging::RequireSameShape(frame, reference_valid, "ComputeVbm");
-  Bitmap vbm(frame.width(), frame.height());
+  if (out->width() != frame.width() || out->height() != frame.height()) {
+    *out = Bitmap(frame.width(), frame.height());
+  }
   auto pf = frame.pixels();
   auto pr = reference.pixels();
   auto pv = reference_valid.pixels();
-  auto po = vbm.pixels();
+  auto po = out->pixels();
   for (std::size_t i = 0; i < po.size(); ++i) {
     po[i] = (pv[i] && imaging::NearlyEqual(pf[i], pr[i], tolerance))
                 ? imaging::kMaskSet
                 : imaging::kMaskClear;
   }
-  return vbm;
 }
 
 }  // namespace bb::core

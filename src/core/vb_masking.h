@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "imaging/image.h"
+#include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::core {
@@ -85,6 +86,16 @@ class VbReference {
       const video::VideoStream& call, int min_stable_run = kDefaultStableRun,
       int channel_tolerance = 4);
 
+  // Streaming forms of the two derivations: pull the call from a rewindable
+  // source instead of a materialized stream, holding O(window) frame state.
+  // Bit-identical to the batch forms on the same frames.
+  static VbReference DeriveImageStreaming(
+      video::FrameSource& source, int min_stable_run = kDefaultStableRun,
+      int channel_tolerance = 4);
+  static std::optional<VbReference> DeriveVideoStreaming(
+      video::FrameSource& source, int window_frames,
+      int min_stable_run = kDefaultStableRun, int channel_tolerance = 4);
+
   // Merges validity/content from another derivation of the SAME virtual
   // background (e.g. from a different call) - fills holes.
   void AugmentWith(const VbReference& other);
@@ -122,5 +133,12 @@ imaging::Bitmap ComputeVbm(const imaging::Image& frame,
                            const imaging::Image& reference,
                            const imaging::Bitmap& reference_valid,
                            int tolerance);
+
+// In-place form for pooled mask buffers: fully overwrites `*out` (reshaping
+// it if needed). ComputeVbm is a wrapper over this.
+void ComputeVbmInto(const imaging::Image& frame,
+                    const imaging::Image& reference,
+                    const imaging::Bitmap& reference_valid, int tolerance,
+                    imaging::Bitmap* out);
 
 }  // namespace bb::core

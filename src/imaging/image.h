@@ -52,6 +52,28 @@ class ImageT {
     pixels_.assign(static_cast<std::size_t>(width) * height, fill);
   }
 
+  ImageT(const ImageT&) = default;
+  ImageT& operator=(const ImageT&) = default;
+
+  // Moves leave the source as an empty 0x0 image. The defaulted move would
+  // keep the old width/height on a storage-less image, which silently defeats
+  // shape-based reshape checks (e.g. pooled/streamed frame buffers).
+  ImageT(ImageT&& other) noexcept
+      : width_(std::exchange(other.width_, 0)),
+        height_(std::exchange(other.height_, 0)),
+        pixels_(std::move(other.pixels_)) {
+    other.pixels_.clear();
+  }
+  ImageT& operator=(ImageT&& other) noexcept {
+    if (this != &other) {
+      width_ = std::exchange(other.width_, 0);
+      height_ = std::exchange(other.height_, 0);
+      pixels_ = std::move(other.pixels_);
+      other.pixels_.clear();
+    }
+    return *this;
+  }
+
   int width() const { return width_; }
   int height() const { return height_; }
   bool empty() const { return pixels_.empty(); }

@@ -19,19 +19,35 @@ using imaging::Bitmap;
 using imaging::FloatImage;
 using imaging::Image;
 
+Bitmap PersonSegmenter::SegmentBatch(const video::VideoStream& call,
+                                     int frame_index) {
+  if (AnalysisPasses() > 0 && analyzed_ != &call) {
+    const video::StreamInfo info{call.width(), call.height(),
+                                 call.frame_count(), call.fps()};
+    for (int pass = 0; pass < AnalysisPasses(); ++pass) {
+      BeginAnalysisPass(pass, info);
+      for (int i = 0; i < call.frame_count(); ++i) {
+        PushAnalysisFrame(pass, call.frame(i), i);
+      }
+      EndAnalysisPass(pass);
+    }
+    analyzed_ = &call;
+  }
+  return Segment(call.frame(frame_index), frame_index);
+}
+
 NoisyOracleSegmenter::NoisyOracleSegmenter(
     std::vector<imaging::Bitmap> true_masks, const NoisyOracleParams& params,
     std::uint64_t seed)
     : true_masks_(std::move(true_masks)), params_(params), seed_(seed) {}
 
-Bitmap NoisyOracleSegmenter::Segment(const video::VideoStream& call,
-                                     int frame_index) {
+Bitmap NoisyOracleSegmenter::Segment(const Image& frame, int frame_index) {
   if (frame_index < 0 ||
       frame_index >= static_cast<int>(true_masks_.size())) {
     throw std::out_of_range("NoisyOracleSegmenter::Segment");
   }
   const Bitmap& truth = true_masks_[static_cast<std::size_t>(frame_index)];
-  (void)call;
+  (void)frame;
 
   // Per-frame deterministic noise stream.
   synth::Rng rng(seed_ ^ (static_cast<std::uint64_t>(frame_index) * 0x9E37u));
@@ -74,36 +90,55 @@ Bitmap NoisyOracleSegmenter::Segment(const video::VideoStream& call,
 ClassicalSegmenter::ClassicalSegmenter(const ClassicalSegmenterParams& params)
     : params_(params) {}
 
-void ClassicalSegmenter::Prepare(const video::VideoStream& call) {
-  // Static layer = best per-pixel estimate of the non-moving content (VB +
-  // never-moving background); the caller is whatever keeps deviating.
-  const auto layer = video::EstimateStaticLayer(
-      call, /*min_run=*/std::max(3, call.frame_count() / 4),
-      {params_.channel_tolerance});
-  static_layer_ = layer.color;
-
-  dynamic_score_ = FloatImage(call.width(), call.height(), 0.0f);
-  for (int i = 0; i < call.frame_count(); ++i) {
-    auto pf = call.frame(i).pixels();
-    auto ps = static_layer_.pixels();
-    auto pd = dynamic_score_.pixels();
-    for (std::size_t k = 0; k < pd.size(); ++k) {
-      if (!imaging::NearlyEqual(pf[k], ps[k], params_.channel_tolerance)) {
-        pd[k] += 1.0f;
-      }
-    }
+void ClassicalSegmenter::BeginAnalysisPass(int pass,
+                                           const video::StreamInfo& info) {
+  if (pass == 0) {
+    // Static layer = best per-pixel estimate of the non-moving content (VB +
+    // never-moving background); the caller is whatever keeps deviating.
+    prepared_ = false;
+    frame_count_ = info.frame_count;
+    layer_acc_.emplace(
+        video::ConsistencyOptions{params_.channel_tolerance});
+  } else {
+    dynamic_score_ = FloatImage(info.width, info.height, 0.0f);
   }
-  prepared_ = true;
-  prepared_for_ = &call;
 }
 
-Bitmap ClassicalSegmenter::Segment(const video::VideoStream& call,
-                                   int frame_index) {
-  if (!prepared_ || prepared_for_ != &call) Prepare(call);
-  const Image& frame = call.frame(frame_index);
+void ClassicalSegmenter::PushAnalysisFrame(int pass, const Image& frame,
+                                           int frame_index) {
+  (void)frame_index;
+  if (pass == 0) {
+    layer_acc_->Push(frame);
+    return;
+  }
+  auto pf = frame.pixels();
+  auto ps = static_layer_.pixels();
+  auto pd = dynamic_score_.pixels();
+  for (std::size_t k = 0; k < pd.size(); ++k) {
+    if (!imaging::NearlyEqual(pf[k], ps[k], params_.channel_tolerance)) {
+      pd[k] += 1.0f;
+    }
+  }
+}
+
+void ClassicalSegmenter::EndAnalysisPass(int pass) {
+  if (pass == 0) {
+    static_layer_ =
+        layer_acc_->Finalize(std::max(3, frame_count_ / 4)).color;
+    layer_acc_.reset();
+  } else {
+    prepared_ = true;
+  }
+}
+
+Bitmap ClassicalSegmenter::Segment(const Image& frame, int frame_index) {
+  (void)frame_index;
+  if (!prepared_) {
+    throw std::logic_error("ClassicalSegmenter: analysis passes not run");
+  }
   const int w = frame.width(), h = frame.height();
   const float dyn_threshold =
-      static_cast<float>(params_.dynamic_fraction * call.frame_count());
+      static_cast<float>(params_.dynamic_fraction * frame_count_);
 
   // Candidate caller pixels: deviate from the static layer NOW and belong to
   // a generally dynamic region.

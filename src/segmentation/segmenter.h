@@ -9,13 +9,23 @@
 //   * ClassicalSegmenter   - a real segmenter with no oracle access: finds
 //     the dynamic region of the call video, then refines it with a color
 //     model. Proves the pipeline works end-to-end without ground truth.
+//
+// Segmenters are streaming-native: any whole-call statistics are gathered
+// through the analysis-pass protocol (sequential passes of per-frame pushes
+// with O(1) frame state), after which Segment() masks a single frame.
+// Segment() must be safe to call concurrently once the analysis passes have
+// completed. Batch callers use SegmentBatch(), which drives the protocol
+// over an in-memory stream automatically.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "imaging/image.h"
+#include "video/frame_source.h"
+#include "video/temporal.h"
 #include "video/video.h"
 
 namespace bb::segmentation {
@@ -24,11 +34,36 @@ class PersonSegmenter {
  public:
   virtual ~PersonSegmenter() = default;
 
-  // Estimated caller mask for frame `frame_index` of `call`. Implementations
-  // may precompute on first use; `call` must be the same stream across calls
-  // of one instance.
-  virtual imaging::Bitmap Segment(const video::VideoStream& call,
+  // Number of sequential whole-stream passes the segmenter needs before
+  // Segment() works (0 = stateless). For each pass p in order, the driver
+  // calls BeginAnalysisPass(p, info), pushes every frame in order, then
+  // EndAnalysisPass(p).
+  virtual int AnalysisPasses() const { return 0; }
+  virtual void BeginAnalysisPass(int pass, const video::StreamInfo& info) {
+    (void)pass;
+    (void)info;
+  }
+  virtual void PushAnalysisFrame(int pass, const imaging::Image& frame,
+                                 int frame_index) {
+    (void)pass;
+    (void)frame;
+    (void)frame_index;
+  }
+  virtual void EndAnalysisPass(int pass) { (void)pass; }
+
+  // Estimated caller mask for one frame. Requires the analysis passes (if
+  // any) to have run; thread-safe afterwards.
+  virtual imaging::Bitmap Segment(const imaging::Image& frame,
                                   int frame_index) = 0;
+
+  // Batch convenience: runs any pending analysis passes over `call` (cached
+  // by stream identity, so repeated calls with the same stream analyze
+  // once), then segments frame `frame_index`.
+  imaging::Bitmap SegmentBatch(const video::VideoStream& call,
+                               int frame_index);
+
+ private:
+  const video::VideoStream* analyzed_ = nullptr;
 };
 
 struct NoisyOracleParams {
@@ -49,7 +84,7 @@ class NoisyOracleSegmenter final : public PersonSegmenter {
   NoisyOracleSegmenter(std::vector<imaging::Bitmap> true_masks,
                        const NoisyOracleParams& params, std::uint64_t seed);
 
-  imaging::Bitmap Segment(const video::VideoStream& call,
+  imaging::Bitmap Segment(const imaging::Image& frame,
                           int frame_index) override;
 
  private:
@@ -74,15 +109,22 @@ class ClassicalSegmenter final : public PersonSegmenter {
  public:
   explicit ClassicalSegmenter(const ClassicalSegmenterParams& params = {});
 
-  imaging::Bitmap Segment(const video::VideoStream& call,
+  // Two streaming passes: static-layer accumulation, then per-pixel
+  // dynamic-deviation scoring against that layer.
+  int AnalysisPasses() const override { return 2; }
+  void BeginAnalysisPass(int pass, const video::StreamInfo& info) override;
+  void PushAnalysisFrame(int pass, const imaging::Image& frame,
+                         int frame_index) override;
+  void EndAnalysisPass(int pass) override;
+
+  imaging::Bitmap Segment(const imaging::Image& frame,
                           int frame_index) override;
 
  private:
-  void Prepare(const video::VideoStream& call);
-
   ClassicalSegmenterParams params_;
   bool prepared_ = false;
-  const video::VideoStream* prepared_for_ = nullptr;
+  int frame_count_ = 0;
+  std::optional<video::StaticLayerAccumulator> layer_acc_;
   imaging::Image static_layer_;
   imaging::FloatImage dynamic_score_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace bb::synth {
 
@@ -10,61 +11,7 @@ using imaging::Image;
 
 namespace {
 
-// Renders `frame_count` frames of one action segment into `out`, starting
-// the action clock at zero.
-void RenderSegment(RawRecording& out, const ActionParams& action,
-                   const CallerSpec& caller, const CameraModel& camera,
-                   double fps, int frame_count, int samples,
-                   Rng& camera_rng) {
-  const imaging::Image& base = out.scene.background;
-  const int w = base.width();
-  const int h = base.height();
-
-  for (int i = 0; i < frame_count; ++i) {
-    const double t = i / fps;
-    std::vector<float> acc_r(base.pixel_count(), 0.0f);
-    std::vector<float> acc_g(acc_r.size(), 0.0f);
-    std::vector<float> acc_b(acc_r.size(), 0.0f);
-    Bitmap union_mask(w, h);
-    Bitmap inter_mask(w, h, imaging::kMaskSet);
-
-    for (int s = 0; s < samples; ++s) {
-      const double ts =
-          t + (samples > 1 ? (s / static_cast<double>(samples)) / fps : 0.0);
-      Image frame = base;
-      Bitmap mask(w, h);
-      DrawCaller(frame, mask, caller, PoseAt(action, ts));
-      auto pf = frame.pixels();
-      auto pm = mask.pixels();
-      auto pu = union_mask.pixels();
-      auto pi = inter_mask.pixels();
-      for (std::size_t k = 0; k < pf.size(); ++k) {
-        acc_r[k] += pf[k].r;
-        acc_g[k] += pf[k].g;
-        acc_b[k] += pf[k].b;
-        pu[k] = (pu[k] || pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
-        pi[k] = (pi[k] && pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
-      }
-    }
-
-    Image blended(w, h);
-    auto pb = blended.pixels();
-    const float inv = 1.0f / static_cast<float>(samples);
-    for (std::size_t k = 0; k < pb.size(); ++k) {
-      pb[k] = {static_cast<std::uint8_t>(acc_r[k] * inv + 0.5f),
-               static_cast<std::uint8_t>(acc_g[k] * inv + 0.5f),
-               static_cast<std::uint8_t>(acc_b[k] * inv + 0.5f)};
-    }
-
-    out.video.Append(ApplyCamera(blended, camera, camera_rng));
-    out.blur_masks.push_back(imaging::AndNot(union_mask, inter_mask));
-    out.caller_masks.push_back(std::move(union_mask));
-  }
-}
-
-}  // namespace
-
-RawRecording RecordCall(const RecordingSpec& spec) {
+ScriptedRecordingSpec ToScripted(const RecordingSpec& spec) {
   ScriptedRecordingSpec scripted;
   scripted.scene = spec.scene;
   scripted.caller = spec.caller;
@@ -73,7 +20,95 @@ RawRecording RecordCall(const RecordingSpec& spec) {
   scripted.fps = spec.fps;
   scripted.seed = spec.seed;
   scripted.motion_samples = spec.motion_samples;
-  return RecordScriptedCall(scripted);
+  return scripted;
+}
+
+ActionParams SegmentAction(const ScriptSegment& seg,
+                           const ScriptedRecordingSpec& spec) {
+  ActionParams action = seg.action;
+  action.frame_width = spec.scene.width;
+  action.frame_height = spec.scene.height;
+  return action;
+}
+
+int SegmentFrameCount(const ScriptSegment& seg, double fps) {
+  // Whole frames only; the floor keeps historical segment lengths.
+  return std::max(1, static_cast<int>(std::floor(seg.duration_s * fps)));
+}
+
+// Renders one frame of an action segment (the action clock starts at zero
+// at the segment boundary): motion-sample blend over the scene, then the
+// camera model. The mask outputs are optional; camera_rng advances exactly
+// once per call regardless.
+Image RenderRawFrame(const Image& base, const ActionParams& action,
+                     const CallerSpec& caller, const CameraModel& camera,
+                     double fps, int frame_in_segment, int samples,
+                     Rng& camera_rng, Bitmap* caller_mask,
+                     Bitmap* blur_mask) {
+  const int w = base.width();
+  const int h = base.height();
+  const double t = frame_in_segment / fps;
+  std::vector<float> acc_r(base.pixel_count(), 0.0f);
+  std::vector<float> acc_g(acc_r.size(), 0.0f);
+  std::vector<float> acc_b(acc_r.size(), 0.0f);
+  Bitmap union_mask(w, h);
+  Bitmap inter_mask(w, h, imaging::kMaskSet);
+
+  for (int s = 0; s < samples; ++s) {
+    const double ts =
+        t + (samples > 1 ? (s / static_cast<double>(samples)) / fps : 0.0);
+    Image frame = base;
+    Bitmap mask(w, h);
+    DrawCaller(frame, mask, caller, PoseAt(action, ts));
+    auto pf = frame.pixels();
+    auto pm = mask.pixels();
+    auto pu = union_mask.pixels();
+    auto pi = inter_mask.pixels();
+    for (std::size_t k = 0; k < pf.size(); ++k) {
+      acc_r[k] += pf[k].r;
+      acc_g[k] += pf[k].g;
+      acc_b[k] += pf[k].b;
+      pu[k] = (pu[k] || pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
+      pi[k] = (pi[k] && pm[k]) ? imaging::kMaskSet : imaging::kMaskClear;
+    }
+  }
+
+  Image blended(w, h);
+  auto pb = blended.pixels();
+  const float inv = 1.0f / static_cast<float>(samples);
+  for (std::size_t k = 0; k < pb.size(); ++k) {
+    pb[k] = {static_cast<std::uint8_t>(acc_r[k] * inv + 0.5f),
+             static_cast<std::uint8_t>(acc_g[k] * inv + 0.5f),
+             static_cast<std::uint8_t>(acc_b[k] * inv + 0.5f)};
+  }
+
+  if (blur_mask != nullptr) {
+    *blur_mask = imaging::AndNot(union_mask, inter_mask);
+  }
+  if (caller_mask != nullptr) *caller_mask = std::move(union_mask);
+  return ApplyCamera(blended, camera, camera_rng);
+}
+
+// Renders `frame_count` frames of one action segment into `out`, starting
+// the action clock at zero.
+void RenderSegment(RawRecording& out, const ActionParams& action,
+                   const CallerSpec& caller, const CameraModel& camera,
+                   double fps, int frame_count, int samples,
+                   Rng& camera_rng) {
+  for (int i = 0; i < frame_count; ++i) {
+    Bitmap caller_mask, blur_mask;
+    out.video.AddFrame(RenderRawFrame(out.scene.background, action, caller,
+                                      camera, fps, i, samples, camera_rng,
+                                      &caller_mask, &blur_mask));
+    out.blur_masks.push_back(std::move(blur_mask));
+    out.caller_masks.push_back(std::move(caller_mask));
+  }
+}
+
+}  // namespace
+
+RawRecording RecordCall(const RecordingSpec& spec) {
+  return RecordScriptedCall(ToScripted(spec));
 }
 
 RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec) {
@@ -94,16 +129,54 @@ RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec) {
   const int samples = std::max(1, spec.motion_samples);
 
   for (const ScriptSegment& seg : spec.script) {
-    ActionParams action = seg.action;
-    action.frame_width = spec.scene.width;
-    action.frame_height = spec.scene.height;
-    // Whole frames only; the floor keeps historical segment lengths.
-    const int frames =
-        std::max(1, static_cast<int>(std::floor(seg.duration_s * spec.fps)));
-    RenderSegment(out, action, spec.caller, spec.camera, spec.fps, frames,
-                  samples, camera_rng);
+    RenderSegment(out, SegmentAction(seg, spec), spec.caller, spec.camera,
+                  spec.fps, SegmentFrameCount(seg, spec.fps), samples,
+                  camera_rng);
   }
   return out;
+}
+
+RecorderSource::RecorderSource(ScriptedRecordingSpec spec)
+    : spec_(std::move(spec)), scene_(RenderScene(spec_.scene)) {
+  int frames = 0;
+  for (const ScriptSegment& seg : spec_.script) {
+    segment_frames_.push_back(SegmentFrameCount(seg, spec_.fps));
+    frames += segment_frames_.back();
+  }
+  info_.width = scene_.background.width();
+  info_.height = scene_.background.height();
+  info_.frame_count = frames;
+  info_.fps = spec_.fps;
+  Reset();
+}
+
+RecorderSource::RecorderSource(const RecordingSpec& spec)
+    : RecorderSource(ToScripted(spec)) {}
+
+void RecorderSource::Reset() {
+  segment_ = 0;
+  frame_in_segment_ = 0;
+  Rng rng(spec_.seed);
+  camera_rng_ = rng.Fork(1);
+}
+
+bool RecorderSource::Next(Image& frame) {
+  while (segment_ < static_cast<int>(segment_frames_.size()) &&
+         frame_in_segment_ >=
+             segment_frames_[static_cast<std::size_t>(segment_)]) {
+    ++segment_;
+    frame_in_segment_ = 0;
+  }
+  if (segment_ >= static_cast<int>(segment_frames_.size())) return false;
+
+  const ScriptSegment& seg =
+      spec_.script[static_cast<std::size_t>(segment_)];
+  frame = RenderRawFrame(scene_.background, SegmentAction(seg, spec_),
+                         spec_.caller, spec_.camera, spec_.fps,
+                         frame_in_segment_, std::max(1, spec_.motion_samples),
+                         camera_rng_, nullptr, nullptr);
+  ++frame_in_segment_;
+  return true;
 }
 
 }  // namespace bb::synth

@@ -15,7 +15,9 @@
 #include "synth/actions.h"
 #include "synth/caller.h"
 #include "synth/camera.h"
+#include "synth/rng.h"
 #include "synth/scene.h"
+#include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::synth {
@@ -66,5 +68,33 @@ struct ScriptedRecordingSpec {
 };
 
 RawRecording RecordScriptedCall(const ScriptedRecordingSpec& spec);
+
+// Renders the scripted call one frame at a time as a video::FrameSource:
+// only the frame being pulled is alive, so an arbitrarily long call never
+// materializes. Frames are bit-identical to RecordScriptedCall(spec).video
+// (Reset() replays the camera-noise stream from the start). The per-frame
+// caller/blur masks are not produced on this path - use RecordScriptedCall
+// when ground truth is needed.
+class RecorderSource final : public video::FrameSource {
+ public:
+  explicit RecorderSource(ScriptedRecordingSpec spec);
+  explicit RecorderSource(const RecordingSpec& spec);
+
+  video::StreamInfo info() const override { return info_; }
+  bool Next(imaging::Image& frame) override;
+  void Reset() override;
+
+  // Scene ground truth (object layout, pristine background render).
+  const RenderedScene& scene() const { return scene_; }
+
+ private:
+  ScriptedRecordingSpec spec_;
+  RenderedScene scene_;
+  video::StreamInfo info_;
+  std::vector<int> segment_frames_;  // whole frames per script segment
+  int segment_ = 0;
+  int frame_in_segment_ = 0;
+  Rng camera_rng_{0};
+};
 
 }  // namespace bb::synth

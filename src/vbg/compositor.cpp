@@ -126,6 +126,52 @@ Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
   return out;
 }
 
+namespace {
+
+// Composites one frame of the call (matting + blend + recording noise).
+// `engine` and `recording_rng` are per-call streams that must be fed frames
+// in order; `est_out` (optional) receives the software's foreground
+// estimate for the ground-truth masks.
+Image CompositeOneFrame(const synth::RawRecording& raw,
+                        const VirtualSource& vb, const CompositeOptions& opts,
+                        int i, MattingEngine& engine,
+                        synth::Rng& recording_rng, Bitmap* est_out) {
+  const Image& real = raw.video.frame(i);
+  const Bitmap& true_mask = raw.caller_masks[static_cast<std::size_t>(i)];
+  const Bitmap& blur_mask = raw.blur_masks[static_cast<std::size_t>(i)];
+
+  Bitmap est;
+  {
+    const trace::ScopedTimer matting_timer("composite.matting");
+    est = engine.Estimate(true_mask, blur_mask, real);
+  }
+
+  const Image& vb_frame = vb.FrameAt(i);
+  imaging::RequireSameShape(real, vb_frame, "ApplyVirtualBackground");
+  Image adapted;
+  const Image* vb_used = &vb_frame;
+  if (opts.adapter) {
+    adapted = opts.adapter(vb_frame, real, i);
+    vb_used = &adapted;
+  }
+
+  Image blended;
+  {
+    const trace::ScopedTimer blend_timer("composite.blend");
+    blended = BlendFrame(real, *vb_used, est, opts.profile.blend_radius,
+                         opts.profile.blend_mode);
+  }
+  if (opts.profile.recording_noise > 0.0) {
+    synth::CameraModel recorder;
+    recorder.noise_stddev = opts.profile.recording_noise;
+    blended = synth::ApplyCamera(blended, recorder, recording_rng);
+  }
+  if (est_out != nullptr) *est_out = std::move(est);
+  return blended;
+}
+
+}  // namespace
+
 CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
                                       const VirtualSource& vb,
                                       const CompositeOptions& opts) {
@@ -141,37 +187,10 @@ CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
                       static_cast<std::uint64_t>(raw.video.frame_count()));
   }
   for (int i = 0; i < raw.video.frame_count(); ++i) {
-    const Image& real = raw.video.frame(i);
-    const Bitmap& true_mask = raw.caller_masks[static_cast<std::size_t>(i)];
-    const Bitmap& blur_mask = raw.blur_masks[static_cast<std::size_t>(i)];
-
     Bitmap est;
-    {
-      const trace::ScopedTimer matting_timer("composite.matting");
-      est = engine.Estimate(true_mask, blur_mask, real);
-    }
-
-    const Image& vb_frame = vb.FrameAt(i);
-    imaging::RequireSameShape(real, vb_frame, "ApplyVirtualBackground");
-    Image adapted;
-    const Image* vb_used = &vb_frame;
-    if (opts.adapter) {
-      adapted = opts.adapter(vb_frame, real, i);
-      vb_used = &adapted;
-    }
-
-    Image blended;
-    {
-      const trace::ScopedTimer blend_timer("composite.blend");
-      blended = BlendFrame(real, *vb_used, est, opts.profile.blend_radius,
-                           opts.profile.blend_mode);
-    }
-    if (opts.profile.recording_noise > 0.0) {
-      synth::CameraModel recorder;
-      recorder.noise_stddev = opts.profile.recording_noise;
-      blended = synth::ApplyCamera(blended, recorder, recording_rng);
-    }
-    out.video.Append(std::move(blended));
+    out.video.AddFrame(
+        CompositeOneFrame(raw, vb, opts, i, engine, recording_rng, &est));
+    const Bitmap& true_mask = raw.caller_masks[static_cast<std::size_t>(i)];
     // A background pixel only leaks *unmixed* when it sits deep enough
     // inside the estimated foreground that the blend alpha is ~1.
     const Bitmap pure_fg =
@@ -186,9 +205,34 @@ CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
             ? imaging::Not(
                   imaging::DilateDisc(est, opts.profile.blend_radius * 1.05))
             : imaging::Not(est));
-    out.estimated_masks.push_back(est);
+    out.estimated_masks.push_back(std::move(est));
   }
   return out;
+}
+
+CompositorSource::CompositorSource(const synth::RawRecording& raw,
+                                   const VirtualSource& vb,
+                                   const CompositeOptions& opts)
+    : raw_(&raw), vb_(&vb), opts_(opts) {
+  info_.width = raw.video.width();
+  info_.height = raw.video.height();
+  info_.frame_count = raw.video.frame_count();
+  info_.fps = raw.video.fps();
+  Reset();
+}
+
+void CompositorSource::Reset() {
+  next_ = 0;
+  engine_.emplace(opts_.profile.matting, opts_.seed);
+  recording_rng_ = synth::Rng(opts_.seed ^ 0xEC0DEull);
+}
+
+bool CompositorSource::Next(Image& frame) {
+  if (next_ >= info_.frame_count) return false;
+  frame = CompositeOneFrame(*raw_, *vb_, opts_, next_, *engine_,
+                            recording_rng_, nullptr);
+  ++next_;
+  return true;
 }
 
 }  // namespace bb::vbg

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "synth/recorder.h"
 #include "vbg/matting.h"
 #include "vbg/virtual_source.h"
+#include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::vbg {
@@ -88,6 +90,31 @@ struct CompositedCall {
 CompositedCall ApplyVirtualBackground(const synth::RawRecording& raw,
                                       const VirtualSource& vb,
                                       const CompositeOptions& opts = {});
+
+// Streams the composited call one frame at a time as a video::FrameSource
+// instead of materializing it: frames are bit-identical to
+// ApplyVirtualBackground(raw, vb, opts).video, and Reset() replays the
+// matting engine and recording-noise streams from frame zero. Ground-truth
+// masks are not produced on this path. `raw` and `vb` are borrowed and must
+// outlive the source.
+class CompositorSource final : public video::FrameSource {
+ public:
+  CompositorSource(const synth::RawRecording& raw, const VirtualSource& vb,
+                   const CompositeOptions& opts = {});
+
+  video::StreamInfo info() const override { return info_; }
+  bool Next(imaging::Image& frame) override;
+  void Reset() override;
+
+ private:
+  const synth::RawRecording* raw_;
+  const VirtualSource* vb_;
+  CompositeOptions opts_;
+  video::StreamInfo info_;
+  int next_ = 0;
+  std::optional<MattingEngine> engine_;
+  synth::Rng recording_rng_{0};
+};
 
 // Blends one frame: real where mask is set, vb elsewhere, mixing across a
 // boundary band of width `blend_radius` per the chosen mode (exposed for

@@ -1,0 +1,104 @@
+#include "video/frame_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bb::video {
+
+namespace {
+
+// Overwrites dst with src, reallocating only on shape change.
+void CopyInto(const imaging::Image& src, imaging::Image& dst) {
+  if (!src.SameShape(dst)) dst = imaging::Image(src.width(), src.height());
+  const auto in = src.pixels();
+  const auto out = dst.pixels();
+  std::copy(in.begin(), in.end(), out.begin());
+}
+
+}  // namespace
+
+StreamInfo VideoStreamSource::info() const {
+  return StreamInfo{stream_->width(), stream_->height(),
+                    stream_->frame_count(), stream_->fps()};
+}
+
+bool VideoStreamSource::Next(imaging::Image& frame) {
+  if (next_ >= stream_->frame_count()) return false;
+  CopyInto(stream_->frame(next_), frame);
+  ++next_;
+  return true;
+}
+
+imaging::Image BufferPool::AcquireImage(int width, int height) {
+  if (!images_.empty()) {
+    imaging::Image buffer = std::move(images_.back());
+    images_.pop_back();
+    if (buffer.width() == width && buffer.height() == height) {
+      ++hits_;
+      return buffer;
+    }
+  }
+  ++misses_;
+  return imaging::Image(width, height);
+}
+
+void BufferPool::Release(imaging::Image buffer) {
+  if (buffer.empty()) return;
+  images_.push_back(std::move(buffer));
+}
+
+imaging::Bitmap BufferPool::AcquireBitmap(int width, int height) {
+  if (!bitmaps_.empty()) {
+    imaging::Bitmap buffer = std::move(bitmaps_.back());
+    bitmaps_.pop_back();
+    if (buffer.width() == width && buffer.height() == height) {
+      ++hits_;
+      return buffer;
+    }
+  }
+  ++misses_;
+  return imaging::Bitmap(width, height);
+}
+
+void BufferPool::Release(imaging::Bitmap buffer) {
+  if (buffer.empty()) return;
+  bitmaps_.push_back(std::move(buffer));
+}
+
+FrameWindow::FrameWindow(int capacity) {
+  if (capacity < 1) throw std::invalid_argument("FrameWindow: capacity < 1");
+  slots_.resize(static_cast<std::size_t>(capacity));
+}
+
+imaging::Image FrameWindow::Push(imaging::Image frame) {
+  imaging::Image evicted;
+  const int slot = end_ % capacity();
+  if (size_ == capacity()) {
+    evicted = std::move(slots_[static_cast<std::size_t>(slot)]);
+  } else {
+    ++size_;
+  }
+  slots_[static_cast<std::size_t>(slot)] = std::move(frame);
+  ++end_;
+  peak_ = std::max(peak_, size_);
+  return evicted;
+}
+
+const imaging::Image& FrameWindow::at(int i) const {
+  if (i < first_index() || i >= end_) {
+    throw std::out_of_range("FrameWindow::at: frame not resident");
+  }
+  return slots_[static_cast<std::size_t>(i % capacity())];
+}
+
+void FrameWindow::Clear(BufferPool* pool) {
+  for (int i = first_index(); i < end_; ++i) {
+    imaging::Image& slot = slots_[static_cast<std::size_t>(i % capacity())];
+    if (pool != nullptr) pool->Release(std::move(slot));
+    slot = imaging::Image();
+  }
+  size_ = 0;
+}
+
+}  // namespace bb::video

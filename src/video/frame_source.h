@@ -1,0 +1,117 @@
+// Streaming frame access (ROADMAP: O(window) memory reconstruction).
+//
+// A FrameSource is a rewindable pull-iterator over the frames of a call.
+// Streaming consumers (core::StreamingReconstructor, the temporal
+// estimators) make several sequential passes over a source and keep at most
+// a bounded FrameWindow of frames alive at a time, so peak frame memory is
+// a function of the window size, never of the call length. Adapters exist
+// for in-memory streams (VideoStreamSource), .bbv files
+// (serialize.h: BbvFileSource) and the synthesizers (synth::RecorderSource,
+// vbg::CompositorSource).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imaging/image.h"
+#include "video/video.h"
+
+namespace bb::video {
+
+// Shape of a stream, known before any frame is pulled. frame_count is always
+// known upfront: .bbv headers carry it and the synthesizers script it.
+struct StreamInfo {
+  int width = 0;
+  int height = 0;
+  int frame_count = 0;
+  double fps = 30.0;
+};
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  virtual StreamInfo info() const = 0;
+
+  // Overwrites `frame` with the next frame (reshaping it if needed) and
+  // returns true, or returns false at end of stream leaving `frame` alone.
+  virtual bool Next(imaging::Image& frame) = 0;
+
+  // Rewinds to the first frame so another pass can be pulled.
+  virtual void Reset() = 0;
+};
+
+// Adapter over an in-memory VideoStream (borrowed; must outlive the source).
+class VideoStreamSource final : public FrameSource {
+ public:
+  explicit VideoStreamSource(const VideoStream& stream) : stream_(&stream) {}
+
+  StreamInfo info() const override;
+  bool Next(imaging::Image& frame) override;
+  void Reset() override { next_ = 0; }
+
+ private:
+  const VideoStream* stream_;
+  int next_ = 0;
+};
+
+// Free-list of frame/mask buffers so steady-state streaming recycles a fixed
+// set of allocations instead of allocating per frame. Released buffers keep
+// their stale contents; Acquire* hands them back for the caller to overwrite
+// (a shape mismatch reallocates and counts as a miss).
+class BufferPool {
+ public:
+  imaging::Image AcquireImage(int width, int height);
+  void Release(imaging::Image buffer);
+
+  imaging::Bitmap AcquireBitmap(int width, int height);
+  void Release(imaging::Bitmap buffer);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<imaging::Image> images_;
+  std::vector<imaging::Bitmap> bitmaps_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Bounded ring buffer of consecutive frames, addressed by absolute frame
+// index. This is the only multi-frame frame state a streaming consumer
+// holds: frames [end_index()-size(), end_index()) are resident, everything
+// older has been evicted.
+class FrameWindow {
+ public:
+  explicit FrameWindow(int capacity);
+
+  int capacity() const { return static_cast<int>(slots_.size()); }
+  int size() const { return size_; }
+  // Absolute index of the oldest resident frame.
+  int first_index() const { return end_ - size_; }
+  // One past the absolute index of the newest resident frame.
+  int end_index() const { return end_; }
+  // High-water mark of size() over the window's lifetime.
+  int peak_size() const { return peak_; }
+
+  // Appends the next frame. When the window is full the oldest frame is
+  // evicted and returned (an empty Image otherwise) so callers can recycle
+  // it through a BufferPool.
+  imaging::Image Push(imaging::Image frame);
+
+  // Frame at absolute index i; i must be resident.
+  const imaging::Image& at(int i) const;
+
+  // Drops all resident frames, releasing their buffers into `pool`
+  // (buffers are destroyed if pool is null). Absolute indexing continues
+  // from end_index().
+  void Clear(BufferPool* pool);
+
+ private:
+  std::vector<imaging::Image> slots_;
+  int size_ = 0;
+  int end_ = 0;   // absolute index one past the newest frame
+  int peak_ = 0;
+};
+
+}  // namespace bb::video

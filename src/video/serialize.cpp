@@ -58,6 +58,19 @@ bool WriteBbv(const VideoStream& video, const std::string& path) {
 }
 
 std::optional<VideoStream> ReadBbv(const std::string& path) {
+  auto source = BbvFileSource::Open(path);
+  if (!source) return std::nullopt;
+  VideoStream video(source->info().fps);
+  imaging::Image frame;
+  while (source->Next(frame)) video.AddFrame(std::move(frame));
+  if (video.frame_count() != source->info().frame_count) {
+    return std::nullopt;  // truncated mid-read
+  }
+  return video;
+}
+
+std::optional<BbvFileSource> BbvFileSource::Open(const std::string& path) {
+  constexpr std::streamoff kHeaderBytes = 20;
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   char magic[4] = {};
@@ -77,26 +90,49 @@ std::optional<VideoStream> ReadBbv(const std::string& path) {
   if (*width > 16384 || *height > 16384 || *frames > 1000000) {
     return std::nullopt;
   }
-
-  VideoStream video(*fps_mhz / 1000.0);
-  const std::size_t frame_bytes =
-      static_cast<std::size_t>(*width) * *height * 3;
-  std::vector<char> buf(frame_bytes);
-  for (std::uint32_t i = 0; i < *frames; ++i) {
-    in.read(buf.data(), static_cast<std::streamsize>(frame_bytes));
-    if (static_cast<std::size_t>(in.gcount()) != frame_bytes) {
-      return std::nullopt;  // truncated
-    }
-    imaging::Image f(static_cast<int>(*width), static_cast<int>(*height));
-    auto px = f.pixels();
-    for (std::size_t k = 0; k < px.size(); ++k) {
-      px[k] = {static_cast<std::uint8_t>(buf[3 * k]),
-               static_cast<std::uint8_t>(buf[3 * k + 1]),
-               static_cast<std::uint8_t>(buf[3 * k + 2])};
-    }
-    video.Append(std::move(f));
+  // Reject truncated payloads upfront: the header-declared frame count is
+  // part of the StreamInfo contract, so the bytes must all be present.
+  const std::uint64_t frame_bytes =
+      static_cast<std::uint64_t>(*width) * *height * 3;
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  if (file_size < kHeaderBytes ||
+      static_cast<std::uint64_t>(file_size - kHeaderBytes) <
+          frame_bytes * *frames) {
+    return std::nullopt;
   }
-  return video;
+
+  BbvFileSource source;
+  source.in_ = std::move(in);
+  source.info_ =
+      StreamInfo{static_cast<int>(*width), static_cast<int>(*height),
+                 static_cast<int>(*frames), *fps_mhz / 1000.0};
+  source.buf_.resize(static_cast<std::size_t>(frame_bytes));
+  source.Reset();
+  return std::optional<BbvFileSource>(std::move(source));
+}
+
+void BbvFileSource::Reset() {
+  in_.clear();
+  in_.seekg(20, std::ios::beg);
+  next_ = 0;
+}
+
+bool BbvFileSource::Next(imaging::Image& frame) {
+  if (next_ >= info_.frame_count) return false;
+  in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  if (static_cast<std::size_t>(in_.gcount()) != buf_.size()) return false;
+  if (frame.width() != info_.width || frame.height() != info_.height) {
+    frame = imaging::Image(info_.width, info_.height);
+  }
+  auto px = frame.pixels();
+  for (std::size_t k = 0; k < px.size(); ++k) {
+    px[k] = {static_cast<std::uint8_t>(buf_[3 * k]),
+             static_cast<std::uint8_t>(buf_[3 * k + 1]),
+             static_cast<std::uint8_t>(buf_[3 * k + 2])};
+  }
+  ++next_;
+  return true;
 }
 
 }  // namespace bb::video

@@ -16,9 +16,12 @@
 // dependency-free. PNG/PPM dumps of single frames live in imaging/io.h.
 #pragma once
 
+#include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::video {
@@ -27,6 +30,30 @@ namespace bb::video {
 bool WriteBbv(const VideoStream& video, const std::string& path);
 
 // Reads a stream; nullopt on missing file, bad magic, or truncation.
+// Implemented as a drain of BbvFileSource, so it shares the hostile-header
+// validation below.
 std::optional<VideoStream> ReadBbv(const std::string& path);
+
+// Streamed .bbv reader: decodes one frame per Next() into a caller-provided
+// buffer, so a call is attacked without ever materializing it. Open()
+// applies the same hostile-input checks as ReadBbv (bad magic, zero fps,
+// zero/absurd dimensions, truncated payload — the file size must cover every
+// header-declared frame).
+class BbvFileSource final : public FrameSource {
+ public:
+  static std::optional<BbvFileSource> Open(const std::string& path);
+
+  StreamInfo info() const override { return info_; }
+  bool Next(imaging::Image& frame) override;
+  void Reset() override;
+
+ private:
+  BbvFileSource() = default;
+
+  std::ifstream in_;
+  StreamInfo info_;
+  int next_ = 0;
+  std::vector<char> buf_;  // one encoded frame
+};
 
 }  // namespace bb::video

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "imaging/color.h"
 
@@ -52,39 +53,51 @@ imaging::ImageT<int> LongestStableRun(const VideoStream& video,
 
 StaticLayer EstimateStaticLayer(const VideoStream& video, int min_run,
                                 const ConsistencyOptions& opts) {
-  const int w = video.width(), h = video.height();
-  StaticLayer out;
-  out.color = imaging::Image(w, h);
-  out.valid = imaging::Bitmap(w, h);
-  if (video.frame_count() == 0) return out;
+  StaticLayerAccumulator acc(opts);
+  for (int i = 0; i < video.frame_count(); ++i) acc.Push(video.frame(i));
+  return acc.Finalize(min_run);
+}
 
-  imaging::ImageT<int> run(w, h, 1);
-  imaging::ImageT<int> best(w, h, 1);
-  imaging::Image anchor = video.frame(0);
-  out.color = video.frame(0);
-
-  for (int i = 1; i < video.frame_count(); ++i) {
-    const imaging::Image& f = video.frame(i);
-    auto pf = f.pixels();
-    auto pa = anchor.pixels();
-    auto pr = run.pixels();
-    auto pb = best.pixels();
-    auto pc = out.color.pixels();
-    for (std::size_t k = 0; k < pf.size(); ++k) {
-      if (Same(pf[k], pa[k], opts.channel_tolerance)) {
-        ++pr[k];
-      } else {
-        pa[k] = pf[k];
-        pr[k] = 1;
-      }
-      if (pr[k] > pb[k]) {
-        pb[k] = pr[k];
-        pc[k] = pa[k];  // representative value of the current best run
-      }
+void StaticLayerAccumulator::Push(const imaging::Image& frame) {
+  if (frames_ == 0) {
+    anchor_ = frame;
+    color_ = frame;
+    run_ = imaging::ImageT<int>(frame.width(), frame.height(), 1);
+    best_ = imaging::ImageT<int>(frame.width(), frame.height(), 1);
+    frames_ = 1;
+    return;
+  }
+  imaging::RequireSameShape(frame, anchor_, "StaticLayerAccumulator::Push");
+  auto pf = frame.pixels();
+  auto pa = anchor_.pixels();
+  auto pr = run_.pixels();
+  auto pb = best_.pixels();
+  auto pc = color_.pixels();
+  for (std::size_t k = 0; k < pf.size(); ++k) {
+    if (Same(pf[k], pa[k], opts_.channel_tolerance)) {
+      ++pr[k];
+    } else {
+      pa[k] = pf[k];
+      pr[k] = 1;
+    }
+    if (pr[k] > pb[k]) {
+      pb[k] = pr[k];
+      pc[k] = pa[k];  // representative value of the current best run
     }
   }
+  ++frames_;
+}
 
-  auto pb = best.pixels();
+StaticLayer StaticLayerAccumulator::Finalize(int min_run) const {
+  StaticLayer out;
+  if (frames_ == 0) {
+    out.color = imaging::Image(0, 0);
+    out.valid = imaging::Bitmap(0, 0);
+    return out;
+  }
+  out.color = color_;
+  out.valid = imaging::Bitmap(color_.width(), color_.height());
+  auto pb = best_.pixels();
   auto pv = out.valid.pixels();
   for (std::size_t k = 0; k < pb.size(); ++k) {
     pv[k] = pb[k] >= min_run ? imaging::kMaskSet : imaging::kMaskClear;
@@ -118,24 +131,56 @@ double ChangedFraction(const imaging::Image& a, const imaging::Image& b,
 
 std::optional<int> DetectLoopPeriod(const VideoStream& video,
                                     const LoopDetectOptions& opts) {
-  const int n = video.frame_count();
+  VideoStreamSource source(video);
+  return DetectLoopPeriodStreaming(source, opts);
+}
+
+std::optional<int> DetectLoopPeriodStreaming(FrameSource& source,
+                                             const LoopDetectOptions& opts) {
+  const StreamInfo si = source.info();
+  const int n = si.frame_count;
   if (n < 2 * opts.min_period) return std::nullopt;
+  const int max_period = std::min(opts.max_period, n / 2);
+  if (max_period < opts.min_period) return std::nullopt;
+
+  // One accumulator per candidate period; when frame j arrives, every pair
+  // (j - period, j) whose left index is a multiple of that period's stride
+  // is scored against the ring. Per-period pairs are visited in the same
+  // ascending order as the batch scan, so the sums are bit-identical.
+  const int candidates = max_period - opts.min_period + 1;
+  std::vector<double> sum(static_cast<std::size_t>(candidates), 0.0);
+  std::vector<int> pairs(static_cast<std::size_t>(candidates), 0);
+  std::vector<int> stride(static_cast<std::size_t>(candidates), 1);
+  for (int period = opts.min_period; period <= max_period; ++period) {
+    stride[static_cast<std::size_t>(period - opts.min_period)] =
+        std::max(1, (n - period) / 8);
+  }
+
+  source.Reset();
+  FrameWindow ring(max_period + 1);
+  BufferPool pool;
+  imaging::Image buf = pool.AcquireImage(si.width, si.height);
+  int j = 0;
+  while (j < n && source.Next(buf)) {
+    pool.Release(ring.Push(std::move(buf)));
+    for (int period = opts.min_period; period <= max_period && period <= j;
+         ++period) {
+      const std::size_t c = static_cast<std::size_t>(period - opts.min_period);
+      const int i = j - period;
+      if (i % stride[c] != 0) continue;
+      sum[c] += ChangedFraction(ring.at(i), ring.at(j), opts.channel_tolerance);
+      ++pairs[c];
+    }
+    ++j;
+    buf = pool.AcquireImage(si.width, si.height);
+  }
 
   double best_score = opts.max_changed_fraction;
   std::optional<int> best_period;
-  const int max_period = std::min(opts.max_period, n / 2);
   for (int period = opts.min_period; period <= max_period; ++period) {
-    // Score a handful of frame pairs one period apart, spread over the video.
-    double sum = 0.0;
-    int pairs = 0;
-    const int step = std::max(1, (n - period) / 8);
-    for (int i = 0; i + period < n; i += step) {
-      sum += ChangedFraction(video.frame(i), video.frame(i + period),
-                             opts.channel_tolerance);
-      ++pairs;
-    }
-    if (pairs == 0) continue;
-    const double score = sum / pairs;
+    const std::size_t c = static_cast<std::size_t>(period - opts.min_period);
+    if (pairs[c] == 0) continue;
+    const double score = sum[c] / pairs[c];
     // Strictly-better keeps the smallest of equally good periods; require a
     // small margin so noise cannot promote a multiple over the base period.
     if (score < best_score - 1e-6) {
@@ -193,6 +238,83 @@ LoopEstimate EstimateLoopFrames(const VideoStream& video, int period,
     }
     out.phase_frames.push_back(std::move(est));
     out.phase_valid.push_back(std::move(valid));
+  }
+  return out;
+}
+
+LoopEstimate EstimateLoopFramesStreaming(FrameSource& source, int period,
+                                         int window_frames,
+                                         const ConsistencyOptions& opts) {
+  LoopEstimate out;
+  const StreamInfo si = source.info();
+  const int n = si.frame_count;
+  if (period <= 0 || n == 0) return out;
+  const int w = si.width, h = si.height;
+  for (int phase = 0; phase < period; ++phase) {
+    out.phase_frames.emplace_back(w, h);
+    out.phase_valid.emplace_back(w, h);
+  }
+  if (w == 0 || h == 0) return out;
+
+  // Rows per pass sized so the n per-frame strips together hold about
+  // window_frames full frames of pixel data.
+  const std::int64_t budget_rows =
+      static_cast<std::int64_t>(std::max(1, window_frames)) * h /
+      static_cast<std::int64_t>(n);
+  const int band_h =
+      static_cast<int>(std::clamp<std::int64_t>(budget_rows, 1, h));
+
+  std::vector<imaging::Image> strips(static_cast<std::size_t>(n));
+  imaging::Image frame;
+  std::vector<std::uint8_t> ch_r, ch_g, ch_b;
+  for (int y0 = 0; y0 < h; y0 += band_h) {
+    const int y1 = std::min(h, y0 + band_h);
+    source.Reset();
+    int got = 0;
+    while (got < n && source.Next(frame)) {
+      imaging::Image& strip = strips[static_cast<std::size_t>(got)];
+      if (strip.width() != w || strip.height() != y1 - y0) {
+        strip = imaging::Image(w, y1 - y0);
+      }
+      for (int dy = 0; dy < y1 - y0; ++dy) {
+        const auto src = frame.row(y0 + dy);
+        const auto dst = strip.row(dy);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+      ++got;
+    }
+    for (int phase = 0; phase < period && phase < got; ++phase) {
+      imaging::Image& est = out.phase_frames[static_cast<std::size_t>(phase)];
+      imaging::Bitmap& valid = out.phase_valid[static_cast<std::size_t>(phase)];
+      int occurrences = 0;
+      for (int i = phase; i < got; i += period) ++occurrences;
+      for (int dy = 0; dy < y1 - y0; ++dy) {
+        for (int x = 0; x < w; ++x) {
+          ch_r.clear();
+          ch_g.clear();
+          ch_b.clear();
+          for (int i = phase; i < got; i += period) {
+            const imaging::Rgb8 p = strips[static_cast<std::size_t>(i)](x, dy);
+            ch_r.push_back(p.r);
+            ch_g.push_back(p.g);
+            ch_b.push_back(p.b);
+          }
+          const imaging::Rgb8 med{MedianOf(ch_r), MedianOf(ch_g),
+                                  MedianOf(ch_b)};
+          est(x, y0 + dy) = med;
+          // Valid when a majority of occurrences agree with the median.
+          int agree = 0;
+          for (int i = phase; i < got; i += period) {
+            if (Same(strips[static_cast<std::size_t>(i)](x, dy), med,
+                     opts.channel_tolerance)) {
+              ++agree;
+            }
+          }
+          valid(x, y0 + dy) = (2 * agree > occurrences) ? imaging::kMaskSet
+                                                        : imaging::kMaskClear;
+        }
+      }
+    }
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "imaging/image.h"
+#include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::video {
@@ -38,6 +39,28 @@ struct StaticLayer {
 StaticLayer EstimateStaticLayer(const VideoStream& video, int min_run,
                                 const ConsistencyOptions& opts = {});
 
+// Incremental form of EstimateStaticLayer: push frames in order, then
+// Finalize. Holds O(1) frames of state (anchor + current best color + two
+// int planes) regardless of stream length; the batch function is a thin
+// wrapper over this and produces bit-identical results.
+class StaticLayerAccumulator {
+ public:
+  explicit StaticLayerAccumulator(const ConsistencyOptions& opts = {})
+      : opts_(opts) {}
+
+  void Push(const imaging::Image& frame);
+  int frames_seen() const { return frames_; }
+  StaticLayer Finalize(int min_run) const;
+
+ private:
+  ConsistencyOptions opts_;
+  int frames_ = 0;
+  imaging::Image anchor_;     // value of the run currently in progress
+  imaging::Image color_;      // representative value of the best run so far
+  imaging::ImageT<int> run_;
+  imaging::ImageT<int> best_;
+};
+
 // Mean absolute frame difference between frames i and j (over all pixels,
 // max-channel metric).
 double MeanFrameDifference(const imaging::Image& a, const imaging::Image& b);
@@ -64,6 +87,13 @@ struct LoopDetectOptions {
 std::optional<int> DetectLoopPeriod(const VideoStream& video,
                                     const LoopDetectOptions& opts = {});
 
+// Single-pass streaming form of DetectLoopPeriod. Keeps a ring of the last
+// max_period+1 frames (bounded by the options, never by the call length) and
+// scores the same frame pairs as the batch function, so the two are
+// bit-identical; DetectLoopPeriod is a wrapper over this.
+std::optional<int> DetectLoopPeriodStreaming(FrameSource& source,
+                                             const LoopDetectOptions& opts = {});
+
 // Given a known loop period, estimates each phase's static frame by a
 // per-pixel majority over all occurrences of that phase. `valid` marks
 // pixels that were consistent across a majority of occurrences.
@@ -73,5 +103,14 @@ struct LoopEstimate {
 };
 LoopEstimate EstimateLoopFrames(const VideoStream& video, int period,
                                 const ConsistencyOptions& opts = {});
+
+// Banded multi-pass form of EstimateLoopFrames for streams too long to
+// materialize: each pass re-pulls the source and collects only a horizontal
+// band of rows per frame, sized so all per-frame strips together hold about
+// `window_frames` full frames. Produces bit-identical output to the batch
+// function (same per-pixel medians over the same occurrence order).
+LoopEstimate EstimateLoopFramesStreaming(FrameSource& source, int period,
+                                         int window_frames,
+                                         const ConsistencyOptions& opts = {});
 
 }  // namespace bb::video

@@ -2,10 +2,12 @@
 
 namespace bb::video {
 
-void VideoStream::Append(imaging::Image frame) {
+void VideoStream::Append(imaging::Image frame) { AddFrame(std::move(frame)); }
+
+void VideoStream::AddFrame(imaging::Image&& frame) {
   if (!frames_.empty() &&
       (frame.width() != width() || frame.height() != height())) {
-    throw std::invalid_argument("VideoStream::Append: resolution mismatch");
+    throw std::invalid_argument("VideoStream::AddFrame: resolution mismatch");
   }
   frames_.push_back(std::move(frame));
 }

@@ -32,6 +32,10 @@ class VideoStream {
   // Appends a frame; all frames must share the first frame's resolution.
   void Append(imaging::Image frame);
 
+  // Move-append: takes ownership of `frame` without copying pixel data (the
+  // recorder/compositor/serialize hot paths build frames in place).
+  void AddFrame(imaging::Image&& frame);
+
   const imaging::Image& frame(int i) const { return frames_.at(static_cast<std::size_t>(i)); }
   imaging::Image& frame(int i) { return frames_.at(static_cast<std::size_t>(i)); }
 

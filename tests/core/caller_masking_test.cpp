@@ -14,7 +14,7 @@ using imaging::Image;
 class FixedSegmenter final : public segmentation::PersonSegmenter {
  public:
   explicit FixedSegmenter(Bitmap mask) : mask_(std::move(mask)) {}
-  Bitmap Segment(const video::VideoStream&, int) override { return mask_; }
+  Bitmap Segment(const imaging::Image&, int) override { return mask_; }
 
  private:
   Bitmap mask_;

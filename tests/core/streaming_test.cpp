@@ -1,0 +1,232 @@
+// Golden bit-identity suite for the streaming reconstruction core: at every
+// window size and thread count, StreamingReconstructor must produce results
+// byte-identical to the batch Reconstructor::Run on the same call. This is
+// the contract that lets the batch entry point be a thin wrapper over the
+// streaming core without perturbing any pinned golden value.
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "core/metrics.h"
+#include "segmentation/segmenter.h"
+#include "synth/recorder.h"
+#include "vbg/compositor.h"
+#include "video/frame_source.h"
+
+namespace bb::core {
+namespace {
+
+using imaging::Image;
+
+// A 64x48, 40-frame composited call with ground truth.
+struct StreamFixture {
+  synth::RawRecording raw;
+  vbg::CompositedCall call;
+  Image vb_image;
+
+  StreamFixture() {
+    synth::RecordingSpec spec;
+    spec.scene.width = 64;
+    spec.scene.height = 48;
+    spec.action.kind = synth::ActionKind::kArmWave;
+    spec.fps = 10.0;
+    spec.duration_s = 4.0;
+    spec.seed = 77;
+    raw = synth::RecordCall(spec);
+    vb_image = vbg::MakeStockImage(vbg::StockImage::kBeach, 64, 48);
+    const vbg::StaticImageSource vb(vb_image);
+    call = vbg::ApplyVirtualBackground(raw, vb);
+  }
+
+  static const StreamFixture& Shared() {
+    static const StreamFixture f;
+    return f;
+  }
+};
+
+void ExpectIdentical(const ReconstructionResult& a,
+                     const ReconstructionResult& b, const std::string& what) {
+  EXPECT_EQ(a.background, b.background) << what;
+  EXPECT_EQ(a.coverage, b.coverage) << what;
+  EXPECT_EQ(a.leak_counts, b.leak_counts) << what;
+  EXPECT_EQ(a.per_frame_leak_fraction, b.per_frame_leak_fraction) << what;
+}
+
+class StreamingIdentityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { common::SetThreadCount(0); }
+};
+
+TEST_F(StreamingIdentityTest, BitIdenticalToBatchAcrossWindowsAndThreads) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+
+  // Batch baseline at one thread.
+  common::SetThreadCount(1);
+  segmentation::NoisyOracleSegmenter batch_seg(f.raw.caller_masks, {}, 7);
+  Reconstructor batch(ref, batch_seg);
+  const ReconstructionResult baseline = batch.Run(f.call.video);
+
+  for (int threads = 1; threads <= 8; ++threads) {
+    common::SetThreadCount(threads);
+    for (int window : {10, 16, 64}) {
+      segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+      StreamingOptions opts;
+      opts.window_frames = window;
+      StreamingReconstructor streaming(ref, seg, opts);
+      video::VideoStreamSource source(f.call.video);
+      const ReconstructionResult rec = streaming.Run(source);
+      ExpectIdentical(rec, baseline,
+                      "threads " + std::to_string(threads) + " window " +
+                          std::to_string(window));
+    }
+  }
+}
+
+TEST_F(StreamingIdentityTest, VideoVbLoopPeriodPathIsBitIdentical) {
+  synth::RecordingSpec spec;
+  spec.scene.width = 64;
+  spec.scene.height = 48;
+  spec.action.kind = synth::ActionKind::kArmWave;
+  spec.fps = 9.0;
+  spec.duration_s = 4.0;  // 36 frames
+  spec.seed = 31;
+  const auto raw = synth::RecordCall(spec);
+  auto frames = vbg::MakeStockVideo(vbg::StockVideo::kStars, 64, 48, 6);
+  const vbg::LoopingVideoSource vb(frames);
+  const auto call = vbg::ApplyVirtualBackground(raw, vb);
+
+  // Derive the VB reference from the call itself, both ways: the streaming
+  // derivation (loop-period detection + banded phase estimation) must agree
+  // with the batch derivation bit-for-bit before reconstruction even starts.
+  const auto batch_ref = VbReference::DeriveVideo(call.video);
+  ASSERT_TRUE(batch_ref.has_value());
+  video::VideoStreamSource ref_source(call.video);
+  const auto stream_ref =
+      VbReference::DeriveVideoStreaming(ref_source, /*window_frames=*/10);
+  ASSERT_TRUE(stream_ref.has_value());
+
+  common::SetThreadCount(1);
+  segmentation::NoisyOracleSegmenter batch_seg(raw.caller_masks, {}, 7);
+  Reconstructor batch(*batch_ref, batch_seg);
+  const ReconstructionResult baseline = batch.Run(call.video);
+
+  for (int threads : {1, 4}) {
+    common::SetThreadCount(threads);
+    for (int window : {10, 64}) {
+      segmentation::NoisyOracleSegmenter seg(raw.caller_masks, {}, 7);
+      StreamingOptions opts;
+      opts.window_frames = window;
+      StreamingReconstructor streaming(*stream_ref, seg, opts);
+      video::VideoStreamSource source(call.video);
+      const ReconstructionResult rec = streaming.Run(source);
+      ExpectIdentical(rec, baseline,
+                      "threads " + std::to_string(threads) + " window " +
+                          std::to_string(window));
+    }
+  }
+}
+
+TEST_F(StreamingIdentityTest, KeepFrameMasksMatchesBatchPerFrame) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  ReconstructionOptions ropts;
+  ropts.keep_frame_masks = true;
+
+  segmentation::NoisyOracleSegmenter batch_seg(f.raw.caller_masks, {}, 7);
+  Reconstructor batch(ref, batch_seg, ropts);
+  const ReconstructionResult baseline = batch.Run(f.call.video);
+
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+  StreamingOptions opts;
+  opts.window_frames = 10;
+  opts.recon = ropts;
+  StreamingReconstructor streaming(ref, seg, opts);
+  video::VideoStreamSource source(f.call.video);
+  const ReconstructionResult rec = streaming.Run(source);
+
+  ExpectIdentical(rec, baseline, "keep_frame_masks window 10");
+  ASSERT_EQ(rec.frame_masks.size(), baseline.frame_masks.size());
+  for (std::size_t i = 0; i < baseline.frame_masks.size(); ++i) {
+    EXPECT_EQ(rec.frame_masks[i].vbm, baseline.frame_masks[i].vbm) << i;
+    EXPECT_EQ(rec.frame_masks[i].bbm, baseline.frame_masks[i].bbm) << i;
+    EXPECT_EQ(rec.frame_masks[i].vcm, baseline.frame_masks[i].vcm) << i;
+    EXPECT_EQ(rec.frame_masks[i].lb, baseline.frame_masks[i].lb) << i;
+  }
+}
+
+TEST(StreamingStatsTest, PeakResidencyBoundedByWindowAndPoolRecycles) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+  StreamingOptions opts;
+  opts.window_frames = 10;
+  StreamingReconstructor streaming(ref, seg, opts);
+  video::VideoStreamSource source(f.call.video);
+  (void)streaming.Run(source);
+
+  const StreamingStats& stats = streaming.stats();
+  EXPECT_EQ(stats.window_capacity, 10);
+  EXPECT_LE(stats.peak_window_frames, 10);
+  EXPECT_EQ(stats.frames_pushed,
+            static_cast<std::uint64_t>(f.call.video.frame_count()));
+  EXPECT_EQ(stats.window_flushes, 4u);  // 40 frames / window 10
+  EXPECT_GT(stats.pool_hits, 0u);
+  // Steady state recycles a fixed buffer set: misses stay around one
+  // window's worth, far below one per frame.
+  EXPECT_LT(stats.pool_misses, stats.frames_pushed);
+  EXPECT_FALSE(stats.raw_masks_cached);  // window < call length
+}
+
+TEST(StreamingProtocolTest, WindowCoveringWholeCallCachesRawMasks) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+  StreamingOptions opts;
+  opts.window_frames = f.call.video.frame_count();
+  StreamingReconstructor streaming(ref, seg, opts);
+  video::VideoStreamSource source(f.call.video);
+  (void)streaming.Run(source);
+  EXPECT_TRUE(streaming.stats().raw_masks_cached);
+  EXPECT_EQ(streaming.stats().window_flushes, 1u);
+}
+
+TEST(StreamingProtocolTest, RejectsInvalidWindowAndOutOfOrderPushes) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+
+  StreamingOptions bad;
+  bad.window_frames = 0;
+  EXPECT_THROW(StreamingReconstructor(ref, seg, bad), std::invalid_argument);
+
+  StreamingReconstructor streaming(ref, seg);
+  video::VideoStreamSource source(f.call.video);
+  streaming.Begin(source.info());
+  streaming.BeginPass(0);
+  Image frame;
+  ASSERT_TRUE(source.Next(frame));
+  streaming.PushFrame(frame, 0);
+  // Skipping ahead violates the in-order contract.
+  EXPECT_THROW(streaming.PushFrame(frame, 2), std::logic_error);
+  // Passes must be visited in sequence.
+  EXPECT_THROW(streaming.BeginPass(5), std::logic_error);
+}
+
+TEST(StreamingProtocolTest, SegmenterFailuresPropagate) {
+  const StreamFixture& f = StreamFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+  // An oracle with no masks throws as soon as a frame is segmented.
+  segmentation::NoisyOracleSegmenter seg({}, {}, 1);
+  StreamingOptions opts;
+  opts.window_frames = 10;
+  StreamingReconstructor streaming(ref, seg, opts);
+  video::VideoStreamSource source(f.call.video);
+  EXPECT_THROW(streaming.Run(source), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -131,6 +131,63 @@ TEST(RecorderTest, ScriptedCallConcatenatesSegments) {
   EXPECT_EQ(rec.caller_masks.size(), 24u);
 }
 
+TEST(RecorderSourceTest, StreamsTheExactFramesOfRecordCall) {
+  const RecordingSpec spec = SmallSpec();
+  const RawRecording batch = RecordCall(spec);
+  RecorderSource source(spec);
+  EXPECT_EQ(source.info().width, 96);
+  EXPECT_EQ(source.info().height, 72);
+  EXPECT_EQ(source.info().frame_count, batch.video.frame_count());
+  EXPECT_DOUBLE_EQ(source.info().fps, spec.fps);
+  imaging::Image frame;
+  int i = 0;
+  while (source.Next(frame)) {
+    ASSERT_LT(i, batch.video.frame_count());
+    EXPECT_EQ(frame, batch.video.frame(i)) << "frame " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, batch.video.frame_count());
+}
+
+TEST(RecorderSourceTest, StreamsScriptedCallsAcrossSegments) {
+  ScriptedRecordingSpec spec;
+  spec.scene.width = 64;
+  spec.scene.height = 48;
+  spec.fps = 8.0;
+  spec.seed = 5;
+  ActionParams still;
+  still.kind = ActionKind::kStill;
+  ActionParams wave;
+  wave.kind = ActionKind::kArmWave;
+  spec.script = {{still, 1.0}, {wave, 2.0}};
+  const RawRecording batch = RecordScriptedCall(spec);
+  RecorderSource source(spec);
+  EXPECT_EQ(source.info().frame_count, batch.video.frame_count());
+  imaging::Image frame;
+  int i = 0;
+  while (source.Next(frame)) {
+    EXPECT_EQ(frame, batch.video.frame(i)) << "frame " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, batch.video.frame_count());
+}
+
+TEST(RecorderSourceTest, ResetReplaysIdentically) {
+  RecorderSource source(SmallSpec());
+  imaging::Image first_pass_frame0;
+  ASSERT_TRUE(source.Next(first_pass_frame0));
+  imaging::Image frame;
+  while (source.Next(frame)) {
+  }
+  source.Reset();
+  imaging::Image replayed;
+  ASSERT_TRUE(source.Next(replayed));
+  EXPECT_EQ(replayed, first_pass_frame0);
+  int remaining = 1;
+  while (source.Next(frame)) ++remaining;
+  EXPECT_EQ(remaining, source.info().frame_count);
+}
+
 TEST(RecorderTest, SceneObjectsAppearInGroundTruth) {
   RecordingSpec spec = SmallSpec();
   ObjectSpec note;

@@ -1,0 +1,9 @@
+// Known-bad fixture: exactly one no-full-call-materialization violation
+// when linted under a src/core/ path (the rule is path-gated; under any
+// other path this file is clean).
+#include "video/video_stream.h"
+
+int CountFramesTwice(const bb::video::VideoStream& call) {
+  bb::video::VideoStream copy = call;  // the one violation in this file
+  return copy.frame_count() + call.frame_count();
+}

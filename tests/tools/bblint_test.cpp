@@ -24,14 +24,15 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
   return n;
 }
 
-TEST(BblintRegistryTest, FiveRulesRegistered) {
+TEST(BblintRegistryTest, SixRulesRegistered) {
   const auto names = RuleNames();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);
   EXPECT_EQ(names[0], kRuleNondeterminism);
   EXPECT_EQ(names[1], kRuleRawPixelIndexing);
   EXPECT_EQ(names[2], kRuleFloatAccumulation);
   EXPECT_EQ(names[3], kRuleFloatTruncation);
   EXPECT_EQ(names[4], kRuleHeaderHygiene);
+  EXPECT_EQ(names[5], kRuleFullCallMaterialization);
 }
 
 // --- no-nondeterminism ----------------------------------------------------
@@ -253,6 +254,61 @@ TEST(HeaderHygieneRuleTest, MissingPragmaSuppressedOnLineOne) {
             0);
 }
 
+// --- no-full-call-materialization -----------------------------------------
+
+TEST(FullCallMaterializationRuleTest, FlagsOwnedStreamsAndAppendsInCore) {
+  EXPECT_EQ(CountRule(Lint("video::VideoStream copy = call;\n"),
+                      kRuleFullCallMaterialization),
+            1);
+  EXPECT_EQ(CountRule(Lint("video::VideoStream buffered{30.0};\n"),
+                      kRuleFullCallMaterialization),
+            1);
+  EXPECT_EQ(CountRule(Lint("buffered.Append(std::move(frame));\n"),
+                      kRuleFullCallMaterialization),
+            1);
+  EXPECT_EQ(CountRule(Lint("buffered.AddFrame(std::move(frame));\n"),
+                      kRuleFullCallMaterialization),
+            1);
+}
+
+TEST(FullCallMaterializationRuleTest, BorrowedAndStreamedUsesAreClean) {
+  // Borrowing the call by reference (the batch-compat entry points) is fine.
+  EXPECT_EQ(CountRule(Lint("void Prepare(const video::VideoStream& call);\n"),
+                      kRuleFullCallMaterialization),
+            0);
+  // So is adapting a borrowed call into the streaming pipeline.
+  EXPECT_EQ(CountRule(Lint("video::VideoStreamSource source(call);\n"),
+                      kRuleFullCallMaterialization),
+            0);
+  EXPECT_EQ(CountRule(Lint("const video::VideoStream* call_ptr = &call;\n"),
+                      kRuleFullCallMaterialization),
+            0);
+}
+
+TEST(FullCallMaterializationRuleTest, OnlyAppliesUnderSrcCore) {
+  const std::string owned = "video::VideoStream out{30.0};\n";
+  const std::string append = "out.AddFrame(std::move(frame));\n";
+  for (const char* path :
+       {"src/video/serialize.cpp", "src/synth/recorder.cpp",
+        "src/vbg/compositor.cpp", "apps/backbuster.cpp",
+        "tests/core/streaming_test.cpp"}) {
+    EXPECT_EQ(CountRule(LintContent(path, owned + append),
+                        kRuleFullCallMaterialization),
+              0)
+        << path;
+  }
+  EXPECT_EQ(CountRule(LintContent("src/core/streaming.cpp", owned + append),
+                      kRuleFullCallMaterialization),
+            2);
+}
+
+TEST(FullCallMaterializationRuleTest, Suppressed) {
+  EXPECT_EQ(CountRule(Lint("// bblint: allow(no-full-call-materialization)\n"
+                           "video::VideoStream copy = call;\n"),
+                      kRuleFullCallMaterialization),
+            0);
+}
+
 // --- suppression mechanics ------------------------------------------------
 
 TEST(SuppressionTest, AllowAllSilencesEveryRule) {
@@ -319,6 +375,16 @@ TEST(BblintFixtureFilesTest, SuppressedFixtureIsSilent) {
 
 TEST(BblintFixtureFilesTest, CleanFixtureIsSilent) {
   EXPECT_TRUE(LintFixture("clean.cpp").empty());
+}
+
+TEST(BblintFixtureFilesTest, MaterializationFixtureFiresUnderCorePathOnly) {
+  const auto core = LintFile("src/core/core_materialize.cpp",
+                             FixturePath("core_materialize.cpp"));
+  ASSERT_EQ(core.size(), 1u);
+  EXPECT_EQ(core[0].rule, kRuleFullCallMaterialization);
+  EXPECT_GT(core[0].line, 0);
+  // The same content under a non-core path is clean (the rule is path-gated).
+  EXPECT_TRUE(LintFixture("core_materialize.cpp").empty());
 }
 
 TEST(BblintFixtureFilesTest, UnreadableFileYieldsIoFinding) {

@@ -254,5 +254,63 @@ TEST(CompositorTest, ProfilesAreNamed) {
   EXPECT_EQ(SkypeProfile().name, "skype");
 }
 
+TEST(CompositorSourceTest, StreamsTheExactFramesOfApplyVirtualBackground) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kBeach, 96, 72));
+  CompositeOptions opts;
+  opts.seed = 9;
+  const CompositedCall batch = ApplyVirtualBackground(raw, vb, opts);
+  CompositorSource source(raw, vb, opts);
+  EXPECT_EQ(source.info().width, 96);
+  EXPECT_EQ(source.info().height, 72);
+  EXPECT_EQ(source.info().frame_count, batch.video.frame_count());
+  EXPECT_DOUBLE_EQ(source.info().fps, raw.video.fps());
+  Image frame;
+  int i = 0;
+  while (source.Next(frame)) {
+    ASSERT_LT(i, batch.video.frame_count());
+    EXPECT_EQ(frame, batch.video.frame(i)) << "frame " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, batch.video.frame_count());
+}
+
+TEST(CompositorSourceTest, MatchesBatchUnderNoiseAndDynamicVb) {
+  // The matting-noise and recording-noise RNG streams must stay aligned
+  // frame by frame; a looping video VB also exercises per-frame VB frames.
+  const auto raw = SmallRecording();
+  auto frames = MakeStockVideo(StockVideo::kStars, 96, 72, 5);
+  const LoopingVideoSource vb(frames);
+  CompositeOptions opts;
+  opts.profile = SkypeProfile();
+  opts.seed = 1234;
+  const CompositedCall batch = ApplyVirtualBackground(raw, vb, opts);
+  CompositorSource source(raw, vb, opts);
+  Image frame;
+  int i = 0;
+  while (source.Next(frame)) {
+    EXPECT_EQ(frame, batch.video.frame(i)) << "frame " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, batch.video.frame_count());
+}
+
+TEST(CompositorSourceTest, ResetReplaysTheNoiseStreamsIdentically) {
+  const auto raw = SmallRecording();
+  const StaticImageSource vb(MakeStockImage(StockImage::kGradient, 96, 72));
+  CompositorSource source(raw, vb);
+  std::vector<Image> first_pass;
+  Image frame;
+  while (source.Next(frame)) first_pass.push_back(frame);
+  ASSERT_EQ(static_cast<int>(first_pass.size()), raw.video.frame_count());
+  source.Reset();
+  int i = 0;
+  while (source.Next(frame)) {
+    EXPECT_EQ(frame, first_pass[static_cast<std::size_t>(i)]) << "frame " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, raw.video.frame_count());
+}
+
 }  // namespace
 }  // namespace bb::vbg

@@ -1,0 +1,212 @@
+// Unit tests for the streaming frame-access layer: VideoStreamSource
+// pull/Reset semantics, the bounded FrameWindow ring buffer, and the
+// BufferPool free-list that keeps steady-state streaming allocation-free.
+#include "video/frame_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace bb::video {
+namespace {
+
+using imaging::Image;
+
+Image Solid(int w, int h, std::uint8_t v) { return Image(w, h, {v, v, v}); }
+
+VideoStream TestStream(int frames, int w = 6, int h = 4) {
+  VideoStream v(12.0);
+  for (int i = 0; i < frames; ++i) {
+    v.Append(Solid(w, h, static_cast<std::uint8_t>(i + 1)));
+  }
+  return v;
+}
+
+// --- VideoStreamSource ----------------------------------------------------
+
+TEST(VideoStreamSourceTest, InfoMatchesStream) {
+  const VideoStream v = TestStream(5);
+  VideoStreamSource source(v);
+  const StreamInfo info = source.info();
+  EXPECT_EQ(info.width, 6);
+  EXPECT_EQ(info.height, 4);
+  EXPECT_EQ(info.frame_count, 5);
+  EXPECT_DOUBLE_EQ(info.fps, 12.0);
+}
+
+TEST(VideoStreamSourceTest, DrainsEveryFrameInOrderThenStops) {
+  const VideoStream v = TestStream(5);
+  VideoStreamSource source(v);
+  Image frame;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(source.Next(frame)) << "frame " << i;
+    EXPECT_EQ(frame, v.frame(i));
+  }
+  // End of stream: Next returns false and leaves the buffer alone.
+  const Image last = frame;
+  EXPECT_FALSE(source.Next(frame));
+  EXPECT_EQ(frame, last);
+}
+
+TEST(VideoStreamSourceTest, ResetReplaysTheStreamIdentically) {
+  const VideoStream v = TestStream(4);
+  VideoStreamSource source(v);
+  Image frame;
+  while (source.Next(frame)) {
+  }
+  source.Reset();
+  int n = 0;
+  while (source.Next(frame)) {
+    EXPECT_EQ(frame, v.frame(n));
+    ++n;
+  }
+  EXPECT_EQ(n, 4);
+}
+
+TEST(VideoStreamSourceTest, NextReshapesMismatchedBuffer) {
+  const VideoStream v = TestStream(2);
+  VideoStreamSource source(v);
+  Image frame(1, 1);  // wrong shape: must be reshaped, not written past
+  ASSERT_TRUE(source.Next(frame));
+  EXPECT_EQ(frame.width(), 6);
+  EXPECT_EQ(frame.height(), 4);
+  EXPECT_EQ(frame, v.frame(0));
+}
+
+TEST(VideoStreamSourceTest, EmptyStreamYieldsNothing) {
+  const VideoStream v(30.0);
+  VideoStreamSource source(v);
+  Image frame;
+  EXPECT_EQ(source.info().frame_count, 0);
+  EXPECT_FALSE(source.Next(frame));
+}
+
+// --- BufferPool -----------------------------------------------------------
+
+TEST(BufferPoolTest, FirstAcquireIsAMissReleaseMakesAHit) {
+  BufferPool pool;
+  Image a = pool.AcquireImage(8, 5);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.hits(), 0u);
+  pool.Release(std::move(a));
+  Image b = pool.AcquireImage(8, 5);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(b.width(), 8);
+  EXPECT_EQ(b.height(), 5);
+}
+
+TEST(BufferPoolTest, ShapeMismatchReallocatesAndCountsAsMiss) {
+  BufferPool pool;
+  pool.Release(pool.AcquireImage(8, 5));  // one miss
+  Image b = pool.AcquireImage(3, 2);      // recycled buffer has wrong shape
+  EXPECT_EQ(b.width(), 3);
+  EXPECT_EQ(b.height(), 2);
+  EXPECT_EQ(pool.misses(), 2u);
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPoolTest, ReleasedEmptyBuffersAreIgnored) {
+  BufferPool pool;
+  pool.Release(Image());
+  Image a = pool.AcquireImage(4, 4);
+  // The empty release must not have been stored as a reusable buffer that
+  // would then hand out a 0x0 image.
+  EXPECT_EQ(a.width(), 4);
+  EXPECT_EQ(a.height(), 4);
+}
+
+TEST(BufferPoolTest, BitmapsPoolIndependently) {
+  BufferPool pool;
+  pool.Release(pool.AcquireBitmap(4, 4));
+  const std::uint64_t hits_before = pool.hits();
+  imaging::Bitmap m = pool.AcquireBitmap(4, 4);
+  EXPECT_EQ(pool.hits(), hits_before + 1);
+  EXPECT_EQ(m.width(), 4);
+  EXPECT_EQ(m.height(), 4);
+}
+
+TEST(BufferPoolTest, SteadyStateCycleIsAllMissFree) {
+  BufferPool pool;
+  pool.Release(pool.AcquireImage(6, 4));
+  const std::uint64_t misses_after_warmup = pool.misses();
+  for (int i = 0; i < 100; ++i) {
+    pool.Release(pool.AcquireImage(6, 4));
+  }
+  EXPECT_EQ(pool.misses(), misses_after_warmup);
+  EXPECT_GE(pool.hits(), 100u);
+}
+
+// --- FrameWindow ----------------------------------------------------------
+
+TEST(FrameWindowTest, FillsToCapacityThenEvictsOldest) {
+  FrameWindow window(3);
+  EXPECT_EQ(window.capacity(), 3);
+  for (int i = 0; i < 3; ++i) {
+    const Image evicted = window.Push(Solid(2, 2, static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(evicted.width(), 0) << "no eviction while filling";
+  }
+  EXPECT_EQ(window.size(), 3);
+  EXPECT_EQ(window.first_index(), 0);
+  EXPECT_EQ(window.end_index(), 3);
+
+  // The fourth push evicts frame 0 and returns its buffer.
+  const Image evicted = window.Push(Solid(2, 2, 3));
+  EXPECT_EQ(evicted(0, 0).r, 0);
+  EXPECT_EQ(window.size(), 3);
+  EXPECT_EQ(window.first_index(), 1);
+  EXPECT_EQ(window.end_index(), 4);
+}
+
+TEST(FrameWindowTest, AtAddressesResidentFramesByAbsoluteIndex) {
+  FrameWindow window(2);
+  for (int i = 0; i < 5; ++i) {
+    window.Push(Solid(2, 2, static_cast<std::uint8_t>(10 + i)));
+  }
+  // Frames 3 and 4 are resident.
+  EXPECT_EQ(window.at(3)(0, 0).r, 13);
+  EXPECT_EQ(window.at(4)(0, 0).r, 14);
+}
+
+TEST(FrameWindowTest, PeakSizeIsAHighWaterMark) {
+  FrameWindow window(4);
+  window.Push(Solid(2, 2, 0));
+  window.Push(Solid(2, 2, 1));
+  EXPECT_EQ(window.peak_size(), 2);
+  window.Clear(nullptr);
+  EXPECT_EQ(window.size(), 0);
+  EXPECT_EQ(window.peak_size(), 2);
+  window.Push(Solid(2, 2, 2));
+  EXPECT_EQ(window.peak_size(), 2);  // never exceeded two residents
+}
+
+TEST(FrameWindowTest, ClearRecyclesBuffersIntoThePool) {
+  BufferPool pool;
+  FrameWindow window(3);
+  for (int i = 0; i < 3; ++i) {
+    window.Push(pool.AcquireImage(2, 2));
+  }
+  const std::uint64_t misses = pool.misses();
+  window.Clear(&pool);
+  EXPECT_EQ(window.size(), 0);
+  // All three buffers came back: the next three acquires are hits.
+  for (int i = 0; i < 3; ++i) {
+    pool.Release(pool.AcquireImage(2, 2));
+    EXPECT_EQ(pool.misses(), misses) << "acquire " << i;
+  }
+}
+
+TEST(FrameWindowTest, AbsoluteIndexingContinuesAcrossClear) {
+  FrameWindow window(2);
+  window.Push(Solid(2, 2, 0));
+  window.Push(Solid(2, 2, 1));
+  window.Clear(nullptr);
+  EXPECT_EQ(window.end_index(), 2);
+  window.Push(Solid(2, 2, 2));
+  EXPECT_EQ(window.first_index(), 2);
+  EXPECT_EQ(window.at(2)(0, 0).r, 2);
+}
+
+}  // namespace
+}  // namespace bb::video

@@ -93,11 +93,91 @@ TEST(SerializeTest, RejectsAbsurdHeader) {
   std::remove(path.c_str());
 }
 
+// ---- streamed reader ------------------------------------------------------
+
+// Pulls every frame out of a BbvFileSource into a VideoStream.
+std::optional<VideoStream> DrainSource(BbvFileSource& source) {
+  const StreamInfo info = source.info();
+  VideoStream out(info.fps);
+  imaging::Image frame;
+  while (source.Next(frame)) out.AddFrame(std::move(frame));
+  if (out.frame_count() != info.frame_count) return std::nullopt;
+  return out;
+}
+
+TEST(BbvFileSourceTest, StreamedReadMatchesReadBbv) {
+  const VideoStream v = TestVideo();
+  const std::string path = TempPath("bb_stream_eq.bbv");
+  ASSERT_TRUE(WriteBbv(v, path));
+  auto source = BbvFileSource::Open(path);
+  ASSERT_TRUE(source.has_value());
+  EXPECT_EQ(source->info().width, v.width());
+  EXPECT_EQ(source->info().height, v.height());
+  EXPECT_EQ(source->info().frame_count, v.frame_count());
+  EXPECT_DOUBLE_EQ(source->info().fps, v.fps());
+  const auto streamed = DrainSource(*source);
+  ASSERT_TRUE(streamed.has_value());
+  EXPECT_EQ(streamed->frames(), v.frames());
+  std::remove(path.c_str());
+}
+
+TEST(BbvFileSourceTest, ResetReplaysTheFile) {
+  const VideoStream v = TestVideo(4, 6, 5);
+  const std::string path = TempPath("bb_stream_reset.bbv");
+  ASSERT_TRUE(WriteBbv(v, path));
+  auto source = BbvFileSource::Open(path);
+  ASSERT_TRUE(source.has_value());
+  imaging::Image frame;
+  while (source->Next(frame)) {
+  }
+  source->Reset();
+  const auto replay = DrainSource(*source);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->frames(), v.frames());
+  std::remove(path.c_str());
+}
+
+TEST(BbvFileSourceTest, OpenAppliesTheSameHostileChecksAsReadBbv) {
+  // Missing file.
+  EXPECT_FALSE(BbvFileSource::Open(TempPath("bb_stream_missing.bbv"))
+                   .has_value());
+  // Bad magic.
+  const std::string path = TempPath("bb_stream_bad.bbv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE then some bytes";
+  }
+  EXPECT_FALSE(BbvFileSource::Open(path).has_value());
+  // Truncated payload: Open itself must reject (file size is checked
+  // upfront against the header-declared frame count).
+  const VideoStream v = TestVideo();
+  ASSERT_TRUE(WriteBbv(v, path));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  EXPECT_FALSE(BbvFileSource::Open(path).has_value());
+  std::remove(path.c_str());
+}
+
 // ---- deterministic fuzzing of the reader ----------------------------------
 //
-// ReadBbv consumes adversary-controlled files; it must reject (or read a
-// shorter-but-consistent stream from) every truncation and byte corruption
-// without crashing or over-allocating.
+// ReadBbv and the streamed BbvFileSource consume adversary-controlled files;
+// both must reject (or read a shorter-but-consistent stream from) every
+// truncation and byte corruption without crashing or over-allocating, and
+// they must agree with each other on every input.
+
+// Opens `path` both ways and checks they agree; returns the streamed result.
+std::optional<VideoStream> ReadBothWays(const std::string& path) {
+  const auto batch = ReadBbv(path);
+  auto source = BbvFileSource::Open(path);
+  std::optional<VideoStream> streamed;
+  if (source.has_value()) streamed = DrainSource(*source);
+  EXPECT_EQ(batch.has_value(), streamed.has_value()) << path;
+  if (batch.has_value() && streamed.has_value()) {
+    EXPECT_EQ(streamed->frames(), batch->frames());
+    EXPECT_DOUBLE_EQ(streamed->fps(), batch->fps());
+  }
+  return streamed;
+}
 
 std::vector<char> FileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -130,12 +210,12 @@ TEST(SerializeFuzzTest, EveryTruncationIsRejectedOrConsistent) {
                                        full.begin() +
                                            static_cast<std::ptrdiff_t>(len)));
     // Any strict prefix is a truncation somewhere - inside the magic, the
-    // header, or a frame - and must be rejected.
-    EXPECT_FALSE(ReadBbv(path).has_value()) << "prefix length " << len;
+    // header, or a frame - and must be rejected by both readers.
+    EXPECT_FALSE(ReadBothWays(path).has_value()) << "prefix length " << len;
   }
-  // Sanity: the untruncated file still reads.
+  // Sanity: the untruncated file still reads, both ways.
   WriteBytes(path, full);
-  const auto r = ReadBbv(path);
+  const auto r = ReadBothWays(path);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(static_cast<std::size_t>(r->frame_count()) * frame_bytes + 20,
             full.size());
@@ -155,7 +235,7 @@ TEST(SerializeFuzzTest, HeaderByteCorruptionsNeverCrash) {
       std::vector<char> mutated = full;
       mutated[pos] = static_cast<char>(mutated[pos] ^ pattern);
       WriteBytes(path, mutated);
-      const auto r = ReadBbv(path);  // must not crash or throw
+      const auto r = ReadBothWays(path);  // must not crash or throw
       if (r.has_value()) {
         // A stream that still parses must be internally consistent with
         // the payload that is actually present.
@@ -189,7 +269,7 @@ TEST(SerializeFuzzTest, RandomCorruptionsNeverCrash) {
       mutated.resize(Rng(seed) % (mutated.size() + 1));
     }
     WriteBytes(path, mutated);
-    const auto r = ReadBbv(path);  // crash/UB is the failure mode
+    const auto r = ReadBothWays(path);  // crash/UB is the failure mode
     if (r.has_value()) {
       EXPECT_GE(r->frame_count(), 0);
     }

@@ -455,6 +455,42 @@ void CheckHeaderHygiene(const FileView& v, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-full-call-materialization
+// ---------------------------------------------------------------------------
+
+// The reconstruction core must stay O(window): it may borrow frames through
+// `const VideoStream&` parameters or pull them one at a time through
+// video::FrameSource, but never own a VideoStream or append frames to one -
+// that silently reintroduces whole-call memory. The batch-compat wrapper
+// (Reconstructor::Run) stays legal by construction: it adapts its borrowed
+// call through video::VideoStreamSource, which this rule does not match.
+void CheckFullCallMaterialization(const FileView& v,
+                                  std::vector<Finding>* out) {
+  if (!StartsWith(v.path, "src/core/")) return;
+
+  // `VideoStream` not followed by &, * or :: - i.e. a by-value declaration,
+  // construction, or data member rather than a borrowed reference/pointer.
+  static const std::regex kOwnedStream(R"(\bVideoStream\b(?!\s*[&*:]))");
+  static const std::regex kAccumulate(R"(\.\s*(?:Append|AddFrame)\s*\()");
+
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    const std::string& line = v.stripped_lines[i];
+    const char* what = nullptr;
+    if (std::regex_search(line, kOwnedStream)) {
+      what = "owning a VideoStream in src/core/ materializes the whole call; "
+             "pull frames through video::FrameSource + FrameWindow instead";
+    } else if (std::regex_search(line, kAccumulate)) {
+      what = "appending frames to a stream in src/core/ materializes the "
+             "call; push frames through the streaming pass protocol instead";
+    }
+    if (what != nullptr) {
+      out->push_back({v.path, static_cast<int>(i + 1),
+                      kRuleFullCallMaterialization, what});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -470,6 +506,7 @@ const std::vector<Rule>& Registry() {
       {kRuleFloatAccumulation, CheckFloatAccumulation},
       {kRuleFloatTruncation, CheckFloatTruncation},
       {kRuleHeaderHygiene, CheckHeaderHygiene},
+      {kRuleFullCallMaterialization, CheckFullCallMaterialization},
   };
   return kRules;
 }

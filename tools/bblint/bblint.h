@@ -19,6 +19,11 @@
 //                                floor/ceil/trunc), never silent truncation.
 //   header-hygiene             - headers have #pragma once, no
 //                                `using namespace`, no <iostream>.
+//   no-full-call-materialization - the reconstruction core is streaming:
+//                                src/core/ may borrow frames through
+//                                `const VideoStream&` or pull them via
+//                                video::FrameSource, but never own or grow a
+//                                VideoStream (that is O(call) memory again).
 //
 // False positives are silenced per line with
 //     // bblint: allow(<rule>[, <rule>...])
@@ -38,6 +43,8 @@ inline constexpr const char* kRuleFloatAccumulation =
     "no-unshared-float-accumulation";
 inline constexpr const char* kRuleFloatTruncation = "no-float-truncation";
 inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
+inline constexpr const char* kRuleFullCallMaterialization =
+    "no-full-call-materialization";
 
 struct Finding {
   std::string file;     // repo-relative path, forward slashes

@@ -5,11 +5,14 @@
 #   1. default build with -DBB_WERROR=ON, full ctest suite (minus the
 #      bench-smoke label, which gets its own step)
 #   2. bench smoke runs + bb.bench.v1 report schema validation
-#   3. ThreadSanitizer build, determinism / parallel-runtime suites
-#   4. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#   3. streaming smoke bench: one StreamingReconstructor run whose
+#      bb.bench.v1 report must carry the stream.* memory gauges (fails on
+#      schema drift via report_check --require-memory)
+#   4. ThreadSanitizer build, determinism / parallel-runtime suites
+#   5. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   5. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   6. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
 #
 # Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
 # created as build-check, build-check-tsan, build-check-ubsan)
@@ -28,6 +31,21 @@ ctest --test-dir build-check --output-on-failure -j "$JOBS" -LE bench-smoke
 
 step "bench smoke runs + report schema validation"
 ctest --test-dir build-check --output-on-failure -j "$JOBS" -L bench-smoke
+
+step "streaming smoke bench + memory-gauge schema validation"
+STREAM_REPORT_DIR="build-check/stream-smoke"
+mkdir -p "$STREAM_REPORT_DIR"
+BB_BENCH_SMOKE=1 BB_THREADS=2 BB_BENCH_REPORT_DIR="$STREAM_REPORT_DIR" \
+  build-check/bench/bench_perf \
+  --benchmark_filter='StreamingReconstructor' --benchmark_min_time=0.01
+build-check/tools/report_check \
+  --require-memory stream.window_capacity \
+  --require-memory stream.peak_window_frames \
+  --require-memory stream.frames_pushed \
+  --require-memory stream.window_flushes \
+  --require-memory stream.pool_hits \
+  --require-memory stream.pool_misses \
+  "$STREAM_REPORT_DIR/BENCH_perf.json"
 
 step "ThreadSanitizer build + determinism/parallel suites"
 cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON

@@ -1,6 +1,6 @@
 // Schema validator for machine-readable bench reports (bb.bench.v1).
 //
-//   report_check FILE.json [FILE.json ...]
+//   report_check [--require-memory KEY ...] FILE.json [FILE.json ...]
 //
 // Parses each file with a small self-contained JSON parser (strict: no
 // trailing commas, no comments, no trailing garbage) and checks the
@@ -9,10 +9,14 @@
 //   - "config" object: string / number values
 //   - "paper" and "measured" objects: number-or-null values
 //   - "shape_checks" object: boolean values
+//   - "memory" object: number-or-null values (empty for benches that do
+//     not measure memory); --require-memory KEY (repeatable) additionally
+//     demands KEY to be present as a number in every checked file
 //   - "trace" object with "schema": "bb.trace.v1", "stages" (objects
 //     carrying at least an integer "calls") and "counters" (integers)
 // Exits 0 only when every file validates; prints one line per problem.
-// Used by the bench-smoke ctest label (see bench/CMakeLists.txt).
+// Used by the bench-smoke ctest label (see bench/CMakeLists.txt) and the
+// streaming smoke step of tools/check.sh.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -250,6 +254,7 @@ class Parser {
 
 int g_problems = 0;
 const char* g_file = "";
+std::vector<std::string> g_required_memory_keys;
 
 void Problem(const std::string& what) {
   std::fprintf(stderr, "%s: %s\n", g_file, what.c_str());
@@ -351,6 +356,18 @@ void CheckReport(const Value& root) {
   CheckValues(RequireObject(root, "shape_checks"), "shape_checks",
               /*allow_string=*/false, /*allow_number=*/false,
               /*allow_bool=*/true, /*allow_null=*/false);
+  const Value* memory = RequireObject(root, "memory");
+  CheckValues(memory, "memory", /*allow_string=*/false,
+              /*allow_number=*/true, /*allow_bool=*/false,
+              /*allow_null=*/true);
+  for (const std::string& key : g_required_memory_keys) {
+    const Value* v = memory == nullptr ? nullptr : memory->Find(key.c_str());
+    if (v == nullptr) {
+      Problem("memory." + key + " required but missing");
+    } else if (v->kind != Kind::kNumber) {
+      Problem("memory." + key + " required but not a number");
+    }
+  }
   CheckTrace(root);
 }
 
@@ -385,13 +402,27 @@ bool CheckFile(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: report_check FILE.json [FILE.json ...]\n");
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-memory") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "report_check: --require-memory needs a key\n");
+        return 2;
+      }
+      g_required_memory_keys.emplace_back(argv[++i]);
+      continue;
+    }
+    files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: report_check [--require-memory KEY ...] FILE.json "
+                 "[FILE.json ...]\n");
     return 2;
   }
   bool all_ok = true;
-  for (int i = 1; i < argc; ++i) {
-    if (!CheckFile(argv[i])) all_ok = false;
+  for (const char* file : files) {
+    if (!CheckFile(file)) all_ok = false;
   }
   return all_ok ? 0 : 1;
 }
