@@ -21,6 +21,7 @@
 #include <string>
 
 #include "cli/args.h"
+#include "common/faultinject.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "core/metrics.h"
@@ -55,7 +56,10 @@ int Usage() {
       "  --threads N   worker threads (default: BB_THREADS env, else all\n"
       "                hardware threads; 1 = fully serial)\n"
       "  --trace FILE  collect per-stage timings and pipeline counters,\n"
-      "                written as JSON when the command finishes\n");
+      "                written as JSON when the command finishes\n"
+      "  --faults SPEC deterministic fault injection, e.g.\n"
+      "                read@7=truncate,read@19=corrupt,alloc@3=fail\n"
+      "                (same grammar as the BB_FAULTS env variable)\n");
   return 2;
 }
 
@@ -211,6 +215,12 @@ int Attack(const cli::Args& args) {
         "  --stream          stream the .bbv instead of loading it: frame\n"
         "                    memory is bounded by the window, not the call\n"
         "  --window N        streaming window size in frames (default 64)\n"
+        "  --max-bad-frames B  fail once more than B frames are unreadable;\n"
+        "                    B is a count (e.g. 5) or a percentage (e.g. 10%%)\n"
+        "                    of the stream (default: unlimited; needs --stream)\n"
+        "  --checkpoint FILE streaming progress checkpoint: written after\n"
+        "                    every window flush, resumed from on restart,\n"
+        "                    removed on success (needs --stream)\n"
         "  --threads N       worker threads (default: BB_THREADS env,\n"
         "                    else all hardware threads)\n"
         "  --trace FILE      write per-stage timings/counters as JSON\n",
@@ -226,6 +236,36 @@ int Attack(const cli::Args& args) {
   const bool stream = args.GetFlag("stream");
   const int window = static_cast<int>(args.GetInt("window", 64));
   if (window < 1) return Fail("--window must be >= 1");
+
+  // Degradation budget: a plain count, or a percentage of the stream.
+  int max_bad_frames = -1;
+  double max_bad_fraction = -1.0;
+  if (const auto bad = args.Get("max-bad-frames")) {
+    const auto reject = [] {
+      return Fail(
+          "--max-bad-frames expects a count (e.g. 5) or percentage "
+          "(e.g. 10%)");
+    };
+    try {
+      std::size_t pos = 0;
+      if (!bad->empty() && bad->back() == '%') {
+        const double pct = std::stod(*bad, &pos);
+        if (pos + 1 != bad->size() || pct < 0.0) return reject();
+        max_bad_fraction = pct / 100.0;
+      } else {
+        const long v = std::stol(*bad, &pos);
+        if (pos != bad->size() || v < 0) return reject();
+        max_bad_frames = static_cast<int>(v);
+      }
+    } catch (const std::exception&) {
+      return reject();
+    }
+    if (!stream) return Fail("--max-bad-frames requires --stream");
+  }
+  const std::string checkpoint = args.Get("checkpoint", "");
+  if (!checkpoint.empty() && !stream) {
+    return Fail("--checkpoint requires --stream");
+  }
   if (const int rc = RejectUnknown(args)) return rc;
 
   std::optional<vbg::StockImage> stock;
@@ -238,7 +278,7 @@ int Attack(const cli::Args& args) {
     // Streaming path: the call is never materialized - the .bbv is pulled
     // once per pass and at most `window` frames are resident.
     auto source = video::BbvFileSource::Open(*in);
-    if (!source) return Fail("cannot read " + *in);
+    if (!source.ok()) return Fail(source.status().ToString());
     const video::StreamInfo info = source->info();
     std::printf("streaming %s: %d frames %dx%d @ %.1f fps (window %d)\n",
                 in->c_str(), info.frame_count, info.width, info.height,
@@ -259,9 +299,22 @@ int Attack(const cli::Args& args) {
     core::StreamingOptions sopts;
     sopts.window_frames = window;
     sopts.recon.phi = phi;
+    sopts.max_bad_frames = max_bad_frames;
+    sopts.max_bad_fraction = max_bad_fraction;
+    sopts.checkpoint_path = checkpoint;
     core::StreamingReconstructor reconstructor(*ref, segmenter, sopts);
-    const core::ReconstructionResult rec = reconstructor.Run(*source);
+    const auto run = reconstructor.Run(*source);
     const core::StreamingStats& stats = reconstructor.stats();
+    if (!reconstructor.checkpoint_status().ok()) {
+      std::fprintf(stderr, "warning: starting fresh: %s\n",
+                   reconstructor.checkpoint_status().ToString().c_str());
+    }
+    if (stats.resumed) {
+      std::printf("resumed from %s at frame %d/%d\n", checkpoint.c_str(),
+                  stats.resume_frames_done, info.frame_count);
+    }
+    if (!run.ok()) return Fail(run.status().ToString());
+    const core::ReconstructionResult& rec = *run;
     std::printf(
         "peak window residency %d/%d frames over %llu flushes "
         "(pool: %llu hits, %llu misses)\n",
@@ -269,11 +322,18 @@ int Attack(const cli::Args& args) {
         static_cast<unsigned long long>(stats.window_flushes),
         static_cast<unsigned long long>(stats.pool_hits),
         static_cast<unsigned long long>(stats.pool_misses));
+    if (stats.frames_quarantined > 0) {
+      std::printf(
+          "degraded: %d of %d frames were unreadable and quarantined "
+          "(%llu bad pulls across passes)\n",
+          stats.frames_quarantined, info.frame_count,
+          static_cast<unsigned long long>(stats.bad_frame_events));
+    }
     return FinishAttack(rec, info.width, info.height, truth_path, out_base);
   }
 
-  const auto call = video::ReadBbv(*in);
-  if (!call) return Fail("cannot read " + *in);
+  const auto call = video::LoadBbv(*in);
+  if (!call.ok()) return Fail(call.status().ToString());
   std::printf("loaded %s: %d frames %dx%d @ %.1f fps\n", in->c_str(),
               call->frame_count(), call->width(), call->height(),
               call->fps());
@@ -304,8 +364,8 @@ int Info(const cli::Args& args) {
   const auto in = args.Get("in");
   if (!in) return Fail("info requires --in <file.bbv>");
   if (const int rc = RejectUnknown(args)) return rc;
-  const auto call = video::ReadBbv(*in);
-  if (!call) return Fail("cannot read " + *in);
+  const auto call = video::LoadBbv(*in);
+  if (!call.ok()) return Fail(call.status().ToString());
   std::printf("%s: %d frames, %dx%d @ %.2f fps, %.1f s\n", in->c_str(),
               call->frame_count(), call->width(), call->height(),
               call->fps(), call->duration());
@@ -338,6 +398,16 @@ int main(int argc, char** argv) {
   if (trace_path) {
     if (trace_path->empty()) return Fail("--trace expects a file path");
     trace::Enable();
+  }
+
+  // Global: --faults SPEC arms the deterministic fault-injection schedule
+  // (overriding any BB_FAULTS from the environment).
+  if (const auto faults = args.Get("faults")) {
+    if (faults->empty()) return Fail("--faults expects a schedule spec");
+    if (const Status st = faultinject::Configure(*faults); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::fprintf(stderr, "fault injection active: %s\n", faults->c_str());
   }
 
   int rc;

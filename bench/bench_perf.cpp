@@ -11,6 +11,11 @@
 // regression budget) by the golden perf tracking in tools/check.sh.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/faultinject.h"
 #include "common/parallel.h"
 #include "report.h"
 #include "core/blur_masking.h"
@@ -301,7 +306,7 @@ int main(int argc, char** argv) {
     bb::core::StreamingReconstructor streaming(f.ref, seg, sopts);
     bb::video::VideoStreamSource source(f.call.video);
     const bb::core::ReconstructionResult stream_result =
-        streaming.Run(source);
+        streaming.Run(source).value();
     const bb::core::StreamingStats& stats = streaming.stats();
 
     report.Memory("stream.window_capacity",
@@ -328,6 +333,77 @@ int main(int argc, char** argv) {
                  stream_result.background == batch_result.background &&
                      stream_result.coverage == batch_result.coverage &&
                      stream_result.leak_counts == batch_result.leak_counts);
+  }
+
+  // Degradation probe: re-run the streaming fixture under a deterministic
+  // fault schedule (three unreadable frames spread across the call) and
+  // check that the degraded output equals a manual bad-frame reference
+  // bit-for-bit, then record the fault-tolerance gauges.
+  {
+    const StreamingFixture& f = SharedStreaming();
+    constexpr const char* kSchedule =
+        "source@3=fail,source@57=corrupt,source@90=truncate";
+    const std::vector<int> kBadFrames = {3, 57, 90};
+    report.Config("degradation_probe_faults", kSchedule);
+
+    const bb::Status configured = bb::faultinject::Configure(kSchedule);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "bench_perf: %s\n",
+                   configured.ToString().c_str());
+      return 1;
+    }
+    const std::uint64_t fired_before = bb::faultinject::FiredCount();
+    bb::segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+    bb::core::StreamingOptions sopts;
+    sopts.window_frames = kStreamProbeWindow;
+    bb::core::StreamingReconstructor faulty(f.ref, seg, sopts);
+    bb::video::VideoStreamSource source(f.call.video);
+    const auto faulty_run = faulty.Run(source);
+    const std::uint64_t faults_fired =
+        bb::faultinject::FiredCount() - fired_before;
+    bb::faultinject::Clear();
+    const bb::core::StreamingStats& fstats = faulty.stats();
+
+    report.Degradation("stream.frames_quarantined",
+                       static_cast<double>(fstats.frames_quarantined));
+    report.Degradation("stream.bad_frame_events",
+                       static_cast<double>(fstats.bad_frame_events));
+    report.Degradation("stream.faults_fired",
+                       static_cast<double>(faults_fired));
+    report.Shape("injected faults quarantine instead of failing the run",
+                 faulty_run.ok() &&
+                     fstats.frames_quarantined ==
+                         static_cast<int>(kBadFrames.size()));
+
+    // Reference: the same stream pushed manually, with the scheduled frames
+    // reported bad up front (no fault registry involved).
+    bb::segmentation::NoisyOracleSegmenter ref_seg(f.raw.caller_masks, {},
+                                                   7);
+    bb::core::StreamingReconstructor reference(f.ref, ref_seg, sopts);
+    reference.Begin(bb::video::VideoStreamSource(f.call.video).info());
+    const bb::Status bad_reason(bb::StatusCode::kDataLoss,
+                                "unreadable frame (probe)");
+    bool reference_ok = true;
+    for (int pass = 0; pass < reference.TotalPasses(); ++pass) {
+      reference.BeginPass(pass);
+      for (int i = 0; i < f.call.video.frame_count(); ++i) {
+        if (std::find(kBadFrames.begin(), kBadFrames.end(), i) !=
+            kBadFrames.end()) {
+          const bb::Status pushed = reference.PushBadFrame(i, bad_reason);
+          reference_ok = reference_ok && pushed.ok();
+        } else {
+          reference.PushFrame(f.call.video.frame(i), i);
+        }
+      }
+      reference.EndPass(pass);
+    }
+    const bb::core::ReconstructionResult ref_result = reference.Finalize();
+    report.Shape(
+        "degraded output equals the manual bad-frame reference bit-for-bit",
+        reference_ok && faulty_run.ok() &&
+            faulty_run->background == ref_result.background &&
+            faulty_run->coverage == ref_result.coverage &&
+            faulty_run->leak_counts == ref_result.leak_counts);
   }
   return report.Write() && report.AllShapeChecksPass() ? 0 : 1;
 }

@@ -81,6 +81,10 @@ void Report::Memory(std::string_view key, double value) {
   memory_.emplace_back(std::string(key), value);
 }
 
+void Report::Degradation(std::string_view key, double value) {
+  degradation_.emplace_back(std::string(key), value);
+}
+
 void Report::Shape(std::string_view check, bool ok) {
   shape_checks_.emplace_back(std::string(check), ok);
 }
@@ -117,6 +121,8 @@ std::string Report::ToJson() const {
   }
   AppendSection(&out, "shape_checks", shapes, /*trailing_comma=*/true);
   AppendSection(&out, "memory", Serialized(memory_),
+                /*trailing_comma=*/true);
+  AppendSection(&out, "degradation", Serialized(degradation_),
                 /*trailing_comma=*/true);
 
   // Embed the stage-timing registry (schema bb.trace.v1) as captured now;

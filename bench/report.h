@@ -9,6 +9,9 @@
 //   * shape_checks  - the qualitative pass/fail assertions the bench prints
 //   * memory        - peak-residency / buffer-pool gauges (always present;
 //                     empty for benches that do not measure memory)
+//   * degradation   - fault-tolerance gauges (quarantined frames, bad pull
+//                     events, checkpoint writes; always present, empty for
+//                     benches that do not exercise fault injection)
 //   * trace         - the stage-timing/counter registry (bb.trace.v1),
 //                     captured at Write() time
 //
@@ -60,6 +63,9 @@ class Report {
   // Memory gauges (frame counts, pool hit/miss totals, ...), emitted under
   // the report's "memory" section.
   void Memory(std::string_view key, double value);
+  // Fault-tolerance gauges (quarantine counts, bad-pull events, ...),
+  // emitted under the report's "degradation" section.
+  void Degradation(std::string_view key, double value);
   void Shape(std::string_view check, bool ok);
 
   bool AllShapeChecksPass() const;
@@ -83,6 +89,7 @@ class Report {
   std::vector<std::pair<std::string, double>> paper_;
   std::vector<std::pair<std::string, double>> measured_;
   std::vector<std::pair<std::string, double>> memory_;
+  std::vector<std::pair<std::string, double>> degradation_;
   std::vector<std::pair<std::string, bool>> shape_checks_;
 };
 

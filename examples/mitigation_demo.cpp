@@ -18,12 +18,12 @@ using namespace bb;
 
 namespace {
 
-struct Result {
+struct DemoResult {
   core::RbrrResult rbrr;
   int location_rank;
 };
 
-Result Evaluate(const synth::RawRecording& raw,
+DemoResult Evaluate(const synth::RawRecording& raw,
                 const vbg::CompositeOptions& copts, int subsample,
                 const std::vector<imaging::Image>& dict,
                 const char* dump_name) {
@@ -44,7 +44,7 @@ Result Evaluate(const synth::RawRecording& raw,
   const auto rec = rc.Run(attacked);
   if (dump_name) imaging::WriteImageAuto(rec.background, dump_name);
 
-  Result r;
+  DemoResult r;
   r.rbrr = core::Rbrr(rec, raw.true_background);
   r.location_rank = core::RankOf(
       core::RankLocations(rec.background, rec.coverage, dict), 0);
@@ -65,7 +65,7 @@ int main() {
 
   std::printf("%-26s %9s %9s %10s %10s\n", "configuration", "claimed",
               "verified", "precision", "loc.rank");
-  auto report = [&](const char* name, const Result& r) {
+  auto report = [&](const char* name, const DemoResult& r) {
     std::printf("%-26s %8.1f%% %8.1f%% %9.1f%% %7d/40\n", name,
                 100.0 * r.rbrr.claimed, 100.0 * r.rbrr.verified,
                 100.0 * r.rbrr.precision, r.location_rank);

@@ -1,0 +1,161 @@
+#include "common/faultinject.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace bb::faultinject {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::pair<std::string, std::int64_t>, FaultKind> schedule;
+  std::map<std::string, std::int64_t> counts;
+  std::uint64_t fired = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // never destroyed: injection sites
+  return *r;                            // may outlive static destruction
+}
+
+std::atomic<bool> g_enabled{false};
+
+// Parses one schedule entry "point@key=kind" into the maps. Returns a
+// non-OK status naming the entry on malformed input.
+Status ParseEntry(std::string_view entry,
+                  std::map<std::pair<std::string, std::int64_t>, FaultKind>*
+                      schedule) {
+  const auto fail = [&](const char* what) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(what) + " in fault entry '" +
+                      std::string(entry) + "' (want point@index=kind)");
+  };
+  const std::size_t at = entry.find('@');
+  const std::size_t eq = entry.find('=');
+  if (at == std::string_view::npos || eq == std::string_view::npos ||
+      at == 0 || eq < at + 2 || eq + 1 >= entry.size()) {
+    return fail("malformed entry");
+  }
+  const std::string point(entry.substr(0, at));
+  const std::string key_text(entry.substr(at + 1, eq - at - 1));
+  const std::string_view kind_name = entry.substr(eq + 1);
+
+  std::int64_t key = 0;
+  for (char c : key_text) {
+    if (c < '0' || c > '9') return fail("non-numeric index");
+    key = key * 10 + (c - '0');
+    if (key > 1000000000) return fail("index out of range");
+  }
+
+  FaultKind kind;
+  if (kind_name == "fail") {
+    kind = FaultKind::kFail;
+  } else if (kind_name == "truncate") {
+    kind = FaultKind::kTruncate;
+  } else if (kind_name == "corrupt") {
+    kind = FaultKind::kCorrupt;
+  } else {
+    return fail("unknown fault kind");
+  }
+  (*schedule)[{point, key}] = kind;
+  return OkStatus();
+}
+
+// BB_FAULTS=<spec> installs a schedule for any binary linking this TU.
+const bool g_env_configured = [] {
+  const char* env = std::getenv("BB_FAULTS");
+  if (env != nullptr && env[0] != '\0') {
+    const Status status = Configure(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "faultinject: ignoring BB_FAULTS: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFail:
+      return "fail";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Status Configure(std::string_view spec) {
+  std::map<std::pair<std::string, std::int64_t>, FaultKind> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = spec.substr(begin, end - begin);
+    // Tolerate surrounding whitespace so shell-quoted specs read naturally.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (!entry.empty()) {
+      const Status status = ParseEntry(entry, &parsed);
+      if (!status.ok()) return status;
+    }
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+
+  Registry& r = GetRegistry();
+  {
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.schedule = std::move(parsed);
+    r.counts.clear();
+    r.fired = 0;
+    g_enabled.store(!r.schedule.empty(), std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+void Clear() {
+  Registry& r = GetRegistry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.schedule.clear();
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultKind> At(std::string_view point, std::int64_t key) {
+  if (!Enabled()) return std::nullopt;
+  Registry& r = GetRegistry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.schedule.find({std::string(point), key});
+  if (it == r.schedule.end()) return std::nullopt;
+  ++r.fired;
+  return it->second;
+}
+
+std::int64_t NextCount(std::string_view point) {
+  Registry& r = GetRegistry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.counts[std::string(point)]++;
+}
+
+std::uint64_t FiredCount() {
+  Registry& r = GetRegistry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.fired;
+}
+
+}  // namespace bb::faultinject

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace bb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  if (!message_.empty()) {
+    message += ": ";
+    message += message_;
+  }
+  return Status(code_, std::move(message));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace bb

@@ -1,0 +1,119 @@
+// Structured error propagation (DESIGN.md "Fault tolerance").
+//
+// bb::Status carries an error code plus a human-readable message that grows
+// a context chain as it propagates outward ("open call.bbv: header: bad
+// magic"), so a failure deep in a reader reaches the CLI with the *reason*
+// attached, not just a bare nullopt. bb::Result<T> is the value-or-Status
+// companion with an optional-like surface so existing call sites convert
+// with minimal churn.
+//
+// Both types are [[nodiscard]] at the type level: silently dropping an error
+// is a compile-time warning (an error under BB_WERROR) and a bblint finding
+// (rule no-silent-error-drop). Thin std::optional wrappers remain where a
+// caller genuinely only cares about presence.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bb {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,            // the named resource does not exist
+  kIoError,             // read/write failed below the format layer
+  kInvalidArgument,     // caller-supplied parameter is unusable
+  kDataLoss,            // payload present but corrupt/truncated/injected-bad
+  kFailedPrecondition,  // operation illegal in the current state
+  kResourceExhausted,   // allocation or budget exhausted
+  kAborted,             // operation stopped (e.g. error budget exceeded)
+  kInternal,            // invariant violation; a bug, not an input problem
+};
+
+// Stable upper-snake name ("DATA_LOSS") used in messages and tests.
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a copy with `context` prepended to the message, preserving the
+  // code: Status(kIoError, "short read").WithContext("frame 7") renders as
+  // "IO_ERROR: frame 7: short read".
+  Status WithContext(std::string_view context) const;
+
+  // "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+// Value-or-error. Deliberately optional-shaped (has_value/operator*/value)
+// so call sites that used std::optional migrate by changing only the failure
+// path. value() on an error throws std::runtime_error carrying the status
+// text - reaching it means the caller skipped the ok() check, which is a
+// programming error, not a recoverable condition.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "Result constructed from an OK status with no value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return value_.has_value(); }
+
+  // OK when a value is held.
+  const Status& status() const { return status_; }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!value_.has_value()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               status_.ToString());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is engaged
+};
+
+}  // namespace bb

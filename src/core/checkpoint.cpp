@@ -1,0 +1,236 @@
+#include "core/checkpoint.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+namespace bb::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'B', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  PutU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Cursor-based reader over the loaded bytes; Take* return false past the
+// end so every truncation lands in one structured-error path.
+struct Reader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+
+  bool TakeU32(std::uint32_t* v) {
+    if (pos + 4 > bytes.size()) return false;
+    *v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[pos++]))
+            << shift;
+    }
+    return true;
+  }
+
+  bool TakeU64(std::uint64_t* v) {
+    if (pos + 8 > bytes.size()) return false;
+    *v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes[pos++]))
+            << shift;
+    }
+    return true;
+  }
+
+  bool TakeF64(double* v) {
+    std::uint64_t raw = 0;
+    if (!TakeU64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
+};
+
+Status Corrupt(const std::string& what) {
+  return Status(StatusCode::kDataLoss, what);
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
+  const std::size_t pixels = state.counts.size();
+  std::string out;
+  out.reserve(64 + pixels * 7 * 8 +
+              state.per_frame_leak_fraction.size() * 8);
+  out.append(kMagic, 4);
+  PutU32(&out, kVersion);
+  PutU32(&out, static_cast<std::uint32_t>(state.info.width));
+  PutU32(&out, static_cast<std::uint32_t>(state.info.height));
+  PutU32(&out, static_cast<std::uint32_t>(state.info.frame_count));
+  PutU32(&out,
+         static_cast<std::uint32_t>(std::lround(state.info.fps * 1000.0)));
+  PutU32(&out, static_cast<std::uint32_t>(state.frames_done));
+  PutU32(&out, static_cast<std::uint32_t>(state.quarantined.size()));
+  for (int q : state.quarantined) {
+    PutU32(&out, static_cast<std::uint32_t>(q));
+  }
+  PutU64(&out, static_cast<std::uint64_t>(pixels));
+  for (int c : state.counts) PutU64(&out, static_cast<std::uint64_t>(c));
+  for (const std::vector<double>* arr :
+       {&state.sum_r, &state.sum_g, &state.sum_b, &state.sum_r2,
+        &state.sum_g2, &state.sum_b2}) {
+    for (double v : *arr) PutF64(&out, v);
+  }
+  for (double v : state.per_frame_leak_fraction) PutF64(&out, v);
+  PutU64(&out, Fnv1a64(out));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status(StatusCode::kIoError, "cannot open for writing")
+          .WithContext("checkpoint " + tmp);
+    }
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    if (!f) {
+      return Status(StatusCode::kIoError, "write failed")
+          .WithContext("checkpoint " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(StatusCode::kIoError, "rename into place failed")
+        .WithContext("checkpoint " + path);
+  }
+  return OkStatus();
+}
+
+Result<CheckpointState> LoadCheckpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status(StatusCode::kNotFound, "no checkpoint file")
+        .WithContext("checkpoint " + path);
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  const auto reject = [&path](const Status& status) {
+    return status.WithContext("checkpoint " + path);
+  };
+  if (bytes.size() < 4 + 4 + 8 ||
+      std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return reject(Corrupt("bad magic (want BBCK)"));
+  }
+  // Checksum first: any bit flip anywhere is caught before parsing.
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+  Reader tail{bytes, bytes.size() - 8};
+  std::uint64_t declared_sum = 0;
+  (void)tail.TakeU64(&declared_sum);
+  if (Fnv1a64(body) != declared_sum) {
+    return reject(Corrupt("checksum mismatch (file corrupted)"));
+  }
+
+  Reader r{body, 4};
+  std::uint32_t version = 0;
+  if (!r.TakeU32(&version)) return reject(Corrupt("truncated header"));
+  if (version != kVersion) {
+    return reject(Status(
+        StatusCode::kFailedPrecondition,
+        "unsupported checkpoint version " + std::to_string(version) +
+            " (want " + std::to_string(kVersion) + ")"));
+  }
+  std::uint32_t w = 0, h = 0, frames = 0, fps_mhz = 0, frames_done = 0,
+                quarantine_count = 0;
+  if (!r.TakeU32(&w) || !r.TakeU32(&h) || !r.TakeU32(&frames) ||
+      !r.TakeU32(&fps_mhz) || !r.TakeU32(&frames_done) ||
+      !r.TakeU32(&quarantine_count)) {
+    return reject(Corrupt("truncated header"));
+  }
+  if (w > 16384 || h > 16384 || frames > 1000000 ||
+      frames_done > frames || quarantine_count > frames) {
+    return reject(Corrupt("implausible header fields"));
+  }
+
+  CheckpointState state;
+  state.info.width = static_cast<int>(w);
+  state.info.height = static_cast<int>(h);
+  state.info.frame_count = static_cast<int>(frames);
+  state.info.fps = fps_mhz / 1000.0;
+  state.frames_done = static_cast<int>(frames_done);
+  state.quarantined.reserve(quarantine_count);
+  int prev = -1;
+  for (std::uint32_t i = 0; i < quarantine_count; ++i) {
+    std::uint32_t q = 0;
+    if (!r.TakeU32(&q)) return reject(Corrupt("truncated quarantine list"));
+    if (q >= frames || static_cast<int>(q) <= prev) {
+      return reject(Corrupt("quarantine list not ascending in-range"));
+    }
+    prev = static_cast<int>(q);
+    state.quarantined.push_back(prev);
+  }
+  std::uint64_t pixels = 0;
+  if (!r.TakeU64(&pixels)) return reject(Corrupt("truncated accumulators"));
+  if (pixels != static_cast<std::uint64_t>(w) * h) {
+    return reject(Corrupt("pixel count does not match dimensions"));
+  }
+  state.counts.reserve(pixels);
+  for (std::uint64_t i = 0; i < pixels; ++i) {
+    std::uint64_t c = 0;
+    if (!r.TakeU64(&c)) return reject(Corrupt("truncated accumulators"));
+    if (c > frames) return reject(Corrupt("leak count exceeds frame count"));
+    state.counts.push_back(static_cast<int>(c));
+  }
+  for (std::vector<double>* arr :
+       {&state.sum_r, &state.sum_g, &state.sum_b, &state.sum_r2,
+        &state.sum_g2, &state.sum_b2}) {
+    arr->reserve(pixels);
+    for (std::uint64_t i = 0; i < pixels; ++i) {
+      double v = 0.0;
+      if (!r.TakeF64(&v)) return reject(Corrupt("truncated accumulators"));
+      if (!std::isfinite(v)) {
+        return reject(Corrupt("non-finite accumulator value"));
+      }
+      arr->push_back(v);
+    }
+  }
+  state.per_frame_leak_fraction.reserve(frames);
+  for (std::uint32_t i = 0; i < frames; ++i) {
+    double v = 0.0;
+    if (!r.TakeF64(&v)) {
+      return reject(Corrupt("truncated per-frame leak fractions"));
+    }
+    if (!std::isfinite(v)) {
+      return reject(Corrupt("non-finite per-frame leak fraction"));
+    }
+    state.per_frame_leak_fraction.push_back(v);
+  }
+  if (r.pos != body.size()) {
+    return reject(Corrupt("trailing bytes after the declared payload"));
+  }
+  return state;
+}
+
+}  // namespace bb::core

@@ -1,0 +1,66 @@
+// Streaming-run checkpoints (DESIGN.md "Fault tolerance").
+//
+// A checkpoint captures everything StreamingReconstructor needs to resume
+// an interrupted run with bit-identical final output: the stream identity,
+// how far the final (accumulation) pass has progressed, the quarantine
+// list, the combined leak accumulators, and the per-frame leak fractions
+// produced so far. The cheap analysis/caller passes are deterministic and
+// are simply re-run on resume; only the expensive decomposition work is
+// skipped. Because every accumulator sum is integer-valued (uint8 samples
+// and their squares added in doubles), the combined totals are exact and a
+// resumed run may even use a different thread count or window size without
+// perturbing a single output bit.
+//
+// File format "BBCK" version 1 (all integers little-endian; doubles as
+// IEEE-754 bit patterns):
+//
+//   magic      "BBCK"                      4 bytes
+//   version    u32 = 1
+//   width      u32  -+
+//   height     u32   | stream identity; resume refuses a checkpoint
+//   frames     u32   | whose identity mismatches the source
+//   fps_mhz    u32  -+
+//   frames_done u32          every frame index below this is decomposed
+//                            (or quarantined) and must not be re-pushed
+//   quarantine u32 count, then count ascending u32 frame indices
+//   pixels     u64           width*height (redundant; checked)
+//   counts     pixels * u64
+//   sum_r/g/b, sum_r2/g2/b2   pixels * f64 each, in that order
+//   per_frame  frames * f64   leak fraction per frame
+//   checksum   u64            FNV-1a 64 over every preceding byte
+//
+// Writes are crash-consistent: the file is written to "<path>.tmp" and
+// renamed into place, so a kill mid-write leaves the previous checkpoint
+// intact. Loads treat the file as hostile input - truncation, version
+// skew, or bit flips yield a structured error, never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "video/frame_source.h"
+
+namespace bb::core {
+
+struct CheckpointState {
+  video::StreamInfo info;
+  int frames_done = 0;
+  std::vector<int> quarantined;  // ascending frame indices
+  std::vector<int> counts;       // per-pixel leak observation counts
+  std::vector<double> sum_r, sum_g, sum_b;
+  std::vector<double> sum_r2, sum_g2, sum_b2;
+  std::vector<double> per_frame_leak_fraction;
+};
+
+// Serializes `state` to `path` via write-temp-then-rename.
+Status SaveCheckpoint(const CheckpointState& state, const std::string& path);
+
+// Parses and validates `path`. kNotFound when the file does not exist
+// (callers start fresh); kDataLoss / kFailedPrecondition on corrupt or
+// version-mismatched contents (callers should also start fresh, but can
+// report why the checkpoint was discarded).
+Result<CheckpointState> LoadCheckpoint(const std::string& path);
+
+}  // namespace bb::core

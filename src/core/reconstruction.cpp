@@ -76,7 +76,9 @@ ReconstructionResult Reconstructor::Run(const video::VideoStream& call) {
   sopts.recon = opts_;
   StreamingReconstructor streaming(reference_, segmenter_, sopts);
   video::VideoStreamSource source(call);
-  return streaming.Run(source);
+  // An in-memory source never yields a bad pull and no budget/checkpoint is
+  // configured, so the streaming run cannot fail here.
+  return streaming.Run(source).value();
 }
 
 }  // namespace bb::core

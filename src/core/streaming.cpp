@@ -1,10 +1,13 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
 #include "common/parallel.h"
+#include "core/checkpoint.h"
 
 namespace bb::core {
 
@@ -21,10 +24,28 @@ StreamingReconstructor::StreamingReconstructor(
   if (opts_.window_frames < 1) {
     throw std::invalid_argument("StreamingReconstructor: window_frames < 1");
   }
+  if (!opts_.checkpoint_path.empty() && opts_.recon.keep_frame_masks) {
+    throw std::invalid_argument(
+        "StreamingReconstructor: checkpoint_path is incompatible with "
+        "keep_frame_masks (per-frame masks are not serialized)");
+  }
 }
 
 int StreamingReconstructor::TotalPasses() const {
   return segmenter_.AnalysisPasses() + 2;
+}
+
+StreamingReconstructor::LeakShard StreamingReconstructor::ZeroShard(
+    std::size_t pixels) {
+  LeakShard s;
+  s.sum_r.assign(pixels, 0.0);
+  s.sum_g.assign(pixels, 0.0);
+  s.sum_b.assign(pixels, 0.0);
+  s.sum_r2.assign(pixels, 0.0);
+  s.sum_g2.assign(pixels, 0.0);
+  s.sum_b2.assign(pixels, 0.0);
+  s.counts.assign(pixels, 0);
+  return s;
 }
 
 void StreamingReconstructor::Begin(const video::StreamInfo& info) {
@@ -50,11 +71,75 @@ void StreamingReconstructor::Begin(const video::StreamInfo& info) {
   cache_raw_masks_ = opts_.window_frames >= frames;
   raw_cache_.clear();
   window_.emplace(std::min(opts_.window_frames, std::max(1, frames)));
+  window_ids_.clear();
   pool_ = video::BufferPool();
   shards_.clear();
   stats_ = StreamingStats{};
   stats_.window_capacity = window_->capacity();
   stats_.raw_masks_cached = cache_raw_masks_;
+
+  quarantine_.assign(static_cast<std::size_t>(frames), 0);
+  quarantined_count_ = 0;
+  bad_budget_ = opts_.max_bad_frames >= 0 ? opts_.max_bad_frames : -1;
+  if (opts_.max_bad_fraction >= 0.0) {
+    const int by_fraction = static_cast<int>(
+        std::floor(opts_.max_bad_fraction * static_cast<double>(frames)));
+    bad_budget_ =
+        bad_budget_ < 0 ? by_fraction : std::min(bad_budget_, by_fraction);
+  }
+
+  resume_frames_ = 0;
+  resume_base_.reset();
+  TryResumeFromCheckpoint();
+}
+
+void StreamingReconstructor::TryResumeFromCheckpoint() {
+  checkpoint_status_ = OkStatus();
+  if (opts_.checkpoint_path.empty()) return;
+  Result<CheckpointState> loaded = LoadCheckpoint(opts_.checkpoint_path);
+  if (!loaded.ok()) {
+    // No file yet is the normal first-run case; anything else is a hostile
+    // or stale checkpoint - keep the reason and start fresh.
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      checkpoint_status_ = loaded.status();
+    }
+    return;
+  }
+  CheckpointState st = std::move(*loaded);
+  const bool identity_ok =
+      st.info.width == info_.width && st.info.height == info_.height &&
+      st.info.frame_count == info_.frame_count &&
+      std::lround(st.info.fps * 1000.0) == std::lround(info_.fps * 1000.0);
+  if (!identity_ok) {
+    checkpoint_status_ =
+        Status(StatusCode::kFailedPrecondition,
+               "checkpoint was written for a different stream "
+               "(dimensions, frame count, or fps mismatch)")
+            .WithContext("checkpoint " + opts_.checkpoint_path);
+    return;
+  }
+  for (int q : st.quarantined) {
+    quarantine_[static_cast<std::size_t>(q)] = 1;
+  }
+  quarantined_count_ = static_cast<int>(st.quarantined.size());
+  stats_.frames_quarantined = quarantined_count_;
+  resume_frames_ = st.frames_done;
+  LeakShard base = ZeroShard(pixels_);
+  base.counts = std::move(st.counts);
+  base.sum_r = std::move(st.sum_r);
+  base.sum_g = std::move(st.sum_g);
+  base.sum_b = std::move(st.sum_b);
+  base.sum_r2 = std::move(st.sum_r2);
+  base.sum_g2 = std::move(st.sum_g2);
+  base.sum_b2 = std::move(st.sum_b2);
+  resume_base_ = std::move(base);
+  result_.per_frame_leak_fraction = std::move(st.per_frame_leak_fraction);
+  stats_.resumed = true;
+  stats_.resume_frames_done = resume_frames_;
+  if (trace::Enabled()) {
+    trace::AddCounter("recover.resumed_frames",
+                      static_cast<std::uint64_t>(resume_frames_));
+  }
 }
 
 void StreamingReconstructor::BeginPass(int pass) {
@@ -88,17 +173,25 @@ void StreamingReconstructor::CheckOrder(int frame_index) {
   ++next_frame_;
 }
 
+bool StreamingReconstructor::SkipFrame(int frame_index) const {
+  if (quarantine_[static_cast<std::size_t>(frame_index)] != 0) return true;
+  // Resumed frames are already decomposed into resume_base_; the cheap
+  // analysis/caller passes still see them (their state is rebuilt fresh).
+  return current_pass_ == analysis_passes_ + 1 &&
+         frame_index < resume_frames_;
+}
+
 void StreamingReconstructor::PushFrame(const Image& frame, int frame_index) {
+  CheckOrder(frame_index);
+  if (SkipFrame(frame_index)) return;
   if (current_pass_ == analysis_passes_ + 1) {
-    CheckOrder(frame_index);
     Image buffer = pool_.AcquireImage(info_.width, info_.height);
     const auto src = frame.pixels();
     const auto dst = buffer.pixels();
     std::copy(src.begin(), src.end(), dst.begin());
-    PushWindowed(std::move(buffer));
+    PushWindowed(std::move(buffer), frame_index);
     return;
   }
-  CheckOrder(frame_index);
   if (current_pass_ < analysis_passes_) {
     segmenter_.PushAnalysisFrame(current_pass_, frame, frame_index);
   } else {
@@ -112,14 +205,58 @@ void StreamingReconstructor::PushFrame(const Image& frame, int frame_index) {
 void StreamingReconstructor::PushFrame(Image&& frame, int frame_index) {
   if (current_pass_ == analysis_passes_ + 1) {
     CheckOrder(frame_index);
-    PushWindowed(std::move(frame));
+    if (SkipFrame(frame_index)) {
+      // Recycle the caller's buffer; the frame contributes nothing.
+      pool_.Release(std::move(frame));
+      return;
+    }
+    PushWindowed(std::move(frame), frame_index);
     return;
   }
   PushFrame(static_cast<const Image&>(frame), frame_index);
 }
 
-void StreamingReconstructor::PushWindowed(Image frame) {
+Status StreamingReconstructor::PushBadFrame(int frame_index,
+                                            const Status& reason) {
+  CheckOrder(frame_index);
+  ++stats_.bad_frame_events;
+  if (trace::Enabled()) trace::AddCounter("fault.bad_frame_events", 1);
+  if (quarantine_[static_cast<std::size_t>(frame_index)] == 0) {
+    quarantine_[static_cast<std::size_t>(frame_index)] = 1;
+    ++quarantined_count_;
+    stats_.frames_quarantined = quarantined_count_;
+    if (trace::Enabled()) trace::AddCounter("recover.frames_quarantined", 1);
+  }
+  if (bad_budget_ >= 0 && quarantined_count_ > bad_budget_) {
+    return Status(StatusCode::kAborted,
+                  "bad-frame budget exceeded: " +
+                      std::to_string(quarantined_count_) + " of " +
+                      std::to_string(info_.frame_count) +
+                      " frames quarantined (budget " +
+                      std::to_string(bad_budget_) +
+                      "); last error: " + reason.ToString());
+  }
+  return OkStatus();
+}
+
+bool StreamingReconstructor::IsQuarantined(int frame_index) const {
+  return frame_index >= 0 &&
+         static_cast<std::size_t>(frame_index) < quarantine_.size() &&
+         quarantine_[static_cast<std::size_t>(frame_index)] != 0;
+}
+
+std::vector<int> StreamingReconstructor::QuarantinedFrames() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(quarantined_count_));
+  for (std::size_t i = 0; i < quarantine_.size(); ++i) {
+    if (quarantine_[i] != 0) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+void StreamingReconstructor::PushWindowed(Image frame, int frame_index) {
   ++stats_.frames_pushed;
+  window_ids_.push_back(frame_index);
   pool_.Release(window_->Push(std::move(frame)));
   if (window_->size() == window_->capacity()) FlushWindow();
 }
@@ -132,30 +269,23 @@ void StreamingReconstructor::FlushWindow() {
   const int first = window_->first_index();
   const std::size_t needed =
       static_cast<std::size_t>(common::NumShards(count));
-  while (shards_.size() < needed) {
-    LeakShard s;
-    s.sum_r.assign(pixels_, 0.0);
-    s.sum_g.assign(pixels_, 0.0);
-    s.sum_b.assign(pixels_, 0.0);
-    s.sum_r2.assign(pixels_, 0.0);
-    s.sum_g2.assign(pixels_, 0.0);
-    s.sum_b2.assign(pixels_, 0.0);
-    s.counts.assign(pixels_, 0);
-    shards_.push_back(std::move(s));
-  }
+  while (shards_.size() < needed) shards_.push_back(ZeroShard(pixels_));
 
   // Decomposition dominates the pipeline cost; shard the resident frame
   // range across threads, each accumulating privately into a shard that
   // persists across flushes. Per-frame outputs index into preallocated
-  // slots, so writes are disjoint.
+  // slots, so writes are disjoint. Window slot k holds original frame
+  // window_ids_[k]; the two diverge once quarantined or resumed frames are
+  // skipped.
   common::ParallelShards(
       0, count, /*grain=*/1,
       [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
         LeakShard& a = shards_[static_cast<std::size_t>(shard)];
         for (std::int64_t k = shard_begin; k < shard_end; ++k) {
-          const int i = first + static_cast<int>(k);
-          DecomposeWindowFrame(i, a);
-          auto pf = window_->at(i).pixels();
+          const int wi = first + static_cast<int>(k);
+          const int fi = window_ids_[static_cast<std::size_t>(k)];
+          DecomposeWindowFrame(wi, fi, a);
+          auto pf = window_->at(wi).pixels();
           auto pl = a.scratch.lb.pixels();
           std::size_t leaked = 0;
           for (std::size_t p = 0; p < pl.size(); ++p) {
@@ -169,20 +299,71 @@ void StreamingReconstructor::FlushWindow() {
             a.sum_g2[p] += static_cast<double>(pf[p].g) * pf[p].g;
             a.sum_b2[p] += static_cast<double>(pf[p].b) * pf[p].b;
           }
-          result_.per_frame_leak_fraction[static_cast<std::size_t>(i)] =
+          result_.per_frame_leak_fraction[static_cast<std::size_t>(fi)] =
               static_cast<double>(leaked) / static_cast<double>(pl.size());
           if (opts_.recon.keep_frame_masks) {
-            result_.frame_masks[static_cast<std::size_t>(i)] =
+            result_.frame_masks[static_cast<std::size_t>(fi)] =
                 std::move(a.scratch);
           }
         }
       });
   window_->Clear(&pool_);
+  if (!opts_.checkpoint_path.empty()) {
+    // Every frame up to the newest one just decomposed is now covered by
+    // the combined accumulators (quarantined frames by the saved list).
+    SaveCheckpointNow(window_ids_.back() + 1);
+  }
+  window_ids_.clear();
 }
 
-void StreamingReconstructor::DecomposeWindowFrame(int frame_index,
+void StreamingReconstructor::SaveCheckpointNow(int frames_done) {
+  CheckpointState st;
+  st.info = info_;
+  st.frames_done = frames_done;
+  for (int i = 0; i < info_.frame_count; ++i) {
+    if (quarantine_[static_cast<std::size_t>(i)] != 0) {
+      st.quarantined.push_back(i);
+    }
+  }
+  st.counts.assign(pixels_, 0);
+  st.sum_r.assign(pixels_, 0.0);
+  st.sum_g.assign(pixels_, 0.0);
+  st.sum_b.assign(pixels_, 0.0);
+  st.sum_r2.assign(pixels_, 0.0);
+  st.sum_g2.assign(pixels_, 0.0);
+  st.sum_b2.assign(pixels_, 0.0);
+  const auto add = [&](const LeakShard& a) {
+    for (std::size_t k = 0; k < pixels_; ++k) {
+      st.counts[k] += a.counts[k];
+      st.sum_r[k] += a.sum_r[k];
+      st.sum_g[k] += a.sum_g[k];
+      st.sum_b[k] += a.sum_b[k];
+      st.sum_r2[k] += a.sum_r2[k];
+      st.sum_g2[k] += a.sum_g2[k];
+      st.sum_b2[k] += a.sum_b2[k];
+    }
+  };
+  if (resume_base_) add(*resume_base_);
+  for (const LeakShard& a : shards_) add(a);
+  st.per_frame_leak_fraction = result_.per_frame_leak_fraction;
+
+  const Status saved = SaveCheckpoint(st, opts_.checkpoint_path);
+  if (saved.ok()) {
+    ++stats_.checkpoint_writes;
+    if (trace::Enabled()) trace::AddCounter("recover.checkpoint_writes", 1);
+  } else {
+    // A failing checkpoint sink degrades resumability, not the run itself.
+    ++stats_.checkpoint_write_failures;
+    if (trace::Enabled()) {
+      trace::AddCounter("recover.checkpoint_write_failures", 1);
+    }
+  }
+}
+
+void StreamingReconstructor::DecomposeWindowFrame(int window_index,
+                                                  int frame_index,
                                                   LeakShard& shard) {
-  const Image& frame = window_->at(frame_index);
+  const Image& frame = window_->at(window_index);
   FrameDecomposition& d = shard.scratch;
   {
     const trace::ScopedTimer timer("reconstruct.vbm");
@@ -250,18 +431,14 @@ ReconstructionResult StreamingReconstructor::Finalize() {
   current_pass_ = TotalPasses();  // guard against reuse without Begin()
 
   // Deterministic serial reduction in shard order (exact: see LeakShard).
+  // The resumed base joins at the front; integer-valued addition makes the
+  // order immaterial to the bits.
   const trace::ScopedTimer finalize_timer("reconstruct.finalize");
-  if (shards_.empty()) {
-    LeakShard s;
-    s.sum_r.assign(pixels_, 0.0);
-    s.sum_g.assign(pixels_, 0.0);
-    s.sum_b.assign(pixels_, 0.0);
-    s.sum_r2.assign(pixels_, 0.0);
-    s.sum_g2.assign(pixels_, 0.0);
-    s.sum_b2.assign(pixels_, 0.0);
-    s.counts.assign(pixels_, 0);
-    shards_.push_back(std::move(s));
+  if (resume_base_) {
+    shards_.insert(shards_.begin(), std::move(*resume_base_));
+    resume_base_.reset();
   }
+  if (shards_.empty()) shards_.push_back(ZeroShard(pixels_));
   LeakShard& total = shards_.front();
   for (std::size_t s = 1; s < shards_.size(); ++s) {
     const LeakShard& a = shards_[s];
@@ -336,38 +513,58 @@ ReconstructionResult StreamingReconstructor::Finalize() {
     trace::AddCounter("stream.pool_hits", stats_.pool_hits);
     trace::AddCounter("stream.pool_misses", stats_.pool_misses);
   }
+  // A completed run supersedes its checkpoint.
+  if (!opts_.checkpoint_path.empty()) {
+    (void)std::remove(opts_.checkpoint_path.c_str());
+  }
   return std::move(result_);
 }
 
-ReconstructionResult StreamingReconstructor::Run(video::FrameSource& source) {
-  Begin(source.info());
-  const int total_passes = TotalPasses();
-  const int n = info_.frame_count;
-  for (int pass = 0; pass < total_passes; ++pass) {
-    source.Reset();
-    BeginPass(pass);
-    if (pass == analysis_passes_ + 1) {
-      // Windowed pass: pull directly into pooled buffers and move them into
-      // the window (allocation-free at steady state).
-      Image buffer = pool_.AcquireImage(info_.width, info_.height);
-      int i = 0;
-      while (i < n && source.Next(buffer)) {
-        PushFrame(std::move(buffer), i);
-        ++i;
-        buffer = pool_.AcquireImage(info_.width, info_.height);
-      }
-      pool_.Release(std::move(buffer));
-    } else {
-      Image buffer;
-      int i = 0;
-      while (i < n && source.Next(buffer)) {
-        PushFrame(buffer, i);
-        ++i;
-      }
+Result<ReconstructionResult> StreamingReconstructor::Run(
+    video::FrameSource& source) {
+  try {
+    Begin(source.info());
+    if (bad_budget_ >= 0 && quarantined_count_ > bad_budget_) {
+      return Status(StatusCode::kAborted,
+                    "bad-frame budget exceeded before any pull: " +
+                        std::to_string(quarantined_count_) +
+                        " frames quarantined by the resumed checkpoint "
+                        "(budget " +
+                        std::to_string(bad_budget_) + ")");
     }
-    EndPass(pass);
+    const int total_passes = TotalPasses();
+    const int n = info_.frame_count;
+    for (int pass = 0; pass < total_passes; ++pass) {
+      source.Reset();
+      BeginPass(pass);
+      const bool windowed = pass == analysis_passes_ + 1;
+      // Windowed pass pulls directly into pooled buffers and moves them
+      // into the window (allocation-free at steady state).
+      Image buffer =
+          windowed ? pool_.AcquireImage(info_.width, info_.height) : Image();
+      for (int i = 0; i < n; ++i) {
+        const video::FramePull pull = source.Pull(buffer);
+        if (pull.status == video::PullStatus::kEnd) break;
+        if (pull.status == video::PullStatus::kBad) {
+          const Status budget = PushBadFrame(i, pull.error);
+          if (!budget.ok()) return budget;
+          continue;
+        }
+        if (windowed) {
+          PushFrame(std::move(buffer), i);
+          buffer = pool_.AcquireImage(info_.width, info_.height);
+        } else {
+          PushFrame(buffer, i);
+        }
+      }
+      if (windowed) pool_.Release(std::move(buffer));
+      EndPass(pass);
+    }
+    return Finalize();
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kResourceExhausted,
+                  "out of memory during streaming reconstruction");
   }
-  return Finalize();
 }
 
 }  // namespace bb::core

@@ -18,12 +18,35 @@
 //   pass A+1       - windowed decomposition + leak accumulation
 // Run() drives all passes; the Begin/BeginPass/PushFrame/EndPass/Finalize
 // surface is public for callers that push frames as they arrive.
+//
+// Fault tolerance (DESIGN.md section 11):
+//   * A frame reported bad (PushBadFrame, or a kBad pull inside Run) is
+//     *quarantined*: excluded from every pass - analysis, caller prep, and
+//     decomposition - so the final output is bit-identical to a clean run
+//     over the surviving frames, at any thread count or window size. The
+//     quarantine is sticky across passes; schedule-driven injected faults
+//     fire on every pass by construction, so a frame is consistently in or
+//     out of the whole computation.
+//   * An error budget (max_bad_frames / max_bad_fraction) bounds how much
+//     degradation is acceptable; one quarantine past the budget fails the
+//     run with a structured kAborted status.
+//   * With checkpoint_path set, per-pass progress is serialized after every
+//     window flush (write-temp-then-rename; see core/checkpoint.h) and
+//     Begin() resumes from a valid checkpoint, fast-forwarding the
+//     decomposition pass with bit-identical final output. A hostile or
+//     stale checkpoint is discarded with a structured reason
+//     (checkpoint_status()) and the run starts fresh.
+//   * With no faults, budgets, or checkpoint configured, all of this is a
+//     few integer compares per frame - outputs are byte-identical to the
+//     pre-fault-tolerance pipeline.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/trace.h"
 #include "core/reconstruction.h"
 #include "imaging/image.h"
@@ -37,10 +60,24 @@ struct StreamingOptions {
   // never by the call length.
   int window_frames = 64;
   ReconstructionOptions recon;
+
+  // Error budget: the run fails (kAborted) once more than this many frames
+  // are quarantined. max_bad_frames is absolute (-1 = unlimited);
+  // max_bad_fraction is a fraction of the stream's frame count (< 0 =
+  // unlimited). When both are set the tighter one wins.
+  int max_bad_frames = -1;
+  double max_bad_fraction = -1.0;
+
+  // When non-empty, decomposition progress is checkpointed here after every
+  // window flush and Begin() resumes from the file when it matches the
+  // stream. Incompatible with recon.keep_frame_masks (per-frame masks are
+  // not serialized).
+  std::string checkpoint_path;
 };
 
 // Observability counters for the streaming run (also mirrored into
-// bb.trace.v1 as stream.* counters when tracing is enabled).
+// bb.trace.v1 as stream.*, fault.*, and recover.* counters when tracing is
+// enabled).
 struct StreamingStats {
   int window_capacity = 0;
   int peak_window_frames = 0;
@@ -49,6 +86,15 @@ struct StreamingStats {
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
   bool raw_masks_cached = false;
+
+  // Degradation accounting.
+  std::uint64_t bad_frame_events = 0;  // bad pushes/pulls across all passes
+  int frames_quarantined = 0;          // unique frames excluded from the run
+  // Checkpoint/resume accounting.
+  bool resumed = false;
+  int resume_frames_done = 0;  // decomposition cursor restored from the file
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_write_failures = 0;
 };
 
 class StreamingReconstructor {
@@ -58,23 +104,38 @@ class StreamingReconstructor {
                          segmentation::PersonSegmenter& segmenter,
                          const StreamingOptions& opts = {});
 
-  // Drives every pass over a rewindable source and finalizes.
-  ReconstructionResult Run(video::FrameSource& source);
+  // Drives every pass over a rewindable source and finalizes. Bad pulls are
+  // quarantined via PushBadFrame; the run fails only when the error budget
+  // is exceeded (kAborted) or frame memory runs out (kResourceExhausted).
+  Result<ReconstructionResult> Run(video::FrameSource& source);
 
   // Incremental protocol (Run() is a wrapper around these). For each pass
-  // p in [0, TotalPasses()): BeginPass(p), push every frame in order,
-  // EndPass(p); then Finalize().
+  // p in [0, TotalPasses()): BeginPass(p), push every frame in order -
+  // PushFrame for a readable frame, PushBadFrame for an unreadable one -
+  // then EndPass(p); then Finalize().
   void Begin(const video::StreamInfo& info);
   int TotalPasses() const;
   void BeginPass(int pass);
   // Copying push (the frame is copied into a pooled buffer on the windowed
-  // pass) and zero-copy move push.
+  // pass) and zero-copy move push. Quarantined frames are skipped.
   void PushFrame(const imaging::Image& frame, int frame_index);
   void PushFrame(imaging::Image&& frame, int frame_index);
+  // Records `frame_index` as unreadable (reason in `reason`) and takes this
+  // pass's slot for it. First report quarantines the frame; the returned
+  // status is non-OK (kAborted) once the quarantine exceeds the error
+  // budget, and the run's outputs are then meaningless.
+  Status PushBadFrame(int frame_index, const Status& reason);
   void EndPass(int pass);
   ReconstructionResult Finalize();
 
+  bool IsQuarantined(int frame_index) const;
+  // Ascending frame indices currently quarantined.
+  std::vector<int> QuarantinedFrames() const;
+
   const StreamingStats& stats() const { return stats_; }
+  // Why the configured checkpoint was not resumed from (OK when it was, or
+  // when none was configured / none existed yet). Valid after Begin().
+  const Status& checkpoint_status() const { return checkpoint_status_; }
 
  private:
   // Per-shard leak accumulator + reusable decomposition scratch. All sums
@@ -89,9 +150,16 @@ class StreamingReconstructor {
   };
 
   void CheckOrder(int frame_index);
-  void PushWindowed(imaging::Image frame);
+  // True when the frame takes its in-order slot but must not contribute to
+  // the current pass (quarantined, or already covered by a checkpoint).
+  bool SkipFrame(int frame_index) const;
+  void PushWindowed(imaging::Image frame, int frame_index);
   void FlushWindow();
-  void DecomposeWindowFrame(int frame_index, LeakShard& shard);
+  void DecomposeWindowFrame(int window_index, int frame_index,
+                            LeakShard& shard);
+  static LeakShard ZeroShard(std::size_t pixels);
+  void SaveCheckpointNow(int frames_done);
+  void TryResumeFromCheckpoint();
 
   const VbReference& reference_;
   segmentation::PersonSegmenter& segmenter_;
@@ -105,7 +173,22 @@ class StreamingReconstructor {
   int next_frame_ = 0;
   bool cache_raw_masks_ = false;
 
+  // Degradation state: quarantine bitmap + unique count + derived budget.
+  std::vector<std::uint8_t> quarantine_;
+  int quarantined_count_ = 0;
+  int bad_budget_ = -1;  // max allowed quarantined frames; -1 = unlimited
+
+  // Resume state: frames below resume_frames_ are already decomposed and
+  // their combined accumulators live in resume_base_.
+  int resume_frames_ = 0;
+  std::optional<LeakShard> resume_base_;
+  Status checkpoint_status_;
+
   std::optional<video::FrameWindow> window_;
+  // Original frame index of each resident window slot, oldest first. With
+  // quarantined or resumed frames skipped, window slots are no longer
+  // contiguous in stream indices; this carries the mapping into FlushWindow.
+  std::vector<int> window_ids_;
   video::BufferPool pool_;
   std::vector<imaging::Bitmap> raw_cache_;
   std::vector<LeakShard> shards_;

@@ -137,7 +137,14 @@ VbReference VbReference::DeriveImageStreaming(video::FrameSource& source,
   video::StaticLayerAccumulator acc(
       video::ConsistencyOptions{channel_tolerance});
   imaging::Image frame;
-  while (source.Next(frame)) acc.Push(frame);
+  for (;;) {
+    const video::FramePull pull = source.Pull(frame);
+    if (pull.status == video::PullStatus::kEnd) break;
+    // Degrade: an unreadable frame just shortens the stability runs it
+    // would have joined; the static layer comes from the survivors.
+    if (pull.status == video::PullStatus::kBad) continue;
+    acc.Push(frame);
+  }
   const auto layer = acc.Finalize(min_stable_run);
   VbReference ref;
   ref.derived_ = true;

@@ -249,6 +249,40 @@ std::optional<Image> ReadImageAuto(const std::string& path) {
   return ReadPpm(path);
 }
 
+namespace {
+
+// Wraps one of the error-out-param readers as a Result, classifying the
+// error text: "cannot open" means the file is absent (kNotFound);
+// everything else means the bytes were there but unusable (kDataLoss).
+Result<Image> LoadWith(
+    std::optional<Image> (*reader)(const std::string&, std::string*),
+    const std::string& path) {
+  std::string error;
+  if (auto img = reader(path, &error)) return std::move(*img);
+  const StatusCode code = error.find("cannot open") != std::string::npos
+                              ? StatusCode::kNotFound
+                              : StatusCode::kDataLoss;
+  return Status(code, error.empty() ? "read failed" : error)
+      .WithContext("load " + path);
+}
+
+}  // namespace
+
+Result<Image> LoadPpm(const std::string& path) {
+  return LoadWith(&ReadPpm, path);
+}
+
+Result<Image> LoadPng(const std::string& path) {
+  return LoadWith(&ReadPng, path);
+}
+
+Result<Image> LoadImageAuto(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".png") == 0) {
+    return LoadPng(path);
+  }
+  return LoadPpm(path);
+}
+
 std::optional<std::string> WriteImageAuto(const Image& img,
                                           const std::string& path_base) {
   if (PngSupported()) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "common/status.h"
 #include "imaging/image.h"
 
 namespace bb::imaging {
@@ -48,6 +49,15 @@ std::optional<Image> ReadPng(const std::string& path,
 
 // Reads by extension: .png via ReadPng, anything else via ReadPpm.
 std::optional<Image> ReadImageAuto(const std::string& path);
+
+// Status-returning loaders over the readers above: the same validation, but
+// a failed load carries the reason (code + "ppm:"/"png:"-prefixed message
+// with the path attached) instead of a bare nullopt. A missing file is
+// kNotFound; a malformed or truncated one is kDataLoss.
+Result<Image> LoadPpm(const std::string& path);
+Result<Image> LoadPng(const std::string& path);
+// By extension, like ReadImageAuto.
+Result<Image> LoadImageAuto(const std::string& path);
 
 // Convenience: writes PNG when supported, else PPM with the extension
 // swapped to .ppm. Returns the path actually written, or nullopt on failure.

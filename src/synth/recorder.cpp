@@ -153,21 +153,21 @@ RecorderSource::RecorderSource(ScriptedRecordingSpec spec)
 RecorderSource::RecorderSource(const RecordingSpec& spec)
     : RecorderSource(ToScripted(spec)) {}
 
-void RecorderSource::Reset() {
+void RecorderSource::DoReset() {
   segment_ = 0;
   frame_in_segment_ = 0;
   Rng rng(spec_.seed);
   camera_rng_ = rng.Fork(1);
 }
 
-bool RecorderSource::Next(Image& frame) {
+video::FramePull RecorderSource::DoPull(Image& frame) {
   while (segment_ < static_cast<int>(segment_frames_.size()) &&
          frame_in_segment_ >=
              segment_frames_[static_cast<std::size_t>(segment_)]) {
     ++segment_;
     frame_in_segment_ = 0;
   }
-  if (segment_ >= static_cast<int>(segment_frames_.size())) return false;
+  if (segment_ >= static_cast<int>(segment_frames_.size())) return {};
 
   const ScriptSegment& seg =
       spec_.script[static_cast<std::size_t>(segment_)];
@@ -176,7 +176,7 @@ bool RecorderSource::Next(Image& frame) {
                          frame_in_segment_, std::max(1, spec_.motion_samples),
                          camera_rng_, nullptr, nullptr);
   ++frame_in_segment_;
-  return true;
+  return {video::PullStatus::kFrame, OkStatus()};
 }
 
 }  // namespace bb::synth

@@ -81,11 +81,13 @@ class RecorderSource final : public video::FrameSource {
   explicit RecorderSource(const RecordingSpec& spec);
 
   video::StreamInfo info() const override { return info_; }
-  bool Next(imaging::Image& frame) override;
-  void Reset() override;
 
   // Scene ground truth (object layout, pristine background render).
   const RenderedScene& scene() const { return scene_; }
+
+ protected:
+  video::FramePull DoPull(imaging::Image& frame) override;
+  void DoReset() override;
 
  private:
   ScriptedRecordingSpec spec_;

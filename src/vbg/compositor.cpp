@@ -221,18 +221,18 @@ CompositorSource::CompositorSource(const synth::RawRecording& raw,
   Reset();
 }
 
-void CompositorSource::Reset() {
+void CompositorSource::DoReset() {
   next_ = 0;
   engine_.emplace(opts_.profile.matting, opts_.seed);
   recording_rng_ = synth::Rng(opts_.seed ^ 0xEC0DEull);
 }
 
-bool CompositorSource::Next(Image& frame) {
-  if (next_ >= info_.frame_count) return false;
+video::FramePull CompositorSource::DoPull(Image& frame) {
+  if (next_ >= info_.frame_count) return {};
   frame = CompositeOneFrame(*raw_, *vb_, opts_, next_, *engine_,
                             recording_rng_, nullptr);
   ++next_;
-  return true;
+  return {video::PullStatus::kFrame, OkStatus()};
 }
 
 }  // namespace bb::vbg

@@ -103,8 +103,10 @@ class CompositorSource final : public video::FrameSource {
                    const CompositeOptions& opts = {});
 
   video::StreamInfo info() const override { return info_; }
-  bool Next(imaging::Image& frame) override;
-  void Reset() override;
+
+ protected:
+  video::FramePull DoPull(imaging::Image& frame) override;
+  void DoReset() override;
 
  private:
   const synth::RawRecording* raw_;

@@ -1,8 +1,13 @@
 #include "video/frame_source.h"
 
 #include <algorithm>
+#include <new>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "common/faultinject.h"
+#include "common/trace.h"
 
 namespace bb::video {
 
@@ -16,21 +21,71 @@ void CopyInto(const imaging::Image& src, imaging::Image& dst) {
   std::copy(in.begin(), in.end(), out.begin());
 }
 
+// Maps an injected fault at the generic "source" point to the Status a real
+// failure of that kind would produce.
+Status SourceFaultStatus(faultinject::FaultKind kind, int frame_index) {
+  const std::string where = "frame " + std::to_string(frame_index);
+  switch (kind) {
+    case faultinject::FaultKind::kTruncate:
+      return Status(StatusCode::kDataLoss, "short read (injected)")
+          .WithContext(where);
+    case faultinject::FaultKind::kCorrupt:
+      return Status(StatusCode::kDataLoss, "corrupt payload (injected)")
+          .WithContext(where);
+    case faultinject::FaultKind::kFail:
+      break;
+  }
+  return Status(StatusCode::kIoError, "read failed (injected)")
+      .WithContext(where);
+}
+
+// The "alloc" injection point shared by both Acquire overloads: counts one
+// acquisition and throws when it is scheduled to fail. Any scheduled kind
+// maps to bad_alloc - there is only one way an allocation fails.
+void MaybeInjectAllocFault() {
+  if (!faultinject::Enabled()) return;
+  if (faultinject::At("alloc", faultinject::NextCount("alloc"))) {
+    if (trace::Enabled()) trace::AddCounter("fault.injected.alloc", 1);
+    throw std::bad_alloc();
+  }
+}
+
 }  // namespace
+
+FramePull FrameSource::Pull(imaging::Image& frame) {
+  const int index = cursor_;
+  FramePull pull = DoPull(frame);
+  if (pull.status == PullStatus::kEnd) return pull;
+  ++cursor_;
+  if (pull.status == PullStatus::kFrame && faultinject::Enabled()) {
+    if (const auto kind = faultinject::At("source", index)) {
+      if (trace::Enabled()) trace::AddCounter("fault.injected.source", 1);
+      pull.status = PullStatus::kBad;
+      pull.error = SourceFaultStatus(*kind, index);
+    }
+  }
+  return pull;
+}
+
+void FrameSource::Reset() {
+  cursor_ = 0;
+  DoReset();
+}
 
 StreamInfo VideoStreamSource::info() const {
   return StreamInfo{stream_->width(), stream_->height(),
                     stream_->frame_count(), stream_->fps()};
 }
 
-bool VideoStreamSource::Next(imaging::Image& frame) {
-  if (next_ >= stream_->frame_count()) return false;
+FramePull VideoStreamSource::DoPull(imaging::Image& frame) {
+  if (next_ >= stream_->frame_count()) return FramePull{};
   CopyInto(stream_->frame(next_), frame);
   ++next_;
-  return true;
+  return FramePull{PullStatus::kFrame, OkStatus()};
 }
 
 imaging::Image BufferPool::AcquireImage(int width, int height) {
+  MaybeInjectAllocFault();
   if (!images_.empty()) {
     imaging::Image buffer = std::move(images_.back());
     images_.pop_back();
@@ -49,6 +104,7 @@ void BufferPool::Release(imaging::Image buffer) {
 }
 
 imaging::Bitmap BufferPool::AcquireBitmap(int width, int height) {
+  MaybeInjectAllocFault();
   if (!bitmaps_.empty()) {
     imaging::Bitmap buffer = std::move(bitmaps_.back());
     bitmaps_.pop_back();

@@ -8,11 +8,22 @@
 // for in-memory streams (VideoStreamSource), .bbv files
 // (serialize.h: BbvFileSource) and the synthesizers (synth::RecorderSource,
 // vbg::CompositorSource).
+//
+// Fault tolerance: Pull() distinguishes a *bad* frame (present in the
+// stream but unreadable - short read, failed integrity check, injected
+// fault) from end-of-stream, and attaches a structured bb::Status reason.
+// Bad frames consume their stream position, so a consumer can skip them and
+// keep pulling; the legacy Next() wrapper collapses both outcomes to false
+// for callers that only stream until the first problem. The base class owns
+// the pull cursor and the "source" fault-injection point (keyed by frame
+// index, so an injected fault fires identically on every pass); subclasses
+// implement DoPull/DoReset only.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "imaging/image.h"
 #include "video/video.h"
 
@@ -27,18 +38,51 @@ struct StreamInfo {
   double fps = 30.0;
 };
 
+// Outcome of one FrameSource::Pull.
+enum class PullStatus {
+  kFrame,  // `frame` holds the next frame
+  kEnd,    // end of stream; `frame` untouched
+  kBad,    // this stream position is unreadable; `error` says why
+};
+
+struct FramePull {
+  PullStatus status = PullStatus::kEnd;
+  Status error;  // non-OK exactly when status == kBad
+};
+
 class FrameSource {
  public:
   virtual ~FrameSource() = default;
 
   virtual StreamInfo info() const = 0;
 
-  // Overwrites `frame` with the next frame (reshaping it if needed) and
-  // returns true, or returns false at end of stream leaving `frame` alone.
-  virtual bool Next(imaging::Image& frame) = 0;
+  // Pulls the next stream position. On kFrame, `frame` is overwritten with
+  // the next frame (reshaped if needed). On kBad the position is consumed
+  // (the following Pull targets the next frame) and `error` carries the
+  // reason. On kEnd, `frame` is left alone.
+  FramePull Pull(imaging::Image& frame);
+
+  // Legacy presence-only pull: true exactly when Pull() yields a frame.
+  // A bad frame reads as end-of-stream, which preserves the historical
+  // stop-at-first-problem behavior for non-fault-aware callers.
+  bool Next(imaging::Image& frame) {
+    return Pull(frame).status == PullStatus::kFrame;
+  }
 
   // Rewinds to the first frame so another pass can be pulled.
-  virtual void Reset() = 0;
+  void Reset();
+
+  // Frame index the next Pull() will target.
+  int cursor() const { return cursor_; }
+
+ protected:
+  // Subclass hook for Pull(); same contract, minus the cursor bookkeeping
+  // and fault injection, which the base class owns.
+  virtual FramePull DoPull(imaging::Image& frame) = 0;
+  virtual void DoReset() = 0;
+
+ private:
+  int cursor_ = 0;
 };
 
 // Adapter over an in-memory VideoStream (borrowed; must outlive the source).
@@ -47,8 +91,10 @@ class VideoStreamSource final : public FrameSource {
   explicit VideoStreamSource(const VideoStream& stream) : stream_(&stream) {}
 
   StreamInfo info() const override;
-  bool Next(imaging::Image& frame) override;
-  void Reset() override { next_ = 0; }
+
+ protected:
+  FramePull DoPull(imaging::Image& frame) override;
+  void DoReset() override { next_ = 0; }
 
  private:
   const VideoStream* stream_;
@@ -58,7 +104,9 @@ class VideoStreamSource final : public FrameSource {
 // Free-list of frame/mask buffers so steady-state streaming recycles a fixed
 // set of allocations instead of allocating per frame. Released buffers keep
 // their stale contents; Acquire* hands them back for the caller to overwrite
-// (a shape mismatch reallocates and counts as a miss).
+// (a shape mismatch reallocates and counts as a miss). Carries the "alloc"
+// fault-injection point: a scheduled alloc fault surfaces as std::bad_alloc,
+// exactly what a real allocation failure would throw.
 class BufferPool {
  public:
   imaging::Image AcquireImage(int width, int height);

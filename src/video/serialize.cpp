@@ -5,13 +5,19 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "common/faultinject.h"
+#include "common/trace.h"
 
 namespace bb::video {
 
 namespace {
 
 constexpr char kMagic[4] = {'B', 'B', 'V', '1'};
+constexpr std::streamoff kHeaderBytes = 20;
 
 void PutU32(std::ostream& out, std::uint32_t v) {
   const std::array<char, 4> bytes = {
@@ -29,6 +35,10 @@ std::optional<std::uint32_t> GetU32(std::istream& in) {
          (static_cast<std::uint32_t>(bytes[1]) << 8) |
          (static_cast<std::uint32_t>(bytes[2]) << 16) |
          (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+Status HeaderError(const std::string& what) {
+  return Status(StatusCode::kDataLoss, what);
 }
 
 }  // namespace
@@ -57,38 +67,76 @@ bool WriteBbv(const VideoStream& video, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-std::optional<VideoStream> ReadBbv(const std::string& path) {
+Result<VideoStream> LoadBbv(const std::string& path) {
   auto source = BbvFileSource::Open(path);
-  if (!source) return std::nullopt;
+  if (!source.ok()) return source.status();
   VideoStream video(source->info().fps);
   imaging::Image frame;
-  while (source->Next(frame)) video.AddFrame(std::move(frame));
+  for (;;) {
+    const FramePull pull = source->Pull(frame);
+    if (pull.status == PullStatus::kEnd) break;
+    if (pull.status == PullStatus::kBad) {
+      return pull.error.WithContext("load " + path);
+    }
+    video.AddFrame(std::move(frame));
+  }
   if (video.frame_count() != source->info().frame_count) {
-    return std::nullopt;  // truncated mid-read
+    return Status(StatusCode::kDataLoss,
+                  "stream ended after " +
+                      std::to_string(video.frame_count()) + " of " +
+                      std::to_string(source->info().frame_count) +
+                      " declared frames")
+        .WithContext("load " + path);
   }
   return video;
 }
 
-std::optional<BbvFileSource> BbvFileSource::Open(const std::string& path) {
-  constexpr std::streamoff kHeaderBytes = 20;
+std::optional<VideoStream> ReadBbv(const std::string& path) {
+  auto loaded = LoadBbv(path);
+  if (!loaded.ok()) return std::nullopt;
+  return std::move(loaded).value();
+}
+
+Result<BbvFileSource> BbvFileSource::Open(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    return Status(StatusCode::kNotFound, "cannot open file")
+        .WithContext("open " + path);
+  }
+  const auto reject = [&path](const Status& status) {
+    return status.WithContext("open " + path);
+  };
   char magic[4] = {};
   in.read(magic, 4);
-  if (in.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
-    return std::nullopt;
+  if (in.gcount() != 4) {
+    return reject(
+        HeaderError("truncated header: file shorter than the 4-byte magic"));
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return reject(HeaderError("bad magic at byte 0 (want BBV1)"));
   }
   const auto width = GetU32(in);
   const auto height = GetU32(in);
   const auto frames = GetU32(in);
   const auto fps_mhz = GetU32(in);
-  if (!width || !height || !frames || !fps_mhz) return std::nullopt;
-  if (*fps_mhz == 0) return std::nullopt;
+  if (!width || !height || !frames || !fps_mhz) {
+    return reject(
+        HeaderError("truncated header: fewer than 20 bytes before payload"));
+  }
+  if (*fps_mhz == 0) {
+    return reject(HeaderError("invalid header: fps is zero (bytes 16-19)"));
+  }
   // An empty stream legitimately has zero dimensions.
-  if (*frames > 0 && (*width == 0 || *height == 0)) return std::nullopt;
+  if (*frames > 0 && (*width == 0 || *height == 0)) {
+    return reject(HeaderError(
+        "invalid header: zero frame dimensions with a nonzero frame count "
+        "(bytes 4-11)"));
+  }
   // Refuse absurd headers rather than attempting a huge allocation.
   if (*width > 16384 || *height > 16384 || *frames > 1000000) {
-    return std::nullopt;
+    return reject(HeaderError(
+        "implausible header: dimensions or frame count exceed format limits "
+        "(bytes 4-15)"));
   }
   // Reject truncated payloads upfront: the header-declared frame count is
   // part of the StreamInfo contract, so the bytes must all be present.
@@ -99,7 +147,14 @@ std::optional<BbvFileSource> BbvFileSource::Open(const std::string& path) {
   if (file_size < kHeaderBytes ||
       static_cast<std::uint64_t>(file_size - kHeaderBytes) <
           frame_bytes * *frames) {
-    return std::nullopt;
+    const std::uint64_t have =
+        file_size < kHeaderBytes
+            ? 0
+            : static_cast<std::uint64_t>(file_size - kHeaderBytes);
+    return reject(HeaderError(
+        "truncated payload: " + std::to_string(have) +
+        " bytes after the header, " + std::to_string(frame_bytes * *frames) +
+        " declared (payload starts at byte 20)"));
   }
 
   BbvFileSource source;
@@ -109,19 +164,64 @@ std::optional<BbvFileSource> BbvFileSource::Open(const std::string& path) {
                  static_cast<int>(*frames), *fps_mhz / 1000.0};
   source.buf_.resize(static_cast<std::size_t>(frame_bytes));
   source.Reset();
-  return std::optional<BbvFileSource>(std::move(source));
+  return Result<BbvFileSource>(std::move(source));
 }
 
-void BbvFileSource::Reset() {
+void BbvFileSource::DoReset() {
   in_.clear();
-  in_.seekg(20, std::ios::beg);
+  in_.seekg(kHeaderBytes, std::ios::beg);
   next_ = 0;
 }
 
-bool BbvFileSource::Next(imaging::Image& frame) {
-  if (next_ >= info_.frame_count) return false;
+FramePull BbvFileSource::DoPull(imaging::Image& frame) {
+  if (next_ >= info_.frame_count) return FramePull{};
+  const int index = next_;
+  ++next_;
+  const std::streamoff frame_off =
+      kHeaderBytes +
+      static_cast<std::streamoff>(index) *
+          static_cast<std::streamoff>(buf_.size());
+
+  // Keeps the file cursor aligned to the next frame whatever happened to
+  // this one, so one unreadable frame never cascades.
+  const auto realign = [this, frame_off] {
+    in_.clear();
+    in_.seekg(frame_off + static_cast<std::streamoff>(buf_.size()),
+              std::ios::beg);
+  };
+
   in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-  if (static_cast<std::size_t>(in_.gcount()) != buf_.size()) return false;
+  const std::size_t got = static_cast<std::size_t>(in_.gcount());
+  if (got != buf_.size()) {
+    // Open() verified the payload length, so a short read means the file
+    // changed underneath us (or the medium failed). Report and realign.
+    realign();
+    return FramePull{
+        PullStatus::kBad,
+        Status(StatusCode::kDataLoss,
+               "short read: got " + std::to_string(got) + " of " +
+                   std::to_string(buf_.size()) + " bytes at byte " +
+                   std::to_string(frame_off))
+            .WithContext("frame " + std::to_string(index))};
+  }
+  if (faultinject::Enabled()) {
+    if (const auto kind = faultinject::At("read", index)) {
+      if (trace::Enabled()) trace::AddCounter("fault.injected.read", 1);
+      const char* what =
+          *kind == faultinject::FaultKind::kTruncate
+              ? "short read (injected)"
+              : *kind == faultinject::FaultKind::kCorrupt
+                    ? "payload integrity check failed (injected)"
+                    : "read failed (injected)";
+      return FramePull{
+          PullStatus::kBad,
+          Status(*kind == faultinject::FaultKind::kFail
+                     ? StatusCode::kIoError
+                     : StatusCode::kDataLoss,
+                 std::string(what) + " at byte " + std::to_string(frame_off))
+              .WithContext("frame " + std::to_string(index))};
+    }
+  }
   if (frame.width() != info_.width || frame.height() != info_.height) {
     frame = imaging::Image(info_.width, info_.height);
   }
@@ -131,8 +231,7 @@ bool BbvFileSource::Next(imaging::Image& frame) {
              static_cast<std::uint8_t>(buf_[3 * k + 1]),
              static_cast<std::uint8_t>(buf_[3 * k + 2])};
   }
-  ++next_;
-  return true;
+  return FramePull{PullStatus::kFrame, OkStatus()};
 }
 
 }  // namespace bb::video

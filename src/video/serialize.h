@@ -14,6 +14,12 @@
 //
 // The format is intentionally uncompressed: deterministic, seekable and
 // dependency-free. PNG/PPM dumps of single frames live in imaging/io.h.
+//
+// Failure reporting: Open()/LoadBbv() return bb::Result carrying a named
+// error with the byte offset of the rejected structure ("bad magic at byte
+// 0", "truncated payload: ..."), so the CLI can print *why* a file was
+// rejected. ReadBbv stays as a thin optional wrapper for callers that only
+// care about presence.
 #pragma once
 
 #include <fstream>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "video/frame_source.h"
 #include "video/video.h"
 
@@ -29,23 +36,36 @@ namespace bb::video {
 // Writes the stream; false on I/O failure (the file may be partial).
 bool WriteBbv(const VideoStream& video, const std::string& path);
 
-// Reads a stream; nullopt on missing file, bad magic, or truncation.
-// Implemented as a drain of BbvFileSource, so it shares the hostile-header
-// validation below.
+// Reads a whole stream, with the reason for any rejection. Implemented as a
+// drain of BbvFileSource, so it shares the hostile-header validation below;
+// a frame that fails to decode mid-stream fails the whole load (batch
+// loading has no quarantine - stream the file to skip bad frames).
+Result<VideoStream> LoadBbv(const std::string& path);
+
+// Presence-only wrapper over LoadBbv.
 std::optional<VideoStream> ReadBbv(const std::string& path);
 
-// Streamed .bbv reader: decodes one frame per Next() into a caller-provided
-// buffer, so a call is attacked without ever materializing it. Open()
-// applies the same hostile-input checks as ReadBbv (bad magic, zero fps,
-// zero/absurd dimensions, truncated payload — the file size must cover every
-// header-declared frame).
+// Streamed .bbv reader: decodes one frame per Pull()/Next() into a
+// caller-provided buffer, so a call is attacked without ever materializing
+// it. Open() applies the full hostile-input validation (bad magic, zero
+// fps, zero/absurd dimensions, truncated payload - the file size must cover
+// every header-declared frame) and names the offending byte range on
+// rejection. The decoder carries the "read" fault-injection point, keyed by
+// frame index; an unreadable frame is reported as PullStatus::kBad with the
+// file position attached, and the read cursor stays frame-aligned so the
+// following frames remain pullable.
 class BbvFileSource final : public FrameSource {
  public:
-  static std::optional<BbvFileSource> Open(const std::string& path);
+  static Result<BbvFileSource> Open(const std::string& path);
 
   StreamInfo info() const override { return info_; }
-  bool Next(imaging::Image& frame) override;
-  void Reset() override;
+
+  BbvFileSource(BbvFileSource&&) = default;
+  BbvFileSource& operator=(BbvFileSource&&) = default;
+
+ protected:
+  FramePull DoPull(imaging::Image& frame) override;
+  void DoReset() override;
 
  private:
   BbvFileSource() = default;

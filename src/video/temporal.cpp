@@ -159,17 +159,30 @@ std::optional<int> DetectLoopPeriodStreaming(FrameSource& source,
   source.Reset();
   FrameWindow ring(max_period + 1);
   BufferPool pool;
+  std::vector<std::uint8_t> valid(static_cast<std::size_t>(n), 0);
   imaging::Image buf = pool.AcquireImage(si.width, si.height);
   int j = 0;
-  while (j < n && source.Next(buf)) {
+  while (j < n) {
+    const FramePull pull = source.Pull(buf);
+    if (pull.status == PullStatus::kEnd) break;
+    const bool ok = pull.status == PullStatus::kFrame;
+    valid[static_cast<std::size_t>(j)] = ok ? 1 : 0;
+    // Push even a bad frame's placeholder so ring slot j stays aligned with
+    // stream index j; pairs touching an invalid slot are skipped, so its
+    // (stale) pixels are never read.
     pool.Release(ring.Push(std::move(buf)));
-    for (int period = opts.min_period; period <= max_period && period <= j;
-         ++period) {
-      const std::size_t c = static_cast<std::size_t>(period - opts.min_period);
-      const int i = j - period;
-      if (i % stride[c] != 0) continue;
-      sum[c] += ChangedFraction(ring.at(i), ring.at(j), opts.channel_tolerance);
-      ++pairs[c];
+    if (ok) {
+      for (int period = opts.min_period; period <= max_period && period <= j;
+           ++period) {
+        const std::size_t c =
+            static_cast<std::size_t>(period - opts.min_period);
+        const int i = j - period;
+        if (i % stride[c] != 0) continue;
+        if (valid[static_cast<std::size_t>(i)] == 0) continue;
+        sum[c] +=
+            ChangedFraction(ring.at(i), ring.at(j), opts.channel_tolerance);
+        ++pairs[c];
+      }
     }
     ++j;
     buf = pool.AcquireImage(si.width, si.height);
@@ -265,13 +278,25 @@ LoopEstimate EstimateLoopFramesStreaming(FrameSource& source, int period,
       static_cast<int>(std::clamp<std::int64_t>(budget_rows, 1, h));
 
   std::vector<imaging::Image> strips(static_cast<std::size_t>(n));
+  // Phase membership is keyed by the stream index, so an unreadable frame
+  // must keep its slot: it advances the cursor but its strip is marked
+  // absent and drops out of the medians below.
+  std::vector<std::uint8_t> have(static_cast<std::size_t>(n), 0);
   imaging::Image frame;
   std::vector<std::uint8_t> ch_r, ch_g, ch_b;
   for (int y0 = 0; y0 < h; y0 += band_h) {
     const int y1 = std::min(h, y0 + band_h);
     source.Reset();
     int got = 0;
-    while (got < n && source.Next(frame)) {
+    while (got < n) {
+      const FramePull pull = source.Pull(frame);
+      if (pull.status == PullStatus::kEnd) break;
+      if (pull.status == PullStatus::kBad) {
+        have[static_cast<std::size_t>(got)] = 0;
+        ++got;
+        continue;
+      }
+      have[static_cast<std::size_t>(got)] = 1;
       imaging::Image& strip = strips[static_cast<std::size_t>(got)];
       if (strip.width() != w || strip.height() != y1 - y0) {
         strip = imaging::Image(w, y1 - y0);
@@ -287,13 +312,17 @@ LoopEstimate EstimateLoopFramesStreaming(FrameSource& source, int period,
       imaging::Image& est = out.phase_frames[static_cast<std::size_t>(phase)];
       imaging::Bitmap& valid = out.phase_valid[static_cast<std::size_t>(phase)];
       int occurrences = 0;
-      for (int i = phase; i < got; i += period) ++occurrences;
+      for (int i = phase; i < got; i += period) {
+        if (have[static_cast<std::size_t>(i)] != 0) ++occurrences;
+      }
+      if (occurrences == 0) continue;
       for (int dy = 0; dy < y1 - y0; ++dy) {
         for (int x = 0; x < w; ++x) {
           ch_r.clear();
           ch_g.clear();
           ch_b.clear();
           for (int i = phase; i < got; i += period) {
+            if (have[static_cast<std::size_t>(i)] == 0) continue;
             const imaging::Rgb8 p = strips[static_cast<std::size_t>(i)](x, dy);
             ch_r.push_back(p.r);
             ch_g.push_back(p.g);
@@ -305,6 +334,7 @@ LoopEstimate EstimateLoopFramesStreaming(FrameSource& source, int period,
           // Valid when a majority of occurrences agree with the median.
           int agree = 0;
           for (int i = phase; i < got; i += period) {
+            if (have[static_cast<std::size_t>(i)] == 0) continue;
             if (Same(strips[static_cast<std::size_t>(i)](x, dy), med,
                      opts.channel_tolerance)) {
               ++agree;

@@ -1,0 +1,108 @@
+// Deterministic fault-injection registry: schedule grammar, pure frame-keyed
+// lookups, counter-keyed points, and the parse-all-then-swap Configure
+// contract. The registry is process-global, so every test clears it on the
+// way out.
+#include "common/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bb::faultinject {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Clear(); }
+  void TearDown() override { Clear(); }
+};
+
+TEST_F(FaultInjectTest, DisabledByDefault) {
+  EXPECT_FALSE(Enabled());
+  EXPECT_FALSE(At("read", 0).has_value());
+  EXPECT_FALSE(At("source", 7).has_value());
+}
+
+TEST_F(FaultInjectTest, ConfigureInstallsSchedule) {
+  ASSERT_TRUE(Configure("read@7=truncate,read@19=corrupt,alloc@3=fail").ok());
+  EXPECT_TRUE(Enabled());
+  ASSERT_TRUE(At("read", 7).has_value());
+  EXPECT_EQ(*At("read", 7), FaultKind::kTruncate);
+  ASSERT_TRUE(At("read", 19).has_value());
+  EXPECT_EQ(*At("read", 19), FaultKind::kCorrupt);
+  ASSERT_TRUE(At("alloc", 3).has_value());
+  EXPECT_EQ(*At("alloc", 3), FaultKind::kFail);
+  // Unscheduled keys and points stay silent.
+  EXPECT_FALSE(At("read", 8).has_value());
+  EXPECT_FALSE(At("source", 7).has_value());
+}
+
+TEST_F(FaultInjectTest, AtIsAPureLookup) {
+  ASSERT_TRUE(Configure("source@4=fail").ok());
+  // The same key fires on every lookup - nothing is consumed, which is what
+  // keeps a bad frame bad on every pass of a multi-pass consumer.
+  for (int pass = 0; pass < 3; ++pass) {
+    ASSERT_TRUE(At("source", 4).has_value()) << "pass " << pass;
+  }
+  EXPECT_EQ(FiredCount(), 3u);
+}
+
+TEST_F(FaultInjectTest, WhitespaceAroundEntriesIsTolerated) {
+  ASSERT_TRUE(Configure(" read@1=fail , source@2=corrupt ").ok());
+  EXPECT_TRUE(At("read", 1).has_value());
+  EXPECT_TRUE(At("source", 2).has_value());
+}
+
+TEST_F(FaultInjectTest, EmptySpecClears) {
+  ASSERT_TRUE(Configure("read@1=fail").ok());
+  ASSERT_TRUE(Enabled());
+  ASSERT_TRUE(Configure("").ok());
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FaultInjectTest, MalformedSpecNamesTheEntryAndKeepsOldSchedule) {
+  ASSERT_TRUE(Configure("read@1=fail").ok());
+  for (const char* bad :
+       {"read@1", "read1=fail", "@1=fail", "read@x=fail",
+        "read@1=explode", "read@9999999999=fail"}) {
+    const Status status = Configure(std::string("read@2=fail,") + bad);
+    EXPECT_FALSE(status.ok()) << bad;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+    // The error names the offending entry so a bad --faults flag is
+    // actionable.
+    EXPECT_NE(status.message().find(bad), std::string::npos) << bad;
+    // Parse-all-then-swap: the previous schedule is untouched, including
+    // the valid leading entry of the failed spec.
+    EXPECT_TRUE(At("read", 1).has_value()) << bad;
+    EXPECT_FALSE(At("read", 2).has_value()) << bad;
+  }
+}
+
+TEST_F(FaultInjectTest, NextCountAdvancesPerPointAndResetsOnConfigure) {
+  ASSERT_TRUE(Configure("alloc@1=fail").ok());
+  EXPECT_EQ(NextCount("alloc"), 0);
+  EXPECT_EQ(NextCount("alloc"), 1);
+  EXPECT_EQ(NextCount("read"), 0);  // independent counter per point
+  EXPECT_EQ(NextCount("alloc"), 2);
+  // A fresh schedule always starts from occurrence zero.
+  ASSERT_TRUE(Configure("alloc@0=fail").ok());
+  EXPECT_EQ(NextCount("alloc"), 0);
+}
+
+TEST_F(FaultInjectTest, FiredCountTracksHitsOnly) {
+  ASSERT_TRUE(Configure("read@5=truncate").ok());
+  EXPECT_EQ(FiredCount(), 0u);
+  (void)At("read", 4);  // miss
+  EXPECT_EQ(FiredCount(), 0u);
+  (void)At("read", 5);  // hit
+  EXPECT_EQ(FiredCount(), 1u);
+}
+
+TEST_F(FaultInjectTest, KindNames) {
+  EXPECT_STREQ(ToString(FaultKind::kFail), "fail");
+  EXPECT_STREQ(ToString(FaultKind::kTruncate), "truncate");
+  EXPECT_STREQ(ToString(FaultKind::kCorrupt), "corrupt");
+}
+
+}  // namespace
+}  // namespace bb::faultinject

@@ -1,0 +1,113 @@
+// bb::Status / bb::Result<T> contract: code + message propagation, context
+// chaining, and the optional-shaped Result surface the converted call sites
+// rely on.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, OkStatus());
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  const Status s(StatusCode::kIoError, "short read");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "short read");
+  EXPECT_EQ(s.ToString(), "IO_ERROR: short read");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "ABORTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, WithContextPrependsAndPreservesCode) {
+  const Status inner(StatusCode::kDataLoss, "bad magic");
+  const Status outer = inner.WithContext("open call.bbv");
+  EXPECT_EQ(outer.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(outer.message(), "open call.bbv: bad magic");
+  // The chain grows outward as the error propagates up the stack.
+  const Status top = outer.WithContext("attack");
+  EXPECT_EQ(top.ToString(), "DATA_LOSS: attack: open call.bbv: bad magic");
+  // The original is untouched (WithContext returns a copy).
+  EXPECT_EQ(inner.message(), "bad magic");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  const Status a(StatusCode::kNotFound, "x");
+  const Status b(StatusCode::kNotFound, "x");
+  const Status c(StatusCode::kNotFound, "y");
+  const Status d(StatusCode::kIoError, "x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(ResultTest, ValuePathBehavesLikeOptional) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(*r, "payload");
+  EXPECT_EQ(r->size(), 7u);
+  EXPECT_EQ(r.value(), "payload");
+  r.value() += "!";
+  EXPECT_EQ(*r, "payload!");
+}
+
+TEST(ResultTest, ErrorPathKeepsStatusAndThrowsOnValue) {
+  const Result<int> r(Status(StatusCode::kDataLoss, "truncated payload"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.has_value());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r.status().message(), "truncated payload");
+  try {
+    (void)r.value();
+    FAIL() << "value() on an error must throw";
+  } catch (const std::runtime_error& e) {
+    // The exception carries the status text so the crash names the cause.
+    EXPECT_NE(std::string(e.what()).find("truncated payload"),
+              std::string::npos);
+  }
+}
+
+TEST(ResultTest, RvalueValueMovesOut) {
+  Result<std::string> r(std::string("move me"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "move me");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusIsAnInternalError) {
+  // A Result must hold either a value or a real error; smuggling OK in
+  // without a value is a caller bug and is surfaced as kInternal.
+  const Result<int> r{OkStatus()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace bb

@@ -78,7 +78,7 @@ TEST_F(StreamingIdentityTest, BitIdenticalToBatchAcrossWindowsAndThreads) {
       opts.window_frames = window;
       StreamingReconstructor streaming(ref, seg, opts);
       video::VideoStreamSource source(f.call.video);
-      const ReconstructionResult rec = streaming.Run(source);
+      const ReconstructionResult rec = streaming.Run(source).value();
       ExpectIdentical(rec, baseline,
                       "threads " + std::to_string(threads) + " window " +
                           std::to_string(window));
@@ -122,7 +122,7 @@ TEST_F(StreamingIdentityTest, VideoVbLoopPeriodPathIsBitIdentical) {
       opts.window_frames = window;
       StreamingReconstructor streaming(*stream_ref, seg, opts);
       video::VideoStreamSource source(call.video);
-      const ReconstructionResult rec = streaming.Run(source);
+      const ReconstructionResult rec = streaming.Run(source).value();
       ExpectIdentical(rec, baseline,
                       "threads " + std::to_string(threads) + " window " +
                           std::to_string(window));
@@ -146,7 +146,7 @@ TEST_F(StreamingIdentityTest, KeepFrameMasksMatchesBatchPerFrame) {
   opts.recon = ropts;
   StreamingReconstructor streaming(ref, seg, opts);
   video::VideoStreamSource source(f.call.video);
-  const ReconstructionResult rec = streaming.Run(source);
+  const ReconstructionResult rec = streaming.Run(source).value();
 
   ExpectIdentical(rec, baseline, "keep_frame_masks window 10");
   ASSERT_EQ(rec.frame_masks.size(), baseline.frame_masks.size());
@@ -166,7 +166,7 @@ TEST(StreamingStatsTest, PeakResidencyBoundedByWindowAndPoolRecycles) {
   opts.window_frames = 10;
   StreamingReconstructor streaming(ref, seg, opts);
   video::VideoStreamSource source(f.call.video);
-  (void)streaming.Run(source);
+  ASSERT_TRUE(streaming.Run(source).ok());
 
   const StreamingStats& stats = streaming.stats();
   EXPECT_EQ(stats.window_capacity, 10);
@@ -189,7 +189,7 @@ TEST(StreamingProtocolTest, WindowCoveringWholeCallCachesRawMasks) {
   opts.window_frames = f.call.video.frame_count();
   StreamingReconstructor streaming(ref, seg, opts);
   video::VideoStreamSource source(f.call.video);
-  (void)streaming.Run(source);
+  ASSERT_TRUE(streaming.Run(source).ok());
   EXPECT_TRUE(streaming.stats().raw_masks_cached);
   EXPECT_EQ(streaming.stats().window_flushes, 1u);
 }
@@ -225,7 +225,7 @@ TEST(StreamingProtocolTest, SegmenterFailuresPropagate) {
   opts.window_frames = 10;
   StreamingReconstructor streaming(ref, seg, opts);
   video::VideoStreamSource source(f.call.video);
-  EXPECT_THROW(streaming.Run(source), std::out_of_range);
+  EXPECT_THROW((void)streaming.Run(source), std::out_of_range);
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+// Known-bad fixture: exactly one no-silent-error-drop violation.
+#include <string>
+
+#include "common/status.h"
+#include "core/checkpoint.h"
+
+void Checkpoint(const bb::core::CheckpointState& state,
+                const std::string& path) {
+  const bb::Status ok = bb::core::SaveCheckpoint(state, path);  // fine
+  (void)ok;
+  bb::core::SaveCheckpoint(state, path);  // the one violation
+}

@@ -24,15 +24,16 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
   return n;
 }
 
-TEST(BblintRegistryTest, SixRulesRegistered) {
+TEST(BblintRegistryTest, SevenRulesRegistered) {
   const auto names = RuleNames();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_EQ(names[0], kRuleNondeterminism);
   EXPECT_EQ(names[1], kRuleRawPixelIndexing);
   EXPECT_EQ(names[2], kRuleFloatAccumulation);
   EXPECT_EQ(names[3], kRuleFloatTruncation);
   EXPECT_EQ(names[4], kRuleHeaderHygiene);
   EXPECT_EQ(names[5], kRuleFullCallMaterialization);
+  EXPECT_EQ(names[6], kRuleSilentErrorDrop);
 }
 
 // --- no-nondeterminism ----------------------------------------------------
@@ -309,6 +310,61 @@ TEST(FullCallMaterializationRuleTest, Suppressed) {
             0);
 }
 
+// --- no-silent-error-drop -------------------------------------------------
+
+TEST(SilentErrorDropRuleTest, FlagsBareStatementCallsToMustCheckFunctions) {
+  EXPECT_EQ(CountRule(Lint("LoadBbv(path);\n"), kRuleSilentErrorDrop), 1);
+  EXPECT_EQ(CountRule(Lint("video::LoadBbv(path);\n"), kRuleSilentErrorDrop),
+            1);
+  EXPECT_EQ(CountRule(Lint("bb::core::SaveCheckpoint(state, path);\n"),
+                      kRuleSilentErrorDrop),
+            1);
+  EXPECT_EQ(CountRule(Lint("faultinject::Configure(spec);\n"),
+                      kRuleSilentErrorDrop),
+            1);
+  EXPECT_EQ(CountRule(Lint("streaming.PushBadFrame(i, reason);\n"),
+                      kRuleSilentErrorDrop),
+            0);  // method calls on an object are out of scope for the regex
+  EXPECT_EQ(CountRule(Lint("PushBadFrame(i, reason);\n"),
+                      kRuleSilentErrorDrop),
+            1);
+}
+
+TEST(SilentErrorDropRuleTest, FlagsBareWithContext) {
+  EXPECT_EQ(
+      CountRule(Lint("status.WithContext(\"load\");\n"), kRuleSilentErrorDrop),
+      1);
+  EXPECT_EQ(CountRule(Lint("return status.WithContext(\"load\");\n"),
+                      kRuleSilentErrorDrop),
+            0);
+}
+
+TEST(SilentErrorDropRuleTest, ConsumedResultsAreClean) {
+  EXPECT_EQ(CountRule(Lint("const auto call = LoadBbv(path);\n"),
+                      kRuleSilentErrorDrop),
+            0);
+  EXPECT_EQ(CountRule(Lint("return LoadBbv(path);\n"), kRuleSilentErrorDrop),
+            0);
+  EXPECT_EQ(CountRule(Lint("if (LoadBbv(path).ok()) {\n"),
+                      kRuleSilentErrorDrop),
+            0);
+  EXPECT_EQ(
+      CountRule(Lint("(void)SaveCheckpoint(state, path);\n"),
+                kRuleSilentErrorDrop),
+      0);
+  EXPECT_EQ(CountRule(Lint("ASSERT_TRUE(LoadBbv(path).ok());\n",
+                           "tests/video/serialize_test.cpp"),
+                      kRuleSilentErrorDrop),
+            0);
+}
+
+TEST(SilentErrorDropRuleTest, Suppressed) {
+  EXPECT_EQ(
+      CountRule(Lint("LoadBbv(path);  // bblint: allow(no-silent-error-drop)\n"),
+                kRuleSilentErrorDrop),
+      0);
+}
+
 // --- suppression mechanics ------------------------------------------------
 
 TEST(SuppressionTest, AllowAllSilencesEveryRule) {
@@ -360,7 +416,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"raw_index.cpp", kRuleRawPixelIndexing},
         FixtureCase{"float_accum.cpp", kRuleFloatAccumulation},
         FixtureCase{"float_trunc.cpp", kRuleFloatTruncation},
-        FixtureCase{"header.h", kRuleHeaderHygiene}),
+        FixtureCase{"header.h", kRuleHeaderHygiene},
+        FixtureCase{"error_drop.cpp", kRuleSilentErrorDrop}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.rule;
       for (char& c : name) {

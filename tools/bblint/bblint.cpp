@@ -491,6 +491,52 @@ void CheckFullCallMaterialization(const FileView& v,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-silent-error-drop
+// ---------------------------------------------------------------------------
+
+// bb::Status and bb::Result are [[nodiscard]] at the type level, so the
+// compiler flags most dropped errors. This rule closes the remaining gap:
+// a *bare statement* call to one of the curated must-check functions -
+// the shape `LoadBbv(path);` where nothing consumes the result. The
+// curated list names the error-returning entry points whose failure always
+// matters; an intentional drop must say so with an explicit (void) cast
+// (which also reads as intent) or a bblint allow().
+void CheckSilentErrorDrop(const FileView& v, std::vector<Finding>* out) {
+  static const std::regex kBareCall(
+      R"(^\s*(?:\w+\s*::\s*)*)"
+      R"((SaveCheckpoint|LoadCheckpoint|LoadBbv|LoadPpm|LoadPng|LoadImageAuto|Configure|PushBadFrame|WriteBbv)\s*\()");
+  static const std::regex kBareWithContext(
+      R"(^\s*[A-Za-z_][\w.]*(?:\.|->)\s*WithContext\s*\()");
+
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    const std::string& line = v.stripped_lines[i];
+    // Anything that consumes the value: assignment/initialization (also
+    // covers comparisons - conservative), return, an explicit void cast,
+    // or a test macro wrapping the call.
+    if (line.find('=') != std::string::npos) continue;
+    if (line.find("return") != std::string::npos) continue;
+    if (line.find("(void)") != std::string::npos) continue;
+    if (line.find("EXPECT_") != std::string::npos ||
+        line.find("ASSERT_") != std::string::npos) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(line, m, kBareCall)) {
+      out->push_back(
+          {v.path, static_cast<int>(i + 1), kRuleSilentErrorDrop,
+           "result of " + m[1].str() +
+               "() is dropped; check the Status/Result (or cast to (void) "
+               "to document an intentional drop)"});
+    } else if (std::regex_search(line, kBareWithContext)) {
+      out->push_back(
+          {v.path, static_cast<int>(i + 1), kRuleSilentErrorDrop,
+           "WithContext() returns a new Status; calling it as a bare "
+           "statement drops both the context and the error"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -507,6 +553,7 @@ const std::vector<Rule>& Registry() {
       {kRuleFloatTruncation, CheckFloatTruncation},
       {kRuleHeaderHygiene, CheckHeaderHygiene},
       {kRuleFullCallMaterialization, CheckFullCallMaterialization},
+      {kRuleSilentErrorDrop, CheckSilentErrorDrop},
   };
   return kRules;
 }

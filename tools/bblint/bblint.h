@@ -24,6 +24,12 @@
 //                                `const VideoStream&` or pull them via
 //                                video::FrameSource, but never own or grow a
 //                                VideoStream (that is O(call) memory again).
+//   no-silent-error-drop       - Status/Result returns are [[nodiscard]] at
+//                                the type level; this rule catches the bare
+//                                statement calls to the curated must-check
+//                                error-returning functions (LoadBbv,
+//                                SaveCheckpoint, Configure, ...) that a
+//                                legacy pattern could still drop silently.
 //
 // False positives are silenced per line with
 //     // bblint: allow(<rule>[, <rule>...])
@@ -45,6 +51,7 @@ inline constexpr const char* kRuleFloatTruncation = "no-float-truncation";
 inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
 inline constexpr const char* kRuleFullCallMaterialization =
     "no-full-call-materialization";
+inline constexpr const char* kRuleSilentErrorDrop = "no-silent-error-drop";
 
 struct Finding {
   std::string file;     // repo-relative path, forward slashes

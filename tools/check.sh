@@ -6,13 +6,17 @@
 #      bench-smoke label, which gets its own step)
 #   2. bench smoke runs + bb.bench.v1 report schema validation
 #   3. streaming smoke bench: one StreamingReconstructor run whose
-#      bb.bench.v1 report must carry the stream.* memory gauges (fails on
-#      schema drift via report_check --require-memory)
-#   4. ThreadSanitizer build, determinism / parallel-runtime suites
-#   5. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#      bb.bench.v1 report must carry the stream.* memory gauges and the
+#      fault-injection degradation gauges (fails on schema drift via
+#      report_check --require-memory / --require-degradation)
+#   4. chaos smoke: end-to-end CLI run under an injected fault schedule -
+#      quarantine must degrade gracefully, a tight --max-bad-frames budget
+#      must fail with a structured error - plus the seeded chaos test label
+#   5. ThreadSanitizer build, determinism / parallel-runtime suites
+#   6. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   6. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   7. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
 #
 # Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
 # created as build-check, build-check-tsan, build-check-ubsan)
@@ -32,7 +36,7 @@ ctest --test-dir build-check --output-on-failure -j "$JOBS" -LE bench-smoke
 step "bench smoke runs + report schema validation"
 ctest --test-dir build-check --output-on-failure -j "$JOBS" -L bench-smoke
 
-step "streaming smoke bench + memory-gauge schema validation"
+step "streaming smoke bench + memory/degradation-gauge schema validation"
 STREAM_REPORT_DIR="build-check/stream-smoke"
 mkdir -p "$STREAM_REPORT_DIR"
 BB_BENCH_SMOKE=1 BB_THREADS=2 BB_BENCH_REPORT_DIR="$STREAM_REPORT_DIR" \
@@ -45,7 +49,31 @@ build-check/tools/report_check \
   --require-memory stream.window_flushes \
   --require-memory stream.pool_hits \
   --require-memory stream.pool_misses \
+  --require-degradation stream.frames_quarantined \
+  --require-degradation stream.bad_frame_events \
+  --require-degradation stream.faults_fired \
   "$STREAM_REPORT_DIR/BENCH_perf.json"
+
+step "chaos smoke: fault injection, graceful degradation, error budget"
+CHAOS_DIR="build-check/chaos-smoke"
+mkdir -p "$CHAOS_DIR"
+build-check/apps/backbuster simulate --out "$CHAOS_DIR/call.bbv" \
+  --duration 4 --action arm_wave
+build-check/apps/backbuster attack --in "$CHAOS_DIR/call.bbv" \
+  --stream --window 16 --out "$CHAOS_DIR/degraded" \
+  --faults 'source@2=fail,source@11=corrupt,source@30=truncate' \
+  --max-bad-frames 10% | tee "$CHAOS_DIR/attack.out"
+grep -q 'degraded: 3 of' "$CHAOS_DIR/attack.out"
+# One quarantine past the budget must fail the run with a structured error.
+if build-check/apps/backbuster attack --in "$CHAOS_DIR/call.bbv" \
+     --stream --window 16 --out "$CHAOS_DIR/budget" \
+     --faults 'source@2=fail,source@11=corrupt,source@30=truncate' \
+     --max-bad-frames 1 2> "$CHAOS_DIR/budget.err"; then
+  echo 'chaos smoke: budget-exceeded attack unexpectedly succeeded' >&2
+  exit 1
+fi
+grep -q 'bad-frame budget exceeded' "$CHAOS_DIR/budget.err"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" -L chaos
 
 step "ThreadSanitizer build + determinism/parallel suites"
 cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON

@@ -1,6 +1,7 @@
 // Schema validator for machine-readable bench reports (bb.bench.v1).
 //
-//   report_check [--require-memory KEY ...] FILE.json [FILE.json ...]
+//   report_check [--require-memory KEY ...] [--require-degradation KEY ...]
+//                FILE.json [FILE.json ...]
 //
 // Parses each file with a small self-contained JSON parser (strict: no
 // trailing commas, no comments, no trailing garbage) and checks the
@@ -12,6 +13,9 @@
 //   - "memory" object: number-or-null values (empty for benches that do
 //     not measure memory); --require-memory KEY (repeatable) additionally
 //     demands KEY to be present as a number in every checked file
+//   - "degradation" object: number-or-null values (empty for benches that
+//     do not exercise fault injection); --require-degradation KEY
+//     (repeatable) works like --require-memory
 //   - "trace" object with "schema": "bb.trace.v1", "stages" (objects
 //     carrying at least an integer "calls") and "counters" (integers)
 // Exits 0 only when every file validates; prints one line per problem.
@@ -255,6 +259,7 @@ class Parser {
 int g_problems = 0;
 const char* g_file = "";
 std::vector<std::string> g_required_memory_keys;
+std::vector<std::string> g_required_degradation_keys;
 
 void Problem(const std::string& what) {
   std::fprintf(stderr, "%s: %s\n", g_file, what.c_str());
@@ -368,6 +373,19 @@ void CheckReport(const Value& root) {
       Problem("memory." + key + " required but not a number");
     }
   }
+  const Value* degradation = RequireObject(root, "degradation");
+  CheckValues(degradation, "degradation", /*allow_string=*/false,
+              /*allow_number=*/true, /*allow_bool=*/false,
+              /*allow_null=*/true);
+  for (const std::string& key : g_required_degradation_keys) {
+    const Value* v =
+        degradation == nullptr ? nullptr : degradation->Find(key.c_str());
+    if (v == nullptr) {
+      Problem("degradation." + key + " required but missing");
+    } else if (v->kind != Kind::kNumber) {
+      Problem("degradation." + key + " required but not a number");
+    }
+  }
   CheckTrace(root);
 }
 
@@ -412,11 +430,21 @@ int main(int argc, char** argv) {
       g_required_memory_keys.emplace_back(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--require-degradation") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "report_check: --require-degradation needs a key\n");
+        return 2;
+      }
+      g_required_degradation_keys.emplace_back(argv[++i]);
+      continue;
+    }
     files.push_back(argv[i]);
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: report_check [--require-memory KEY ...] FILE.json "
+                 "usage: report_check [--require-memory KEY ...] "
+                 "[--require-degradation KEY ...] FILE.json "
                  "[FILE.json ...]\n");
     return 2;
   }
