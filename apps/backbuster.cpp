@@ -32,6 +32,7 @@
 #include "segmentation/segmenter.h"
 #include "vbg/compositor.h"
 #include "vbg/dynamic_background.h"
+#include "video/container.h"
 #include "video/serialize.h"
 
 using namespace bb;
@@ -103,6 +104,8 @@ int Simulate(const cli::Args& args) {
         "  --vb NAME          beach|office|space|gradient|forest (beach)\n"
         "  --profile NAME     zoom | skype (default zoom)\n"
         "  --dynamic          apply the dynamic-VB mitigation\n"
+        "  --format V         container format: v2 (indexed, deduplicating,\n"
+        "                     seekable) or v1 (flat legacy) (default v2)\n"
         "  --duration S       seconds (default 12)\n"
         "  --fps F            frames/second (default 12)\n"
         "  --width W --height H   resolution (default 192x144)\n"
@@ -151,6 +154,10 @@ int Simulate(const cli::Args& args) {
   if (dynamic_vb) {
     copts.adapter = vbg::MakeDynamicVbAdapter({}, c.scene_seed ^ 0xD1ull);
   }
+  const std::string format = args.Get("format", "v2");
+  if (format != "v1" && format != "v2") {
+    return Fail("unknown --format " + format + " (want v1 or v2)");
+  }
   const std::string truth_base = args.Get("truth-out", *out + ".truth");
   if (const int rc = RejectUnknown(args)) return rc;
 
@@ -160,8 +167,10 @@ int Simulate(const cli::Args& args) {
   const vbg::CompositedCall call =
       vbg::ApplyVirtualBackground(raw, vb, copts);
 
-  if (!video::WriteBbv(call.video, *out)) {
-    return Fail("cannot write " + *out);
+  if (const Status wrote = format == "v1" ? video::WriteBbv(call.video, *out)
+                                          : video::WriteBbv2(call.video, *out);
+      !wrote.ok()) {
+    return Fail(wrote.ToString());
   }
   // Ground truth as PPM (the attack command can read it back).
   if (!imaging::WritePpm(raw.true_background, truth_base + ".ppm")) {
@@ -364,11 +373,20 @@ int Info(const cli::Args& args) {
   const auto in = args.Get("in");
   if (!in) return Fail("info requires --in <file.bbv>");
   if (const int rc = RejectUnknown(args)) return rc;
-  const auto call = video::LoadBbv(*in);
-  if (!call.ok()) return Fail(call.status().ToString());
-  std::printf("%s: %d frames, %dx%d @ %.2f fps, %.1f s\n", in->c_str(),
-              call->frame_count(), call->width(), call->height(),
-              call->fps(), call->duration());
+  // Open as a source (index only) rather than loading every frame.
+  auto source = video::BbvFileSource::Open(*in);
+  if (!source.ok()) return Fail(source.status().ToString());
+  const video::StreamInfo info = source->info();
+  const double duration = info.fps > 0.0 ? info.frame_count / info.fps : 0.0;
+  std::printf("%s: %d frames, %dx%d @ %.2f fps, %.1f s (BBV%d)\n",
+              in->c_str(), info.frame_count, info.width, info.height,
+              info.fps, duration, source->version());
+  if (source->version() == 2) {
+    const auto layout = video::InspectBbv2(*in);
+    if (!layout.ok()) return Fail(layout.status().ToString());
+    std::printf("  %d unique frames stored (dedup ratio %.2fx)\n",
+                layout->blob_count(), layout->DedupRatio());
+  }
   return 0;
 }
 

@@ -239,6 +239,17 @@ Status StreamingReconstructor::PushBadFrame(int frame_index,
   return OkStatus();
 }
 
+void StreamingReconstructor::SkipResumedPrefix(int frame_index) {
+  if (current_pass_ != analysis_passes_ + 1 || next_frame_ != 0 ||
+      frame_index < 0 || frame_index > resume_frames_ ||
+      frame_index > info_.frame_count) {
+    throw std::logic_error(
+        "StreamingReconstructor: SkipResumedPrefix outside the resumed "
+        "decomposition prefix");
+  }
+  next_frame_ = frame_index;
+}
+
 bool StreamingReconstructor::IsQuarantined(int frame_index) const {
   return frame_index >= 0 &&
          static_cast<std::size_t>(frame_index) < quarantine_.size() &&
@@ -538,11 +549,28 @@ Result<ReconstructionResult> StreamingReconstructor::Run(
       source.Reset();
       BeginPass(pass);
       const bool windowed = pass == analysis_passes_ + 1;
+      // Resumed-prefix fast-forward: the decomposition pass skips frames
+      // the checkpoint already covers, so a seekable source (indexed .bbv,
+      // in-memory stream) need not even decode them. Bit-identical to
+      // pulling and discarding the prefix - skipped frames contribute
+      // nothing to this pass either way.
+      int start = 0;
+      if (windowed && resume_frames_ > 0 && source.CanSeek()) {
+        const int skip_to = std::min(resume_frames_, n);
+        if (source.Seek(skip_to).ok()) {
+          SkipResumedPrefix(skip_to);
+          start = skip_to;
+          if (trace::Enabled()) {
+            trace::AddCounter("recover.seek_skipped_frames",
+                              static_cast<std::uint64_t>(skip_to));
+          }
+        }
+      }
       // Windowed pass pulls directly into pooled buffers and moves them
       // into the window (allocation-free at steady state).
       Image buffer =
           windowed ? pool_.AcquireImage(info_.width, info_.height) : Image();
-      for (int i = 0; i < n; ++i) {
+      for (int i = start; i < n; ++i) {
         const video::FramePull pull = source.Pull(buffer);
         if (pull.status == video::PullStatus::kEnd) break;
         if (pull.status == video::PullStatus::kBad) {

@@ -125,6 +125,14 @@ class StreamingReconstructor {
   // status is non-OK (kAborted) once the quarantine exceeds the error
   // budget, and the run's outputs are then meaningless.
   Status PushBadFrame(int frame_index, const Status& reason);
+  // Declares that frames [0, frame_index) will not be pushed on the
+  // current pass because the resumed checkpoint already covers them - the
+  // seekable-source fast path (video::FrameSource::Seek) that skips
+  // decoding the prefix entirely. Only legal on the decomposition pass,
+  // before any frame of the pass was pushed, and only up to the resumed
+  // cursor; the final output is bit-identical to pushing (and skipping)
+  // the prefix frame by frame.
+  void SkipResumedPrefix(int frame_index);
   void EndPass(int pass);
   ReconstructionResult Finalize();
 

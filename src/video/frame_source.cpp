@@ -72,6 +72,27 @@ void FrameSource::Reset() {
   DoReset();
 }
 
+Status FrameSource::Seek(int frame) {
+  if (!CanSeek()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "source does not support seeking");
+  }
+  if (frame < 0 || frame > info().frame_count) {
+    return Status(StatusCode::kInvalidArgument,
+                  "seek to frame " + std::to_string(frame) +
+                      " outside the stream's " +
+                      std::to_string(info().frame_count) + " frames");
+  }
+  if (const Status sought = DoSeek(frame); !sought.ok()) return sought;
+  cursor_ = frame;
+  return OkStatus();
+}
+
+Status FrameSource::DoSeek(int /*frame*/) {
+  return Status(StatusCode::kFailedPrecondition,
+                "source does not support seeking");
+}
+
 StreamInfo VideoStreamSource::info() const {
   return StreamInfo{stream_->width(), stream_->height(),
                     stream_->frame_count(), stream_->fps()};

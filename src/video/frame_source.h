@@ -72,6 +72,19 @@ class FrameSource {
   // Rewinds to the first frame so another pass can be pulled.
   void Reset();
 
+  // True when Seek() is O(1) random access (indexed .bbv files, in-memory
+  // streams). Sources that can only replay from the start (the
+  // synthesizers) report false and Seek() fails structurally.
+  virtual bool CanSeek() const { return false; }
+
+  // Positions the cursor so the next Pull() targets `frame` without
+  // decoding the prefix. `frame` may be info().frame_count (the next Pull
+  // reports kEnd). kFailedPrecondition when !CanSeek(), kInvalidArgument
+  // when out of range; the cursor is unchanged on failure. Frame-keyed
+  // fault injection is position-based, so a fault scheduled for frame k
+  // fires on a seeked pull of k exactly as on a linear one.
+  Status Seek(int frame);
+
   // Frame index the next Pull() will target.
   int cursor() const { return cursor_; }
 
@@ -80,6 +93,9 @@ class FrameSource {
   // and fault injection, which the base class owns.
   virtual FramePull DoPull(imaging::Image& frame) = 0;
   virtual void DoReset() = 0;
+  // Subclass hook for Seek(); only called with an in-range `frame` on a
+  // CanSeek() source, after which the base class moves the cursor.
+  virtual Status DoSeek(int frame);
 
  private:
   int cursor_ = 0;
@@ -91,10 +107,15 @@ class VideoStreamSource final : public FrameSource {
   explicit VideoStreamSource(const VideoStream& stream) : stream_(&stream) {}
 
   StreamInfo info() const override;
+  bool CanSeek() const override { return true; }
 
  protected:
   FramePull DoPull(imaging::Image& frame) override;
   void DoReset() override { next_ = 0; }
+  Status DoSeek(int frame) override {
+    next_ = frame;
+    return OkStatus();
+  }
 
  private:
   const VideoStream* stream_;

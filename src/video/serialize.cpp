@@ -1,6 +1,7 @@
 #include "video/serialize.h"
 
 #include <array>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -11,13 +12,11 @@
 
 #include "common/faultinject.h"
 #include "common/trace.h"
+#include "video/container.h"
 
 namespace bb::video {
 
 namespace {
-
-constexpr char kMagic[4] = {'B', 'B', 'V', '1'};
-constexpr std::streamoff kHeaderBytes = 20;
 
 void PutU32(std::ostream& out, std::uint32_t v) {
   const std::array<char, 4> bytes = {
@@ -41,18 +40,45 @@ Status HeaderError(const std::string& what) {
   return Status(StatusCode::kDataLoss, what);
 }
 
+// "write failed at byte N: <OS reason>" - the write path names where it
+// stopped just like the readers name what they rejected.
+Status WriteIoError(const std::string& what, std::uint64_t at_byte) {
+  const int err = errno;
+  std::string message = what + " at byte " + std::to_string(at_byte);
+  if (err != 0) {
+    message += ": ";
+    message += std::strerror(err);
+  }
+  return Status(StatusCode::kIoError, message);
+}
+
 }  // namespace
 
-bool WriteBbv(const VideoStream& video, const std::string& path) {
+Status WriteBbv(const VideoStream& video, const std::string& path) {
+  const auto context = [&path](Status status) {
+    return status.WithContext("write " + path);
+  };
+  // Refuse to write a header the reader would reject (or that would wrap
+  // the u32 header fields) instead of silently truncating the values.
+  if (const Status valid =
+          ValidateStreamForWrite(video.width(), video.height(),
+                                 video.frame_count(), video.fps());
+      !valid.ok()) {
+    return valid.WithContext("write " + path);
+  }
+
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out.write(kMagic, 4);
+  if (!out) return context(WriteIoError("cannot open for writing", 0));
+  out.write(kBbv1Magic, 4);
   PutU32(out, static_cast<std::uint32_t>(video.width()));
   PutU32(out, static_cast<std::uint32_t>(video.height()));
   PutU32(out, static_cast<std::uint32_t>(video.frame_count()));
   PutU32(out, static_cast<std::uint32_t>(std::lround(video.fps() * 1000.0)));
+  if (!out) return context(WriteIoError("write failed (header)", 0));
 
   std::vector<char> row;
+  std::uint64_t written = static_cast<std::uint64_t>(kBbvHeaderBytes);
   for (int i = 0; i < video.frame_count(); ++i) {
     const imaging::Image& f = video.frame(i);
     row.clear();
@@ -62,9 +88,17 @@ bool WriteBbv(const VideoStream& video, const std::string& path) {
       row.push_back(static_cast<char>(p.g));
       row.push_back(static_cast<char>(p.b));
     }
+    errno = 0;
     out.write(row.data(), static_cast<std::streamsize>(row.size()));
+    if (!out) {
+      return context(WriteIoError(
+          "write failed (frame " + std::to_string(i) + ")", written));
+    }
+    written += row.size();
   }
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) return context(WriteIoError("flush failed", written));
+  return OkStatus();
 }
 
 Result<VideoStream> LoadBbv(const std::string& path) {
@@ -112,8 +146,34 @@ Result<BbvFileSource> BbvFileSource::Open(const std::string& path) {
     return reject(
         HeaderError("truncated header: file shorter than the 4-byte magic"));
   }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
-    return reject(HeaderError("bad magic at byte 0 (want BBV1)"));
+
+  if (std::memcmp(magic, kBbv2Magic, 4) == 0) {
+    // Container v2: the checksummed footer index carries the whole frame
+    // table; all validation lives in container.h.
+    in.clear();
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_size = in.tellg();
+    auto layout =
+        ReadBbv2Layout(in, static_cast<std::uint64_t>(file_size), path);
+    if (!layout.ok()) return layout.status();
+    BbvFileSource source;
+    source.info_ = layout->info;
+    source.version_ = 2;
+    source.buf_.resize(static_cast<std::size_t>(layout->frame_bytes()));
+    source.blob_offsets_ = std::move(layout->blob_offsets);
+    source.blob_hashes_ = std::move(layout->blob_hashes);
+    source.frame_blobs_ = std::move(layout->frame_blobs);
+    source.blob_verified_.assign(source.blob_offsets_.size(), 0);
+    // The layout parse ends at the footer; position the stream back at the
+    // payload explicitly so the first Pull() needs no Reset().
+    in.clear();
+    in.seekg(kBbvHeaderBytes, std::ios::beg);
+    source.in_ = std::move(in);
+    return Result<BbvFileSource>(std::move(source));
+  }
+
+  if (std::memcmp(magic, kBbv1Magic, 4) != 0) {
+    return reject(HeaderError("bad magic at byte 0 (want BBV1 or BBV2)"));
   }
   const auto width = GetU32(in);
   const auto height = GetU32(in);
@@ -133,7 +193,9 @@ Result<BbvFileSource> BbvFileSource::Open(const std::string& path) {
         "(bytes 4-11)"));
   }
   // Refuse absurd headers rather than attempting a huge allocation.
-  if (*width > 16384 || *height > 16384 || *frames > 1000000) {
+  if (*width > static_cast<std::uint32_t>(kMaxBbvDimension) ||
+      *height > static_cast<std::uint32_t>(kMaxBbvDimension) ||
+      *frames > static_cast<std::uint32_t>(kMaxBbvFrameCount)) {
     return reject(HeaderError(
         "implausible header: dimensions or frame count exceed format limits "
         "(bytes 4-15)"));
@@ -144,18 +206,23 @@ Result<BbvFileSource> BbvFileSource::Open(const std::string& path) {
       static_cast<std::uint64_t>(*width) * *height * 3;
   in.seekg(0, std::ios::end);
   const std::streamoff file_size = in.tellg();
-  if (file_size < kHeaderBytes ||
-      static_cast<std::uint64_t>(file_size - kHeaderBytes) <
+  if (file_size < kBbvHeaderBytes ||
+      static_cast<std::uint64_t>(file_size - kBbvHeaderBytes) <
           frame_bytes * *frames) {
     const std::uint64_t have =
-        file_size < kHeaderBytes
+        file_size < kBbvHeaderBytes
             ? 0
-            : static_cast<std::uint64_t>(file_size - kHeaderBytes);
+            : static_cast<std::uint64_t>(file_size - kBbvHeaderBytes);
     return reject(HeaderError(
         "truncated payload: " + std::to_string(have) +
         " bytes after the header, " + std::to_string(frame_bytes * *frames) +
         " declared (payload starts at byte 20)"));
   }
+  // The size probe moved the read position to end-of-file; seek back to
+  // the payload explicitly (not via Reset()) so the first Pull() cannot
+  // depend on DoReset() recovering the stream state.
+  in.clear();
+  in.seekg(kBbvHeaderBytes, std::ios::beg);
 
   BbvFileSource source;
   source.in_ = std::move(in);
@@ -163,39 +230,39 @@ Result<BbvFileSource> BbvFileSource::Open(const std::string& path) {
       StreamInfo{static_cast<int>(*width), static_cast<int>(*height),
                  static_cast<int>(*frames), *fps_mhz / 1000.0};
   source.buf_.resize(static_cast<std::size_t>(frame_bytes));
-  source.Reset();
   return Result<BbvFileSource>(std::move(source));
 }
 
-void BbvFileSource::DoReset() {
-  in_.clear();
-  in_.seekg(kHeaderBytes, std::ios::beg);
-  next_ = 0;
+std::uint64_t BbvFileSource::FrameOffset(int index) const {
+  if (version_ == 2) {
+    return blob_offsets_[frame_blobs_[static_cast<std::size_t>(index)]];
+  }
+  return static_cast<std::uint64_t>(kBbvHeaderBytes) +
+         static_cast<std::uint64_t>(index) * buf_.size();
+}
+
+void BbvFileSource::DoReset() { next_ = 0; }
+
+Status BbvFileSource::DoSeek(int frame) {
+  next_ = frame;
+  return OkStatus();
 }
 
 FramePull BbvFileSource::DoPull(imaging::Image& frame) {
   if (next_ >= info_.frame_count) return FramePull{};
   const int index = next_;
   ++next_;
-  const std::streamoff frame_off =
-      kHeaderBytes +
-      static_cast<std::streamoff>(index) *
-          static_cast<std::streamoff>(buf_.size());
+  const std::uint64_t frame_off = FrameOffset(index);
 
-  // Keeps the file cursor aligned to the next frame whatever happened to
-  // this one, so one unreadable frame never cascades.
-  const auto realign = [this, frame_off] {
-    in_.clear();
-    in_.seekg(frame_off + static_cast<std::streamoff>(buf_.size()),
-              std::ios::beg);
-  };
-
+  // Every pull addresses its frame by absolute offset, so one unreadable
+  // frame never bleeds into the next and Seek() costs nothing extra.
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(frame_off), std::ios::beg);
   in_.read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
   const std::size_t got = static_cast<std::size_t>(in_.gcount());
   if (got != buf_.size()) {
     // Open() verified the payload length, so a short read means the file
-    // changed underneath us (or the medium failed). Report and realign.
-    realign();
+    // changed underneath us (or the medium failed).
     return FramePull{
         PullStatus::kBad,
         Status(StatusCode::kDataLoss,
@@ -220,6 +287,24 @@ FramePull BbvFileSource::DoPull(imaging::Image& frame) {
                      : StatusCode::kDataLoss,
                  std::string(what) + " at byte " + std::to_string(frame_off))
               .WithContext("frame " + std::to_string(index))};
+    }
+  }
+  if (version_ == 2) {
+    // First decode of a blob verifies its footer-declared content hash;
+    // a corrupted blob marks every frame that references it bad, on every
+    // pass, so quarantine decisions stay stable.
+    const std::uint32_t blob = frame_blobs_[static_cast<std::size_t>(index)];
+    if (blob_verified_[blob] == 0) {
+      if (Fnv1a64(buf_.data(), buf_.size()) != blob_hashes_[blob]) {
+        return FramePull{
+            PullStatus::kBad,
+            Status(StatusCode::kDataLoss,
+                   "blob " + std::to_string(blob) +
+                       " content hash mismatch at byte " +
+                       std::to_string(frame_off) + " (file corrupted)")
+                .WithContext("frame " + std::to_string(index))};
+      }
+      blob_verified_[blob] = 1;
     }
   }
   if (frame.width() != info_.width || frame.height() != info_.height) {

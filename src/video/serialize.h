@@ -1,45 +1,55 @@
 // VideoStream persistence.
 //
-// A minimal container format (".bbv") so synthesized calls and attacked
+// A minimal container family (".bbv") so synthesized calls and attacked
 // streams can be written to disk, shared, and re-attacked without
 // regeneration - the workflow a real adversary post-processing recordings
-// would follow. Layout (all integers little-endian):
+// would follow. Two on-disk versions share the 20-byte header shape and are
+// sniffed by magic:
 //
-//   magic   "BBV1"              4 bytes
-//   width   uint32
-//   height  uint32
-//   frames  uint32
-//   fps_mhz uint32              fps * 1000, rounded
-//   payload frames * w * h * 3  RGB8, row-major, frame-major
+//   "BBV1" (linear, this header): header then frames * w * h * 3 RGB8
+//          bytes, row-major, frame-major - uncompressed and append-only.
+//   "BBV2" (video/container.h): the same pixel encoding, but distinct
+//          frames are stored once (content-hash dedup) and a checksummed
+//          footer indexes every frame by byte offset, so readers seek in
+//          O(1) and near-static streams shrink by their dedup ratio.
 //
-// The format is intentionally uncompressed: deterministic, seekable and
-// dependency-free. PNG/PPM dumps of single frames live in imaging/io.h.
+// WriteBbv writes v1 (the compatibility format); WriteBbv2 in container.h
+// writes v2. Readers here accept both transparently.
 //
 // Failure reporting: Open()/LoadBbv() return bb::Result carrying a named
 // error with the byte offset of the rejected structure ("bad magic at byte
-// 0", "truncated payload: ..."), so the CLI can print *why* a file was
-// rejected. ReadBbv stays as a thin optional wrapper for callers that only
-// care about presence.
+// 0", "truncated payload: ..."), and WriteBbv/WriteBbv2 return bb::Status
+// naming the byte offset reached and the OS reason, so the CLI can print
+// *why* a file was rejected or a write failed. ReadBbv stays as a thin
+// optional wrapper for callers that only care about presence.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "video/container.h"
 #include "video/frame_source.h"
 #include "video/video.h"
 
 namespace bb::video {
 
-// Writes the stream; false on I/O failure (the file may be partial).
-bool WriteBbv(const VideoStream& video, const std::string& path);
+// Writes the stream as container v1. The stream is validated against the
+// same format limits Open() enforces (dimensions, frame count, fps range)
+// *before* any byte is written, so a header the reader would reject is
+// refused with a structured kInvalidArgument instead of silently truncated
+// into the file. I/O failures name the byte offset and OS error; the file
+// may be partial after a non-OK return.
+Status WriteBbv(const VideoStream& video, const std::string& path);
 
-// Reads a whole stream, with the reason for any rejection. Implemented as a
-// drain of BbvFileSource, so it shares the hostile-header validation below;
-// a frame that fails to decode mid-stream fails the whole load (batch
-// loading has no quarantine - stream the file to skip bad frames).
+// Reads a whole stream (either container version), with the reason for any
+// rejection. Implemented as a drain of BbvFileSource, so it shares the
+// hostile-header validation below; a frame that fails to decode mid-stream
+// fails the whole load (batch loading has no quarantine - stream the file
+// to skip bad frames).
 Result<VideoStream> LoadBbv(const std::string& path);
 
 // Presence-only wrapper over LoadBbv.
@@ -47,18 +57,31 @@ std::optional<VideoStream> ReadBbv(const std::string& path);
 
 // Streamed .bbv reader: decodes one frame per Pull()/Next() into a
 // caller-provided buffer, so a call is attacked without ever materializing
-// it. Open() applies the full hostile-input validation (bad magic, zero
-// fps, zero/absurd dimensions, truncated payload - the file size must cover
-// every header-declared frame) and names the offending byte range on
-// rejection. The decoder carries the "read" fault-injection point, keyed by
-// frame index; an unreadable frame is reported as PullStatus::kBad with the
-// file position attached, and the read cursor stays frame-aligned so the
-// following frames remain pullable.
+// it. Open() sniffs the magic and accepts both container versions; it
+// applies the full hostile-input validation (bad magic, zero fps,
+// zero/absurd dimensions, truncated payload for v1; the checksummed-footer
+// treatment of container.h for v2) and names the offending byte range on
+// rejection.
+//
+// Every pull addresses its frame by absolute byte offset, so the source is
+// fully seekable (CanSeek() is true for both versions - v1 offsets are
+// arithmetic, v2 offsets come from the footer index), an unreadable frame
+// never cascades into the next one, and the first Pull() after Open() needs
+// no Reset() to recover from the open-time size probe. The decoder carries
+// the "read" fault-injection point, keyed by frame index; an unreadable
+// frame is reported as PullStatus::kBad with the file position attached.
+// For v2 files each deduplicated blob's FNV-1a-64 content hash is verified
+// the first time the blob is decoded; a mismatch reports every frame
+// referencing that blob as kBad, identically on every pass.
 class BbvFileSource final : public FrameSource {
  public:
   static Result<BbvFileSource> Open(const std::string& path);
 
   StreamInfo info() const override { return info_; }
+  bool CanSeek() const override { return true; }
+
+  // Container version of the open file: 1 (linear) or 2 (footer-indexed).
+  int version() const { return version_; }
 
   BbvFileSource(BbvFileSource&&) = default;
   BbvFileSource& operator=(BbvFileSource&&) = default;
@@ -66,14 +89,25 @@ class BbvFileSource final : public FrameSource {
  protected:
   FramePull DoPull(imaging::Image& frame) override;
   void DoReset() override;
+  Status DoSeek(int frame) override;
 
  private:
   BbvFileSource() = default;
 
+  // Absolute byte offset of frame `index`'s pixel payload.
+  std::uint64_t FrameOffset(int index) const;
+
   std::ifstream in_;
   StreamInfo info_;
+  int version_ = 1;
   int next_ = 0;
   std::vector<char> buf_;  // one encoded frame
+
+  // v2 index (empty for v1 files).
+  std::vector<std::uint64_t> blob_offsets_;
+  std::vector<std::uint64_t> blob_hashes_;
+  std::vector<std::uint32_t> frame_blobs_;
+  std::vector<std::uint8_t> blob_verified_;  // lazily hash-checked blobs
 };
 
 }  // namespace bb::video

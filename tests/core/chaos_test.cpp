@@ -359,6 +359,76 @@ TEST_F(ChaosTest, KillAndResumeReproducesTheUninterruptedRun) {
   EXPECT_FALSE(gone.good());
 }
 
+// Hides the seek capability of an inner source, so the legacy
+// pull-and-discard resume path stays pinned now that both the in-memory
+// source and indexed .bbv files fast-forward via Seek().
+class NoSeekSource final : public video::FrameSource {
+ public:
+  explicit NoSeekSource(video::FrameSource& inner) : inner_(&inner) {}
+  video::StreamInfo info() const override { return inner_->info(); }
+
+ protected:
+  video::FramePull DoPull(imaging::Image& frame) override {
+    return inner_->Pull(frame);
+  }
+  void DoReset() override { inner_->Reset(); }
+
+ private:
+  video::FrameSource* inner_;
+};
+
+TEST_F(ChaosTest, ResumeIsIdenticalWithAndWithoutSeekFastForward) {
+  const ChaosFixture& f = ChaosFixture::Shared();
+  const VbReference ref = VbReference::KnownImage(f.vb_image);
+
+  common::SetThreadCount(1);
+  StreamingOptions clean_opts;
+  clean_opts.window_frames = 10;
+  auto base_seg = MakeOracle(f);
+  StreamingReconstructor clean(ref, *base_seg, clean_opts);
+  video::VideoStreamSource clean_source(f.call.video);
+  const ReconstructionResult baseline = clean.Run(clean_source).value();
+
+  for (const bool seekable : {true, false}) {
+    const std::string what =
+        seekable ? "seek fast-forward resume" : "pull-and-discard resume";
+    const std::string path =
+        TestPath(seekable ? "resume_seek.bbck" : "resume_noseek.bbck");
+    std::remove(path.c_str());
+    StreamingOptions opts = clean_opts;
+    opts.checkpoint_path = path;
+    {
+      auto seg = MakeOracle(f);
+      StreamingReconstructor interrupted(ref, *seg, opts);
+      video::VideoStreamSource source(f.call.video);
+      interrupted.Begin(source.info());
+      interrupted.BeginPass(0);
+      for (int i = 0; i < f.call.video.frame_count(); ++i) {
+        interrupted.PushFrame(f.call.video.frame(i), i);
+      }
+      interrupted.EndPass(0);
+      interrupted.BeginPass(1);
+      for (int i = 0; i < 25; ++i) {
+        interrupted.PushFrame(f.call.video.frame(i), i);
+      }
+    }
+
+    auto seg = MakeOracle(f);
+    StreamingReconstructor resumed(ref, *seg, opts);
+    video::VideoStreamSource inner(f.call.video);
+    NoSeekSource hidden(inner);
+    video::FrameSource& source =
+        seekable ? static_cast<video::FrameSource&>(inner)
+                 : static_cast<video::FrameSource&>(hidden);
+    EXPECT_EQ(source.CanSeek(), seekable);
+    const auto run = resumed.Run(source);
+    ASSERT_TRUE(run.ok()) << what << ": " << run.status().ToString();
+    EXPECT_TRUE(resumed.stats().resumed) << what;
+    EXPECT_EQ(resumed.stats().resume_frames_done, 20) << what;
+    ExpectIdentical(*run, baseline, what);
+  }
+}
+
 TEST_F(ChaosTest, ResumeCarriesTheQuarantineAndHonorsTheBudget) {
   const ChaosFixture& f = ChaosFixture::Shared();
   const VbReference ref = VbReference::KnownImage(f.vb_image);

@@ -328,6 +328,10 @@ TEST(SilentErrorDropRuleTest, FlagsBareStatementCallsToMustCheckFunctions) {
   EXPECT_EQ(CountRule(Lint("PushBadFrame(i, reason);\n"),
                       kRuleSilentErrorDrop),
             1);
+  EXPECT_EQ(CountRule(Lint("video::WriteBbv2(call, path);\n"),
+                      kRuleSilentErrorDrop),
+            1);
+  EXPECT_EQ(CountRule(Lint("Seek(frame);\n"), kRuleSilentErrorDrop), 1);
 }
 
 TEST(SilentErrorDropRuleTest, FlagsBareWithContext) {

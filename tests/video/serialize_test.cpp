@@ -38,7 +38,7 @@ VideoStream TestVideo(int frames = 5, int w = 9, int h = 7) {
 TEST(SerializeTest, RoundTripPreservesEverything) {
   const VideoStream v = TestVideo();
   const std::string path = TempPath("bb_roundtrip.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const auto back = ReadBbv(path);
   ASSERT_TRUE(back.has_value());
   EXPECT_DOUBLE_EQ(back->fps(), 12.5);
@@ -50,7 +50,7 @@ TEST(SerializeTest, RoundTripPreservesEverything) {
 TEST(SerializeTest, EmptyStreamRoundTrips) {
   const VideoStream v(30.0);
   const std::string path = TempPath("bb_empty.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const auto back = ReadBbv(path);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->frame_count(), 0);
@@ -74,7 +74,7 @@ TEST(SerializeTest, RejectsBadMagic) {
 TEST(SerializeTest, RejectsTruncatedPayload) {
   const VideoStream v = TestVideo();
   const std::string path = TempPath("bb_truncated.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   // Chop off the last frame and a half.
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 9 * 7 * 3 - 10);
@@ -111,7 +111,7 @@ std::optional<VideoStream> DrainSource(BbvFileSource& source) {
 TEST(BbvFileSourceTest, StreamedReadMatchesReadBbv) {
   const VideoStream v = TestVideo();
   const std::string path = TempPath("bb_stream_eq.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   auto source = BbvFileSource::Open(path);
   ASSERT_TRUE(source.has_value());
   EXPECT_EQ(source->info().width, v.width());
@@ -127,7 +127,7 @@ TEST(BbvFileSourceTest, StreamedReadMatchesReadBbv) {
 TEST(BbvFileSourceTest, ResetReplaysTheFile) {
   const VideoStream v = TestVideo(4, 6, 5);
   const std::string path = TempPath("bb_stream_reset.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   auto source = BbvFileSource::Open(path);
   ASSERT_TRUE(source.has_value());
   imaging::Image frame;
@@ -154,7 +154,7 @@ TEST(BbvFileSourceTest, OpenAppliesTheSameHostileChecksAsReadBbv) {
   // Truncated payload: Open itself must reject (file size is checked
   // upfront against the header-declared frame count).
   const VideoStream v = TestVideo();
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size - 5);
   EXPECT_FALSE(BbvFileSource::Open(path).has_value());
@@ -204,7 +204,7 @@ std::uint64_t Rng(std::uint64_t& s) {
 TEST(SerializeFuzzTest, EveryTruncationIsRejectedOrConsistent) {
   const VideoStream v = TestVideo(3, 5, 4);
   const std::string path = TempPath("bb_fuzz_trunc.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const std::vector<char> full = FileBytes(path);
   const std::size_t frame_bytes = 5 * 4 * 3;
 
@@ -228,7 +228,7 @@ TEST(SerializeFuzzTest, EveryTruncationIsRejectedOrConsistent) {
 TEST(SerializeFuzzTest, HeaderByteCorruptionsNeverCrash) {
   const VideoStream v = TestVideo(2, 6, 3);
   const std::string path = TempPath("bb_fuzz_header.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const std::vector<char> full = FileBytes(path);
   ASSERT_GE(full.size(), 20u);
 
@@ -257,7 +257,7 @@ TEST(SerializeFuzzTest, HeaderByteCorruptionsNeverCrash) {
 TEST(SerializeFuzzTest, RandomCorruptionsNeverCrash) {
   const VideoStream v = TestVideo(4, 8, 6);
   const std::string path = TempPath("bb_fuzz_rand.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   const std::vector<char> full = FileBytes(path);
 
   std::uint64_t seed = 0xBBF022ULL;
@@ -333,7 +333,7 @@ TEST(SerializeErrorTest, OpenNamesEveryHostileHeaderRejection) {
     out << "NOPE then some bytes";
   }
   ExpectOpenRejects(path, StatusCode::kDataLoss,
-                    "bad magic at byte 0 (want BBV1)");
+                    "bad magic at byte 0 (want BBV1 or BBV2)");
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << "BBV1" << std::string(8, '\0');
@@ -373,7 +373,7 @@ struct FaultGuard {
 TEST(SerializeFaultTest, TruncationUnderneathAnOpenSourceDegradesPerFrame) {
   const VideoStream v = TestVideo();  // 5 frames, 9x7 => 189 bytes each
   const std::string path = TempPath("bb_underfoot.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   auto source = BbvFileSource::Open(path);
   ASSERT_TRUE(source.ok()) << source.status().ToString();
 
@@ -402,7 +402,7 @@ TEST(SerializeFaultTest, TruncationUnderneathAnOpenSourceDegradesPerFrame) {
 
   // Restore the bytes: after Reset the same source reads cleanly again,
   // proving the bad pulls left the cursor frame-aligned.
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   source->Reset();
   for (int i = 0; i < 5; ++i) {
     ASSERT_EQ(source->Pull(frame).status, PullStatus::kFrame) << i;
@@ -415,7 +415,7 @@ TEST(SerializeFaultTest, InjectedReadFaultsMarkExactlyTheScheduledFrames) {
   const FaultGuard guard;
   const VideoStream v = TestVideo();
   const std::string path = TempPath("bb_readfault.bbv");
-  ASSERT_TRUE(WriteBbv(v, path));
+  ASSERT_TRUE(WriteBbv(v, path).ok());
   ASSERT_TRUE(faultinject::Configure("read@1=truncate,read@3=corrupt").ok());
 
   auto source = BbvFileSource::Open(path);

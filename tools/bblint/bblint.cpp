@@ -504,7 +504,7 @@ void CheckFullCallMaterialization(const FileView& v,
 void CheckSilentErrorDrop(const FileView& v, std::vector<Finding>* out) {
   static const std::regex kBareCall(
       R"(^\s*(?:\w+\s*::\s*)*)"
-      R"((SaveCheckpoint|LoadCheckpoint|LoadBbv|LoadPpm|LoadPng|LoadImageAuto|Configure|PushBadFrame|WriteBbv)\s*\()");
+      R"((SaveCheckpoint|LoadCheckpoint|LoadBbv|LoadPpm|LoadPng|LoadImageAuto|Configure|PushBadFrame|WriteBbv|WriteBbv2|Seek)\s*\()");
   static const std::regex kBareWithContext(
       R"(^\s*[A-Za-z_][\w.]*(?:\.|->)\s*WithContext\s*\()");
 

@@ -9,14 +9,18 @@
 #      bb.bench.v1 report must carry the stream.* memory gauges and the
 #      fault-injection degradation gauges (fails on schema drift via
 #      report_check --require-memory / --require-degradation)
-#   4. chaos smoke: end-to-end CLI run under an injected fault schedule -
+#   4. container smoke: simulate to v1, bbvtool migrate to v2, verify and
+#      attack both containers and require byte-identical reconstructions,
+#      plus the dedup/seek gauges in the perf report (report_check
+#      --require-measured)
+#   5. chaos smoke: end-to-end CLI run under an injected fault schedule -
 #      quarantine must degrade gracefully, a tight --max-bad-frames budget
 #      must fail with a structured error - plus the seeded chaos test label
-#   5. ThreadSanitizer build, determinism / parallel-runtime suites
-#   6. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#   6. ThreadSanitizer build, determinism / parallel-runtime suites
+#   7. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   7. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   8. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
 #
 # Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
 # created as build-check, build-check-tsan, build-check-ubsan)
@@ -53,6 +57,42 @@ build-check/tools/report_check \
   --require-degradation stream.bad_frame_events \
   --require-degradation stream.faults_fired \
   "$STREAM_REPORT_DIR/BENCH_perf.json"
+
+step "container smoke: v2 round-trip, v1 migration, dedup/seek gauges"
+CONTAINER_DIR="build-check/container-smoke"
+mkdir -p "$CONTAINER_DIR"
+build-check/apps/backbuster simulate --out "$CONTAINER_DIR/call_v1.bbv" \
+  --format v1 --duration 4 --action arm_wave
+build-check/tools/bbvtool migrate --in "$CONTAINER_DIR/call_v1.bbv" \
+  --out "$CONTAINER_DIR/call_v2.bbv"
+build-check/tools/bbvtool inspect --in "$CONTAINER_DIR/call_v2.bbv" \
+  | tee "$CONTAINER_DIR/inspect.out"
+grep -q 'BBV2' "$CONTAINER_DIR/inspect.out"
+build-check/tools/bbvtool verify --in "$CONTAINER_DIR/call_v1.bbv"
+build-check/tools/bbvtool verify --in "$CONTAINER_DIR/call_v2.bbv"
+# Both containers must reconstruct to the same bytes.
+build-check/apps/backbuster attack --in "$CONTAINER_DIR/call_v1.bbv" \
+  --stream --window 16 --out "$CONTAINER_DIR/recon_v1"
+build-check/apps/backbuster attack --in "$CONTAINER_DIR/call_v2.bbv" \
+  --stream --window 16 --out "$CONTAINER_DIR/recon_v2"
+# WriteImageAuto picks .png or .ppm depending on build support; compare
+# whichever it produced.
+RECON_V1="$(ls "$CONTAINER_DIR"/recon_v1.p?? | head -n 1)"
+cmp "$RECON_V1" "${RECON_V1/recon_v1/recon_v2}"
+# The perf report must carry the container gauges (step 3 wrote it with a
+# benchmark filter, so run the probe-bearing binary unfiltered here).
+CONTAINER_REPORT_DIR="build-check/container-smoke/report"
+mkdir -p "$CONTAINER_REPORT_DIR"
+BB_BENCH_SMOKE=1 BB_THREADS=2 BB_BENCH_REPORT_DIR="$CONTAINER_REPORT_DIR" \
+  build-check/bench/bench_perf \
+  --benchmark_filter='StreamingReconstructorWindow/10$' \
+  --benchmark_min_time=0.01
+build-check/tools/report_check \
+  --require-measured v2.dedup_ratio \
+  --require-measured v2.size_fraction_of_v1 \
+  --require-measured 'v2.seek_to_last_frame [s]' \
+  --require-measured 'v2.linear_decode_to_last_frame [s]' \
+  "$CONTAINER_REPORT_DIR/BENCH_perf.json"
 
 step "chaos smoke: fault injection, graceful degradation, error budget"
 CHAOS_DIR="build-check/chaos-smoke"

@@ -1,14 +1,16 @@
 // Schema validator for machine-readable bench reports (bb.bench.v1).
 //
-//   report_check [--require-memory KEY ...] [--require-degradation KEY ...]
-//                FILE.json [FILE.json ...]
+//   report_check [--require-measured KEY ...] [--require-memory KEY ...]
+//                [--require-degradation KEY ...] FILE.json [FILE.json ...]
 //
 // Parses each file with a small self-contained JSON parser (strict: no
 // trailing commas, no comments, no trailing garbage) and checks the
 // bb.bench.v1 contract that downstream tooling relies on:
 //   - root object with "schema": "bb.bench.v1" and a non-empty "bench"
 //   - "config" object: string / number values
-//   - "paper" and "measured" objects: number-or-null values
+//   - "paper" and "measured" objects: number-or-null values;
+//     --require-measured KEY (repeatable) additionally demands KEY to be
+//     present as a number in every checked file
 //   - "shape_checks" object: boolean values
 //   - "memory" object: number-or-null values (empty for benches that do
 //     not measure memory); --require-memory KEY (repeatable) additionally
@@ -258,6 +260,7 @@ class Parser {
 
 int g_problems = 0;
 const char* g_file = "";
+std::vector<std::string> g_required_measured_keys;
 std::vector<std::string> g_required_memory_keys;
 std::vector<std::string> g_required_degradation_keys;
 
@@ -355,6 +358,15 @@ void CheckReport(const Value& root) {
   CheckValues(measured, "measured", /*allow_string=*/false,
               /*allow_number=*/true, /*allow_bool=*/false,
               /*allow_null=*/true);
+  for (const std::string& key : g_required_measured_keys) {
+    const Value* v =
+        measured == nullptr ? nullptr : measured->Find(key.c_str());
+    if (v == nullptr) {
+      Problem("measured." + key + " required but missing");
+    } else if (v->kind != Kind::kNumber) {
+      Problem("measured." + key + " required but not a number");
+    }
+  }
   if (measured != nullptr && measured->object.empty()) {
     Problem("\"measured\" is empty - a report must measure something");
   }
@@ -422,6 +434,15 @@ bool CheckFile(const char* path) {
 int main(int argc, char** argv) {
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-measured") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "report_check: --require-measured needs a key\n");
+        return 2;
+      }
+      g_required_measured_keys.emplace_back(argv[++i]);
+      continue;
+    }
     if (std::strcmp(argv[i], "--require-memory") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "report_check: --require-memory needs a key\n");
@@ -443,7 +464,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: report_check [--require-memory KEY ...] "
+                 "usage: report_check [--require-measured KEY ...] "
+                 "[--require-memory KEY ...] "
                  "[--require-degradation KEY ...] FILE.json "
                  "[FILE.json ...]\n");
     return 2;
