@@ -1,0 +1,7 @@
+// Seeded header-self-containment violation: uses bb::Status without
+// including common/status.h, so the generated standalone TU must fail to
+// compile. Exercised (expected-failure) by the ctest entry
+// lint.HeaderSelfContainment.FiresOnViolation.
+#pragma once
+
+inline bb::Status FixtureAlwaysOk() { return bb::OkStatus(); }

@@ -1,0 +1,5 @@
+// Seeded layering violation: this header is linted under the path
+// src/imaging/bad_layering.h (tier 1) and reaches up into core/ (tier 3).
+#pragma once
+
+#include "core/reconstruction.h"

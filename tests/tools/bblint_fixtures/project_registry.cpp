@@ -1,0 +1,10 @@
+// Seeded registry-consistency violation: the counter below is spelled with
+// a separator fork of the declared name stream.frames_pushed, so the rule
+// must flag it (and suggest the declared spelling).
+namespace bb {
+
+void BadCounter() {
+  trace::AddCounter("stream.frames-pushed", 1);
+}
+
+}  // namespace bb

@@ -1,0 +1,12 @@
+// Seeded no-unchecked-result violation: SaveThing returns bb::Status (see
+// the declaring header the test pairs this file with) and the bare call
+// below discards it.
+#include "core/api.h"
+
+namespace bb {
+
+void BadCaller() {
+  SaveThing(1);
+}
+
+}  // namespace bb

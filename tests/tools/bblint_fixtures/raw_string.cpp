@@ -1,0 +1,20 @@
+// Fixture: raw string literals with a custom delimiter. Everything inside
+// the literal (including the `)"` that looks like a default-delimiter
+// terminator, the srand/rand calls and the raw pixel arithmetic) must be
+// ignored; the srand after the literal is the single real violation.
+namespace bb::fixtures {
+
+inline const char* RawStringFixture() {
+  return R"lint(
+    srand(42);
+    rand();
+    buf[y * width + x] = 0;
+    almost-the-end )" but not with this delimiter
+  )lint";
+}
+
+inline void RawStringViolation() {
+  srand(7);
+}
+
+}  // namespace bb::fixtures

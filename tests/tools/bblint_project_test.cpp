@@ -1,0 +1,509 @@
+// Unit tests for bblint phase 2: the whole-tree project model and the
+// cross-TU rule families (layering, no-unchecked-result,
+// registry-consistency), plus the SARIF writer and the ratcheting
+// baseline. Everything runs against in-memory projects via MakeProject();
+// the real tree is covered by the ctest entries lint.Layering et al.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.h"
+#include "bblint.h"
+#include "project.h"
+#include "sarif.h"
+
+namespace bb::lint {
+namespace {
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : findings) n += f.rule == rule;
+  return n;
+}
+
+std::string MessagesFor(const std::vector<Finding>& findings,
+                        const std::string& rule) {
+  std::string all;
+  for (const auto& f : findings) {
+    if (f.rule == rule) all += f.message + "\n";
+  }
+  return all;
+}
+
+// An empty-but-valid manifest so registry-consistency stays quiet in tests
+// that target the other rules.
+constexpr const char* kEmptyManifest = "[counters]\n[stages]\n[faults]\n";
+
+// --- module model ---------------------------------------------------------
+
+TEST(ModuleModelTest, ModuleOfPath) {
+  EXPECT_EQ(ModuleOfPath("src/core/streaming.cpp"), "core");
+  EXPECT_EQ(ModuleOfPath("src/core/attacks/location.cpp"), "core");
+  EXPECT_EQ(ModuleOfPath("src/common/status.h"), "common");
+  EXPECT_EQ(ModuleOfPath("apps/backbuster.cpp"), "apps");
+  EXPECT_EQ(ModuleOfPath("tools/bblint/main.cpp"), "tools");
+  EXPECT_EQ(ModuleOfPath("tests/core/streaming_test.cpp"), "tests");
+  EXPECT_EQ(ModuleOfPath("bench/bench_reconstruction.cpp"), "bench");
+}
+
+TEST(ModuleModelTest, TiersFollowTheDag) {
+  EXPECT_EQ(TierOfModule("common"), 0);
+  EXPECT_EQ(TierOfModule("imaging"), 1);
+  EXPECT_EQ(TierOfModule("video"), 2);
+  EXPECT_EQ(TierOfModule("segmentation"), 2);
+  EXPECT_EQ(TierOfModule("synth"), 2);
+  EXPECT_EQ(TierOfModule("vbg"), 2);
+  EXPECT_EQ(TierOfModule("detect"), 2);
+  EXPECT_EQ(TierOfModule("datasets"), 2);
+  EXPECT_EQ(TierOfModule("core"), 3);
+  EXPECT_EQ(TierOfModule("cli"), 4);
+  EXPECT_EQ(TierOfModule("apps"), 4);
+  EXPECT_EQ(TierOfModule("tools"), 4);
+  EXPECT_EQ(TierOfModule("bench"), 4);
+  EXPECT_EQ(TierOfModule("tests"), 4);
+  EXPECT_EQ(TierOfModule("no-such-module"), -1);
+}
+
+// --- layering -------------------------------------------------------------
+
+TEST(LayeringRuleTest, BackEdgeIsRejectedWithTheChainPrinted) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/imaging/filter.h",
+        "#pragma once\n#include \"core/reconstruction.h\"\n"},
+       {"src/core/reconstruction.h", "#pragma once\n"}},
+      kEmptyManifest));
+  ASSERT_EQ(CountRule(findings, kRuleLayering), 1);
+  const std::string msg = MessagesFor(findings, kRuleLayering);
+  EXPECT_NE(msg.find("src/imaging/filter.h -> src/core/reconstruction.h"),
+            std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("'imaging' (tier 1)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'core' (tier 3)"), std::string::npos) << msg;
+}
+
+TEST(LayeringRuleTest, ForwardAndIntraTierEdgesAreClean) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/reconstruction.h",
+        "#pragma once\n#include \"imaging/image.h\"\n"
+        "#include \"video/video.h\"\n#include \"common/status.h\"\n"},
+       {"src/synth/recorder.h",
+        "#pragma once\n#include \"video/video.h\"\n"},  // intra-tier
+       {"src/imaging/image.h", "#pragma once\n"},
+       {"src/video/video.h", "#pragma once\n"},
+       {"src/common/status.h", "#pragma once\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleLayering), 0)
+      << MessagesFor(findings, kRuleLayering);
+}
+
+TEST(LayeringRuleTest, IncludeCycleIsReportedOnce) {
+  // a -> b -> c -> a, all inside one tier so no back-edge fires; only the
+  // cycle detector sees it.
+  const auto findings = LintProject(MakeProject(
+      {{"src/video/a.h", "#pragma once\n#include \"video/b.h\"\n"},
+       {"src/video/b.h", "#pragma once\n#include \"video/c.h\"\n"},
+       {"src/video/c.h", "#pragma once\n#include \"video/a.h\"\n"}},
+      kEmptyManifest));
+  ASSERT_EQ(CountRule(findings, kRuleLayering), 1);
+  const std::string msg = MessagesFor(findings, kRuleLayering);
+  EXPECT_NE(msg.find("include cycle"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src/video/a.h"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src/video/b.h"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("src/video/c.h"), std::string::npos) << msg;
+}
+
+TEST(LayeringRuleTest, SystemIncludesAndUnresolvedPathsAreIgnored) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/common/status.h",
+        "#pragma once\n#include <string>\n#include \"third_party/x.h\"\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleLayering), 0);
+}
+
+// --- no-unchecked-result --------------------------------------------------
+
+// A header declaring two must-check functions; used by most cases below.
+constexpr const char* kStatusHeader =
+    "#pragma once\nnamespace bb {\n"
+    "Status SaveThing(int x);\n"
+    "Result<int> LoadThing();\n"
+    "}\n";
+
+TEST(UncheckedResultRuleTest, BareStatementCallIsFlagged) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "#include \"core/api.h\"\nvoid F() {\n  SaveThing(1);\n}\n"}},
+      kEmptyManifest));
+  ASSERT_EQ(CountRule(findings, kRuleUncheckedResult), 1);
+  EXPECT_EQ(findings[0].file, "src/core/use.cpp");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(UncheckedResultRuleTest, QualifiedAndMemberCallsAreFlagged) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n  bb::core::SaveThing(1);\n  writer.SaveThing(2);\n}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 2);
+}
+
+TEST(UncheckedResultRuleTest, MultiLineArgumentListIsStillOneCall) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n  SaveThing(\n      1 + 2,\n      (3));\n}\n"}},
+      kEmptyManifest));
+  ASSERT_EQ(CountRule(findings, kRuleUncheckedResult), 1);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(UncheckedResultRuleTest, ConsumedResultsAreClean) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n"
+        "  const auto s = SaveThing(1);\n"
+        "  if (!SaveThing(2).ok()) return;\n"
+        "  return SaveThing(3);\n"
+        "}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 0)
+      << MessagesFor(findings, kRuleUncheckedResult);
+}
+
+TEST(UncheckedResultRuleTest, ContinuationLineCallIsNotADiscard) {
+  // The paren-balanced call starts a line, but only because the previous
+  // line ended mid-expression (`=`, `if (... =`): these consume the value.
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n"
+        "  const auto s =\n"
+        "      SaveThing(1);\n"
+        "  if (const Status valid =\n"
+        "          SaveThing(2);\n"
+        "      !valid.ok()) {\n"
+        "  }\n"
+        "}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 0)
+      << MessagesFor(findings, kRuleUncheckedResult);
+}
+
+TEST(UncheckedResultRuleTest, VoidCastNeedsAReason) {
+  const auto without_reason = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n  (void)SaveThing(1);  "
+        "// bblint: allow(no-unchecked-result)\n}\n"}},
+      kEmptyManifest));
+  ASSERT_EQ(CountRule(without_reason, kRuleUncheckedResult), 1);
+  EXPECT_NE(without_reason[0].message.find("reason"), std::string::npos);
+
+  const auto with_reason = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n  (void)SaveThing(1);  "
+        "// bblint: allow(no-unchecked-result) -- best-effort cleanup\n}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(with_reason, kRuleUncheckedResult), 0)
+      << MessagesFor(with_reason, kRuleUncheckedResult);
+}
+
+TEST(UncheckedResultRuleTest, BareCallSuppressibleWithPlainAllow) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/use.cpp",
+        "void F() {\n  SaveThing(1);  "
+        "// bblint: allow(no-unchecked-result)\n}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 0);
+}
+
+TEST(UncheckedResultRuleTest, ConflictinglyDeclaredNamesAreDropped) {
+  // `Reset` is declared both Status- and void-returning somewhere in the
+  // tree; with no overload resolution the scanner must stay conservative
+  // and not flag it.
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h",
+        "#pragma once\nStatus Reset(int);\nvoid Reset();\n"},
+       {"src/core/use.cpp", "void F() {\n  Reset();\n}\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 0);
+}
+
+// --- registry-consistency -------------------------------------------------
+
+constexpr const char* kManifest =
+    "[counters]\nstream.frames_pushed\n"
+    "[stages]\ncomposite.run\n"
+    "[faults]\nread\n";
+
+TEST(RegistryConsistencyRuleTest, ConsistentUsesAreClean) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/x.cpp",
+        "void F() {\n"
+        "  trace::AddCounter(\"stream.frames_pushed\", 1);\n"
+        "  trace::ScopedTimer timer(\"composite.run\");\n"
+        "  faultinject::At(\"read\", key);\n"
+        "}\n"}},
+      kManifest));
+  EXPECT_EQ(CountRule(findings, kRuleRegistryConsistency), 0)
+      << MessagesFor(findings, kRuleRegistryConsistency);
+}
+
+TEST(RegistryConsistencyRuleTest, UndeclaredUseIsFlagged) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/x.cpp",
+        "void F() {\n"
+        "  trace::AddCounter(\"stream.bogus\", 1);\n"
+        "  trace::ScopedTimer timer(\"composite.run\");\n"
+        "  faultinject::At(\"read\", key);\n"
+        "}\n"}},
+      kManifest));
+  EXPECT_EQ(CountRule(findings, kRuleRegistryConsistency),
+            2);  // undeclared use + the now-stale counter declaration
+  const std::string msg = MessagesFor(findings, kRuleRegistryConsistency);
+  EXPECT_NE(msg.find("stream.bogus"), std::string::npos) << msg;
+}
+
+TEST(RegistryConsistencyRuleTest, SpellingForkGetsDidYouMean) {
+  // Same name under a different separator convention: the finding should
+  // point at the declared spelling.
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/x.cpp",
+        "void F() { trace::AddCounter(\"stream.frames-pushed\", 1); }\n"}},
+      kManifest));
+  const std::string msg = MessagesFor(findings, kRuleRegistryConsistency);
+  EXPECT_NE(msg.find("did you mean 'stream.frames_pushed'"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(RegistryConsistencyRuleTest, StaleDeclarationIsFlagged) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/x.cpp",
+        "void F() {\n"
+        "  trace::AddCounter(\"stream.frames_pushed\", 1);\n"
+        "  trace::ScopedTimer timer(\"composite.run\");\n"
+        "}\n"}},
+      kManifest));  // fault point `read` declared, never used
+  ASSERT_EQ(CountRule(findings, kRuleRegistryConsistency), 1);
+  EXPECT_NE(findings[0].message.find("'read'"), std::string::npos);
+  EXPECT_EQ(findings[0].file, kRegistryManifestPath);
+}
+
+TEST(RegistryConsistencyRuleTest, DuplicateDeclarationIsFlagged) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/x.cpp",
+        "void F() { trace::AddCounter(\"stream.frames_pushed\", 1); }\n"}},
+      "[counters]\nstream.frames_pushed\nstream.frames_pushed\n"
+      "[stages]\n[faults]\n"));
+  ASSERT_EQ(CountRule(findings, kRuleRegistryConsistency), 1);
+  EXPECT_NE(findings[0].message.find("declared twice"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(RegistryConsistencyRuleTest, MissingManifestIsItselfAFinding) {
+  Project project = MakeProject(
+      {{"src/core/x.cpp",
+        "void F() { trace::AddCounter(\"stream.frames_pushed\", 1); }\n"}},
+      "");
+  project.manifest_found = false;
+  const auto findings = LintProject(project);
+  ASSERT_GE(CountRule(findings, kRuleRegistryConsistency), 1);
+  EXPECT_NE(MessagesFor(findings, kRuleRegistryConsistency).find("manifest"),
+            std::string::npos);
+}
+
+TEST(RegistryConsistencyRuleTest, ReferencesOutsideScannedRootsAreIgnored) {
+  // tools/ and tests/ may mint ad-hoc names (unit tests use scratch
+  // counters); only src/, apps/ and bench/ references are registry-bound.
+  const auto findings = LintProject(MakeProject(
+      {{"tests/core/x_test.cpp",
+        "void F() { trace::AddCounter(\"scratch.n\", 1); }\n"},
+       {"src/core/x.cpp",
+        "void F() {\n"
+        "  trace::AddCounter(\"stream.frames_pushed\", 1);\n"
+        "  trace::ScopedTimer timer(\"composite.run\");\n"
+        "  faultinject::At(\"read\", key);\n"
+        "}\n"}},
+      kManifest));
+  EXPECT_EQ(CountRule(findings, kRuleRegistryConsistency), 0)
+      << MessagesFor(findings, kRuleRegistryConsistency);
+}
+
+// --- only_rule isolation across phase 2 -----------------------------------
+
+TEST(ProjectOptionsTest, OnlyRuleIsolatesOneProjectRule) {
+  // One project violating layering AND registry-consistency.
+  const auto project = MakeProject(
+      {{"src/imaging/filter.h",
+        "#pragma once\n#include \"core/reconstruction.h\"\n"},
+       {"src/core/reconstruction.h", "#pragma once\n"},
+       {"src/core/x.cpp",
+        "void F() { trace::AddCounter(\"stream.bogus\", 1); }\n"}},
+      kEmptyManifest);
+  Options only;
+  only.only_rule = kRuleLayering;
+  const auto findings = LintProject(project, only);
+  EXPECT_GE(CountRule(findings, kRuleLayering), 1);
+  EXPECT_EQ(CountRule(findings, kRuleRegistryConsistency), 0);
+}
+
+// --- SARIF writer ---------------------------------------------------------
+
+TEST(SarifWriterTest, EmitsVersionSchemaDriverAndResults) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cpp", 12, kRuleLayering, "msg with \"quotes\""},
+      {"tools/bblint/registry.manifest", 0, kRuleRegistryConsistency,
+       "whole-file finding"}};
+  const std::string sarif = WriteSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"bblint\""), std::string::npos);
+  // Every catalog rule is listed as a driver rule.
+  for (const auto& info : RuleCatalog()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(info.name) + "\""),
+              std::string::npos)
+        << info.name;
+  }
+  // Results carry escaped messages and 1-based regions (line 0 -> 1).
+  EXPECT_NE(sarif.find("msg with \\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1 "), std::string::npos);
+}
+
+TEST(SarifWriterTest, DeterministicBytes) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cpp", 3, kRuleLayering, "m"}};
+  EXPECT_EQ(WriteSarif(findings), WriteSarif(findings));
+}
+
+// --- baseline -------------------------------------------------------------
+
+TEST(BaselineTest, RoundTripsThroughWriteAndParse) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cpp", 3, kRuleLayering, "msg \"quoted\""},
+      {"src/video/y.cpp", 9, kRuleUncheckedResult, "other"}};
+  Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(WriteBaseline(findings), &parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.suppressions.size(), 2u);
+  EXPECT_EQ(parsed.suppressions[0].rule, kRuleLayering);
+  EXPECT_EQ(parsed.suppressions[0].message, "msg \"quoted\"");
+}
+
+TEST(BaselineTest, EmptyBaselineParses) {
+  Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(
+      "{\n  \"schema\": \"bblint.baseline.v1\",\n  \"suppressions\": []\n}\n",
+      &parsed, &error))
+      << error;
+  EXPECT_TRUE(parsed.suppressions.empty());
+}
+
+TEST(BaselineTest, RejectsWrongSchemaAndGarbage) {
+  Baseline parsed;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline(
+      "{\"schema\": \"bblint.baseline.v2\", \"suppressions\": []}", &parsed,
+      &error));
+  EXPECT_FALSE(ParseBaseline("{\"suppressions\": []}", &parsed, &error));
+  EXPECT_FALSE(ParseBaseline("not json", &parsed, &error));
+  EXPECT_FALSE(ParseBaseline(
+      "{\"schema\": \"bblint.baseline.v1\", \"suppressions\": [{}]}",
+      &parsed, &error));
+}
+
+TEST(BaselineTest, MatchesOnRuleFileMessageLineInsensitive) {
+  Baseline baseline;
+  baseline.suppressions = {{"src/core/x.cpp", 0, kRuleLayering, "msg"}};
+  const std::vector<Finding> findings = {
+      {"src/core/x.cpp", 42, kRuleLayering, "msg"},       // matches
+      {"src/core/x.cpp", 42, kRuleLayering, "other"},     // message differs
+      {"src/core/y.cpp", 42, kRuleLayering, "msg"}};      // file differs
+  std::vector<Finding> stale;
+  const auto kept = ApplyBaseline(findings, baseline, &stale);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].message, "other");
+  EXPECT_EQ(kept[1].file, "src/core/y.cpp");
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(BaselineTest, EmptyMessageIsAPerFileWildcard) {
+  Baseline baseline;
+  baseline.suppressions = {{"src/core/x.cpp", 0, kRuleLayering, ""}};
+  const std::vector<Finding> findings = {
+      {"src/core/x.cpp", 1, kRuleLayering, "a"},
+      {"src/core/x.cpp", 2, kRuleLayering, "b"},
+      {"src/core/x.cpp", 3, kRuleUncheckedResult, "c"}};  // other rule
+  std::vector<Finding> stale;
+  const auto kept = ApplyBaseline(findings, baseline, &stale);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].rule, kRuleUncheckedResult);
+}
+
+TEST(BaselineTest, UnmatchedEntriesAreStale) {
+  Baseline baseline;
+  baseline.suppressions = {
+      {"src/core/gone.cpp", 0, kRuleLayering, "fixed long ago"}};
+  std::vector<Finding> stale;
+  const auto kept = ApplyBaseline({}, baseline, &stale);
+  EXPECT_TRUE(kept.empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "src/core/gone.cpp");
+}
+
+// --- project fixtures on disk ---------------------------------------------
+
+std::string FixturePath(const std::string& name) {
+  return std::string(BBLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The seeded project-rule fixtures prove each phase-2 rule fires on real
+// files (same role the per-line fixtures play for phase 1). Each fixture
+// is mapped to an in-tree path because project rules key off modules.
+TEST(ProjectFixtureTest, LayeringFixtureFires) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/imaging/bad_layering.h", ReadFixture("project_layering.h")},
+       {"src/core/reconstruction.h", "#pragma once\n"}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleLayering), 1)
+      << MessagesFor(findings, kRuleLayering);
+}
+
+TEST(ProjectFixtureTest, UncheckedResultFixtureFires) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/api.h", kStatusHeader},
+       {"src/core/bad_unchecked.cpp", ReadFixture("project_unchecked.cpp")}},
+      kEmptyManifest));
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedResult), 1)
+      << MessagesFor(findings, kRuleUncheckedResult);
+}
+
+TEST(ProjectFixtureTest, RegistryFixtureFires) {
+  const auto findings = LintProject(MakeProject(
+      {{"src/core/bad_registry.cpp", ReadFixture("project_registry.cpp")}},
+      kManifest));
+  EXPECT_GE(CountRule(findings, kRuleRegistryConsistency), 1)
+      << MessagesFor(findings, kRuleRegistryConsistency);
+}
+
+}  // namespace
+}  // namespace bb::lint

@@ -24,9 +24,9 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
   return n;
 }
 
-TEST(BblintRegistryTest, SevenRulesRegistered) {
+TEST(BblintRegistryTest, ElevenRulesRegistered) {
   const auto names = RuleNames();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names[0], kRuleNondeterminism);
   EXPECT_EQ(names[1], kRuleRawPixelIndexing);
   EXPECT_EQ(names[2], kRuleFloatAccumulation);
@@ -34,6 +34,37 @@ TEST(BblintRegistryTest, SevenRulesRegistered) {
   EXPECT_EQ(names[4], kRuleHeaderHygiene);
   EXPECT_EQ(names[5], kRuleFullCallMaterialization);
   EXPECT_EQ(names[6], kRuleSilentErrorDrop);
+  EXPECT_EQ(names[7], kRuleLayering);
+  EXPECT_EQ(names[8], kRuleUncheckedResult);
+  EXPECT_EQ(names[9], kRuleRegistryConsistency);
+  EXPECT_EQ(names[10], kRuleHeaderSelfContainment);
+}
+
+TEST(BblintRegistryTest, CatalogPhasesAndDocsArePopulated) {
+  int line_rules = 0, project_rules = 0, build_rules = 0;
+  for (const auto& info : RuleCatalog()) {
+    EXPECT_NE(info.doc[0], '\0') << info.name;
+    switch (info.phase) {
+      case RulePhase::kLine: ++line_rules; break;
+      case RulePhase::kProject: ++project_rules; break;
+      case RulePhase::kBuild: ++build_rules; break;
+    }
+  }
+  EXPECT_EQ(line_rules, 7);
+  EXPECT_EQ(project_rules, 3);
+  EXPECT_EQ(build_rules, 1);
+}
+
+TEST(BblintRegistryTest, OnlyRuleOptionIsolatesOneRule) {
+  // Content violating two line rules at once.
+  const std::string content =
+      "srand(42);\nint w2 = static_cast<int>(w * 0.5);\n";
+  Options only;
+  only.only_rule = kRuleFloatTruncation;
+  const auto findings =
+      LintContent("src/core/fixture.cpp", content, only);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleFloatTruncation);
 }
 
 // --- no-nondeterminism ----------------------------------------------------
@@ -369,6 +400,47 @@ TEST(SilentErrorDropRuleTest, Suppressed) {
       0);
 }
 
+// --- raw string literals --------------------------------------------------
+
+TEST(RawStringTest, RawLiteralContentsAreNotScanned) {
+  EXPECT_TRUE(Lint("const char* s = R\"(srand(42); rand();)\";\n").empty());
+  EXPECT_TRUE(
+      Lint("const char* s = R\"(buf[y * width + x] = 0;)\";\n").empty());
+}
+
+TEST(RawStringTest, CustomDelimiterDoesNotEndEarly) {
+  // The literal contains `)"` which is NOT the terminator for delimiter
+  // `xy`; a naive stripper would resume scanning inside the literal and
+  // a correct one must stay inside until )xy".
+  EXPECT_TRUE(
+      Lint("const char* s = R\"xy(end-like )\" srand(1) )xy\";\n").empty());
+  // Code after the true terminator is scanned again.
+  EXPECT_EQ(CountRule(Lint("const char* s = R\"xy( )\" )xy\"; srand(1);\n"),
+                      kRuleNondeterminism),
+            1);
+}
+
+TEST(RawStringTest, MultiLineRawLiteralKeepsLineNumbers) {
+  const auto findings = Lint(
+      "const char* s = R\"(\n"   // line 1
+      "srand(42);\n"             // line 2: inside literal, not scanned
+      "rand();\n"                // line 3: inside literal, not scanned
+      ")\";\n"                   // line 4
+      "srand(7);\n");            // line 5: real violation
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kRuleNondeterminism);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(RawStringTest, MalformedIntroducerFallsBackToPlainString) {
+  // `R"` followed by a character that cannot start a raw delimiter is an
+  // ordinary string whose prefix happens to contain R; scanning must not
+  // get stuck or swallow the rest of the file.
+  const auto findings = Lint("const char* s = \"R\";\nsrand(1);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
 // --- suppression mechanics ------------------------------------------------
 
 TEST(SuppressionTest, AllowAllSilencesEveryRule) {
@@ -421,11 +493,12 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"float_accum.cpp", kRuleFloatAccumulation},
         FixtureCase{"float_trunc.cpp", kRuleFloatTruncation},
         FixtureCase{"header.h", kRuleHeaderHygiene},
-        FixtureCase{"error_drop.cpp", kRuleSilentErrorDrop}),
+        FixtureCase{"error_drop.cpp", kRuleSilentErrorDrop},
+        FixtureCase{"raw_string.cpp", kRuleNondeterminism}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
-      std::string name = info.param.rule;
+      std::string name = info.param.file;
       for (char& c : name) {
-        if (c == '-') c = '_';
+        if (c == '-' || c == '.') c = '_';
       }
       return name;
     });

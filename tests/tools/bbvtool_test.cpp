@@ -1,0 +1,154 @@
+// End-to-end tests for the bbvtool CLI: error paths (nonexistent input, a
+// v2 container masquerading as v1, a truncated v2 trailer) and the exit
+// code contract - 0 success, 1 operation failure, 2 usage error. The tool
+// is spawned as a real subprocess (BBVTOOL_BIN points at the built
+// binary), so the contract is pinned at the process boundary where
+// tools/check.sh and scripts consume it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "video/serialize.h"
+#include "video/video.h"
+
+#ifndef BBVTOOL_BIN
+#error "BBVTOOL_BIN must point at the built bbvtool binary"
+#endif
+
+namespace bb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Runs bbvtool with `args`, returning its exit code (output discarded so
+// test logs stay readable; a negative value means the spawn itself broke).
+int RunTool(const std::string& args) {
+  const std::string cmd = std::string("\"") + BBVTOOL_BIN + "\" " + args +
+                          " > /dev/null 2> /dev/null";
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  return WEXITSTATUS(rc);
+}
+
+// A small stream whose frames repeat, so the v2 writer dedups blobs and
+// the payload holds fewer bytes than frame_count * frame_bytes.
+video::VideoStream AlternatingVideo(int frames = 8, int w = 6, int h = 5) {
+  video::VideoStream v(30.0);
+  for (int i = 0; i < frames; ++i) {
+    imaging::Image f(w, h);
+    const std::uint8_t base = i % 2 == 0 ? 40 : 200;
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        f(x, y) = {base, static_cast<std::uint8_t>(x),
+                   static_cast<std::uint8_t>(y)};
+      }
+    }
+    v.Append(std::move(f));
+  }
+  return v;
+}
+
+std::string WriteV2Fixture(const std::string& name) {
+  const std::string path = TempPath(name);
+  const Status wrote = video::WriteBbv2(AlternatingVideo(), path);
+  EXPECT_TRUE(wrote.ok()) << wrote.ToString();
+  return path;
+}
+
+// --- exit-code contract ---------------------------------------------------
+
+TEST(BbvtoolExitCodeTest, SuccessIsZero) {
+  const std::string path = WriteV2Fixture("bbvtool_ok.bbv");
+  EXPECT_EQ(RunTool("inspect --in " + path), 0);
+  EXPECT_EQ(RunTool("verify --in " + path), 0);
+  std::remove(path.c_str());
+}
+
+TEST(BbvtoolExitCodeTest, OperationFailureIsOne) {
+  EXPECT_EQ(RunTool("inspect --in /nonexistent/no_such.bbv"), 1);
+}
+
+TEST(BbvtoolExitCodeTest, UsageErrorsAreTwo) {
+  EXPECT_EQ(RunTool(""), 2);                        // no command
+  EXPECT_EQ(RunTool("frobnicate"), 2);              // unknown command
+  const std::string path = WriteV2Fixture("bbvtool_usage.bbv");
+  EXPECT_EQ(RunTool("inspect --in " + path + " --bogus 1"), 2);
+  std::remove(path.c_str());
+}
+
+// --- nonexistent input ----------------------------------------------------
+
+TEST(BbvtoolErrorPathTest, EveryCommandFailsCleanlyOnMissingInput) {
+  EXPECT_EQ(RunTool("inspect --in /nonexistent/no_such.bbv"), 1);
+  EXPECT_EQ(RunTool("verify --in /nonexistent/no_such.bbv"), 1);
+  EXPECT_EQ(RunTool("migrate --in /nonexistent/no_such.bbv --out " +
+                    TempPath("bbvtool_never_written.bbv")),
+            1);
+  // The failed migrate must not leave an output file behind.
+  EXPECT_FALSE(
+      std::filesystem::exists(TempPath("bbvtool_never_written.bbv")));
+}
+
+// --- v2 container masquerading as v1 --------------------------------------
+
+TEST(BbvtoolErrorPathTest, MigrateRefusesV2PayloadWithV1Magic) {
+  // A deduped v2 file whose magic is patched to claim BBV1: the v1 payload
+  // promise (frame_count * frame_bytes after the header) does not hold, so
+  // the reader must refuse instead of decoding footer bytes as pixels.
+  const std::string path = WriteV2Fixture("bbvtool_masq.bbv");
+  {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f);
+    f.write("BBV1", 4);
+  }
+  EXPECT_EQ(RunTool("migrate --in " + path + " --out " +
+                    TempPath("bbvtool_masq_out.bbv") + " --format v1"),
+            1);
+  EXPECT_EQ(RunTool("verify --in " + path), 1);
+  std::remove(path.c_str());
+}
+
+// --- truncated trailer on verify ------------------------------------------
+
+TEST(BbvtoolErrorPathTest, VerifyRejectsTruncatedTrailer) {
+  const std::string path = WriteV2Fixture("bbvtool_trunc.bbv");
+  const auto full = std::filesystem::file_size(path);
+  ASSERT_GT(full, 8u);
+  std::filesystem::resize_file(path, full - 8);  // chop the trailer
+  EXPECT_EQ(RunTool("verify --in " + path), 1);
+  EXPECT_EQ(RunTool("inspect --in " + path), 1);
+  std::remove(path.c_str());
+}
+
+TEST(BbvtoolErrorPathTest, MigrateRejectsBadFormat) {
+  const std::string path = WriteV2Fixture("bbvtool_badfmt.bbv");
+  EXPECT_EQ(RunTool("migrate --in " + path + " --out " +
+                    TempPath("bbvtool_badfmt_out.bbv") + " --format v3"),
+            1);
+  std::remove(path.c_str());
+}
+
+// --- migrate happy path (guards the refusal tests above) -------------------
+
+TEST(BbvtoolMigrateTest, V2ToV1ToV2RoundTripSucceeds) {
+  const std::string v2 = WriteV2Fixture("bbvtool_rt.bbv");
+  const std::string v1 = TempPath("bbvtool_rt_v1.bbv");
+  const std::string v2b = TempPath("bbvtool_rt_v2b.bbv");
+  EXPECT_EQ(RunTool("migrate --in " + v2 + " --out " + v1 + " --format v1"),
+            0);
+  EXPECT_EQ(RunTool("verify --in " + v1), 0);
+  EXPECT_EQ(RunTool("migrate --in " + v1 + " --out " + v2b), 0);
+  EXPECT_EQ(RunTool("verify --in " + v2b), 0);
+  for (const auto& p : {v2, v1, v2b}) std::remove(p.c_str());
+}
+
+}  // namespace
+}  // namespace bb

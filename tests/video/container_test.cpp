@@ -326,7 +326,12 @@ TEST(WriteValidationTest, WriteFailureNamesThePath) {
 class HostileFooterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = TempPath("bb2_hostile.bbv");
+    // ctest runs each case as its own process (gtest_discover_tests), so
+    // concurrent cases must not share one on-disk fixture file.
+    path_ = TempPath(
+        std::string("bb2_hostile_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".bbv");
     ASSERT_TRUE(WriteBbv2(AlternatingVideo(6, 5, 4), path_).ok());
     good_ = FileBytes(path_);
     // Shape sanity for the patch helpers below: 6 frames, 2 blobs of

@@ -1,0 +1,246 @@
+#include "baseline.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bb::lint {
+
+namespace {
+
+// Minimal strict JSON reader, just enough for the baseline shape: objects,
+// arrays, strings. Anything else (numbers, bools) is rejected - a baseline
+// never needs them, and a strict reader fails loudly on hand-edit typos.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : p_(0), text_(text) {}
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(p_);
+    }
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void SkipWs() {
+    while (p_ < text_.size() &&
+           (text_[p_] == ' ' || text_[p_] == '\t' || text_[p_] == '\n' ||
+            text_[p_] == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Expect(char c) {
+    SkipWs();
+    if (p_ >= text_.size() || text_[p_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++p_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return p_ < text_.size() && text_[p_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ >= text_.size();
+  }
+
+  bool String(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ >= text_.size()) return Fail("unterminated escape");
+        switch (text_[p_]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          default: return Fail("unsupported escape in baseline string");
+        }
+        ++p_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      *out += c;
+      ++p_;
+    }
+    return Fail("unterminated string");
+  }
+
+ private:
+  std::size_t p_;
+  const std::string& text_;
+  std::string error_;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseBaseline(const std::string& text, Baseline* out,
+                   std::string* error) {
+  out->suppressions.clear();
+  Reader r(text);
+  std::string key, value;
+  bool saw_schema = false;
+  if (!r.Expect('{')) goto fail;
+  if (!r.Peek('}')) {
+    while (true) {
+      if (!r.String(&key)) goto fail;
+      if (!r.Expect(':')) goto fail;
+      if (key == "schema") {
+        if (!r.String(&value)) goto fail;
+        if (value != "bblint.baseline.v1") {
+          *error = "unsupported baseline schema '" + value + "'";
+          return false;
+        }
+        saw_schema = true;
+      } else if (key == "suppressions") {
+        if (!r.Expect('[')) goto fail;
+        if (!r.Peek(']')) {
+          while (true) {
+            Finding f;
+            if (!r.Expect('{')) goto fail;
+            if (!r.Peek('}')) {
+              while (true) {
+                std::string fkey;
+                if (!r.String(&fkey)) goto fail;
+                if (!r.Expect(':')) goto fail;
+                if (!r.String(&value)) goto fail;
+                if (fkey == "rule") {
+                  f.rule = value;
+                } else if (fkey == "file") {
+                  f.file = value;
+                } else if (fkey == "message") {
+                  f.message = value;
+                } else {
+                  *error = "unknown suppression key '" + fkey + "'";
+                  return false;
+                }
+                if (r.Peek(',')) {
+                  r.Expect(',');
+                  continue;
+                }
+                break;
+              }
+            }
+            if (!r.Expect('}')) goto fail;
+            if (f.rule.empty() || f.file.empty()) {
+              *error = "suppression needs at least \"rule\" and \"file\"";
+              return false;
+            }
+            out->suppressions.push_back(std::move(f));
+            if (r.Peek(',')) {
+              r.Expect(',');
+              continue;
+            }
+            break;
+          }
+        }
+        if (!r.Expect(']')) goto fail;
+      } else {
+        *error = "unknown baseline key '" + key + "'";
+        return false;
+      }
+      if (r.Peek(',')) {
+        r.Expect(',');
+        continue;
+      }
+      break;
+    }
+  }
+  if (!r.Expect('}')) goto fail;
+  if (!r.AtEnd()) {
+    *error = "trailing garbage after baseline document";
+    return false;
+  }
+  if (!saw_schema) {
+    *error = "baseline is missing \"schema\": \"bblint.baseline.v1\"";
+    return false;
+  }
+  return true;
+
+fail:
+  *error = r.error();
+  return false;
+}
+
+std::string WriteBaseline(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"bblint.baseline.v1\",\n  \"suppressions\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "    { \"rule\": \"" << JsonEscape(f.rule) << "\", \"file\": \""
+        << JsonEscape(f.file) << "\", \"message\": \""
+        << JsonEscape(f.message) << "\" }";
+  }
+  out << (findings.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   std::vector<Finding>* stale) {
+  // An entry with an empty message matches every finding of that (rule,
+  // file) pair - useful for accepting a whole family in one line while the
+  // sweep is in flight.
+  std::vector<bool> entry_used(baseline.suppressions.size(), false);
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.suppressions.size(); ++i) {
+      const Finding& s = baseline.suppressions[i];
+      if (s.rule == f.rule && s.file == f.file &&
+          (s.message.empty() || s.message == f.message)) {
+        entry_used[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) kept.push_back(f);
+  }
+  if (stale != nullptr) {
+    stale->clear();
+    for (std::size_t i = 0; i < baseline.suppressions.size(); ++i) {
+      if (!entry_used[i]) stale->push_back(baseline.suppressions[i]);
+    }
+  }
+  return kept;
+}
+
+}  // namespace bb::lint

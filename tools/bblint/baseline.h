@@ -1,0 +1,46 @@
+// Ratcheting baseline for bblint: a checked-in list of accepted findings
+// (tools/bblint/baseline.json) so a new rule can land enforcing only *new*
+// violations, then ratchet down to empty as old ones are fixed.
+//
+// A baseline entry matches on (rule, file, message) - deliberately not on
+// line numbers, which churn with every unrelated edit. Matching findings
+// are filtered out of the report; entries that no longer match anything
+// are stale and reported as such (informational) so the baseline only ever
+// shrinks.
+//
+// File format (bblint.baseline.v1):
+//   {
+//     "schema": "bblint.baseline.v1",
+//     "suppressions": [
+//       { "rule": "...", "file": "...", "message": "..." }
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bblint.h"
+
+namespace bb::lint {
+
+struct Baseline {
+  // Accepted findings; line is ignored for matching.
+  std::vector<Finding> suppressions;
+};
+
+// Parses baseline JSON. On malformed input returns false and sets *error.
+bool ParseBaseline(const std::string& text, Baseline* out,
+                   std::string* error);
+
+// Serializes findings as a baseline document (deterministic byte output).
+std::string WriteBaseline(const std::vector<Finding>& findings);
+
+// Removes findings matched by the baseline. Every matched baseline entry
+// is marked used; unused entries are returned through *stale (they name
+// violations that no longer exist and should be deleted from the file).
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline,
+                                   std::vector<Finding>* stale);
+
+}  // namespace bb::lint

@@ -1,197 +1,18 @@
 #include "bblint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <regex>
 #include <set>
 #include <sstream>
 
+#include "project.h"
+#include "source.h"
+
 namespace bb::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source preparation
-// ---------------------------------------------------------------------------
-
-// The per-file view every rule works on: the raw text (for suppression
-// comments), the same text with comments and string/char literals blanked
-// out (what rules actually match against), and both split into lines.
-struct FileView {
-  std::string path;       // repo-relative, forward slashes
-  bool is_header = false;
-  std::string stripped;   // comments + literal contents replaced by spaces
-  std::vector<std::string> raw_lines;
-  std::vector<std::string> stripped_lines;
-  // suppressed[i] = rules allowed on 1-based line i+1 (already merged with
-  // comment-only lines immediately above).
-  std::vector<std::set<std::string>> suppressed;
-};
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
-
-// Blanks out //- and /**/-comments and the contents of string and character
-// literals (delimiters are kept so token boundaries survive). Newlines are
-// preserved so line numbers line up with the raw text. Raw string literals
-// are handled well enough for this codebase (default-delimiter R"( ... )").
-std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class St { Code, LineComment, BlockComment, String, Char, RawString };
-  St st = St::Code;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case St::Code:
-        if (c == '/' && next == '/') {
-          st = St::LineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          st = St::BlockComment;
-          out[i] = ' ';
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !(std::isalnum(static_cast<unsigned char>(
-                                    src[i - 1])) ||
-                                src[i - 1] == '_'))) {
-          st = St::RawString;
-          ++i;  // keep R and the quote
-        } else if (c == '"') {
-          st = St::String;
-        } else if (c == '\'') {
-          st = St::Char;
-        }
-        break;
-      case St::LineComment:
-        if (c == '\n') {
-          st = St::Code;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case St::BlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::String:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::Char:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && next != '\0') out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::RawString:
-        // Default-delimiter raw strings only: terminated by )".
-        if (c == ')' && next == '"') {
-          ++i;
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-bool IsBlank(const std::string& s) {
-  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
-    return std::isspace(c) != 0;
-  });
-}
-
-// Parses every "bblint: allow(a, b)" marker on the raw line.
-std::set<std::string> ParseAllows(const std::string& raw_line) {
-  std::set<std::string> rules;
-  static const std::regex kAllow(R"(bblint:\s*allow\(([^)]*)\))");
-  auto begin =
-      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::string list = (*it)[1].str();
-    std::string name;
-    std::istringstream ss(list);
-    while (std::getline(ss, name, ',')) {
-      name.erase(std::remove_if(name.begin(), name.end(),
-                                [](unsigned char c) {
-                                  return std::isspace(c) != 0;
-                                }),
-                 name.end());
-      if (!name.empty()) rules.insert(name);
-    }
-  }
-  return rules;
-}
-
-FileView MakeFileView(const std::string& path, const std::string& content) {
-  FileView v;
-  v.path = path;
-  const auto dot = path.find_last_of('.');
-  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
-  v.is_header = ext == ".h" || ext == ".hh" || ext == ".hpp";
-  v.stripped = StripCommentsAndStrings(content);
-  v.raw_lines = SplitLines(content);
-  v.stripped_lines = SplitLines(v.stripped);
-  v.suppressed.resize(v.raw_lines.size());
-  for (std::size_t i = 0; i < v.raw_lines.size(); ++i) {
-    auto here = ParseAllows(v.raw_lines[i]);
-    v.suppressed[i].insert(here.begin(), here.end());
-    // A comment-only allow() line also covers the next line of code.
-    if (!here.empty() && IsBlank(v.stripped_lines[i]) &&
-        i + 1 < v.raw_lines.size()) {
-      v.suppressed[i + 1].insert(here.begin(), here.end());
-    }
-  }
-  return v;
-}
-
-bool Suppressed(const FileView& v, int line, const std::string& rule) {
-  if (line < 1 || static_cast<std::size_t>(line) > v.suppressed.size()) {
-    return false;
-  }
-  const auto& s = v.suppressed[static_cast<std::size_t>(line) - 1];
-  return s.count(rule) > 0 || s.count("all") > 0;
-}
-
-int LineOfOffset(const std::string& text, std::size_t offset) {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(), text.begin() + offset, '\n'));
-}
 
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -500,7 +321,10 @@ void CheckFullCallMaterialization(const FileView& v,
 // the shape `LoadBbv(path);` where nothing consumes the result. The
 // curated list names the error-returning entry points whose failure always
 // matters; an intentional drop must say so with an explicit (void) cast
-// (which also reads as intent) or a bblint allow().
+// (which also reads as intent) or a bblint allow(). The project-phase
+// no-unchecked-result rule generalizes this to every declared Status/Result
+// function; this line rule stays as the zero-setup fallback that also works
+// on a single file.
 void CheckSilentErrorDrop(const FileView& v, std::vector<Finding>* out) {
   static const std::regex kBareCall(
       R"(^\s*(?:\w+\s*::\s*)*)"
@@ -537,16 +361,16 @@ void CheckSilentErrorDrop(const FileView& v, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Registry
+// Catalog
 // ---------------------------------------------------------------------------
 
-struct Rule {
+struct LineRule {
   const char* name;
   void (*check)(const FileView&, std::vector<Finding>*);
 };
 
-const std::vector<Rule>& Registry() {
-  static const std::vector<Rule> kRules = {
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule> kRules = {
       {kRuleNondeterminism, CheckNondeterminism},
       {kRuleRawPixelIndexing, CheckRawPixelIndexing},
       {kRuleFloatAccumulation, CheckFloatAccumulation},
@@ -560,17 +384,74 @@ const std::vector<Rule>& Registry() {
 
 }  // namespace
 
+const std::vector<RuleInfo>& RuleCatalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {kRuleNondeterminism, RulePhase::kLine,
+       "no unseeded randomness or wall-clock reads; all randomness flows "
+       "through synth::Rng, all timing through trace::MonotonicSeconds",
+       "exempt: src/synth/rng.h; timing exempt: src/common/trace.cpp, "
+       "tools/"},
+      {kRuleRawPixelIndexing, RulePhase::kLine,
+       "pixel access goes through the bounds-checked ImageT accessors, "
+       "never y*width+x arithmetic",
+       "exempt: src/imaging/image.h"},
+      {kRuleFloatAccumulation, RulePhase::kLine,
+       "no float += on by-reference captures inside ParallelFor/"
+       "ParallelShards bodies; reduce through per-shard accumulators", ""},
+      {kRuleFloatTruncation, RulePhase::kLine,
+       "int casts of floating multiply/divide go through std::lround or an "
+       "explicit floor/ceil/trunc", ""},
+      {kRuleHeaderHygiene, RulePhase::kLine,
+       "headers have #pragma once, no 'using namespace', no <iostream>",
+       "headers only"},
+      {kRuleFullCallMaterialization, RulePhase::kLine,
+       "the reconstruction core stays O(window): never own or grow a "
+       "VideoStream in src/core/",
+       "src/core/ only"},
+      {kRuleSilentErrorDrop, RulePhase::kLine,
+       "no bare-statement calls to the curated must-check Status/Result "
+       "functions (LoadBbv, SaveCheckpoint, ...)", ""},
+      {kRuleLayering, RulePhase::kProject,
+       "module includes follow the layer DAG common -> imaging -> {video, "
+       "segmentation, synth, vbg, detect, datasets} -> core -> {cli, apps, "
+       "tools, bench, tests}; no back-edges, no include cycles", ""},
+      {kRuleUncheckedResult, RulePhase::kProject,
+       "no call site discards a declared bb::Status/Result<T> return; "
+       "(void) casts need an allow() tag with a reason string", ""},
+      {kRuleRegistryConsistency, RulePhase::kProject,
+       "every trace counter/stage and fault-injection point is declared "
+       "exactly once in tools/bblint/registry.manifest and spelled "
+       "consistently at every use",
+       "references scanned in src/, apps/, bench/"},
+      {kRuleHeaderSelfContainment, RulePhase::kBuild,
+       "every header compiles standalone (one generated TU per header; "
+       "CMake target bb_header_selfcheck, ctest lint.HeaderSelfContainment)",
+       "src/ headers"},
+  };
+  return kCatalog;
+}
+
 std::vector<std::string> RuleNames() {
   std::vector<std::string> names;
-  for (const auto& r : Registry()) names.push_back(r.name);
+  for (const auto& r : RuleCatalog()) names.push_back(r.name);
   return names;
 }
 
+namespace {
+
+bool RuleEnabled(const Options& options, const char* rule) {
+  return options.only_rule.empty() || options.only_rule == rule;
+}
+
+}  // namespace
+
 std::vector<Finding> LintContent(const std::string& path,
-                                 const std::string& content) {
+                                 const std::string& content,
+                                 const Options& options) {
   const FileView v = MakeFileView(path, content);
   std::vector<Finding> all;
-  for (const auto& rule : Registry()) {
+  for (const auto& rule : LineRules()) {
+    if (!RuleEnabled(options, rule.name)) continue;
     std::vector<Finding> found;
     rule.check(v, &found);
     for (auto& f : found) {
@@ -585,17 +466,19 @@ std::vector<Finding> LintContent(const std::string& path,
 }
 
 std::vector<Finding> LintFile(const std::string& rel_path,
-                              const std::string& abs_path) {
+                              const std::string& abs_path,
+                              const Options& options) {
   std::ifstream in(abs_path, std::ios::binary);
   if (!in) {
     return {{rel_path, 0, "lint-io", "could not read file"}};
   }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return LintContent(rel_path, ss.str());
+  return LintContent(rel_path, ss.str(), options);
 }
 
-std::vector<Finding> LintTree(const std::string& root) {
+std::vector<Finding> LintTree(const std::string& root,
+                              const Options& options) {
   namespace fs = std::filesystem;
   static const std::vector<std::string> kSubdirs = {"src", "apps", "bench",
                                                     "tools", "tests"};
@@ -622,11 +505,39 @@ std::vector<Finding> LintTree(const std::string& root) {
     }
   }
   std::sort(files.begin(), files.end());
+
   std::vector<Finding> all;
+  std::vector<SourceDoc> docs;
+  docs.reserve(files.size());
   for (const auto& [rel, abs] : files) {
-    auto found = LintFile(rel, abs);
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      all.push_back({rel, 0, "lint-io", "could not read file"});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    docs.push_back({rel, ss.str()});
+  }
+
+  // Phase 1: line rules per file.
+  for (const auto& doc : docs) {
+    auto found = LintContent(doc.path, doc.content, options);
     all.insert(all.end(), found.begin(), found.end());
   }
+
+  // Phase 2: project rules over the whole tree. The registry manifest is
+  // read from its checked-in location; a missing manifest is itself a
+  // registry-consistency finding (emitted by LintProject).
+  const Project project = BuildProjectFromDisk(root, std::move(docs));
+  auto project_findings = LintProject(project, options);
+  all.insert(all.end(), project_findings.begin(), project_findings.end());
+
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
   return all;
 }
 

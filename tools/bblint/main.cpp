@@ -1,37 +1,126 @@
-// bblint CLI: scans the repository and exits nonzero on any finding, so it
-// can gate ctest/CI. See bblint.h for the rule set and suppression syntax.
+// bblint CLI: scans the repository (line rules + whole-tree project rules)
+// and exits nonzero on any finding, so it can gate ctest/CI. See bblint.h
+// for the rule catalog and suppression syntax.
+//
+// Exit codes: 0 clean (or all findings baselined), 1 findings, 2 usage or
+// configuration error (unknown flag/rule, unreadable baseline).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "baseline.h"
 #include "bblint.h"
+#include "sarif.h"
 
 namespace {
 
 void PrintUsage() {
   std::printf(
-      "usage: bblint [--root DIR] [--list-rules]\n"
+      "usage: bblint [--root DIR] [--rule NAME] [--sarif FILE]\n"
+      "              [--baseline FILE] [--write-baseline FILE]\n"
+      "              [--list-rules]\n"
       "\n"
       "Project-specific static analysis for Background Buster. Scans\n"
       "src/, apps/, bench/, tools/, and tests/ under DIR (default: .)\n"
-      "and reports violations of the determinism / bounds-safety /\n"
-      "header-hygiene rules. Exits 1 when any finding is reported.\n"
+      "with the per-line rules, then builds the whole-tree project model\n"
+      "(include graph, Status/Result registry, trace/fault name registry)\n"
+      "and runs the cross-TU rules. Exits 1 when any finding is reported.\n"
+      "\n"
+      "  --list-rules          print every rule with its phase, one-line\n"
+      "                        doc and path gate, then exit\n"
+      "  --rule NAME           run a single rule in isolation\n"
+      "  --sarif FILE          also write findings as SARIF 2.1.0\n"
+      "  --baseline FILE       filter findings through a checked-in\n"
+      "                        baseline (ratchet); stale entries are\n"
+      "                        reported but do not fail the run\n"
+      "  --write-baseline FILE write the current findings as a baseline\n"
       "\n"
       "Suppress a false positive per line with:\n"
-      "    // bblint: allow(<rule>[, <rule>...])\n");
+      "    // bblint: allow(<rule>[, <rule>...])\n"
+      "Rules that demand documented suppressions take a reason:\n"
+      "    // bblint: allow(<rule>) -- <why this is safe>\n");
+}
+
+const char* PhaseName(bb::lint::RulePhase phase) {
+  switch (phase) {
+    case bb::lint::RulePhase::kLine: return "line";
+    case bb::lint::RulePhase::kProject: return "project";
+    case bb::lint::RulePhase::kBuild: return "build";
+  }
+  return "?";
+}
+
+void ListRules() {
+  for (const auto& info : bb::lint::RuleCatalog()) {
+    std::printf("%-30s [%s] %s\n", info.name, PhaseName(info.phase),
+                info.doc);
+    if (info.path_gate[0] != '\0') {
+      std::printf("%-30s        gate: %s\n", "", info.path_gate);
+    }
+  }
+}
+
+bool KnownRule(const std::string& name) {
+  for (const auto& info : bb::lint::RuleCatalog()) {
+    if (name == info.name) return true;
+  }
+  return false;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string sarif_path, baseline_path, write_baseline_path;
+  bb::lint::Options options;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
-      root = argv[++i];
-    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
-      for (const auto& name : bb::lint::RuleNames()) {
-        std::printf("%s\n", name.c_str());
+    const auto want_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bblint: %s needs a value\n", flag);
+        return nullptr;
       }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--root") == 0) {
+      const char* v = want_value("--root");
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (std::strcmp(argv[i], "--rule") == 0) {
+      const char* v = want_value("--rule");
+      if (v == nullptr) return 2;
+      options.only_rule = v;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      const char* v = want_value("--sarif");
+      if (v == nullptr) return 2;
+      sarif_path = v;
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      const char* v = want_value("--baseline");
+      if (v == nullptr) return 2;
+      baseline_path = v;
+    } else if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      const char* v = want_value("--write-baseline");
+      if (v == nullptr) return 2;
+      write_baseline_path = v;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      ListRules();
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
@@ -44,7 +133,68 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto findings = bb::lint::LintTree(root);
+  if (!options.only_rule.empty() && !KnownRule(options.only_rule)) {
+    std::fprintf(stderr,
+                 "bblint: unknown rule '%s' (see --list-rules)\n",
+                 options.only_rule.c_str());
+    return 2;
+  }
+  if (options.only_rule == bb::lint::kRuleHeaderSelfContainment) {
+    std::fprintf(stderr,
+                 "bblint: rule '%s' is build-driven: build the CMake "
+                 "target bb_header_selfcheck (ctest "
+                 "lint.HeaderSelfContainment)\n",
+                 options.only_rule.c_str());
+    return 2;
+  }
+
+  auto findings = bb::lint::LintTree(root, options);
+
+  if (!write_baseline_path.empty()) {
+    if (!WriteFile(write_baseline_path,
+                   bb::lint::WriteBaseline(findings))) {
+      std::fprintf(stderr, "bblint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bblint: wrote %zu baseline entr%s to %s\n",
+                findings.size(), findings.size() == 1 ? "y" : "ies",
+                write_baseline_path.c_str());
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, &text)) {
+      std::fprintf(stderr, "bblint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    bb::lint::Baseline baseline;
+    std::string error;
+    if (!bb::lint::ParseBaseline(text, &baseline, &error)) {
+      std::fprintf(stderr, "bblint: malformed baseline %s: %s\n",
+                   baseline_path.c_str(), error.c_str());
+      return 2;
+    }
+    std::vector<bb::lint::Finding> stale;
+    findings = bb::lint::ApplyBaseline(findings, baseline, &stale);
+    for (const auto& s : stale) {
+      std::printf("bblint: stale baseline entry (fixed - delete it): "
+                  "[%s] %s%s%s\n",
+                  s.rule.c_str(), s.file.c_str(),
+                  s.message.empty() ? "" : ": ",
+                  s.message.c_str());
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    if (!WriteFile(sarif_path, bb::lint::WriteSarif(findings))) {
+      std::fprintf(stderr, "bblint: cannot write SARIF %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+  }
+
   for (const auto& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());

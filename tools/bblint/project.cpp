@@ -1,0 +1,689 @@
+#include "project.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "source.h"
+
+namespace bb::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Module tiers
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, int>& ModuleTiers() {
+  static const std::map<std::string, int> kTiers = {
+      {"common", 0},
+      {"imaging", 1},
+      {"video", 2},   {"segmentation", 2}, {"synth", 2},
+      {"vbg", 2},     {"detect", 2},       {"datasets", 2},
+      {"core", 3},
+      {"cli", 4},     {"apps", 4},         {"bench", 4},
+      {"tools", 4},   {"tests", 4},
+  };
+  return kTiers;
+}
+
+// ---------------------------------------------------------------------------
+// Project model
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+  int line = 0;           // 1-based line of the #include in the includer
+  std::string raw;        // include string as written
+  int target = -1;        // index into Model::views, -1 when external
+};
+
+struct Model {
+  std::vector<FileView> views;               // one per project.docs entry
+  std::map<std::string, int> index;          // path -> views index
+  std::vector<std::vector<IncludeEdge>> includes;  // per view
+};
+
+// Lexically normalizes "a/b/../c" shapes so same-directory includes with
+// relative segments still resolve inside the project map.
+std::string NormalizePath(const std::string& path) {
+  return std::filesystem::path(path).lexically_normal().generic_string();
+}
+
+Model BuildModel(const Project& project) {
+  Model m;
+  m.views.reserve(project.docs.size());
+  for (const auto& doc : project.docs) {
+    m.index.emplace(doc.path, static_cast<int>(m.views.size()));
+    m.views.push_back(MakeFileView(doc.path, doc.content));
+  }
+  m.includes.resize(m.views.size());
+
+  // Quoted includes resolve against (in order): src/ (the module include
+  // root every library target exports), the includer's own directory, and
+  // the two secondary include roots real targets add (tools/bblint for the
+  // lint tests, bench/ for bench_util.h/report.h).
+  static const std::regex kIncludeShape(R"(^\s*#\s*include\s*")");
+  for (std::size_t fi = 0; fi < m.views.size(); ++fi) {
+    const FileView& v = m.views[fi];
+    const std::string dir =
+        v.path.find('/') == std::string::npos
+            ? ""
+            : v.path.substr(0, v.path.find_last_of('/') + 1);
+    for (std::size_t li = 0; li < v.stripped_lines.size(); ++li) {
+      // The stripper blanks literal contents, so detect the directive on
+      // the stripped line and read the path from the raw one.
+      if (!std::regex_search(v.stripped_lines[li], kIncludeShape)) continue;
+      const std::string& raw = v.raw_lines[li];
+      const auto open = raw.find('"');
+      if (open == std::string::npos) continue;
+      const auto close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string inc = raw.substr(open + 1, close - open - 1);
+
+      IncludeEdge edge;
+      edge.line = static_cast<int>(li + 1);
+      edge.raw = inc;
+      for (const std::string& base :
+           {std::string("src/") + inc, dir + inc,
+            std::string("tools/bblint/") + inc, std::string("bench/") + inc}) {
+        const auto it = m.index.find(NormalizePath(base));
+        if (it != m.index.end()) {
+          edge.target = it->second;
+          break;
+        }
+      }
+      m.includes[fi].push_back(std::move(edge));
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layering
+// ---------------------------------------------------------------------------
+
+void CheckLayering(const Model& m, std::vector<Finding>* out) {
+  // Back-edges: an include may never climb to a higher tier. Tiers are
+  // absolute, so if every direct edge is level-or-downward no transitive
+  // chain can climb either; cycles within a tier are caught below.
+  for (std::size_t fi = 0; fi < m.views.size(); ++fi) {
+    const std::string from_module = ModuleOfPath(m.views[fi].path);
+    const int from_tier = TierOfModule(from_module);
+    if (from_tier < 0) continue;
+    for (const IncludeEdge& e : m.includes[fi]) {
+      if (e.target < 0) continue;
+      const std::string& to_path = m.views[e.target].path;
+      const std::string to_module = ModuleOfPath(to_path);
+      const int to_tier = TierOfModule(to_module);
+      if (to_tier < 0 || to_tier <= from_tier) continue;
+      out->push_back(
+          {m.views[fi].path, e.line, kRuleLayering,
+           "include chain " + m.views[fi].path + " -> " + to_path +
+               " breaks layering: module '" + from_module + "' (tier " +
+               std::to_string(from_tier) + ") may not reach up into '" +
+               to_module + "' (tier " + std::to_string(to_tier) +
+               "); the DAG is common -> imaging -> {video, segmentation, "
+               "synth, vbg, detect, datasets} -> core -> {cli, apps, "
+               "tools, bench, tests}"});
+    }
+  }
+
+  // File-level include cycles (headers including each other, possibly
+  // through intermediates). #pragma once hides these at compile time until
+  // a reorder breaks the build; reject them structurally, printing the
+  // whole chain. Iterative DFS with an explicit stack; each cycle is
+  // reported once, at its lexicographically smallest member.
+  const int n = static_cast<int>(m.views.size());
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<int> path;
+  std::set<std::string> reported;
+
+  std::function<void(int)> dfs = [&](int u) {
+    state[u] = 1;
+    path.push_back(u);
+    for (const IncludeEdge& e : m.includes[u]) {
+      const int v = e.target;
+      if (v < 0 || v == u) continue;
+      if (state[v] == 0) {
+        dfs(v);
+      } else if (state[v] == 1) {
+        // Found a cycle: the chain from v's position in `path` back to u.
+        auto it = std::find(path.begin(), path.end(), v);
+        std::vector<int> cycle(it, path.end());
+        // Canonical key so each cycle is reported once regardless of the
+        // DFS entry point.
+        int smallest = 0;
+        for (std::size_t k = 1; k < cycle.size(); ++k) {
+          if (m.views[cycle[k]].path < m.views[cycle[smallest]].path) {
+            smallest = static_cast<int>(k);
+          }
+        }
+        std::rotate(cycle.begin(), cycle.begin() + smallest, cycle.end());
+        std::string key, chain;
+        for (int f : cycle) {
+          if (!key.empty()) {
+            key += "|";
+            chain += " -> ";
+          }
+          key += m.views[f].path;
+          chain += m.views[f].path;
+        }
+        chain += " -> " + m.views[cycle.front()].path;
+        if (reported.insert(key).second) {
+          out->push_back({m.views[cycle.front()].path, 1, kRuleLayering,
+                          "include cycle: " + chain});
+        }
+      }
+    }
+    path.pop_back();
+    state[u] = 2;
+  };
+  for (int i = 0; i < n; ++i) {
+    if (state[i] == 0) dfs(i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unchecked-result
+// ---------------------------------------------------------------------------
+
+// Keywords that can precede a call expression and would otherwise look like
+// a return type to the declaration regex.
+bool IsTypePositionKeyword(const std::string& token) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "co_return", "co_await", "co_yield", "else",
+      "case",     "goto",      "new",      "delete",   "throw",
+      "operator", "if",        "while",    "for",      "do",
+      "using",    "typedef",   "typename", "template", "class",
+      "struct",   "enum",      "namespace","public",   "private",
+      "protected","not",       "and",      "or",       "sizeof",
+      "switch",   "default",   "break",    "continue",
+  };
+  return kKeywords.count(token) > 0;
+}
+
+bool IsStatusLikeType(const std::string& token) {
+  return token == "Status" || token == "bb::Status" ||
+         StartsWith(token, "Result<") || StartsWith(token, "bb::Result<");
+}
+
+// Every function name declared with a bb::Status or bb::Result<T> return
+// type anywhere in the project, minus names that are also declared with a
+// conflicting return type (no overload resolution here; shared names stay
+// conservative) and minus a tiny curated list of hopeless common names.
+std::set<std::string> MustCheckFunctions(const Model& m) {
+  std::set<std::string> names;
+  static const std::regex kStatusDecl(
+      R"(\b(?:bb\s*::\s*)?Status\s+(?:[A-Za-z_]\w*\s*::\s*)?([A-Za-z_]\w*)\s*\()");
+  static const std::regex kResultDecl(
+      R"(\b(?:bb\s*::\s*)?Result\s*<[^<>;{}]*>\s+(?:[A-Za-z_]\w*\s*::\s*)?([A-Za-z_]\w*)\s*\()");
+  for (const FileView& v : m.views) {
+    for (const auto* re : {&kStatusDecl, &kResultDecl}) {
+      auto begin =
+          std::sregex_iterator(v.stripped.begin(), v.stripped.end(), *re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        names.insert((*it)[1].str());
+      }
+    }
+  }
+
+  // Drop names that also appear with a non-Status return type. The scan
+  // looks for `<type-ish token> <name>(` shapes; keyword matches (e.g.
+  // `return Foo(`) are call sites, not declarations, and are ignored.
+  std::set<std::string> conflicted;
+  for (const std::string& name : names) {
+    const std::regex decl(
+        R"(\b([A-Za-z_][\w]*(?:\s*::\s*[A-Za-z_]\w*)*(?:\s*<[^<>;{}]*>)?)\s+)" +
+        name + R"(\s*\()");
+    for (const FileView& v : m.views) {
+      auto begin =
+          std::sregex_iterator(v.stripped.begin(), v.stripped.end(), decl);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::string type = (*it)[1].str();
+        // Canonicalize whitespace around :: and <>.
+        type.erase(std::remove_if(type.begin(), type.end(),
+                                  [](unsigned char c) {
+                                    return std::isspace(c) != 0;
+                                  }),
+                   type.end());
+        if (IsTypePositionKeyword(type)) continue;
+        // Qualifiers before the type (static Status Foo) are matched as
+        // the type on a second pass of the regex engine; `const`,
+        // `inline`, etc. never end up as the captured token because the
+        // real type sits between them and the name.
+        if (!IsStatusLikeType(type)) {
+          conflicted.insert(name);
+        }
+      }
+      if (conflicted.count(name) > 0) break;
+    }
+  }
+  for (const std::string& name : conflicted) names.erase(name);
+  return names;
+}
+
+// Offset of the first character of 1-based line `line` in `text`.
+std::size_t OffsetOfLine(const std::string& text, int line) {
+  std::size_t off = 0;
+  for (int i = 1; i < line; ++i) {
+    off = text.find('\n', off);
+    if (off == std::string::npos) return text.size();
+    ++off;
+  }
+  return off;
+}
+
+// From the opening paren at `open`, returns the offset one past the
+// matching close paren, or npos when unbalanced.
+std::size_t AfterBalancedParens(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < text.size(); ++j) {
+    if (text[j] == '(') ++depth;
+    if (text[j] == ')') {
+      --depth;
+      if (depth == 0) return j + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+struct ProjectFinding {
+  Finding finding;
+  bool suppressible = true;
+};
+
+void CheckUncheckedResult(const Model& m, std::vector<ProjectFinding>* out) {
+  const std::set<std::string> must_check = MustCheckFunctions(m);
+  if (must_check.empty()) return;
+
+  std::string alternation;
+  for (const std::string& name : must_check) {
+    if (!alternation.empty()) alternation += "|";
+    alternation += name;
+  }
+  // A statement-initial call (optionally (void)-cast, optionally reached
+  // through an object/namespace chain) to a must-check function.
+  const std::regex bare(
+      R"(^\s*(\(\s*void\s*\)\s*)?((?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*)()" +
+      alternation + R"()\s*\()");
+
+  for (const FileView& v : m.views) {
+    for (std::size_t li = 0; li < v.stripped_lines.size(); ++li) {
+      const std::string& line = v.stripped_lines[li];
+      // Consumption heuristics, same spirit as no-silent-error-drop:
+      // assignment/initialization/comparison, return, or a test macro.
+      if (line.find('=') != std::string::npos) continue;
+      if (line.find("return") != std::string::npos) continue;
+      if (line.find("EXPECT_") != std::string::npos ||
+          line.find("ASSERT_") != std::string::npos ||
+          line.find("CHECK") != std::string::npos) {
+        continue;
+      }
+      // A call that merely starts a continuation line is a subexpression
+      // of the previous statement (`auto x =\n    Foo(...)`, `if (Status s
+      // =\n    Foo(...)`), not a discarded call: skip when the previous
+      // non-blank line ends mid-expression.
+      bool continuation = false;
+      for (std::size_t pj = li; pj-- > 0;) {
+        const std::string& prev = v.stripped_lines[pj];
+        const auto last = prev.find_last_not_of(" \t\r");
+        if (last == std::string::npos) continue;  // blank (or comment) line
+        const char tail = prev[last];
+        static const std::string kOpenTails = "=(,&|?:+-*/<>!^";
+        continuation = kOpenTails.find(tail) != std::string::npos ||
+                       (last >= 5 && prev.compare(last - 5, 6, "return") == 0);
+        break;
+      }
+      if (continuation) continue;
+      std::smatch match;
+      if (!std::regex_search(line, match, bare)) continue;
+      const bool void_cast = match[1].matched;
+      const std::string callee = match[3].str();
+
+      // Find the call's closing paren in the full text (the argument list
+      // may span lines); anything chained after it consumes the value.
+      const std::size_t line_off =
+          OffsetOfLine(v.stripped, static_cast<int>(li + 1));
+      const std::size_t call_end = line_off +
+                                   static_cast<std::size_t>(match.position(3)) +
+                                   callee.size();
+      std::size_t paren = v.stripped.find('(', call_end);
+      if (paren == std::string::npos) continue;
+      const std::size_t after = AfterBalancedParens(v.stripped, paren);
+      if (after == std::string::npos) continue;
+      std::size_t k = after;
+      while (k < v.stripped.size() &&
+             std::isspace(static_cast<unsigned char>(v.stripped[k]))) {
+        ++k;
+      }
+      if (k >= v.stripped.size() || v.stripped[k] != ';') continue;
+
+      const int lineno = static_cast<int>(li + 1);
+      if (void_cast) {
+        if (SuppressedWithReason(v, lineno, kRuleUncheckedResult)) continue;
+        out->push_back(
+            {{v.path, lineno, kRuleUncheckedResult,
+              "(void)-cast discards the Status/Result of " + callee +
+                  "(); a deliberate drop must carry a reason: "
+                  "// bblint: allow(no-unchecked-result) -- <why>"},
+             /*suppressible=*/false});
+      } else {
+        out->push_back(
+            {{v.path, lineno, kRuleUncheckedResult,
+              "call discards the bb::Status/Result<T> returned by " +
+                  callee + "(); assign and check it (or (void)-cast with "
+                  "an allow() reason for a deliberate drop)"},
+             /*suppressible=*/true});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: registry-consistency
+// ---------------------------------------------------------------------------
+
+struct ManifestEntry {
+  std::string name;
+  int line = 0;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> counters, stages, faults;
+  std::vector<Finding> problems;
+};
+
+Manifest ParseManifest(const std::string& path, const std::string& text) {
+  Manifest m;
+  std::vector<ManifestEntry>* section = nullptr;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.front() == '[') {
+      if (line == "[counters]") {
+        section = &m.counters;
+      } else if (line == "[stages]") {
+        section = &m.stages;
+      } else if (line == "[faults]") {
+        section = &m.faults;
+      } else {
+        section = nullptr;
+        m.problems.push_back({path, lineno, kRuleRegistryConsistency,
+                              "unknown manifest section " + line +
+                                  " (want [counters], [stages] or "
+                                  "[faults])"});
+      }
+      continue;
+    }
+    if (section == nullptr) {
+      m.problems.push_back({path, lineno, kRuleRegistryConsistency,
+                            "manifest entry '" + line +
+                                "' appears before any section header"});
+      continue;
+    }
+    section->push_back({line, lineno});
+  }
+  return m;
+}
+
+// Lowercased, separator-free form used for did-you-mean suggestions:
+// "Stream.FramesPushed" and "stream_frames_pushed" normalize identically.
+std::string NormalizeName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == '.' || c == '_' || c == '-') continue;
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+struct NameUse {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+// Extracts the string literal opening at the double quote `quote` of the
+// RAW text (stripping preserves offsets, so a quote located in the
+// stripped text sits at the same offset in the raw). Returns false for
+// literals with escapes or line breaks - registry names never need them.
+bool LiteralAt(const std::string& raw, std::size_t quote, std::string* out) {
+  out->clear();
+  for (std::size_t i = quote + 1; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '"') return true;
+    if (c == '\\' || c == '\n') return false;
+    out->push_back(c);
+  }
+  return false;
+}
+
+void ScanNameUses(const FileView& v, const std::regex& re,
+                  std::vector<NameUse>* out) {
+  auto begin = std::sregex_iterator(v.stripped.begin(), v.stripped.end(), re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // The regex ends at the opening quote of the name literal.
+    const std::size_t quote =
+        static_cast<std::size_t>(it->position() + it->length() - 1);
+    std::string name;
+    if (!LiteralAt(v.raw, quote, &name) || name.empty()) continue;
+    out->push_back({name, v.path, LineOfOffset(v.stripped, quote)});
+  }
+}
+
+void CheckRegistryConsistency(const Project& project, const Model& m,
+                              std::vector<ProjectFinding>* out) {
+  if (!project.manifest_found) {
+    out->push_back({{project.manifest_path, 0, kRuleRegistryConsistency,
+                     "registry manifest not found; every trace counter, "
+                     "stage and fault point must be declared there"},
+                    /*suppressible=*/false});
+    return;
+  }
+  Manifest manifest =
+      ParseManifest(project.manifest_path, project.manifest_text);
+  for (Finding& f : manifest.problems) {
+    out->push_back({std::move(f), /*suppressible=*/false});
+  }
+
+  // Duplicate declarations (within a section).
+  struct Registry {
+    const char* what;
+    std::vector<ManifestEntry>* entries;
+    std::vector<NameUse> uses;
+  };
+  Registry registries[] = {
+      {"counter", &manifest.counters, {}},
+      {"stage", &manifest.stages, {}},
+      {"fault point", &manifest.faults, {}},
+  };
+  for (Registry& r : registries) {
+    std::map<std::string, int> first_line;
+    for (const ManifestEntry& e : *r.entries) {
+      auto [it, inserted] = first_line.emplace(e.name, e.line);
+      if (!inserted) {
+        out->push_back(
+            {{project.manifest_path, e.line, kRuleRegistryConsistency,
+              std::string(r.what) + " '" + e.name +
+                  "' is declared twice (first at line " +
+                  std::to_string(it->second) + "); declare each name "
+                  "exactly once"},
+             /*suppressible=*/false});
+      }
+    }
+  }
+
+  // Literal references in src/, apps/ and bench/. The registry
+  // implementation files are exempt: they manipulate arbitrary names by
+  // design. Tests and tools mint throwaway names freely.
+  static const std::regex kCounterUse(R"(\bAddCounter\s*\(\s*")");
+  static const std::regex kStageUse(
+      R"(\bScopedTimer\s+[A-Za-z_]\w*\s*\(\s*")");
+  static const std::regex kStageTempUse(R"(\bScopedTimer\s*\(\s*")");
+  static const std::regex kStageEmplaceUse(
+      R"(\b[A-Za-z_]\w*timer\w*\s*\.\s*emplace\s*\(\s*")");
+  static const std::regex kFaultUse(
+      R"(\bfaultinject\s*::\s*(?:At|NextCount)\s*\(\s*")");
+
+  for (const FileView& v : m.views) {
+    const bool scanned = StartsWith(v.path, "src/") ||
+                         StartsWith(v.path, "apps/") ||
+                         StartsWith(v.path, "bench/");
+    if (!scanned) continue;
+    if (StartsWith(v.path, "src/common/trace.") ||
+        StartsWith(v.path, "src/common/faultinject.")) {
+      continue;
+    }
+    ScanNameUses(v, kCounterUse, &registries[0].uses);
+    ScanNameUses(v, kStageUse, &registries[1].uses);
+    ScanNameUses(v, kStageTempUse, &registries[1].uses);
+    ScanNameUses(v, kStageEmplaceUse, &registries[1].uses);
+    ScanNameUses(v, kFaultUse, &registries[2].uses);
+  }
+
+  for (Registry& r : registries) {
+    std::set<std::string> declared;
+    std::map<std::string, std::string> normalized_to_declared;
+    for (const ManifestEntry& e : *r.entries) {
+      declared.insert(e.name);
+      normalized_to_declared.emplace(NormalizeName(e.name), e.name);
+    }
+    std::set<std::string> used;
+    // Dedupe identical (name, file, line) uses: the stage regexes overlap
+    // on `ScopedTimer name("x")` shapes.
+    std::set<std::string> seen_use_keys;
+    for (const NameUse& u : r.uses) {
+      used.insert(u.name);
+      if (declared.count(u.name) > 0) continue;
+      const std::string key =
+          u.name + "\n" + u.file + "\n" + std::to_string(u.line);
+      if (!seen_use_keys.insert(key).second) continue;
+      std::string message = std::string(r.what) + " '" + u.name +
+                            "' is not declared in " + project.manifest_path;
+      const auto near = normalized_to_declared.find(NormalizeName(u.name));
+      if (near != normalized_to_declared.end()) {
+        message += "; did you mean '" + near->second +
+                   "'? (a forked spelling splits the registry silently)";
+      }
+      out->push_back(
+          {{u.file, u.line, kRuleRegistryConsistency, std::move(message)},
+           /*suppressible=*/true});
+    }
+    for (const ManifestEntry& e : *r.entries) {
+      if (used.count(e.name) > 0) continue;
+      out->push_back(
+          {{project.manifest_path, e.line, kRuleRegistryConsistency,
+            std::string(r.what) + " '" + e.name +
+                "' is declared but never referenced from src/, apps/ or "
+                "bench/ (stale after a rename, or a fork left behind)"},
+           /*suppressible=*/false});
+    }
+  }
+}
+
+}  // namespace
+
+std::string ModuleOfPath(const std::string& path) {
+  std::string head = path.substr(0, path.find('/'));
+  if (head != "src") return head;
+  const auto second = path.find('/', 4);
+  if (path.size() <= 4 || second == std::string::npos) {
+    return path.substr(4);
+  }
+  return path.substr(4, second - 4);
+}
+
+int TierOfModule(const std::string& module) {
+  const auto it = ModuleTiers().find(module);
+  return it == ModuleTiers().end() ? -1 : it->second;
+}
+
+Project BuildProjectFromDisk(const std::string& root,
+                             std::vector<SourceDoc> docs) {
+  Project p;
+  p.docs = std::move(docs);
+  p.manifest_path = kRegistryManifestPath;
+  const std::filesystem::path abs =
+      std::filesystem::path(root) / kRegistryManifestPath;
+  std::ifstream in(abs, std::ios::binary);
+  if (in) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    p.manifest_text = ss.str();
+    p.manifest_found = true;
+  }
+  return p;
+}
+
+Project MakeProject(std::vector<SourceDoc> docs, std::string manifest_text) {
+  Project p;
+  p.docs = std::move(docs);
+  p.manifest_path = kRegistryManifestPath;
+  p.manifest_text = std::move(manifest_text);
+  p.manifest_found = true;
+  return p;
+}
+
+std::vector<Finding> LintProject(const Project& project,
+                                 const Options& options) {
+  const Model model = BuildModel(project);
+
+  std::vector<ProjectFinding> raw;
+  const auto enabled = [&](const char* rule) {
+    return options.only_rule.empty() || options.only_rule == rule;
+  };
+  if (enabled(kRuleLayering)) {
+    std::vector<Finding> found;
+    CheckLayering(model, &found);
+    for (Finding& f : found) {
+      raw.push_back({std::move(f), /*suppressible=*/true});
+    }
+  }
+  if (enabled(kRuleUncheckedResult)) {
+    CheckUncheckedResult(model, &raw);
+  }
+  if (enabled(kRuleRegistryConsistency)) {
+    CheckRegistryConsistency(project, model, &raw);
+  }
+
+  std::vector<Finding> all;
+  for (ProjectFinding& pf : raw) {
+    if (pf.suppressible) {
+      const auto it = model.index.find(pf.finding.file);
+      if (it != model.index.end() &&
+          Suppressed(model.views[static_cast<std::size_t>(it->second)],
+                     pf.finding.line, pf.finding.rule)) {
+        continue;
+      }
+    }
+    all.push_back(std::move(pf.finding));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return all;
+}
+
+}  // namespace bb::lint

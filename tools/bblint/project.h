@@ -1,0 +1,83 @@
+// bblint phase 2: the project model and the cross-TU rule families.
+//
+// Phase 1 (bblint.cpp) sees one file at a time; the bugs that silently
+// break the reproduction - a core/ helper reaching down into imaging/
+// internals, a dropped Result<T> in a new call site, a trace counter
+// incremented under two different spellings - are cross-file properties.
+// LintProject() builds a whole-tree model and checks them:
+//
+//   * include graph  - every `#include "..."` edge resolved against the
+//     project (src/-rooted module includes, same-directory includes, and
+//     the tools/bblint/ + bench/ include roots), with module tiers:
+//         tier 0  common
+//         tier 1  imaging
+//         tier 2  video, segmentation, synth, vbg, detect, datasets
+//         tier 3  core
+//         tier 4  cli, apps, bench, tools, tests
+//     The `layering` rule rejects includes that climb tiers (back-edges)
+//     and any file-level include cycle, printing the offending chain.
+//   * declared must-check functions - every function declared anywhere in
+//     the tree with a bb::Status or bb::Result<T> return type. Names also
+//     declared with a conflicting return type are dropped (the scanner has
+//     no overload resolution; a shared name stays conservative). The
+//     `no-unchecked-result` rule flags bare-statement calls that discard
+//     such a return; a `(void)` cast is only accepted when the line carries
+//     `// bblint: allow(no-unchecked-result) -- <reason>`.
+//   * name registries - tools/bblint/registry.manifest declares every trace
+//     counter, stage timer and fault-injection point exactly once. The
+//     `registry-consistency` rule checks each literal reference in src/,
+//     apps/ and bench/ against the manifest, and each manifest entry
+//     against the tree, so a counter forked under a second spelling (or
+//     left behind after a rename) cannot accumulate silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bblint.h"
+
+namespace bb::lint {
+
+// One source file: repo-relative path (forward slashes) plus its content.
+struct SourceDoc {
+  std::string path;
+  std::string content;
+};
+
+// The analyzer's whole-tree input. Build with BuildProjectFromDisk() for
+// the real tree or MakeProject() for in-memory tests.
+struct Project {
+  std::vector<SourceDoc> docs;  // sorted by path
+  std::string manifest_path;    // repo-relative, used in findings
+  std::string manifest_text;
+  bool manifest_found = false;
+};
+
+// Repo-relative location of the registry manifest.
+inline constexpr const char* kRegistryManifestPath =
+    "tools/bblint/registry.manifest";
+
+// Pairs `docs` with the registry manifest read from `root`. A missing
+// manifest is recorded (not fatal); LintProject reports it as a
+// registry-consistency finding.
+Project BuildProjectFromDisk(const std::string& root,
+                             std::vector<SourceDoc> docs);
+
+// In-memory project for tests: `docs` plus a manifest given as text.
+Project MakeProject(std::vector<SourceDoc> docs, std::string manifest_text);
+
+// Runs the phase-2 rules (layering, no-unchecked-result,
+// registry-consistency), honoring options.only_rule and the per-line
+// allow() suppressions. Findings are ordered by (file, line).
+std::vector<Finding> LintProject(const Project& project,
+                                 const Options& options = {});
+
+// The module a repo-relative path belongs to: "src/core/x.cpp" -> "core",
+// "apps/backbuster.cpp" -> "apps", "tools/bblint/main.cpp" -> "tools".
+std::string ModuleOfPath(const std::string& path);
+
+// The layer tier of a module (see the DAG above); -1 for unknown modules,
+// which the layering rule treats as unconstrained.
+int TierOfModule(const std::string& module);
+
+}  // namespace bb::lint

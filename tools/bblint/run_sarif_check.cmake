@@ -1,0 +1,24 @@
+# Helper for the lint.SarifIsValid ctest entry: run bblint over the tree
+# with SARIF output, then validate the document with the standalone
+# sarif_check parser. Driven as `cmake -P` so the two-step pipeline works
+# without assuming a POSIX shell.
+#
+# Required -D variables: BBLINT, SARIF_CHECK, ROOT, OUT.
+foreach(var BBLINT SARIF_CHECK ROOT OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_sarif_check.cmake needs -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${BBLINT} --root ${ROOT} --sarif ${OUT}
+          --baseline ${ROOT}/tools/bblint/baseline.json
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "bblint exited ${lint_rc} (findings or error)")
+endif()
+
+execute_process(COMMAND ${SARIF_CHECK} ${OUT} RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "sarif_check rejected ${OUT} (exit ${check_rc})")
+endif()

@@ -1,0 +1,97 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace bb::lint {
+
+namespace {
+
+// JSON string escaping: the two mandatory characters plus control bytes.
+// Findings carry file paths and rule prose, but a hostile source file can
+// put anything into a message (e.g. a counter name with quotes), so escape
+// defensively.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WriteSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"bblint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/background-buster/bblint\",\n"
+      << "          \"rules\": [\n";
+  const auto& catalog = RuleCatalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out << "            {\n"
+        << "              \"id\": \"" << JsonEscape(catalog[i].name)
+        << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << JsonEscape(catalog[i].doc) << "\" }\n"
+        << "            }" << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    // SARIF regions are 1-based; a finding at line 0 (whole-file problems
+    // like an unreadable file or a missing manifest) anchors to line 1.
+    const int line = f.line > 0 ? f.line : 1;
+    out << "        {\n"
+        << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << JsonEscape(f.message)
+        << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \""
+        << JsonEscape(f.file) << "\", \"uriBaseId\": \"SRCROOT\" },\n"
+        << "                \"region\": { \"startLine\": " << line << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace bb::lint

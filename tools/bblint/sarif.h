@@ -1,0 +1,21 @@
+// SARIF 2.1.0 output for bblint findings, so editors and CI dashboards can
+// consume the lint results without parsing the human-readable text. The
+// writer emits one run with the full rule catalog as driver rules and one
+// result per finding; tools/bblint/sarif_check.cpp validates the shape with
+// its own standalone parser (same discipline as tools/report_check for
+// bb.bench.v1: the validator must not share a serialization bug with the
+// writer it checks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bblint.h"
+
+namespace bb::lint {
+
+// Serializes `findings` as a SARIF 2.1.0 document (UTF-8, trailing
+// newline). Deterministic: same findings, same bytes.
+std::string WriteSarif(const std::vector<Finding>& findings);
+
+}  // namespace bb::lint

@@ -1,0 +1,508 @@
+// sarif_check: standalone validator for bblint's SARIF 2.1.0 output.
+//
+// Deliberately does NOT link against the sarif.cpp writer or any shared
+// JSON code - same discipline as tools/report_check for bb.bench.v1: a
+// validator that reuses the writer's serialization would rubber-stamp the
+// writer's bugs. This file carries its own small JSON parser and checks
+// the subset of the SARIF 2.1.0 schema that bblint emits:
+//
+//   - top-level object with "$schema" (sarif-schema-2.1.0), "version"
+//     ("2.1.0") and a non-empty "runs" array
+//   - runs[0].tool.driver.name == "bblint", with a non-empty "rules"
+//     array where every rule has a unique "id" and a
+//     shortDescription.text
+//   - every results[] entry has a "ruleId" naming a declared rule, a
+//     "level", a message.text, and at least one location with
+//     physicalLocation.artifactLocation.uri and region.startLine >= 1
+//
+// Exit codes: 0 valid, 1 invalid document, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (objects, arrays, strings,
+// numbers, bools, null). Keys keep insertion order irrelevant: lookup only.
+// ---------------------------------------------------------------------------
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<ValuePtr> arr_v;
+  std::map<std::string, ValuePtr> obj_v;
+
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsNumber() const { return type == Type::kNumber; }
+
+  const Value* Get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = obj_v.find(key);
+    return it == obj_v.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ValuePtr Parse() {
+    ValuePtr v = ParseValue();
+    if (v == nullptr) return nullptr;
+    SkipWs();
+    if (p_ != text_.size()) {
+      Fail("trailing bytes after JSON document");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(p_);
+    }
+  }
+
+  void SkipWs() {
+    while (p_ < text_.size() &&
+           (text_[p_] == ' ' || text_[p_] == '\t' || text_[p_] == '\n' ||
+            text_[p_] == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p_ < text_.size() && text_[p_] == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWs();
+    if (p_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[p_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    Fail(std::string("unexpected character '") + c + "'");
+    return nullptr;
+  }
+
+  ValuePtr ParseObject() {
+    if (!Consume('{')) {
+      Fail("expected '{'");
+      return nullptr;
+    }
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kObject;
+    if (Consume('}')) return v;
+    while (true) {
+      ValuePtr key = ParseString();
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) {
+        Fail("expected ':' after object key");
+        return nullptr;
+      }
+      ValuePtr val = ParseValue();
+      if (val == nullptr) return nullptr;
+      if (!v->obj_v.emplace(key->str_v, val).second) {
+        Fail("duplicate object key \"" + key->str_v + "\"");
+        return nullptr;
+      }
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      Fail("expected ',' or '}' in object");
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseArray() {
+    if (!Consume('[')) {
+      Fail("expected '['");
+      return nullptr;
+    }
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kArray;
+    if (Consume(']')) return v;
+    while (true) {
+      ValuePtr item = ParseValue();
+      if (item == nullptr) return nullptr;
+      v->arr_v.push_back(item);
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      Fail("expected ',' or ']' in array");
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseString() {
+    SkipWs();
+    if (p_ >= text_.size() || text_[p_] != '"') {
+      Fail("expected string");
+      return nullptr;
+    }
+    ++p_;
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kString;
+    while (p_ < text_.size()) {
+      const char c = text_[p_];
+      if (c == '"') {
+        ++p_;
+        return v;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ >= text_.size()) {
+          Fail("unterminated escape");
+          return nullptr;
+        }
+        const char e = text_[p_];
+        switch (e) {
+          case '"': v->str_v += '"'; break;
+          case '\\': v->str_v += '\\'; break;
+          case '/': v->str_v += '/'; break;
+          case 'b': v->str_v += '\b'; break;
+          case 'f': v->str_v += '\f'; break;
+          case 'n': v->str_v += '\n'; break;
+          case 'r': v->str_v += '\r'; break;
+          case 't': v->str_v += '\t'; break;
+          case 'u': {
+            if (p_ + 4 >= text_.size()) {
+              Fail("truncated \\u escape");
+              return nullptr;
+            }
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[p_ + 1 + k];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                Fail("bad hex digit in \\u escape");
+                return nullptr;
+              }
+            }
+            p_ += 4;
+            // bblint only \u-escapes control bytes; anything else is kept
+            // literal. Encode the common case, reject surrogates.
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              Fail("surrogate \\u escape unsupported");
+              return nullptr;
+            }
+            if (code < 0x80) {
+              v->str_v += static_cast<char>(code);
+            } else if (code < 0x800) {
+              v->str_v += static_cast<char>(0xC0 | (code >> 6));
+              v->str_v += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              v->str_v += static_cast<char>(0xE0 | (code >> 12));
+              v->str_v += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              v->str_v += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            Fail("unsupported escape");
+            return nullptr;
+        }
+        ++p_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return nullptr;
+      }
+      v->str_v += c;
+      ++p_;
+    }
+    Fail("unterminated string");
+    return nullptr;
+  }
+
+  ValuePtr ParseBool() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kBool;
+    if (text_.compare(p_, 4, "true") == 0) {
+      v->bool_v = true;
+      p_ += 4;
+      return v;
+    }
+    if (text_.compare(p_, 5, "false") == 0) {
+      v->bool_v = false;
+      p_ += 5;
+      return v;
+    }
+    Fail("bad literal");
+    return nullptr;
+  }
+
+  ValuePtr ParseNull() {
+    if (text_.compare(p_, 4, "null") == 0) {
+      p_ += 4;
+      return std::make_shared<Value>();
+    }
+    Fail("bad literal");
+    return nullptr;
+  }
+
+  ValuePtr ParseNumber() {
+    const std::size_t start = p_;
+    if (p_ < text_.size() && text_[p_] == '-') ++p_;
+    while (p_ < text_.size() &&
+           ((text_[p_] >= '0' && text_[p_] <= '9') || text_[p_] == '.' ||
+            text_[p_] == 'e' || text_[p_] == 'E' || text_[p_] == '+' ||
+            text_[p_] == '-')) {
+      ++p_;
+    }
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kNumber;
+    try {
+      v->num_v = std::stod(text_.substr(start, p_ - start));
+    } catch (...) {
+      Fail("unparseable number");
+      return nullptr;
+    }
+    return v;
+  }
+
+  std::size_t p_ = 0;
+  const std::string& text_;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// SARIF shape checks
+// ---------------------------------------------------------------------------
+
+int g_errors = 0;
+
+void Complain(const std::string& what) {
+  std::fprintf(stderr, "sarif_check: %s\n", what.c_str());
+  ++g_errors;
+}
+
+const Value* RequireObject(const Value* parent, const char* key,
+                           const std::string& where) {
+  const Value* v = parent->Get(key);
+  if (v == nullptr || !v->IsObject()) {
+    Complain(where + " is missing object \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+const Value* RequireArray(const Value* parent, const char* key,
+                          const std::string& where) {
+  const Value* v = parent->Get(key);
+  if (v == nullptr || !v->IsArray()) {
+    Complain(where + " is missing array \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+const Value* RequireString(const Value* parent, const char* key,
+                           const std::string& where) {
+  const Value* v = parent->Get(key);
+  if (v == nullptr || !v->IsString() || v->str_v.empty()) {
+    Complain(where + " is missing non-empty string \"" + key + "\"");
+    return nullptr;
+  }
+  return v;
+}
+
+void CheckSarif(const Value& root) {
+  if (!root.IsObject()) {
+    Complain("top-level value is not an object");
+    return;
+  }
+  const Value* schema = RequireString(&root, "$schema", "document");
+  if (schema != nullptr &&
+      schema->str_v.find("sarif-schema-2.1.0") == std::string::npos) {
+    Complain("\"$schema\" does not reference sarif-schema-2.1.0: " +
+             schema->str_v);
+  }
+  const Value* version = RequireString(&root, "version", "document");
+  if (version != nullptr && version->str_v != "2.1.0") {
+    Complain("\"version\" must be \"2.1.0\", got \"" + version->str_v +
+             "\"");
+  }
+  const Value* runs = RequireArray(&root, "runs", "document");
+  if (runs == nullptr) return;
+  if (runs->arr_v.empty()) {
+    Complain("\"runs\" must contain at least one run");
+    return;
+  }
+  const Value& run = *runs->arr_v[0];
+  if (!run.IsObject()) {
+    Complain("runs[0] is not an object");
+    return;
+  }
+
+  std::set<std::string> rule_ids;
+  const Value* tool = RequireObject(&run, "tool", "runs[0]");
+  if (tool != nullptr) {
+    const Value* driver = RequireObject(tool, "driver", "runs[0].tool");
+    if (driver != nullptr) {
+      const Value* name =
+          RequireString(driver, "name", "runs[0].tool.driver");
+      if (name != nullptr && name->str_v != "bblint") {
+        Complain("driver name must be \"bblint\", got \"" + name->str_v +
+                 "\"");
+      }
+      RequireString(driver, "version", "runs[0].tool.driver");
+      const Value* rules =
+          RequireArray(driver, "rules", "runs[0].tool.driver");
+      if (rules != nullptr) {
+        if (rules->arr_v.empty()) {
+          Complain("driver \"rules\" must not be empty");
+        }
+        for (std::size_t i = 0; i < rules->arr_v.size(); ++i) {
+          const Value& rule = *rules->arr_v[i];
+          const std::string where =
+              "rules[" + std::to_string(i) + "]";
+          if (!rule.IsObject()) {
+            Complain(where + " is not an object");
+            continue;
+          }
+          const Value* id = RequireString(&rule, "id", where);
+          if (id != nullptr && !rule_ids.insert(id->str_v).second) {
+            Complain("duplicate rule id \"" + id->str_v + "\"");
+          }
+          const Value* desc =
+              RequireObject(&rule, "shortDescription", where);
+          if (desc != nullptr) {
+            RequireString(desc, "text", where + ".shortDescription");
+          }
+        }
+      }
+    }
+  }
+
+  const Value* results = RequireArray(&run, "results", "runs[0]");
+  if (results == nullptr) return;
+  for (std::size_t i = 0; i < results->arr_v.size(); ++i) {
+    const Value& r = *results->arr_v[i];
+    const std::string where = "results[" + std::to_string(i) + "]";
+    if (!r.IsObject()) {
+      Complain(where + " is not an object");
+      continue;
+    }
+    const Value* rule_id = RequireString(&r, "ruleId", where);
+    if (rule_id != nullptr && !rule_ids.empty() &&
+        rule_ids.count(rule_id->str_v) == 0) {
+      Complain(where + " references undeclared rule \"" + rule_id->str_v +
+               "\"");
+    }
+    RequireString(&r, "level", where);
+    const Value* message = RequireObject(&r, "message", where);
+    if (message != nullptr) {
+      RequireString(message, "text", where + ".message");
+    }
+    const Value* locations = RequireArray(&r, "locations", where);
+    if (locations == nullptr || locations->arr_v.empty()) {
+      if (locations != nullptr) {
+        Complain(where + " has no locations");
+      }
+      continue;
+    }
+    const Value& loc = *locations->arr_v[0];
+    if (!loc.IsObject()) {
+      Complain(where + ".locations[0] is not an object");
+      continue;
+    }
+    const Value* phys =
+        RequireObject(&loc, "physicalLocation", where + ".locations[0]");
+    if (phys == nullptr) continue;
+    const Value* artifact = RequireObject(phys, "artifactLocation",
+                                          where + ".physicalLocation");
+    if (artifact != nullptr) {
+      const Value* uri =
+          RequireString(artifact, "uri", where + ".artifactLocation");
+      if (uri != nullptr &&
+          (uri->str_v[0] == '/' ||
+           uri->str_v.find('\\') != std::string::npos)) {
+        Complain(where + " artifact uri must be a relative forward-slash "
+                         "path: " + uri->str_v);
+      }
+    }
+    const Value* region =
+        RequireObject(phys, "region", where + ".physicalLocation");
+    if (region != nullptr) {
+      const Value* start_line = region->Get("startLine");
+      if (start_line == nullptr || !start_line->IsNumber()) {
+        Complain(where + ".region is missing numeric \"startLine\"");
+      } else if (start_line->num_v < 1.0) {
+        Complain(where + ".region.startLine must be >= 1");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    std::fprintf(stderr,
+                 "usage: sarif_check FILE.sarif\n"
+                 "Validates bblint SARIF 2.1.0 output with an independent "
+                 "parser.\nExit: 0 valid, 1 invalid, 2 usage/IO error.\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "sarif_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  Parser parser(text);
+  ValuePtr root = parser.Parse();
+  if (root == nullptr) {
+    std::fprintf(stderr, "sarif_check: %s: JSON parse error: %s\n", argv[1],
+                 parser.error().c_str());
+    return 1;
+  }
+  CheckSarif(*root);
+  if (g_errors > 0) {
+    std::fprintf(stderr, "sarif_check: %s: %d problem(s)\n", argv[1],
+                 g_errors);
+    return 1;
+  }
+  std::printf("sarif_check: %s: OK\n", argv[1]);
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace bb::lint {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+bool IsBlank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isspace(c) != 0;
+  });
+}
+
+// A raw string delimiter may be any character except parens, backslash and
+// whitespace, up to 16 characters (the standard's limit).
+bool IsRawDelimChar(char c) {
+  return c != '(' && c != ')' && c != '\\' && !std::isspace(
+      static_cast<unsigned char>(c)) && c != '\0';
+}
+
+struct AllowMarker {
+  std::set<std::string> rules;
+  bool has_reason = false;
+};
+
+// Parses every "bblint: allow(a, b)" marker on the raw line, noting whether
+// a reason string follows the closing paren ("-- why this is fine").
+std::vector<AllowMarker> ParseAllows(const std::string& raw_line) {
+  std::vector<AllowMarker> markers;
+  static const std::regex kAllow(
+      R"(bblint:\s*allow\(([^)]*)\)(\s*--\s*\S.*)?)");
+  auto begin =
+      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    AllowMarker m;
+    m.has_reason = (*it)[2].matched;
+    std::string list = (*it)[1].str();
+    std::string name;
+    std::istringstream ss(list);
+    while (std::getline(ss, name, ',')) {
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](unsigned char c) {
+                                  return std::isspace(c) != 0;
+                                }),
+                 name.end());
+      if (!name.empty()) m.rules.insert(name);
+    }
+    if (!m.rules.empty()) markers.push_back(std::move(m));
+  }
+  return markers;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class St { Code, LineComment, BlockComment, String, Char, RawString };
+  St st = St::Code;
+  std::string raw_end;  // ")delim\"" terminator of the open raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::LineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::BlockComment;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                    src[i - 1])) ||
+                                src[i - 1] == '_'))) {
+          // Parse the delimiter between the quote and the opening paren:
+          // R"delim( ... )delim". An over-long or malformed delimiter is
+          // not a raw string introducer; leave it to the plain-string path.
+          std::size_t d = i + 2;
+          std::string delim;
+          while (d < src.size() && delim.size() <= 16 &&
+                 IsRawDelimChar(src[d])) {
+            delim.push_back(src[d]);
+            ++d;
+          }
+          if (d < src.size() && src[d] == '(' && delim.size() <= 16) {
+            st = St::RawString;
+            raw_end = ")" + delim + "\"";
+            i = d;  // keep R, the quote, the delimiter and the paren
+          } else {
+            st = St::String;  // `R"` followed by garbage: plain string
+            ++i;              // keep R and the quote
+          }
+        } else if (c == '"') {
+          st = St::String;
+        } else if (c == '\'') {
+          st = St::Char;
+        }
+        break;
+      case St::LineComment:
+        if (c == '\n') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::BlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::String:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Char:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && next != '\0') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::RawString:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          i += raw_end.size() - 1;  // keep the terminator characters
+          st = St::Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+FileView MakeFileView(const std::string& path, const std::string& content) {
+  FileView v;
+  v.path = path;
+  const auto dot = path.find_last_of('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  v.is_header = ext == ".h" || ext == ".hh" || ext == ".hpp";
+  v.raw = content;
+  v.stripped = StripCommentsAndStrings(content);
+  v.raw_lines = SplitLines(content);
+  v.stripped_lines = SplitLines(v.stripped);
+  v.suppressed.resize(v.raw_lines.size());
+  v.reasoned.resize(v.raw_lines.size());
+  for (std::size_t i = 0; i < v.raw_lines.size(); ++i) {
+    const auto markers = ParseAllows(v.raw_lines[i]);
+    bool any = false;
+    for (const auto& m : markers) {
+      any = true;
+      v.suppressed[i].insert(m.rules.begin(), m.rules.end());
+      if (m.has_reason) v.reasoned[i].insert(m.rules.begin(), m.rules.end());
+    }
+    // A comment-only allow() line also covers the next line of code.
+    if (any && IsBlank(v.stripped_lines[i]) && i + 1 < v.raw_lines.size()) {
+      v.suppressed[i + 1].insert(v.suppressed[i].begin(),
+                                 v.suppressed[i].end());
+      v.reasoned[i + 1].insert(v.reasoned[i].begin(), v.reasoned[i].end());
+    }
+  }
+  return v;
+}
+
+bool Suppressed(const FileView& v, int line, const std::string& rule) {
+  if (line < 1 || static_cast<std::size_t>(line) > v.suppressed.size()) {
+    return false;
+  }
+  const auto& s = v.suppressed[static_cast<std::size_t>(line) - 1];
+  return s.count(rule) > 0 || s.count("all") > 0;
+}
+
+bool SuppressedWithReason(const FileView& v, int line,
+                          const std::string& rule) {
+  if (line < 1 || static_cast<std::size_t>(line) > v.reasoned.size()) {
+    return false;
+  }
+  const auto& s = v.reasoned[static_cast<std::size_t>(line) - 1];
+  return s.count(rule) > 0 || s.count("all") > 0;
+}
+
+int LineOfOffset(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+}  // namespace bb::lint

@@ -1,0 +1,56 @@
+// bblint source preparation: the per-file view every rule (line-level and
+// project-level) works on. Split out of bblint.cpp so the phase-2 project
+// model (project.h) can share the comment/string stripper and the
+// suppression machinery with the phase-1 line rules.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bb::lint {
+
+// The per-file view: the raw text (for suppression comments and literal
+// extraction), the same text with comments and string/char literals blanked
+// out (what rules actually match against), and both split into lines.
+// Stripping preserves length and newlines, so offsets and line numbers in
+// `stripped` map 1:1 onto `raw`.
+struct FileView {
+  std::string path;       // repo-relative, forward slashes
+  bool is_header = false;
+  std::string raw;
+  std::string stripped;   // comments + literal contents replaced by spaces
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> stripped_lines;
+  // suppressed[i] = rules allowed on 1-based line i+1 (already merged with
+  // comment-only lines immediately above).
+  std::vector<std::set<std::string>> suppressed;
+  // reasoned[i] = rules whose allow() marker for line i+1 carried a reason
+  // string ("// bblint: allow(rule) -- why"). Rules that demand documented
+  // suppressions (no-unchecked-result void casts) check this set.
+  std::vector<std::set<std::string>> reasoned;
+};
+
+// Blanks out //- and /**/-comments and the contents of string and character
+// literals (delimiters are kept so token boundaries survive). Newlines are
+// preserved so line numbers line up with the raw text. Raw string literals
+// with arbitrary delimiters (R"delim( ... )delim") are tracked exactly: the
+// delimiter is parsed at the opening quote and the literal only ends at the
+// matching )delim", so a raw string containing `//` or `"` cannot desync
+// the scanner state for the rest of the file.
+std::string StripCommentsAndStrings(const std::string& src);
+
+FileView MakeFileView(const std::string& path, const std::string& content);
+
+// True when `rule` (or "all") is allowed on 1-based `line` of `v`.
+bool Suppressed(const FileView& v, int line, const std::string& rule);
+
+// True when the allow() marker covering `line` for `rule` carries a reason
+// string ("-- why" after the closing paren).
+bool SuppressedWithReason(const FileView& v, int line,
+                          const std::string& rule);
+
+// 1-based line number of a character offset into `text`.
+int LineOfOffset(const std::string& text, std::size_t offset);
+
+}  // namespace bb::lint

@@ -21,6 +21,13 @@
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
 #   8. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   9. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
+#      checked-in ratchet baseline; the standalone sarif_check parser
+#      validates the document, and any finding not in the baseline fails
+#   10. bench trajectory delta: aggregate the smoke reports from step 2
+#      into a bb.bench.trajectory.v1 snapshot and print a one-line
+#      geomean time delta vs the newest committed bench/trajectory/
+#      BENCH_*.json (informational - speed PRs quote this line)
 #
 # Usage: tools/check.sh [jobs]   (from the repo root; build dirs are
 # created as build-check, build-check-tsan, build-check-ubsan)
@@ -128,6 +135,27 @@ ctest --test-dir build-check-ubsan --output-on-failure -j "$JOBS" \
       -LE bench-smoke
 
 step "bblint tree scan"
-build-check/tools/bblint/bblint --root "$ROOT"
+build-check/tools/bblint/bblint --root "$ROOT" \
+  --baseline "$ROOT/tools/bblint/baseline.json"
+
+step "lint-sarif: SARIF emission + independent validation"
+build-check/tools/bblint/bblint --root "$ROOT" \
+  --baseline "$ROOT/tools/bblint/baseline.json" \
+  --sarif build-check/bblint.sarif
+build-check/tools/bblint/sarif_check build-check/bblint.sarif
+
+step "bench trajectory delta vs newest committed snapshot"
+TRAJECTORY_DIR="build-check/bench-trajectory"
+mkdir -p "$TRAJECTORY_DIR"
+build-check/tools/report_check \
+  --aggregate "$TRAJECTORY_DIR/BENCH_current.json" \
+  build-check/bench/smoke_reports/BENCH_*.json > /dev/null
+NEWEST="$(ls -t "$ROOT"/bench/trajectory/BENCH_*.json 2>/dev/null | head -n 1 || true)"
+if [ -n "$NEWEST" ]; then
+  build-check/tools/report_check --delta "$NEWEST" \
+    "$TRAJECTORY_DIR/BENCH_current.json"
+else
+  echo "no committed bench/trajectory/BENCH_*.json yet - skipping delta"
+fi
 
 step "all checks passed"

@@ -23,6 +23,8 @@
 // Exits 0 only when every file validates; prints one line per problem.
 // Used by the bench-smoke ctest label (see bench/CMakeLists.txt) and the
 // streaming smoke step of tools/check.sh.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -401,7 +403,7 @@ void CheckReport(const Value& root) {
   CheckTrace(root);
 }
 
-bool CheckFile(const char* path) {
+bool ParseFile(const char* path, Value* root) {
   g_file = path;
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
@@ -414,26 +416,207 @@ bool CheckFile(const char* path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
   std::fclose(f);
 
-  Value root;
   Parser parser(data.data(), data.size());
-  const int before = g_problems;
-  if (!parser.Parse(&root)) {
+  if (!parser.Parse(root)) {
     Problem("JSON parse error: " + parser.error());
     return false;
   }
+  return true;
+}
+
+bool CheckFile(const char* path, Value* out_root = nullptr) {
+  Value root;
+  const int before = g_problems;
+  if (!ParseFile(path, &root)) return false;
   CheckReport(root);
   if (g_problems == before) {
     std::printf("ok %s\n", path);
+    if (out_root != nullptr) *out_root = std::move(root);
     return true;
   }
   return false;
+}
+
+// ---- perf trajectory: --aggregate / --delta --------------------------------
+//
+// A trajectory snapshot (bb.bench.trajectory.v1) folds the per-bench
+// "measured" sections of a full bench run into one committed file
+// (bench/trajectory/BENCH_<tag>.json), so speed claims in later PRs are
+// checkable: --delta compares two snapshots over their shared time-like
+// keys (names ending " [s]" or containing "seconds") and prints a one-line
+// geometric-mean ratio.
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char b[8];
+          std::snprintf(b, sizeof(b), "\\u%04x", c);
+          out += b;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+int Aggregate(const char* out_path, const std::vector<const char*>& files) {
+  // Every input must be a valid bb.bench.v1 report; the snapshot inherits
+  // the validator's guarantees.
+  std::vector<std::pair<std::string, const Value*>> benches;
+  std::vector<Value> roots(files.size());
+  bool all_ok = true;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!CheckFile(files[i], &roots[i])) {
+      all_ok = false;
+      continue;
+    }
+    benches.emplace_back(roots[i].Find("bench")->string, &roots[i]);
+  }
+  if (!all_ok) return 1;
+  std::sort(benches.begin(), benches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < benches.size(); ++i) {
+    if (benches[i].first == benches[i - 1].first) {
+      std::fprintf(stderr, "report_check: duplicate bench \"%s\"\n",
+                   benches[i].first.c_str());
+      return 1;
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path, "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "report_check: cannot write %s\n", out_path);
+    return 2;
+  }
+  std::fprintf(out,
+               "{\n  \"schema\": \"bb.bench.trajectory.v1\",\n"
+               "  \"benches\": {");
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const Value* measured = benches[i].second->Find("measured");
+    // Record the bench scale so a snapshot taken at smoke scale is never
+    // silently compared against a full-scale one.
+    const Value* config = benches[i].second->Find("config");
+    const Value* mode =
+        config == nullptr ? nullptr : config->Find("mode");
+    const std::string mode_str =
+        (mode != nullptr && mode->kind == Kind::kString) ? mode->string
+                                                         : "full";
+    std::fprintf(out, "%s\n    \"%s\": {\n      \"mode\": \"%s\",\n      \"measured\": {",
+                 i == 0 ? "" : ",", JsonEscape(benches[i].first).c_str(),
+                 JsonEscape(mode_str).c_str());
+    bool first = true;
+    for (const auto& [key, v] : measured->object) {
+      if (v.kind != Kind::kNumber) continue;  // drop null placeholders
+      std::fprintf(out, "%s\n        \"%s\": %.17g", first ? "" : ",",
+                   JsonEscape(key).c_str(), v.number);
+      first = false;
+    }
+    std::fprintf(out, "\n      }\n    }");
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu benches)\n", out_path, benches.size());
+  return 0;
+}
+
+bool IsTimeKey(const std::string& key) {
+  if (key.find("seconds") != std::string::npos) return true;
+  return key.size() >= 4 && key.compare(key.size() - 4, 4, " [s]") == 0;
+}
+
+// Flattens a trajectory snapshot to "bench/key" -> seconds for time keys.
+bool LoadTimes(const char* path,
+               std::vector<std::pair<std::string, double>>* times) {
+  Value root;
+  if (!ParseFile(path, &root)) return false;
+  const Value* schema = root.Find("schema");
+  if (schema == nullptr || schema->string != "bb.bench.trajectory.v1") {
+    std::fprintf(stderr,
+                 "report_check: %s is not a bb.bench.trajectory.v1 file\n",
+                 path);
+    return false;
+  }
+  const Value* benches = root.Find("benches");
+  if (benches == nullptr || benches->kind != Kind::kObject) {
+    std::fprintf(stderr, "report_check: %s has no \"benches\"\n", path);
+    return false;
+  }
+  for (const auto& [bench, entry] : benches->object) {
+    const Value* measured = entry.Find("measured");
+    if (measured == nullptr) continue;
+    for (const auto& [key, v] : measured->object) {
+      if (v.kind == Kind::kNumber && IsTimeKey(key) && v.number > 0.0) {
+        times->emplace_back(bench + "/" + key, v.number);
+      }
+    }
+  }
+  return true;
+}
+
+int Delta(const char* old_path, const char* new_path) {
+  std::vector<std::pair<std::string, double>> old_times, new_times;
+  if (!LoadTimes(old_path, &old_times) || !LoadTimes(new_path, &new_times)) {
+    return 2;
+  }
+  double log_sum = 0.0;
+  int shared = 0;
+  std::string best_key, worst_key;
+  double best = 0.0, worst = 0.0;
+  for (const auto& [key, new_s] : new_times) {
+    for (const auto& [old_key, old_s] : old_times) {
+      if (old_key != key) continue;
+      const double ratio = new_s / old_s;
+      log_sum += std::log(ratio);
+      ++shared;
+      if (best_key.empty() || ratio < best) best = ratio, best_key = key;
+      if (worst_key.empty() || ratio > worst) worst = ratio, worst_key = key;
+      break;
+    }
+  }
+  if (shared == 0) {
+    std::printf("bench delta %s -> %s: no shared time keys\n", old_path,
+                new_path);
+    return 0;
+  }
+  std::printf(
+      "bench delta vs %s: geomean %.3fx over %d time keys "
+      "(best %.2fx %s, worst %.2fx %s; <1 is faster)\n",
+      old_path, std::exp(log_sum / shared), shared, best, best_key.c_str(),
+      worst, worst_key.c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<const char*> files;
+  const char* aggregate_out = nullptr;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--aggregate") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "report_check: --aggregate needs a path\n");
+        return 2;
+      }
+      aggregate_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--delta") == 0) {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr,
+                     "report_check: --delta needs OLD.json NEW.json\n");
+        return 2;
+      }
+      return Delta(argv[i + 1], argv[i + 2]);
+    }
     if (std::strcmp(argv[i], "--require-measured") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
@@ -466,10 +649,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: report_check [--require-measured KEY ...] "
                  "[--require-memory KEY ...] "
-                 "[--require-degradation KEY ...] FILE.json "
-                 "[FILE.json ...]\n");
+                 "[--require-degradation KEY ...] "
+                 "[--aggregate OUT.json] FILE.json [FILE.json ...]\n"
+                 "       report_check --delta OLD.json NEW.json\n");
     return 2;
   }
+  if (aggregate_out != nullptr) return Aggregate(aggregate_out, files);
   bool all_ok = true;
   for (const char* file : files) {
     if (!CheckFile(file)) all_ok = false;
