@@ -13,20 +13,34 @@
 //       Writes the reconstruction + coverage and prints statistics. When
 //       --truth <image.ppm> is given, verified RBRR is reported too.
 //
+//   backbuster attack --in call.bbv --stream --shard I/N [options]
+//       Map phase of the sharded attack: decomposes only the I-th of N
+//       equal frame ranges and writes a sealed mergeable partial (.bbpr)
+//       instead of a reconstruction. N workers can run concurrently on
+//       the same stream.
+//
+//   backbuster reduce --in a.bbpr,b.bbpr,... [options]
+//       Reduce phase: merges the partials of all N shards into output
+//       bit-identical to a single-process attack.
+//
 //   backbuster info --in call.bbv
 //       Prints stream properties.
 //
 // Run any command with --help for its options.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cli/args.h"
 #include "common/faultinject.h"
 #include "common/parallel.h"
 #include "common/trace.h"
 #include "core/metrics.h"
+#include "core/partial.h"
 #include "core/reconstruction.h"
+#include "core/reduce.h"
 #include "core/streaming.h"
+#include "core/wire.h"
 #include "datasets/datasets.h"
 #include "imaging/io.h"
 #include "segmentation/segmenter.h"
@@ -51,6 +65,8 @@ int Usage() {
       "commands:\n"
       "  simulate   synthesize an attacked call  (--help for options)\n"
       "  attack     reconstruct the hidden background from a .bbv stream\n"
+      "             (--shard i/N emits a mergeable partial instead)\n"
+      "  reduce     merge shard partials into the single-process result\n"
       "  info       print .bbv stream properties\n"
       "\n"
       "global options:\n"
@@ -230,6 +246,12 @@ int Attack(const cli::Args& args) {
         "  --checkpoint FILE streaming progress checkpoint: written after\n"
         "                    every window flush, resumed from on restart,\n"
         "                    removed on success (needs --stream)\n"
+        "  --shard I/N       decompose only the I-th (0-based) of N equal\n"
+        "                    frame ranges and write a sealed mergeable\n"
+        "                    partial for `backbuster reduce` instead of a\n"
+        "                    reconstruction (needs --stream)\n"
+        "  --partial-out F   partial output path (default:\n"
+        "                    <in>.shard<I>of<N>.bbpr; needs --shard)\n"
         "  --threads N       worker threads (default: BB_THREADS env,\n"
         "                    else all hardware threads)\n"
         "  --trace FILE      write per-stage timings/counters as JSON\n",
@@ -275,6 +297,40 @@ int Attack(const cli::Args& args) {
   if (!checkpoint.empty() && !stream) {
     return Fail("--checkpoint requires --stream");
   }
+
+  // Shard mode: --shard I/N marks this process as the map-phase worker for
+  // the I-th of N equal frame ranges.
+  int shard_index = 0, shard_count = 0;
+  if (const auto shard = args.Get("shard")) {
+    const auto reject = [] {
+      return Fail("--shard expects I/N with 0 <= I < N, e.g. --shard 1/4");
+    };
+    try {
+      std::size_t pos = 0;
+      const long i = std::stol(*shard, &pos);
+      if (pos >= shard->size() || (*shard)[pos] != '/') return reject();
+      const std::string denom = shard->substr(pos + 1);
+      std::size_t denom_pos = 0;
+      const long n = std::stol(denom, &denom_pos);
+      if (denom_pos != denom.size() || n < 1 || i < 0 || i >= n) {
+        return reject();
+      }
+      shard_index = static_cast<int>(i);
+      shard_count = static_cast<int>(n);
+    } catch (const std::exception&) {
+      return reject();
+    }
+    if (!stream) return Fail("--shard requires --stream");
+    if (truth_path) {
+      return Fail(
+          "--shard emits a partial, not a reconstruction; pass --truth to "
+          "`backbuster reduce` instead");
+    }
+  }
+  const std::string partial_out = args.Get("partial-out", "");
+  if (!partial_out.empty() && shard_count == 0) {
+    return Fail("--partial-out requires --shard");
+  }
   if (const int rc = RejectUnknown(args)) return rc;
 
   std::optional<vbg::StockImage> stock;
@@ -311,7 +367,50 @@ int Attack(const cli::Args& args) {
     sopts.max_bad_frames = max_bad_frames;
     sopts.max_bad_fraction = max_bad_fraction;
     sopts.checkpoint_path = checkpoint;
+    sopts.shard_index = shard_index;
+    sopts.shard_count = shard_count;
+    // VB reference identity, folded into the partial's config hash so the
+    // reducer refuses to merge partials built against different references.
+    sopts.config_salt = core::wire::Fnv1a64(
+        stock ? "stock:" + *vb_name : std::string("derived"));
     core::StreamingReconstructor reconstructor(*ref, segmenter, sopts);
+
+    if (shard_count > 0) {
+      // Map phase: emit a sealed mergeable partial for this frame range.
+      const auto run = reconstructor.RunPartial(*source);
+      const core::StreamingStats& stats = reconstructor.stats();
+      if (!reconstructor.checkpoint_status().ok()) {
+        std::fprintf(stderr, "warning: starting fresh: %s\n",
+                     reconstructor.checkpoint_status().ToString().c_str());
+      }
+      if (stats.resumed) {
+        std::printf("resumed from %s at frame %d/%d\n", checkpoint.c_str(),
+                    stats.resume_frames_done, info.frame_count);
+      }
+      if (!run.ok()) return Fail(run.status().ToString());
+      std::printf("shard %d/%d decomposed frames [%d, %d)\n", shard_index,
+                  shard_count, stats.shard_range_begin,
+                  stats.shard_range_end);
+      if (stats.frames_quarantined > 0) {
+        std::printf(
+            "degraded: %d of %d frames were unreadable and quarantined "
+            "(%llu bad pulls across passes)\n",
+            stats.frames_quarantined, info.frame_count,
+            static_cast<unsigned long long>(stats.bad_frame_events));
+      }
+      const std::string partial_path =
+          partial_out.empty()
+              ? *in + ".shard" + std::to_string(shard_index) + "of" +
+                    std::to_string(shard_count) + ".bbpr"
+              : partial_out;
+      if (const Status saved = core::SavePartial(*run, partial_path);
+          !saved.ok()) {
+        return Fail(saved.ToString());
+      }
+      std::printf("wrote %s (mergeable partial)\n", partial_path.c_str());
+      return 0;
+    }
+
     const auto run = reconstructor.Run(*source);
     const core::StreamingStats& stats = reconstructor.stats();
     if (!reconstructor.checkpoint_status().ok()) {
@@ -364,6 +463,68 @@ int Attack(const cli::Args& args) {
   core::Reconstructor reconstructor(ref, segmenter, opts);
   const core::ReconstructionResult rec = reconstructor.Run(*call);
   return FinishAttack(rec, call->width(), call->height(), truth_path,
+                      out_base);
+}
+
+// ---- reduce -----------------------------------------------------------------
+
+int Reduce(const cli::Args& args) {
+  if (args.GetFlag("help")) {
+    std::printf(
+        "backbuster reduce --in a.bbpr,b.bbpr,...\n"
+        "  --in LIST         comma-separated shard partials; together they\n"
+        "                    must cover every frame of the stream exactly\n"
+        "                    once (any order)\n"
+        "  --out BASE        output image base name (default: <first>.recon)\n"
+        "  --truth FILE      score against this image (.ppm or .png)\n"
+        "  --threads N       worker threads (default: BB_THREADS env,\n"
+        "                    else all hardware threads)\n"
+        "  --trace FILE      write per-stage timings/counters as JSON\n");
+    return 0;
+  }
+  const auto in = args.Get("in");
+  if (!in || in->empty()) {
+    return Fail("reduce requires --in <a.bbpr,b.bbpr,...>");
+  }
+  std::vector<std::string> paths;
+  for (std::size_t begin = 0; begin <= in->size();) {
+    const std::size_t comma = in->find(',', begin);
+    const std::size_t end = comma == std::string::npos ? in->size() : comma;
+    if (end > begin) paths.push_back(in->substr(begin, end - begin));
+    begin = end + 1;
+  }
+  if (paths.empty()) {
+    return Fail("reduce requires --in <a.bbpr,b.bbpr,...>");
+  }
+  const auto truth_path = args.Get("truth");
+  const std::string out_base = args.Get("out", paths.front() + ".recon");
+  if (const int rc = RejectUnknown(args)) return rc;
+
+  std::vector<core::PartialResult> partials;
+  partials.reserve(paths.size());
+  for (const std::string& path : paths) {
+    auto loaded = core::LoadPartial(path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    std::printf("loaded %s: frames [%d, %d) of %d\n", path.c_str(),
+                loaded->range_begin, loaded->range_end,
+                loaded->info.frame_count);
+    partials.push_back(std::move(*loaded));
+  }
+  const video::StreamInfo info = partials.front().info;
+
+  core::ReduceStats rstats;
+  auto merged = core::ReducePartials(std::move(partials), &rstats);
+  if (!merged.ok()) return Fail(merged.status().ToString());
+  std::printf("merged %d partials covering %d frames\n",
+              rstats.partials_merged, rstats.frames_covered);
+  if (rstats.quarantined > 0) {
+    std::printf(
+        "degraded: %d of %d frames were quarantined across shards "
+        "(%llu bad pulls)\n",
+        rstats.quarantined, rstats.frames_covered,
+        static_cast<unsigned long long>(rstats.bad_frame_events));
+  }
+  return FinishAttack(*merged, info.width, info.height, truth_path,
                       out_base);
 }
 
@@ -433,6 +594,8 @@ int main(int argc, char** argv) {
     rc = Simulate(args);
   } else if (args.command() == "attack") {
     rc = Attack(args);
+  } else if (args.command() == "reduce") {
+    rc = Reduce(args);
   } else if (args.command() == "info") {
     rc = Info(args);
   } else {

@@ -22,6 +22,7 @@
 #include "report.h"
 #include "core/blur_masking.h"
 #include "core/reconstruction.h"
+#include "core/reduce.h"
 #include "core/streaming.h"
 #include "core/vb_masking.h"
 #include "detect/template_match.h"
@@ -487,6 +488,82 @@ int main(int argc, char** argv) {
                  access_ok && seek_seconds < linear_seconds);
     std::remove(v1_path.c_str());
     std::remove(v2_path.c_str());
+  }
+  // Shard-scaling probe (DESIGN.md section 14): one whole-stream worker
+  // versus three shard workers plus the reduce. The interesting numbers are
+  // the slowest shard (the map wall-clock) and the reduce cost (the merge
+  // overhead sharding pays); the shape checks pin the whole point - the
+  // merged bits equal the single process, in any arrival order.
+  {
+    const StreamingFixture& f = SharedStreaming();
+    constexpr int kShards = 3;
+    report.Config("shard_probe_shards", kShards);
+
+    bb::core::StreamingOptions sopts;
+    sopts.window_frames = kStreamProbeWindow;
+
+    double single_seconds = 0.0;
+    bb::core::ReconstructionResult single;
+    {
+      bb::segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+      bb::core::StreamingReconstructor whole(f.ref, seg, sopts);
+      bb::video::VideoStreamSource source(f.call.video);
+      bb::bench::Stopwatch watch;
+      single = whole.Run(source).value();
+      single_seconds = watch.Seconds();
+    }
+
+    double worker_max_seconds = 0.0;
+    std::vector<bb::core::PartialResult> partials;
+    for (int i = 0; i < kShards; ++i) {
+      bb::core::StreamingOptions wopts = sopts;
+      wopts.shard_index = i;
+      wopts.shard_count = kShards;
+      bb::segmentation::NoisyOracleSegmenter seg(f.raw.caller_masks, {}, 7);
+      bb::core::StreamingReconstructor worker(f.ref, seg, wopts);
+      bb::video::VideoStreamSource source(f.call.video);
+      bb::bench::Stopwatch watch;
+      auto partial = worker.RunPartial(source);
+      worker_max_seconds = std::max(worker_max_seconds, watch.Seconds());
+      if (!partial.ok()) {
+        std::fprintf(stderr, "bench_perf: %s\n",
+                     partial.status().ToString().c_str());
+        return 1;
+      }
+      partials.push_back(std::move(*partial));
+    }
+
+    double reduce_seconds = 0.0;
+    bb::core::ReconstructionResult merged;
+    {
+      auto copy = partials;
+      bb::bench::Stopwatch watch;
+      auto reduced = bb::core::ReducePartials(std::move(copy));
+      reduce_seconds = watch.Seconds();
+      if (!reduced.ok()) {
+        std::fprintf(stderr, "bench_perf: %s\n",
+                     reduced.status().ToString().c_str());
+        return 1;
+      }
+      merged = std::move(*reduced);
+    }
+    std::reverse(partials.begin(), partials.end());
+    const auto reversed = bb::core::ReducePartials(std::move(partials));
+
+    report.Measured("shard.worker_1x [s]", single_seconds);
+    report.Measured("shard.worker_3x_max [s]", worker_max_seconds);
+    report.Measured("shard.reduce_3x [s]", reduce_seconds);
+    report.Shape("merged shards bit-identical to the single process",
+                 merged.background == single.background &&
+                     merged.coverage == single.coverage &&
+                     merged.leak_counts == single.leak_counts &&
+                     merged.per_frame_leak_fraction ==
+                         single.per_frame_leak_fraction);
+    report.Shape("reduce is arrival-order-invariant",
+                 reversed.ok() &&
+                     reversed->background == merged.background &&
+                     reversed->coverage == merged.coverage &&
+                     reversed->leak_counts == merged.leak_counts);
   }
   return report.Write() && report.AllShapeChecksPass() ? 0 : 1;
 }

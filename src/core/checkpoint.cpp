@@ -1,6 +1,5 @@
 #include "core/checkpoint.h"
 
-#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -8,73 +7,14 @@
 #include <iterator>
 #include <utility>
 
+#include "core/wire.h"
+
 namespace bb::core {
 
 namespace {
 
 constexpr char kMagic[4] = {'B', 'B', 'C', 'K'};
-constexpr std::uint32_t kVersion = 1;
-
-std::uint64_t Fnv1a64(const std::string& bytes) {
-  std::uint64_t hash = 14695981039346656037ULL;
-  for (char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-void PutU32(std::string* out, std::uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out->push_back(static_cast<char>((v >> shift) & 0xFF));
-  }
-}
-
-void PutU64(std::string* out, std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<char>((v >> shift) & 0xFF));
-  }
-}
-
-void PutF64(std::string* out, double v) {
-  PutU64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-// Cursor-based reader over the loaded bytes; Take* return false past the
-// end so every truncation lands in one structured-error path.
-struct Reader {
-  const std::string& bytes;
-  std::size_t pos = 0;
-
-  bool TakeU32(std::uint32_t* v) {
-    if (pos + 4 > bytes.size()) return false;
-    *v = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      *v |= static_cast<std::uint32_t>(
-                static_cast<unsigned char>(bytes[pos++]))
-            << shift;
-    }
-    return true;
-  }
-
-  bool TakeU64(std::uint64_t* v) {
-    if (pos + 8 > bytes.size()) return false;
-    *v = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      *v |= static_cast<std::uint64_t>(
-                static_cast<unsigned char>(bytes[pos++]))
-            << shift;
-    }
-    return true;
-  }
-
-  bool TakeF64(double* v) {
-    std::uint64_t raw = 0;
-    if (!TakeU64(&raw)) return false;
-    *v = std::bit_cast<double>(raw);
-    return true;
-  }
-};
+constexpr std::uint32_t kVersion = 2;
 
 Status Corrupt(const std::string& what) {
   return Status(StatusCode::kDataLoss, what);
@@ -83,31 +23,35 @@ Status Corrupt(const std::string& what) {
 }  // namespace
 
 Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
-  const std::size_t pixels = state.counts.size();
+  const std::size_t pixels = state.acc.pixels();
   std::string out;
-  out.reserve(64 + pixels * 7 * 8 +
+  out.reserve(72 + pixels * 7 * 8 +
               state.per_frame_leak_fraction.size() * 8);
   out.append(kMagic, 4);
-  PutU32(&out, kVersion);
-  PutU32(&out, static_cast<std::uint32_t>(state.info.width));
-  PutU32(&out, static_cast<std::uint32_t>(state.info.height));
-  PutU32(&out, static_cast<std::uint32_t>(state.info.frame_count));
-  PutU32(&out,
-         static_cast<std::uint32_t>(std::lround(state.info.fps * 1000.0)));
-  PutU32(&out, static_cast<std::uint32_t>(state.frames_done));
-  PutU32(&out, static_cast<std::uint32_t>(state.quarantined.size()));
+  wire::PutU32(&out, kVersion);
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.info.width));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.info.height));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.info.frame_count));
+  wire::PutU32(&out,
+               static_cast<std::uint32_t>(std::lround(state.info.fps * 1000.0)));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.frames_done));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.shard_begin));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.shard_end));
+  wire::PutU32(&out, static_cast<std::uint32_t>(state.quarantined.size()));
   for (int q : state.quarantined) {
-    PutU32(&out, static_cast<std::uint32_t>(q));
+    wire::PutU32(&out, static_cast<std::uint32_t>(q));
   }
-  PutU64(&out, static_cast<std::uint64_t>(pixels));
-  for (int c : state.counts) PutU64(&out, static_cast<std::uint64_t>(c));
+  wire::PutU64(&out, static_cast<std::uint64_t>(pixels));
+  for (int c : state.acc.counts) {
+    wire::PutU64(&out, static_cast<std::uint64_t>(c));
+  }
   for (const std::vector<double>* arr :
-       {&state.sum_r, &state.sum_g, &state.sum_b, &state.sum_r2,
-        &state.sum_g2, &state.sum_b2}) {
-    for (double v : *arr) PutF64(&out, v);
+       {&state.acc.sum_r, &state.acc.sum_g, &state.acc.sum_b,
+        &state.acc.sum_r2, &state.acc.sum_g2, &state.acc.sum_b2}) {
+    for (double v : *arr) wire::PutF64(&out, v);
   }
-  for (double v : state.per_frame_leak_fraction) PutF64(&out, v);
-  PutU64(&out, Fnv1a64(out));
+  for (double v : state.per_frame_leak_fraction) wire::PutF64(&out, v);
+  wire::PutU64(&out, wire::Fnv1a64(out));
 
   const std::string tmp = path + ".tmp";
   {
@@ -146,14 +90,14 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
   }
   // Checksum first: any bit flip anywhere is caught before parsing.
   const std::string body = bytes.substr(0, bytes.size() - 8);
-  Reader tail{bytes, bytes.size() - 8};
+  wire::Reader tail{bytes, bytes.size() - 8};
   std::uint64_t declared_sum = 0;
   (void)tail.TakeU64(&declared_sum);
-  if (Fnv1a64(body) != declared_sum) {
+  if (wire::Fnv1a64(body) != declared_sum) {
     return reject(Corrupt("checksum mismatch (file corrupted)"));
   }
 
-  Reader r{body, 4};
+  wire::Reader r{body, 4};
   std::uint32_t version = 0;
   if (!r.TakeU32(&version)) return reject(Corrupt("truncated header"));
   if (version != kVersion) {
@@ -163,15 +107,19 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
             " (want " + std::to_string(kVersion) + ")"));
   }
   std::uint32_t w = 0, h = 0, frames = 0, fps_mhz = 0, frames_done = 0,
-                quarantine_count = 0;
+                shard_begin = 0, shard_end = 0, quarantine_count = 0;
   if (!r.TakeU32(&w) || !r.TakeU32(&h) || !r.TakeU32(&frames) ||
       !r.TakeU32(&fps_mhz) || !r.TakeU32(&frames_done) ||
+      !r.TakeU32(&shard_begin) || !r.TakeU32(&shard_end) ||
       !r.TakeU32(&quarantine_count)) {
     return reject(Corrupt("truncated header"));
   }
   if (w > 16384 || h > 16384 || frames > 1000000 ||
       frames_done > frames || quarantine_count > frames) {
     return reject(Corrupt("implausible header fields"));
+  }
+  if (shard_begin > shard_end || shard_end > frames) {
+    return reject(Corrupt("implausible shard range"));
   }
 
   CheckpointState state;
@@ -180,6 +128,8 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
   state.info.frame_count = static_cast<int>(frames);
   state.info.fps = fps_mhz / 1000.0;
   state.frames_done = static_cast<int>(frames_done);
+  state.shard_begin = static_cast<int>(shard_begin);
+  state.shard_end = static_cast<int>(shard_end);
   state.quarantined.reserve(quarantine_count);
   int prev = -1;
   for (std::uint32_t i = 0; i < quarantine_count; ++i) {
@@ -196,16 +146,16 @@ Result<CheckpointState> LoadCheckpoint(const std::string& path) {
   if (pixels != static_cast<std::uint64_t>(w) * h) {
     return reject(Corrupt("pixel count does not match dimensions"));
   }
-  state.counts.reserve(pixels);
+  state.acc.counts.reserve(pixels);
   for (std::uint64_t i = 0; i < pixels; ++i) {
     std::uint64_t c = 0;
     if (!r.TakeU64(&c)) return reject(Corrupt("truncated accumulators"));
     if (c > frames) return reject(Corrupt("leak count exceeds frame count"));
-    state.counts.push_back(static_cast<int>(c));
+    state.acc.counts.push_back(static_cast<int>(c));
   }
   for (std::vector<double>* arr :
-       {&state.sum_r, &state.sum_g, &state.sum_b, &state.sum_r2,
-        &state.sum_g2, &state.sum_b2}) {
+       {&state.acc.sum_r, &state.acc.sum_g, &state.acc.sum_b,
+        &state.acc.sum_r2, &state.acc.sum_g2, &state.acc.sum_b2}) {
     arr->reserve(pixels);
     for (std::uint64_t i = 0; i < pixels; ++i) {
       double v = 0.0;

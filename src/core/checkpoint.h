@@ -2,32 +2,40 @@
 //
 // A checkpoint captures everything StreamingReconstructor needs to resume
 // an interrupted run with bit-identical final output: the stream identity,
-// how far the final (accumulation) pass has progressed, the quarantine
-// list, the combined leak accumulators, and the per-frame leak fractions
-// produced so far. The cheap analysis/caller passes are deterministic and
-// are simply re-run on resume; only the expensive decomposition work is
-// skipped. Because every accumulator sum is integer-valued (uint8 samples
-// and their squares added in doubles), the combined totals are exact and a
-// resumed run may even use a different thread count or window size without
-// perturbing a single output bit.
+// the run's decomposition range (a shard worker checkpoints exactly like a
+// whole-stream run; see DESIGN.md section 14), how far the final
+// (accumulation) pass has progressed, the quarantine list, the combined
+// leak accumulators, and the per-frame leak fractions produced so far. The
+// cheap analysis/caller passes are deterministic and are simply re-run on
+// resume; only the expensive decomposition work is skipped. Because every
+// accumulator sum is integer-valued (uint8 samples and their squares added
+// in doubles), the combined totals are exact and a resumed run may even use
+// a different thread count or window size without perturbing a single
+// output bit.
 //
-// File format "BBCK" version 1 (all integers little-endian; doubles as
+// File format "BBCK" version 2 (all integers little-endian; doubles as
 // IEEE-754 bit patterns):
 //
 //   magic      "BBCK"                      4 bytes
-//   version    u32 = 1
+//   version    u32 = 2
 //   width      u32  -+
 //   height     u32   | stream identity; resume refuses a checkpoint
 //   frames     u32   | whose identity mismatches the source
 //   fps_mhz    u32  -+
-//   frames_done u32          every frame index below this is decomposed
-//                            (or quarantined) and must not be re-pushed
+//   frames_done u32          every frame index below this (and at or above
+//                            shard_begin) is decomposed (or quarantined)
+//                            and must not be re-pushed
+//   shard_begin u32 -+ decomposition range of the writing run; resume
+//   shard_end   u32 -+ refuses a checkpoint from a different shard range
 //   quarantine u32 count, then count ascending u32 frame indices
 //   pixels     u64           width*height (redundant; checked)
 //   counts     pixels * u64
 //   sum_r/g/b, sum_r2/g2/b2   pixels * f64 each, in that order
 //   per_frame  frames * f64   leak fraction per frame
 //   checksum   u64            FNV-1a 64 over every preceding byte
+//
+// Version 1 (PR 5) lacked the shard range; v1 files are refused with a
+// structured version mismatch and the run starts fresh.
 //
 // Writes are crash-consistent: the file is written to "<path>.tmp" and
 // renamed into place, so a kill mid-write leaves the previous checkpoint
@@ -40,6 +48,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/partial.h"
 #include "video/frame_source.h"
 
 namespace bb::core {
@@ -47,10 +56,12 @@ namespace bb::core {
 struct CheckpointState {
   video::StreamInfo info;
   int frames_done = 0;
+  // Decomposition range [shard_begin, shard_end) of the run that wrote the
+  // checkpoint ([0, frames) for a whole-stream run).
+  int shard_begin = 0;
+  int shard_end = 0;
   std::vector<int> quarantined;  // ascending frame indices
-  std::vector<int> counts;       // per-pixel leak observation counts
-  std::vector<double> sum_r, sum_g, sum_b;
-  std::vector<double> sum_r2, sum_g2, sum_b2;
+  LeakAccumulators acc;          // combined per-pixel leak evidence
   std::vector<double> per_frame_leak_fraction;
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "core/checkpoint.h"
+#include "core/reduce.h"
 
 namespace bb::core {
 
@@ -29,23 +30,21 @@ StreamingReconstructor::StreamingReconstructor(
         "StreamingReconstructor: checkpoint_path is incompatible with "
         "keep_frame_masks (per-frame masks are not serialized)");
   }
+  if (opts_.shard_count < 0 ||
+      (opts_.shard_count > 0 &&
+       (opts_.shard_index < 0 || opts_.shard_index >= opts_.shard_count))) {
+    throw std::invalid_argument(
+        "StreamingReconstructor: shard_index must be in [0, shard_count)");
+  }
+  if (opts_.shard_count > 0 && opts_.recon.keep_frame_masks) {
+    throw std::invalid_argument(
+        "StreamingReconstructor: shard mode is incompatible with "
+        "keep_frame_masks (per-frame masks are not mergeable)");
+  }
 }
 
 int StreamingReconstructor::TotalPasses() const {
   return segmenter_.AnalysisPasses() + 2;
-}
-
-StreamingReconstructor::LeakShard StreamingReconstructor::ZeroShard(
-    std::size_t pixels) {
-  LeakShard s;
-  s.sum_r.assign(pixels, 0.0);
-  s.sum_g.assign(pixels, 0.0);
-  s.sum_b.assign(pixels, 0.0);
-  s.sum_r2.assign(pixels, 0.0);
-  s.sum_g2.assign(pixels, 0.0);
-  s.sum_b2.assign(pixels, 0.0);
-  s.counts.assign(pixels, 0);
-  return s;
 }
 
 void StreamingReconstructor::Begin(const video::StreamInfo& info) {
@@ -78,6 +77,20 @@ void StreamingReconstructor::Begin(const video::StreamInfo& info) {
   stats_.window_capacity = window_->capacity();
   stats_.raw_masks_cached = cache_raw_masks_;
 
+  // Decomposition slice of this worker: the i-th of N equal ranges in
+  // shard mode, the whole stream otherwise.
+  shard_begin_ = 0;
+  shard_end_ = frames;
+  if (opts_.shard_count > 0) {
+    shard_begin_ = static_cast<int>(static_cast<std::int64_t>(frames) *
+                                    opts_.shard_index / opts_.shard_count);
+    shard_end_ = static_cast<int>(static_cast<std::int64_t>(frames) *
+                                  (opts_.shard_index + 1) /
+                                  opts_.shard_count);
+  }
+  stats_.shard_range_begin = shard_begin_;
+  stats_.shard_range_end = shard_end_;
+
   quarantine_.assign(static_cast<std::size_t>(frames), 0);
   quarantined_count_ = 0;
   bad_budget_ = opts_.max_bad_frames >= 0 ? opts_.max_bad_frames : -1;
@@ -91,6 +104,7 @@ void StreamingReconstructor::Begin(const video::StreamInfo& info) {
   resume_frames_ = 0;
   resume_base_.reset();
   TryResumeFromCheckpoint();
+  decomp_begin_ = std::max(shard_begin_, resume_frames_);
 }
 
 void StreamingReconstructor::TryResumeFromCheckpoint() {
@@ -118,21 +132,27 @@ void StreamingReconstructor::TryResumeFromCheckpoint() {
             .WithContext("checkpoint " + opts_.checkpoint_path);
     return;
   }
+  if (st.shard_begin != shard_begin_ || st.shard_end != shard_end_) {
+    // Another shard's progress must never splice into this worker's
+    // accumulators - the merge would silently double- or under-count.
+    checkpoint_status_ =
+        Status(StatusCode::kFailedPrecondition,
+               "checkpoint was written for a different shard range [" +
+                   std::to_string(st.shard_begin) + ", " +
+                   std::to_string(st.shard_end) +
+                   ") (this run decomposes [" +
+                   std::to_string(shard_begin_) + ", " +
+                   std::to_string(shard_end_) + "))")
+            .WithContext("checkpoint " + opts_.checkpoint_path);
+    return;
+  }
   for (int q : st.quarantined) {
     quarantine_[static_cast<std::size_t>(q)] = 1;
   }
   quarantined_count_ = static_cast<int>(st.quarantined.size());
   stats_.frames_quarantined = quarantined_count_;
   resume_frames_ = st.frames_done;
-  LeakShard base = ZeroShard(pixels_);
-  base.counts = std::move(st.counts);
-  base.sum_r = std::move(st.sum_r);
-  base.sum_g = std::move(st.sum_g);
-  base.sum_b = std::move(st.sum_b);
-  base.sum_r2 = std::move(st.sum_r2);
-  base.sum_g2 = std::move(st.sum_g2);
-  base.sum_b2 = std::move(st.sum_b2);
-  resume_base_ = std::move(base);
+  resume_base_ = std::move(st.acc);
   result_.per_frame_leak_fraction = std::move(st.per_frame_leak_fraction);
   stats_.resumed = true;
   stats_.resume_frames_done = resume_frames_;
@@ -175,10 +195,13 @@ void StreamingReconstructor::CheckOrder(int frame_index) {
 
 bool StreamingReconstructor::SkipFrame(int frame_index) const {
   if (quarantine_[static_cast<std::size_t>(frame_index)] != 0) return true;
-  // Resumed frames are already decomposed into resume_base_; the cheap
-  // analysis/caller passes still see them (their state is rebuilt fresh).
+  // Frames outside [decomp_begin_, shard_end_) contribute nothing to the
+  // decomposition pass: below decomp_begin_ they are already decomposed
+  // into resume_base_ or belong to an earlier shard, at or above
+  // shard_end_ they belong to a later shard. The cheap analysis/caller
+  // passes still see them (their state is rebuilt fresh on every worker).
   return current_pass_ == analysis_passes_ + 1 &&
-         frame_index < resume_frames_;
+         (frame_index < decomp_begin_ || frame_index >= shard_end_);
 }
 
 void StreamingReconstructor::PushFrame(const Image& frame, int frame_index) {
@@ -239,12 +262,12 @@ Status StreamingReconstructor::PushBadFrame(int frame_index,
   return OkStatus();
 }
 
-void StreamingReconstructor::SkipResumedPrefix(int frame_index) {
+void StreamingReconstructor::SkipDecomposedPrefix(int frame_index) {
   if (current_pass_ != analysis_passes_ + 1 || next_frame_ != 0 ||
-      frame_index < 0 || frame_index > resume_frames_ ||
+      frame_index < 0 || frame_index > decomp_begin_ ||
       frame_index > info_.frame_count) {
     throw std::logic_error(
-        "StreamingReconstructor: SkipResumedPrefix outside the resumed "
+        "StreamingReconstructor: SkipDecomposedPrefix outside the skipped "
         "decomposition prefix");
   }
   next_frame_ = frame_index;
@@ -280,24 +303,29 @@ void StreamingReconstructor::FlushWindow() {
   const int first = window_->first_index();
   const std::size_t needed =
       static_cast<std::size_t>(common::NumShards(count));
-  while (shards_.size() < needed) shards_.push_back(ZeroShard(pixels_));
+  while (shards_.size() < needed) {
+    LeakShard fresh;
+    fresh.acc.Zero(pixels_);
+    shards_.push_back(std::move(fresh));
+  }
 
   // Decomposition dominates the pipeline cost; shard the resident frame
   // range across threads, each accumulating privately into a shard that
   // persists across flushes. Per-frame outputs index into preallocated
   // slots, so writes are disjoint. Window slot k holds original frame
-  // window_ids_[k]; the two diverge once quarantined or resumed frames are
-  // skipped.
+  // window_ids_[k]; the two diverge once quarantined or skipped frames are
+  // dropped.
   common::ParallelShards(
       0, count, /*grain=*/1,
       [&](int shard, std::int64_t shard_begin, std::int64_t shard_end) {
-        LeakShard& a = shards_[static_cast<std::size_t>(shard)];
+        LeakShard& s = shards_[static_cast<std::size_t>(shard)];
+        LeakAccumulators& a = s.acc;
         for (std::int64_t k = shard_begin; k < shard_end; ++k) {
           const int wi = first + static_cast<int>(k);
           const int fi = window_ids_[static_cast<std::size_t>(k)];
-          DecomposeWindowFrame(wi, fi, a);
+          DecomposeWindowFrame(wi, fi, s);
           auto pf = window_->at(wi).pixels();
-          auto pl = a.scratch.lb.pixels();
+          auto pl = s.scratch.lb.pixels();
           std::size_t leaked = 0;
           for (std::size_t p = 0; p < pl.size(); ++p) {
             if (!pl[p]) continue;
@@ -314,48 +342,42 @@ void StreamingReconstructor::FlushWindow() {
               static_cast<double>(leaked) / static_cast<double>(pl.size());
           if (opts_.recon.keep_frame_masks) {
             result_.frame_masks[static_cast<std::size_t>(fi)] =
-                std::move(a.scratch);
+                std::move(s.scratch);
           }
         }
       });
   window_->Clear(&pool_);
   if (!opts_.checkpoint_path.empty()) {
-    // Every frame up to the newest one just decomposed is now covered by
-    // the combined accumulators (quarantined frames by the saved list).
+    // Every range frame up to the newest one just decomposed is now covered
+    // by the combined accumulators (quarantined frames by the saved list).
     SaveCheckpointNow(window_ids_.back() + 1);
   }
   window_ids_.clear();
+}
+
+LeakAccumulators StreamingReconstructor::ReduceShards() {
+  // Deterministic serial reduction in shard order (exact: the sums are
+  // integer-valued, so the order is immaterial to the bits). The resumed
+  // base joins at the front.
+  LeakAccumulators total;
+  total.Zero(pixels_);
+  if (resume_base_) total.Add(*resume_base_);
+  for (const LeakShard& s : shards_) total.Add(s.acc);
+  return total;
 }
 
 void StreamingReconstructor::SaveCheckpointNow(int frames_done) {
   CheckpointState st;
   st.info = info_;
   st.frames_done = frames_done;
+  st.shard_begin = shard_begin_;
+  st.shard_end = shard_end_;
   for (int i = 0; i < info_.frame_count; ++i) {
     if (quarantine_[static_cast<std::size_t>(i)] != 0) {
       st.quarantined.push_back(i);
     }
   }
-  st.counts.assign(pixels_, 0);
-  st.sum_r.assign(pixels_, 0.0);
-  st.sum_g.assign(pixels_, 0.0);
-  st.sum_b.assign(pixels_, 0.0);
-  st.sum_r2.assign(pixels_, 0.0);
-  st.sum_g2.assign(pixels_, 0.0);
-  st.sum_b2.assign(pixels_, 0.0);
-  const auto add = [&](const LeakShard& a) {
-    for (std::size_t k = 0; k < pixels_; ++k) {
-      st.counts[k] += a.counts[k];
-      st.sum_r[k] += a.sum_r[k];
-      st.sum_g[k] += a.sum_g[k];
-      st.sum_b[k] += a.sum_b[k];
-      st.sum_r2[k] += a.sum_r2[k];
-      st.sum_g2[k] += a.sum_g2[k];
-      st.sum_b2[k] += a.sum_b2[k];
-    }
-  };
-  if (resume_base_) add(*resume_base_);
-  for (const LeakShard& a : shards_) add(a);
+  st.acc = ReduceShards();
   st.per_frame_leak_fraction = result_.per_frame_leak_fraction;
 
   const Status saved = SaveCheckpoint(st, opts_.checkpoint_path);
@@ -434,83 +456,7 @@ void StreamingReconstructor::EndPass(int pass) {
   }
 }
 
-ReconstructionResult StreamingReconstructor::Finalize() {
-  if (current_pass_ != TotalPasses() - 1) {
-    throw std::logic_error(
-        "StreamingReconstructor: Finalize before the final pass");
-  }
-  current_pass_ = TotalPasses();  // guard against reuse without Begin()
-
-  // Deterministic serial reduction in shard order (exact: see LeakShard).
-  // The resumed base joins at the front; integer-valued addition makes the
-  // order immaterial to the bits.
-  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
-  if (resume_base_) {
-    shards_.insert(shards_.begin(), std::move(*resume_base_));
-    resume_base_.reset();
-  }
-  if (shards_.empty()) shards_.push_back(ZeroShard(pixels_));
-  LeakShard& total = shards_.front();
-  for (std::size_t s = 1; s < shards_.size(); ++s) {
-    const LeakShard& a = shards_[s];
-    for (std::size_t k = 0; k < pixels_; ++k) {
-      total.counts[k] += a.counts[k];
-      total.sum_r[k] += a.sum_r[k];
-      total.sum_g[k] += a.sum_g[k];
-      total.sum_b[k] += a.sum_b[k];
-      total.sum_r2[k] += a.sum_r2[k];
-      total.sum_g2[k] += a.sum_g2[k];
-      total.sum_b2[k] += a.sum_b2[k];
-    }
-  }
-  {
-    auto pcov = result_.coverage.pixels();
-    auto pcnt = result_.leak_counts.pixels();
-    for (std::size_t k = 0; k < pixels_; ++k) {
-      pcnt[k] = total.counts[k];
-      if (total.counts[k] > 0) pcov[k] = imaging::kMaskSet;
-    }
-  }
-
-  // Finalize each pixel independently (means + the paper's color-stability
-  // filter); row-parallel, disjoint writes.
-  auto pbg = result_.background.pixels();
-  auto pcnt = result_.leak_counts.pixels();
-  auto pcov = result_.coverage.pixels();
-  const int w = info_.width;
-  const double max_var =
-      opts_.recon.max_color_spread * opts_.recon.max_color_spread;
-  common::ParallelFor(0, info_.height, /*grain=*/16, [&](std::int64_t y) {
-    for (std::size_t k = static_cast<std::size_t>(y) * w,
-                     row_end = k + static_cast<std::size_t>(w);
-         k < row_end; ++k) {
-      if (pcnt[k] == 0) continue;
-      if (pcnt[k] < opts_.recon.min_leak_count) {
-        pcov[k] = imaging::kMaskClear;
-        pcnt[k] = 0;
-        continue;
-      }
-      const double inv = 1.0 / pcnt[k];
-      const double mr = total.sum_r[k] * inv, mg = total.sum_g[k] * inv,
-                   mb = total.sum_b[k] * inv;
-      if (opts_.recon.max_color_spread > 0.0 && pcnt[k] > 1) {
-        const double var = std::max({total.sum_r2[k] * inv - mr * mr,
-                                     total.sum_g2[k] * inv - mg * mg,
-                                     total.sum_b2[k] * inv - mb * mb});
-        if (var > max_var) {
-          // Unstable color across observations: caller boundary, not leaked
-          // background (paper sec. V-D Color Analysis).
-          pcov[k] = imaging::kMaskClear;
-          pcnt[k] = 0;
-          continue;
-        }
-      }
-      pbg[k] = {static_cast<std::uint8_t>(mr + 0.5),
-                static_cast<std::uint8_t>(mg + 0.5),
-                static_cast<std::uint8_t>(mb + 0.5)};
-    }
-  });
-
+void StreamingReconstructor::FinishRunStats() {
   stats_.peak_window_frames = window_->peak_size();
   stats_.pool_hits = pool_.hits();
   stats_.pool_misses = pool_.misses();
@@ -524,6 +470,29 @@ ReconstructionResult StreamingReconstructor::Finalize() {
     trace::AddCounter("stream.pool_hits", stats_.pool_hits);
     trace::AddCounter("stream.pool_misses", stats_.pool_misses);
   }
+}
+
+ReconstructionResult StreamingReconstructor::Finalize() {
+  if (opts_.shard_count > 0) {
+    throw std::logic_error(
+        "StreamingReconstructor: shard mode emits a mergeable partial - "
+        "use FinalizePartial()");
+  }
+  if (current_pass_ != TotalPasses() - 1) {
+    throw std::logic_error(
+        "StreamingReconstructor: Finalize before the final pass");
+  }
+  current_pass_ = TotalPasses();  // guard against reuse without Begin()
+
+  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
+  const LeakAccumulators total = ReduceShards();
+  // Shared pixel finalization (core/reduce.h): the exact code path
+  // ReducePartials uses, which is what makes an N-shard merge bit-identical
+  // to this single-process finalize.
+  FinalizeBackground(total, info_.width, info_.height,
+                     opts_.recon.max_color_spread,
+                     opts_.recon.min_leak_count, &result_);
+  FinishRunStats();
   // A completed run supersedes its checkpoint.
   if (!opts_.checkpoint_path.empty()) {
     (void)std::remove(opts_.checkpoint_path.c_str());
@@ -531,34 +500,74 @@ ReconstructionResult StreamingReconstructor::Finalize() {
   return std::move(result_);
 }
 
-Result<ReconstructionResult> StreamingReconstructor::Run(
-    video::FrameSource& source) {
-  try {
-    Begin(source.info());
-    if (bad_budget_ >= 0 && quarantined_count_ > bad_budget_) {
-      return Status(StatusCode::kAborted,
-                    "bad-frame budget exceeded before any pull: " +
-                        std::to_string(quarantined_count_) +
-                        " frames quarantined by the resumed checkpoint "
-                        "(budget " +
-                        std::to_string(bad_budget_) + ")");
-    }
-    const int total_passes = TotalPasses();
-    const int n = info_.frame_count;
-    for (int pass = 0; pass < total_passes; ++pass) {
-      source.Reset();
-      BeginPass(pass);
-      const bool windowed = pass == analysis_passes_ + 1;
-      // Resumed-prefix fast-forward: the decomposition pass skips frames
-      // the checkpoint already covers, so a seekable source (indexed .bbv,
-      // in-memory stream) need not even decode them. Bit-identical to
-      // pulling and discarding the prefix - skipped frames contribute
-      // nothing to this pass either way.
-      int start = 0;
-      if (windowed && resume_frames_ > 0 && source.CanSeek()) {
-        const int skip_to = std::min(resume_frames_, n);
+PartialResult StreamingReconstructor::FinalizePartial() {
+  if (current_pass_ != TotalPasses() - 1) {
+    throw std::logic_error(
+        "StreamingReconstructor: FinalizePartial before the final pass");
+  }
+  current_pass_ = TotalPasses();  // guard against reuse without Begin()
+
+  const trace::ScopedTimer finalize_timer("reconstruct.finalize");
+  PartialResult partial;
+  partial.info = info_;
+  partial.config_hash = ConfigHash(opts_.recon, opts_.config_salt);
+  partial.range_begin = shard_begin_;
+  partial.range_end = shard_end_;
+  partial.bad_budget = bad_budget_;
+  partial.min_leak_count = opts_.recon.min_leak_count;
+  partial.max_color_spread = opts_.recon.max_color_spread;
+  partial.bad_frame_events = stats_.bad_frame_events;
+  partial.quarantined = QuarantinedFrames();
+  partial.acc = ReduceShards();
+  partial.per_frame_leak_fraction.assign(
+      result_.per_frame_leak_fraction.begin() + shard_begin_,
+      result_.per_frame_leak_fraction.begin() + shard_end_);
+  FinishRunStats();
+  if (trace::Enabled()) {
+    trace::AddCounter("shard.partials_emitted", 1);
+    trace::AddCounter(
+        "shard.range_frames",
+        static_cast<std::uint64_t>(shard_end_ - shard_begin_));
+  }
+  // The emitted partial supersedes this worker's checkpoint.
+  if (!opts_.checkpoint_path.empty()) {
+    (void)std::remove(opts_.checkpoint_path.c_str());
+  }
+  return partial;
+}
+
+Status StreamingReconstructor::RunPasses(video::FrameSource& source) {
+  Begin(source.info());
+  if (bad_budget_ >= 0 && quarantined_count_ > bad_budget_) {
+    return Status(StatusCode::kAborted,
+                  "bad-frame budget exceeded before any pull: " +
+                      std::to_string(quarantined_count_) +
+                      " frames quarantined by the resumed checkpoint "
+                      "(budget " +
+                      std::to_string(bad_budget_) + ")");
+  }
+  const int total_passes = TotalPasses();
+  const int n = info_.frame_count;
+  for (int pass = 0; pass < total_passes; ++pass) {
+    source.Reset();
+    BeginPass(pass);
+    const bool windowed = pass == analysis_passes_ + 1;
+    // Decomposition-prefix fast-forward: frames below decomp_begin_
+    // (resumed and/or earlier shards' slices) contribute nothing to the
+    // decomposition pass, so a seekable source (indexed .bbv, in-memory
+    // stream) need not even decode them; a non-seekable source falls back
+    // to pulling and discarding the prefix - bit-identical either way. A
+    // zero-frame prefix never touches Seek, so a shard starting at frame 0
+    // of a non-seekable stream runs without error. Frames at or past this
+    // worker's slice end are simply never pulled on this pass.
+    int start = 0;
+    int stop = n;
+    if (windowed) {
+      stop = shard_end_;
+      if (decomp_begin_ > 0 && source.CanSeek()) {
+        const int skip_to = std::min(decomp_begin_, n);
         if (source.Seek(skip_to).ok()) {
-          SkipResumedPrefix(skip_to);
+          SkipDecomposedPrefix(skip_to);
           start = skip_to;
           if (trace::Enabled()) {
             trace::AddCounter("recover.seek_skipped_frames",
@@ -566,29 +575,52 @@ Result<ReconstructionResult> StreamingReconstructor::Run(
           }
         }
       }
-      // Windowed pass pulls directly into pooled buffers and moves them
-      // into the window (allocation-free at steady state).
-      Image buffer =
-          windowed ? pool_.AcquireImage(info_.width, info_.height) : Image();
-      for (int i = start; i < n; ++i) {
-        const video::FramePull pull = source.Pull(buffer);
-        if (pull.status == video::PullStatus::kEnd) break;
-        if (pull.status == video::PullStatus::kBad) {
-          const Status budget = PushBadFrame(i, pull.error);
-          if (!budget.ok()) return budget;
-          continue;
-        }
-        if (windowed) {
-          PushFrame(std::move(buffer), i);
-          buffer = pool_.AcquireImage(info_.width, info_.height);
-        } else {
-          PushFrame(buffer, i);
-        }
-      }
-      if (windowed) pool_.Release(std::move(buffer));
-      EndPass(pass);
     }
+    // Windowed pass pulls directly into pooled buffers and moves them
+    // into the window (allocation-free at steady state).
+    Image buffer =
+        windowed ? pool_.AcquireImage(info_.width, info_.height) : Image();
+    for (int i = start; i < stop; ++i) {
+      const video::FramePull pull = source.Pull(buffer);
+      if (pull.status == video::PullStatus::kEnd) break;
+      if (pull.status == video::PullStatus::kBad) {
+        const Status budget = PushBadFrame(i, pull.error);
+        if (!budget.ok()) return budget;
+        continue;
+      }
+      if (windowed) {
+        PushFrame(std::move(buffer), i);
+        buffer = pool_.AcquireImage(info_.width, info_.height);
+      } else {
+        PushFrame(buffer, i);
+      }
+    }
+    if (windowed) pool_.Release(std::move(buffer));
+    EndPass(pass);
+  }
+  return OkStatus();
+}
+
+Result<ReconstructionResult> StreamingReconstructor::Run(
+    video::FrameSource& source) {
+  if (opts_.shard_count > 0) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "shard mode emits a mergeable partial - use RunPartial()");
+  }
+  try {
+    if (Status passes = RunPasses(source); !passes.ok()) return passes;
     return Finalize();
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kResourceExhausted,
+                  "out of memory during streaming reconstruction");
+  }
+}
+
+Result<PartialResult> StreamingReconstructor::RunPartial(
+    video::FrameSource& source) {
+  try {
+    if (Status passes = RunPasses(source); !passes.ok()) return passes;
+    return FinalizePartial();
   } catch (const std::bad_alloc&) {
     return Status(StatusCode::kResourceExhausted,
                   "out of memory during streaming reconstruction");

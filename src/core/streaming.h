@@ -19,6 +19,15 @@
 // Run() drives all passes; the Begin/BeginPass/PushFrame/EndPass/Finalize
 // surface is public for callers that push frames as they arrive.
 //
+// Shard mode (DESIGN.md section 14): with shard_count > 0 the worker runs
+// the cheap analysis/caller passes over the whole stream (identical global
+// statistics on every worker) but decomposes only its frame slice
+// [frames*i/N, frames*(i+1)/N), fast-forwarding to the slice start via
+// video::FrameSource::Seek when the source supports it. RunPartial() then
+// emits a sealed mergeable partial (core/partial.h) instead of finalizing;
+// core/reduce.h folds the K partials into output bit-identical to a
+// single-process run at any shard count, thread count, or window size.
+//
 // Fault tolerance (DESIGN.md section 11):
 //   * A frame reported bad (PushBadFrame, or a kBad pull inside Run) is
 //     *quarantined*: excluded from every pass - analysis, caller prep, and
@@ -35,7 +44,9 @@
 //     Begin() resumes from a valid checkpoint, fast-forwarding the
 //     decomposition pass with bit-identical final output. A hostile or
 //     stale checkpoint is discarded with a structured reason
-//     (checkpoint_status()) and the run starts fresh.
+//     (checkpoint_status()) and the run starts fresh. Shard workers
+//     checkpoint within their own slice; a checkpoint written for a
+//     different shard range is refused like a different stream.
 //   * With no faults, budgets, or checkpoint configured, all of this is a
 //     few integer compares per frame - outputs are byte-identical to the
 //     pre-fault-tolerance pipeline.
@@ -48,6 +59,7 @@
 
 #include "common/status.h"
 #include "common/trace.h"
+#include "core/partial.h"
 #include "core/reconstruction.h"
 #include "imaging/image.h"
 #include "video/frame_source.h"
@@ -73,11 +85,23 @@ struct StreamingOptions {
   // stream. Incompatible with recon.keep_frame_masks (per-frame masks are
   // not serialized).
   std::string checkpoint_path;
+
+  // Shard mode: with shard_count > 0 this worker decomposes only shard
+  // shard_index (0-based) of shard_count equal slices and emits a partial
+  // via RunPartial()/FinalizePartial() instead of a finalized result.
+  // Incompatible with recon.keep_frame_masks. shard_count = 0 disables.
+  int shard_index = 0;
+  int shard_count = 0;
+  // Mixed into the partial's config hash (core/partial.h ConfigHash) so a
+  // reducer refuses partials built against different VB references; callers
+  // fold the reference identity in here. Ignored outside shard mode except
+  // by FinalizePartial().
+  std::uint64_t config_salt = 0;
 };
 
 // Observability counters for the streaming run (also mirrored into
-// bb.trace.v1 as stream.*, fault.*, and recover.* counters when tracing is
-// enabled).
+// bb.trace.v1 as stream.*, fault.*, recover.*, and shard.* counters when
+// tracing is enabled).
 struct StreamingStats {
   int window_capacity = 0;
   int peak_window_frames = 0;
@@ -95,6 +119,10 @@ struct StreamingStats {
   int resume_frames_done = 0;  // decomposition cursor restored from the file
   std::uint64_t checkpoint_writes = 0;
   std::uint64_t checkpoint_write_failures = 0;
+  // Shard accounting: the decomposition range of this run ([0, frames) for
+  // a whole-stream run).
+  int shard_range_begin = 0;
+  int shard_range_end = 0;
 };
 
 class StreamingReconstructor {
@@ -107,12 +135,18 @@ class StreamingReconstructor {
   // Drives every pass over a rewindable source and finalizes. Bad pulls are
   // quarantined via PushBadFrame; the run fails only when the error budget
   // is exceeded (kAborted) or frame memory runs out (kResourceExhausted).
+  // Refused (kFailedPrecondition) in shard mode - use RunPartial().
   Result<ReconstructionResult> Run(video::FrameSource& source);
+
+  // Shard-mode counterpart of Run(): drives every pass and returns the
+  // sealed mergeable partial for this worker's slice. Also valid outside
+  // shard mode (the partial then covers the whole stream).
+  Result<PartialResult> RunPartial(video::FrameSource& source);
 
   // Incremental protocol (Run() is a wrapper around these). For each pass
   // p in [0, TotalPasses()): BeginPass(p), push every frame in order -
   // PushFrame for a readable frame, PushBadFrame for an unreadable one -
-  // then EndPass(p); then Finalize().
+  // then EndPass(p); then Finalize() (or FinalizePartial() in shard mode).
   void Begin(const video::StreamInfo& info);
   int TotalPasses() const;
   void BeginPass(int pass);
@@ -126,15 +160,20 @@ class StreamingReconstructor {
   // budget, and the run's outputs are then meaningless.
   Status PushBadFrame(int frame_index, const Status& reason);
   // Declares that frames [0, frame_index) will not be pushed on the
-  // current pass because the resumed checkpoint already covers them - the
-  // seekable-source fast path (video::FrameSource::Seek) that skips
-  // decoding the prefix entirely. Only legal on the decomposition pass,
-  // before any frame of the pass was pushed, and only up to the resumed
-  // cursor; the final output is bit-identical to pushing (and skipping)
-  // the prefix frame by frame.
-  void SkipResumedPrefix(int frame_index);
+  // current pass because the decomposition range starts later - either a
+  // resumed checkpoint already covers them or they belong to another
+  // shard's slice. This is the seekable-source fast path
+  // (video::FrameSource::Seek) that skips decoding the prefix entirely.
+  // Only legal on the decomposition pass, before any frame of the pass was
+  // pushed, and only up to the range start; the final output is
+  // bit-identical to pushing (and skipping) the prefix frame by frame.
+  void SkipDecomposedPrefix(int frame_index);
   void EndPass(int pass);
   ReconstructionResult Finalize();
+  // Shard-mode finalization: seals this worker's accumulators, quarantine,
+  // and per-range leak fractions into a mergeable partial (core/reduce.h
+  // folds them). Like Finalize(), only legal after the last pass.
+  PartialResult FinalizePartial();
 
   bool IsQuarantined(int frame_index) const;
   // Ascending frame indices currently quarantined.
@@ -146,28 +185,31 @@ class StreamingReconstructor {
   const Status& checkpoint_status() const { return checkpoint_status_; }
 
  private:
-  // Per-shard leak accumulator + reusable decomposition scratch. All sums
-  // are integer-valued (uint8 samples and their squares), so double
-  // addition is exact and the shard-order reduction at Finalize() is
-  // bit-identical to a serial frame-order loop no matter how many window
-  // flushes or shards contributed.
+  // Per-thread-shard leak accumulator + reusable decomposition scratch.
+  // The accumulator sums are exact (see LeakAccumulators), so the
+  // shard-order reduction at Finalize() is bit-identical to a serial
+  // frame-order loop no matter how many window flushes or shards
+  // contributed.
   struct LeakShard {
-    std::vector<double> sum_r, sum_g, sum_b, sum_r2, sum_g2, sum_b2;
-    std::vector<int> counts;
+    LeakAccumulators acc;
     FrameDecomposition scratch;
   };
 
   void CheckOrder(int frame_index);
   // True when the frame takes its in-order slot but must not contribute to
-  // the current pass (quarantined, or already covered by a checkpoint).
+  // the current pass (quarantined, outside this worker's decomposition
+  // range, or already covered by a checkpoint).
   bool SkipFrame(int frame_index) const;
   void PushWindowed(imaging::Image frame, int frame_index);
   void FlushWindow();
   void DecomposeWindowFrame(int window_index, int frame_index,
                             LeakShard& shard);
-  static LeakShard ZeroShard(std::size_t pixels);
   void SaveCheckpointNow(int frames_done);
   void TryResumeFromCheckpoint();
+  // Serial shard-order reduction of resume base + thread shards (exact).
+  LeakAccumulators ReduceShards();
+  Status RunPasses(video::FrameSource& source);
+  void FinishRunStats();
 
   const VbReference& reference_;
   segmentation::PersonSegmenter& segmenter_;
@@ -186,10 +228,17 @@ class StreamingReconstructor {
   int quarantined_count_ = 0;
   int bad_budget_ = -1;  // max allowed quarantined frames; -1 = unlimited
 
-  // Resume state: frames below resume_frames_ are already decomposed and
-  // their combined accumulators live in resume_base_.
+  // Decomposition range of this run: [shard_begin_, shard_end_) is the
+  // worker's slice ([0, frames) outside shard mode); decomp_begin_ starts
+  // past frames a resumed checkpoint already covers.
+  int shard_begin_ = 0;
+  int shard_end_ = 0;
+  int decomp_begin_ = 0;
+
+  // Resume state: frames in [shard_begin_, resume_frames_) are already
+  // decomposed and their combined accumulators live in resume_base_.
   int resume_frames_ = 0;
-  std::optional<LeakShard> resume_base_;
+  std::optional<LeakAccumulators> resume_base_;
   Status checkpoint_status_;
 
   std::optional<video::FrameWindow> window_;

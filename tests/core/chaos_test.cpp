@@ -539,13 +539,9 @@ TEST_F(ChaosTest, HostileCheckpointFallsBackToAFreshRun) {
     CheckpointState other;
     other.info = video::StreamInfo{8, 8, 5, 10.0};
     other.frames_done = 2;
-    other.counts.assign(64, 0);
-    other.sum_r.assign(64, 0.0);
-    other.sum_g.assign(64, 0.0);
-    other.sum_b.assign(64, 0.0);
-    other.sum_r2.assign(64, 0.0);
-    other.sum_g2.assign(64, 0.0);
-    other.sum_b2.assign(64, 0.0);
+    other.shard_begin = 0;
+    other.shard_end = 5;
+    other.acc.Zero(64);
     other.per_frame_leak_fraction.assign(5, 0.0);
     ASSERT_TRUE(SaveCheckpoint(other, path).ok());
   }

@@ -27,16 +27,18 @@ CheckpointState SampleState() {
   state.info.frame_count = 10;
   state.info.fps = 12.5;
   state.frames_done = 6;
+  state.shard_begin = 0;
+  state.shard_end = 10;
   state.quarantined = {2, 7};
   const std::size_t pixels = 4 * 3;
   for (std::size_t i = 0; i < pixels; ++i) {
-    state.counts.push_back(static_cast<int>(i % 5));
-    state.sum_r.push_back(static_cast<double>(i));
-    state.sum_g.push_back(static_cast<double>(2 * i));
-    state.sum_b.push_back(static_cast<double>(3 * i));
-    state.sum_r2.push_back(static_cast<double>(i * i));
-    state.sum_g2.push_back(static_cast<double>(i * i + 1));
-    state.sum_b2.push_back(static_cast<double>(i * i + 2));
+    state.acc.counts.push_back(static_cast<int>(i % 5));
+    state.acc.sum_r.push_back(static_cast<double>(i));
+    state.acc.sum_g.push_back(static_cast<double>(2 * i));
+    state.acc.sum_b.push_back(static_cast<double>(3 * i));
+    state.acc.sum_r2.push_back(static_cast<double>(i * i));
+    state.acc.sum_g2.push_back(static_cast<double>(i * i + 1));
+    state.acc.sum_b2.push_back(static_cast<double>(i * i + 2));
   }
   for (int i = 0; i < state.info.frame_count; ++i) {
     state.per_frame_leak_fraction.push_back(i * 0.015625);  // exact in f64
@@ -88,14 +90,16 @@ TEST(CheckpointTest, RoundTripsEveryField) {
   EXPECT_EQ(loaded->info.frame_count, saved.info.frame_count);
   EXPECT_DOUBLE_EQ(loaded->info.fps, saved.info.fps);
   EXPECT_EQ(loaded->frames_done, saved.frames_done);
+  EXPECT_EQ(loaded->shard_begin, saved.shard_begin);
+  EXPECT_EQ(loaded->shard_end, saved.shard_end);
   EXPECT_EQ(loaded->quarantined, saved.quarantined);
-  EXPECT_EQ(loaded->counts, saved.counts);
-  EXPECT_EQ(loaded->sum_r, saved.sum_r);
-  EXPECT_EQ(loaded->sum_g, saved.sum_g);
-  EXPECT_EQ(loaded->sum_b, saved.sum_b);
-  EXPECT_EQ(loaded->sum_r2, saved.sum_r2);
-  EXPECT_EQ(loaded->sum_g2, saved.sum_g2);
-  EXPECT_EQ(loaded->sum_b2, saved.sum_b2);
+  EXPECT_EQ(loaded->acc.counts, saved.acc.counts);
+  EXPECT_EQ(loaded->acc.sum_r, saved.acc.sum_r);
+  EXPECT_EQ(loaded->acc.sum_g, saved.acc.sum_g);
+  EXPECT_EQ(loaded->acc.sum_b, saved.acc.sum_b);
+  EXPECT_EQ(loaded->acc.sum_r2, saved.acc.sum_r2);
+  EXPECT_EQ(loaded->acc.sum_g2, saved.acc.sum_g2);
+  EXPECT_EQ(loaded->acc.sum_b2, saved.acc.sum_b2);
   EXPECT_EQ(loaded->per_frame_leak_fraction, saved.per_frame_leak_fraction);
   std::remove(path.c_str());
 }
@@ -166,12 +170,12 @@ TEST(CheckpointTest, VersionMismatchIsFailedPrecondition) {
   ASSERT_TRUE(SaveCheckpoint(SampleState(), path).ok());
   std::string body = ReadFile(path);
   body.resize(body.size() - 8);  // drop the old checksum
-  body[4] = 2;                   // version u32 little-endian at bytes 4..7
+  body[4] = 3;                   // version u32 little-endian at bytes 4..7
   WriteFile(path, Reseal(body));
   const auto loaded = LoadCheckpoint(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
-  EXPECT_NE(loaded.status().message().find("unsupported checkpoint version 2"),
+  EXPECT_NE(loaded.status().message().find("unsupported checkpoint version 3"),
             std::string::npos);
   std::remove(path.c_str());
 }
@@ -189,6 +193,23 @@ TEST(CheckpointTest, ResealedImplausibleHeaderRejects) {
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(loaded.status().message().find("implausible"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResealedImplausibleShardRangeRejects) {
+  const std::string path = TestPath("shard_range.bbck");
+  ASSERT_TRUE(SaveCheckpoint(SampleState(), path).ok());
+  std::string body = ReadFile(path);
+  body.resize(body.size() - 8);
+  // shard_end (bytes 32..35) far beyond frame_count: a valid checksum must
+  // not make a lying shard range loadable.
+  body[32] = static_cast<char>(0xFF);
+  WriteFile(path, Reseal(body));
+  const auto loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("implausible shard range"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -16,15 +16,21 @@
 #   5. chaos smoke: end-to-end CLI run under an injected fault schedule -
 #      quarantine must degrade gracefully, a tight --max-bad-frames budget
 #      must fail with a structured error - plus the seeded chaos test label
-#   6. ThreadSanitizer build, determinism / parallel-runtime suites
-#   7. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#   6. shard smoke: map-reduce the same call as three shard workers
+#      (backbuster attack --shard i/3) plus backbuster reduce, require the
+#      merged reconstruction byte-identical to the single-process run, the
+#      shard-scaling gauges in the perf report (report_check
+#      --require-measured), and the shard-equivalence test matrix
+#      (ctest -R shard)
+#   7. ThreadSanitizer build, determinism / parallel-runtime suites
+#   8. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   8. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
-#   9. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
+#   9. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   10. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
 #      checked-in ratchet baseline; the standalone sarif_check parser
 #      validates the document, and any finding not in the baseline fails
-#   10. bench trajectory delta: aggregate the smoke reports from step 2
+#   11. bench trajectory delta: aggregate the smoke reports from step 2
 #      into a bb.bench.trajectory.v1 snapshot and print a one-line
 #      geomean time delta vs the newest committed bench/trajectory/
 #      BENCH_*.json (informational - speed PRs quote this line)
@@ -121,6 +127,34 @@ if build-check/apps/backbuster attack --in "$CHAOS_DIR/call.bbv" \
 fi
 grep -q 'bad-frame budget exceeded' "$CHAOS_DIR/budget.err"
 ctest --test-dir build-check --output-on-failure -j "$JOBS" -L chaos
+
+step "shard smoke: 3-way map-reduce byte-identical to the single process"
+SHARD_DIR="build-check/shard-smoke"
+mkdir -p "$SHARD_DIR"
+build-check/apps/backbuster simulate --out "$SHARD_DIR/call.bbv" \
+  --duration 4 --action arm_wave
+build-check/apps/backbuster attack --in "$SHARD_DIR/call.bbv" \
+  --stream --window 16 --out "$SHARD_DIR/single"
+for i in 0 1 2; do
+  build-check/apps/backbuster attack --in "$SHARD_DIR/call.bbv" \
+    --stream --window 16 --shard "$i/3" \
+    --partial-out "$SHARD_DIR/shard$i.bbpr"
+done
+build-check/apps/backbuster reduce \
+  --in "$SHARD_DIR/shard0.bbpr,$SHARD_DIR/shard1.bbpr,$SHARD_DIR/shard2.bbpr" \
+  --out "$SHARD_DIR/merged"
+# The merged reconstruction must be the same bytes as the single process
+# (WriteImageAuto picks .png or .ppm; compare whichever it produced).
+SINGLE="$(ls "$SHARD_DIR"/single.p?? | head -n 1)"
+cmp "$SINGLE" "${SINGLE/single/merged}"
+# Shard-scaling gauges live in the step-4 perf report (the probes run
+# unfiltered there).
+build-check/tools/report_check \
+  --require-measured 'shard.worker_1x [s]' \
+  --require-measured 'shard.worker_3x_max [s]' \
+  --require-measured 'shard.reduce_3x [s]' \
+  "$CONTAINER_REPORT_DIR/BENCH_perf.json"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" -R shard
 
 step "ThreadSanitizer build + determinism/parallel suites"
 cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON
