@@ -37,6 +37,7 @@
 #include "common/trace.h"
 #include "core/metrics.h"
 #include "core/partial.h"
+#include "core/attacks/location.h"
 #include "core/reconstruction.h"
 #include "core/reduce.h"
 #include "core/streaming.h"
@@ -202,10 +203,54 @@ int Simulate(const cli::Args& args) {
 
 // ---- attack ----------------------------------------------------------------
 
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) parts.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+// Location inference (paper sec. VI): rank the candidate backgrounds by
+// hue similarity to the reconstruction, best first.
+int LocateStep(const core::ReconstructionResult& rec, int width, int height,
+               const std::vector<std::string>& candidate_paths,
+               bool no_prune) {
+  std::vector<imaging::Image> dict;
+  dict.reserve(candidate_paths.size());
+  for (const auto& path : candidate_paths) {
+    const auto img = imaging::ReadImageAuto(path);
+    if (!img) return Fail("cannot read --locate candidate " + path);
+    if (img->width() != width || img->height() != height) {
+      return Fail("--locate candidate " + path +
+                  " resolution does not match the stream");
+    }
+    dict.push_back(*img);
+  }
+  core::LocationMatchOptions lopts;
+  lopts.prune = !no_prune;
+  const auto ranking =
+      core::RankLocations(rec.background, rec.coverage, dict, lopts);
+  std::printf("location ranking (%s search):\n",
+              no_prune ? "exhaustive" : "pruned");
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    std::printf("  %zu. %s  score %.4f\n", i + 1,
+                candidate_paths[ranking[i].index].c_str(), ranking[i].score);
+  }
+  return 0;
+}
+
 // Scoring + output tail shared by the batch and streaming attack paths.
 int FinishAttack(const core::ReconstructionResult& rec, int width, int height,
                  const std::optional<std::string>& truth_path,
-                 const std::string& out_base) {
+                 const std::string& out_base,
+                 const std::vector<std::string>& locate_paths,
+                 bool no_prune) {
   std::printf("recovered %.1f%% of the frame\n",
               100.0 * rec.CoverageFraction());
   if (truth_path) {
@@ -224,6 +269,9 @@ int FinishAttack(const core::ReconstructionResult& rec, int width, int height,
   if (auto path = imaging::WriteImageAuto(
           imaging::MaskToImage(rec.coverage), out_base + ".coverage")) {
     std::printf("wrote %s\n", path->c_str());
+  }
+  if (!locate_paths.empty()) {
+    return LocateStep(rec, width, height, locate_paths, no_prune);
   }
   return 0;
 }
@@ -252,9 +300,18 @@ int Attack(const cli::Args& args) {
         "                    reconstruction (needs --stream)\n"
         "  --partial-out F   partial output path (default:\n"
         "                    <in>.shard<I>of<N>.bbpr; needs --shard)\n"
+        "  --locate F1,F2,.. rank these candidate background images by\n"
+        "                    similarity to the reconstruction (location\n"
+        "                    inference; images must match the stream size)\n"
+        "  --no-prune        exhaustive transform search for --locate\n"
+        "                    instead of the pruned (early-abandon) one;\n"
+        "                    scores are bit-identical either way\n"
         "  --threads N       worker threads (default: BB_THREADS env,\n"
         "                    else all hardware threads)\n"
-        "  --trace FILE      write per-stage timings/counters as JSON\n",
+        "  --trace FILE      write per-stage timings/counters as JSON\n"
+        "\n"
+        "BB_KERNEL=scalar|vector selects the pixel-kernel implementation\n"
+        "(bit-identical results; default vector).\n",
         core::kDefaultPhi);
     return 0;
   }
@@ -264,6 +321,11 @@ int Attack(const cli::Args& args) {
   const auto vb_name = args.Get("vb");
   const double phi = args.GetDouble("phi", core::kDefaultPhi);
   const auto truth_path = args.Get("truth");
+  const std::vector<std::string> locate_paths = SplitCsv(args.Get("locate", ""));
+  const bool no_prune = args.GetFlag("no-prune");
+  if (no_prune && locate_paths.empty()) {
+    return Fail("--no-prune only applies to the --locate search");
+  }
   const bool stream = args.GetFlag("stream");
   const int window = static_cast<int>(args.GetInt("window", 64));
   if (window < 1) return Fail("--window must be >= 1");
@@ -437,7 +499,8 @@ int Attack(const cli::Args& args) {
           stats.frames_quarantined, info.frame_count,
           static_cast<unsigned long long>(stats.bad_frame_events));
     }
-    return FinishAttack(rec, info.width, info.height, truth_path, out_base);
+    return FinishAttack(rec, info.width, info.height, truth_path, out_base,
+                        locate_paths, no_prune);
   }
 
   const auto call = video::LoadBbv(*in);
@@ -463,7 +526,7 @@ int Attack(const cli::Args& args) {
   core::Reconstructor reconstructor(ref, segmenter, opts);
   const core::ReconstructionResult rec = reconstructor.Run(*call);
   return FinishAttack(rec, call->width(), call->height(), truth_path,
-                      out_base);
+                      out_base, locate_paths, no_prune);
 }
 
 // ---- reduce -----------------------------------------------------------------
@@ -477,6 +540,9 @@ int Reduce(const cli::Args& args) {
         "                    once (any order)\n"
         "  --out BASE        output image base name (default: <first>.recon)\n"
         "  --truth FILE      score against this image (.ppm or .png)\n"
+        "  --locate F1,F2,.. rank candidate backgrounds against the merged\n"
+        "                    reconstruction (see `attack --help`)\n"
+        "  --no-prune        exhaustive --locate search (see `attack --help`)\n"
         "  --threads N       worker threads (default: BB_THREADS env,\n"
         "                    else all hardware threads)\n"
         "  --trace FILE      write per-stage timings/counters as JSON\n");
@@ -486,18 +552,17 @@ int Reduce(const cli::Args& args) {
   if (!in || in->empty()) {
     return Fail("reduce requires --in <a.bbpr,b.bbpr,...>");
   }
-  std::vector<std::string> paths;
-  for (std::size_t begin = 0; begin <= in->size();) {
-    const std::size_t comma = in->find(',', begin);
-    const std::size_t end = comma == std::string::npos ? in->size() : comma;
-    if (end > begin) paths.push_back(in->substr(begin, end - begin));
-    begin = end + 1;
-  }
+  const std::vector<std::string> paths = SplitCsv(*in);
   if (paths.empty()) {
     return Fail("reduce requires --in <a.bbpr,b.bbpr,...>");
   }
   const auto truth_path = args.Get("truth");
   const std::string out_base = args.Get("out", paths.front() + ".recon");
+  const std::vector<std::string> locate_paths = SplitCsv(args.Get("locate", ""));
+  const bool no_prune = args.GetFlag("no-prune");
+  if (no_prune && locate_paths.empty()) {
+    return Fail("--no-prune only applies to the --locate search");
+  }
   if (const int rc = RejectUnknown(args)) return rc;
 
   std::vector<core::PartialResult> partials;
@@ -525,7 +590,7 @@ int Reduce(const cli::Args& args) {
         static_cast<unsigned long long>(rstats.bad_frame_events));
   }
   return FinishAttack(*merged, info.width, info.height, truth_path,
-                      out_base);
+                      out_base, locate_paths, no_prune);
 }
 
 // ---- info -------------------------------------------------------------------
@@ -557,7 +622,7 @@ int main(int argc, char** argv) {
   // Switches that never take a value (and so never swallow the token that
   // follows them on the command line).
   const cli::Args args =
-      cli::Args::Parse(argc, argv, {"help", "dynamic", "stream"});
+      cli::Args::Parse(argc, argv, {"help", "dynamic", "stream", "no-prune"});
   for (const auto& err : args.errors()) {
     std::fprintf(stderr, "error: %s\n", err.c_str());
   }

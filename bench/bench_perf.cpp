@@ -19,6 +19,8 @@
 
 #include "common/faultinject.h"
 #include "common/parallel.h"
+#include "core/attacks/location.h"
+#include "imaging/kernels/kernels.h"
 #include "report.h"
 #include "core/blur_masking.h"
 #include "core/reconstruction.h"
@@ -564,6 +566,126 @@ int main(int argc, char** argv) {
                      reversed->background == merged.background &&
                      reversed->coverage == merged.coverage &&
                      reversed->leak_counts == merged.leak_counts);
+  }
+  // Kernel + pruned-search probe (DESIGN.md section 15): the template-match
+  // and location sweeps with pruning off vs on over the same inputs, and a
+  // representative kernel under both dispatches. The shape checks pin the
+  // exactness contract (pruned == exhaustive, scalar == vector, bit for
+  // bit); the measured ratios are the speed claim the trajectory pins.
+  {
+    const auto raw = SharedRecording();
+    const bb::imaging::Bitmap coverage(kW, kH, bb::imaging::kMaskSet);
+    const bb::imaging::Image templ =
+        bb::imaging::Crop(raw.true_background, {20, 20, 32, 32});
+    bb::detect::TemplateMatchOptions topts;
+    topts.min_window_fraction = 0.0;
+    topts.scales = {0.9, 1.0, 1.1};
+    topts.rotations = {-5.0, 0.0, 5.0};
+    constexpr int kProbeRounds = 3;
+
+    const auto time_match = [&](bool prune, bb::detect::TemplateMatchResult* r) {
+      bb::detect::TemplateMatchOptions o = topts;
+      o.prune = prune;
+      bb::bench::Stopwatch watch;
+      for (int i = 0; i < kProbeRounds; ++i) {
+        *r = bb::detect::MatchTemplate(raw.true_background, coverage, templ, o);
+      }
+      return watch.Seconds() / kProbeRounds;
+    };
+    bb::detect::TemplateMatchResult pruned, exhaustive;
+    const double t_exhaustive = time_match(false, &exhaustive);
+    const double t_pruned = time_match(true, &pruned);
+    const auto same_match = [](const bb::detect::TemplateMatchResult& a,
+                               const bb::detect::TemplateMatchResult& b) {
+      return a.found == b.found && a.score == b.score &&
+             a.window.x == b.window.x && a.window.y == b.window.y &&
+             a.window.w == b.window.w && a.window.h == b.window.h &&
+             a.scale == b.scale && a.rotation == b.rotation;
+    };
+    report.Measured("match_template.exhaustive [s]", t_exhaustive);
+    report.Measured("match_template.pruned [s]", t_pruned);
+    report.Measured("match_template.prune_speedup", t_exhaustive / t_pruned);
+    report.Shape("pruned template search bit-identical to exhaustive",
+                 pruned.found && same_match(pruned, exhaustive));
+
+    // Same pruned sweep under the scalar kernels: the dispatch contract
+    // says the answer cannot move.
+    {
+      namespace kernels = bb::imaging::kernels;
+      const kernels::Dispatch before = kernels::Active();
+      kernels::SetDispatchForTest(kernels::Dispatch::kScalar);
+      bb::detect::TemplateMatchResult scalar_result;
+      const double t_scalar = time_match(true, &scalar_result);
+      kernels::SetDispatchForTest(before);
+      report.Measured("match_template.pruned_scalar [s]", t_scalar);
+      report.Shape("template search dispatch-invariant (scalar == vector)",
+                   same_match(scalar_result, pruned));
+    }
+
+    // Location sweep: rank a small dictionary (the true background among
+    // stock decoys) against a partial reconstruction - coverage is the
+    // region the caller never occludes, like a real attack's output.
+    bb::imaging::Bitmap partial_cov(kW, kH, bb::imaging::kMaskSet);
+    for (const auto& mask : raw.caller_masks) {
+      bb::imaging::kernels::MaskAndNot(partial_cov.pixels(), mask.pixels(),
+                                       partial_cov.pixels());
+    }
+    std::vector<bb::imaging::Image> dict;
+    dict.push_back(raw.true_background);
+    for (auto s : {bb::vbg::StockImage::kBeach, bb::vbg::StockImage::kOffice,
+                   bb::vbg::StockImage::kSpace, bb::vbg::StockImage::kForest,
+                   bb::vbg::StockImage::kGradient}) {
+      dict.push_back(bb::vbg::MakeStockImage(s, kW, kH));
+    }
+    const auto time_rank =
+        [&](bool prune, std::vector<bb::core::RankedCandidate>* r) {
+      bb::core::LocationMatchOptions o;
+      o.prune = prune;
+      bb::bench::Stopwatch watch;
+      for (int i = 0; i < kProbeRounds; ++i) {
+        *r = bb::core::RankLocations(raw.true_background, partial_cov, dict,
+                                     o);
+      }
+      return watch.Seconds() / kProbeRounds;
+    };
+    std::vector<bb::core::RankedCandidate> rank_pruned, rank_exhaustive;
+    const double l_exhaustive = time_rank(false, &rank_exhaustive);
+    const double l_pruned = time_rank(true, &rank_pruned);
+    bool ranks_equal = rank_pruned.size() == rank_exhaustive.size();
+    for (std::size_t i = 0; ranks_equal && i < rank_pruned.size(); ++i) {
+      ranks_equal = rank_pruned[i].index == rank_exhaustive[i].index &&
+                    rank_pruned[i].score == rank_exhaustive[i].score;
+    }
+    report.Measured("location.exhaustive [s]", l_exhaustive);
+    report.Measured("location.pruned [s]", l_pruned);
+    report.Measured("location.prune_speedup", l_exhaustive / l_pruned);
+    report.Shape("pruned location ranking bit-identical to exhaustive",
+                 ranks_equal && !rank_pruned.empty() &&
+                     rank_pruned.front().index == 0);
+
+    // One representative bounded kernel, both implementations head-to-head
+    // on the same spans (the full-frame SAD the VBM path leans on).
+    {
+      namespace kernels = bb::imaging::kernels;
+      const auto a = raw.true_background.pixels();
+      const auto b = raw.video.frame(0).pixels();
+      constexpr int kKernelRounds = 200;
+      std::uint64_t sad_scalar = 0, sad_vector = 0;
+      bb::bench::Stopwatch scalar_watch;
+      for (int i = 0; i < kKernelRounds; ++i) {
+        sad_scalar += kernels::scalar::SadRgb(a, b);
+      }
+      const double k_scalar = scalar_watch.Seconds() / kKernelRounds;
+      bb::bench::Stopwatch vector_watch;
+      for (int i = 0; i < kKernelRounds; ++i) {
+        sad_vector += kernels::vec::SadRgb(a, b);
+      }
+      const double k_vector = vector_watch.Seconds() / kKernelRounds;
+      report.Measured("kernel.sad_rgb.scalar [s]", k_scalar);
+      report.Measured("kernel.sad_rgb.vector [s]", k_vector);
+      report.Shape("SadRgb scalar and vector agree on every byte",
+                   sad_scalar == sad_vector);
+    }
   }
   return report.Write() && report.AllShapeChecksPass() ? 0 : 1;
 }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/trace.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/transform.h"
 
 namespace bb::core {
@@ -12,63 +14,126 @@ using imaging::Bitmap;
 using imaging::Hsv;
 using imaging::Image;
 
+namespace kernels = imaging::kernels;
+
 namespace {
 
-struct Sample {
-  int x, y;
-  Hsv hsv;
+// Covered, sampled pixels of one (possibly rotated) reconstruction, in the
+// structure-of-arrays form kernels::MatchHsvBounded takes.
+struct Samples {
+  std::vector<std::int32_t> xs, ys;
+  std::vector<Hsv> hsv;
+
+  bool empty() const { return xs.empty(); }
 };
 
-// Covered, sampled pixels of one (possibly rotated) reconstruction.
-std::vector<Sample> CollectSamples(const Image& recon, const Bitmap& coverage,
-                                   int stride) {
-  std::vector<Sample> out;
+Samples CollectSamples(const Image& recon, const Bitmap& coverage,
+                       int stride) {
+  Samples out;
   for (int y = 0; y < recon.height(); y += stride) {
     for (int x = 0; x < recon.width(); x += stride) {
       if (!coverage(x, y)) continue;
-      out.push_back({x, y, imaging::RgbToHsv(recon(x, y))});
+      out.xs.push_back(x);
+      out.ys.push_back(y);
+      out.hsv.push_back(imaging::RgbToHsv(recon(x, y)));
     }
   }
   return out;
 }
 
-bool PixelsMatch(const Hsv& a, const Hsv& b, const LocationMatchOptions& o) {
-  const bool a_gray = a.s < o.min_saturation;
-  const bool b_gray = b.s < o.min_saturation;
-  if (a_gray != b_gray) return false;
-  if (a_gray) return std::fabs(a.v - b.v) <= o.value_tolerance;
-  return imaging::HueDistance(a.h, b.h) <= o.hue_tolerance;
+kernels::HsvMatchParams ParamsOf(const LocationMatchOptions& o) {
+  return {o.min_saturation, o.hue_tolerance, o.value_tolerance};
 }
 
-double ScoreAgainstGrid(const std::vector<Sample>& samples,
-                        const imaging::ImageT<Hsv>& candidate_hsv,
-                        const LocationMatchOptions& opts) {
-  double best = 0.0;
-  for (int dy = -opts.max_shift; dy <= opts.max_shift; dy += opts.shift_step) {
-    for (int dx = -opts.max_shift; dx <= opts.max_shift;
-         dx += opts.shift_step) {
-      int matched = 0, compared = 0;
-      for (const Sample& s : samples) {
-        const int cx = s.x + dx, cy = s.y + dy;
-        if (!candidate_hsv.InBounds(cx, cy)) continue;
-        ++compared;
-        matched += PixelsMatch(s.hsv, candidate_hsv(cx, cy), opts);
-      }
-      if (compared > 0) {
-        best = std::max(best,
-                        static_cast<double>(matched) /
-                            static_cast<double>(compared));
-      }
+// Running exact maximum over shift sweeps; score() reproduces the double
+// the old max-of-doubles code returned (the winning fraction, converted
+// once).
+struct BestFraction {
+  std::int64_t m = 0;
+  std::int64_t c = 0;
+
+  void Offer(std::int64_t om, std::int64_t oc) {
+    if (kernels::FractionGreater(om, oc, m, c)) {
+      m = om;
+      c = oc;
     }
   }
-  return best;
+  double score() const {
+    return c > 0 ? static_cast<double>(m) / static_cast<double>(c) : 0.0;
+  }
+};
+
+// Sweeps the +/- max_shift grid of one sample set against a candidate HSV
+// grid, updating `best` in place. `cov` (optional) gates candidate pixels;
+// shifts whose compared count ends below `min_compared` are ignored, as in
+// the exhaustive code. With opts.prune, shifts are visited best-first by a
+// decimated coarse pass (every 16th sample) and each evaluation carries the
+// incumbent into kernels::MatchHsvBounded, whose early-abandon bound is
+// exact - the final maximum is bit-identical to the exhaustive sweep.
+void SweepShifts(const Samples& samples, const imaging::ImageT<Hsv>& grid,
+                 std::span<const std::uint8_t> cov,
+                 const LocationMatchOptions& opts, std::int32_t min_compared,
+                 BestFraction* best, std::uint64_t* shifts_abandoned) {
+  if (samples.empty()) return;
+  const kernels::HsvMatchParams params = ParamsOf(opts);
+  const int step = std::max(1, opts.shift_step);
+
+  struct Shift {
+    std::int32_t dx, dy;
+    std::int32_t cm = 0, cc = 0;  // coarse score (visit ordering only)
+  };
+  std::vector<Shift> shifts;
+  for (int dy = -opts.max_shift; dy <= opts.max_shift; dy += step) {
+    for (int dx = -opts.max_shift; dx <= opts.max_shift; dx += step) {
+      shifts.push_back({dx, dy, 0, 0});
+    }
+  }
+
+  constexpr std::size_t kCoarseDecimation = 16;
+  if (opts.prune && samples.xs.size() >= 4 * kCoarseDecimation) {
+    // Coarse pass on a decimated sample set; order-only, so the maximum is
+    // untouched - good shifts just reach the incumbent sooner.
+    Samples coarse;
+    for (std::size_t i = 0; i < samples.xs.size(); i += kCoarseDecimation) {
+      coarse.xs.push_back(samples.xs[i]);
+      coarse.ys.push_back(samples.ys[i]);
+      coarse.hsv.push_back(samples.hsv[i]);
+    }
+    for (Shift& sh : shifts) {
+      const kernels::WindowScore ws = kernels::MatchHsvBounded(
+          coarse.hsv, coarse.xs, coarse.ys, grid.pixels(), grid.width(),
+          grid.height(), cov, sh.dx, sh.dy, params, /*best_matched=*/0,
+          /*best_compared=*/0, /*tie_wins=*/false, /*min_compared=*/0);
+      sh.cm = ws.matched;
+      sh.cc = ws.compared;
+    }
+    std::stable_sort(shifts.begin(), shifts.end(),
+                     [](const Shift& a, const Shift& b) {
+                       return kernels::FractionGreater(a.cm, a.cc, b.cm,
+                                                       b.cc);
+                     });
+  }
+
+  for (const Shift& sh : shifts) {
+    // Only the maximum is reported, so a tie never needs to win: abandon as
+    // soon as strictly beating the incumbent is impossible.
+    const kernels::WindowScore ws = kernels::MatchHsvBounded(
+        samples.hsv, samples.xs, samples.ys, grid.pixels(), grid.width(),
+        grid.height(), cov, sh.dx, sh.dy, params,
+        opts.prune ? best->m : 0, opts.prune ? best->c : 0,
+        /*tie_wins=*/false, opts.prune ? min_compared : 0);
+    if (ws.abandoned) {
+      ++*shifts_abandoned;
+      continue;
+    }
+    if (ws.compared < min_compared) continue;
+    best->Offer(ws.matched, ws.compared);
+  }
 }
 
 imaging::ImageT<Hsv> ToHsvGrid(const Image& img) {
   imaging::ImageT<Hsv> out(img.width(), img.height());
-  auto pi = img.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < pi.size(); ++i) po[i] = imaging::RgbToHsv(pi[i]);
+  kernels::RgbToHsvSpan(img.pixels(), out.pixels());
   return out;
 }
 
@@ -81,16 +146,23 @@ double LocationMatchScore(const Image& reconstruction,
   const trace::ScopedTimer timer("attack.location.score");
   if (imaging::SetFraction(coverage) < opts.min_coverage) return 0.0;
   const auto candidate_hsv = ToHsvGrid(candidate);
-  double best = 0.0;
+  BestFraction best;
+  std::uint64_t shifts_abandoned = 0;
   for (double rot : opts.rotations) {
     const Image r = rot == 0.0 ? reconstruction
                                : imaging::Rotate(reconstruction, rot);
     const Bitmap c = rot == 0.0 ? coverage : imaging::Rotate(coverage, rot);
     const auto samples =
         CollectSamples(r, c, std::max(1, opts.pixel_stride));
-    best = std::max(best, ScoreAgainstGrid(samples, candidate_hsv, opts));
+    // The incumbent carries across rotations: the maximum is unchanged and
+    // later rotations abandon their losing shifts sooner.
+    SweepShifts(samples, candidate_hsv, {}, opts, /*min_compared=*/1, &best,
+                &shifts_abandoned);
   }
-  return best;
+  if (trace::Enabled()) {
+    trace::AddCounter("location.shifts_abandoned", shifts_abandoned);
+  }
+  return best.score();
 }
 
 std::vector<RankedCandidate> RankLocations(
@@ -101,7 +173,7 @@ std::vector<RankedCandidate> RankLocations(
   trace::AddCounter("location.candidates_ranked", dictionary.size());
 
   // Precompute per-rotation sample lists once; reuse for every candidate.
-  std::vector<std::vector<Sample>> rotated_samples;
+  std::vector<Samples> rotated_samples;
   const bool enough_coverage =
       imaging::SetFraction(coverage) >= opts.min_coverage;
   if (enough_coverage) {
@@ -114,17 +186,24 @@ std::vector<RankedCandidate> RankLocations(
     }
   }
 
+  std::uint64_t shifts_abandoned = 0;
   std::vector<RankedCandidate> ranking;
   ranking.reserve(dictionary.size());
   for (int d = 0; d < static_cast<int>(dictionary.size()); ++d) {
-    double score = 0.0;
+    // Every candidate reports its own full score, so the incumbent resets
+    // per candidate and only spans its rotations.
+    BestFraction best;
     if (enough_coverage) {
       const auto grid = ToHsvGrid(dictionary[static_cast<std::size_t>(d)]);
       for (const auto& samples : rotated_samples) {
-        score = std::max(score, ScoreAgainstGrid(samples, grid, opts));
+        SweepShifts(samples, grid, {}, opts, /*min_compared=*/1, &best,
+                    &shifts_abandoned);
       }
     }
-    ranking.push_back({d, score});
+    ranking.push_back({d, best.score()});
+  }
+  if (trace::Enabled()) {
+    trace::AddCounter("location.shifts_abandoned", shifts_abandoned);
   }
   std::stable_sort(ranking.begin(), ranking.end(),
                    [](const RankedCandidate& a, const RankedCandidate& b) {
@@ -163,14 +242,10 @@ CrossCallMatch MatchReconstructions(const Image& recon_a,
 
   // Precompute B's HSV once; only pixels covered in B count as candidates.
   imaging::ImageT<Hsv> b_hsv(recon_b.width(), recon_b.height());
-  {
-    auto pi = recon_b.pixels();
-    auto po = b_hsv.pixels();
-    for (std::size_t i = 0; i < pi.size(); ++i) {
-      po[i] = imaging::RgbToHsv(pi[i]);
-    }
-  }
+  kernels::RgbToHsvSpan(recon_b.pixels(), b_hsv.pixels());
 
+  BestFraction best;
+  std::uint64_t shifts_abandoned = 0;
   for (double rot : opts.rotations) {
     const Image a_img =
         rot == 0.0 ? recon_a : imaging::Rotate(recon_a, rot);
@@ -178,24 +253,14 @@ CrossCallMatch MatchReconstructions(const Image& recon_a,
         rot == 0.0 ? coverage_a : imaging::Rotate(coverage_a, rot);
     const auto samples =
         CollectSamples(a_img, a_cov, std::max(1, opts.pixel_stride));
-    for (int dy = -opts.max_shift; dy <= opts.max_shift;
-         dy += opts.shift_step) {
-      for (int dx = -opts.max_shift; dx <= opts.max_shift;
-           dx += opts.shift_step) {
-        int matched = 0, compared = 0;
-        for (const Sample& s : samples) {
-          const int bx = s.x + dx, by = s.y + dy;
-          if (!coverage_b.InBounds(bx, by) || !coverage_b(bx, by)) continue;
-          ++compared;
-          matched += PixelsMatch(s.hsv, b_hsv(bx, by), opts);
-        }
-        if (compared > 8) {
-          out.score = std::max(out.score, static_cast<double>(matched) /
-                                              static_cast<double>(compared));
-        }
-      }
-    }
+    // The exhaustive code required compared > 8.
+    SweepShifts(samples, b_hsv, coverage_b.pixels(), opts,
+                /*min_compared=*/9, &best, &shifts_abandoned);
   }
+  if (trace::Enabled()) {
+    trace::AddCounter("location.shifts_abandoned", shifts_abandoned);
+  }
+  out.score = best.score();
   return out;
 }
 

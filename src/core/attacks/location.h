@@ -35,6 +35,11 @@ struct LocationMatchOptions {
   // Reconstructions covering less than this fraction score 0 (nothing to
   // match on).
   double min_coverage = 0.005;
+  // Pruned shift search with exact early-abandon: a shift is dropped only
+  // when its optimistic completion provably cannot beat the running best,
+  // so every score is bit-identical to the exhaustive sweep. Disable only
+  // to cross-check or benchmark.
+  bool prune = true;
 };
 
 // Similarity in [0, 1] between the reconstruction and one candidate

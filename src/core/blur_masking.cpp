@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "imaging/color.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/morphology.h"
 
 namespace bb::core {
@@ -20,14 +21,8 @@ double CalibratePhi(const imaging::Image& probe_output,
 
   // VB-matching region of the probe.
   imaging::Bitmap vb_region(probe_output.width(), probe_output.height());
-  for (int y = 0; y < probe_output.height(); ++y) {
-    for (int x = 0; x < probe_output.width(); ++x) {
-      if (imaging::NearlyEqual(probe_output(x, y), virtual_image(x, y),
-                               tolerance)) {
-        vb_region(x, y) = imaging::kMaskSet;
-      }
-    }
-  }
+  imaging::kernels::MatchMask(probe_output.pixels(), virtual_image.pixels(),
+                              {}, tolerance, vb_region.pixels());
   if (imaging::CountSet(vb_region) == 0) return 0.0;
 
   const imaging::FloatImage dist = imaging::SquaredDistanceToSet(vb_region);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "imaging/color.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/morphology.h"
 
 namespace bb::core {
@@ -45,13 +46,8 @@ void CallerMasker::EndPrepare() { stats_ready_ = true; }
 
 void CallerMasker::AccumulateStats(const imaging::Image& frame,
                                    const imaging::Bitmap& mask) {
-  auto pf = frame.pixels();
-  auto pm = mask.pixels();
-  for (std::size_t k = 0; k < pm.size(); ++k) {
-    if (!pm[k]) continue;
-    ++color_counts_[static_cast<std::size_t>(imaging::ColorBucket(pf[k]))];
-    ++color_total_;
-  }
+  color_total_ += imaging::kernels::ColorBucketHistogram(
+      frame.pixels(), mask.pixels(), color_counts_);
 }
 
 const Bitmap& CallerMasker::RawSegmenterMask(int frame_index) const {

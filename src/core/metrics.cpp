@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "imaging/color.h"
+#include "imaging/kernels/kernels.h"
 
 namespace bb::core {
 
@@ -12,14 +13,10 @@ double Vbmr(const FrameDecomposition& decomp,
   // "Masked after applying blending blur" (paper sec. VIII-A): only the
   // VBM/BBM stages count (BBM is a superset of VBM); the caller mask is a
   // separate stage.
-  std::size_t vb_total = 0, vb_masked = 0;
-  auto pt = true_vb_region.pixels();
-  auto pb = decomp.bbm.pixels();
-  for (std::size_t i = 0; i < pt.size(); ++i) {
-    if (!pt[i]) continue;
-    ++vb_total;
-    vb_masked += (pb[i] != 0);
-  }
+  std::uint64_t vb_total = 0, vb_masked = 0;
+  imaging::kernels::CountMaskedPair(true_vb_region.pixels(),
+                                    decomp.bbm.pixels(), &vb_total,
+                                    &vb_masked);
   if (vb_total == 0) return 1.0;
   return static_cast<double>(vb_masked) / static_cast<double>(vb_total);
 }
@@ -44,15 +41,10 @@ RbrrResult Rbrr(const ReconstructionResult& rec,
   RbrrResult out;
   const std::size_t total = rec.coverage.pixel_count();
   if (total == 0) return out;
-  std::size_t claimed = 0, verified = 0;
-  auto pc = rec.coverage.pixels();
-  auto pb = rec.background.pixels();
-  auto pt = true_background.pixels();
-  for (std::size_t i = 0; i < pc.size(); ++i) {
-    if (!pc[i]) continue;
-    ++claimed;
-    verified += imaging::NearlyEqual(pb[i], pt[i], opts.verify_tolerance);
-  }
+  std::uint64_t claimed = 0, verified = 0;
+  imaging::kernels::CountClaimedVerified(
+      rec.coverage.pixels(), rec.background.pixels(), true_background.pixels(),
+      opts.verify_tolerance, &claimed, &verified);
   out.claimed = static_cast<double>(claimed) / static_cast<double>(total);
   out.verified = static_cast<double>(verified) / static_cast<double>(total);
   out.precision = claimed > 0 ? static_cast<double>(verified) /
@@ -71,14 +63,9 @@ double Displacement(const video::VideoStream& raw_segment,
   if (raw_segment.frame_count() < 2) return 0.0;
   imaging::Bitmap changed(raw_segment.width(), raw_segment.height());
   for (int i = 1; i < raw_segment.frame_count(); ++i) {
-    auto pa = raw_segment.frame(i - 1).pixels();
-    auto pb = raw_segment.frame(i).pixels();
-    auto pch = changed.pixels();
-    for (std::size_t k = 0; k < pch.size(); ++k) {
-      if (!imaging::NearlyEqual(pa[k], pb[k], channel_tolerance)) {
-        pch[k] = imaging::kMaskSet;
-      }
-    }
+    imaging::kernels::ChangedUnion(raw_segment.frame(i - 1).pixels(),
+                                   raw_segment.frame(i).pixels(),
+                                   channel_tolerance, changed.pixels());
   }
   return imaging::SetFraction(changed);
 }

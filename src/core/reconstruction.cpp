@@ -4,6 +4,7 @@
 
 #include "common/trace.h"
 #include "core/streaming.h"
+#include "imaging/kernels/kernels.h"
 
 namespace bb::core {
 
@@ -47,12 +48,7 @@ FrameDecomposition Reconstructor::Decompose(const video::VideoStream& call,
     const trace::ScopedTimer timer("reconstruct.lb");
     // LB = residue after removing the three components.
     d.lb = Bitmap(frame.width(), frame.height());
-    auto pb = d.bbm.pixels();
-    auto pc = d.vcm.pixels();
-    auto pl = d.lb.pixels();
-    for (std::size_t i = 0; i < pl.size(); ++i) {
-      pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
-    }
+    imaging::kernels::MaskNor(d.bbm.pixels(), d.vcm.pixels(), d.lb.pixels());
   }
   if (trace::Enabled()) {
     // Per-stage masked-pixel volumes; summed per frame, so the totals are

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "core/checkpoint.h"
 #include "core/reduce.h"
+#include "imaging/kernels/kernels.h"
 
 namespace bb::core {
 
@@ -326,18 +327,9 @@ void StreamingReconstructor::FlushWindow() {
           DecomposeWindowFrame(wi, fi, s);
           auto pf = window_->at(wi).pixels();
           auto pl = s.scratch.lb.pixels();
-          std::size_t leaked = 0;
-          for (std::size_t p = 0; p < pl.size(); ++p) {
-            if (!pl[p]) continue;
-            ++leaked;
-            ++a.counts[p];
-            a.sum_r[p] += pf[p].r;
-            a.sum_g[p] += pf[p].g;
-            a.sum_b[p] += pf[p].b;
-            a.sum_r2[p] += static_cast<double>(pf[p].r) * pf[p].r;
-            a.sum_g2[p] += static_cast<double>(pf[p].g) * pf[p].g;
-            a.sum_b2[p] += static_cast<double>(pf[p].b) * pf[p].b;
-          }
+          const std::size_t leaked = imaging::kernels::MaskedAccumulateRgb(
+              pf, pl, a.counts, a.sum_r, a.sum_g, a.sum_b, a.sum_r2, a.sum_g2,
+              a.sum_b2);
           result_.per_frame_leak_fraction[static_cast<std::size_t>(fi)] =
               static_cast<double>(leaked) / static_cast<double>(pl.size());
           if (opts_.recon.keep_frame_masks) {
@@ -423,12 +415,7 @@ void StreamingReconstructor::DecomposeWindowFrame(int window_index,
     if (d.lb.width() != frame.width() || d.lb.height() != frame.height()) {
       d.lb = Bitmap(frame.width(), frame.height());
     }
-    auto pb = d.bbm.pixels();
-    auto pc = d.vcm.pixels();
-    auto pl = d.lb.pixels();
-    for (std::size_t i = 0; i < pl.size(); ++i) {
-      pl[i] = (!pb[i] && !pc[i]) ? imaging::kMaskSet : imaging::kMaskClear;
-    }
+    imaging::kernels::MaskNor(d.bbm.pixels(), d.vcm.pixels(), d.lb.pixels());
   }
   if (trace::Enabled()) {
     // Per-stage masked-pixel volumes; summed per frame, so the totals are

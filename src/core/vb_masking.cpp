@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "imaging/color.h"
+#include "imaging/kernels/kernels.h"
 #include "video/temporal.h"
 
 namespace bb::core {
@@ -15,12 +16,15 @@ double MatchFraction(const Image& frame, const Image& candidate,
                      int tolerance, int pixel_stride) {
   imaging::RequireSameShape(frame, candidate, "MatchFraction");
   if (pixel_stride < 1) pixel_stride = 1;
+  const std::size_t w = static_cast<std::size_t>(frame.width());
+  const std::size_t stride = static_cast<std::size_t>(pixel_stride);
   long long matched = 0, total = 0;
   for (int y = 0; y < frame.height(); y += pixel_stride) {
-    for (int x = 0; x < frame.width(); x += pixel_stride) {
-      ++total;
-      matched += imaging::NearlyEqual(frame(x, y), candidate(x, y), tolerance);
-    }
+    const std::size_t row = static_cast<std::size_t>(y) * w;
+    matched += static_cast<long long>(imaging::kernels::MatchCountStrided(
+        frame.pixels().subspan(row, w), candidate.pixels().subspan(row, w),
+        tolerance, stride));
+    total += static_cast<long long>((w + stride - 1) / stride);
   }
   return total > 0 ? static_cast<double>(matched) / static_cast<double>(total)
                    : 0.0;
@@ -244,15 +248,9 @@ void ComputeVbmInto(const Image& frame, const Image& reference,
   if (out->width() != frame.width() || out->height() != frame.height()) {
     *out = Bitmap(frame.width(), frame.height());
   }
-  auto pf = frame.pixels();
-  auto pr = reference.pixels();
-  auto pv = reference_valid.pixels();
-  auto po = out->pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = (pv[i] && imaging::NearlyEqual(pf[i], pr[i], tolerance))
-                ? imaging::kMaskSet
-                : imaging::kMaskClear;
-  }
+  imaging::kernels::MatchMask(frame.pixels(), reference.pixels(),
+                              reference_valid.pixels(), tolerance,
+                              out->pixels());
 }
 
 }  // namespace bb::core

@@ -270,6 +270,7 @@ std::vector<imaging::Image> BuildBackgroundDictionary(
                                    ? imaging::FlipHorizontal(dict[i])
                                    : dict[i];
       const float gain = static_cast<float>(rng.Uniform(0.82, 1.18));
+      // bblint: allow(no-per-pixel-loop) -- one-off gain sweep at dataset-build time, off the attack path
       for (auto& p : variant.pixels()) p = imaging::Scaled(p, gain);
       if (k >= 1) {
         variant = imaging::Shift(variant, rng.UniformInt(-8, 8),

@@ -41,6 +41,11 @@ struct TemplateMatchOptions {
   // and those filler pixels carry no object evidence.
   std::optional<imaging::Rgb8> ignore_exact_color =
       imaging::Rgb8{128, 128, 128};
+  // Coarse-to-fine pruned search. Pruning is exact - a window is abandoned
+  // only when its optimistic completion provably cannot beat the incumbent
+  // under the same integer tie-break rule - so the result is bit-identical
+  // to the exhaustive sweep; disable only to cross-check or benchmark.
+  bool prune = true;
 };
 
 struct TemplateMatchResult {

@@ -13,30 +13,6 @@ std::uint8_t ClampChannel(float v) {
 }
 }  // namespace
 
-Hsv RgbToHsv(Rgb8 c) {
-  const float r = c.r / 255.0f;
-  const float g = c.g / 255.0f;
-  const float b = c.b / 255.0f;
-  const float mx = std::max({r, g, b});
-  const float mn = std::min({r, g, b});
-  const float d = mx - mn;
-
-  Hsv out;
-  out.v = mx;
-  out.s = (mx <= 0.0f) ? 0.0f : d / mx;
-  if (d <= 0.0f) {
-    out.h = 0.0f;
-  } else if (mx == r) {
-    out.h = 60.0f * std::fmod((g - b) / d, 6.0f);
-  } else if (mx == g) {
-    out.h = 60.0f * ((b - r) / d + 2.0f);
-  } else {
-    out.h = 60.0f * ((r - g) / d + 4.0f);
-  }
-  if (out.h < 0.0f) out.h += 360.0f;
-  return out;
-}
-
 Rgb8 HsvToRgb(const Hsv& c) {
   float h = std::fmod(c.h, 360.0f);
   if (h < 0.0f) h += 360.0f;
@@ -65,12 +41,6 @@ Rgb8 HsvToRgb(const Hsv& c) {
           ClampChannel((b + m) * 255.0f)};
 }
 
-float HueDistance(float h1, float h2) {
-  float d = std::fabs(std::fmod(h1, 360.0f) - std::fmod(h2, 360.0f));
-  if (d > 180.0f) d = 360.0f - d;
-  return d;
-}
-
 float Luma(Rgb8 c) { return 0.299f * c.r + 0.587f * c.g + 0.114f * c.b; }
 
 float RgbDistance(Rgb8 a, Rgb8 b) {
@@ -78,19 +48,6 @@ float RgbDistance(Rgb8 a, Rgb8 b) {
   const float dg = static_cast<float>(a.g) - b.g;
   const float db = static_cast<float>(a.b) - b.b;
   return std::sqrt(dr * dr + dg * dg + db * db);
-}
-
-bool NearlyEqual(Rgb8 a, Rgb8 b, int channel_tolerance) {
-  return std::abs(a.r - b.r) <= channel_tolerance &&
-         std::abs(a.g - b.g) <= channel_tolerance &&
-         std::abs(a.b - b.b) <= channel_tolerance;
-}
-
-Rgb8 Lerp(Rgb8 a, Rgb8 b, float t) {
-  t = std::clamp(t, 0.0f, 1.0f);
-  return {ClampChannel(a.r + (b.r - a.r) * t),
-          ClampChannel(a.g + (b.g - a.g) * t),
-          ClampChannel(a.b + (b.b - a.b) * t)};
 }
 
 Rgb8 Scaled(Rgb8 c, float gain) {

@@ -10,21 +10,16 @@
 #include <cstdint>
 
 #include "imaging/image.h"
+#include "imaging/kernels/pixel.h"
 
 namespace bb::imaging {
 
-// Hue in degrees [0, 360), saturation and value in [0, 1].
-struct Hsv {
-  float h = 0.0f;
-  float s = 0.0f;
-  float v = 0.0f;
-};
+// Hsv, RgbToHsv, HueDistance, NearlyEqual, Lerp, ColorBucket and
+// kColorBucketCount now live in imaging/kernels/pixel.h (same namespace) so
+// the kernel layer can share the exact per-element math. This header keeps
+// the conversions only the high-level code needs.
 
-Hsv RgbToHsv(Rgb8 c);
 Rgb8 HsvToRgb(const Hsv& c);
-
-// Shortest angular distance between two hues, in [0, 180].
-float HueDistance(float h1, float h2);
 
 // Rec.601 luma in [0, 255].
 float Luma(Rgb8 c);
@@ -32,24 +27,7 @@ float Luma(Rgb8 c);
 // Euclidean distance in RGB space, in [0, ~441.7].
 float RgbDistance(Rgb8 a, Rgb8 b);
 
-// True when the two colors match within the given per-channel tolerance.
-bool NearlyEqual(Rgb8 a, Rgb8 b, int channel_tolerance);
-
-// Linear interpolation between two colors; t in [0, 1] (clamped).
-Rgb8 Lerp(Rgb8 a, Rgb8 b, float t);
-
 // Multiplies each channel by `gain` (clamped to [0, 255]).
 Rgb8 Scaled(Rgb8 c, float gain);
-
-// A color "bucket" used by the statistical color-frequency refinement of the
-// video-caller mask (paper sec. V-D) and by the hue histograms in the
-// attacks. Quantizes RGB to a small key so frequencies can be counted in a
-// flat array.
-//
-// Layout: 4 bits per channel -> 4096 buckets.
-inline constexpr int kColorBucketCount = 4096;
-inline int ColorBucket(Rgb8 c) {
-  return ((c.r >> 4) << 8) | ((c.g >> 4) << 4) | (c.b >> 4);
-}
 
 }  // namespace bb::imaging

@@ -7,16 +7,13 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "imaging/kernels/kernels.h"
 
 namespace bb::imaging {
 
 namespace {
 
-std::uint8_t ToU8(float v) {
-  if (v <= 0.0f) return 0;
-  if (v >= 255.0f) return 255;
-  return static_cast<std::uint8_t>(v + 0.5f);
-}
+std::uint8_t ToU8(float v) { return ClampChannelU8(v); }
 
 // Horizontal-then-vertical sliding-window mean on one float channel. Both
 // passes are parallel over independent rows/columns; every lane writes a
@@ -59,27 +56,15 @@ std::array<FloatImage, 3> SplitChannels(const Image& img) {
   std::array<FloatImage, 3> ch = {FloatImage(img.width(), img.height()),
                                   FloatImage(img.width(), img.height()),
                                   FloatImage(img.width(), img.height())};
-  const auto px = img.pixels();
-  auto r = ch[0].pixels();
-  auto g = ch[1].pixels();
-  auto b = ch[2].pixels();
-  for (std::size_t i = 0; i < px.size(); ++i) {
-    r[i] = px[i].r;
-    g[i] = px[i].g;
-    b[i] = px[i].b;
-  }
+  kernels::SplitRgb(img.pixels(), ch[0].pixels(), ch[1].pixels(),
+                    ch[2].pixels());
   return ch;
 }
 
 Image MergeChannels(const std::array<FloatImage, 3>& ch) {
   Image out(ch[0].width(), ch[0].height());
-  auto px = out.pixels();
-  const auto r = ch[0].pixels();
-  const auto g = ch[1].pixels();
-  const auto b = ch[2].pixels();
-  for (std::size_t i = 0; i < px.size(); ++i) {
-    px[i] = {ToU8(r[i]), ToU8(g[i]), ToU8(b[i])};
-  }
+  kernels::MergeRgb(ch[0].pixels(), ch[1].pixels(), ch[2].pixels(),
+                    out.pixels());
   return out;
 }
 
@@ -169,24 +154,13 @@ Image MotionBlur(const Image& img, double dx, double dy, int length) {
 FloatImage AbsDiff(const Image& a, const Image& b) {
   RequireSameShape(a, b, "AbsDiff");
   FloatImage out(a.width(), a.height());
-  auto pa = a.pixels(), pb = b.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    const int dr = std::abs(pa[i].r - pb[i].r);
-    const int dg = std::abs(pa[i].g - pb[i].g);
-    const int db = std::abs(pa[i].b - pb[i].b);
-    po[i] = static_cast<float>(std::max({dr, dg, db}));
-  }
+  kernels::AbsDiffMax(a.pixels(), b.pixels(), out.pixels());
   return out;
 }
 
 Bitmap Threshold(const FloatImage& img, float threshold) {
   Bitmap out(img.width(), img.height());
-  auto pi = img.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = pi[i] >= threshold ? kMaskSet : kMaskClear;
-  }
+  kernels::ThresholdGE(img.pixels(), threshold, out.pixels());
   return out;
 }
 

@@ -2,39 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+
+#include "imaging/kernels/kernels.h"
 
 namespace bb::imaging {
 
 void ColorFrequency::AddMasked(const Image& img, const Bitmap& mask) {
   RequireSameShape(img, mask, "ColorFrequency::AddMasked");
-  auto pi = img.pixels();
-  auto pm = mask.pixels();
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    if (pm[i]) Add(pi[i]);
-  }
+  total_ += kernels::ColorBucketHistogram(img.pixels(), mask.pixels(),
+                                          counts_);
 }
 
 std::vector<double> HueHistogram(const Image& img, const Bitmap& mask,
                                  const HueHistogramOptions& opts) {
   RequireSameShape(img, mask, "HueHistogram");
-  std::vector<double> hist(static_cast<std::size_t>(std::max(1, opts.bins)),
-                           0.0);
-  auto pi = img.pixels();
-  auto pm = mask.pixels();
-  double total = 0.0;
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    if (!pm[i]) continue;
-    const Hsv hsv = RgbToHsv(pi[i]);
-    if (hsv.s < opts.min_saturation || hsv.v < opts.min_value) continue;
-    // Hue binning wants the floor, not the nearest bin.
-    int bin = static_cast<int>(
-        std::floor(hsv.h / 360.0f * static_cast<float>(hist.size())));
-    bin = std::clamp(bin, 0, static_cast<int>(hist.size()) - 1);
-    hist[static_cast<std::size_t>(bin)] += 1.0;
-    total += 1.0;
-  }
-  if (total > 0.0) {
-    for (auto& v : hist) v /= total;
+  std::vector<std::uint64_t> bins(
+      static_cast<std::size_t>(std::max(1, opts.bins)), 0);
+  const std::uint64_t total = kernels::HueHistogramAccum(
+      img.pixels(), mask.pixels(), opts.min_saturation, opts.min_value, bins);
+  std::vector<double> hist(bins.size(), 0.0);
+  if (total > 0) {
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      hist[i] = static_cast<double>(bins[i]) / static_cast<double>(total);
+    }
   }
   return hist;
 }
@@ -49,20 +40,14 @@ double HistogramIntersection(const std::vector<double>& a,
 
 Rgb8 MeanColor(const Image& img, const Bitmap& mask) {
   RequireSameShape(img, mask, "MeanColor");
-  double r = 0, g = 0, b = 0, n = 0;
-  auto pi = img.pixels();
-  auto pm = mask.pixels();
-  for (std::size_t i = 0; i < pi.size(); ++i) {
-    if (!pm[i]) continue;
-    r += pi[i].r;
-    g += pi[i].g;
-    b += pi[i].b;
-    n += 1.0;
-  }
-  if (n == 0.0) return {};
-  return {static_cast<std::uint8_t>(r / n + 0.5),
-          static_cast<std::uint8_t>(g / n + 0.5),
-          static_cast<std::uint8_t>(b / n + 0.5)};
+  std::uint64_t r = 0, g = 0, b = 0;
+  const std::uint64_t n =
+      kernels::MaskedSumRgb(img.pixels(), mask.pixels(), &r, &g, &b);
+  if (n == 0) return {};
+  const double dn = static_cast<double>(n);
+  return {static_cast<std::uint8_t>(static_cast<double>(r) / dn + 0.5),
+          static_cast<std::uint8_t>(static_cast<double>(g) / dn + 0.5),
+          static_cast<std::uint8_t>(static_cast<double>(b) / dn + 0.5)};
 }
 
 }  // namespace bb::imaging

@@ -1,11 +1,11 @@
 #include "imaging/image.h"
 
+#include "imaging/kernels/kernels.h"
+
 namespace bb::imaging {
 
 std::size_t CountSet(const Bitmap& mask) {
-  std::size_t n = 0;
-  for (std::uint8_t v : mask.pixels()) n += (v != 0);
-  return n;
+  return kernels::CountSet(mask.pixels());
 }
 
 double SetFraction(const Bitmap& mask) {
@@ -17,55 +17,34 @@ double SetFraction(const Bitmap& mask) {
 Bitmap And(const Bitmap& a, const Bitmap& b) {
   RequireSameShape(a, b, "And");
   Bitmap out(a.width(), a.height());
-  auto pa = a.pixels(), pb = b.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = (pa[i] && pb[i]) ? kMaskSet : kMaskClear;
-  }
+  kernels::MaskAnd(a.pixels(), b.pixels(), out.pixels());
   return out;
 }
 
 Bitmap Or(const Bitmap& a, const Bitmap& b) {
   RequireSameShape(a, b, "Or");
   Bitmap out(a.width(), a.height());
-  auto pa = a.pixels(), pb = b.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = (pa[i] || pb[i]) ? kMaskSet : kMaskClear;
-  }
+  kernels::MaskOr(a.pixels(), b.pixels(), out.pixels());
   return out;
 }
 
 Bitmap AndNot(const Bitmap& a, const Bitmap& b) {
   RequireSameShape(a, b, "AndNot");
   Bitmap out(a.width(), a.height());
-  auto pa = a.pixels(), pb = b.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = (pa[i] && !pb[i]) ? kMaskSet : kMaskClear;
-  }
+  kernels::MaskAndNot(a.pixels(), b.pixels(), out.pixels());
   return out;
 }
 
 Bitmap Not(const Bitmap& a) {
   Bitmap out(a.width(), a.height());
-  auto pa = a.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = pa[i] ? kMaskClear : kMaskSet;
-  }
+  kernels::MaskNot(a.pixels(), out.pixels());
   return out;
 }
 
 double Iou(const Bitmap& a, const Bitmap& b) {
   RequireSameShape(a, b, "Iou");
-  std::size_t inter = 0, uni = 0;
-  auto pa = a.pixels(), pb = b.pixels();
-  for (std::size_t i = 0; i < pa.size(); ++i) {
-    const bool sa = pa[i] != 0, sb = pb[i] != 0;
-    inter += (sa && sb);
-    uni += (sa || sb);
-  }
+  std::uint64_t inter = 0, uni = 0;
+  kernels::CountAndOr(a.pixels(), b.pixels(), &inter, &uni);
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);
 }

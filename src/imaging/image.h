@@ -20,22 +20,13 @@
 #include <utility>
 #include <vector>
 
+#include "imaging/kernels/pixel.h"
+
 namespace bb::imaging {
 
-// A 24-bit RGB pixel (Truecolor per paper sec. III).
-struct Rgb8 {
-  std::uint8_t r = 0;
-  std::uint8_t g = 0;
-  std::uint8_t b = 0;
-
-  constexpr bool operator==(const Rgb8&) const = default;
-};
-
-// Common mask values. Masks in the paper are bitmaps whose pixels are either
-// foreground (255,255,255) or background (0,0,0); we store one byte per
-// pixel with 1 = set, 0 = clear.
-inline constexpr std::uint8_t kMaskSet = 1;
-inline constexpr std::uint8_t kMaskClear = 0;
+// Rgb8 and the kMaskSet/kMaskClear mask values now live in
+// imaging/kernels/pixel.h (same namespace) so the kernel layer can stay at
+// the bottom of the include graph.
 
 template <typename P>
 class ImageT {

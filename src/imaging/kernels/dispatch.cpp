@@ -1,0 +1,225 @@
+// Runtime dispatch for the kernel catalog.
+//
+// BB_KERNEL=scalar|vector is resolved once per process (default vector);
+// SetDispatchForTest overrides it for tests and benches. Every top-level
+// bb::imaging::kernels::* entry point forwards to the scalar or vec
+// implementation — both are bit-identical, so the switch only affects speed.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "imaging/kernels/kernels.h"
+
+namespace bb::imaging::kernels {
+
+namespace {
+
+Dispatch FromEnv() {
+  const char* env = std::getenv("BB_KERNEL");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Dispatch::kScalar;
+  }
+  return Dispatch::kVector;
+}
+
+std::atomic<Dispatch>& ActiveSlot() {
+  static std::atomic<Dispatch> slot{FromEnv()};
+  return slot;
+}
+
+}  // namespace
+
+Dispatch Active() { return ActiveSlot().load(std::memory_order_relaxed); }
+
+void SetDispatchForTest(Dispatch d) {
+  ActiveSlot().store(d, std::memory_order_relaxed);
+}
+
+const char* ToString(Dispatch d) {
+  return d == Dispatch::kScalar ? "scalar" : "vector";
+}
+
+inline namespace api {
+
+// Forward every entry point to the active implementation. The argument lists
+// mirror the catalog exactly; keep this file free of any logic beyond the
+// ternary.
+#define BB_DISPATCH(call) \
+  (Active() == Dispatch::kVector ? vec::call : scalar::call)
+
+void MaskAnd(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+             std::span<std::uint8_t> out) {
+  BB_DISPATCH(MaskAnd(a, b, out));
+}
+
+void MaskOr(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+            std::span<std::uint8_t> out) {
+  BB_DISPATCH(MaskOr(a, b, out));
+}
+
+void MaskAndNot(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b, std::span<std::uint8_t> out) {
+  BB_DISPATCH(MaskAndNot(a, b, out));
+}
+
+void MaskNot(std::span<const std::uint8_t> a, std::span<std::uint8_t> out) {
+  BB_DISPATCH(MaskNot(a, out));
+}
+
+void MaskNor(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b,
+             std::span<std::uint8_t> out) {
+  BB_DISPATCH(MaskNor(a, b, out));
+}
+
+std::size_t CountSet(std::span<const std::uint8_t> m) {
+  return BB_DISPATCH(CountSet(m));
+}
+
+void CountAndOr(std::span<const std::uint8_t> a,
+                std::span<const std::uint8_t> b, std::uint64_t* inter,
+                std::uint64_t* uni) {
+  BB_DISPATCH(CountAndOr(a, b, inter, uni));
+}
+
+void CountMaskedPair(std::span<const std::uint8_t> region,
+                     std::span<const std::uint8_t> m, std::uint64_t* total,
+                     std::uint64_t* masked) {
+  BB_DISPATCH(CountMaskedPair(region, m, total, masked));
+}
+
+void SelectRgb(std::span<const std::uint8_t> m, std::span<const Rgb8> a,
+               std::span<const Rgb8> b, std::span<Rgb8> out) {
+  BB_DISPATCH(SelectRgb(m, a, b, out));
+}
+
+void MaskToFloat(std::span<const std::uint8_t> m, std::span<float> out) {
+  BB_DISPATCH(MaskToFloat(m, out));
+}
+
+void LerpRgb(std::span<const Rgb8> a, std::span<const Rgb8> b,
+             std::span<const float> alpha, std::span<Rgb8> out) {
+  BB_DISPATCH(LerpRgb(a, b, alpha, out));
+}
+
+void AddSaturate(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                 std::span<Rgb8> out) {
+  BB_DISPATCH(AddSaturate(a, b, out));
+}
+
+void SubSaturate(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                 std::span<Rgb8> out) {
+  BB_DISPATCH(SubSaturate(a, b, out));
+}
+
+void MatchMask(std::span<const Rgb8> frame, std::span<const Rgb8> ref,
+               std::span<const std::uint8_t> valid, int tolerance,
+               std::span<std::uint8_t> out) {
+  BB_DISPATCH(MatchMask(frame, ref, valid, tolerance, out));
+}
+
+std::size_t MatchCountStrided(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                              int tolerance, std::size_t stride) {
+  return BB_DISPATCH(MatchCountStrided(a, b, tolerance, stride));
+}
+
+void ChangedUnion(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                  int tolerance, std::span<std::uint8_t> accum) {
+  BB_DISPATCH(ChangedUnion(a, b, tolerance, accum));
+}
+
+void CountClaimedVerified(std::span<const std::uint8_t> cov,
+                          std::span<const Rgb8> recon,
+                          std::span<const Rgb8> truth, int tolerance,
+                          std::uint64_t* claimed, std::uint64_t* verified) {
+  BB_DISPATCH(CountClaimedVerified(cov, recon, truth, tolerance, claimed,
+                                   verified));
+}
+
+void AbsDiffMax(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                std::span<float> out) {
+  BB_DISPATCH(AbsDiffMax(a, b, out));
+}
+
+std::uint64_t SadRgb(std::span<const Rgb8> a, std::span<const Rgb8> b) {
+  return BB_DISPATCH(SadRgb(a, b));
+}
+
+std::uint64_t SadRgbBounded(std::span<const Rgb8> a, std::span<const Rgb8> b,
+                            std::uint64_t bound) {
+  return BB_DISPATCH(SadRgbBounded(a, b, bound));
+}
+
+void ThresholdGE(std::span<const float> in, float threshold,
+                 std::span<std::uint8_t> out) {
+  BB_DISPATCH(ThresholdGE(in, threshold, out));
+}
+
+void ThresholdLE(std::span<const float> in, float threshold,
+                 std::span<std::uint8_t> out) {
+  BB_DISPATCH(ThresholdLE(in, threshold, out));
+}
+
+void SplitRgb(std::span<const Rgb8> px, std::span<float> r, std::span<float> g,
+              std::span<float> b) {
+  BB_DISPATCH(SplitRgb(px, r, g, b));
+}
+
+void MergeRgb(std::span<const float> r, std::span<const float> g,
+              std::span<const float> b, std::span<Rgb8> px) {
+  BB_DISPATCH(MergeRgb(r, g, b, px));
+}
+
+void RgbToHsvSpan(std::span<const Rgb8> px, std::span<Hsv> out) {
+  BB_DISPATCH(RgbToHsvSpan(px, out));
+}
+
+std::uint64_t ColorBucketHistogram(std::span<const Rgb8> px,
+                                   std::span<const std::uint8_t> m,
+                                   std::span<std::uint64_t> counts) {
+  return BB_DISPATCH(ColorBucketHistogram(px, m, counts));
+}
+
+std::uint64_t HueHistogramAccum(std::span<const Rgb8> px,
+                                std::span<const std::uint8_t> m,
+                                float min_saturation, float min_value,
+                                std::span<std::uint64_t> bins) {
+  return BB_DISPATCH(HueHistogramAccum(px, m, min_saturation, min_value, bins));
+}
+
+std::uint64_t MaskedSumRgb(std::span<const Rgb8> px,
+                           std::span<const std::uint8_t> m, std::uint64_t* r,
+                           std::uint64_t* g, std::uint64_t* b) {
+  return BB_DISPATCH(MaskedSumRgb(px, m, r, g, b));
+}
+
+std::size_t MaskedAccumulateRgb(std::span<const Rgb8> frame,
+                                std::span<const std::uint8_t> lb,
+                                std::span<int> counts, std::span<double> sum_r,
+                                std::span<double> sum_g,
+                                std::span<double> sum_b,
+                                std::span<double> sum_r2,
+                                std::span<double> sum_g2,
+                                std::span<double> sum_b2) {
+  return BB_DISPATCH(MaskedAccumulateRgb(frame, lb, counts, sum_r, sum_g,
+                                         sum_b, sum_r2, sum_g2, sum_b2));
+}
+
+WindowScore MatchHsvBounded(std::span<const Hsv> tmpl,
+                            std::span<const std::int32_t> xs,
+                            std::span<const std::int32_t> ys,
+                            std::span<const Hsv> grid, std::int32_t gw,
+                            std::int32_t gh, std::span<const std::uint8_t> cov,
+                            std::int32_t dx, std::int32_t dy,
+                            const HsvMatchParams& p, std::int64_t best_matched,
+                            std::int64_t best_compared, bool tie_wins,
+                            std::int32_t min_compared) {
+  return BB_DISPATCH(MatchHsvBounded(tmpl, xs, ys, grid, gw, gh, cov, dx, dy,
+                                     p, best_matched, best_compared, tie_wins,
+                                     min_compared));
+}
+
+#undef BB_DISPATCH
+
+}  // inline namespace api
+
+}  // namespace bb::imaging::kernels

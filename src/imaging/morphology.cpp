@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "imaging/kernels/kernels.h"
+
 namespace bb::imaging {
 
 namespace {
@@ -77,11 +79,7 @@ Bitmap DilateDisc(const Bitmap& mask, double radius) {
   const FloatImage dist = SquaredDistanceToSet(mask);
   const float r2 = static_cast<float>(radius * radius);
   Bitmap out(mask.width(), mask.height());
-  auto pd = dist.pixels();
-  auto po = out.pixels();
-  for (std::size_t i = 0; i < po.size(); ++i) {
-    po[i] = pd[i] <= r2 ? kMaskSet : kMaskClear;
-  }
+  kernels::ThresholdLE(dist.pixels(), r2, out.pixels());
   return out;
 }
 

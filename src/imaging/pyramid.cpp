@@ -69,6 +69,7 @@ BandImage ToBandImage(const Image& img) {
   BandImage out(img.width(), img.height());
   auto pi = img.pixels();
   auto po = out.pixels();
+  // bblint: allow(no-per-pixel-loop) -- signed Rgbf band math; outside the u8 kernel catalog element types
   for (std::size_t i = 0; i < pi.size(); ++i) {
     po[i] = {static_cast<float>(pi[i].r), static_cast<float>(pi[i].g),
              static_cast<float>(pi[i].b)};
@@ -83,6 +84,7 @@ Image FromBandImage(const BandImage& img) {
   auto clamp8 = [](float v) {
     return static_cast<std::uint8_t>(std::clamp(v + 0.5f, 0.0f, 255.0f));
   };
+  // bblint: allow(no-per-pixel-loop) -- signed Rgbf band math; outside the u8 kernel catalog element types
   for (std::size_t i = 0; i < pi.size(); ++i) {
     po[i] = {clamp8(pi[i].r), clamp8(pi[i].g), clamp8(pi[i].b)};
   }
@@ -159,6 +161,7 @@ std::vector<BandImage> LaplacianPyramid(const BandImage& img, int levels) {
     auto pg = gauss[l].pixels();
     auto pu = up.pixels();
     auto pb = band.pixels();
+    // bblint: allow(no-per-pixel-loop) -- signed Rgbf band math; outside the u8 kernel catalog element types
     for (std::size_t i = 0; i < pb.size(); ++i) {
       pb[i] = {pg[i].r - pu[i].r, pg[i].g - pu[i].g, pg[i].b - pu[i].b};
     }
@@ -178,6 +181,7 @@ BandImage CollapseLaplacian(const std::vector<BandImage>& pyramid) {
     auto pb = pyramid[l].pixels();
     auto pu = up.pixels();
     auto pa = acc.pixels();
+    // bblint: allow(no-per-pixel-loop) -- signed Rgbf band math; outside the u8 kernel catalog element types
     for (std::size_t i = 0; i < pa.size(); ++i) {
       pa[i] = {pb[i].r + pu[i].r, pb[i].g + pu[i].g, pb[i].b + pu[i].b};
     }
@@ -206,6 +210,7 @@ Image PyramidBlend(const Image& a, const Image& b, const FloatImage& mask,
     auto pb = lb[l].pixels();
     auto pm = masks[l].pixels();
     auto po = band.pixels();
+    // bblint: allow(no-per-pixel-loop) -- signed Rgbf band math; outside the u8 kernel catalog element types
     for (std::size_t i = 0; i < po.size(); ++i) {
       const float m = std::clamp(pm[i], 0.0f, 1.0f);
       po[i] = {pa[i].r * m + pb[i].r * (1 - m),

@@ -103,6 +103,56 @@ Bitmap ResizeNearest(const Bitmap& mask, int new_w, int new_h) {
   return ResizeNearestImpl(mask, new_w, new_h);
 }
 
+void ResizeNearestInto(const Image& img, int new_w, int new_h, Image* out) {
+  new_w = std::max(new_w, 0);
+  new_h = std::max(new_h, 0);
+  if (out->width() != new_w || out->height() != new_h) {
+    *out = Image(new_w, new_h);
+  }
+  if (img.empty() || new_w <= 0 || new_h <= 0) return;
+  for (int y = 0; y < new_h; ++y) {
+    const int sy = std::min(
+        img.height() - 1,
+        static_cast<int>((static_cast<long long>(y) * img.height()) / new_h));
+    for (int x = 0; x < new_w; ++x) {
+      const int sx = std::min(
+          img.width() - 1,
+          static_cast<int>((static_cast<long long>(x) * img.width()) / new_w));
+      (*out)(x, y) = img(sx, sy);
+    }
+  }
+}
+
+void RotateInto(const Image& img, double degrees, Bitmap* valid, Image* out,
+                Rgb8 fill) {
+  if (out->width() != img.width() || out->height() != img.height()) {
+    *out = Image(img.width(), img.height());
+  }
+  std::fill(out->pixels().begin(), out->pixels().end(), fill);
+  if (valid) {
+    if (valid->width() != img.width() || valid->height() != img.height()) {
+      *valid = Bitmap(img.width(), img.height());
+    }
+    std::fill(valid->pixels().begin(), valid->pixels().end(), kMaskClear);
+  }
+  const double rad = degrees * 3.14159265358979323846 / 180.0;
+  const double c = std::cos(rad), s = std::sin(rad);
+  const double cx = (img.width() - 1) * 0.5;
+  const double cy = (img.height() - 1) * 0.5;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double rx = (x - cx) * c + (y - cy) * s + cx;
+      const double ry = -(x - cx) * s + (y - cy) * c + cy;
+      const int sx = static_cast<int>(std::lround(rx));
+      const int sy = static_cast<int>(std::lround(ry));
+      if (img.InBounds(sx, sy)) {
+        (*out)(x, y) = img(sx, sy);
+        if (valid) (*valid)(x, y) = kMaskSet;
+      }
+    }
+  }
+}
+
 Image ResizeBilinear(const Image& img, int new_w, int new_h) {
   Image out(new_w, new_h);
   if (img.empty() || new_w <= 0 || new_h <= 0) return out;

@@ -31,6 +31,13 @@ Image Rotate(const Image& img, double degrees, Bitmap* valid,
 Image ResizeNearest(const Image& img, int new_w, int new_h);
 Bitmap ResizeNearest(const Bitmap& mask, int new_w, int new_h);
 
+// Buffer-reusing variants for pooled callers (template derivation caches):
+// identical pixels to the value-returning forms, but write into `out`
+// (reshaped only when its dimensions differ).
+void ResizeNearestInto(const Image& img, int new_w, int new_h, Image* out);
+void RotateInto(const Image& img, double degrees, Bitmap* valid, Image* out,
+                Rgb8 fill = {});
+
 // Resizes with bilinear sampling (color images only).
 Image ResizeBilinear(const Image& img, int new_w, int new_h);
 

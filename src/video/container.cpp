@@ -74,6 +74,7 @@ Status WriteError(const std::string& what, std::uint64_t at_byte) {
 void EncodeFrame(const imaging::Image& frame, std::string* row) {
   row->clear();
   row->reserve(frame.pixel_count() * 3);
+  // bblint: allow(no-per-pixel-loop) -- FNV content hash; the chained multiply is sequential by definition
   for (const imaging::Rgb8& p : frame.pixels()) {
     row->push_back(static_cast<char>(p.r));
     row->push_back(static_cast<char>(p.g));

@@ -83,6 +83,7 @@ Status WriteBbv(const VideoStream& video, const std::string& path) {
     const imaging::Image& f = video.frame(i);
     row.clear();
     row.reserve(f.pixel_count() * 3);
+    // bblint: allow(no-per-pixel-loop) -- .bbv codec; byte order is the file format's, not a kernel shape
     for (const imaging::Rgb8& p : f.pixels()) {
       row.push_back(static_cast<char>(p.r));
       row.push_back(static_cast<char>(p.g));
@@ -311,6 +312,7 @@ FramePull BbvFileSource::DoPull(imaging::Image& frame) {
     frame = imaging::Image(info_.width, info_.height);
   }
   auto px = frame.pixels();
+  // bblint: allow(no-per-pixel-loop) -- .bbv codec; byte order is the file format's, not a kernel shape
   for (std::size_t k = 0; k < px.size(); ++k) {
     px[k] = {static_cast<std::uint8_t>(buf_[3 * k]),
              static_cast<std::uint8_t>(buf_[3 * k + 1]),

@@ -38,6 +38,7 @@ imaging::ImageT<int> LongestStableRun(const VideoStream& video,
     auto pa = anchor.pixels();
     auto pr = run.pixels();
     auto pb = best.pixels();
+    // bblint: allow(no-per-pixel-loop) -- run-length state machine updates four planes per element
     for (std::size_t k = 0; k < pf.size(); ++k) {
       if (Same(pf[k], pa[k], opts.channel_tolerance)) {
         ++pr[k];
@@ -73,6 +74,7 @@ void StaticLayerAccumulator::Push(const imaging::Image& frame) {
   auto pr = run_.pixels();
   auto pb = best_.pixels();
   auto pc = color_.pixels();
+  // bblint: allow(no-per-pixel-loop) -- run-length state machine updates five planes per element
   for (std::size_t k = 0; k < pf.size(); ++k) {
     if (Same(pf[k], pa[k], opts_.channel_tolerance)) {
       ++pr[k];
@@ -99,6 +101,7 @@ StaticLayer StaticLayerAccumulator::Finalize(int min_run) const {
   out.valid = imaging::Bitmap(color_.width(), color_.height());
   auto pb = best_.pixels();
   auto pv = out.valid.pixels();
+  // bblint: allow(no-per-pixel-loop) -- finalize reads the run-length state planes produced above
   for (std::size_t k = 0; k < pb.size(); ++k) {
     pv[k] = pb[k] >= min_run ? imaging::kMaskSet : imaging::kMaskClear;
   }
@@ -110,6 +113,7 @@ double MeanFrameDifference(const imaging::Image& a, const imaging::Image& b) {
   if (a.pixel_count() == 0) return 0.0;
   double sum = 0.0;
   auto pa = a.pixels(), pb = b.pixels();
+  // bblint: allow(no-per-pixel-loop) -- tolerance compare feeding the temporal state machine
   for (std::size_t i = 0; i < pa.size(); ++i) {
     sum += std::max({std::abs(pa[i].r - pb[i].r), std::abs(pa[i].g - pb[i].g),
                      std::abs(pa[i].b - pb[i].b)});
@@ -123,6 +127,7 @@ double ChangedFraction(const imaging::Image& a, const imaging::Image& b,
   if (a.pixel_count() == 0) return 0.0;
   std::size_t changed = 0;
   auto pa = a.pixels(), pb = b.pixels();
+  // bblint: allow(no-per-pixel-loop) -- tolerance compare feeding the temporal state machine
   for (std::size_t i = 0; i < pa.size(); ++i) {
     changed += !imaging::NearlyEqual(pa[i], pb[i], channel_tolerance);
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "imaging/draw.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/transform.h"
 #include "synth/scene.h"
 #include "synth/rng.h"
@@ -152,6 +153,73 @@ TEST(CrossCallMatchTest, ToleratesCameraShiftBetweenCalls) {
   const Bitmap full(96, 72, imaging::kMaskSet);
   const auto m = MatchReconstructions(ra, ca, shifted, full);
   EXPECT_GT(m.score, 0.8);
+}
+
+// The pruned shift sweep (best-first visit order + exact early-abandon)
+// promises bit-identical scores to the exhaustive sweep. DOUBLE_EQ, not
+// NEAR: the winning integer fraction must be the same one.
+TEST(LocationMatchTest, PrunedEqualsExhaustive) {
+  LocationMatchOptions pruned, exhaustive;
+  pruned.prune = true;
+  exhaustive.prune = false;
+  for (std::uint64_t seed : {5ull, 9ull, 21ull, 77ull}) {
+    const Image scene = Scene(seed);
+    const auto [recon, coverage] = PartialRecon(scene, 0.4);
+    const Image candidate = imaging::Shift(scene, 3, -2);
+    EXPECT_DOUBLE_EQ(
+        LocationMatchScore(recon, coverage, candidate, pruned),
+        LocationMatchScore(recon, coverage, candidate, exhaustive))
+        << "seed=" << seed;
+  }
+}
+
+TEST(RankLocationsTest, PrunedEqualsExhaustive) {
+  const Image scene = Scene(31);
+  std::vector<Image> dict;
+  dict.push_back(scene);
+  for (std::uint64_t s = 200; s < 208; ++s) dict.push_back(Scene(s));
+  const auto [recon, coverage] = PartialRecon(scene, 0.35);
+  LocationMatchOptions pruned, exhaustive;
+  pruned.prune = true;
+  exhaustive.prune = false;
+  const auto rp = RankLocations(recon, coverage, dict, pruned);
+  const auto re = RankLocations(recon, coverage, dict, exhaustive);
+  ASSERT_EQ(rp.size(), re.size());
+  for (std::size_t i = 0; i < rp.size(); ++i) {
+    EXPECT_EQ(rp[i].index, re[i].index) << i;
+    EXPECT_DOUBLE_EQ(rp[i].score, re[i].score) << i;
+  }
+}
+
+TEST(CrossCallMatchTest, PrunedEqualsExhaustive) {
+  const Image scene = Scene(55);
+  const auto [ra, ca] = PartialRecon(scene, 0.4);
+  Bitmap cb(96, 72);
+  for (int y = 0; y < 72; ++y) {
+    for (int x = 0; x < 96; ++x) {
+      if ((x / 5 + (y / 5)) % 3 != 0) cb(x, y) = imaging::kMaskSet;
+    }
+  }
+  LocationMatchOptions pruned, exhaustive;
+  pruned.prune = true;
+  exhaustive.prune = false;
+  const auto mp = MatchReconstructions(ra, ca, scene, cb, pruned);
+  const auto me = MatchReconstructions(ra, ca, scene, cb, exhaustive);
+  EXPECT_DOUBLE_EQ(mp.score, me.score);
+  EXPECT_DOUBLE_EQ(mp.overlap, me.overlap);
+}
+
+TEST(LocationMatchTest, ScoreIsDispatchInvariant) {
+  const Image scene = Scene(9);
+  const auto [recon, coverage] = PartialRecon(scene, 0.4);
+  const Image candidate = imaging::Shift(scene, 4, 2);
+  const imaging::kernels::Dispatch saved = imaging::kernels::Active();
+  imaging::kernels::SetDispatchForTest(imaging::kernels::Dispatch::kScalar);
+  const double s = LocationMatchScore(recon, coverage, candidate);
+  imaging::kernels::SetDispatchForTest(imaging::kernels::Dispatch::kVector);
+  const double v = LocationMatchScore(recon, coverage, candidate);
+  imaging::kernels::SetDispatchForTest(saved);
+  EXPECT_DOUBLE_EQ(s, v);
 }
 
 TEST(RandomBaselineTest, MatchesKOverN) {

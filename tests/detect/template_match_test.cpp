@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
+#include "common/trace.h"
 #include "imaging/draw.h"
+#include "imaging/kernels/kernels.h"
 #include "imaging/transform.h"
+#include "synth/rng.h"
+#include "synth/scene.h"
 
 namespace bb::detect {
 namespace {
@@ -174,6 +179,112 @@ TEST(TemplateMatchTest, ScaledDimensionsRoundSymmetrically) {
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.window.w, 31);
   EXPECT_EQ(r.window.h, 31);
+}
+
+// The coarse-to-fine pruned search promises bit-identical results to the
+// exhaustive sweep (the early-abandon bound is exact and ties resolve by
+// scan order regardless of visit order). Every field of the result must
+// agree - not approximately, exactly.
+void ExpectSameResult(const TemplateMatchResult& a,
+                      const TemplateMatchResult& b, const char* what) {
+  EXPECT_EQ(a.found, b.found) << what;
+  EXPECT_EQ(a.score, b.score) << what;  // bitwise: same integer fraction
+  EXPECT_EQ(a.window.x, b.window.x) << what;
+  EXPECT_EQ(a.window.y, b.window.y) << what;
+  EXPECT_EQ(a.window.w, b.window.w) << what;
+  EXPECT_EQ(a.window.h, b.window.h) << what;
+  EXPECT_EQ(a.rotation, b.rotation) << what;
+  EXPECT_EQ(a.scale, b.scale) << what;
+}
+
+TEST(TemplateMatchTest, PrunedEqualsExhaustiveOnGoldenScene) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  TemplateMatchOptions pruned = LooseOptions();
+  TemplateMatchOptions exhaustive = LooseOptions();
+  pruned.prune = true;
+  exhaustive.prune = false;
+  ExpectSameResult(MatchTemplate(f.scene, coverage, f.templ, pruned),
+                   MatchTemplate(f.scene, coverage, f.templ, exhaustive),
+                   "golden scene");
+}
+
+TEST(TemplateMatchTest, PrunedEqualsExhaustiveOnRandomizedCorpus) {
+  synth::Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Random scene, random template crop (sometimes pasted back in,
+    // sometimes absent), random partial coverage.
+    synth::RandomSceneOptions sopts;
+    sopts.width = 80;
+    sopts.height = 60;
+    synth::Rng scene_rng(rng.Next());
+    Image scene =
+        synth::RenderScene(synth::RandomScene(scene_rng, sopts)).background;
+    const int tw = rng.UniformInt(12, 24), th = rng.UniformInt(10, 20);
+    const int sx = rng.UniformInt(0, scene.width() - tw);
+    const int sy = rng.UniformInt(0, scene.height() - th);
+    const Image templ = imaging::Crop(scene, {sx, sy, tw, th});
+    Bitmap coverage(scene.width(), scene.height());
+    for (int y = 0; y < scene.height(); ++y) {
+      for (int x = 0; x < scene.width(); ++x) {
+        if (rng.Chance(0.8)) coverage(x, y) = imaging::kMaskSet;
+      }
+    }
+    TemplateMatchOptions pruned = LooseOptions();
+    pruned.rotations = {-4.0, 0.0, 4.0};
+    pruned.scales = {0.9, 1.0, 1.1};
+    TemplateMatchOptions exhaustive = pruned;
+    pruned.prune = true;
+    exhaustive.prune = false;
+    ExpectSameResult(MatchTemplate(scene, coverage, templ, pruned),
+                     MatchTemplate(scene, coverage, templ, exhaustive),
+                     "randomized corpus");
+  }
+}
+
+TEST(TemplateMatchTest, ResultIsDispatchAndThreadCountInvariant) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  const TemplateMatchOptions opts = LooseOptions();
+  const auto baseline = MatchTemplate(f.scene, coverage, f.templ, opts);
+  const imaging::kernels::Dispatch saved = imaging::kernels::Active();
+  for (const auto d : {imaging::kernels::Dispatch::kScalar,
+                       imaging::kernels::Dispatch::kVector}) {
+    imaging::kernels::SetDispatchForTest(d);
+    for (int threads : {1, 3, 8}) {
+      common::SetThreadCount(threads);
+      ExpectSameResult(MatchTemplate(f.scene, coverage, f.templ, opts),
+                       baseline, "dispatch/threads");
+    }
+  }
+  imaging::kernels::SetDispatchForTest(saved);
+  common::SetThreadCount(0);
+}
+
+TEST(TemplateMatchTest, TemplateCacheCountsReusedDerivations) {
+  const SceneFixture f;
+  const Bitmap coverage(96, 72, imaging::kMaskSet);
+  TemplateMatchOptions opts = LooseOptions();
+  opts.scales = {0.9, 1.0, 1.1};
+  opts.rotations = {-5.0, 0.0, 5.0};
+  trace::Reset();
+  trace::Enable();
+  MatchTemplate(f.scene, coverage, f.templ, opts);
+  const trace::Snapshot snap = trace::Capture();
+  trace::Disable();
+  trace::Reset();
+  std::uint64_t hits = 0;
+  bool seen = false;
+  for (const auto& c : snap.counters) {
+    if (c.name == "kernel.template_cache_hits") {
+      hits = c.value;
+      seen = true;
+    }
+  }
+  ASSERT_TRUE(seen);
+  // Each scaled template is derived once and reused for the remaining
+  // rotations of that scale: 3 scales x (3 rotations - 1) = 6 hits.
+  EXPECT_EQ(hits, 6u);
 }
 
 TEST(TemplateMatchTest, EmptyInputsAreSafe) {

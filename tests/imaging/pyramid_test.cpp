@@ -66,6 +66,55 @@ TEST(PyramidTest, CollapseInvertsOddSizesToo) {
   EXPECT_EQ(bad, 0);
 }
 
+TEST(PyramidTest, OnePixelImageSurvivesEveryOperation) {
+  const Image img = Gradient(1, 1);
+  EXPECT_EQ(FromBandImage(ToBandImage(img)), img);
+  const BandImage down = Downsample2x(ToBandImage(img));
+  EXPECT_EQ(down.width(), 1);
+  EXPECT_EQ(down.height(), 1);
+  const auto gauss = GaussianPyramid(ToBandImage(img), 8);
+  EXPECT_GE(gauss.size(), 1u);
+  const auto lap = LaplacianPyramid(ToBandImage(img), 4);
+  const Image back = FromBandImage(CollapseLaplacian(lap));
+  EXPECT_TRUE(NearlyEqual(back(0, 0), img(0, 0), 1));
+}
+
+TEST(PyramidTest, DegenerateStripsDownsampleRoundingUp) {
+  // 1xN and Nx1 strips: (n + 1) / 2 on the long axis, pinned at 1 on the
+  // short axis.
+  const BandImage row = Downsample2x(ToBandImage(Gradient(9, 1)));
+  EXPECT_EQ(row.width(), 5);
+  EXPECT_EQ(row.height(), 1);
+  const BandImage col = Downsample2x(ToBandImage(Gradient(1, 9)));
+  EXPECT_EQ(col.width(), 1);
+  EXPECT_EQ(col.height(), 5);
+}
+
+TEST(PyramidTest, NonPowerOfTwoPyramidReachesOnePixel) {
+  // Prime dimensions force the round-up path at every level; the chain must
+  // still shrink strictly and terminate at 1x1.
+  const auto pyr = GaussianPyramid(ToBandImage(Gradient(37, 37)), 64);
+  EXPECT_EQ(pyr.back().width(), 1);
+  EXPECT_EQ(pyr.back().height(), 1);
+  for (std::size_t l = 1; l < pyr.size(); ++l) {
+    EXPECT_EQ(pyr[l].width(), (pyr[l - 1].width() + 1) / 2);
+    EXPECT_EQ(pyr[l].height(), (pyr[l - 1].height() + 1) / 2);
+  }
+}
+
+TEST(PyramidTest, CollapseInvertsNonPowerOfTwoPrimeSizes) {
+  const Image img = Gradient(31, 19);
+  const auto pyr = LaplacianPyramid(ToBandImage(img), 4);
+  const Image back = FromBandImage(CollapseLaplacian(pyr));
+  int bad = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      bad += !NearlyEqual(back(x, y), img(x, y), 2);
+    }
+  }
+  EXPECT_EQ(bad, 0);
+}
+
 TEST(PyramidTest, BlendTakesAWhereMaskIsOne) {
   const Image a(32, 32, {200, 40, 40});
   const Image b(32, 32, {40, 40, 200});

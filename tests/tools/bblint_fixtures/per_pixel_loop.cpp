@@ -1,0 +1,20 @@
+// Known-bad fixture: exactly one no-per-pixel-loop violation (under a src/
+// path that is not src/imaging/kernels/).
+#include <cstdint>
+#include <span>
+
+struct Px {
+  std::uint8_t r, g, b;
+};
+
+struct Img {
+  std::span<Px> pixels() const;
+};
+
+int SumRed(const Img& img) {
+  int total = 0;
+  for (const Px& p : img.pixels()) {  // the one violation in this file
+    total += p.r;
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// Known-bad fixture: exactly one no-per-pixel-loop violation through a span
+// alias (`auto px = img.pixels()` then an index loop bounded by px.size()).
+// The second loop is bounded by a non-span container and must NOT fire.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct Px {
+  std::uint8_t r, g, b;
+};
+
+struct Img {
+  std::span<Px> pixels() const;
+};
+
+int SumGreen(const Img& img, const std::vector<int>& weights) {
+  auto px = img.pixels();
+  int total = 0;
+  for (std::size_t i = 0; i < px.size(); ++i) {  // the one violation
+    total += px[i].g;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {  // not a pixel span
+    total += weights[i];
+  }
+  return total;
+}

@@ -24,20 +24,21 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
   return n;
 }
 
-TEST(BblintRegistryTest, ElevenRulesRegistered) {
+TEST(BblintRegistryTest, TwelveRulesRegistered) {
   const auto names = RuleNames();
-  ASSERT_EQ(names.size(), 11u);
+  ASSERT_EQ(names.size(), 12u);
   EXPECT_EQ(names[0], kRuleNondeterminism);
   EXPECT_EQ(names[1], kRuleRawPixelIndexing);
   EXPECT_EQ(names[2], kRuleFloatAccumulation);
   EXPECT_EQ(names[3], kRuleFloatTruncation);
   EXPECT_EQ(names[4], kRuleHeaderHygiene);
   EXPECT_EQ(names[5], kRuleFullCallMaterialization);
-  EXPECT_EQ(names[6], kRuleSilentErrorDrop);
-  EXPECT_EQ(names[7], kRuleLayering);
-  EXPECT_EQ(names[8], kRuleUncheckedResult);
-  EXPECT_EQ(names[9], kRuleRegistryConsistency);
-  EXPECT_EQ(names[10], kRuleHeaderSelfContainment);
+  EXPECT_EQ(names[6], kRulePerPixelLoop);
+  EXPECT_EQ(names[7], kRuleSilentErrorDrop);
+  EXPECT_EQ(names[8], kRuleLayering);
+  EXPECT_EQ(names[9], kRuleUncheckedResult);
+  EXPECT_EQ(names[10], kRuleRegistryConsistency);
+  EXPECT_EQ(names[11], kRuleHeaderSelfContainment);
 }
 
 TEST(BblintRegistryTest, CatalogPhasesAndDocsArePopulated) {
@@ -50,7 +51,7 @@ TEST(BblintRegistryTest, CatalogPhasesAndDocsArePopulated) {
       case RulePhase::kBuild: ++build_rules; break;
     }
   }
-  EXPECT_EQ(line_rules, 7);
+  EXPECT_EQ(line_rules, 8);
   EXPECT_EQ(project_rules, 3);
   EXPECT_EQ(build_rules, 1);
 }
@@ -494,7 +495,9 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"float_trunc.cpp", kRuleFloatTruncation},
         FixtureCase{"header.h", kRuleHeaderHygiene},
         FixtureCase{"error_drop.cpp", kRuleSilentErrorDrop},
-        FixtureCase{"raw_string.cpp", kRuleNondeterminism}),
+        FixtureCase{"raw_string.cpp", kRuleNondeterminism},
+        FixtureCase{"per_pixel_loop.cpp", kRulePerPixelLoop},
+        FixtureCase{"per_pixel_loop_span.cpp", kRulePerPixelLoop}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.file;
       for (char& c : name) {
@@ -519,6 +522,17 @@ TEST(BblintFixtureFilesTest, MaterializationFixtureFiresUnderCorePathOnly) {
   EXPECT_GT(core[0].line, 0);
   // The same content under a non-core path is clean (the rule is path-gated).
   EXPECT_TRUE(LintFixture("core_materialize.cpp").empty());
+}
+
+TEST(BblintFixtureFilesTest, PerPixelLoopRuleIsPathGated) {
+  // The same loop inside the kernel catalog is the sanctioned home...
+  EXPECT_TRUE(LintFile("src/imaging/kernels/kernels_scalar.cpp",
+                       FixturePath("per_pixel_loop.cpp"))
+                  .empty());
+  // ...and outside src/ (tests, tools, bench) the rule does not apply.
+  EXPECT_TRUE(LintFile("tests/imaging/loop_test.cpp",
+                       FixturePath("per_pixel_loop.cpp"))
+                  .empty());
 }
 
 TEST(BblintFixtureFilesTest, UnreadableFileYieldsIoFinding) {

@@ -312,6 +312,57 @@ void CheckFullCallMaterialization(const FileView& v,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-per-pixel-loop
+// ---------------------------------------------------------------------------
+
+// The kernel catalog (src/imaging/kernels/) is the single home for flat
+// per-pixel loops, in a scalar reference and a vectorization-friendly twin
+// pinned bit-identical by test. A loop over a .pixels() span anywhere else
+// in src/ is either a migration candidate or a documented exception
+// (neighborhood access, multi-plane state machines, serialization) - it may
+// stay only with an allow() reason. Two shapes are recognized:
+//   - a range-for directly over `<expr>.pixels()`;
+//   - an index for-loop bounded by `<id>.size()` where `<id>` was assigned
+//     from a .pixels() call earlier in the file.
+void CheckPerPixelLoop(const FileView& v, std::vector<Finding>* out) {
+  if (!StartsWith(v.path, "src/")) return;
+  if (StartsWith(v.path, "src/imaging/kernels/")) return;
+
+  // Identifiers aliasing a pixel span: `auto px = img.pixels()`, including
+  // later declarators of a multi-declaration (`auto pa = a.pixels(), pb =
+  // b.pixels();`).
+  std::set<std::string> span_idents;
+  static const std::regex kSpanAlias(
+      R"(\b([A-Za-z_]\w*)\s*=\s*[^;=<>]*?\.\s*pixels\s*\(\s*\))");
+  auto abegin = std::sregex_iterator(v.stripped.begin(), v.stripped.end(),
+                                     kSpanAlias);
+  for (auto it = abegin; it != std::sregex_iterator(); ++it) {
+    span_idents.insert((*it)[1].str());
+  }
+
+  static const std::regex kRangeFor(
+      R"(\bfor\s*\([^;()]*:\s*[^;]*\.\s*pixels\s*\(\s*\))");
+  static const std::regex kIndexFor(
+      R"(\bfor\s*\([^;]*;[^;]*<\s*([A-Za-z_]\w*)\s*\.\s*size\s*\(\s*\))");
+
+  for (std::size_t i = 0; i < v.stripped_lines.size(); ++i) {
+    const std::string& line = v.stripped_lines[i];
+    bool hit = std::regex_search(line, kRangeFor);
+    if (!hit) {
+      std::smatch m;
+      hit = std::regex_search(line, m, kIndexFor) &&
+            span_idents.count(m[1].str()) > 0;
+    }
+    if (!hit) continue;
+    out->push_back(
+        {v.path, static_cast<int>(i + 1), kRulePerPixelLoop,
+         "per-pixel loop outside src/imaging/kernels/; move it into the "
+         "kernel catalog (both implementations, bit-identical) or keep it "
+         "with a reason: // bblint: allow(no-per-pixel-loop) -- <why>"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: no-silent-error-drop
 // ---------------------------------------------------------------------------
 
@@ -377,6 +428,7 @@ const std::vector<LineRule>& LineRules() {
       {kRuleFloatTruncation, CheckFloatTruncation},
       {kRuleHeaderHygiene, CheckHeaderHygiene},
       {kRuleFullCallMaterialization, CheckFullCallMaterialization},
+      {kRulePerPixelLoop, CheckPerPixelLoop},
       {kRuleSilentErrorDrop, CheckSilentErrorDrop},
   };
   return kRules;
@@ -408,13 +460,19 @@ const std::vector<RuleInfo>& RuleCatalog() {
        "the reconstruction core stays O(window): never own or grow a "
        "VideoStream in src/core/",
        "src/core/ only"},
+      {kRulePerPixelLoop, RulePhase::kLine,
+       "per-pixel hot loops live once in the kernel catalog "
+       "(src/imaging/kernels/); .pixels() span loops elsewhere need an "
+       "allow() reason",
+       "src/ only; exempt: src/imaging/kernels/"},
       {kRuleSilentErrorDrop, RulePhase::kLine,
        "no bare-statement calls to the curated must-check Status/Result "
        "functions (LoadBbv, SaveCheckpoint, ...)", ""},
       {kRuleLayering, RulePhase::kProject,
-       "module includes follow the layer DAG common -> imaging -> {video, "
-       "segmentation, synth, vbg, detect, datasets} -> core -> {cli, apps, "
-       "tools, bench, tests}; no back-edges, no include cycles", ""},
+       "module includes follow the layer DAG common -> imaging/kernels -> "
+       "imaging -> {video, segmentation, synth, vbg, detect, datasets} -> "
+       "core -> {cli, apps, tools, bench, tests}; no back-edges, no include "
+       "cycles", ""},
       {kRuleUncheckedResult, RulePhase::kProject,
        "no call site discards a declared bb::Status/Result<T> return; "
        "(void) casts need an allow() tag with a reason string", ""},

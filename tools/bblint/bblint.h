@@ -24,6 +24,11 @@
 //                                `const VideoStream&` or pull them via
 //                                video::FrameSource, but never own or grow a
 //                                VideoStream (that is O(call) memory again).
+//   no-per-pixel-loop          - per-pixel hot loops live in the kernel
+//                                catalog (src/imaging/kernels/), exactly
+//                                once; loops over .pixels() spans anywhere
+//                                else in src/ must either move into a kernel
+//                                or carry a documented allow() reason.
 //   no-silent-error-drop       - Status/Result returns are [[nodiscard]] at
 //                                the type level; this rule catches the bare
 //                                statement calls to the curated must-check
@@ -37,8 +42,9 @@
 // cross-TU rule families that no per-line scan can see (see project.h):
 //
 //   layering                   - module includes must follow the layer DAG
-//                                common -> imaging -> {video, segmentation,
-//                                synth, vbg, detect, datasets} -> core ->
+//                                common -> imaging/kernels -> imaging ->
+//                                {video, segmentation, synth, vbg, detect,
+//                                datasets} -> core ->
 //                                {cli, apps, tools, bench, tests}; back-edges
 //                                and include cycles are rejected with the
 //                                offending include chain printed.
@@ -79,6 +85,7 @@ inline constexpr const char* kRuleHeaderHygiene = "header-hygiene";
 inline constexpr const char* kRuleFullCallMaterialization =
     "no-full-call-materialization";
 inline constexpr const char* kRuleSilentErrorDrop = "no-silent-error-drop";
+inline constexpr const char* kRulePerPixelLoop = "no-per-pixel-loop";
 inline constexpr const char* kRuleLayering = "layering";
 inline constexpr const char* kRuleUncheckedResult = "no-unchecked-result";
 inline constexpr const char* kRuleRegistryConsistency =

@@ -22,15 +22,20 @@
 #      shard-scaling gauges in the perf report (report_check
 #      --require-measured), and the shard-equivalence test matrix
 #      (ctest -R shard)
-#   7. ThreadSanitizer build, determinism / parallel-runtime suites
-#   8. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#   7. kernel smoke: the same CLI attack + location ranking under
+#      BB_KERNEL=vector and =scalar, pruned and --no-prune - all four
+#      reconstructions and rankings must be byte-identical - plus the
+#      kernel/pruning gauges in the perf report (report_check
+#      --require-measured) and the kernel/pruned-search test labels
+#   8. ThreadSanitizer build, determinism / parallel-runtime suites
+#   9. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   9. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
-#   10. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
+#   10. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   11. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
 #      checked-in ratchet baseline; the standalone sarif_check parser
 #      validates the document, and any finding not in the baseline fails
-#   11. bench trajectory delta: aggregate the smoke reports from step 2
+#   12. bench trajectory delta: aggregate the smoke reports from step 2
 #      into a bb.bench.trajectory.v1 snapshot and print a one-line
 #      geomean time delta vs the newest committed bench/trajectory/
 #      BENCH_*.json (informational - speed PRs quote this line)
@@ -155,6 +160,55 @@ build-check/tools/report_check \
   --require-measured 'shard.reduce_3x [s]' \
   "$CONTAINER_REPORT_DIR/BENCH_perf.json"
 ctest --test-dir build-check --output-on-failure -j "$JOBS" -R shard
+
+step "kernel smoke: dispatch + pruning cannot move the bits"
+KERNEL_DIR="build-check/kernel-smoke"
+mkdir -p "$KERNEL_DIR"
+build-check/apps/backbuster simulate --out "$KERNEL_DIR/call.bbv" \
+  --vb office --duration 4 --action arm_wave
+build-check/apps/backbuster simulate --out "$KERNEL_DIR/decoy.bbv" \
+  --vb office --duration 1 --scene-seed 9 \
+  --truth-out "$KERNEL_DIR/decoy" > /dev/null
+TRUTH="$KERNEL_DIR/call.bbv.truth.ppm"
+LOCATE="$KERNEL_DIR/decoy.ppm,$TRUTH"
+# The same attack + location ranking under both kernel dispatches and both
+# search modes. Reconstruction bytes and ranked scores must be identical
+# in all four runs; only trace counters (diagnostics) may differ.
+for variant in vector_pruned vector_noprune scalar_pruned scalar_noprune; do
+  case "$variant" in
+    vector_*) KERNEL=vector ;;
+    scalar_*) KERNEL=scalar ;;
+  esac
+  case "$variant" in
+    *_pruned)  PRUNE_FLAGS="" ;;
+    *_noprune) PRUNE_FLAGS="--no-prune" ;;
+  esac
+  BB_KERNEL="$KERNEL" build-check/apps/backbuster attack \
+    --in "$KERNEL_DIR/call.bbv" --vb office --truth "$TRUTH" \
+    --locate "$LOCATE" --out "$KERNEL_DIR/$variant" $PRUNE_FLAGS \
+    | grep -E 'recovered|RBRR|score' > "$KERNEL_DIR/$variant.out"
+done
+BASE="$(ls "$KERNEL_DIR"/vector_pruned.p?? | head -n 1)"
+for variant in vector_noprune scalar_pruned scalar_noprune; do
+  cmp "$BASE" "${BASE/vector_pruned/$variant}"
+  diff "$KERNEL_DIR/vector_pruned.out" "$KERNEL_DIR/$variant.out"
+done
+# The true background must outrank the decoy.
+head -n 3 "$KERNEL_DIR/vector_pruned.out" | grep -q 'truth'
+# Kernel/pruning gauges live in the step-4 perf report (probes run
+# unfiltered there); the identity + speedup numbers must be present.
+build-check/tools/report_check \
+  --require-measured 'match_template.exhaustive [s]' \
+  --require-measured 'match_template.pruned [s]' \
+  --require-measured match_template.prune_speedup \
+  --require-measured 'location.exhaustive [s]' \
+  --require-measured 'location.pruned [s]' \
+  --require-measured location.prune_speedup \
+  --require-measured 'kernel.sad_rgb.scalar [s]' \
+  --require-measured 'kernel.sad_rgb.vector [s]' \
+  "$CONTAINER_REPORT_DIR/BENCH_perf.json"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" \
+      -R 'Kernel|kernels|Pruned'
 
 step "ThreadSanitizer build + determinism/parallel suites"
 cmake -B build-check-tsan -S . -DBB_SANITIZE=thread -DBB_WERROR=ON
