@@ -27,11 +27,15 @@
 //       Prints stream properties.
 //
 // Run any command with --help for its options.
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "cli/args.h"
+#include "cli/shard_spec.h"
 #include "common/faultinject.h"
 #include "common/parallel.h"
 #include "common/trace.h"
@@ -57,6 +61,23 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+// Set by the SIGINT/SIGTERM handler; streaming attacks poll it between
+// frame pulls (StreamingOptions::stop) so an interrupt seals the in-flight
+// checkpoint instead of abandoning the window. An interrupted-but-
+// checkpointed run exits 3 (attackd treats that as resumable, not failed).
+std::atomic<bool> g_stop{false};
+
+constexpr int kExitInterrupted = 3;
+
+void OnStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void InstallStopHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnStopSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 }
 
 int Usage() {
@@ -364,24 +385,17 @@ int Attack(const cli::Args& args) {
   // the I-th of N equal frame ranges.
   int shard_index = 0, shard_count = 0;
   if (const auto shard = args.Get("shard")) {
-    const auto reject = [] {
-      return Fail("--shard expects I/N with 0 <= I < N, e.g. --shard 1/4");
-    };
-    try {
-      std::size_t pos = 0;
-      const long i = std::stol(*shard, &pos);
-      if (pos >= shard->size() || (*shard)[pos] != '/') return reject();
-      const std::string denom = shard->substr(pos + 1);
-      std::size_t denom_pos = 0;
-      const long n = std::stol(denom, &denom_pos);
-      if (denom_pos != denom.size() || n < 1 || i < 0 || i >= n) {
-        return reject();
-      }
-      shard_index = static_cast<int>(i);
-      shard_count = static_cast<int>(n);
-    } catch (const std::exception&) {
-      return reject();
+    // Strict parse: digits-only I/N, 0 <= I < N <= 256. Hostile spellings
+    // ("0/0", "-1/4", " 1/4", "0x1/4", ...) are usage errors (exit 2)
+    // naming what was wrong, not permissive stol prefixes.
+    const auto parsed = cli::ParseShardSpec(*shard);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
     }
+    shard_index = parsed->index;
+    shard_count = parsed->count;
     if (!stream) return Fail("--shard requires --stream");
     if (truth_path) {
       return Fail(
@@ -435,7 +449,17 @@ int Attack(const cli::Args& args) {
     // reducer refuses to merge partials built against different references.
     sopts.config_salt = core::wire::Fnv1a64(
         stock ? "stock:" + *vb_name : std::string("derived"));
+    // SIGINT/SIGTERM stop the run between frame pulls; with --checkpoint
+    // the in-flight window is flushed and sealed first, and the process
+    // exits 3 so supervisors (attackd) treat it as resumable.
+    InstallStopHandler();
+    sopts.stop = &g_stop;
     core::StreamingReconstructor reconstructor(*ref, segmenter, sopts);
+
+    const auto interrupted = [](const Status& status) {
+      return g_stop.load(std::memory_order_relaxed) &&
+             status.code() == StatusCode::kAborted;
+    };
 
     if (shard_count > 0) {
       // Map phase: emit a sealed mergeable partial for this frame range.
@@ -449,7 +473,13 @@ int Attack(const cli::Args& args) {
         std::printf("resumed from %s at frame %d/%d\n", checkpoint.c_str(),
                     stats.resume_frames_done, info.frame_count);
       }
-      if (!run.ok()) return Fail(run.status().ToString());
+      if (!run.ok()) {
+        if (interrupted(run.status())) {
+          std::fprintf(stderr, "%s\n", run.status().message().c_str());
+          return kExitInterrupted;
+        }
+        return Fail(run.status().ToString());
+      }
       std::printf("shard %d/%d decomposed frames [%d, %d)\n", shard_index,
                   shard_count, stats.shard_range_begin,
                   stats.shard_range_end);
@@ -483,7 +513,13 @@ int Attack(const cli::Args& args) {
       std::printf("resumed from %s at frame %d/%d\n", checkpoint.c_str(),
                   stats.resume_frames_done, info.frame_count);
     }
-    if (!run.ok()) return Fail(run.status().ToString());
+    if (!run.ok()) {
+      if (interrupted(run.status())) {
+        std::fprintf(stderr, "%s\n", run.status().message().c_str());
+        return kExitInterrupted;
+      }
+      return Fail(run.status().ToString());
+    }
     const core::ReconstructionResult& rec = *run;
     std::printf(
         "peak window residency %d/%d frames over %llu flushes "

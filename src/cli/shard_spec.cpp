@@ -1,0 +1,51 @@
+#include "cli/shard_spec.h"
+
+#include <string>
+
+namespace bb::cli {
+
+namespace {
+
+// Parses a plain decimal digit run into *out. Rejects empty input, any
+// non-digit character, and values past `max` (which also bounds overflow:
+// the accumulator can never exceed 10 * max + 9).
+bool ParseDigits(std::string_view text, int max, int* out) {
+  if (text.empty()) return false;
+  long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > max) return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<ShardSpec> ParseShardSpec(std::string_view spec) {
+  const auto reject = [&spec](const std::string& why) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad --shard spec '" + std::string(spec) + "': " + why +
+                      " (want I/N with digits only, 0 <= I < N <= " +
+                      std::to_string(kMaxShardCount) + ")");
+  };
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string_view::npos) return reject("missing '/'");
+  if (spec.find('/', slash + 1) != std::string_view::npos) {
+    return reject("more than one '/'");
+  }
+  ShardSpec parsed;
+  if (!ParseDigits(spec.substr(slash + 1), kMaxShardCount, &parsed.count)) {
+    return reject("shard count is not a plain decimal in range");
+  }
+  if (parsed.count < 1) return reject("shard count must be >= 1");
+  // The index is bounded by the (already validated) count, so the same
+  // digit parser rejects overflow without a second limit.
+  if (!ParseDigits(spec.substr(0, slash), parsed.count - 1, &parsed.index)) {
+    return reject("shard index is not a plain decimal below the count");
+  }
+  return parsed;
+}
+
+}  // namespace bb::cli

@@ -1,0 +1,31 @@
+// Strict parsing of the `--shard I/N` spec shared by the backbuster CLI
+// and anything else that accepts a shard coordinate.
+//
+// The grammar is deliberately narrower than what std::stol would accept:
+// both sides must be plain decimal digit runs - no signs, no whitespace,
+// no base prefixes, no trailing garbage - with 0 <= I < N and
+// 1 <= N <= kMaxShardCount. Every rejection is a structured
+// kInvalidArgument naming the offending spec, so hostile forms like
+// "0/0", "4/4", "-1/4", "+1/4" or " 1/4" fail the same way instead of
+// whatever a permissive integer parse happens to yield.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace bb::cli {
+
+// Ceiling on the shard fan-out a spec may name. Far above any sensible
+// deployment (one worker per shard), low enough that a hostile spec cannot
+// request millions of one-frame slices.
+inline constexpr int kMaxShardCount = 256;
+
+struct ShardSpec {
+  int index = 0;  // 0-based worker slot, < count
+  int count = 0;  // total shards, >= 1
+};
+
+Result<ShardSpec> ParseShardSpec(std::string_view spec);
+
+}  // namespace bb::cli

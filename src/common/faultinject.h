@@ -20,6 +20,14 @@
 //     "read"   - BbvFileSource's decoder, keyed by frame index
 //     "alloc"  - BufferPool::AcquireImage/AcquireBitmap, keyed by a
 //                process-wide acquisition counter (NextCount)
+//     "write"  - common::AtomicWriteFile (checkpoint/partial/job-record
+//                seals), occurrence-keyed; kinds fail / truncate (short
+//                temp write, never renamed) / corrupt (one flipped byte
+//                the loader's checksum must catch)
+//     "spawn"  - attackd's worker-subprocess launcher, occurrence-keyed;
+//                any kind makes the spawn report failure
+//     "spool"  - attackd's job-record loader, occurrence-keyed; kinds
+//                fail / truncate / corrupt, applied to the loaded bytes
 //
 // Frame-keyed points use At(), a pure lookup: the fault fires every time
 // that frame index is pulled, on every pass, which is what keeps multi-pass

@@ -1,0 +1,70 @@
+#include "common/fileio.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/faultinject.h"
+#include "common/trace.h"
+
+namespace bb::common {
+
+Status AtomicWriteFile(const std::string& bytes, const std::string& path,
+                       std::string_view what) {
+  const std::string tmp = path + ".tmp";
+  const auto label = [&](const std::string& p) {
+    return std::string(what) + " " + p;
+  };
+
+  // Injected media faults (see header). The occurrence counter is consumed
+  // only while a schedule is armed, so a fault-free run costs one relaxed
+  // atomic load here.
+  std::string corrupted;
+  const std::string* payload = &bytes;
+  bool short_write = false;
+  if (faultinject::Enabled()) {
+    if (const auto kind =
+            faultinject::At("write", faultinject::NextCount("write"))) {
+      if (trace::Enabled()) trace::AddCounter("fault.injected.write", 1);
+      switch (*kind) {
+        case faultinject::FaultKind::kFail:
+          return Status(StatusCode::kIoError, "injected write failure")
+              .WithContext(label(tmp));
+        case faultinject::FaultKind::kTruncate:
+          short_write = true;
+          break;
+        case faultinject::FaultKind::kCorrupt:
+          corrupted = bytes;
+          if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= 0x20;
+          payload = &corrupted;
+          break;
+      }
+    }
+  }
+
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status(StatusCode::kIoError, "cannot open for writing")
+          .WithContext(label(tmp));
+    }
+    const std::size_t n = short_write ? payload->size() / 2 : payload->size();
+    f.write(payload->data(), static_cast<std::streamsize>(n));
+    if (!f) {
+      return Status(StatusCode::kIoError, "write failed")
+          .WithContext(label(tmp));
+    }
+  }
+  if (short_write) {
+    // The truncated temp file stays on disk (as it would after a real
+    // crash) but is never renamed over the sealed payload at `path`.
+    return Status(StatusCode::kIoError, "injected short write")
+        .WithContext(label(tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(StatusCode::kIoError, "rename into place failed")
+        .WithContext(label(path));
+  }
+  return OkStatus();
+}
+
+}  // namespace bb::common

@@ -1,12 +1,12 @@
 #include "core/checkpoint.h"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <utility>
 
+#include "common/fileio.h"
 #include "core/wire.h"
 
 namespace bb::core {
@@ -53,24 +53,7 @@ Status SaveCheckpoint(const CheckpointState& state, const std::string& path) {
   for (double v : state.per_frame_leak_fraction) wire::PutF64(&out, v);
   wire::PutU64(&out, wire::Fnv1a64(out));
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) {
-      return Status(StatusCode::kIoError, "cannot open for writing")
-          .WithContext("checkpoint " + tmp);
-    }
-    f.write(out.data(), static_cast<std::streamsize>(out.size()));
-    if (!f) {
-      return Status(StatusCode::kIoError, "write failed")
-          .WithContext("checkpoint " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status(StatusCode::kIoError, "rename into place failed")
-        .WithContext("checkpoint " + path);
-  }
-  return OkStatus();
+  return common::AtomicWriteFile(out, path, "checkpoint");
 }
 
 Result<CheckpointState> LoadCheckpoint(const std::string& path) {

@@ -1,12 +1,12 @@
 #include "core/partial.h"
 
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <utility>
 
+#include "common/fileio.h"
 #include "core/wire.h"
 
 namespace bb::core {
@@ -107,24 +107,7 @@ Status SavePartial(const PartialResult& partial, const std::string& path) {
   for (double v : partial.per_frame_leak_fraction) wire::PutF64(&out, v);
   wire::PutU64(&out, wire::Fnv1a64(out));
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) {
-      return Status(StatusCode::kIoError, "cannot open for writing")
-          .WithContext("partial " + tmp);
-    }
-    f.write(out.data(), static_cast<std::streamsize>(out.size()));
-    if (!f) {
-      return Status(StatusCode::kIoError, "write failed")
-          .WithContext("partial " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status(StatusCode::kIoError, "rename into place failed")
-        .WithContext("partial " + path);
-  }
-  return OkStatus();
+  return common::AtomicWriteFile(out, path, "partial");
 }
 
 Result<PartialResult> LoadPartial(const std::string& path) {

@@ -523,6 +523,24 @@ PartialResult StreamingReconstructor::FinalizePartial() {
   return partial;
 }
 
+Status StreamingReconstructor::AbortForStop() {
+  const bool windowed = current_pass_ == analysis_passes_ + 1;
+  if (windowed && !opts_.checkpoint_path.empty()) {
+    // Seal the in-flight window: FlushWindow decomposes the resident
+    // frames and checkpoints past them, so nothing pushed so far is lost.
+    // An empty window means the last flush's checkpoint already covers
+    // every decomposed frame.
+    FlushWindow();
+    return Status(StatusCode::kAborted,
+                  "interrupted: checkpoint sealed at frame " +
+                      std::to_string(next_frame_) + " of " +
+                      std::to_string(info_.frame_count));
+  }
+  return Status(StatusCode::kAborted,
+                "interrupted on pass " + std::to_string(current_pass_) +
+                    " before decomposition progress existed");
+}
+
 Status StreamingReconstructor::RunPasses(video::FrameSource& source) {
   Begin(source.info());
   if (bad_budget_ >= 0 && quarantined_count_ > bad_budget_) {
@@ -568,6 +586,11 @@ Status StreamingReconstructor::RunPasses(video::FrameSource& source) {
     Image buffer =
         windowed ? pool_.AcquireImage(info_.width, info_.height) : Image();
     for (int i = start; i < stop; ++i) {
+      if (opts_.stop != nullptr &&
+          opts_.stop->load(std::memory_order_relaxed)) {
+        if (windowed) pool_.Release(std::move(buffer));
+        return AbortForStop();
+      }
       const video::FramePull pull = source.Pull(buffer);
       if (pull.status == video::PullStatus::kEnd) break;
       if (pull.status == video::PullStatus::kBad) {

@@ -52,6 +52,7 @@
 //     pre-fault-tolerance pipeline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -97,6 +98,15 @@ struct StreamingOptions {
   // fold the reference identity in here. Ignored outside shard mode except
   // by FinalizePartial().
   std::uint64_t config_salt = 0;
+
+  // Cooperative cancellation: when non-null and the pointee becomes true
+  // (e.g. from a SIGTERM handler), Run()/RunPartial() stop between frame
+  // pulls and return kAborted. On the decomposition pass with a checkpoint
+  // configured, the in-flight window is flushed and a checkpoint sealed
+  // first, so an interrupted run wastes at most the frame being decoded -
+  // not the whole resident window - and a rerun resumes bit-identically.
+  // Polled with one relaxed load per pull; never written by this class.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 // Observability counters for the streaming run (also mirrored into
@@ -205,6 +215,11 @@ class StreamingReconstructor {
   void DecomposeWindowFrame(int window_index, int frame_index,
                             LeakShard& shard);
   void SaveCheckpointNow(int frames_done);
+  // Cooperative-stop exit path: on the decomposition pass with a checkpoint
+  // configured, flushes (and thereby checkpoints) the resident window so
+  // the interruption wastes no decomposed work, then reports kAborted with
+  // the sealed progress in the message.
+  Status AbortForStop();
   void TryResumeFromCheckpoint();
   // Serial shard-order reduction of resume base + thread shards (exact).
   LeakAccumulators ReduceShards();

@@ -1,0 +1,162 @@
+#include "service/spool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace bb::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kStateDirs[] = {kIncomingDir, kQueuedDir, kRunningDir,
+                                  kDoneDir, kFailedDir};
+
+// Duplicate-resolution precedence: a job visible in two directories (the
+// crash window of MoveJob) keeps its most-advanced copy. Higher wins.
+int Precedence(const char* dir) {
+  if (std::strcmp(dir, kDoneDir) == 0) return 4;
+  if (std::strcmp(dir, kFailedDir) == 0) return 3;
+  if (std::strcmp(dir, kRunningDir) == 0) return 2;
+  if (std::strcmp(dir, kQueuedDir) == 0) return 1;
+  return 0;  // incoming
+}
+
+Status IoError(const std::string& what, const std::error_code& ec) {
+  return Status(StatusCode::kIoError, what + ": " + ec.message());
+}
+
+}  // namespace
+
+Status EnsureSpool(const std::string& root) {
+  std::error_code ec;
+  for (const char* dir : kStateDirs) {
+    fs::create_directories(fs::path(root) / dir, ec);
+    if (ec) return IoError("create spool dir " + std::string(dir), ec);
+  }
+  fs::create_directories(fs::path(root) / kWorkDir, ec);
+  if (ec) return IoError("create spool work dir", ec);
+  return OkStatus();
+}
+
+std::string JobPath(const std::string& root, const char* dir,
+                    std::uint64_t id) {
+  return (fs::path(root) / dir / (std::to_string(id) + ".bbjb")).string();
+}
+
+Result<std::vector<std::uint64_t>> ListJobs(const std::string& root,
+                                            const char* dir) {
+  std::error_code ec;
+  fs::directory_iterator it(fs::path(root) / dir, ec);
+  if (ec) return IoError("list spool dir " + std::string(dir), ec);
+  std::vector<std::uint64_t> ids;
+  for (const fs::directory_entry& entry : it) {
+    const fs::path& p = entry.path();
+    if (p.extension() != ".bbjb") continue;
+    const std::string stem = p.stem().string();
+    if (stem.empty() ||
+        stem.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(stem.c_str(), &end, 10);
+    if (errno != 0 || end == stem.c_str() || *end != '\0') continue;
+    ids.push_back(static_cast<std::uint64_t>(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status MoveJob(const JobRecord& job, const std::string& root,
+               const char* from, const char* to) {
+  if (const Status sealed = SaveJob(job, JobPath(root, to, job.id));
+      !sealed.ok()) {
+    return sealed.WithContext("spool move " + std::string(from) + " -> " +
+                              std::string(to));
+  }
+  std::error_code ec;
+  fs::remove(JobPath(root, from, job.id), ec);
+  if (ec) {
+    return IoError("unlink " + std::string(from) + "/" +
+                       std::to_string(job.id) + ".bbjb after move",
+                   ec);
+  }
+  return OkStatus();
+}
+
+Result<RecoveryReport> RecoverSpool(const std::string& root) {
+  if (const Status ready = EnsureSpool(root); !ready.ok()) return ready;
+  RecoveryReport report;
+
+  // Pass 1: for every id, find its highest-precedence copy and unlink the
+  // rest (they are crash-window leftovers of an interrupted MoveJob).
+  struct Best {
+    const char* dir;
+    int precedence;
+  };
+  std::vector<std::pair<std::uint64_t, Best>> best;
+  for (const char* dir : kStateDirs) {
+    const Result<std::vector<std::uint64_t>> ids = ListJobs(root, dir);
+    if (!ids.ok()) return ids.status();
+    for (std::uint64_t id : *ids) {
+      auto found =
+          std::find_if(best.begin(), best.end(),
+                       [id](const auto& entry) { return entry.first == id; });
+      if (found == best.end()) {
+        best.push_back({id, {dir, Precedence(dir)}});
+        continue;
+      }
+      const char* loser =
+          Precedence(dir) > found->second.precedence ? found->second.dir : dir;
+      if (Precedence(dir) > found->second.precedence) {
+        found->second = {dir, Precedence(dir)};
+      }
+      std::error_code ec;
+      fs::remove(JobPath(root, loser, id), ec);
+      if (ec) return IoError("drop duplicate job record", ec);
+      ++report.duplicates_dropped;
+    }
+  }
+
+  // Pass 2: running/ records belonged to a supervisor that no longer
+  // exists (this function runs before any worker is spawned) — requeue
+  // them. Their work/<id>/ scratch survives, so the retried attempt
+  // resumes from its shard checkpoints instead of starting over.
+  for (auto& [id, where] : best) {
+    if (std::strcmp(where.dir, kRunningDir) != 0) continue;
+    Result<JobRecord> job = LoadJob(JobPath(root, kRunningDir, id));
+    if (!job.ok()) {
+      // Unreadable running record: quarantine the bytes, don't wedge
+      // recovery. The job is lost but the daemon still starts.
+      std::error_code ec;
+      fs::rename(JobPath(root, kRunningDir, id),
+                 JobPath(root, kFailedDir, id) + ".corrupt", ec);
+      if (ec) return IoError("quarantine unreadable running record", ec);
+      continue;
+    }
+    job->state = JobState::kQueued;
+    if (const Status moved = MoveJob(*job, root, kRunningDir, kQueuedDir);
+        !moved.ok()) {
+      return moved;
+    }
+    ++report.requeued;
+  }
+  return report;
+}
+
+Result<std::uint64_t> NextJobId(const std::string& root) {
+  std::uint64_t max_id = 0;
+  for (const char* dir : kStateDirs) {
+    const Result<std::vector<std::uint64_t>> ids = ListJobs(root, dir);
+    if (!ids.ok()) return ids.status();
+    if (!ids->empty()) max_id = std::max(max_id, ids->back());
+  }
+  return max_id + 1;
+}
+
+}  // namespace bb::service

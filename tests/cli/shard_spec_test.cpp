@@ -1,0 +1,63 @@
+// Hostile-input tests for the strict --shard I/N parser. Every rejection
+// must be a structured kInvalidArgument naming the offending spec, because
+// the CLI turns it into a usage error (exit 2) that attackd treats as
+// permanently unrunnable - a permissive parse that "almost works" (stol
+// prefixes, signs, whitespace) would silently run the wrong shard.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cli/shard_spec.h"
+
+namespace bb::cli {
+namespace {
+
+TEST(ShardSpecTest, AcceptsCanonicalForms) {
+  const auto first = ParseShardSpec("0/1");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->index, 0);
+  EXPECT_EQ(first->count, 1);
+
+  const auto mid = ParseShardSpec("3/4");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->index, 3);
+  EXPECT_EQ(mid->count, 4);
+
+  const auto max = ParseShardSpec("255/256");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->index, 255);
+  EXPECT_EQ(max->count, 256);
+}
+
+TEST(ShardSpecTest, RejectsHostileForms) {
+  // Each entry must be refused: the forms stol-based parsing accepts by
+  // prefix (signs, whitespace, hex, trailing junk) plus structural garbage.
+  const char* hostile[] = {
+      "",        "/",     "1/",   "/4",    "0/0",   "4/4",   "5/4",
+      "-1/4",    "+1/4",  " 1/4", "1/4 ",  "1/ 4",  "a/4",   "1/b",
+      "1//4",    "1/4/2", "0x1/4", "1/0x4", "1e0/4", "1.0/4", "1/-4",
+      "1/+4",    "1/0",   "257/300", "0/257", "99999999999999999999/4",
+      "0/99999999999999999999",
+  };
+  for (const char* spec : hostile) {
+    const auto parsed = ParseShardSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted hostile spec '" << spec << "'";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+      // The error names the spec it refused so CLI logs are actionable.
+      EXPECT_NE(parsed.status().message().find(spec), std::string::npos)
+          << parsed.status().message();
+    }
+  }
+}
+
+TEST(ShardSpecTest, ErrorNamesTheContract) {
+  const auto parsed = ParseShardSpec("7/3");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("0 <= I < N <= 256"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+}  // namespace
+}  // namespace bb::cli

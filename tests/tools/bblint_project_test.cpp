@@ -45,6 +45,7 @@ TEST(ModuleModelTest, ModuleOfPath) {
   EXPECT_EQ(ModuleOfPath("src/common/status.h"), "common");
   EXPECT_EQ(ModuleOfPath("src/imaging/kernels/kernels.h"), "imaging/kernels");
   EXPECT_EQ(ModuleOfPath("src/imaging/filter.cpp"), "imaging");
+  EXPECT_EQ(ModuleOfPath("src/service/daemon.cpp"), "service");
   EXPECT_EQ(ModuleOfPath("apps/backbuster.cpp"), "apps");
   EXPECT_EQ(ModuleOfPath("tools/bblint/main.cpp"), "tools");
   EXPECT_EQ(ModuleOfPath("tests/core/streaming_test.cpp"), "tests");
@@ -62,11 +63,12 @@ TEST(ModuleModelTest, TiersFollowTheDag) {
   EXPECT_EQ(TierOfModule("detect"), 3);
   EXPECT_EQ(TierOfModule("datasets"), 3);
   EXPECT_EQ(TierOfModule("core"), 4);
-  EXPECT_EQ(TierOfModule("cli"), 5);
-  EXPECT_EQ(TierOfModule("apps"), 5);
-  EXPECT_EQ(TierOfModule("tools"), 5);
-  EXPECT_EQ(TierOfModule("bench"), 5);
-  EXPECT_EQ(TierOfModule("tests"), 5);
+  EXPECT_EQ(TierOfModule("service"), 5);
+  EXPECT_EQ(TierOfModule("cli"), 6);
+  EXPECT_EQ(TierOfModule("apps"), 6);
+  EXPECT_EQ(TierOfModule("tools"), 6);
+  EXPECT_EQ(TierOfModule("bench"), 6);
+  EXPECT_EQ(TierOfModule("tests"), 6);
   EXPECT_EQ(TierOfModule("no-such-module"), -1);
 }
 

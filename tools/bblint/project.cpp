@@ -35,8 +35,9 @@ const std::map<std::string, int>& ModuleTiers() {
       {"video", 3},   {"segmentation", 3}, {"synth", 3},
       {"vbg", 3},     {"detect", 3},       {"datasets", 3},
       {"core", 4},
-      {"cli", 5},     {"apps", 5},         {"bench", 5},
-      {"tools", 5},   {"tests", 5},
+      {"service", 5},
+      {"cli", 6},     {"apps", 6},         {"bench", 6},
+      {"tools", 6},   {"tests", 6},
   };
   return kTiers;
 }

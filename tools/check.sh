@@ -22,20 +22,27 @@
 #      shard-scaling gauges in the perf report (report_check
 #      --require-measured), and the shard-equivalence test matrix
 #      (ctest -R shard)
-#   7. kernel smoke: the same CLI attack + location ranking under
+#   7. attackd smoke: spool two healthy jobs (one multi-shard) plus one
+#      hostile record through attackctl, drain the spool with attackd
+#      --drain-once, require both reconstructions byte-identical to direct
+#      backbuster attacks, the hostile record refused to failed/ with the
+#      pinned INVALID_JOB_RECORD reason, the daemon throughput gauges in
+#      the perf report (report_check --require-measured), and the service
+#      test label (spool/job-record units + supervised-daemon chaos)
+#   8. kernel smoke: the same CLI attack + location ranking under
 #      BB_KERNEL=vector and =scalar, pruned and --no-prune - all four
 #      reconstructions and rankings must be byte-identical - plus the
 #      kernel/pruning gauges in the perf report (report_check
 #      --require-measured) and the kernel/pruned-search test labels
-#   8. ThreadSanitizer build, determinism / parallel-runtime suites
-#   9. UndefinedBehaviorSanitizer build, full ctest suite (minus
+#   9. ThreadSanitizer build, determinism / parallel-runtime suites
+#   10. UndefinedBehaviorSanitizer build, full ctest suite (minus
 #      bench-smoke: the benches are already covered by step 2 and would
 #      dominate the sanitized runtime)
-#   10. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
-#   11. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
+#   11. bblint tree scan (also part of each ctest pass as lint.TreeIsClean)
+#   12. lint-sarif: bblint emits the tree report as SARIF 2.1.0 against the
 #      checked-in ratchet baseline; the standalone sarif_check parser
 #      validates the document, and any finding not in the baseline fails
-#   12. bench trajectory delta: aggregate the smoke reports from step 2
+#   13. bench trajectory delta: aggregate the smoke reports from step 2
 #      into a bb.bench.trajectory.v1 snapshot and print a one-line
 #      geomean time delta vs the newest committed bench/trajectory/
 #      BENCH_*.json (informational - speed PRs quote this line)
@@ -160,6 +167,46 @@ build-check/tools/report_check \
   --require-measured 'shard.reduce_3x [s]' \
   "$CONTAINER_REPORT_DIR/BENCH_perf.json"
 ctest --test-dir build-check --output-on-failure -j "$JOBS" -R shard
+
+step "attackd smoke: spooled jobs drain byte-identical, hostile refused"
+ATTACKD_DIR="build-check/attackd-smoke"
+rm -rf "$ATTACKD_DIR"
+mkdir -p "$ATTACKD_DIR"
+build-check/apps/backbuster simulate --out "$ATTACKD_DIR/call.bbv" \
+  --duration 4 --action arm_wave
+# Direct single-process references for the byte-identity comparison.
+build-check/apps/backbuster attack --in "$ATTACKD_DIR/call.bbv" \
+  --stream --window 16 --out "$ATTACKD_DIR/direct1"
+build-check/apps/backbuster attack --in "$ATTACKD_DIR/call.bbv" \
+  --stream --window 8 --out "$ATTACKD_DIR/direct2"
+# Two healthy jobs (one multi-shard) plus one hostile record in the spool.
+build-check/apps/attackctl submit --spool "$ATTACKD_DIR/spool" \
+  --in "$ATTACKD_DIR/call.bbv" --out "$ATTACKD_DIR/job1" \
+  --window 16 --shards 3
+build-check/apps/attackctl submit --spool "$ATTACKD_DIR/spool" \
+  --in "$ATTACKD_DIR/call.bbv" --out "$ATTACKD_DIR/job2" --window 8
+printf 'not a BBJB record' > "$ATTACKD_DIR/spool/incoming/99.bbjb"
+build-check/apps/attackd --spool "$ATTACKD_DIR/spool" \
+  --worker-bin build-check/apps/backbuster --drain-once
+build-check/apps/attackctl status --spool "$ATTACKD_DIR/spool" --json \
+  | tee "$ATTACKD_DIR/status.json"
+# The hostile record must land in failed/ with the structured reason...
+grep -q 'INVALID_JOB_RECORD' "$ATTACKD_DIR/status.json"
+grep -q '"state":"failed"' "$ATTACKD_DIR/status.json"
+# ...and the drained jobs must be byte-identical to the direct attacks.
+DIRECT1="$(ls "$ATTACKD_DIR"/direct1.p?? | head -n 1)"
+cmp "$DIRECT1" "${DIRECT1/direct1/job1}"
+DIRECT2="$(ls "$ATTACKD_DIR"/direct2.p?? | head -n 1)"
+cmp "$DIRECT2" "${DIRECT2/direct2/job2}"
+# Daemon throughput gauges live in the step-4 perf report (probes run
+# unfiltered there).
+build-check/tools/report_check \
+  --require-measured 'service.drain_workers_1x [s]' \
+  --require-measured 'service.drain_workers_3x [s]' \
+  --require-measured service.jobs_per_min_workers_1x \
+  --require-measured service.jobs_per_min_workers_3x \
+  "$CONTAINER_REPORT_DIR/BENCH_perf.json"
+ctest --test-dir build-check --output-on-failure -j "$JOBS" -L service
 
 step "kernel smoke: dispatch + pruning cannot move the bits"
 KERNEL_DIR="build-check/kernel-smoke"
